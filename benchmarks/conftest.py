@@ -1,0 +1,46 @@
+"""Shared benchmark fixtures.
+
+Every module here regenerates one table or figure of the paper.  The
+pytest-benchmark fixture measures the end-to-end experiment kernel once
+(rounds=1: the experiments are deterministic and heavy), stores the
+headline numbers in ``benchmark.extra_info``, and asserts the paper's
+qualitative shape.  ``python -m repro.bench <exp-id>`` prints the full
+tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.datasets import load_dataset
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a deterministic heavy kernel exactly once."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture(scope="session")
+def gr01():
+    return load_dataset("GR01", "tiny")
+
+
+@pytest.fixture(scope="session")
+def gr02():
+    return load_dataset("GR02", "tiny")
+
+
+@pytest.fixture(scope="session")
+def gr03():
+    return load_dataset("GR03", "tiny")
+
+
+@pytest.fixture(scope="session")
+def gr04():
+    return load_dataset("GR04", "tiny")
+
+
+@pytest.fixture(scope="session")
+def gr05():
+    return load_dataset("GR05", "tiny")

@@ -1,0 +1,32 @@
+"""Extension experiments: parameter explorer and dynamic maintenance."""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import run_experiment
+
+
+def test_ext_explorer_beats_per_setting_reruns(benchmark):
+    results = run_once(benchmark, run_experiment, "ext_explorer", quick=True)
+    panel = results[0]
+    rows = {row[0]: row for row in panel.rows}
+    explorer = rows["ParameterExplorer"]
+    pscan = rows["pSCAN per setting"]
+    assert explorer[1] < pscan[1]  # σ evaluations
+    assert explorer[2] < pscan[2]  # work units
+    benchmark.extra_info["sigma_evals"] = {
+        "explorer": int(explorer[1]), "pscan_grid": int(pscan[1])
+    }
+
+
+def test_ext_dynamic_much_cheaper_than_fresh_batches(benchmark):
+    results = run_once(benchmark, run_experiment, "ext_dynamic", quick=True)
+    panel = results[0]
+    rows = {row[0]: row for row in panel.rows}
+    incremental = rows["incremental (fresh after every edge)"]
+    per_edge = rows["batch SCAN per edge (equivalent freshness)"]
+    assert incremental[1] < per_edge[1] / 50  # orders of magnitude cheaper
+    # Both end at the same clustering.
+    assert incremental[2] == per_edge[2]
+    benchmark.extra_info["sigma_evals"] = {
+        "incremental": int(incremental[1]),
+        "batch_per_edge": int(per_edge[1]),
+    }

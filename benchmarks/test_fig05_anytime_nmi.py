@@ -1,0 +1,62 @@
+"""Figure 5: anytime NMI curves vs. batch baselines.
+
+The paper's headline anytime result: NMI climbs toward 1.0 over the
+iterations, good approximations arrive well before the final (exact)
+result, and the final cumulative cost is in the same league as the
+fastest batch algorithm.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.anytime import AnytimeRunner
+from repro.bench.harness import run_algorithm
+from repro.core import AnySCAN, AnyScanConfig
+
+
+@pytest.mark.parametrize("epsilon", [0.5, 0.6])
+def test_fig5_anytime_quality_curve(benchmark, gr01, epsilon):
+    reference = run_algorithm("SCAN", gr01, 5, epsilon)
+
+    def kernel():
+        algo = AnySCAN(
+            gr01,
+            AnyScanConfig(
+                mu=5, epsilon=epsilon,
+                alpha=max(gr01.num_vertices // 12, 32),
+                beta=max(gr01.num_vertices // 12, 32),
+                record_costs=False,
+            ),
+        )
+        return AnytimeRunner(algo).trace_against(reference.clustering.labels)
+
+    trace = run_once(benchmark, kernel)
+    qualities = [p.quality for p in trace]
+    # Converges to SCAN's exact result.
+    assert trace.final_quality == pytest.approx(1.0)
+    # Quality trends upward (small dips allowed, as in the paper's plots).
+    assert trace.is_monotone(tolerance=0.3)
+    # A good approximation (NMI >= 0.5) is available before the full cost.
+    half = trace.first_reaching(0.5)
+    assert half is not None
+    assert half.work_units <= trace.total_work
+    benchmark.extra_info["iterations"] = len(trace)
+    benchmark.extra_info["nmi_curve_head"] = [round(q, 3) for q in qualities[:5]]
+
+
+def test_fig5_final_cost_competitive_with_batch(benchmark, gr02):
+    """anySCAN run to the end is work-competitive with pSCAN (the paper:
+    'its final cumulative runtimes are slightly faster than pSCAN in most
+    cases')."""
+    def kernel():
+        return {
+            name: run_algorithm(name, gr02, 5, 0.5).work_units
+            for name in ("SCAN", "pSCAN", "anySCAN")
+        }
+
+    work = run_once(benchmark, kernel)
+    assert work["anySCAN"] < work["SCAN"]
+    assert work["anySCAN"] < 2.0 * work["pSCAN"]
+    benchmark.extra_info["work_units"] = {
+        k: round(v) for k, v in work.items()
+    }

@@ -1,0 +1,53 @@
+"""Figure 6: final runtimes vs ε and μ for all five algorithms."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.bench.harness import ALGORITHMS, run_algorithm
+
+
+def test_fig6_epsilon_sweep(benchmark, gr01):
+    epsilons = [0.3, 0.5, 0.7]
+
+    def kernel():
+        return {
+            eps: {
+                name: run_algorithm(name, gr01, 5, eps).work_units
+                for name in ALGORITHMS
+            }
+            for eps in epsilons
+        }
+
+    table = run_once(benchmark, kernel)
+    for eps, row in table.items():
+        # SCAN is never beaten on total work by the pruned variants.
+        assert row["anySCAN"] <= row["SCAN"]
+        # SCAN-B is SCAN plus the Lemma 5 optimizations: at equal ε it
+        # cannot do substantially more work than plain SCAN.
+        assert row["SCAN-B"] <= row["SCAN"] * 1.05
+    benchmark.extra_info["work"] = {
+        str(eps): {k: round(v) for k, v in row.items()}
+        for eps, row in table.items()
+    }
+
+
+def test_fig6_mu_sweep(benchmark, gr02):
+    mus = [2, 5, 10]
+
+    def kernel():
+        return {
+            mu: {
+                name: run_algorithm(name, gr02, mu, 0.5).work_units
+                for name in ALGORITHMS
+            }
+            for mu in mus
+        }
+
+    table = run_once(benchmark, kernel)
+    for mu, row in table.items():
+        assert row["anySCAN"] <= row["SCAN"]
+        assert row["pSCAN"] <= row["SCAN"]
+    benchmark.extra_info["work"] = {
+        str(mu): {k: round(v) for k, v in row.items()}
+        for mu, row in table.items()
+    }

@@ -1,0 +1,47 @@
+"""Figure 7: σ-evaluation counts per algorithm + vertex composition."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.bench.harness import ALGORITHMS, run_algorithm
+from repro.result import VertexRole
+
+
+def test_fig7_sigma_evaluation_counts(benchmark, gr02):
+    def kernel():
+        return {
+            name: run_algorithm(name, gr02, 5, 0.5)
+            for name in ALGORITHMS
+        }
+
+    runs = run_once(benchmark, kernel)
+    evals = {name: run.sigma_evaluations for name, run in runs.items()}
+    # Paper's left panel: pSCAN and anySCAN need far fewer evaluations
+    # than SCAN; anySCAN is in pSCAN's league.
+    assert evals["pSCAN"] < evals["SCAN"]
+    assert evals["anySCAN"] < evals["SCAN"]
+    assert evals["anySCAN"] <= 2.5 * max(evals["pSCAN"], 1)
+    # SCAN++'s split is reported and sums to its total.
+    pp = runs["SCAN++"]
+    assert (
+        pp.extra["true_evaluations"] + pp.extra["sharing_evaluations"]
+        >= pp.sigma_evaluations * 0.99
+    )
+    benchmark.extra_info["evaluations"] = evals
+
+
+def test_fig7_vertex_composition(benchmark, gr01):
+    def kernel():
+        return run_algorithm("SCAN", gr01, 5, 0.5).clustering
+
+    clustering = run_once(benchmark, kernel)
+    roles = clustering.roles
+    cores = int(np.sum(roles == int(VertexRole.CORE)))
+    borders = int(np.sum(roles == int(VertexRole.BORDER)))
+    rest = clustering.num_vertices - cores - borders
+    assert cores + borders + rest == clustering.num_vertices
+    # GR01's analog is the dense-community regime: mostly cores.
+    assert cores > rest
+    benchmark.extra_info["composition"] = {
+        "cores": cores, "borders": borders, "hubs+outliers": rest
+    }

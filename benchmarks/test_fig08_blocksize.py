@@ -1,0 +1,63 @@
+"""Figure 8: parameter effects on anytime quality and block-size stability."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.anytime import AnytimeRunner
+from repro.bench.harness import run_algorithm
+from repro.core import AnySCAN, AnyScanConfig
+
+
+def test_fig8_mu_effect_on_early_quality(benchmark, gr01):
+    """Lower μ discovers more cores per iteration, so intermediate
+    results approach the final one earlier (paper, Figure 8 analysis)."""
+    def trace_for(mu):
+        reference = run_algorithm("SCAN", gr01, mu, 0.5)
+        algo = AnySCAN(
+            gr01,
+            AnyScanConfig(mu=mu, epsilon=0.5, alpha=48, beta=48,
+                          record_costs=False),
+        )
+        return AnytimeRunner(algo).trace_against(reference.clustering.labels)
+
+    def kernel():
+        return {mu: trace_for(mu) for mu in (2, 10)}
+
+    traces = run_once(benchmark, kernel)
+    early = {
+        mu: trace.quality_at_work(0.5 * trace.total_work)
+        for mu, trace in traces.items()
+    }
+    assert traces[2].final_quality == pytest.approx(1.0)
+    assert traces[10].final_quality == pytest.approx(1.0)
+    benchmark.extra_info["nmi_at_half_budget"] = {
+        str(mu): round(q, 3) for mu, q in early.items()
+    }
+
+
+def test_fig8_block_size_stability(benchmark, gr01):
+    """Total cost is stable w.r.t. α=β (paper: 'very stable')."""
+    def cost_for(size):
+        algo = AnySCAN(
+            gr01,
+            AnyScanConfig(mu=5, epsilon=0.5, alpha=size, beta=size,
+                          record_costs=False),
+        )
+        algo.run()
+        return float(algo.statistics()["work_units"])
+
+    def kernel():
+        # Sizes relative to |V|, as in the paper (α=8192 vs millions of
+        # vertices); a block comparable to |V| degenerates Step 1.
+        n = gr01.num_vertices
+        return {
+            size: cost_for(size)
+            for size in (max(n // 16, 8), max(n // 8, 16), max(n // 4, 32))
+        }
+
+    costs = run_once(benchmark, kernel)
+    values = list(costs.values())
+    assert max(values) <= 2.0 * min(values)
+    benchmark.extra_info["work_by_blocksize"] = {
+        str(k): round(v) for k, v in costs.items()
+    }

@@ -1,0 +1,60 @@
+"""Figure 10: cumulative runtime per iteration and final speedups."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core import AnyScanConfig
+from repro.core.parallel import ParallelAnySCAN
+
+THREADS = [1, 2, 4, 8, 16]
+
+
+def _parallel(graph):
+    block = max(graph.num_vertices // 8, 64)
+    par = ParallelAnySCAN(
+        graph, AnyScanConfig(mu=5, epsilon=0.5, alpha=block, beta=block)
+    )
+    par.run()
+    return par
+
+
+def test_fig10_cumulative_times_per_thread_count(benchmark, gr01):
+    par = run_once(benchmark, _parallel, gr01)
+    reports = {t: par.report(t) for t in THREADS}
+    for t in THREADS:
+        assert np.all(np.diff(reports[t].cumulative_times) >= 0)
+    # More threads -> every iteration lands earlier.
+    for a, b in zip(THREADS, THREADS[1:]):
+        assert np.all(
+            reports[b].cumulative_times <= reports[a].cumulative_times + 1e-9
+        )
+    benchmark.extra_info["iterations"] = len(par.cost_log)
+
+
+def test_fig10_final_speedups(benchmark, gr04):
+    par = run_once(benchmark, _parallel, gr04)
+    speedups = par.speedups(THREADS)
+    assert speedups[1] == pytest.approx(1.0)
+    assert speedups[2] > 1.7
+    assert speedups[16] > 7.0  # near-linear regime of the paper
+    # The anytime property survives parallelism: early iterations scale too.
+    per_iter = par.speedups_per_iteration([16])[16]
+    assert np.nanmin(per_iter[: max(len(per_iter) // 2, 1)]) > 4.0
+    benchmark.extra_info["speedups"] = {
+        str(t): round(s, 2) for t, s in speedups.items()
+    }
+
+
+def test_fig10_skewed_graph_scales_worse(benchmark, gr05, gr04):
+    def kernel():
+        return _parallel(gr05).speedups([16]), _parallel(gr04).speedups([16])
+
+    skewed, regular = run_once(benchmark, kernel)
+    # GR05's analog (R-MAT, heavy-tailed degrees) scales worse than
+    # GR04's (LFR, bounded degrees) — the paper's load-imbalance
+    # observation on graphs whose degrees "vary significantly".
+    assert skewed[16] <= regular[16] + 0.5
+    benchmark.extra_info["skewed_vs_regular"] = (
+        round(skewed[16], 2), round(regular[16], 2)
+    )

@@ -1,0 +1,47 @@
+"""Figure 11: anySCAN vs the ideal similarity-only parallel algorithm."""
+
+from benchmarks.conftest import run_once
+from repro.core import AnyScanConfig
+from repro.core.parallel import ParallelAnySCAN, ideal_speedups
+
+THREADS = [2, 4, 8, 16]
+
+
+def test_fig11_anyscan_tracks_ideal(benchmark, gr01):
+    def kernel():
+        block = max(gr01.num_vertices // 8, 64)
+        par = ParallelAnySCAN(
+            gr01, AnyScanConfig(mu=5, epsilon=0.5, alpha=block, beta=block)
+        )
+        par.run()
+        return par.speedups(THREADS), ideal_speedups(gr01, THREADS)
+
+    any_s, ideal_s = run_once(benchmark, kernel)
+    for t in THREADS:
+        # anySCAN stays close to (and does not implausibly exceed) ideal.
+        assert any_s[t] <= ideal_s[t] + 0.5
+        assert any_s[t] >= 0.55 * ideal_s[t]
+    benchmark.extra_info["anyscan"] = {
+        str(t): round(s, 2) for t, s in any_s.items()
+    }
+    benchmark.extra_info["ideal"] = {
+        str(t): round(s, 2) for t, s in ideal_s.items()
+    }
+
+
+def test_fig11_both_degrade_on_skewed_graph(benchmark, gr05):
+    def kernel():
+        block = max(gr05.num_vertices // 8, 64)
+        par = ParallelAnySCAN(
+            gr05, AnyScanConfig(mu=5, epsilon=0.5, alpha=block, beta=block)
+        )
+        par.run()
+        return par.speedups([16]), ideal_speedups(gr05, [16])
+
+    any_s, ideal_s = run_once(benchmark, kernel)
+    # The heavy-tailed Kronecker analog hurts both the same way
+    # (load imbalance), so they end up in the same neighborhood.
+    assert abs(any_s[16] - ideal_s[16]) < 8.0
+    benchmark.extra_info["gr05_speedups"] = (
+        round(any_s[16], 2), round(ideal_s[16], 2)
+    )

@@ -1,0 +1,41 @@
+"""Figure 12: Union-operation counts (anySCAN per-step vs pSCAN vs |V|)."""
+
+from benchmarks.conftest import run_once
+from repro.baselines import pscan
+from repro.core import AnySCAN, AnyScanConfig
+from repro.similarity.weighted import SimilarityConfig, SimilarityOracle
+
+
+def test_fig12_union_counts(benchmark, gr02):
+    def kernel():
+        stats = {}
+        pscan(
+            gr02, 5, 0.5,
+            oracle=SimilarityOracle(gr02, SimilarityConfig()),
+            stats=stats,
+        )
+        algo = AnySCAN(
+            gr02,
+            AnyScanConfig(
+                mu=5, epsilon=0.5,
+                alpha=max(gr02.num_vertices // 10, 64),
+                beta=max(gr02.num_vertices // 10, 64),
+                record_costs=False,
+            ),
+        )
+        algo.run()
+        return stats, algo.statistics()
+
+    pscan_stats, any_stats = run_once(benchmark, kernel)
+    total_any = int(any_stats["union_calls"])
+    # The central scalability claim: far fewer unions than vertices.
+    assert total_any < gr02.num_vertices
+    # Most anySCAN unions run sequentially in Step 1, leaving few inside
+    # critical sections (the paper's 7685/7844-style split).
+    by_step = any_stats["union_calls_by_step"]
+    critical = by_step.get("step2", 0) + by_step.get("step3", 0)
+    assert critical <= total_any
+    benchmark.extra_info["pscan_unions"] = int(pscan_stats["union_calls"])
+    benchmark.extra_info["anyscan_unions"] = total_any
+    benchmark.extra_info["anyscan_by_step"] = dict(by_step)
+    benchmark.extra_info["vertices"] = gr02.num_vertices

@@ -1,0 +1,47 @@
+"""Figure 13: effect of μ, ε, and block size on parallel scalability."""
+
+from benchmarks.conftest import run_once
+from repro.core import AnyScanConfig
+from repro.core.parallel import ParallelAnySCAN
+
+
+def _speedup16(graph, *, mu=5, eps=0.5, block=None):
+    block = block or max(graph.num_vertices // 8, 64)
+    par = ParallelAnySCAN(
+        graph, AnyScanConfig(mu=mu, epsilon=eps, alpha=block, beta=block)
+    )
+    par.run()
+    return par.speedups([16])[16]
+
+
+def test_fig13_block_size_improves_scalability(benchmark, gr01):
+    def kernel():
+        n = gr01.num_vertices
+        return {
+            "small": _speedup16(gr01, block=max(n // 32, 16)),
+            "large": _speedup16(gr01, block=max(n // 2, 64)),
+        }
+
+    s = run_once(benchmark, kernel)
+    # Larger blocks give threads more work between barriers.
+    assert s["large"] >= s["small"] * 0.95
+    benchmark.extra_info["speedup16"] = {
+        k: round(v, 2) for k, v in s.items()
+    }
+
+
+def test_fig13_parameters_shift_scalability(benchmark, gr01):
+    def kernel():
+        return {
+            "mu2": _speedup16(gr01, mu=2),
+            "mu10": _speedup16(gr01, mu=10),
+            "eps03": _speedup16(gr01, eps=0.3),
+            "eps07": _speedup16(gr01, eps=0.7),
+        }
+
+    s = run_once(benchmark, kernel)
+    # All regimes keep meaningful 16-thread scalability.
+    assert min(s.values()) > 3.0
+    benchmark.extra_info["speedup16"] = {
+        k: round(v, 2) for k, v in s.items()
+    }

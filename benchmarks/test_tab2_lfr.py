@@ -1,0 +1,20 @@
+"""Table II: LFR analog statistics (degree sweep + clustering sweep)."""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import run_experiment
+
+
+def test_tab2_lfr_sweeps(benchmark):
+    results = run_once(benchmark, run_experiment, "tab2", quick=True)
+    table = results[0]
+    names = table.column("Id")
+    degrees = dict(zip(names, table.column("d̄")))
+    clustering = dict(zip(names, table.column("c")))
+    # LFR01..05 sweep average degree upward at ~fixed mixing.
+    degree_series = [degrees[f"LFR0{i}"] for i in range(1, 6)]
+    assert degree_series == sorted(degree_series)
+    # LFR11..15 sweep the clustering coefficient upward at ~fixed degree.
+    cc_series = [clustering[f"LFR1{i}"] for i in range(1, 6)]
+    assert cc_series == sorted(cc_series)
+    benchmark.extra_info["degree_series"] = degree_series
+    benchmark.extra_info["cc_series"] = cc_series

@@ -1,0 +1,69 @@
+"""Multicore scalability: anySCAN vs the ideal parallel algorithm.
+
+Runs anySCAN once (recording per-task costs), replays it on simulated
+machines with 1–16 threads, and prints the Figure 10/11 numbers:
+cumulative runtime per anytime iteration, final speedups, and the gap to
+the ideal similarity-only algorithm.
+
+Run with::
+
+    python examples/parallel_scaling.py
+"""
+
+from repro import AnyScanConfig, MachineSpec, ParallelAnySCAN, ideal_speedups
+from repro.graph.generators import LFRParams, lfr_graph
+
+THREADS = [1, 2, 4, 8, 16]
+
+
+def main() -> None:
+    print("generating a 4,000-vertex LFR graph...")
+    graph, _ = lfr_graph(
+        LFRParams(
+            n=4000, average_degree=20, max_degree=120, mixing=0.3, seed=3
+        )
+    )
+    print(f"graph: {graph}\n")
+
+    par = ParallelAnySCAN(
+        graph,
+        AnyScanConfig(mu=5, epsilon=0.5, alpha=500, beta=500),
+        machine=MachineSpec(threads=1, cores_per_socket=8, numa_penalty=0.1),
+    )
+    result = par.run()
+    print(f"clustering: {result.summary()}")
+    print(
+        f"sequential fraction of the work: "
+        f"{par.sequential_fraction():.2%} (the paper: negligible)\n"
+    )
+
+    # Figure 10 left: cumulative simulated time per anytime iteration.
+    reports = {t: par.report(t) for t in THREADS}
+    header = "iter  step          " + "".join(f"  t={t:<9d}" for t in THREADS)
+    print(header)
+    for i, step in enumerate(reports[1].steps):
+        cells = "".join(
+            f"  {reports[t].time_at_iteration(i):<10,.0f}" for t in THREADS
+        )
+        print(f"{i:<4d}  {step:<12s}{cells}")
+
+    # Figure 10 right: final speedups.
+    speedups = par.speedups(THREADS)
+    print("\nfinal speedup over 1 thread:")
+    for t in THREADS:
+        bar = "#" * int(2 * speedups[t])
+        print(f"  {t:2d} threads: {speedups[t]:5.2f}x {bar}")
+
+    # Figure 11: the ideal algorithm as the upper bound.
+    ideal = ideal_speedups(graph, THREADS[1:])
+    print("\nanySCAN vs the ideal (similarity-only) parallel algorithm:")
+    for t in THREADS[1:]:
+        print(
+            f"  {t:2d} threads: anySCAN {speedups[t]:5.2f}x, "
+            f"ideal {ideal[t]:5.2f}x "
+            f"({speedups[t] / ideal[t]:.0%} of ideal)"
+        )
+
+
+if __name__ == "__main__":
+    main()

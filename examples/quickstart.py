@@ -1,0 +1,55 @@
+"""Quickstart: cluster a small graph with anySCAN.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import AnySCAN, AnyScanConfig, Graph, VertexRole
+
+# Two tightly-knit groups joined through a middleman (vertex 4), plus a
+# loner (vertex 9).  Think of it as a tiny collaboration network.
+EDGES = [
+    # group A: a 4-clique
+    (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
+    # group B: another 4-clique
+    (5, 6), (5, 7), (5, 8), (6, 7), (6, 8), (7, 8),
+    # the middleman knows one person in each group
+    (3, 4), (4, 5),
+]
+
+
+def main() -> None:
+    graph = Graph.from_edges(10, EDGES)
+    print(f"graph: {graph}")
+
+    # μ=3: a core needs 3 structurally similar neighbors (incl. itself);
+    # ε=0.6: neighbors must share ≥60% of their neighborhood structure.
+    algo = AnySCAN(graph, AnyScanConfig(mu=3, epsilon=0.6))
+    result = algo.run()
+
+    print(f"\nresult: {result.summary()}\n")
+    for cid, members in result.clusters().items():
+        print(f"cluster {cid}: vertices {sorted(int(v) for v in members)}")
+
+    for v in result.hubs:
+        print(f"vertex {int(v)} is a HUB (bridges two clusters)")
+    for v in result.outliers:
+        print(f"vertex {int(v)} is an OUTLIER")
+
+    roles = {r: [] for r in VertexRole}
+    for v in range(graph.num_vertices):
+        roles[VertexRole(int(result.roles[v]))].append(v)
+    print(f"\ncores: {roles[VertexRole.CORE]}")
+    print(f"borders: {roles[VertexRole.BORDER]}")
+
+    stats = algo.statistics()
+    print(
+        f"\nwork: {stats['sigma_evaluations']} similarity evaluations, "
+        f"{stats['num_supernodes']} super-nodes, "
+        f"{stats['union_calls']} union operations"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Weighted graphs matter: a synthetic co-authorship network.
+
+Definition 1 of the paper extends SCAN's structural similarity to edge
+weights.  This example builds a co-authorship-style network where the tie
+strength grows with repeated collaboration (modeled by triadic weights:
+an edge inside a research group closes many triangles), then shows how
+the weighted similarity recovers research groups that the unweighted
+similarity misses at the same (μ, ε).
+
+Run with::
+
+    python examples/weighted_coauthorship.py
+"""
+
+import numpy as np
+
+from repro import AnySCAN, AnyScanConfig, nmi
+from repro.graph.generators import assign_triadic_weights
+from repro.graph.generators.random_graphs import (
+    planted_partition_graph,
+    planted_membership,
+)
+
+GROUPS = [25, 25, 20, 20, 15]
+MU, EPSILON = 4, 0.55
+
+
+def cluster(graph):
+    return AnySCAN(
+        graph, AnyScanConfig(mu=MU, epsilon=EPSILON, record_costs=False)
+    ).run()
+
+
+def main() -> None:
+    # Research groups collaborate internally a lot, externally a little.
+    graph = planted_partition_graph(GROUPS, p_in=0.35, p_out=0.03, seed=11)
+    truth = np.asarray(planted_membership(GROUPS))
+    print(f"co-authorship network: {graph}")
+
+    # Unweighted clustering.
+    plain = cluster(graph)
+
+    # Weighted: collaboration strength from shared co-authors.  Edges
+    # inside groups close many triangles and get weights up to 4x the
+    # cross-group edges.
+    weighted_graph = assign_triadic_weights(
+        graph, base=0.4, per_triangle=0.35, cap=4.0
+    )
+    weighted = cluster(weighted_graph)
+
+    print(f"\nunweighted σ: {plain.summary()}")
+    print(f"weighted σ:   {weighted.summary()}\n")
+
+    for name, result in (("unweighted", plain), ("weighted", weighted)):
+        members = result.clustered_vertices
+        coverage = members.shape[0] / graph.num_vertices
+        score = nmi(truth, result.labels)
+        print(
+            f"{name:<10s} coverage {coverage:5.1%}  "
+            f"NMI vs research groups {score:.3f}"
+        )
+
+    gain = nmi(truth, weighted.labels) - nmi(truth, plain.labels)
+    print(
+        f"\nweighting the ties changed NMI by {gain:+.3f} at the same "
+        f"(μ={MU}, ε={EPSILON}) — the weighted extension is not cosmetic."
+    )
+
+    # Show the strongest and weakest ties for intuition.
+    weights = [
+        (w, u, v) for u, v, w in weighted_graph.edges()
+    ]
+    weights.sort(reverse=True)
+    strongest = weights[0]
+    weakest = weights[-1]
+    print(
+        f"strongest tie: {strongest[1]}–{strongest[2]} "
+        f"(weight {strongest[0]:.2f}, same group: "
+        f"{truth[strongest[1]] == truth[strongest[2]]})"
+    )
+    print(
+        f"weakest tie:   {weakest[1]}–{weakest[2]} "
+        f"(weight {weakest[0]:.2f}, same group: "
+        f"{truth[weakest[1]] == truth[weakest[2]]})"
+    )
+
+
+if __name__ == "__main__":
+    main()

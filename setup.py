@@ -1,0 +1,5 @@
+"""Shim for environments without PEP 660 editable-install support."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,76 @@
+"""anySCAN: scalable and interactive structural graph clustering.
+
+Reproduction of Mai et al., "Scalable and Interactive Graph Clustering
+Algorithm on Multicore CPUs" (ICDE 2017).  See README.md for a tour and
+DESIGN.md for the system inventory.
+
+Quickstart
+----------
+>>> from repro import Graph, AnySCAN, AnyScanConfig
+>>> graph = Graph.from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)])
+>>> result = AnySCAN(graph, AnyScanConfig(mu=2, epsilon=0.5)).run()
+>>> result.num_clusters
+1
+"""
+
+from repro._version import __version__
+from repro.anytime import AnytimeRunner, AnytimeTrace, TracePoint
+from repro.baselines import pscan, scan, scan_b, scanpp
+from repro.core import (
+    AnySCAN,
+    AnyScanConfig,
+    EpsilonHierarchy,
+    ParameterExplorer,
+    Snapshot,
+)
+from repro.core.parallel import ParallelAnySCAN, ideal_speedups
+from repro.dynamic import AdjacencyGraph, DynamicSCAN
+from repro.graph import Graph, GraphBuilder, load_edge_list, save_edge_list
+from repro.metrics import ari, equivalent_clusterings, modularity, nmi, quality_report
+from repro.parallel import MachineSpec, MulticoreSimulator
+from repro.result import HUB, OUTLIER, Clustering, VertexRole
+from repro.similarity import SimilarityConfig, SimilarityOracle
+
+__all__ = [
+    "__version__",
+    # graph substrate
+    "Graph",
+    "GraphBuilder",
+    "load_edge_list",
+    "save_edge_list",
+    # similarity
+    "SimilarityConfig",
+    "SimilarityOracle",
+    # the contribution
+    "AnySCAN",
+    "AnyScanConfig",
+    "Snapshot",
+    "ParameterExplorer",
+    "EpsilonHierarchy",
+    "ParallelAnySCAN",
+    "ideal_speedups",
+    "AdjacencyGraph",
+    "DynamicSCAN",
+    # anytime driving
+    "AnytimeRunner",
+    "AnytimeTrace",
+    "TracePoint",
+    # baselines
+    "scan",
+    "scan_b",
+    "pscan",
+    "scanpp",
+    # results and metrics
+    "Clustering",
+    "VertexRole",
+    "HUB",
+    "OUTLIER",
+    "nmi",
+    "ari",
+    "modularity",
+    "quality_report",
+    "equivalent_clusterings",
+    # simulated machine
+    "MachineSpec",
+    "MulticoreSimulator",
+]

@@ -1,0 +1,22 @@
+"""Anytime execution: interactive budgets, suspension, quality traces."""
+
+from repro.anytime.runner import AnytimeRunner
+from repro.anytime.stopping import (
+    MarginalGain,
+    StableClusters,
+    StepReached,
+    all_of,
+    any_of,
+)
+from repro.anytime.trace import AnytimeTrace, TracePoint
+
+__all__ = [
+    "AnytimeRunner",
+    "AnytimeTrace",
+    "TracePoint",
+    "StableClusters",
+    "MarginalGain",
+    "StepReached",
+    "any_of",
+    "all_of",
+]

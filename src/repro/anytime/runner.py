@@ -1,0 +1,145 @@
+"""Driving anySCAN interactively: budgets, suspension, quality traces.
+
+The paper's headline use case: run the algorithm under an arbitrary time
+constraint, look at the best-so-far clusters, decide whether to continue.
+:class:`AnytimeRunner` wraps any :class:`~repro.core.anyscan.AnySCAN`
+instance with that workflow:
+
+* :meth:`step` — advance one block iteration (returns the new snapshot);
+* :meth:`run_until` — advance until a budget or a quality predicate hits;
+* :meth:`trace_against` — drain the run, scoring every snapshot against a
+  reference labeling (NMI by default) — the Figure 5 data collector.
+
+Suspension is implicit: between calls the algorithm holds all state, so
+"suppress for examining intermediate results and resume for finding
+better results" is just... not calling ``step`` for a while.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.anyscan import AnySCAN
+from repro.core.snapshots import Snapshot
+from repro.anytime.trace import AnytimeTrace, TracePoint
+from repro.metrics.nmi import nmi
+
+__all__ = ["AnytimeRunner"]
+
+
+class AnytimeRunner:
+    """Interactive driver around one anySCAN instance."""
+
+    def __init__(self, algorithm: AnySCAN) -> None:
+        self.algorithm = algorithm
+        self._iterator = algorithm.iterations()
+        self._last: Optional[Snapshot] = None
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return self.algorithm.finished
+
+    @property
+    def last_snapshot(self) -> Optional[Snapshot]:
+        """Most recent snapshot (None before the first step)."""
+        return self._last
+
+    def step(self) -> Optional[Snapshot]:
+        """Advance one anytime iteration; None when already finished."""
+        try:
+            self._last = next(self._iterator)
+        except StopIteration:
+            return None
+        return self._last
+
+    def run_until(
+        self,
+        *,
+        max_iterations: Optional[int] = None,
+        max_work_units: Optional[float] = None,
+        max_seconds: Optional[float] = None,
+        stop_when: Optional[Callable[[Snapshot], bool]] = None,
+    ) -> Optional[Snapshot]:
+        """Advance until any budget is exhausted or ``stop_when`` fires.
+
+        Budgets are checked *after* each iteration (an iteration is the
+        suspension granularity, exactly as in the paper).  Returns the
+        last snapshot produced, or the previous one if no step ran.
+        """
+        steps = 0
+        while not self.finished:
+            snap = self.step()
+            if snap is None:
+                break
+            steps += 1
+            if stop_when is not None and stop_when(snap):
+                break
+            if max_iterations is not None and steps >= max_iterations:
+                break
+            if max_work_units is not None and snap.work_units >= max_work_units:
+                break
+            if max_seconds is not None and snap.wall_time >= max_seconds:
+                break
+        return self._last
+
+    def finish(self) -> Snapshot:
+        """Drain to the exact result; returns the final snapshot."""
+        while not self.finished:
+            if self.step() is None:
+                break
+        assert self._last is not None
+        return self._last
+
+    # ------------------------------------------------------------------
+    # tracing
+    # ------------------------------------------------------------------
+    def trace_against(
+        self,
+        reference_labels: np.ndarray,
+        *,
+        metric: Callable[[np.ndarray, np.ndarray], float] | None = None,
+        score_every: int = 1,
+    ) -> AnytimeTrace:
+        """Drain the run scoring snapshots against ``reference_labels``.
+
+        Parameters
+        ----------
+        reference_labels:
+            Usually SCAN's final labels (the paper's ground truth).
+        metric:
+            ``f(reference, labels) -> float``; defaults to NMI with noise
+            pooled as one cluster (the paper's treatment).
+        score_every:
+            Score every k-th snapshot (the final one is always scored);
+            raises the tracing speed on long runs.
+        """
+        if metric is None:
+            metric = lambda ref, lab: nmi(ref, lab, noise="cluster")  # noqa: E731
+        trace = AnytimeTrace()
+        index = 0
+        while True:
+            snap = self.step()
+            if snap is None:
+                break
+            index += 1
+            if not snap.final and score_every > 1 and index % score_every:
+                continue
+            quality = float(metric(reference_labels, snap.labels))
+            trace.append(
+                TracePoint(
+                    iteration=snap.iteration,
+                    step=snap.step,
+                    wall_time=snap.wall_time,
+                    work_units=snap.work_units,
+                    quality=quality,
+                    num_clusters=snap.num_clusters,
+                    assigned_fraction=snap.assigned_fraction,
+                    final=snap.final,
+                )
+            )
+        return trace

@@ -1,0 +1,119 @@
+"""Reusable stopping criteria for anytime runs.
+
+:meth:`AnytimeRunner.run_until` takes any ``Snapshot -> bool`` predicate;
+these are the criteria a practitioner actually reaches for:
+
+* :class:`StableClusters` — stop when the cluster count has not changed
+  for k consecutive iterations (the "looks converged" heuristic);
+* :class:`MarginalGain` — stop when the assigned-vertex fraction grows
+  slower than a threshold per unit of work (diminishing returns);
+* :class:`StepReached` — stop when the algorithm enters a given step
+  (e.g. run exactly through summarization, then inspect);
+* :func:`any_of` / :func:`all_of` — combinators.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.core.snapshots import Snapshot
+from repro.errors import ConfigError
+
+__all__ = ["StableClusters", "MarginalGain", "StepReached", "any_of", "all_of"]
+
+Criterion = Callable[[Snapshot], bool]
+
+
+class StableClusters:
+    """True once the cluster count is unchanged for ``patience`` snapshots."""
+
+    def __init__(self, patience: int = 5) -> None:
+        if patience < 1:
+            raise ConfigError("patience must be >= 1")
+        self.patience = patience
+        self._last: int | None = None
+        self._streak = 0
+
+    def __call__(self, snapshot: Snapshot) -> bool:
+        if snapshot.num_clusters == self._last:
+            self._streak += 1
+        else:
+            self._streak = 0
+            self._last = snapshot.num_clusters
+        return self._streak >= self.patience
+
+
+class MarginalGain:
+    """True once coverage grows slower than ``min_gain`` per work unit.
+
+    Measures Δ(assigned fraction) / Δ(work units) between consecutive
+    snapshots; the first Step-1 iterations assign vertices in bulk, the
+    tail barely moves — this criterion finds the knee.
+    """
+
+    def __init__(self, min_gain: float = 1e-7, warmup: int = 2) -> None:
+        if min_gain < 0:
+            raise ConfigError("min_gain must be non-negative")
+        self.min_gain = min_gain
+        self.warmup = warmup
+        self._seen = 0
+        self._prev_fraction: float | None = None
+        self._prev_work: float | None = None
+
+    def __call__(self, snapshot: Snapshot) -> bool:
+        self._seen += 1
+        fraction = snapshot.assigned_fraction
+        work = snapshot.work_units
+        triggered = False
+        if (
+            self._seen > self.warmup
+            and self._prev_fraction is not None
+            and work > (self._prev_work or 0.0)
+        ):
+            gain = (fraction - self._prev_fraction) / (
+                work - self._prev_work
+            )
+            triggered = gain < self.min_gain
+        self._prev_fraction = fraction
+        self._prev_work = work
+        return triggered
+
+
+class StepReached:
+    """True when the run enters (or passes) the named step."""
+
+    _ORDER = {"summarize": 0, "merge-strong": 1, "merge-weak": 2, "borders": 3}
+
+    def __init__(self, step: str) -> None:
+        if step not in self._ORDER:
+            raise ConfigError(
+                f"unknown step {step!r}; one of {sorted(self._ORDER)}"
+            )
+        self.step = step
+
+    def __call__(self, snapshot: Snapshot) -> bool:
+        current = self._ORDER.get(snapshot.step)
+        return current is not None and current >= self._ORDER[self.step]
+
+
+def any_of(*criteria: Criterion) -> Criterion:
+    """Stop when any criterion fires (every one is still evaluated)."""
+    def combined(snapshot: Snapshot) -> bool:
+        fired = [criterion(snapshot) for criterion in criteria]
+        return any(fired)
+
+    return combined
+
+
+def all_of(*criteria: Criterion) -> Criterion:
+    """Stop when all criteria have fired on the same snapshot."""
+    def combined(snapshot: Snapshot) -> bool:
+        fired = [criterion(snapshot) for criterion in criteria]
+        return all(fired)
+
+    return combined
+
+
+def run_through(criteria: Iterable[Criterion], snapshot: Snapshot) -> bool:
+    """Evaluate every criterion (no short-circuit); True if any fired."""
+    return any([criterion(snapshot) for criterion in criteria])

@@ -1,0 +1,94 @@
+"""Traces of anytime runs: the data behind the Figure 5 curves."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+__all__ = ["TracePoint", "AnytimeTrace"]
+
+
+@dataclass(frozen=True)
+class TracePoint:
+    """Quality and cost of one anytime iteration."""
+
+    iteration: int
+    step: str
+    wall_time: float
+    work_units: float
+    quality: float
+    num_clusters: int
+    assigned_fraction: float
+    final: bool = False
+
+
+@dataclass
+class AnytimeTrace:
+    """Sequence of :class:`TracePoint` collected over one run."""
+
+    points: List[TracePoint] = field(default_factory=list)
+
+    def append(self, point: TracePoint) -> None:
+        self.points.append(point)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[TracePoint]:
+        return iter(self.points)
+
+    def __getitem__(self, index: int) -> TracePoint:
+        return self.points[index]
+
+    @property
+    def final_quality(self) -> float:
+        """Quality of the last point (1.0 when the run converged to SCAN)."""
+        return self.points[-1].quality if self.points else float("nan")
+
+    @property
+    def total_work(self) -> float:
+        return self.points[-1].work_units if self.points else 0.0
+
+    @property
+    def total_time(self) -> float:
+        return self.points[-1].wall_time if self.points else 0.0
+
+    def first_reaching(self, quality: float) -> Optional[TracePoint]:
+        """Earliest point with at least the given quality (None if never).
+
+        This is how the paper reports "NMI ≈ 0.5 after x seconds" claims.
+        """
+        for point in self.points:
+            if point.quality >= quality:
+                return point
+        return None
+
+    def quality_at_work(self, budget: float) -> float:
+        """Best quality achieved within a work-unit budget."""
+        best = 0.0
+        for point in self.points:
+            if point.work_units > budget:
+                break
+            best = max(best, point.quality)
+        return best
+
+    def is_monotone(self, *, tolerance: float = 0.05) -> bool:
+        """Whether quality never drops by more than ``tolerance``.
+
+        Anytime quality is not strictly monotone (merges can temporarily
+        shift the NMI) but should trend upward; the property tests use
+        this with a small tolerance.
+        """
+        peak = float("-inf")
+        for point in self.points:
+            if point.quality < peak - tolerance:
+                return False
+            peak = max(peak, point.quality)
+        return True
+
+    def rows(self) -> List[tuple]:
+        """(iteration, step, time, work, quality) tuples for table printers."""
+        return [
+            (p.iteration, p.step, p.wall_time, p.work_units, p.quality)
+            for p in self.points
+        ]

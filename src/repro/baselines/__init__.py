@@ -1,0 +1,26 @@
+"""Baseline algorithms the paper compares against.
+
+All baselines produce the exact SCAN clustering (modulo shared-border
+assignment); they differ only in how much similarity work they spend,
+which is what the Figure 6/7 benches measure.
+"""
+
+from repro.baselines.ideal import (
+    ideal_edge_costs,
+    ideal_evaluate_all,
+    ideal_total_work,
+)
+from repro.baselines.pscan import pscan
+from repro.baselines.scan import scan
+from repro.baselines.scan_b import scan_b
+from repro.baselines.scanpp import scanpp
+
+__all__ = [
+    "scan",
+    "scan_b",
+    "pscan",
+    "scanpp",
+    "ideal_edge_costs",
+    "ideal_total_work",
+    "ideal_evaluate_all",
+]

@@ -1,0 +1,63 @@
+"""Hub/outlier classification shared by all SCAN-family algorithms.
+
+After clusters are formed, SCAN splits the remaining vertices into *hubs*
+(adjacent to two or more distinct clusters) and *outliers* (everything
+else).  All baselines and anySCAN share this post-processing so their
+outputs are directly comparable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import Graph
+from repro.result import HUB, OUTLIER, Clustering, VertexRole
+
+__all__ = ["classify_non_members", "finalize_clustering"]
+
+
+def classify_non_members(graph: Graph, labels: np.ndarray) -> np.ndarray:
+    """Replace provisional non-member labels with HUB / OUTLIER.
+
+    ``labels`` uses cluster ids ≥ 0 for members and any negative value for
+    non-members; the returned copy refines the negatives.
+    """
+    out = labels.copy()
+    for v in np.flatnonzero(labels < 0):
+        seen: set = set()
+        for q in graph.neighbors(int(v)):
+            lbl = int(labels[int(q)])
+            if lbl >= 0:
+                seen.add(lbl)
+            if len(seen) >= 2:
+                break
+        out[int(v)] = HUB if len(seen) >= 2 else OUTLIER
+    return out
+
+
+def finalize_clustering(
+    graph: Graph,
+    labels: np.ndarray,
+    core_mask: np.ndarray,
+) -> Clustering:
+    """Build the final :class:`Clustering` with roles.
+
+    Parameters
+    ----------
+    labels:
+        Cluster ids ≥ 0 for members, negatives for non-members.
+    core_mask:
+        Boolean array marking the vertices determined to be cores.
+    """
+    labels = classify_non_members(graph, labels)
+    roles = np.empty(graph.num_vertices, dtype=np.int8)
+    for v in range(graph.num_vertices):
+        if core_mask[v]:
+            roles[v] = int(VertexRole.CORE)
+        elif labels[v] >= 0:
+            roles[v] = int(VertexRole.BORDER)
+        elif labels[v] == HUB:
+            roles[v] = int(VertexRole.HUB)
+        else:
+            roles[v] = int(VertexRole.OUTLIER)
+    return Clustering(labels=labels, roles=roles)

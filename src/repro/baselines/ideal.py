@@ -1,0 +1,59 @@
+"""The "ideal" parallel algorithm of Figure 11.
+
+The paper's scalability yardstick: evaluate the structural similarity of
+every edge of the graph — the dominant cost of SCAN — with zero label
+propagation and zero synchronization.  Its speedup is bounded only by load
+balance, so it upper-bounds what any parallel SCAN variant can achieve.
+
+:func:`ideal_edge_costs` exposes the per-edge work items that the
+multicore simulator schedules; :func:`ideal_total_work` is their sum.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.graph.csr import Graph
+from repro.similarity.weighted import SimilarityConfig, SimilarityOracle
+
+__all__ = ["ideal_edge_costs", "ideal_total_work", "ideal_evaluate_all"]
+
+
+def ideal_edge_costs(graph: Graph) -> np.ndarray:
+    """Work cost of each undirected edge's σ evaluation (``|N_u| + |N_v|``).
+
+    The order matches :meth:`repro.graph.csr.Graph.edges`.
+    """
+    degrees = graph.degrees
+    costs: List[float] = []
+    for u, v, _ in graph.edges():
+        costs.append(float(degrees[u] + degrees[v]))
+    return np.asarray(costs, dtype=np.float64)
+
+
+def ideal_total_work(graph: Graph) -> float:
+    """Total sequential work of the ideal algorithm."""
+    return float(ideal_edge_costs(graph).sum())
+
+
+def ideal_evaluate_all(
+    graph: Graph,
+    epsilon: float,
+    *,
+    oracle: SimilarityOracle | None = None,
+) -> int:
+    """Actually evaluate σ for every edge; returns how many pass ε.
+
+    Used by tests to pin the ideal workload to real similarity values and
+    by the Figure 11 bench to report the similarity pass rate alongside
+    the speedups.
+    """
+    if oracle is None:
+        oracle = SimilarityOracle(graph, SimilarityConfig(pruning=False))
+    passing = 0
+    for u, v, _ in graph.edges():
+        if oracle.sigma(u, v) >= epsilon:
+            passing += 1
+    return passing

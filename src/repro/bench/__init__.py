@@ -1,0 +1,17 @@
+"""Benchmark harness: datasets, experiment registry, table rendering."""
+
+from repro.bench.datasets import DATASETS, dataset_names, load_dataset
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench.harness import ALGORITHMS, AlgorithmRun, ExperimentResult, run_algorithm
+
+__all__ = [
+    "DATASETS",
+    "load_dataset",
+    "dataset_names",
+    "EXPERIMENTS",
+    "run_experiment",
+    "ExperimentResult",
+    "AlgorithmRun",
+    "ALGORITHMS",
+    "run_algorithm",
+]

@@ -1,0 +1,110 @@
+"""CLI for regenerating the paper's tables and figures.
+
+Usage::
+
+    python -m repro.bench fig5            # one experiment at bench scale
+    python -m repro.bench all --quick     # everything, reduced size
+    python -m repro.bench --list          # available experiment ids
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.errors import ExperimentError
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the anySCAN paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        default=None,
+        help="experiment id (e.g. fig5, tab1, ablation_pruning) or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["tiny", "bench", "large"],
+        default="bench",
+        help="dataset scale (default: bench)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced parameter grids and tiny datasets",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="render ASCII charts for curve-shaped tables (NMI curves, "
+        "speedups)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or args.experiment is None:
+        print("available experiments:")
+        for exp_id in EXPERIMENTS:
+            print(f"  {exp_id}")
+        return 0
+
+    ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for exp_id in ids:
+        started = time.perf_counter()
+        try:
+            results = run_experiment(exp_id, scale=args.scale, quick=args.quick)
+        except ExperimentError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        for result in results:
+            print(result.render())
+            if args.chart:
+                chart = _chart_for(result)
+                if chart:
+                    print(chart)
+            print()
+        print(
+            f"[{exp_id} finished in {time.perf_counter() - started:.1f}s]\n"
+        )
+    return 0
+
+
+def _chart_for(result) -> str | None:
+    """Pick an ASCII chart matching the table's shape, if any."""
+    from repro.bench.charts import line_chart, sparkline
+
+    headers = list(result.headers)
+    if not result.rows:
+        return None
+    if "NMI" in headers and "work-units" in headers:
+        xs = result.column("work-units")
+        ys = result.column("NMI")
+        return line_chart(
+            xs, ys, width=60, height=10,
+            x_label="work units", y_label="NMI",
+        )
+    thread_cols = [h for h in headers if str(h).startswith("t=")]
+    if thread_cols and len(result.rows) >= 1:
+        lines = []
+        for row in result.rows:
+            by_name = dict(zip(headers, row))
+            series = [float(by_name[c]) for c in thread_cols]
+            label = " ".join(
+                str(by_name[h]) for h in headers if h not in thread_cols
+            )
+            lines.append(f"  {sparkline(series)}  {label}")
+        return "speedup trend over " + ", ".join(thread_cols) + ":\n" + \
+            "\n".join(lines)
+    return None
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

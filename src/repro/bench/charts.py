@@ -1,0 +1,107 @@
+"""Plain-text charts for the bench CLI.
+
+The harness prints tables; for the curve-shaped artifacts (Figure 5's
+NMI-over-time, Figure 10's speedups) a picture helps.  These renderers
+draw dependency-free ASCII charts sized for a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import ExperimentError
+
+__all__ = ["sparkline", "line_chart", "bar_chart"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line sparkline of a numeric series."""
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span <= 0:
+        return _SPARK_LEVELS[0] * len(values)
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[idx])
+    return "".join(out)
+
+
+def bar_chart(
+    rows: Sequence[Tuple[str, float]],
+    *,
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart: one labeled bar per (label, value) row."""
+    if not rows:
+        return "(no data)"
+    if width < 1:
+        raise ExperimentError("width must be positive")
+    peak = max(value for _, value in rows)
+    label_width = max(len(label) for label, _ in rows)
+    lines: List[str] = []
+    for label, value in rows:
+        filled = int(round(width * value / peak)) if peak > 0 else 0
+        bar = "█" * filled
+        lines.append(
+            f"{label:<{label_width}s} {bar:<{width}s} {value:,.2f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def line_chart(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    *,
+    width: int = 60,
+    height: int = 12,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """ASCII scatter/line chart of y over x.
+
+    Points map to a ``height``×``width`` character grid; the y axis is
+    annotated with the min/max, the x axis with its range.
+    """
+    if len(xs) != len(ys):
+        raise ExperimentError("xs and ys must be parallel")
+    if not xs:
+        return "(no data)"
+    if width < 2 or height < 2:
+        raise ExperimentError("chart must be at least 2x2")
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((float(x) - x_lo) / x_span * (width - 1))
+        row = int((float(y) - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][col] = "•"
+    lines: List[str] = []
+    top_label = f"{y_hi:,.3g}"
+    bottom_label = f"{y_lo:,.3g}"
+    margin = max(len(top_label), len(bottom_label), len(y_label))
+    for i, row_chars in enumerate(grid):
+        if i == 0:
+            prefix = top_label.rjust(margin)
+        elif i == height - 1:
+            prefix = bottom_label.rjust(margin)
+        elif i == height // 2 and y_label:
+            prefix = y_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix} │{''.join(row_chars)}")
+    axis = " " * margin + " └" + "─" * width
+    lines.append(axis)
+    x_caption = f"{x_lo:,.3g} … {x_hi:,.3g}"
+    if x_label:
+        x_caption += f"  ({x_label})"
+    lines.append(" " * (margin + 2) + x_caption)
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Figure 6: final runtimes of all algorithms vs. ε (top) and μ (bottom)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bench.datasets import load_dataset
+from repro.bench.harness import ALGORITHMS, ExperimentResult, run_algorithm
+
+__all__ = ["fig6"]
+
+_DATASETS = ["GR01", "GR02", "GR03", "GR04", "GR05"]
+_EPSILONS = [0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]
+_MUS = [2, 5, 10, 15, 20]
+
+
+def fig6(scale: str = "bench", quick: bool = False) -> List[ExperimentResult]:
+    datasets = _DATASETS[:2] if quick else _DATASETS
+    epsilons = [0.3, 0.5, 0.7] if quick else _EPSILONS
+    mus = [2, 5, 10] if quick else _MUS
+    use_scale = "tiny" if quick else scale
+    results: List[ExperimentResult] = []
+    for name in datasets:
+        graph = load_dataset(name, use_scale)
+        eps_panel = ExperimentResult(
+            exp_id="fig6",
+            title=f"final cost vs ε (μ=5), {name} [work units]",
+            headers=["ε"] + list(ALGORITHMS),
+        )
+        for eps in epsilons:
+            row = [eps]
+            for alg in ALGORITHMS:
+                row.append(run_algorithm(alg, graph, 5, eps).work_units)
+            eps_panel.add_row(*row)
+        results.append(eps_panel)
+
+        mu_panel = ExperimentResult(
+            exp_id="fig6",
+            title=f"final cost vs μ (ε=0.5), {name} [work units]",
+            headers=["μ"] + list(ALGORITHMS),
+        )
+        for mu in mus:
+            row = [mu]
+            for alg in ALGORITHMS:
+                row.append(run_algorithm(alg, graph, mu, 0.5).work_units)
+            mu_panel.add_row(*row)
+        results.append(mu_panel)
+    return results

@@ -1,0 +1,55 @@
+"""Figure 13: effect of μ, ε, and block size on parallel scalability (GR01)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bench.datasets import load_dataset
+from repro.bench.harness import ExperimentResult
+from repro.bench.experiments.fig10 import parallel_run
+
+__all__ = ["fig13"]
+
+_THREADS = [4, 8, 16]
+
+
+def fig13(scale: str = "bench", quick: bool = False) -> List[ExperimentResult]:
+    use_scale = "tiny" if quick else scale
+    graph = load_dataset("GR01", use_scale)
+
+    eps_panel = ExperimentResult(
+        exp_id="fig13",
+        title="GR01: speedup vs ε (μ=5)",
+        headers=["ε"] + [f"t={t}" for t in _THREADS],
+    )
+    for eps in ([0.4, 0.7] if quick else [0.3, 0.5, 0.7]):
+        par = parallel_run(graph, eps=eps)
+        s = par.speedups(_THREADS)
+        eps_panel.add_row(eps, *(s[t] for t in _THREADS))
+
+    mu_panel = ExperimentResult(
+        exp_id="fig13",
+        title="GR01: speedup vs μ (ε=0.5)",
+        headers=["μ"] + [f"t={t}" for t in _THREADS],
+    )
+    for mu in ([2, 10] if quick else [2, 5, 10, 15]):
+        par = parallel_run(graph, mu=mu)
+        s = par.speedups(_THREADS)
+        mu_panel.add_row(mu, *(s[t] for t in _THREADS))
+
+    block_panel = ExperimentResult(
+        exp_id="fig13",
+        title="GR01: speedup vs block size α=β (μ=5, ε=0.5)",
+        headers=["α=β"] + [f"t={t}" for t in _THREADS],
+    )
+    n = graph.num_vertices
+    sizes = [n // 32, n // 4] if quick else [n // 32, n // 8, n // 2]
+    for size in sizes:
+        par = parallel_run(graph, alpha=max(size, 32))
+        s = par.speedups(_THREADS)
+        block_panel.add_row(max(size, 32), *(s[t] for t in _THREADS))
+    block_panel.notes.append(
+        "expected: larger blocks give each thread more work per barrier "
+        "and therefore better scalability"
+    )
+    return [eps_panel, mu_panel, block_panel]

@@ -1,0 +1,201 @@
+"""Experiment harness: runs algorithms, collects rows, renders tables.
+
+Every table and figure of the paper has one experiment function that
+returns :class:`ExperimentResult` objects — the same rows/series the
+paper plots, regenerated on the analog datasets.  ``python -m repro.bench
+<exp-id>`` renders them; the pytest-benchmark wrappers in ``benchmarks/``
+run reduced versions and assert the qualitative shapes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.baselines import pscan, scan, scan_b, scanpp
+from repro.core import AnySCAN, AnyScanConfig
+from repro.errors import ExperimentError
+from repro.graph.csr import Graph
+from repro.result import Clustering
+from repro.similarity.weighted import SimilarityConfig, SimilarityOracle
+
+__all__ = [
+    "ExperimentResult",
+    "AlgorithmRun",
+    "run_algorithm",
+    "ALGORITHMS",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """One printable table (≈ one panel of a figure)."""
+
+    exp_id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Tuple] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        self.rows.append(tuple(values))
+
+    def render(self) -> str:
+        """Fixed-width text table."""
+        columns = [str(h) for h in self.headers]
+        formatted = [
+            [_fmt(value) for value in row] for row in self.rows
+        ]
+        widths = [
+            max(len(columns[i]), *(len(r[i]) for r in formatted), 1)
+            if formatted
+            else len(columns[i])
+            for i in range(len(columns))
+        ]
+        lines = [f"== {self.exp_id}: {self.title} =="]
+        lines.append(
+            "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in formatted:
+            lines.append(
+                "  ".join(row[i].ljust(widths[i]) for i in range(len(row)))
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def column(self, name: str) -> List:
+        """Values of one column by header name."""
+        try:
+            idx = list(self.headers).index(name)
+        except ValueError as exc:
+            raise ExperimentError(
+                f"no column {name!r} in experiment {self.exp_id}"
+            ) from exc
+        return [row[idx] for row in self.rows]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    if isinstance(value, int):
+        return f"{value:,d}"
+    return str(value)
+
+
+# ----------------------------------------------------------------------
+# uniform algorithm drivers
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AlgorithmRun:
+    """Outcome of one algorithm on one graph/parameter combination."""
+
+    name: str
+    clustering: Clustering
+    seconds: float
+    work_units: float
+    sigma_evaluations: int
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+def _run_scan(graph: Graph, mu: int, eps: float, seed: int) -> AlgorithmRun:
+    oracle = SimilarityOracle(graph, SimilarityConfig(pruning=False))
+    started = time.perf_counter()
+    result = scan(graph, mu, eps, oracle=oracle, seed=seed)
+    elapsed = time.perf_counter() - started
+    c = oracle.counters
+    return AlgorithmRun(
+        "SCAN", result, elapsed, c.work_units, c.sigma_evaluations
+    )
+
+
+def _run_scan_b(graph: Graph, mu: int, eps: float, seed: int) -> AlgorithmRun:
+    oracle = SimilarityOracle(graph, SimilarityConfig(pruning=True))
+    started = time.perf_counter()
+    result = scan_b(graph, mu, eps, oracle=oracle, seed=seed)
+    elapsed = time.perf_counter() - started
+    c = oracle.counters
+    return AlgorithmRun(
+        "SCAN-B", result, elapsed, c.work_units, c.sigma_evaluations,
+        extra={"pruned": float(c.pruned_lemma5)},
+    )
+
+
+def _run_pscan(graph: Graph, mu: int, eps: float, seed: int) -> AlgorithmRun:
+    oracle = SimilarityOracle(graph, SimilarityConfig(pruning=True))
+    stats: Dict[str, int] = {}
+    started = time.perf_counter()
+    result = pscan(graph, mu, eps, oracle=oracle, stats=stats)
+    elapsed = time.perf_counter() - started
+    c = oracle.counters
+    return AlgorithmRun(
+        "pSCAN", result, elapsed, c.work_units, c.sigma_evaluations,
+        extra={k: float(v) for k, v in stats.items()},
+    )
+
+
+def _run_scanpp(graph: Graph, mu: int, eps: float, seed: int) -> AlgorithmRun:
+    oracle = SimilarityOracle(graph, SimilarityConfig(pruning=False))
+    stats: Dict[str, float] = {}
+    started = time.perf_counter()
+    result = scanpp(graph, mu, eps, oracle=oracle, seed=seed, stats=stats)
+    elapsed = time.perf_counter() - started
+    c = oracle.counters
+    return AlgorithmRun(
+        "SCAN++", result, elapsed, c.work_units, c.sigma_evaluations,
+        extra=dict(stats),
+    )
+
+
+def _run_anyscan(graph: Graph, mu: int, eps: float, seed: int) -> AlgorithmRun:
+    # Block size ~|V|/10, mirroring the paper's α=8192 on million-vertex
+    # graphs; a block covering the whole graph would defeat Step 1's
+    # savings (every vertex would be range-queried before any is claimed).
+    block = max(min(2048, graph.num_vertices // 10), 64)
+    config = AnyScanConfig(
+        mu=mu, epsilon=eps, seed=seed, record_costs=False,
+        alpha=block, beta=block,
+    )
+    algo = AnySCAN(graph, config)
+    started = time.perf_counter()
+    result = algo.run()
+    elapsed = time.perf_counter() - started
+    c = algo.oracle.counters
+    stats = algo.statistics()
+    return AlgorithmRun(
+        "anySCAN", result, elapsed, c.work_units, c.sigma_evaluations,
+        extra={
+            "supernodes": float(stats["num_supernodes"]),
+            "unions": float(stats["union_calls"]),
+        },
+    )
+
+
+#: Uniform drivers keyed by display name (the paper's Figure 5/6 lineup).
+ALGORITHMS: Dict[str, Callable[[Graph, int, float, int], AlgorithmRun]] = {
+    "SCAN": _run_scan,
+    "SCAN-B": _run_scan_b,
+    "SCAN++": _run_scanpp,
+    "pSCAN": _run_pscan,
+    "anySCAN": _run_anyscan,
+}
+
+
+def run_algorithm(
+    name: str, graph: Graph, mu: int, epsilon: float, *, seed: int = 0
+) -> AlgorithmRun:
+    """Run one of the registered algorithms with uniform instrumentation."""
+    driver = ALGORITHMS.get(name)
+    if driver is None:
+        raise ExperimentError(
+            f"unknown algorithm {name!r}; available: {sorted(ALGORITHMS)}"
+        )
+    return driver(graph, mu, epsilon, seed)

@@ -1,0 +1,16 @@
+"""The paper's contribution: anySCAN, its parallel model, exploration."""
+
+from repro.core.anyscan import AnySCAN
+from repro.core.config import AnyScanConfig
+from repro.core.explorer import ParameterExplorer
+from repro.core.hierarchy import ClusterNode, EpsilonHierarchy
+from repro.core.snapshots import Snapshot
+
+__all__ = [
+    "AnySCAN",
+    "AnyScanConfig",
+    "Snapshot",
+    "ParameterExplorer",
+    "EpsilonHierarchy",
+    "ClusterNode",
+]

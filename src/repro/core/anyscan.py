@@ -1,0 +1,632 @@
+"""anySCAN: the paper's anytime, parallelizable structural clustering.
+
+The algorithm processes vertices in blocks through four steps
+(Section III-A, Figure 2):
+
+1. **Summarization** — random untouched vertices are range-queried; core
+   vertices become *super-nodes* holding their ε-neighborhood, noise
+   vertices go to the noise list ``L``.
+2. **Merging strongly-related super-nodes** — unprocessed-border vertices
+   shared by ≥ 2 super-nodes are core-checked; a shared core merges all
+   its super-nodes (Lemma 2).
+3. **Merging weakly-related super-nodes** — remaining candidate vertices
+   are examined for core-core edges across clusters (Lemma 3).
+4. **Determining border vertices** — noise-list vertices adjacent to a
+   core are promoted to borders; the rest are hubs/outliers.
+
+After every block iteration the algorithm yields a
+:class:`~repro.core.snapshots.Snapshot`, so callers can suspend, inspect
+the best-so-far clustering, and resume — the *anytime* contract.  The
+final snapshot's clustering equals SCAN's (Lemma 4), which the test suite
+checks against :func:`repro.baselines.scan.scan` on hundreds of random
+graphs.
+
+Implementation notes
+--------------------
+* Evaluated σ values are cached per edge, so every pair is evaluated at
+  most once across all steps (the paper's work-efficiency argument; the
+  cache also powers ``nei``/``dis`` bookkeeping, the per-vertex counts of
+  confirmed ε-similar / ε-dissimilar neighbors).
+* Vertex states move through the Figure 3 schema, enforced by
+  :class:`~repro.structures.state.StateMachine` (Theorem 1).
+* When ``record_costs`` is on, every OpenMP-parallel loop of Figure 4 is
+  logged as a :class:`~repro.parallel.costs.ParallelBlock` with measured
+  per-task work, for replay on the multicore simulator.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines._postprocess import finalize_clustering
+from repro.core.config import AnyScanConfig
+from repro.core.snapshots import Snapshot
+from repro.errors import ReproError
+from repro.graph.csr import Graph
+from repro.parallel.costs import IterationCosts
+from repro.result import Clustering
+from repro.similarity.weighted import SimilarityOracle
+from repro.structures.state import StateMachine, VertexState
+from repro.structures.supernode import SuperNodeIndex
+
+__all__ = ["AnySCAN"]
+
+_S = VertexState
+
+# Abstract cost constants (work units) for non-similarity operations; the
+# similarity work dominates, matching the paper's observation that the
+# sequential parts are negligible.
+_MARK_COST = 0.2          # marking one neighbor's state
+_SUPERNODE_COST = 0.15    # inserting one member into a super-node
+_FIND_COST = 0.1          # one Findset
+_SCAN_COST = 0.1          # touching one adjacency entry
+_UNION_COST = 1.0         # one Union (executed inside a critical section)
+
+
+class AnySCAN:
+    """One anySCAN run over a fixed graph and parameter set.
+
+    Parameters
+    ----------
+    graph:
+        The undirected, optionally weighted graph.
+    config:
+        Algorithm parameters; defaults follow the paper (μ=5, ε=0.5,
+        α=β=8192).
+    oracle:
+        Similarity oracle to reuse; built from ``config.similarity``
+        otherwise.
+
+    Examples
+    --------
+    >>> algo = AnySCAN(graph, AnyScanConfig(mu=5, epsilon=0.5))
+    >>> for snap in algo.iterations():
+    ...     if snap.num_clusters >= 10:   # satisfied with the preview
+    ...         break
+    >>> final = algo.run()                # resume to the exact result
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: AnyScanConfig | None = None,
+        *,
+        oracle: SimilarityOracle | None = None,
+    ) -> None:
+        self.graph = graph
+        self.config = config or AnyScanConfig()
+        self.config.validate()
+        self.oracle = oracle or SimilarityOracle(graph, self.config.similarity)
+
+        n = graph.num_vertices
+        self._states = StateMachine(n, validate=self.config.validate_states)
+        self._sn = SuperNodeIndex(n)
+        self._nei = np.zeros(n, dtype=np.int64)  # confirmed ε-similar nbrs
+        self._dis = np.zeros(n, dtype=np.int64)  # confirmed dissimilar nbrs
+        self._sim_cache: Dict[Tuple[int, int], bool] = {}
+        self._noise_list: List[Tuple[int, np.ndarray]] = []
+        self._border_anchor: Dict[int, int] = {}
+        self._self_count = 1 if self.oracle.config.count_self else 0
+
+        self.cost_log: List[IterationCosts] = []
+        self.union_calls_by_step: Dict[str, int] = {}
+        self._iteration_index = 0
+        self._compute_seconds = 0.0
+        self._finished = False
+        self._generator: Optional[Iterator[Snapshot]] = None
+
+        # Vertices that can never be core are known immediately from their
+        # degree (Figure 3: untouched -> unprocessed-noise without a query).
+        mu = self.config.mu
+        for v in range(n):
+            if self.oracle.max_possible_eps_neighbors(v) < mu:
+                self._states.set(v, _S.UNPROCESSED_NOISE)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def iterations(self) -> Iterator[Snapshot]:
+        """The anytime iterator: one :class:`Snapshot` per block iteration.
+
+        The same iterator is returned on repeated calls, so a consumer can
+        stop pulling (suspend), hand the object elsewhere, and continue
+        (resume) later.
+        """
+        if self._generator is None:
+            self._generator = self._run_generator()
+        return self._generator
+
+    def run(self) -> Clustering:
+        """Drain the remaining iterations and return the exact result."""
+        for _ in self.iterations():
+            pass
+        return self.result()
+
+    def result(self) -> Clustering:
+        """Final clustering (requires the run to have finished)."""
+        if not self._finished:
+            raise ReproError(
+                "anySCAN has not finished; use snapshot() for intermediate "
+                "results or run() to completion"
+            )
+        labels = self._current_labels()
+        labels[labels < 0] = -4
+        core_mask = np.asarray(
+            [self._states.is_core(v) for v in range(self.graph.num_vertices)]
+        )
+        return finalize_clustering(self.graph, labels, core_mask)
+
+    def snapshot(self) -> Snapshot:
+        """Best-so-far state without advancing the algorithm."""
+        return self._make_snapshot(
+            step="current", final=self._finished, advance=False
+        )
+
+    @property
+    def finished(self) -> bool:
+        """Whether the final (exact) result has been reached."""
+        return self._finished
+
+    @property
+    def states(self) -> StateMachine:
+        """Vertex state machine (read access for inspection/tests)."""
+        return self._states
+
+    @property
+    def supernodes(self) -> SuperNodeIndex:
+        """The super-node index (read access for inspection/tests)."""
+        return self._sn
+
+    def statistics(self) -> Dict[str, object]:
+        """Run statistics: counters the figures of the paper are built from."""
+        counters = self.oracle.counters
+        labels_dsu = self._sn.labels
+        return {
+            "sigma_evaluations": counters.sigma_evaluations,
+            "pruned_lemma5": counters.pruned_lemma5,
+            "early_exits": counters.early_exits,
+            "neighborhood_queries": counters.neighborhood_queries,
+            "work_units": counters.work_units,
+            "num_supernodes": len(self._sn),
+            "union_calls": labels_dsu.union_calls,
+            "effective_unions": labels_dsu.effective_unions,
+            "union_calls_by_step": dict(self.union_calls_by_step),
+            "noise_list_size": len(self._noise_list),
+            "state_counts": {
+                state.name: count
+                for state, count in self._states.counts().items()
+            },
+            "compute_seconds": self._compute_seconds,
+        }
+
+    # ------------------------------------------------------------------
+    # similarity plumbing
+    # ------------------------------------------------------------------
+    def _similar(self, u: int, v: int) -> bool:
+        """Cached σ(u, v) ≥ ε with nei/dis bookkeeping for both ends."""
+        key = (u, v) if u < v else (v, u)
+        hit = self._sim_cache.get(key)
+        if hit is not None:
+            return hit
+        result = self.oracle.similar(u, v, self.config.epsilon)
+        self._sim_cache[key] = result
+        for x in key:
+            if result:
+                self._bump_nei(x)
+            else:
+                self._dis[x] += 1
+        return result
+
+    def _bump_nei(self, v: int) -> None:
+        """Increment nei(v); promote to unprocessed-core at the μ threshold.
+
+        Only *unprocessed-border* vertices are promoted: they already
+        belong to a super-node, so the new core's cluster is represented.
+        An untouched vertex crossing μ stays untouched until either a core
+        claims it (Step 1 block B promotes it then) or its own range query
+        runs.
+        """
+        self._nei[v] += 1
+        if self._nei[v] + self._self_count >= self.config.mu:
+            if self._states.get(v) == _S.UNPROCESSED_BORDER:
+                self._states.set(v, _S.UNPROCESSED_CORE)
+
+    def _range_query(self, p: int) -> np.ndarray:
+        """Full ε-neighborhood of ``p`` (Step 1's expensive operation)."""
+        passing = [
+            int(q) for q in self.graph.neighbors(p) if self._similar(p, int(q))
+        ]
+        return np.asarray(passing, dtype=np.int64)
+
+    def _core_check(self, p: int) -> bool:
+        """Resolve whether ``p`` is a core, evaluating as little as possible.
+
+        Walks ``p``'s unevaluated neighbors until either nei(p) reaches μ
+        (core — stop early, the Step 2/3 saving) or the remaining
+        candidates cannot reach it (non-core).
+        """
+        mu = self.config.mu
+        if self._states.is_core(p):
+            return True
+        row = self.graph.neighbors(p)
+        unevaluated = [
+            int(q)
+            for q in row
+            if ((p, int(q)) if p < q else (int(q), p)) not in self._sim_cache
+        ]
+        remaining = len(unevaluated)
+        for q in unevaluated:
+            if self._nei[p] + self._self_count >= mu:
+                break
+            if self._nei[p] + remaining + self._self_count < mu:
+                break
+            self._similar(p, q)
+            remaining -= 1
+        return self._nei[p] + self._self_count >= mu
+
+    def _clu(self, v: int) -> int:
+        """Cluster root of ``v`` through its first super-node (-1 if none)."""
+        return self._sn.cluster_of_vertex(v)
+
+    def _merge_supernodes(self, sid_a: int, sid_b: int, step: str) -> bool:
+        """Union two super-node clusters, attributing the call to ``step``."""
+        merged = self._sn.merge(sid_a, sid_b)
+        self.union_calls_by_step[step] = (
+            self.union_calls_by_step.get(step, 0) + 1
+        )
+        return merged
+
+    # ------------------------------------------------------------------
+    # labeling
+    # ------------------------------------------------------------------
+    def _current_labels(self) -> np.ndarray:
+        """Best-so-far labels: super-node clusters plus Step 4 anchors."""
+        labels = self._sn.vertex_labels()
+        for v, anchor in self._border_anchor.items():
+            if labels[v] < 0:
+                labels[v] = labels[anchor]
+        return labels
+
+    def _make_snapshot(
+        self, step: str, *, final: bool, advance: bool = True
+    ) -> Snapshot:
+        labels = self._current_labels()
+        assigned = labels[labels >= 0]
+        num_clusters = (
+            int(np.unique(assigned).shape[0]) if assigned.shape[0] else 0
+        )
+        counters = self.oracle.counters
+        snap = Snapshot(
+            step=step,
+            iteration=self._iteration_index,
+            labels=labels,
+            num_supernodes=len(self._sn),
+            num_clusters=num_clusters,
+            work_units=counters.work_units,
+            sigma_evaluations=counters.sigma_evaluations,
+            union_calls=self._sn.labels.union_calls,
+            wall_time=self._compute_seconds,
+            final=final,
+        )
+        if advance:
+            self._iteration_index += 1
+        return snap
+
+    # ------------------------------------------------------------------
+    # the anytime loop
+    # ------------------------------------------------------------------
+    def _run_generator(self) -> Iterator[Snapshot]:
+        yield from self._step1()
+        yield from self._step2()
+        yield from self._step3()
+        yield from self._step4()
+        self._finished = True
+        yield self._make_snapshot(step="borders", final=True)
+
+    def _open_iteration(self, step: str) -> IterationCosts:
+        record = IterationCosts(step=step, index=self._iteration_index)
+        if self.config.record_costs:
+            self.cost_log.append(record)
+        return record
+
+    # ---------------------------- Step 1 ------------------------------
+    def _step1(self) -> Iterator[Snapshot]:
+        rng = np.random.default_rng(self.config.seed)
+        order = rng.permutation(self.graph.num_vertices)
+        pos = 0
+        n = self.graph.num_vertices
+        while True:
+            # Select the next block of α untouched vertices.
+            block_vertices: List[int] = []
+            while pos < n and len(block_vertices) < self.config.alpha:
+                v = int(order[pos])
+                pos += 1
+                if self._states.is_untouched(v):
+                    block_vertices.append(v)
+            if not block_vertices:
+                break
+            started = time.perf_counter()
+            self._step1_block(block_vertices)
+            self._compute_seconds += time.perf_counter() - started
+            yield self._make_snapshot(step="summarize", final=False)
+
+    def _step1_block(self, block_vertices: List[int]) -> None:
+        record = self._open_iteration("summarize")
+        counters = self.oracle.counters
+        # Parallel block A (Figure 4 lines 6-9): range queries into buffers.
+        block_a = record.new_block("step1/range-queries")
+        hoods: Dict[int, np.ndarray] = {}
+        core_flags: Dict[int, bool] = {}
+        mu = self.config.mu
+        for p in block_vertices:
+            before = counters.work_units
+            hood = self._range_query(p)
+            hoods[p] = hood
+            core_flags[p] = hood.shape[0] + self._self_count >= mu
+            block_a.add_task(counters.work_units - before)
+
+        # Parallel block B (lines 10-15): mark neighbor states, atomically
+        # bump nei counts (the bumps themselves happened inside the cached
+        # range queries; here we account the atomics and mark states).
+        block_b = record.new_block("step1/mark-neighbors")
+        for p in block_vertices:
+            hood = hoods[p]
+            block_b.atomic_ops += int(hood.shape[0])
+            block_b.add_task(_MARK_COST * float(hood.shape[0]))
+            if not core_flags[p]:
+                continue
+            for q in hood:
+                q = int(q)
+                state = self._states.get(q)
+                if state == _S.UNTOUCHED:
+                    self._states.set(q, _S.UNPROCESSED_BORDER)
+                    if self._nei[q] + self._self_count >= mu:
+                        self._states.set(q, _S.UNPROCESSED_CORE)
+                elif state in (_S.UNPROCESSED_NOISE, _S.PROCESSED_NOISE):
+                    self._states.set(q, _S.PROCESSED_BORDER)
+                # unprocessed-border promotion to unprocessed-core is done
+                # by _bump_nei at evaluation time (same atomic).
+
+        # Sequential part (lines 16-24): super-node insertion and the
+        # Step 1 strong unions for already-known cores.
+        sequential = 0.0
+        for p in block_vertices:
+            hood = hoods[p]
+            if core_flags[p]:
+                self._states.set(p, _S.PROCESSED_CORE)
+                node = self._sn.add(p, hood)
+                sequential += _SUPERNODE_COST * float(len(node))
+                for q in hood:
+                    q = int(q)
+                    if self._states.is_core(q):
+                        for sid in self._sn.supernodes_of(q):
+                            if sid != node.sid and not self._sn.labels.same(
+                                node.sid, sid
+                            ):
+                                self._merge_supernodes(node.sid, sid, "step1")
+                                sequential += _UNION_COST
+                        sequential += _FIND_COST * len(
+                            self._sn.supernodes_of(q)
+                        )
+            elif self._states.get(p) == _S.UNPROCESSED_BORDER:
+                # A core elsewhere in this block claimed p meanwhile: it is
+                # a border of that cluster, not noise (Figure 3).
+                self._states.set(p, _S.PROCESSED_BORDER)
+            else:
+                self._states.set(p, _S.PROCESSED_NOISE)
+                self._noise_list.append((p, hood))
+                sequential += _SUPERNODE_COST
+        record.sequential_cost = sequential
+
+    # ---------------------------- Step 2 ------------------------------
+    def _step2(self) -> Iterator[Snapshot]:
+        candidates = [
+            int(v)
+            for v in self._states.vertices_in(_S.UNPROCESSED_BORDER)
+            if self._sn.membership_count(int(v)) >= 2
+        ]
+        if self.config.sort_candidates:
+            candidates.sort(key=self._sn.membership_count, reverse=True)
+        sort_cost = _SCAN_COST * len(candidates) * max(
+            np.log2(len(candidates) + 1), 1.0
+        )
+        pos = 0
+        first = True
+        while pos < len(candidates):
+            block = candidates[pos : pos + self.config.beta]
+            pos += self.config.beta
+            started = time.perf_counter()
+            record = self._open_iteration("merge-strong")
+            if first:
+                record.sequential_cost += sort_cost
+                first = False
+            self._step2_block(block, record)
+            self._compute_seconds += time.perf_counter() - started
+            yield self._make_snapshot(step="merge-strong", final=False)
+
+    def _step2_block(self, block_vertices: List[int], record: IterationCosts) -> None:
+        counters = self.oracle.counters
+        # Parallel block A (Figure 4 lines 30-33): prune + core checks.
+        block_a = record.new_block("step2/core-checks")
+        is_core: Dict[int, bool] = {}
+        for p in block_vertices:
+            before = counters.work_units
+            prune_cost = _FIND_COST * self._sn.membership_count(p)
+            if self._sn.all_same_cluster(p):
+                is_core[p] = False  # pruned: no merge work needed
+                block_a.add_task(prune_cost)
+                continue
+            core = self._core_check(p)
+            if self._states.get(p) == _S.UNPROCESSED_BORDER:
+                self._states.set(
+                    p, _S.UNPROCESSED_CORE if core else _S.PROCESSED_BORDER
+                )
+            is_core[p] = core
+            block_a.add_task(prune_cost + counters.work_units - before)
+
+        # Parallel block B (lines 34-42): merge the super-nodes of cores.
+        block_b = record.new_block("step2/merge")
+        for p in block_vertices:
+            cost = 0.0
+            if is_core.get(p):
+                sids = self._sn.supernodes_of(p)
+                cost += _FIND_COST * max(len(sids) - 1, 0) * 2
+                for i in range(len(sids) - 1):
+                    if not self._sn.labels.same(sids[i], sids[i + 1]):
+                        self._merge_supernodes(sids[i], sids[i + 1], "step2")
+                        block_b.critical_costs.append(_UNION_COST)
+            block_b.add_task(cost)
+
+    # ---------------------------- Step 3 ------------------------------
+    _NEVER_CORE = (
+        _S.UNPROCESSED_NOISE,
+        _S.PROCESSED_NOISE,
+        _S.PROCESSED_BORDER,
+    )
+
+    def _step3(self) -> Iterator[Snapshot]:
+        candidates = [
+            int(v)
+            for v in self._states.vertices_in(
+                _S.UNPROCESSED_BORDER, _S.UNPROCESSED_CORE, _S.PROCESSED_CORE
+            )
+        ]
+        if self.config.sort_candidates:
+            degrees = self.graph.degrees
+            candidates.sort(key=lambda v: int(degrees[v]), reverse=True)
+        sort_cost = _SCAN_COST * len(candidates) * max(
+            np.log2(len(candidates) + 1), 1.0
+        )
+        pos = 0
+        first = True
+        while pos < len(candidates):
+            block = candidates[pos : pos + self.config.beta]
+            pos += self.config.beta
+            started = time.perf_counter()
+            record = self._open_iteration("merge-weak")
+            if first:
+                record.sequential_cost += sort_cost
+                first = False
+            self._step3_block(block, record)
+            self._compute_seconds += time.perf_counter() - started
+            yield self._make_snapshot(step="merge-weak", final=False)
+
+    def _prunable_step3(self, p: int) -> Tuple[bool, float]:
+        """Whether examining ``p`` cannot change the clustering.
+
+        ``p`` is skippable when every neighbor that could still be a core
+        already shares ``p``'s cluster (Figure 2 line 40).  Returns the
+        scan cost alongside.
+        """
+        my_root = self._sn.labels.find(self._clu(p))
+        cost = 0.0
+        for q in self.graph.neighbors(p):
+            q = int(q)
+            cost += _SCAN_COST
+            if self._states.get(q) in self._NEVER_CORE:
+                continue
+            clu_q = self._clu(q)
+            if clu_q < 0 or self._sn.labels.find(clu_q) != my_root:
+                return False, cost
+        return True, cost
+
+    def _step3_block(self, block_vertices: List[int], record: IterationCosts) -> None:
+        counters = self.oracle.counters
+        # Parallel block A (Figure 4 lines 49-52): prune + core checks.
+        block_a = record.new_block("step3/core-checks")
+        examine: Dict[int, bool] = {}
+        for p in block_vertices:
+            before = counters.work_units
+            prunable, cost = self._prunable_step3(p)
+            if prunable:
+                examine[p] = False
+                block_a.add_task(cost)
+                continue
+            core = self._core_check(p)
+            if self._states.get(p) == _S.UNPROCESSED_BORDER:
+                self._states.set(
+                    p, _S.UNPROCESSED_CORE if core else _S.PROCESSED_BORDER
+                )
+            examine[p] = core
+            block_a.add_task(cost + counters.work_units - before)
+
+        # Parallel block B (lines 53-61): σ checks + unions across clusters.
+        block_b = record.new_block("step3/merge")
+        for p in block_vertices:
+            before = counters.work_units
+            cost = 0.0
+            if examine.get(p):
+                for q in self.graph.neighbors(p):
+                    q = int(q)
+                    cost += _SCAN_COST
+                    if not self._states.is_core(q):
+                        continue
+                    clu_p, clu_q = self._clu(p), self._clu(q)
+                    if self._sn.labels.find(clu_p) == self._sn.labels.find(
+                        clu_q
+                    ):
+                        continue
+                    if self._similar(p, q):
+                        self._merge_supernodes(clu_p, clu_q, "step3")
+                        block_b.critical_costs.append(_UNION_COST)
+            block_b.add_task(cost + counters.work_units - before)
+
+    # ---------------------------- Step 4 ------------------------------
+    def _step4(self) -> Iterator[Snapshot]:
+        started = time.perf_counter()
+        record = self._open_iteration("borders")
+        block = record.new_block("step4/noise")
+        counters = self.oracle.counters
+
+        # Processed-noise vertices: their ε-neighborhood is already known.
+        for p, hood in self._noise_list:
+            before = counters.work_units
+            cost = _SCAN_COST * float(hood.shape[0])
+            if self._states.get(p) == _S.PROCESSED_NOISE:
+                for q in hood:
+                    q = int(q)
+                    if self._states.is_core(q):
+                        self._promote_noise_to_border(p, q)
+                        break
+                    if self._states.get(q) == _S.UNPROCESSED_BORDER:
+                        if self._core_check(q):
+                            self._states.set(q, _S.UNPROCESSED_CORE)
+                            self._promote_noise_to_border(p, q)
+                            break
+                        self._states.set(q, _S.PROCESSED_BORDER)
+            block.add_task(cost + counters.work_units - before)
+
+        # Unprocessed-noise vertices (degree below μ): σ to their neighbors
+        # was never required before; check against known/potential cores.
+        for p in self._states.vertices_in(_S.UNPROCESSED_NOISE):
+            p = int(p)
+            before = counters.work_units
+            cost = 0.0
+            for q in self.graph.neighbors(p):
+                q = int(q)
+                cost += _SCAN_COST
+                state = self._states.get(q)
+                if self._states.is_core(q):
+                    if self._similar(p, q):
+                        self._promote_noise_to_border(p, q)
+                        break
+                elif state == _S.UNPROCESSED_BORDER:
+                    if self._similar(p, q) and self._core_check(q):
+                        self._states.set(q, _S.UNPROCESSED_CORE)
+                        self._promote_noise_to_border(p, q)
+                        break
+            else:
+                self._states.set(p, _S.PROCESSED_NOISE)
+            block.add_task(cost + counters.work_units - before)
+
+        self._compute_seconds += time.perf_counter() - started
+        return
+        yield  # pragma: no cover - makes this a generator for uniformity
+
+    def _promote_noise_to_border(self, p: int, anchor: int) -> None:
+        """Noise vertex ``p`` turned out to be a border of ``anchor``'s cluster."""
+        self._border_anchor[p] = anchor
+        self._states.set(p, _S.PROCESSED_BORDER)

@@ -1,0 +1,64 @@
+"""Configuration of anySCAN."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.similarity.weighted import SimilarityConfig
+
+__all__ = ["AnyScanConfig"]
+
+
+@dataclass(frozen=True)
+class AnyScanConfig:
+    """All knobs of anySCAN.
+
+    Attributes
+    ----------
+    mu, epsilon:
+        SCAN's density parameters (Definition 3).  Paper defaults μ=5,
+        ε=0.5.
+    alpha:
+        Step 1 block size: how many untouched vertices are summarized per
+        anytime iteration (paper default 8192; 32768 in the multicore
+        experiments).
+    beta:
+        Step 2/3 block size: how many candidate vertices are examined per
+        anytime iteration.
+    seed:
+        Randomization of the Step 1 vertex selection.
+    sort_candidates:
+        Sort Step 2 candidates by super-node membership count and Step 3
+        candidates by degree (both descending), as the paper prescribes;
+        the ablation bench switches this off.
+    similarity:
+        Similarity semantics (closed neighborhoods, pruning, …) shared
+        with every baseline through the oracle.
+    validate_states:
+        Enforce the Figure 3 transition schema at every state change
+        (Theorem 1); a violation raises instead of corrupting results.
+    record_costs:
+        Record per-task parallel cost logs for the multicore simulator.
+    """
+
+    mu: int = 5
+    epsilon: float = 0.5
+    alpha: int = 8192
+    beta: int = 8192
+    seed: int = 0
+    sort_candidates: bool = True
+    similarity: SimilarityConfig = field(default_factory=SimilarityConfig)
+    validate_states: bool = True
+    record_costs: bool = True
+
+    def validate(self) -> None:
+        if self.mu < 1:
+            raise ConfigError("mu must be a positive integer")
+        if not 0.0 < self.epsilon <= 1.0:
+            raise ConfigError("epsilon must be in (0, 1]")
+        if self.alpha < 1:
+            raise ConfigError("alpha must be >= 1")
+        if self.beta < 1:
+            raise ConfigError("beta must be >= 1")
+        self.similarity.validate()

@@ -1,0 +1,249 @@
+"""The ε-hierarchy: SCAN clusterings at every ε as one dendrogram.
+
+For a fixed μ, SCAN's core clusters are monotone in ε: lowering ε only
+creates cores and merges clusters.  The whole ε axis therefore forms a
+dendrogram (the insight behind gSkeletonClu, cited in the paper's related
+work):
+
+* a vertex *becomes a core* at its core threshold ``t(v)``
+  (:meth:`repro.core.explorer.ParameterExplorer.core_thresholds`);
+* a core-core edge ``(u, v)`` *activates* at
+  ``min(σ(u, v), t(u), t(v))`` — the largest ε at which both endpoints
+  are cores and the edge passes the threshold.
+
+Processing these events in descending level with a union–find yields the
+merge tree.  :class:`EpsilonHierarchy` exposes
+
+* :meth:`cut` — the exact SCAN clustering at any ε (delegates to the
+  explorer for borders/hubs);
+* :meth:`core_partition_at` — the dendrogram's own core partition (used
+  to cross-check the two machineries against each other in tests);
+* :meth:`persistence_table` — birth/death/size of every cluster node;
+* :meth:`suggest_cut` — the midpoint of the widest ε plateau on which
+  the clustering does not change (a stability-based default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.explorer import ParameterExplorer
+from repro.errors import ConfigError
+from repro.graph.csr import Graph
+from repro.result import Clustering
+from repro.similarity.weighted import SimilarityConfig
+from repro.structures.disjoint_set import DisjointSet
+
+__all__ = ["ClusterNode", "EpsilonHierarchy"]
+
+
+@dataclass
+class ClusterNode:
+    """One node of the ε-dendrogram.
+
+    ``birth`` is the ε at which this cluster comes into existence (a core
+    appearing, or two clusters merging); ``death`` is the ε at which it
+    is absorbed into its parent (0 if it survives to ε → 0).
+    """
+
+    node_id: int
+    birth: float
+    death: float = 0.0
+    children: Tuple[int, ...] = ()
+    size: int = 1
+    parent: Optional[int] = None
+    representative: int = -1
+
+    @property
+    def persistence(self) -> float:
+        """ε range over which this exact cluster exists."""
+        return self.birth - self.death
+
+
+class EpsilonHierarchy:
+    """Dendrogram of SCAN clusterings over ε for a fixed μ."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        mu: int,
+        *,
+        similarity: SimilarityConfig | None = None,
+        explorer: ParameterExplorer | None = None,
+    ) -> None:
+        if mu < 1:
+            raise ConfigError("mu must be a positive integer")
+        self.graph = graph
+        self.mu = mu
+        self.explorer = explorer or ParameterExplorer(
+            graph, similarity=similarity
+        )
+        self._thresholds = self.explorer.core_thresholds(mu)
+        self.nodes: Dict[int, ClusterNode] = {}
+        self._vertex_events: List[Tuple[float, int]] = []
+        self._merge_events: List[Tuple[float, int, int]] = []
+        self._build()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        thresholds = self._thresholds
+        # Vertex activation events.
+        for v in np.flatnonzero(thresholds > 0):
+            self._vertex_events.append((float(thresholds[int(v)]), int(v)))
+        # Edge activation events (only edges whose both ends can be core).
+        us, vs, sigmas = (
+            self.explorer._us,
+            self.explorer._vs,
+            self.explorer._sigmas,
+        )
+        for u, v, s in zip(us, vs, sigmas):
+            tu, tv = float(thresholds[int(u)]), float(thresholds[int(v)])
+            if tu > 0 and tv > 0 and s > 0:
+                level = min(float(s), tu, tv)
+                self._merge_events.append((level, int(u), int(v)))
+
+        # Sweep descending; vertex events before merges at equal level.
+        events: List[Tuple[float, int, Tuple]] = []
+        for level, v in self._vertex_events:
+            events.append((level, 0, (v,)))
+        for level, u, v in self._merge_events:
+            events.append((level, 1, (u, v)))
+        events.sort(key=lambda e: (-e[0], e[1]))
+
+        dsu = DisjointSet(self.graph.num_vertices)
+        active = np.zeros(self.graph.num_vertices, dtype=bool)
+        node_of_root: Dict[int, int] = {}
+        next_id = 0
+        for level, kind, payload in events:
+            if kind == 0:
+                (v,) = payload
+                active[v] = True
+                node = ClusterNode(
+                    node_id=next_id, birth=level, representative=v
+                )
+                self.nodes[next_id] = node
+                node_of_root[dsu.find(v)] = next_id
+                next_id += 1
+            else:
+                u, v = payload
+                if not (active[u] and active[v]):
+                    continue  # defensive; cannot happen by construction
+                ru, rv = dsu.find(u), dsu.find(v)
+                if ru == rv:
+                    continue
+                left = node_of_root.pop(ru)
+                right = node_of_root.pop(rv)
+                self.nodes[left].death = level
+                self.nodes[right].death = level
+                merged = ClusterNode(
+                    node_id=next_id,
+                    birth=level,
+                    children=(left, right),
+                    size=self.nodes[left].size + self.nodes[right].size,
+                    representative=self.nodes[left].representative,
+                )
+                self.nodes[left].parent = next_id
+                self.nodes[right].parent = next_id
+                self.nodes[next_id] = merged
+                dsu.union(u, v)
+                node_of_root[dsu.find(u)] = next_id
+                next_id += 1
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def roots(self) -> List[ClusterNode]:
+        """Nodes alive at ε → 0 (the dendrogram's forest roots)."""
+        return [n for n in self.nodes.values() if n.parent is None]
+
+    def cut(self, epsilon: float) -> Clustering:
+        """Exact SCAN clustering at (μ, ε) — borders and hubs included."""
+        return self.explorer.clustering_at(self.mu, epsilon)
+
+    def core_partition_at(self, epsilon: float) -> List[frozenset]:
+        """Core partition from the dendrogram itself (for cross-checks).
+
+        A node represents a live cluster at ε iff it was born at or above
+        ε and dies strictly below it.
+        """
+        if not 0.0 < epsilon <= 1.0:
+            raise ConfigError("epsilon must be in (0, 1]")
+        live = [
+            node
+            for node in self.nodes.values()
+            if node.birth >= epsilon > node.death
+        ]
+        out: List[frozenset] = []
+        for node in live:
+            members: List[int] = []
+            stack = [node.node_id]
+            while stack:
+                nid = stack.pop()
+                current = self.nodes[nid]
+                if current.children:
+                    stack.extend(current.children)
+                else:
+                    members.append(current.representative)
+            # Restrict to vertices that are cores at this ε.
+            cores = [
+                v for v in members if self._thresholds[v] >= epsilon
+            ]
+            if cores:
+                out.append(frozenset(cores))
+        return out
+
+    def persistence_table(
+        self, *, min_size: int = 1
+    ) -> List[Tuple[int, float, float, int]]:
+        """(node_id, birth, persistence, size), most persistent first."""
+        rows = [
+            (n.node_id, n.birth, n.persistence, n.size)
+            for n in self.nodes.values()
+            if n.size >= min_size
+        ]
+        rows.sort(key=lambda r: -r[2])
+        return rows
+
+    def levels(self) -> np.ndarray:
+        """Distinct ε levels at which the clustering changes (descending)."""
+        values = {level for level, _ in self._vertex_events}
+        values |= {level for level, _, _ in self._merge_events}
+        return np.asarray(sorted(values, reverse=True), dtype=np.float64)
+
+    def suggest_cut(self, *, min_clusters: int = 2) -> float:
+        """ε in the middle of the widest stability plateau.
+
+        Between consecutive event levels the clustering is constant; the
+        widest such interval whose clustering has at least
+        ``min_clusters`` live clusters is the most stable regime.
+        """
+        levels = self.levels()
+        if levels.shape[0] == 0:
+            return 0.5
+        # Candidate intervals: (levels[i+1], levels[i]) plus the tails.
+        bounds = np.concatenate([[1.0], levels, [0.0]])
+        best_eps, best_width = 0.5, -1.0
+        for hi, lo in zip(bounds[:-1], bounds[1:]):
+            width = hi - lo
+            if width <= best_width:
+                continue
+            eps = (hi + lo) / 2.0
+            if eps <= 0.0:
+                continue
+            alive = sum(
+                1
+                for n in self.nodes.values()
+                if n.birth >= eps > n.death and n.size >= 1
+            )
+            if alive >= min_clusters:
+                best_eps, best_width = eps, width
+        return float(best_eps)

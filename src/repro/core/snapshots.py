@@ -1,0 +1,78 @@
+"""Anytime snapshots: the intermediate results anySCAN exposes.
+
+After every block iteration anySCAN emits a :class:`Snapshot` — the
+best-so-far clustering plus the cumulative cost counters.  Users suspend
+the algorithm simply by not pulling the next snapshot, examine the
+intermediate clustering, and resume by continuing the iteration; this is
+the interactivity the paper's Figure 5 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.result import Clustering
+
+__all__ = ["Snapshot"]
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """State of an anySCAN run after one anytime iteration.
+
+    Attributes
+    ----------
+    step:
+        Which of the four steps produced this snapshot
+        (``"summarize"``, ``"merge-strong"``, ``"merge-weak"``,
+        ``"borders"``).
+    iteration:
+        Global iteration index (0-based, monotonically increasing).
+    labels:
+        Best-so-far vertex labels: cluster root ids ≥ 0, -1 for vertices
+        not (yet) assigned to any cluster.
+    num_supernodes, num_clusters:
+        Size of the underlying summary structure.
+    work_units:
+        Cumulative abstract work (see
+        :class:`~repro.similarity.counters.SimilarityCounters`).
+    sigma_evaluations:
+        Cumulative σ evaluations so far.
+    union_calls:
+        Cumulative ``Union`` operations on the super-node labels.
+    wall_time:
+        Real elapsed seconds since the run started.
+    final:
+        Whether this is the last snapshot (the exact SCAN result).
+    """
+
+    step: str
+    iteration: int
+    labels: np.ndarray
+    num_supernodes: int
+    num_clusters: int
+    work_units: float
+    sigma_evaluations: int
+    union_calls: int
+    wall_time: float
+    final: bool = False
+
+    def clustering(self) -> Clustering:
+        """Best-so-far labels as a :class:`~repro.result.Clustering`.
+
+        Unassigned vertices are treated as outliers; the final snapshot
+        of a run distinguishes hubs via
+        :meth:`repro.core.anyscan.AnySCAN.result` instead.
+        """
+        labels = self.labels.copy()
+        labels[labels < 0] = -2
+        return Clustering(labels=labels).canonical()
+
+    @property
+    def assigned_fraction(self) -> float:
+        """Fraction of vertices already carrying a cluster label."""
+        if self.labels.shape[0] == 0:
+            return 1.0
+        return float((self.labels >= 0).sum() / self.labels.shape[0])

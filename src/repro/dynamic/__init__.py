@@ -1,0 +1,6 @@
+"""Dynamic graphs: incremental SCAN maintenance under edge updates."""
+
+from repro.dynamic.graph import AdjacencyGraph
+from repro.dynamic.scan import DynamicSCAN
+
+__all__ = ["AdjacencyGraph", "DynamicSCAN"]

@@ -1,0 +1,42 @@
+"""Graph substrate: CSR storage, builders, IO, statistics, and generators."""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.csr import Graph
+from repro.graph.io import load_edge_list, load_metis, save_edge_list, save_metis
+from repro.graph.traversal import (
+    bfs_distances,
+    bfs_order,
+    connected_components,
+    k_hop_neighbors,
+    largest_component,
+)
+from repro.graph.stats import (
+    GraphSummary,
+    average_clustering,
+    average_degree,
+    degree_histogram,
+    local_clustering,
+    summarize,
+    triangle_count,
+)
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "load_edge_list",
+    "save_edge_list",
+    "load_metis",
+    "save_metis",
+    "GraphSummary",
+    "average_degree",
+    "average_clustering",
+    "local_clustering",
+    "triangle_count",
+    "degree_histogram",
+    "summarize",
+    "bfs_order",
+    "bfs_distances",
+    "connected_components",
+    "largest_component",
+    "k_hop_neighbors",
+]

@@ -1,0 +1,142 @@
+"""Mutable accumulator that assembles :class:`~repro.graph.csr.Graph`.
+
+Generators and loaders collect edges in whatever order they are produced;
+:meth:`GraphBuilder.build` sorts them into CSR form.  Duplicate handling is
+explicit because real edge-list files routinely repeat edges: ``"error"``
+refuses, ``"ignore"`` keeps the first weight, ``"sum"``/``"max"`` combine.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import Graph
+
+__all__ = ["GraphBuilder"]
+
+_DEDUP_MODES = ("error", "ignore", "sum", "max")
+
+
+class GraphBuilder:
+    """Accumulates undirected weighted edges and emits a CSR graph."""
+
+    def __init__(self, num_vertices: int) -> None:
+        if num_vertices < 0:
+            raise GraphError("num_vertices must be non-negative")
+        self._num_vertices = int(num_vertices)
+        self._us: List[int] = []
+        self._vs: List[int] = []
+        self._ws: List[float] = []
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices the built graph will have."""
+        return self._num_vertices
+
+    @property
+    def num_pending_edges(self) -> int:
+        """Edges added so far (before dedup)."""
+        return len(self._us)
+
+    def ensure_vertex(self, p: int) -> None:
+        """Grow the vertex range so that ``p`` is a valid id."""
+        if p < 0:
+            raise GraphError("vertex ids must be non-negative")
+        if p >= self._num_vertices:
+            self._num_vertices = p + 1
+
+    def add_edge(self, u: int, v: int, weight: float = 1.0) -> None:
+        """Record the undirected edge ``(u, v)`` with ``weight``.
+
+        Self-loops are rejected immediately; duplicates are resolved at
+        :meth:`build` time.
+        """
+        if u == v:
+            raise GraphError(f"self-loop on vertex {u} is not allowed")
+        if u < 0 or v < 0:
+            raise GraphError("vertex ids must be non-negative")
+        if weight < 0:
+            raise GraphError("edge weights must be non-negative")
+        self.ensure_vertex(u)
+        self.ensure_vertex(v)
+        if u > v:
+            u, v = v, u
+        self._us.append(u)
+        self._vs.append(v)
+        self._ws.append(float(weight))
+
+    def has_pending_edge(self, u: int, v: int) -> bool:
+        """Linear-scan check used by small generators; O(edges added)."""
+        if u > v:
+            u, v = v, u
+        return any(a == u and b == v for a, b in zip(self._us, self._vs))
+
+    def build(self, dedup: str = "error") -> Graph:
+        """Assemble the CSR graph.
+
+        Parameters
+        ----------
+        dedup:
+            ``"error"`` raises on duplicate edges, ``"ignore"`` keeps the
+            first occurrence, ``"sum"`` adds duplicate weights, ``"max"``
+            keeps the largest weight.
+        """
+        if dedup not in _DEDUP_MODES:
+            raise GraphError(f"unknown dedup mode {dedup!r}; use one of {_DEDUP_MODES}")
+        n = self._num_vertices
+        us = np.asarray(self._us, dtype=np.int64)
+        vs = np.asarray(self._vs, dtype=np.int64)
+        ws = np.asarray(self._ws, dtype=np.float64)
+
+        if us.shape[0]:
+            key = us * n + vs
+            order = np.argsort(key, kind="stable")
+            us, vs, ws, key = us[order], vs[order], ws[order], key[order]
+            if us.shape[0] > 1:
+                dup = key[1:] == key[:-1]
+                if dup.any():
+                    if dedup == "error":
+                        i = int(np.flatnonzero(dup)[0])
+                        raise GraphError(
+                            f"duplicate edge ({us[i]}, {vs[i]}); "
+                            "pass dedup='ignore'/'sum'/'max' to combine"
+                        )
+                    us, vs, ws = _combine_duplicates(us, vs, ws, key, dedup)
+
+        # Mirror each undirected edge into both directions and sort rows.
+        src = np.concatenate([us, vs])
+        dst = np.concatenate([vs, us])
+        wts = np.concatenate([ws, ws])
+        order = np.lexsort((dst, src))
+        src, dst, wts = src[order], dst[order], wts[order]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(indptr, src + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return Graph(indptr, dst, wts, validate=False)
+
+
+def _combine_duplicates(
+    us: np.ndarray,
+    vs: np.ndarray,
+    ws: np.ndarray,
+    key: np.ndarray,
+    mode: str,
+) -> tuple:
+    """Collapse sorted duplicate edges according to ``mode``."""
+    uniq_key, first = np.unique(key, return_index=True)
+    out_us = us[first]
+    out_vs = vs[first]
+    if mode == "ignore":
+        out_ws = ws[first]
+    else:
+        # Segment-reduce the weights over runs of equal keys.
+        boundaries = np.searchsorted(key, uniq_key)
+        if mode == "sum":
+            totals = np.add.reduceat(ws, boundaries)
+            out_ws = totals
+        else:  # max
+            out_ws = np.maximum.reduceat(ws, boundaries)
+    return out_us, out_vs, out_ws

@@ -1,0 +1,43 @@
+"""Random-graph generators used as dataset substitutes.
+
+The paper evaluates on SNAP/UF/LAW graphs and LFR benchmarks; neither is
+available offline, so :mod:`repro.bench.datasets` generates analogs with
+these generators, matched on average degree and clustering coefficient
+(see DESIGN.md §3).
+"""
+
+from repro.graph.generators.random_graphs import (
+    gnm_random_graph,
+    planted_membership,
+    planted_partition_graph,
+    relaxed_caveman_graph,
+    watts_strogatz_graph,
+)
+from repro.graph.generators.powerlaw import (
+    configuration_model_graph,
+    powerlaw_degree_sequence,
+)
+from repro.graph.generators.rmat import rmat_graph
+from repro.graph.generators.lfr import LFRParams, lfr_graph, tune_clustering
+from repro.graph.generators.weights import (
+    assign_community_weights,
+    assign_random_weights,
+    assign_triadic_weights,
+)
+
+__all__ = [
+    "gnm_random_graph",
+    "watts_strogatz_graph",
+    "relaxed_caveman_graph",
+    "planted_partition_graph",
+    "planted_membership",
+    "powerlaw_degree_sequence",
+    "configuration_model_graph",
+    "rmat_graph",
+    "LFRParams",
+    "lfr_graph",
+    "tune_clustering",
+    "assign_random_weights",
+    "assign_community_weights",
+    "assign_triadic_weights",
+]

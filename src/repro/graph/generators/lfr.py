@@ -1,0 +1,417 @@
+"""LFR benchmark graphs (Lancichinetti–Fortunato–Radicchi, 2008).
+
+The paper's Table II sweeps LFR graphs by average degree and by average
+clustering coefficient.  This module implements the generator from scratch:
+
+1. vertex degrees from a truncated power law (exponent ``tau1``),
+2. community sizes from a truncated power law (exponent ``tau2``),
+3. vertex→community assignment honoring the internal-degree constraint
+   ``(1 - mixing) * degree <= community size - 1``,
+4. intra-community wiring per community and inter-community wiring via
+   configuration models with swap-based repair,
+5. an optional degree-preserving triangle-tuning pass
+   (:func:`tune_clustering`) that moves the average clustering coefficient
+   toward a target, which is how the c-sweep of Table II is realized.
+
+Community ids are returned alongside the graph so NMI against ground truth
+can be computed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import GeneratorError
+from repro.graph.builder import GraphBuilder
+from repro.graph.csr import Graph
+from repro.graph.generators.powerlaw import powerlaw_degree_sequence
+from repro.graph.stats import average_clustering
+
+__all__ = ["LFRParams", "lfr_graph", "tune_clustering"]
+
+
+@dataclass(frozen=True)
+class LFRParams:
+    """Knobs of the LFR benchmark.
+
+    Attributes
+    ----------
+    n: number of vertices.
+    average_degree: target mean degree d̄.
+    max_degree: degree-distribution cutoff.
+    mixing: fraction of each vertex's edges that leave its community (μ_mix).
+    tau1: degree power-law exponent (reference implementation default 2).
+    tau2: community-size power-law exponent (default 1).
+    min_community / max_community: community-size bounds; defaults derive
+        from the degree bounds so every vertex fits somewhere.
+    seed: RNG seed; generation is fully deterministic given the params.
+    """
+
+    n: int
+    average_degree: float
+    max_degree: int
+    mixing: float = 0.3
+    tau1: float = 2.0
+    tau2: float = 1.0
+    min_community: int = 0  # 0 -> derived
+    max_community: int = 0  # 0 -> derived
+    seed: int = 0
+    min_degree: int = field(default=2)
+
+    def validate(self) -> None:
+        if self.n <= 0:
+            raise GeneratorError("n must be positive")
+        if not 0.0 <= self.mixing < 1.0:
+            raise GeneratorError("mixing must be in [0, 1)")
+        if self.max_degree >= self.n:
+            raise GeneratorError("max_degree must be < n")
+        if self.average_degree < 1:
+            raise GeneratorError("average_degree must be >= 1")
+
+    def resolved_community_bounds(self) -> Tuple[int, int]:
+        """Community-size bounds, deriving defaults from the degrees."""
+        # A vertex of internal degree k needs a community of size >= k + 1.
+        # The lower bound tracks the *average* internal degree: smaller
+        # communities could not be filled because most vertices would not
+        # fit them (Hall's condition on the assignment).
+        avg_internal = int(
+            np.ceil((1.0 - self.mixing) * self.average_degree)
+        )
+        max_internal = int(np.ceil((1.0 - self.mixing) * self.max_degree)) + 1
+        lo = self.min_community or max(avg_internal + 1, 8)
+        # Twice the largest internal degree: enough headroom that the
+        # high-degree tail does not all compete for one maximal community.
+        hi = self.max_community or max(2 * max_internal, lo + 1, self.n // 10)
+        hi = min(hi, self.n)
+        if lo > hi:
+            raise GeneratorError(
+                f"infeasible community bounds [{lo}, {hi}] for the degree range"
+            )
+        return lo, hi
+
+
+def _community_sizes(params: LFRParams, rng: np.random.Generator) -> List[int]:
+    """Draw power-law community sizes covering exactly ``n`` vertices."""
+    lo, hi = params.resolved_community_bounds()
+    ks = np.arange(lo, hi + 1, dtype=np.float64)
+    probs = ks ** (-params.tau2)
+    probs /= probs.sum()
+    sizes: List[int] = []
+    total = 0
+    while total < params.n:
+        size = int(rng.choice(np.arange(lo, hi + 1), p=probs))
+        sizes.append(size)
+        total += size
+    # Trim the overshoot off the largest communities so every vertex is used.
+    overshoot = total - params.n
+    sizes.sort(reverse=True)
+    i = 0
+    while overshoot > 0:
+        if sizes[i] > lo:
+            take = min(overshoot, sizes[i] - lo)
+            sizes[i] -= take
+            overshoot -= take
+        i = (i + 1) % len(sizes)
+        if i == 0 and overshoot > 0 and all(s <= lo for s in sizes):
+            # Everything is at the minimum; drop a community and retry trim.
+            drop = sizes.pop()
+            overshoot -= drop
+            if overshoot < 0:
+                sizes.append(-overshoot)
+                overshoot = 0
+    return [s for s in sizes if s > 0]
+
+
+def _ensure_feasible_sizes(sizes: List[int], max_internal: int) -> None:
+    """Guarantee the largest community can host the largest internal degree.
+
+    The overshoot trim in :func:`_community_sizes` can shave every
+    community below ``max_internal + 1``; move capacity from the smallest
+    communities into the largest until the constraint holds (total vertex
+    count is preserved).
+    """
+    if not sizes:
+        return
+    sizes.sort(reverse=True)
+    need = max_internal + 1 - sizes[0]
+    i = len(sizes) - 1
+    while need > 0 and i > 0:
+        take = min(need, sizes[i] - 1)
+        if take > 0:
+            sizes[i] -= take
+            sizes[0] += take
+            need -= take
+        i -= 1
+    # Drop communities emptied to a single vertex only if another can
+    # absorb them (keep the total constant).
+    while len(sizes) > 1 and sizes[-1] <= 0:
+        sizes.pop()
+
+
+def _assign_communities(
+    degrees: np.ndarray,
+    internal_degrees: np.ndarray,
+    sizes: List[int],
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """LFR assignment: random placement with the size constraint.
+
+    Repeatedly place each vertex into a random community with free room
+    whose size can host its internal degree; kick out a random member when
+    a suitable community is full (the reference implementation's strategy).
+    """
+    n = degrees.shape[0]
+    num_comms = len(sizes)
+    capacity = np.asarray(sizes, dtype=np.int64)
+    members: List[List[int]] = [[] for _ in range(num_comms)]
+    assignment = -np.ones(n, dtype=np.int64)
+    # Process high-internal-degree vertices first (hardest to place):
+    # list.pop() takes from the end, so store ascending.
+    order = np.argsort(internal_degrees, kind="stable")
+    homeless = list(order)
+    max_rounds = 100 * n
+    rounds = 0
+    while homeless and rounds < max_rounds:
+        rounds += 1
+        v = homeless.pop()
+        feasible = np.flatnonzero(capacity > internal_degrees[v])
+        if feasible.shape[0] == 0:
+            raise GeneratorError(
+                f"vertex with internal degree {int(internal_degrees[v])} "
+                "fits no community; raise max_community or mixing"
+            )
+        # Prefer feasible communities with free room; evict only when all
+        # feasible communities are full (keeps the loop converging).
+        with_room = [
+            int(c) for c in feasible if len(members[int(c)]) < capacity[int(c)]
+        ]
+        if with_room:
+            c = int(rng.choice(np.asarray(with_room)))
+        else:
+            c = int(rng.choice(feasible))
+        if len(members[c]) < capacity[c]:
+            members[c].append(int(v))
+            assignment[v] = c
+        else:
+            # Community full: evict a random member, take its slot.
+            j = int(rng.integers(0, len(members[c])))
+            evicted = members[c][j]
+            members[c][j] = int(v)
+            assignment[v] = c
+            assignment[evicted] = -1
+            homeless.append(evicted)
+    if homeless:
+        raise GeneratorError("community assignment did not converge")
+    return assignment
+
+
+def _wire_within(
+    vertices: List[int],
+    stub_counts: np.ndarray,
+    rng: np.random.Generator,
+) -> List[Tuple[int, int]]:
+    """Configuration-model wiring among ``vertices`` with given stubs."""
+    stubs: List[int] = []
+    for v in vertices:
+        stubs.extend([v] * int(stub_counts[v]))
+    if len(stubs) % 2 == 1:
+        stubs.pop(int(rng.integers(0, len(stubs))))
+    arr = np.asarray(stubs, dtype=np.int64)
+    rng.shuffle(arr)
+    edges: set = set()
+    leftovers: List[int] = []
+    for i in range(0, arr.shape[0] - 1, 2):
+        u, v = int(arr[i]), int(arr[i + 1])
+        if u == v:
+            leftovers.extend([u, v])
+            continue
+        key = (min(u, v), max(u, v))
+        if key in edges:
+            leftovers.extend([u, v])
+        else:
+            edges.add(key)
+    # One cheap repair pass over leftover stubs.
+    rng.shuffle(np.asarray(leftovers))
+    for i in range(0, len(leftovers) - 1, 2):
+        u, v = leftovers[i], leftovers[i + 1]
+        key = (min(u, v), max(u, v))
+        if u != v and key not in edges:
+            edges.add(key)
+    return sorted(edges)
+
+
+def lfr_graph(params: LFRParams) -> Tuple[Graph, np.ndarray]:
+    """Generate an LFR benchmark graph.
+
+    Returns
+    -------
+    (graph, membership):
+        The graph and the planted community id of every vertex.
+    """
+    params.validate()
+    rng = np.random.default_rng(params.seed)
+    degrees = powerlaw_degree_sequence(
+        params.n,
+        params.tau1,
+        params.min_degree,
+        params.max_degree,
+        average_degree=params.average_degree,
+        seed=params.seed + 1,
+    )
+    internal = np.round((1.0 - params.mixing) * degrees).astype(np.int64)
+    internal = np.minimum(internal, degrees)
+    sizes = _community_sizes(params, rng)
+    _ensure_feasible_sizes(sizes, int(internal.max(initial=0)))
+    membership = _assign_communities(degrees, internal, sizes, rng)
+
+    edge_set: set = set()
+    # Intra-community edges.
+    for c in range(len(sizes)):
+        vertices = [int(v) for v in np.flatnonzero(membership == c)]
+        if len(vertices) < 2:
+            continue
+        for u, v in _wire_within(vertices, internal, rng):
+            edge_set.add((u, v))
+    # Inter-community edges from the external stubs.
+    external = degrees - internal
+    stubs: List[int] = []
+    for v in range(params.n):
+        stubs.extend([v] * int(external[v]))
+    arr = np.asarray(stubs, dtype=np.int64)
+    rng.shuffle(arr)
+    if arr.shape[0] % 2 == 1:
+        arr = arr[:-1]
+    for i in range(0, arr.shape[0] - 1, 2):
+        u, v = int(arr[i]), int(arr[i + 1])
+        if u == v or membership[u] == membership[v]:
+            continue  # keep mixing approximately honest; drop bad pairs
+        key = (min(u, v), max(u, v))
+        edge_set.add(key)
+
+    builder = GraphBuilder(params.n)
+    for u, v in sorted(edge_set):
+        builder.add_edge(u, v)
+    return builder.build(dedup="error"), membership
+
+
+def tune_clustering(
+    graph: Graph,
+    target: float,
+    *,
+    seed: int = 0,
+    max_swaps: int | None = None,
+    sample: int | None = 400,
+) -> Graph:
+    """Degree-preserving rewiring toward a target clustering coefficient.
+
+    Random double-edge swaps ``(a,b),(c,d) -> (a,c),(b,d)`` are proposed;
+    a swap is kept when it moves the triangle count in the desired
+    direction.  Degrees are exactly preserved, so the degree-driven cost
+    profile of the clustering algorithms is unchanged — only the triadic
+    structure (and hence σ values) moves.
+    """
+    if not 0.0 <= target <= 1.0:
+        raise GeneratorError("target clustering must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    edges = [(u, v) for u, v, _ in graph.edges()]
+    edge_set = set(edges)
+    adjacency: List[set] = [set() for _ in range(graph.num_vertices)]
+    for u, v in edges:
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+
+    def triangles_through(u: int, v: int) -> int:
+        a, b = adjacency[u], adjacency[v]
+        if len(a) > len(b):
+            a, b = b, a
+        return sum(1 for w in a if w in b)
+
+    current = average_clustering(graph, sample=sample, seed=seed)
+    want_up = current < target
+    budget = max_swaps if max_swaps is not None else 20 * len(edges)
+    swaps_done = 0
+    # Check convergence often enough that the greedy walk cannot
+    # dramatically overshoot the target between checks.
+    check_every = max(min(len(edges) // 20, 400), 20)
+    edge_index = {edge: k for k, edge in enumerate(edges)}
+    for step in range(budget):
+        if len(edges) < 2:
+            break
+        i = int(rng.integers(0, len(edges)))
+        a, b = edges[i]
+        if want_up:
+            # Biased proposal: pull the second edge from a's two-hop
+            # neighborhood so the rewired pair (a, c) closes triangles;
+            # uniform proposals almost never do on sparse graphs.
+            candidates = list(adjacency[a])
+            if not candidates:
+                continue
+            mid = candidates[int(rng.integers(0, len(candidates)))]
+            seconds = list(adjacency[mid])
+            c = seconds[int(rng.integers(0, len(seconds)))]
+            if c == a or c in adjacency[a]:
+                continue
+            thirds = list(adjacency[c])
+            d = thirds[int(rng.integers(0, len(thirds)))]
+            key = (c, d) if c < d else (d, c)
+            j = edge_index.get(key)
+            if j is None or j == i:
+                continue
+            # Keep the two-hop vertex in the position paired with a.
+            if edges[j][0] != c:
+                c, d = edges[j][1], edges[j][0]
+            else:
+                c, d = edges[j]
+        else:
+            j = int(rng.integers(0, len(edges)))
+            if i == j:
+                continue
+            c, d = edges[j]
+        if len({a, b, c, d}) < 4:
+            continue
+        new1 = (min(a, c), max(a, c))
+        new2 = (min(b, d), max(b, d))
+        if new1 in edge_set or new2 in edge_set:
+            continue
+        delta = (
+            triangles_through(*new1)
+            + triangles_through(*new2)
+            - triangles_through(a, b)
+            - triangles_through(c, d)
+        )
+        accept = delta > 0 if want_up else delta < 0
+        if not accept:
+            continue
+        old1 = (min(a, b), max(a, b))
+        old2 = (min(c, d), max(c, d))
+        for old in (old1, old2):
+            edge_set.discard(old)
+            edge_index.pop(old, None)
+            adjacency[old[0]].discard(old[1])
+            adjacency[old[1]].discard(old[0])
+        for new in (new1, new2):
+            edge_set.add(new)
+            adjacency[new[0]].add(new[1])
+            adjacency[new[1]].add(new[0])
+        edges[int(i)] = new1
+        edges[int(j)] = new2
+        edge_index[new1] = int(i)
+        edge_index[new2] = int(j)
+        swaps_done += 1
+        if swaps_done % check_every == 0:
+            builder = GraphBuilder(graph.num_vertices)
+            for u, v in sorted(edge_set):
+                builder.add_edge(u, v)
+            snapshot = builder.build(dedup="error")
+            current = average_clustering(snapshot, sample=sample, seed=seed)
+            if (want_up and current >= target) or (
+                not want_up and current <= target
+            ):
+                return snapshot
+    builder = GraphBuilder(graph.num_vertices)
+    for u, v in sorted(edge_set):
+        builder.add_edge(u, v)
+    return builder.build(dedup="error")

@@ -1,0 +1,198 @@
+"""Classic random-graph models.
+
+These provide the building blocks for the dataset analogs: Erdős–Rényi
+``G(n, m)`` for unstructured background edges, Watts–Strogatz for tunable
+clustering coefficient, relaxed caveman and planted partition for graphs
+with ground-truth community structure of controllable strength.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import GeneratorError
+from repro.graph.builder import GraphBuilder
+from repro.graph.csr import Graph
+
+__all__ = [
+    "gnm_random_graph",
+    "watts_strogatz_graph",
+    "relaxed_caveman_graph",
+    "planted_partition_graph",
+]
+
+
+def _max_edges(n: int) -> int:
+    return n * (n - 1) // 2
+
+
+def gnm_random_graph(n: int, m: int, *, seed: int = 0) -> Graph:
+    """Uniform random graph with exactly ``n`` vertices and ``m`` edges."""
+    if n < 0:
+        raise GeneratorError("n must be non-negative")
+    if m < 0 or m > _max_edges(n):
+        raise GeneratorError(f"m={m} is not feasible for n={n}")
+    rng = np.random.default_rng(seed)
+    builder = GraphBuilder(n)
+    chosen: set = set()
+    while len(chosen) < m:
+        # Draw in batches; rejection is cheap while the graph is sparse.
+        batch = max(m - len(chosen), 1)
+        us = rng.integers(0, n, size=batch)
+        vs = rng.integers(0, n, size=batch)
+        for u, v in zip(us, vs):
+            if u == v or len(chosen) >= m:
+                continue
+            key = (min(int(u), int(v)), max(int(u), int(v)))
+            if key in chosen:
+                continue
+            chosen.add(key)
+    for u, v in sorted(chosen):
+        builder.add_edge(u, v)
+    return builder.build(dedup="error")
+
+
+def watts_strogatz_graph(n: int, k: int, p: float, *, seed: int = 0) -> Graph:
+    """Watts–Strogatz small-world graph.
+
+    Each vertex starts connected to its ``k`` nearest ring neighbors
+    (``k`` must be even) and each edge is rewired with probability ``p``.
+    Low ``p`` keeps the lattice's high clustering coefficient; high ``p``
+    approaches ``G(n, m)``.
+    """
+    if k % 2 != 0:
+        raise GeneratorError("k must be even")
+    if not 0.0 <= p <= 1.0:
+        raise GeneratorError("p must be in [0, 1]")
+    if k >= n:
+        raise GeneratorError("k must be smaller than n")
+    rng = np.random.default_rng(seed)
+    edges: set = set()
+    for u in range(n):
+        for j in range(1, k // 2 + 1):
+            v = (u + j) % n
+            edges.add((min(u, v), max(u, v)))
+    edge_list = sorted(edges)
+    result: set = set(edge_list)
+    for u, v in edge_list:
+        if rng.random() < p:
+            result.discard((u, v))
+            # Rewire u's end to a uniform random non-neighbor.
+            for _ in range(8 * n):
+                w = int(rng.integers(0, n))
+                key = (min(u, w), max(u, w))
+                if w != u and key not in result:
+                    result.add(key)
+                    break
+            else:
+                result.add((u, v))  # give up, keep the lattice edge
+    builder = GraphBuilder(n)
+    for u, v in sorted(result):
+        builder.add_edge(u, v)
+    return builder.build(dedup="error")
+
+
+def relaxed_caveman_graph(
+    num_cliques: int,
+    clique_size: int,
+    rewire_p: float,
+    *,
+    seed: int = 0,
+) -> Graph:
+    """Connected cliques with a fraction of edges rewired across cliques.
+
+    This is the go-to model for very high clustering coefficients (the
+    GR01 / ego-Gplus regime with c ≈ 0.49).
+    """
+    if num_cliques <= 0 or clique_size <= 1:
+        raise GeneratorError("need at least one clique of size >= 2")
+    if not 0.0 <= rewire_p <= 1.0:
+        raise GeneratorError("rewire_p must be in [0, 1]")
+    n = num_cliques * clique_size
+    rng = np.random.default_rng(seed)
+    edges: set = set()
+    for c in range(num_cliques):
+        base = c * clique_size
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                edges.add((base + i, base + j))
+    rewired: set = set()
+    for u, v in sorted(edges):
+        if rng.random() < rewire_p:
+            for _ in range(8 * n):
+                w = int(rng.integers(0, n))
+                key = (min(u, w), max(u, w))
+                if w != u and key not in edges and key not in rewired:
+                    rewired.add(key)
+                    break
+            else:
+                rewired.add((u, v))
+        else:
+            rewired.add((u, v))
+    builder = GraphBuilder(n)
+    for u, v in sorted(rewired):
+        builder.add_edge(u, v)
+    return builder.build(dedup="error")
+
+
+def planted_partition_graph(
+    community_sizes: Sequence[int],
+    p_in: float,
+    p_out: float,
+    *,
+    seed: int = 0,
+) -> Graph:
+    """Stochastic block model with given community sizes.
+
+    Vertices in the same community connect with probability ``p_in``,
+    across communities with ``p_out``.  Returns the graph; the planted
+    assignment is recoverable as contiguous blocks of ``community_sizes``.
+    """
+    if any(s <= 0 for s in community_sizes):
+        raise GeneratorError("community sizes must be positive")
+    for name, p in (("p_in", p_in), ("p_out", p_out)):
+        if not 0.0 <= p <= 1.0:
+            raise GeneratorError(f"{name} must be in [0, 1]")
+    sizes = [int(s) for s in community_sizes]
+    n = sum(sizes)
+    rng = np.random.default_rng(seed)
+    membership = np.repeat(np.arange(len(sizes)), sizes)
+    builder = GraphBuilder(n)
+    # Intra-community edges: dense sampling per block.
+    offset = 0
+    for size in sizes:
+        if p_in > 0 and size > 1:
+            block = rng.random((size, size)) < p_in
+            us, vs = np.nonzero(np.triu(block, k=1))
+            for u, v in zip(us, vs):
+                builder.add_edge(offset + int(u), offset + int(v))
+        offset += size
+    # Inter-community edges: sample the expected count then place them.
+    if p_out > 0:
+        starts = np.cumsum([0] + sizes)
+        for a in range(len(sizes)):
+            for b in range(a + 1, len(sizes)):
+                pairs = sizes[a] * sizes[b]
+                count = rng.binomial(pairs, p_out)
+                if count == 0:
+                    continue
+                chosen: set = set()
+                while len(chosen) < count:
+                    u = int(rng.integers(starts[a], starts[a + 1]))
+                    v = int(rng.integers(starts[b], starts[b + 1]))
+                    chosen.add((u, v))
+                for u, v in sorted(chosen):
+                    builder.add_edge(u, v)
+    graph = builder.build(dedup="ignore")
+    del membership  # assignment is implicit in block layout
+    return graph
+
+
+def planted_membership(community_sizes: Sequence[int]) -> List[int]:
+    """Ground-truth community id per vertex for a planted-partition graph."""
+    out: List[int] = []
+    for cid, size in enumerate(community_sizes):
+        out.extend([cid] * int(size))
+    return out

@@ -1,0 +1,103 @@
+"""R-MAT / stochastic Kronecker graph generator.
+
+GR05 in the paper is ``kron_g500-logn21``, a Graph500 stochastic Kronecker
+graph.  R-MAT with the Graph500 probabilities (a=0.57, b=0.19, c=0.19,
+d=0.05) generates the same family: recursively descend a 2^scale × 2^scale
+adjacency matrix, picking one of four quadrants per level according to the
+(noise-perturbed) probabilities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeneratorError
+from repro.graph.builder import GraphBuilder
+from repro.graph.csr import Graph
+
+__all__ = ["rmat_graph"]
+
+
+def rmat_graph(
+    scale: int,
+    edge_factor: int,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+    noise: float = 0.1,
+    compact: bool = True,
+) -> Graph:
+    """Generate an R-MAT graph with ``2**scale`` vertices.
+
+    Parameters
+    ----------
+    scale:
+        log2 of the number of vertices.
+    edge_factor:
+        Number of edge samples per vertex (Graph500 uses 16); duplicates
+        and self-loops are discarded, so the realized edge count is lower.
+    a, b, c:
+        Quadrant probabilities; ``d = 1 - a - b - c`` must be positive.
+    noise:
+        Multiplicative jitter applied to the probabilities at each level,
+        which avoids the artificial staircase degree distribution.
+    compact:
+        Relabel vertices so that isolated ids are removed (Kronecker
+        generators leave many degree-0 slots).
+    """
+    if scale <= 0 or scale > 24:
+        raise GeneratorError("scale must be in [1, 24] for an in-memory graph")
+    if edge_factor <= 0:
+        raise GeneratorError("edge_factor must be positive")
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) <= 0.0:
+        raise GeneratorError("quadrant probabilities must be positive")
+    rng = np.random.default_rng(seed)
+    n = 1 << scale
+    num_samples = n * edge_factor
+
+    us = np.zeros(num_samples, dtype=np.int64)
+    vs = np.zeros(num_samples, dtype=np.int64)
+    for level in range(scale):
+        # Jitter the quadrant probabilities per level, per sample.
+        if noise > 0.0:
+            jitter = 1.0 + noise * (2.0 * rng.random(num_samples) - 1.0)
+        else:
+            jitter = np.ones(num_samples)
+        ab = (a + b) * jitter
+        ab = np.clip(ab, 0.0, 1.0)
+        pick_right = rng.random(num_samples)
+        pick_down = rng.random(num_samples)
+        # Conditional probabilities of the right column within each row.
+        top_right = b / (a + b)
+        bottom_right = d / (c + d)
+        go_down = pick_down >= ab
+        go_right = np.where(
+            go_down,
+            pick_right < bottom_right,
+            pick_right < top_right,
+        )
+        bit = 1 << (scale - 1 - level)
+        us += bit * go_down.astype(np.int64)
+        vs += bit * go_right.astype(np.int64)
+
+    builder = GraphBuilder(n)
+    seen: set = set()
+    for u, v in zip(us, vs):
+        u, v = int(u), int(v)
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        if key in seen:
+            continue
+        seen.add(key)
+        builder.add_edge(*key)
+    graph = builder.build(dedup="error")
+
+    if compact:
+        alive = np.flatnonzero(graph.degrees > 0)
+        if alive.shape[0] < graph.num_vertices:
+            graph = graph.subgraph(alive.tolist())
+    return graph

@@ -1,0 +1,192 @@
+"""Graph loading and saving.
+
+Two on-disk formats are supported:
+
+* **Edge lists** — the format SNAP distributes its datasets in: one edge
+  per line, whitespace-separated, optional third column with the weight,
+  ``#``-prefixed comment lines.  Vertex labels may be arbitrary strings and
+  are densely relabeled; the mapping is returned so results can be reported
+  against the original ids.
+* **METIS adjacency** — header line ``n m [fmt]`` followed by one line per
+  vertex listing its (1-based) neighbors, optionally interleaved with edge
+  weights when ``fmt`` has the weights bit set.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import Dict, List, TextIO, Tuple, Union
+
+from repro.errors import GraphFormatError
+from repro.graph.builder import GraphBuilder
+from repro.graph.csr import Graph
+
+__all__ = [
+    "load_edge_list",
+    "save_edge_list",
+    "load_metis",
+    "save_metis",
+]
+
+PathLike = Union[str, Path]
+
+
+def _open_text(path: PathLike, mode: str) -> TextIO:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t")  # type: ignore[return-value]
+    return open(path, mode)
+
+
+def load_edge_list(
+    path: PathLike,
+    *,
+    weighted: bool = False,
+    dedup: str = "ignore",
+    comment: str = "#",
+) -> Tuple[Graph, Dict[str, int]]:
+    """Load a SNAP-style edge list.
+
+    Parameters
+    ----------
+    path:
+        File to read; ``.gz`` files are decompressed transparently.
+    weighted:
+        When true a third column per line is required and used as weight.
+    dedup:
+        Duplicate-edge policy forwarded to
+        :meth:`repro.graph.builder.GraphBuilder.build`; SNAP files repeat
+        edges in both directions, so the default is ``"ignore"``.
+    comment:
+        Lines starting with this prefix are skipped.
+
+    Returns
+    -------
+    (graph, label_map):
+        The graph and the mapping from original vertex label to dense id.
+    """
+    builder = GraphBuilder(0)
+    labels: Dict[str, int] = {}
+
+    def vertex(token: str) -> int:
+        vid = labels.get(token)
+        if vid is None:
+            vid = len(labels)
+            labels[token] = vid
+        return vid
+
+    with _open_text(path, "r") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith(comment):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: expected at least two columns"
+                )
+            u, v = vertex(parts[0]), vertex(parts[1])
+            if u == v:
+                continue  # SNAP files occasionally carry self-loops; drop.
+            if weighted:
+                if len(parts) < 3:
+                    raise GraphFormatError(
+                        f"{path}:{lineno}: weighted load requires a third column"
+                    )
+                try:
+                    weight = float(parts[2])
+                except ValueError as exc:
+                    raise GraphFormatError(
+                        f"{path}:{lineno}: bad weight {parts[2]!r}"
+                    ) from exc
+            else:
+                weight = 1.0
+            builder.add_edge(u, v, weight)
+    return builder.build(dedup=dedup), labels
+
+
+def save_edge_list(graph: Graph, path: PathLike, *, weighted: bool = False) -> None:
+    """Write each undirected edge once as ``u v [w]``."""
+    with _open_text(path, "w") as handle:
+        handle.write(f"# repro edge list: {graph.num_vertices} vertices, "
+                     f"{graph.num_edges} edges\n")
+        for u, v, w in graph.edges():
+            if weighted:
+                handle.write(f"{u} {v} {w:.10g}\n")
+            else:
+                handle.write(f"{u} {v}\n")
+
+
+def load_metis(path: PathLike) -> Graph:
+    """Load a METIS adjacency file (1-based ids, optional edge weights)."""
+    with _open_text(path, "r") as handle:
+        lines = [ln.strip() for ln in handle]
+    body = [ln for ln in lines if ln and not ln.startswith("%")]
+    if not body:
+        raise GraphFormatError(f"{path}: empty METIS file")
+    header = body[0].split()
+    if len(header) < 2:
+        raise GraphFormatError(f"{path}: METIS header needs 'n m [fmt]'")
+    try:
+        n, m = int(header[0]), int(header[1])
+    except ValueError as exc:
+        raise GraphFormatError(f"{path}: non-integer METIS header") from exc
+    fmt = header[2] if len(header) > 2 else "0"
+    has_edge_weights = fmt.rjust(3, "0")[-1] == "1"
+    if len(body) - 1 != n:
+        raise GraphFormatError(
+            f"{path}: header says {n} vertices but file has {len(body) - 1} rows"
+        )
+    builder = GraphBuilder(n)
+    for u, line in enumerate(body[1:]):
+        tokens = line.split()
+        step = 2 if has_edge_weights else 1
+        if len(tokens) % step != 0:
+            raise GraphFormatError(
+                f"{path}: vertex {u + 1} row has dangling weight token"
+            )
+        for k in range(0, len(tokens), step):
+            try:
+                v = int(tokens[k]) - 1
+            except ValueError as exc:
+                raise GraphFormatError(
+                    f"{path}: bad neighbor id {tokens[k]!r}"
+                ) from exc
+            if not 0 <= v < n:
+                raise GraphFormatError(
+                    f"{path}: neighbor {v + 1} out of range for n={n}"
+                )
+            weight = 1.0
+            if has_edge_weights:
+                try:
+                    weight = float(tokens[k + 1])
+                except ValueError as exc:
+                    raise GraphFormatError(
+                        f"{path}: bad edge weight {tokens[k + 1]!r}"
+                    ) from exc
+            if u < v:  # each undirected edge appears in both rows
+                builder.add_edge(u, v, weight)
+    graph = builder.build(dedup="ignore")
+    if graph.num_edges != m:
+        raise GraphFormatError(
+            f"{path}: header promises {m} edges, found {graph.num_edges}"
+        )
+    return graph
+
+
+def save_metis(graph: Graph, path: PathLike, *, weighted: bool = False) -> None:
+    """Write the graph as a METIS adjacency file."""
+    fmt = "001" if weighted else "000"
+    rows: List[str] = []
+    for u in range(graph.num_vertices):
+        parts: List[str] = []
+        for v, w in zip(graph.neighbors(u), graph.neighbor_weights(u)):
+            parts.append(str(int(v) + 1))
+            if weighted:
+                parts.append(f"{float(w):.10g}")
+        rows.append(" ".join(parts))
+    with _open_text(path, "w") as handle:
+        handle.write(f"{graph.num_vertices} {graph.num_edges} {fmt}\n")
+        handle.write("\n".join(rows))
+        handle.write("\n")

@@ -1,0 +1,101 @@
+"""Graph traversal utilities: BFS, connected components, distances.
+
+Substrate helpers the generators, tests, and examples share: LFR
+validation checks community connectivity, the dataset registry verifies
+analogs are (mostly) connected, and the SCAN++ DTAR expansion concept is
+exactly "two-hop neighbors" (:func:`k_hop_neighbors`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import Graph
+
+__all__ = [
+    "bfs_order",
+    "bfs_distances",
+    "connected_components",
+    "largest_component",
+    "k_hop_neighbors",
+]
+
+
+def bfs_order(graph: Graph, source: int) -> np.ndarray:
+    """Vertices reachable from ``source`` in BFS visit order."""
+    if not 0 <= source < graph.num_vertices:
+        raise GraphError(f"source {source} out of range")
+    seen = np.zeros(graph.num_vertices, dtype=bool)
+    order: List[int] = []
+    queue = deque([source])
+    seen[source] = True
+    while queue:
+        u = queue.popleft()
+        order.append(u)
+        for v in graph.neighbors(u):
+            v = int(v)
+            if not seen[v]:
+                seen[v] = True
+                queue.append(v)
+    return np.asarray(order, dtype=np.int64)
+
+
+def bfs_distances(graph: Graph, source: int) -> np.ndarray:
+    """Hop distance from ``source`` to every vertex (-1 if unreachable)."""
+    if not 0 <= source < graph.num_vertices:
+        raise GraphError(f"source {source} out of range")
+    dist = -np.ones(graph.num_vertices, dtype=np.int64)
+    dist[source] = 0
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            v = int(v)
+            if dist[v] < 0:
+                dist[v] = dist[u] + 1
+                queue.append(v)
+    return dist
+
+
+def connected_components(graph: Graph) -> np.ndarray:
+    """Component id (0-based, by discovery order) per vertex."""
+    comp = -np.ones(graph.num_vertices, dtype=np.int64)
+    next_id = 0
+    for start in range(graph.num_vertices):
+        if comp[start] >= 0:
+            continue
+        comp[start] = next_id
+        queue = deque([start])
+        while queue:
+            u = queue.popleft()
+            for v in graph.neighbors(u):
+                v = int(v)
+                if comp[v] < 0:
+                    comp[v] = next_id
+                    queue.append(v)
+        next_id += 1
+    return comp
+
+
+def largest_component(graph: Graph) -> np.ndarray:
+    """Vertex ids of the largest connected component."""
+    comp = connected_components(graph)
+    if comp.shape[0] == 0:
+        return np.zeros(0, dtype=np.int64)
+    counts = np.bincount(comp)
+    return np.flatnonzero(comp == int(np.argmax(counts)))
+
+
+def k_hop_neighbors(graph: Graph, source: int, k: int) -> np.ndarray:
+    """Vertices at hop distance exactly ``k`` from ``source``.
+
+    ``k_hop_neighbors(g, p, 2)`` is SCAN++'s DTAR frontier for pivot p.
+    """
+    if k < 0:
+        raise GraphError("k must be non-negative")
+    dist = bfs_distances(graph, source)
+    return np.flatnonzero(dist == k)

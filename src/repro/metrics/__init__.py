@@ -1,0 +1,31 @@
+"""Clustering quality metrics (NMI, ARI) and exactness comparison."""
+
+from repro.metrics.comparison import (
+    equivalent_clusterings,
+    explain_difference,
+    true_core_mask,
+)
+from repro.metrics.contingency import contingency_table, prepare_labels
+from repro.metrics.nmi import ari, entropy, mutual_information, nmi
+from repro.metrics.quality import (
+    conductance,
+    coverage,
+    modularity,
+    quality_report,
+)
+
+__all__ = [
+    "nmi",
+    "ari",
+    "entropy",
+    "mutual_information",
+    "contingency_table",
+    "prepare_labels",
+    "true_core_mask",
+    "equivalent_clusterings",
+    "explain_difference",
+    "modularity",
+    "conductance",
+    "coverage",
+    "quality_report",
+]

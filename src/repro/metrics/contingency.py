@@ -1,0 +1,83 @@
+"""Contingency tables between two label assignments.
+
+The NMI and ARI implementations are built on one shared contingency
+computation.  Labels may contain negatives (hubs/outliers/unassigned);
+the caller chooses whether those pool into one "noise cluster" (how the
+paper's Figure 5 treats them: "they could be regarded as members of a
+special cluster") or are dropped from the comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["contingency_table", "prepare_labels"]
+
+
+def prepare_labels(
+    labels: np.ndarray,
+    *,
+    noise: str = "cluster",
+) -> np.ndarray:
+    """Normalize a label array for comparison.
+
+    Parameters
+    ----------
+    labels:
+        Cluster ids ≥ 0; any negative value is noise.
+    noise:
+        ``"cluster"`` pools all negatives into one extra cluster,
+        ``"singletons"`` gives each noise vertex its own cluster,
+        ``"drop"`` marks them for exclusion (-1 in the output).
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    out = labels.copy()
+    mask = labels < 0
+    if noise == "cluster":
+        out[mask] = labels.max(initial=-1) + 1
+    elif noise == "singletons":
+        base = labels.max(initial=-1) + 1
+        out[mask] = base + np.arange(int(mask.sum()))
+    elif noise == "drop":
+        out[mask] = -1
+    else:
+        raise ReproError(f"unknown noise mode {noise!r}")
+    return out
+
+
+def contingency_table(
+    labels_a: np.ndarray,
+    labels_b: np.ndarray,
+    *,
+    noise: str = "cluster",
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Joint count matrix of two labelings.
+
+    Returns ``(matrix, row_sums, col_sums)`` where ``matrix[i, j]`` counts
+    vertices in cluster ``i`` of A and cluster ``j`` of B.  Cluster ids
+    are densified; vertices dropped by the noise policy are excluded from
+    all three outputs.
+    """
+    a = prepare_labels(np.asarray(labels_a), noise=noise)
+    b = prepare_labels(np.asarray(labels_b), noise=noise)
+    if a.shape != b.shape:
+        raise ReproError("label arrays must have equal length")
+    keep = (a >= 0) & (b >= 0)
+    a, b = a[keep], b[keep]
+    if a.shape[0] == 0:
+        return (
+            np.zeros((0, 0), dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+        )
+    _, a_dense = np.unique(a, return_inverse=True)
+    _, b_dense = np.unique(b, return_inverse=True)
+    rows = int(a_dense.max()) + 1
+    cols = int(b_dense.max()) + 1
+    matrix = np.zeros((rows, cols), dtype=np.int64)
+    np.add.at(matrix, (a_dense, b_dense), 1)
+    return matrix, matrix.sum(axis=1), matrix.sum(axis=0)

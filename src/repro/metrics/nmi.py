@@ -1,0 +1,113 @@
+"""Normalized Mutual Information and Adjusted Rand Index.
+
+NMI is the paper's quality metric for the anytime curves (Figure 5): the
+mutual information between the intermediate clustering and SCAN's ground
+truth, normalized so 1.0 means identical.  The paper cites the geometric
+mean normalization of Zaki & Meira; arithmetic and max normalizations are
+offered for completeness, along with ARI as a cross-check metric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.metrics.contingency import contingency_table
+
+__all__ = ["nmi", "ari", "mutual_information", "entropy"]
+
+
+def entropy(counts: np.ndarray) -> float:
+    """Shannon entropy (nats) of a cluster-size vector."""
+    counts = np.asarray(counts, dtype=np.float64)
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    probs = counts[counts > 0] / total
+    return float(-(probs * np.log(probs)).sum())
+
+
+def mutual_information(
+    labels_a: np.ndarray,
+    labels_b: np.ndarray,
+    *,
+    noise: str = "cluster",
+) -> float:
+    """Mutual information (nats) between two labelings."""
+    matrix, rows, cols = contingency_table(labels_a, labels_b, noise=noise)
+    total = matrix.sum()
+    if total == 0:
+        return 0.0
+    mi = 0.0
+    nz_r, nz_c = np.nonzero(matrix)
+    for i, j in zip(nz_r, nz_c):
+        nij = matrix[i, j]
+        mi += (nij / total) * np.log(total * nij / (rows[i] * cols[j]))
+    return float(max(mi, 0.0))
+
+
+def nmi(
+    labels_a: np.ndarray,
+    labels_b: np.ndarray,
+    *,
+    noise: str = "cluster",
+    normalization: str = "geometric",
+) -> float:
+    """Normalized mutual information in [0, 1].
+
+    Parameters
+    ----------
+    labels_a, labels_b:
+        Cluster labels; negatives are noise, handled per ``noise``
+        (see :func:`repro.metrics.contingency.prepare_labels`).
+    normalization:
+        ``"geometric"`` (the paper's), ``"arithmetic"``, or ``"max"``.
+
+    Two identical labelings score 1.0; independent ones score ≈ 0.
+    When both labelings are a single cluster, the score is defined as 1.0
+    if they are identical and 0.0 otherwise.
+    """
+    matrix, rows, cols = contingency_table(labels_a, labels_b, noise=noise)
+    h_a, h_b = entropy(rows), entropy(cols)
+    if h_a == 0.0 and h_b == 0.0:
+        # Both trivial partitions: identical by construction.
+        return 1.0
+    mi = mutual_information(labels_a, labels_b, noise=noise)
+    if normalization == "geometric":
+        denom = float(np.sqrt(h_a * h_b))
+    elif normalization == "arithmetic":
+        denom = (h_a + h_b) / 2.0
+    elif normalization == "max":
+        denom = max(h_a, h_b)
+    else:
+        raise ReproError(f"unknown normalization {normalization!r}")
+    if denom == 0.0:
+        return 0.0
+    return float(min(mi / denom, 1.0))
+
+
+def ari(
+    labels_a: np.ndarray,
+    labels_b: np.ndarray,
+    *,
+    noise: str = "cluster",
+) -> float:
+    """Adjusted Rand Index in [-1, 1] (1.0 = identical partitions)."""
+    matrix, rows, cols = contingency_table(labels_a, labels_b, noise=noise)
+    n = matrix.sum()
+    if n < 2:
+        return 1.0
+
+    def comb2(x: np.ndarray) -> float:
+        x = np.asarray(x, dtype=np.float64)
+        return float((x * (x - 1) / 2.0).sum())
+
+    index = comb2(matrix.ravel())
+    sum_a = comb2(rows)
+    sum_b = comb2(cols)
+    total_pairs = float(n) * (float(n) - 1) / 2.0
+    expected = sum_a * sum_b / total_pairs
+    max_index = (sum_a + sum_b) / 2.0
+    if max_index == expected:
+        return 1.0
+    return float((index - expected) / (max_index - expected))

@@ -1,0 +1,26 @@
+"""Simulated shared-memory multicore machine (OpenMP substitute)."""
+
+from repro.parallel.costs import IterationCosts, ParallelBlock
+from repro.parallel.threads import (
+    ThreadBackend,
+    parallel_edge_similarities,
+    parallel_range_queries,
+)
+from repro.parallel.simulator import (
+    BlockTiming,
+    MachineSpec,
+    MulticoreSimulator,
+    speedup_curve,
+)
+
+__all__ = [
+    "ParallelBlock",
+    "IterationCosts",
+    "MachineSpec",
+    "BlockTiming",
+    "MulticoreSimulator",
+    "speedup_curve",
+    "ThreadBackend",
+    "parallel_range_queries",
+    "parallel_edge_similarities",
+]

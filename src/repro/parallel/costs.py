@@ -1,0 +1,87 @@
+"""Cost records bridging the algorithm and the multicore simulator.
+
+CPython's GIL makes real shared-memory speedups impossible for this
+workload (see DESIGN.md §3), so the parallel behaviour of anySCAN is
+reproduced by *measuring* the true per-task work of the algorithm — every
+similarity evaluation is priced by its merge cost — and replaying it on a
+simulated multicore machine.  The algorithm records one
+:class:`IterationCosts` per anytime iteration; each OpenMP
+``parallel for`` of Figure 4 becomes a :class:`ParallelBlock` whose tasks
+carry their measured work units, plus counts of the atomic operations and
+critical sections the pseudo-code issues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["ParallelBlock", "IterationCosts"]
+
+
+@dataclass
+class ParallelBlock:
+    """One ``#pragma omp parallel for schedule(dynamic)`` worth of work.
+
+    Attributes
+    ----------
+    name:
+        Which loop of Figure 4 this block corresponds to (e.g.
+        ``"step1/range-queries"``).
+    task_costs:
+        Measured work units of each loop iteration (one task per vertex).
+    atomic_ops:
+        Number of atomic increments issued inside the block (Figure 4
+        line 14-15); each costs a small constant on the simulated machine.
+    critical_costs:
+        Work units of each critical section entered inside the block
+        (the ``Union`` calls of Figure 4 lines 41-42 / 60-61); critical
+        sections serialize on the global lock.
+    """
+
+    name: str
+    task_costs: List[float] = field(default_factory=list)
+    atomic_ops: int = 0
+    critical_costs: List[float] = field(default_factory=list)
+
+    def add_task(self, cost: float) -> None:
+        """Record one loop iteration's measured work."""
+        self.task_costs.append(float(cost))
+
+    @property
+    def total_work(self) -> float:
+        return float(sum(self.task_costs))
+
+
+@dataclass
+class IterationCosts:
+    """Everything one anytime iteration did, ready for replay.
+
+    ``sequential_cost`` covers the parts Figure 4 keeps sequential (the
+    super-node insertion of Step 1 lines 16-24 and loop bookkeeping); the
+    paper measures these to be negligible, and the benches verify that.
+    """
+
+    step: str
+    index: int
+    blocks: List[ParallelBlock] = field(default_factory=list)
+    sequential_cost: float = 0.0
+
+    def new_block(self, name: str) -> ParallelBlock:
+        """Open a new parallel block within this iteration."""
+        block = ParallelBlock(name=name)
+        self.blocks.append(block)
+        return block
+
+    @property
+    def total_work(self) -> float:
+        """Parallelizable plus sequential work of the iteration."""
+        return sum(b.total_work for b in self.blocks) + self.sequential_cost
+
+    @property
+    def total_atomic_ops(self) -> int:
+        return sum(b.atomic_ops for b in self.blocks)
+
+    @property
+    def total_critical_sections(self) -> int:
+        return sum(len(b.critical_costs) for b in self.blocks)

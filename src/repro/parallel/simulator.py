@@ -1,0 +1,209 @@
+"""Deterministic shared-memory multicore simulator.
+
+Replays the measured work of a parallel algorithm on an abstract machine
+with ``t`` threads, reproducing the scheduling effects that determine the
+paper's speedup curves:
+
+* **dynamic scheduling** (OpenMP ``schedule(dynamic)``): each next task
+  goes to the earliest-available thread, so skewed task costs (heavy-tail
+  degree distributions) cause the same load imbalance the paper observes
+  on GR02/GR03;
+* **static scheduling** is available for the ablation bench;
+* **atomics** cost a small constant (the paper cites ≈200× cheaper than a
+  critical section);
+* **critical sections** serialize on one global lock — the lock's busy
+  time extends the block makespan when it exceeds the parallel slack;
+* **barriers** end every block (threads wait for the slowest);
+* an optional **NUMA penalty** inflates costs once threads spill onto the
+  second socket (the paper's machine has 2×8 cores), reproducing the
+  scalability knee at >8 threads;
+* **per-task scheduling overhead** models the dynamic scheduler's queue
+  operations, so tiny blocks scale poorly — the α/β block-size effect of
+  Figure 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import heapq
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.parallel.costs import IterationCosts, ParallelBlock
+
+__all__ = ["MachineSpec", "BlockTiming", "MulticoreSimulator"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Parameters of the simulated machine.
+
+    Defaults model the paper's testbed: two sockets of 8 cores, a
+    critical section ≈200× an atomic, and a mild NUMA penalty.
+    """
+
+    threads: int
+    cores_per_socket: int = 8
+    atomic_cost: float = 0.01
+    critical_cost: float = 2.0
+    schedule_overhead: float = 0.05
+    numa_penalty: float = 0.10
+    schedule: str = "dynamic"
+    chunk_size: int = 1
+
+    def validate(self) -> None:
+        if self.threads < 1:
+            raise SimulationError("need at least one thread")
+        if self.schedule not in ("dynamic", "static"):
+            raise SimulationError("schedule must be 'dynamic' or 'static'")
+        if self.chunk_size < 1:
+            raise SimulationError("chunk_size must be >= 1")
+
+    @property
+    def numa_factor(self) -> float:
+        """Cost multiplier once the second socket is in play."""
+        if self.threads <= self.cores_per_socket:
+            return 1.0
+        spill = (self.threads - self.cores_per_socket) / self.cores_per_socket
+        return 1.0 + self.numa_penalty * min(spill, 1.0)
+
+
+@dataclass(frozen=True)
+class BlockTiming:
+    """Simulated timing of one parallel block."""
+
+    name: str
+    makespan: float
+    total_work: float
+    per_thread_busy: np.ndarray
+
+    @property
+    def utilization(self) -> float:
+        """Mean busy fraction across threads (1.0 = perfectly balanced)."""
+        if self.makespan <= 0:
+            return 1.0
+        return float(self.per_thread_busy.mean() / self.makespan)
+
+
+class MulticoreSimulator:
+    """Replays :class:`IterationCosts` on a :class:`MachineSpec`."""
+
+    def __init__(self, machine: MachineSpec) -> None:
+        machine.validate()
+        self.machine = machine
+
+    # ------------------------------------------------------------------
+    # single parallel block
+    # ------------------------------------------------------------------
+    def simulate_block(self, block: ParallelBlock) -> BlockTiming:
+        """Makespan of one dynamic/static-scheduled parallel for."""
+        machine = self.machine
+        t = machine.threads
+        factor = machine.numa_factor
+        costs = [c * factor + machine.schedule_overhead for c in block.task_costs]
+        busy = np.zeros(t, dtype=np.float64)
+
+        if machine.schedule == "dynamic":
+            heap: List[tuple] = [(0.0, i) for i in range(t)]
+            heapq.heapify(heap)
+            chunk = machine.chunk_size
+            for start in range(0, len(costs), chunk):
+                cost = sum(costs[start : start + chunk])
+                available, tid = heapq.heappop(heap)
+                finish = available + cost
+                busy[tid] += cost
+                heapq.heappush(heap, (finish, tid))
+            makespan = max((end for end, _ in heap), default=0.0)
+        else:  # static: contiguous equal-count chunks
+            counts = np.array_split(np.asarray(costs, dtype=np.float64), t)
+            for tid, part in enumerate(counts):
+                busy[tid] = float(part.sum())
+            makespan = float(busy.max()) if t else 0.0
+
+        # Atomic operations: each thread pays its share; contention is
+        # negligible at this cost scale (the paper's design point).
+        atomic_total = block.atomic_ops * machine.atomic_cost * factor
+        makespan += atomic_total / t
+        busy += atomic_total / t
+
+        # Critical sections serialize on one lock.  Their combined busy
+        # time can hide under the block's parallel slack; once it exceeds
+        # the slack it extends the makespan directly.
+        critical_total = (
+            sum(block.critical_costs) * machine.critical_cost * factor
+        )
+        if critical_total > 0.0:
+            slack = float(np.clip(makespan - busy, 0.0, None).sum())
+            overflow = max(critical_total - slack, 0.0)
+            hidden = critical_total - overflow
+            makespan += overflow + hidden / t
+        return BlockTiming(
+            name=block.name,
+            makespan=makespan,
+            total_work=float(sum(costs)),
+            per_thread_busy=busy,
+        )
+
+    # ------------------------------------------------------------------
+    # iterations and whole runs
+    # ------------------------------------------------------------------
+    def simulate_iteration(self, iteration: IterationCosts) -> float:
+        """Simulated elapsed time of one anytime iteration.
+
+        Blocks run one after another (each ends with a barrier), then the
+        sequential tail runs on one thread.
+        """
+        elapsed = sum(self.simulate_block(b).makespan for b in iteration.blocks)
+        return elapsed + iteration.sequential_cost * self.machine.numa_factor
+
+    def simulate_run(
+        self, iterations: Sequence[IterationCosts]
+    ) -> np.ndarray:
+        """Cumulative simulated time after each iteration."""
+        times = np.zeros(len(iterations), dtype=np.float64)
+        total = 0.0
+        for i, iteration in enumerate(iterations):
+            total += self.simulate_iteration(iteration)
+            times[i] = total
+        return times
+
+    def total_time(self, iterations: Iterable[IterationCosts]) -> float:
+        """Simulated end-to-end time of a run."""
+        return float(
+            sum(self.simulate_iteration(iteration) for iteration in iterations)
+        )
+
+
+def speedup_curve(
+    iterations: Sequence[IterationCosts],
+    thread_counts: Sequence[int],
+    *,
+    base_machine: MachineSpec | None = None,
+) -> dict:
+    """Speedups over the single-thread simulation for each thread count."""
+    template = base_machine or MachineSpec(threads=1)
+    baseline = MulticoreSimulator(
+        _with_threads(template, 1)
+    ).total_time(iterations)
+    out = {}
+    for t in thread_counts:
+        sim = MulticoreSimulator(_with_threads(template, int(t)))
+        elapsed = sim.total_time(iterations)
+        out[int(t)] = baseline / elapsed if elapsed > 0 else float("nan")
+    return out
+
+
+def _with_threads(spec: MachineSpec, threads: int) -> MachineSpec:
+    return MachineSpec(
+        threads=threads,
+        cores_per_socket=spec.cores_per_socket,
+        atomic_cost=spec.atomic_cost,
+        critical_cost=spec.critical_cost,
+        schedule_overhead=spec.schedule_overhead,
+        numa_penalty=spec.numa_penalty,
+        schedule=spec.schedule,
+        chunk_size=spec.chunk_size,
+    )

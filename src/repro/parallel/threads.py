@@ -1,0 +1,118 @@
+"""Real-thread execution backend (GIL-bound; see DESIGN.md §3).
+
+This backend runs the embarrassingly parallel portions of the SCAN
+workload — batches of σ evaluations or range queries — on a genuine
+:class:`~concurrent.futures.ThreadPoolExecutor`.  On CPython the GIL
+serializes the bytecode, so **wall-clock speedups are not expected**;
+the backend exists because
+
+* it exercises the same block decomposition the simulator replays, so
+  tests can check that the parallel decomposition computes *identical
+  results* to the sequential code;
+* on GIL-free builds (or if the numeric kernels ever move to C), the
+  same API yields real speedups.
+
+The simulated machine in :mod:`repro.parallel.simulator` remains the
+instrument for the paper's scalability figures.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.graph.csr import Graph
+from repro.similarity.weighted import SimilarityConfig, SimilarityOracle
+
+__all__ = ["ThreadBackend", "parallel_range_queries", "parallel_edge_similarities"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class ThreadBackend:
+    """A pool of real threads with OpenMP-flavored chunking.
+
+    ``chunk_size`` mirrors ``schedule(dynamic, chunk)``: work items are
+    handed to threads in chunks, which bounds the queue overhead the
+    same way OpenMP's dynamic scheduler does.
+    """
+
+    threads: int = 4
+    chunk_size: int = 64
+
+    def validate(self) -> None:
+        if self.threads < 1:
+            raise SimulationError("need at least one thread")
+        if self.chunk_size < 1:
+            raise SimulationError("chunk_size must be >= 1")
+
+    def map(
+        self,
+        fn: Callable[[T], object],
+        items: Sequence[T],
+    ) -> List[object]:
+        """Order-preserving parallel map (one barrier at the end)."""
+        self.validate()
+        if self.threads == 1 or len(items) <= self.chunk_size:
+            return [fn(item) for item in items]
+        results: List[object] = [None] * len(items)
+
+        def run_chunk(start: int) -> None:
+            for i in range(start, min(start + self.chunk_size, len(items))):
+                results[i] = fn(items[i])
+
+        starts = range(0, len(items), self.chunk_size)
+        with ThreadPoolExecutor(max_workers=self.threads) as pool:
+            # Consume the iterator to propagate exceptions (the barrier).
+            list(pool.map(run_chunk, starts))
+        return results
+
+
+def parallel_range_queries(
+    graph: Graph,
+    vertices: Sequence[int],
+    epsilon: float,
+    *,
+    backend: ThreadBackend | None = None,
+    config: SimilarityConfig | None = None,
+) -> List[np.ndarray]:
+    """Step 1's parallel block: ε-neighborhoods for a batch of vertices.
+
+    Each thread owns a private oracle (no shared counters → no locking),
+    exactly like the per-thread buffers of Figure 4 lines 6-9.
+    """
+    backend = backend or ThreadBackend()
+    config = config or SimilarityConfig()
+    # Thread-local oracles: constructed once per call; precomputation is
+    # O(|E|) and shared work is read-only afterwards.
+    oracle = SimilarityOracle(graph, config)
+
+    def query(v: int) -> np.ndarray:
+        return oracle.eps_neighborhood(int(v), epsilon)
+
+    return backend.map(query, list(vertices))  # type: ignore[return-value]
+
+
+def parallel_edge_similarities(
+    graph: Graph,
+    edges: Sequence[Tuple[int, int]],
+    *,
+    backend: ThreadBackend | None = None,
+    config: SimilarityConfig | None = None,
+) -> np.ndarray:
+    """The ideal algorithm's parallel block: σ for a batch of edges."""
+    backend = backend or ThreadBackend()
+    config = config or SimilarityConfig()
+    oracle = SimilarityOracle(graph, config)
+
+    def sigma(edge: Tuple[int, int]) -> float:
+        return oracle.sigma_unrecorded(int(edge[0]), int(edge[1]))
+
+    return np.asarray(
+        backend.map(sigma, list(edges)), dtype=np.float64
+    )

@@ -1,0 +1,182 @@
+"""Clustering results shared by every algorithm in the library.
+
+SCAN-family algorithms output three things: clusters of vertices, *hubs*
+(non-members bridging ≥ 2 clusters), and *outliers* (the rest).  A
+:class:`Clustering` stores a per-vertex label array (cluster ids ≥ 0,
+:data:`HUB` and :data:`OUTLIER` sentinels below zero) plus the optional
+per-vertex role, and offers the canonicalization helpers the tests and
+NMI computations rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["HUB", "OUTLIER", "VertexRole", "Clustering"]
+
+#: Label of a hub vertex (adjacent to two or more clusters).
+HUB = -1
+#: Label of an outlier vertex.
+OUTLIER = -2
+
+
+class VertexRole(IntEnum):
+    """Structural role SCAN assigns to each vertex."""
+
+    CORE = 0
+    BORDER = 1
+    HUB = 2
+    OUTLIER = 3
+
+
+@dataclass(frozen=True)
+class Clustering:
+    """Immutable clustering of a graph's vertices.
+
+    Attributes
+    ----------
+    labels:
+        Per-vertex label: a cluster id ≥ 0, or :data:`HUB` / :data:`OUTLIER`.
+    roles:
+        Optional per-vertex :class:`VertexRole` array.
+    """
+
+    labels: np.ndarray
+    roles: np.ndarray | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        labels = np.ascontiguousarray(self.labels, dtype=np.int64)
+        object.__setattr__(self, "labels", labels)
+        if self.roles is not None:
+            roles = np.ascontiguousarray(self.roles, dtype=np.int8)
+            if roles.shape != labels.shape:
+                raise ReproError("roles must be parallel to labels")
+            object.__setattr__(self, "roles", roles)
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return int(self.labels.shape[0])
+
+    @property
+    def num_clusters(self) -> int:
+        """Number of distinct clusters (ignoring hubs/outliers)."""
+        members = self.labels[self.labels >= 0]
+        if members.shape[0] == 0:
+            return 0
+        return int(np.unique(members).shape[0])
+
+    @property
+    def clustered_vertices(self) -> np.ndarray:
+        """Ids of vertices assigned to some cluster."""
+        return np.flatnonzero(self.labels >= 0)
+
+    @property
+    def hubs(self) -> np.ndarray:
+        """Ids of hub vertices."""
+        return np.flatnonzero(self.labels == HUB)
+
+    @property
+    def outliers(self) -> np.ndarray:
+        """Ids of outlier vertices."""
+        return np.flatnonzero(self.labels == OUTLIER)
+
+    @property
+    def unclustered(self) -> np.ndarray:
+        """Ids of all non-member vertices (hubs and outliers)."""
+        return np.flatnonzero(self.labels < 0)
+
+    def members_of(self, cluster: int) -> np.ndarray:
+        """Vertices labeled with cluster id ``cluster``."""
+        return np.flatnonzero(self.labels == cluster)
+
+    def clusters(self) -> Dict[int, np.ndarray]:
+        """Mapping cluster id -> member array."""
+        out: Dict[int, np.ndarray] = {}
+        for cid in np.unique(self.labels[self.labels >= 0]):
+            out[int(cid)] = self.members_of(int(cid))
+        return out
+
+    def cores(self) -> np.ndarray:
+        """Core vertices (requires roles)."""
+        if self.roles is None:
+            raise ReproError("this clustering carries no role information")
+        return np.flatnonzero(self.roles == int(VertexRole.CORE))
+
+    def borders(self) -> np.ndarray:
+        """Border vertices (requires roles)."""
+        if self.roles is None:
+            raise ReproError("this clustering carries no role information")
+        return np.flatnonzero(self.roles == int(VertexRole.BORDER))
+
+    # ------------------------------------------------------------------
+    # canonical forms
+    # ------------------------------------------------------------------
+    def canonical(self) -> "Clustering":
+        """Relabel clusters to 0..k-1 by their smallest member vertex.
+
+        Two clusterings with identical partitions compare equal after
+        canonicalization regardless of the arbitrary label values the
+        algorithms produced.
+        """
+        labels = self.labels
+        order: List[int] = []
+        seen: Dict[int, int] = {}
+        for v in range(labels.shape[0]):
+            lbl = int(labels[v])
+            if lbl >= 0 and lbl not in seen:
+                seen[lbl] = len(order)
+                order.append(lbl)
+        remap = np.array(
+            [seen.get(int(lbl), int(lbl)) for lbl in labels], dtype=np.int64
+        )
+        return Clustering(labels=remap, roles=self.roles)
+
+    def same_partition(self, other: "Clustering") -> bool:
+        """Whether both clusterings induce the same vertex partition.
+
+        Hubs and outliers are pooled together as "unclustered" because the
+        hub/outlier distinction depends on cluster label identities only.
+        """
+        if self.num_vertices != other.num_vertices:
+            return False
+        a = self.canonical().labels.copy()
+        b = other.canonical().labels.copy()
+        a[a < 0] = -1
+        b[b < 0] = -1
+        return bool(np.array_equal(a, b))
+
+    def membership_sets(self) -> List[frozenset]:
+        """Clusters as a list of frozensets (order-independent compare)."""
+        return [frozenset(int(v) for v in vs) for vs in self.clusters().values()]
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_membership(
+        num_vertices: int, clusters: Sequence[Sequence[int]]
+    ) -> "Clustering":
+        """Build from explicit member lists; unmentioned vertices are outliers."""
+        labels = np.full(num_vertices, OUTLIER, dtype=np.int64)
+        for cid, members in enumerate(clusters):
+            for v in members:
+                labels[int(v)] = cid
+        return Clustering(labels=labels)
+
+    def summary(self) -> str:
+        """One-line human description."""
+        return (
+            f"{self.num_clusters} clusters, "
+            f"{int(self.clustered_vertices.shape[0])} member vertices, "
+            f"{int(self.hubs.shape[0])} hubs, "
+            f"{int(self.outliers.shape[0])} outliers"
+        )

@@ -1,0 +1,6 @@
+"""Weighted structural similarity, pruning optimizations, and counters."""
+
+from repro.similarity.counters import SimilarityCounters
+from repro.similarity.weighted import SimilarityConfig, SimilarityOracle
+
+__all__ = ["SimilarityConfig", "SimilarityOracle", "SimilarityCounters"]

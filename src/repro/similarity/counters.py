@@ -1,0 +1,91 @@
+"""Instrumentation counters for similarity work.
+
+Figure 7 of the paper compares algorithms by their *number of structural
+similarity evaluations*, and the multicore simulator prices parallel tasks
+by the work they perform.  Every similarity oracle owns one
+:class:`SimilarityCounters` instance that the algorithms read out.
+
+``work_units`` is the abstract cost the paper's complexity analysis uses:
+a full σ(p, q) evaluation costs ``|N_p| + |N_q|`` (sort-merge join), a
+Lemma 5 prune costs 1, and an early-exited evaluation costs the prefix of
+the merge that was actually consumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SimilarityCounters"]
+
+
+@dataclass
+class SimilarityCounters:
+    """Mutable tally of similarity-related work."""
+
+    sigma_evaluations: int = 0
+    pruned_lemma5: int = 0
+    early_exits: int = 0
+    neighborhood_queries: int = 0
+    work_units: float = 0.0
+    _marks: dict = field(default_factory=dict, repr=False)
+
+    def record_sigma(self, cost: float, *, early_exit: bool = False) -> None:
+        """Record one σ evaluation of the given work cost."""
+        self.sigma_evaluations += 1
+        self.work_units += cost
+        if early_exit:
+            self.early_exits += 1
+
+    def record_prune(self) -> None:
+        """Record one Lemma 5 constant-time prune."""
+        self.pruned_lemma5 += 1
+        self.work_units += 1.0
+
+    def record_neighborhood_query(self, cost: float, evaluations: int = 0) -> None:
+        """Record one full ε-neighborhood (range) query.
+
+        ``evaluations`` is the number of per-neighbor σ computations the
+        query performed; they count toward :attr:`sigma_evaluations` so
+        algorithms using full range queries (SCAN) are comparable with
+        those evaluating edges individually (Figure 7).
+        """
+        self.neighborhood_queries += 1
+        self.sigma_evaluations += evaluations
+        self.work_units += cost
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.sigma_evaluations = 0
+        self.pruned_lemma5 = 0
+        self.early_exits = 0
+        self.neighborhood_queries = 0
+        self.work_units = 0.0
+        self._marks.clear()
+
+    def mark(self, name: str) -> None:
+        """Remember the current work level under ``name`` (for per-step splits)."""
+        self._marks[name] = self.snapshot()
+
+    def since(self, name: str) -> "SimilarityCounters":
+        """Delta of every counter since :meth:`mark` was called with ``name``."""
+        base = self._marks.get(name)
+        if base is None:
+            return self.snapshot()
+        return SimilarityCounters(
+            sigma_evaluations=self.sigma_evaluations - base.sigma_evaluations,
+            pruned_lemma5=self.pruned_lemma5 - base.pruned_lemma5,
+            early_exits=self.early_exits - base.early_exits,
+            neighborhood_queries=self.neighborhood_queries
+            - base.neighborhood_queries,
+            work_units=self.work_units - base.work_units,
+        )
+
+    def snapshot(self) -> "SimilarityCounters":
+        """Immutable-ish copy of the current values."""
+        return SimilarityCounters(
+            sigma_evaluations=self.sigma_evaluations,
+            pruned_lemma5=self.pruned_lemma5,
+            early_exits=self.early_exits,
+            neighborhood_queries=self.neighborhood_queries,
+            work_units=self.work_units,
+        )

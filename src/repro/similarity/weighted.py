@@ -1,0 +1,360 @@
+"""Weighted structural similarity (Definition 1) and its oracle.
+
+The paper defines
+
+    σ(p, q) = Σ_{r ∈ N_p ∩ N_q} w_pr · w_qr
+              / sqrt( (Σ_{r ∈ N_p} w_pr²) · (Σ_{r ∈ N_q} w_qr²) )
+
+and claims SCAN's unweighted similarity is the all-ones special case.
+Classic SCAN uses *closed* neighborhoods Γ(p) = N(p) ∪ {p}; the claim only
+holds in that reading, so closed neighborhoods (with a configurable
+self-weight, default 1.0) are the default here, and an ``closed=False``
+literal mode implements Definition 1 verbatim.  Every algorithm in the
+repository shares one :class:`SimilarityOracle`, so comparisons between
+algorithms are always internally consistent.
+
+Per-vertex invariants are precomputed once (the paper's preprocessing
+step): the squared length ``l_p`` and the maximum incident weight ``w_p``
+used by the Lemma 5 pruning bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.graph.csr import Graph
+from repro.similarity.counters import SimilarityCounters
+
+__all__ = ["SimilarityConfig", "SimilarityOracle"]
+
+
+@dataclass(frozen=True)
+class SimilarityConfig:
+    """Choices that fix the similarity semantics.
+
+    Attributes
+    ----------
+    closed:
+        Use closed neighborhoods Γ(p) = N(p) ∪ {p} (classic SCAN).  When
+        ``False``, Definition 1 is applied verbatim over open neighborhoods.
+    self_weight:
+        Weight of the implicit self-edge in closed mode.
+    count_self:
+        Whether ``p`` itself counts toward ``|N_p^ε|`` in the core test
+        (σ(p, p) = 1, so it always qualifies).  Classic SCAN counts it.
+    pruning:
+        Enable the Lemma 5 constant-time filter and two-sided early exit
+        in threshold tests (the Section III-D optimizations).  Only
+        available for the ``"cosine"`` kind, whose bound Lemma 5 targets.
+    kind:
+        Which structural similarity to use.  ``"cosine"`` is the paper's
+        Definition 1; ``"jaccard"``, ``"dice"``, and ``"overlap"`` are
+        the weighted set-similarity variants used elsewhere in the SCAN
+        literature (min/max, Dice, and overlap coefficients over the
+        neighborhood weight vectors).  All reduce to their classic
+        unweighted forms when every weight is 1.
+    """
+
+    closed: bool = True
+    self_weight: float = 1.0
+    count_self: bool = True
+    pruning: bool = True
+    kind: str = "cosine"
+
+    _KINDS = ("cosine", "jaccard", "dice", "overlap")
+
+    def validate(self) -> None:
+        if self.self_weight <= 0:
+            raise ConfigError("self_weight must be positive")
+        if self.kind not in self._KINDS:
+            raise ConfigError(
+                f"unknown similarity kind {self.kind!r}; one of {self._KINDS}"
+            )
+        if self.pruning and self.kind != "cosine":
+            raise ConfigError(
+                "Lemma 5 pruning is only sound for the cosine kind; "
+                "pass pruning=False for set-similarity variants"
+            )
+        if self.count_self and not self.closed:
+            # Allowed, but then σ(p, p) is not 1 by Definition 1; the core
+            # test still treats p as trivially similar to itself.
+            pass
+
+
+class SimilarityOracle:
+    """Precomputed similarity evaluator for one graph.
+
+    All σ evaluations go through this object so the instrumentation in
+    :class:`~repro.similarity.counters.SimilarityCounters` sees every one
+    of them (Figure 7 of the paper is regenerated from these counters).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: SimilarityConfig | None = None,
+    ) -> None:
+        self.graph = graph
+        self.config = config or SimilarityConfig()
+        self.config.validate()
+        self.counters = SimilarityCounters()
+        self._lengths, self._max_weights, self._linear_sums = (
+            self._precompute()
+        )
+
+    # ------------------------------------------------------------------
+    # preprocessing (O(|E|) total, as in the paper)
+    # ------------------------------------------------------------------
+    def _precompute(self) -> tuple:
+        graph, cfg = self.graph, self.config
+        n = graph.num_vertices
+        lengths = np.zeros(n, dtype=np.float64)
+        max_weights = np.zeros(n, dtype=np.float64)
+        linear = np.zeros(n, dtype=np.float64)
+        for p in range(n):
+            wts = graph.neighbor_weights(p)
+            total = float(np.dot(wts, wts))
+            s1 = float(wts.sum())
+            if cfg.closed:
+                total += cfg.self_weight * cfg.self_weight
+                s1 += cfg.self_weight
+            lengths[p] = total
+            linear[p] = s1
+            max_weights[p] = float(wts.max()) if wts.shape[0] else 0.0
+        return lengths, max_weights, linear
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Squared lengths ``l_p`` (with the self term in closed mode)."""
+        return self._lengths
+
+    @property
+    def max_weights(self) -> np.ndarray:
+        """Per-vertex maximum incident edge weight ``w_p``."""
+        return self._max_weights
+
+    # ------------------------------------------------------------------
+    # core similarity
+    # ------------------------------------------------------------------
+    def _numerator(self, p: int, q: int) -> tuple:
+        """Return (numerator, merge_cost) of σ(p, q)."""
+        graph, cfg = self.graph, self.config
+        np_row = graph.neighbors(p)
+        nq_row = graph.neighbors(q)
+        wp_row = graph.neighbor_weights(p)
+        wq_row = graph.neighbor_weights(q)
+        _, ip, iq = np.intersect1d(
+            np_row, nq_row, assume_unique=True, return_indices=True
+        )
+        total = float(np.dot(wp_row[ip], wq_row[iq]))
+        cost = float(np_row.shape[0] + nq_row.shape[0])
+        if cfg.closed:
+            sw = cfg.self_weight
+            # r = p contributes w_pp * w_qp when p ∈ Γ(q), i.e. p adjacent q
+            # or p == q; same for r = q.  σ(p, p) then equals 1 exactly.
+            if p == q:
+                total += sw * sw
+            else:
+                pos = int(np.searchsorted(nq_row, p))
+                adjacent = pos < nq_row.shape[0] and int(nq_row[pos]) == p
+                if adjacent:
+                    w_pq = float(wq_row[pos])
+                    total += sw * w_pq  # r = p
+                    total += w_pq * sw  # r = q
+        return total, cost
+
+    def _min_overlap(self, p: int, q: int) -> tuple:
+        """Return (Σ min(w_pr, w_qr) over Γ_p ∩ Γ_q, merge_cost)."""
+        graph, cfg = self.graph, self.config
+        np_row = graph.neighbors(p)
+        nq_row = graph.neighbors(q)
+        wp_row = graph.neighbor_weights(p)
+        wq_row = graph.neighbor_weights(q)
+        _, ip, iq = np.intersect1d(
+            np_row, nq_row, assume_unique=True, return_indices=True
+        )
+        total = float(np.minimum(wp_row[ip], wq_row[iq]).sum())
+        cost = float(np_row.shape[0] + nq_row.shape[0])
+        if cfg.closed:
+            sw = cfg.self_weight
+            if p == q:
+                total += sw
+            else:
+                pos = int(np.searchsorted(nq_row, p))
+                if pos < nq_row.shape[0] and int(nq_row[pos]) == p:
+                    w_pq = float(wq_row[pos])
+                    total += min(sw, w_pq)  # r = p
+                    total += min(w_pq, sw)  # r = q
+        return total, cost
+
+    def _sigma_value(self, p: int, q: int) -> tuple:
+        """Dispatch on the configured kind; returns (σ, merge_cost)."""
+        kind = self.config.kind
+        if kind == "cosine":
+            num, cost = self._numerator(p, q)
+            denom = float(np.sqrt(self._lengths[p] * self._lengths[q]))
+            return (num / denom if denom > 0 else 0.0), cost
+        overlap, cost = self._min_overlap(p, q)
+        s1p = float(self._linear_sums[p])
+        s1q = float(self._linear_sums[q])
+        if kind == "jaccard":
+            denom = s1p + s1q - overlap
+        elif kind == "dice":
+            denom = (s1p + s1q) / 2.0
+        else:  # overlap coefficient
+            denom = min(s1p, s1q)
+        return (overlap / denom if denom > 0 else 0.0), cost
+
+    def sigma(self, p: int, q: int) -> float:
+        """Exact σ(p, q); records one full evaluation."""
+        value, cost = self._sigma_value(p, q)
+        self.counters.record_sigma(cost)
+        return value
+
+    def sigma_unrecorded(self, p: int, q: int) -> float:
+        """σ(p, q) without touching the counters (tests, ground truth)."""
+        value, _ = self._sigma_value(p, q)
+        return value
+
+    # ------------------------------------------------------------------
+    # threshold tests with the Section III-D optimizations
+    # ------------------------------------------------------------------
+    def lemma5_bound(self, p: int, q: int) -> float:
+        """Safe upper bound on the σ numerator (corrected Lemma 5).
+
+        The paper bounds the numerator by ``min(|N_p|, |N_q|)·max(w_p, w_q)``,
+        which is only valid for weights ≤ 1; each term satisfies
+        ``w_pr · w_qr ≤ w_p · w_q``, so the sound bound used here is
+        ``min(|N_p|, |N_q|) · w_p · w_q`` plus the self terms in closed
+        mode.  The deviation is documented in DESIGN.md.
+        """
+        graph, cfg = self.graph, self.config
+        dp, dq = graph.degree(p), graph.degree(q)
+        wp, wq = self._max_weights[p], self._max_weights[q]
+        bound = min(dp, dq) * wp * wq
+        if cfg.closed:
+            bound += cfg.self_weight * (wp + wq)
+        return float(bound)
+
+    def similar(self, p: int, q: int, epsilon: float) -> bool:
+        """Whether σ(p, q) ≥ ε, using pruning when enabled.
+
+        The Lemma 5 filter answers in O(1) when the bound already fails;
+        otherwise the merge join is (conceptually) early-exited in both
+        directions: as soon as the accumulated dot product crosses the
+        threshold σ ≥ ε is certain, and as soon as the remaining mass
+        cannot reach it σ < ε is certain.  The recorded cost reflects the
+        consumed prefix of the merge.
+        """
+        if self.config.kind != "cosine" or not self.config.pruning:
+            value, cost = self._sigma_value(p, q)
+            self.counters.record_sigma(cost)
+            return value >= epsilon
+        threshold = epsilon * float(
+            np.sqrt(self._lengths[p] * self._lengths[q])
+        )
+        if self.lemma5_bound(p, q) < threshold:
+            self.counters.record_prune()
+            return False
+        return self._similar_early_exit(p, q, threshold)
+
+    def _similar_early_exit(self, p: int, q: int, threshold: float) -> bool:
+        """Threshold test charging only the consumed merge prefix."""
+        graph, cfg = self.graph, self.config
+        np_row = graph.neighbors(p)
+        nq_row = graph.neighbors(q)
+        wp_row = graph.neighbor_weights(p)
+        wq_row = graph.neighbor_weights(q)
+        full_cost = float(np_row.shape[0] + nq_row.shape[0])
+
+        acc = 0.0
+        if cfg.closed and p != q:
+            pos = int(np.searchsorted(nq_row, p))
+            if pos < nq_row.shape[0] and int(nq_row[pos]) == p:
+                acc += 2.0 * cfg.self_weight * float(wq_row[pos])
+        if acc >= threshold:
+            self.counters.record_sigma(2.0, early_exit=True)
+            return True
+
+        # Vectorized merge with a cumulative-sum early-exit charge: the
+        # products are computed at C speed, then the crossing point tells
+        # how much of the merge a sequential implementation would consume.
+        _, ip, iq = np.intersect1d(
+            np_row, nq_row, assume_unique=True, return_indices=True
+        )
+        if ip.shape[0] == 0:
+            self.counters.record_sigma(
+                min(full_cost, 2.0 + float(min(len(np_row), len(nq_row)))),
+                early_exit=True,
+            )
+            return acc >= threshold
+        order = np.argsort(ip)  # merge consumes common neighbors in id order
+        products = wp_row[ip[order]] * wq_row[iq[order]]
+        cumulative = acc + np.cumsum(products)
+        total = float(cumulative[-1])
+        if total >= threshold:
+            # σ ≥ ε; the merge could stop at the crossing product.
+            k = int(np.searchsorted(cumulative, threshold)) + 1
+            fraction = k / products.shape[0]
+            self.counters.record_sigma(
+                max(2.0, fraction * full_cost), early_exit=fraction < 1.0
+            )
+            return True
+        self.counters.record_sigma(full_cost)
+        return False
+
+    # ------------------------------------------------------------------
+    # neighborhoods
+    # ------------------------------------------------------------------
+    def eps_neighborhood(self, p: int, epsilon: float) -> np.ndarray:
+        """Structural neighborhood ``N_p^ε`` (Definition 2), excluding ``p``.
+
+        Records one range query whose cost is the sum of the merge costs
+        of all neighbor evaluations (the dominant cost of Step 1).
+        """
+        graph = self.graph
+        neighbors = graph.neighbors(p)
+        passing = []
+        total_cost = 0.0
+        for q in neighbors:
+            q = int(q)
+            value, cost = self._sigma_value(p, q)
+            total_cost += cost
+            if value >= epsilon:
+                passing.append(q)
+        self.counters.record_neighborhood_query(
+            total_cost, evaluations=int(neighbors.shape[0])
+        )
+        return np.asarray(passing, dtype=np.int64)
+
+    def eps_neighborhood_pruned(self, p: int, epsilon: float) -> np.ndarray:
+        """``N_p^ε`` computed with per-neighbor threshold tests.
+
+        This is the SCAN-B range query: each neighbor goes through the
+        Lemma 5 filter and early-exit test instead of a full σ evaluation,
+        so for high ε most of the merge work is skipped.
+        """
+        passing = [
+            int(q)
+            for q in self.graph.neighbors(p)
+            if self.similar(p, int(q), epsilon)
+        ]
+        return np.asarray(passing, dtype=np.int64)
+
+    def eps_neighborhood_size(self, p: int, epsilon: float) -> int:
+        """``|N_p^ε|`` including ``p`` itself when ``count_self`` is set."""
+        size = int(self.eps_neighborhood(p, epsilon).shape[0])
+        if self.config.count_self:
+            size += 1
+        return size
+
+    def max_possible_eps_neighbors(self, p: int) -> int:
+        """Upper bound on ``|N_p^ε|``: degree plus the self term."""
+        return self.graph.degree(p) + (1 if self.config.count_self else 0)
+
+    def core_threshold_deficit(self, mu: int) -> int:
+        """Neighbors (excluding self) needed to possibly reach ``μ``."""
+        return mu - (1 if self.config.count_self else 0)

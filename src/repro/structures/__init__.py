@@ -1,0 +1,14 @@
+"""Shared data structures: disjoint set, vertex states, super-nodes."""
+
+from repro.structures.disjoint_set import DisjointSet
+from repro.structures.state import ALLOWED_TRANSITIONS, StateMachine, VertexState
+from repro.structures.supernode import SuperNode, SuperNodeIndex
+
+__all__ = [
+    "DisjointSet",
+    "VertexState",
+    "StateMachine",
+    "ALLOWED_TRANSITIONS",
+    "SuperNode",
+    "SuperNodeIndex",
+]

@@ -1,0 +1,103 @@
+"""Instrumented disjoint-set (union–find) structure.
+
+Super-node labels in anySCAN (and cluster-core labels in pSCAN) live in a
+disjoint-set forest with union by rank and iterative path compression.
+Figure 12 of the paper counts ``Union`` operations — they are the only
+synchronization points of the parallel algorithm — so the structure counts
+finds, attempted unions, and *effective* unions (those that actually merged
+two trees) separately.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["DisjointSet"]
+
+
+class DisjointSet:
+    """Union–find over the integers ``0..n-1``."""
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ReproError("DisjointSet size must be non-negative")
+        self._parent = np.arange(n, dtype=np.int64)
+        self._rank = np.zeros(n, dtype=np.int8)
+        self.find_calls = 0
+        self.union_calls = 0
+        self.effective_unions = 0
+
+    def __len__(self) -> int:
+        return int(self._parent.shape[0])
+
+    def grow(self, count: int = 1) -> int:
+        """Append ``count`` fresh singleton elements; returns the first id."""
+        if count < 0:
+            raise ReproError("cannot grow by a negative count")
+        first = len(self)
+        self._parent = np.concatenate(
+            [self._parent, np.arange(first, first + count, dtype=np.int64)]
+        )
+        self._rank = np.concatenate(
+            [self._rank, np.zeros(count, dtype=np.int8)]
+        )
+        return first
+
+    def find(self, x: int) -> int:
+        """Representative of ``x``'s set (with path compression)."""
+        parent = self._parent
+        if not 0 <= x < parent.shape[0]:
+            raise ReproError(f"element {x} out of range")
+        self.find_calls += 1
+        root = x
+        while parent[root] != root:
+            root = int(parent[root])
+        while parent[x] != root:
+            parent[x], x = root, int(parent[x])
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of ``a`` and ``b``; True when a merge happened."""
+        self.union_calls += 1
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        rank = self._rank
+        if rank[ra] < rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if rank[ra] == rank[rb]:
+            rank[ra] += 1
+        self.effective_unions += 1
+        return True
+
+    def same(self, a: int, b: int) -> bool:
+        """Whether ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def components(self) -> np.ndarray:
+        """Array mapping each element to its root representative."""
+        return np.asarray([self.find(i) for i in range(len(self))], dtype=np.int64)
+
+    def component_lists(self) -> Dict[int, List[int]]:
+        """Mapping root -> sorted member list."""
+        out: Dict[int, List[int]] = {}
+        for i in range(len(self)):
+            out.setdefault(self.find(i), []).append(i)
+        return out
+
+    def num_components(self) -> int:
+        """Number of distinct sets."""
+        if len(self) == 0:
+            return 0
+        return int(np.unique(self.components()).shape[0])
+
+    def reset_counters(self) -> None:
+        """Zero the instrumentation counters (structure unchanged)."""
+        self.find_calls = 0
+        self.union_calls = 0
+        self.effective_unions = 0

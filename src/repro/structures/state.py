@@ -1,0 +1,148 @@
+"""Vertex state machine of anySCAN (Figure 3 / Theorem 1).
+
+Every vertex carries one of seven states.  The paper's Theorem 1 asserts
+that during execution states only move along the Figure 3 schema — e.g. a
+*processed* vertex never becomes *unprocessed* and a border never becomes a
+core.  :class:`StateMachine` enforces exactly those transitions, so a bug
+in the algorithm that would violate the theorem raises
+:class:`~repro.errors.StateTransitionError` instead of silently corrupting
+the clustering.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Dict, FrozenSet
+
+import numpy as np
+
+from repro.errors import StateTransitionError
+
+__all__ = ["VertexState", "StateMachine", "ALLOWED_TRANSITIONS"]
+
+
+class VertexState(IntEnum):
+    """The seven vertex states of Figure 3."""
+
+    UNTOUCHED = 0
+    UNPROCESSED_NOISE = 1
+    UNPROCESSED_BORDER = 2
+    UNPROCESSED_CORE = 3
+    PROCESSED_NOISE = 4
+    PROCESSED_BORDER = 5
+    PROCESSED_CORE = 6
+
+
+_S = VertexState
+
+#: Transition schema of Figure 3.  Key: current state; value: reachable states.
+ALLOWED_TRANSITIONS: Dict[VertexState, FrozenSet[VertexState]] = {
+    _S.UNTOUCHED: frozenset(
+        {
+            _S.UNPROCESSED_NOISE,   # degree < μ discovered without a query
+            _S.UNPROCESSED_BORDER,  # became a neighbor of a core
+            _S.UNPROCESSED_CORE,    # nei(q) reached μ without a query
+            _S.PROCESSED_NOISE,     # range query said noise
+            _S.PROCESSED_CORE,      # range query said core
+        }
+    ),
+    _S.UNPROCESSED_NOISE: frozenset(
+        {
+            _S.PROCESSED_BORDER,  # a neighbor turned out to be core
+            _S.PROCESSED_NOISE,   # no neighbor is core
+        }
+    ),
+    _S.UNPROCESSED_BORDER: frozenset(
+        {
+            _S.UNPROCESSED_CORE,  # nei(q) reached μ without examination
+            _S.PROCESSED_CORE,    # core check succeeded
+            _S.PROCESSED_BORDER,  # core check failed (still in a cluster)
+        }
+    ),
+    _S.UNPROCESSED_CORE: frozenset({_S.PROCESSED_CORE}),
+    _S.PROCESSED_NOISE: frozenset({_S.PROCESSED_BORDER}),  # Step 4 promotion
+    _S.PROCESSED_BORDER: frozenset(),  # terminal: border never becomes core
+    _S.PROCESSED_CORE: frozenset(),    # terminal
+}
+
+_PROCESSED = frozenset(
+    {_S.PROCESSED_NOISE, _S.PROCESSED_BORDER, _S.PROCESSED_CORE}
+)
+_CORE_KNOWN = frozenset({_S.UNPROCESSED_CORE, _S.PROCESSED_CORE})
+
+
+class StateMachine:
+    """State array for all vertices with transition validation."""
+
+    def __init__(self, num_vertices: int, *, validate: bool = True) -> None:
+        self._states = np.full(num_vertices, int(_S.UNTOUCHED), dtype=np.int8)
+        self._validate = validate
+
+    def __len__(self) -> int:
+        return int(self._states.shape[0])
+
+    def get(self, v: int) -> VertexState:
+        """Current state of vertex ``v``."""
+        return VertexState(int(self._states[v]))
+
+    def set(self, v: int, new: VertexState) -> None:
+        """Transition vertex ``v`` to ``new``, enforcing Figure 3."""
+        old = VertexState(int(self._states[v]))
+        if old == new:
+            return
+        if self._validate and new not in ALLOWED_TRANSITIONS[old]:
+            raise StateTransitionError(
+                f"vertex {v}: illegal transition {old.name} -> {new.name}"
+            )
+        self._states[v] = int(new)
+
+    def try_set(self, v: int, new: VertexState) -> bool:
+        """Transition if legal; returns whether the state changed.
+
+        Used where the algorithm races benignly (e.g. marking a neighbor
+        *unprocessed-border* that another block already promoted to core).
+        """
+        old = VertexState(int(self._states[v]))
+        if old == new:
+            return False
+        if new in ALLOWED_TRANSITIONS[old]:
+            self._states[v] = int(new)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # predicates used throughout the algorithm
+    # ------------------------------------------------------------------
+    def is_untouched(self, v: int) -> bool:
+        return self._states[v] == int(_S.UNTOUCHED)
+
+    def is_processed(self, v: int) -> bool:
+        return VertexState(int(self._states[v])) in _PROCESSED
+
+    def is_core(self, v: int) -> bool:
+        """Whether ``v`` is already known to be a core (Definition 3)."""
+        return VertexState(int(self._states[v])) in _CORE_KNOWN
+
+    def untouched_vertices(self) -> np.ndarray:
+        """Ids of all vertices still in the UNTOUCHED state."""
+        return np.flatnonzero(self._states == int(_S.UNTOUCHED))
+
+    def vertices_in(self, *states: VertexState) -> np.ndarray:
+        """Ids of vertices currently in any of ``states``."""
+        mask = np.zeros(len(self), dtype=bool)
+        for state in states:
+            mask |= self._states == int(state)
+        return np.flatnonzero(mask)
+
+    def counts(self) -> Dict[VertexState, int]:
+        """Histogram of states (the Figure 7 right-panel composition)."""
+        values, freqs = np.unique(self._states, return_counts=True)
+        out = {state: 0 for state in VertexState}
+        for value, freq in zip(values, freqs):
+            out[VertexState(int(value))] = int(freq)
+        return out
+
+    @property
+    def raw(self) -> np.ndarray:
+        """Read-only view of the underlying int8 array."""
+        return self._states

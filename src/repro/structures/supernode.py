@@ -1,0 +1,158 @@
+"""Super-nodes: the summaries anySCAN builds clusters from.
+
+Step 1 of anySCAN summarizes each examined core vertex ``p`` into a
+super-node ``sn(p)`` holding its structural neighborhood ``N_p^ε`` (plus
+``p`` itself — Lemma 1 guarantees all of them share a cluster).  Cluster
+labels are tracked per *super-node* in a disjoint set, which is why the
+label-propagation work is so much smaller than SCAN's per-vertex labeling.
+
+:class:`SuperNodeIndex` also maintains the inverted membership index
+``vertex -> [super-node ids]`` that Steps 2–4 need: strongly-related
+super-nodes are exactly those sharing a member (Definition 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.structures.disjoint_set import DisjointSet
+
+__all__ = ["SuperNode", "SuperNodeIndex"]
+
+
+@dataclass(frozen=True)
+class SuperNode:
+    """One super-node ``sn(p)``: representative plus member vertices."""
+
+    sid: int
+    representative: int
+    members: np.ndarray  # includes the representative
+
+    def __contains__(self, vertex: int) -> bool:
+        pos = int(np.searchsorted(self.members, vertex))
+        return pos < self.members.shape[0] and int(self.members[pos]) == vertex
+
+    def __len__(self) -> int:
+        return int(self.members.shape[0])
+
+
+class SuperNodeIndex:
+    """The super-node list ``SN`` with membership index and cluster labels."""
+
+    def __init__(self, num_vertices: int) -> None:
+        self._num_vertices = num_vertices
+        self._nodes: List[SuperNode] = []
+        self._memberships: Dict[int, List[int]] = {}
+        self._labels = DisjointSet(0)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add(self, representative: int, neighborhood: Sequence[int]) -> SuperNode:
+        """Create ``sn(representative)`` from its ε-neighborhood.
+
+        The representative is folded into the member set; members are kept
+        sorted for fast containment tests.
+        """
+        members = np.unique(
+            np.concatenate(
+                [
+                    np.asarray(neighborhood, dtype=np.int64).ravel(),
+                    np.asarray([representative], dtype=np.int64),
+                ]
+            )
+        )
+        if members.shape[0] and (
+            members[0] < 0 or members[-1] >= self._num_vertices
+        ):
+            raise ReproError("super-node member out of range")
+        sid = len(self._nodes)
+        node = SuperNode(sid=sid, representative=representative, members=members)
+        self._nodes.append(node)
+        self._labels.grow(1)
+        for v in members:
+            self._memberships.setdefault(int(v), []).append(sid)
+        return node
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[SuperNode]:
+        return iter(self._nodes)
+
+    def node(self, sid: int) -> SuperNode:
+        """Super-node by id."""
+        return self._nodes[sid]
+
+    def supernodes_of(self, vertex: int) -> List[int]:
+        """Ids of all super-nodes containing ``vertex`` (``SN_v``)."""
+        return self._memberships.get(int(vertex), [])
+
+    def membership_count(self, vertex: int) -> int:
+        """``|SN_v|`` — how many super-nodes contain ``vertex``."""
+        return len(self._memberships.get(int(vertex), ()))
+
+    def covered(self, vertex: int) -> bool:
+        """Whether ``vertex`` belongs to at least one super-node."""
+        return int(vertex) in self._memberships
+
+    @property
+    def labels(self) -> DisjointSet:
+        """Disjoint set over super-node ids (cluster labels)."""
+        return self._labels
+
+    # ------------------------------------------------------------------
+    # cluster helpers
+    # ------------------------------------------------------------------
+    def cluster_of_vertex(self, vertex: int) -> int:
+        """Cluster root of ``vertex``, or -1 when it has no super-node.
+
+        Vertices in several super-nodes take the cluster of the first; the
+        paper notes shared borders may legitimately land in either side.
+        """
+        sids = self._memberships.get(int(vertex))
+        if not sids:
+            return -1
+        return self._labels.find(sids[0])
+
+    def all_same_cluster(self, vertex: int) -> bool:
+        """Whether every super-node of ``vertex`` already shares one label.
+
+        This is the Step 2 pruning test (Figure 2 line 25): such a vertex
+        cannot change the clustering and is skipped without a core check.
+        """
+        sids = self._memberships.get(int(vertex), [])
+        if len(sids) <= 1:
+            return True
+        first = self._labels.find(sids[0])
+        return all(self._labels.find(s) == first for s in sids[1:])
+
+    def merge(self, sid_a: int, sid_b: int) -> bool:
+        """Union the clusters of two super-nodes; True if they merged."""
+        return self._labels.union(sid_a, sid_b)
+
+    def vertex_labels(self) -> np.ndarray:
+        """Cluster label per vertex (-1 for vertices outside all super-nodes).
+
+        This is the "label all vertices according to the label of their
+        super-nodes" operation that materializes an intermediate result.
+        """
+        labels = -np.ones(self._num_vertices, dtype=np.int64)
+        for vertex, sids in self._memberships.items():
+            labels[vertex] = self._labels.find(sids[0])
+        return labels
+
+    def representative_cluster_roots(self) -> Dict[int, int]:
+        """Map cluster root -> id of one representative super-node."""
+        out: Dict[int, int] = {}
+        for node in self._nodes:
+            root = self._labels.find(node.sid)
+            out.setdefault(root, node.sid)
+        return out

@@ -1,0 +1,206 @@
+"""Tests for the anySCAN algorithm: API, anytime contract, internals."""
+
+import numpy as np
+import pytest
+
+from repro.core import AnySCAN, AnyScanConfig
+from repro.errors import ConfigError, ReproError
+from repro.structures.state import VertexState
+
+S = VertexState
+
+
+def config(**overrides):
+    base = dict(mu=3, epsilon=0.5, alpha=16, beta=16, record_costs=True)
+    base.update(overrides)
+    return AnyScanConfig(**base)
+
+
+class TestConfig:
+    def test_defaults_follow_paper(self):
+        c = AnyScanConfig()
+        assert (c.mu, c.epsilon, c.alpha, c.beta) == (5, 0.5, 8192, 8192)
+
+    def test_invalid_mu(self):
+        with pytest.raises(ConfigError):
+            AnyScanConfig(mu=0).validate()
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ConfigError):
+            AnyScanConfig(epsilon=0.0).validate()
+
+    def test_invalid_blocks(self):
+        with pytest.raises(ConfigError):
+            AnyScanConfig(alpha=0).validate()
+        with pytest.raises(ConfigError):
+            AnyScanConfig(beta=-1).validate()
+
+
+class TestLifecycle:
+    def test_run_returns_clustering(self, karate):
+        result = AnySCAN(karate, config()).run()
+        assert result.num_vertices == 34
+        assert result.num_clusters >= 1
+
+    def test_result_before_finish_raises(self, karate):
+        algo = AnySCAN(karate, config())
+        with pytest.raises(ReproError):
+            algo.result()
+
+    def test_finished_flag(self, karate):
+        algo = AnySCAN(karate, config())
+        assert not algo.finished
+        algo.run()
+        assert algo.finished
+
+    def test_iterations_resumable(self, karate):
+        algo = AnySCAN(karate, config(alpha=4, beta=4))
+        iterator = algo.iterations()
+        first = next(iterator)
+        assert first.step == "summarize"
+        # Suspend (do nothing), then resume through the same handle.
+        rest = list(iterator)
+        assert rest[-1].final
+        assert algo.finished
+
+    def test_iterations_same_handle(self, karate):
+        algo = AnySCAN(karate, config())
+        assert algo.iterations() is algo.iterations()
+
+    def test_run_after_partial_iteration(self, karate):
+        algo = AnySCAN(karate, config(alpha=4, beta=4))
+        next(algo.iterations())
+        result = algo.run()
+        assert algo.finished
+        assert result.num_clusters >= 1
+
+    def test_snapshot_without_advancing(self, karate):
+        algo = AnySCAN(karate, config(alpha=4))
+        next(algo.iterations())
+        snap1 = algo.snapshot()
+        snap2 = algo.snapshot()
+        assert snap1.iteration == snap2.iteration
+        assert np.array_equal(snap1.labels, snap2.labels)
+
+
+class TestSnapshots:
+    def test_steps_in_order(self, karate):
+        algo = AnySCAN(karate, config(alpha=8, beta=8))
+        steps = [snap.step for snap in algo.iterations()]
+        order = {"summarize": 0, "merge-strong": 1, "merge-weak": 2,
+                 "borders": 3}
+        ranks = [order[s] for s in steps]
+        assert ranks == sorted(ranks)
+        assert steps[-1] == "borders"
+
+    def test_final_snapshot_flagged(self, karate):
+        snaps = list(AnySCAN(karate, config()).iterations())
+        assert snaps[-1].final
+        assert all(not s.final for s in snaps[:-1])
+
+    def test_work_units_monotone(self, lfr_small):
+        algo = AnySCAN(lfr_small, config(mu=4, alpha=32, beta=32))
+        works = [snap.work_units for snap in algo.iterations()]
+        assert works == sorted(works)
+
+    def test_assigned_fraction_monotone_in_step1(self, lfr_small):
+        algo = AnySCAN(lfr_small, config(mu=4, alpha=32, beta=32))
+        fractions = [
+            snap.assigned_fraction
+            for snap in algo.iterations()
+            if snap.step == "summarize"
+        ]
+        assert all(b >= a - 1e-12 for a, b in zip(fractions, fractions[1:]))
+
+    def test_block_size_controls_iteration_count(self, lfr_small):
+        fine = AnySCAN(lfr_small, config(mu=4, alpha=16, beta=16))
+        coarse = AnySCAN(lfr_small, config(mu=4, alpha=256, beta=256))
+        n_fine = sum(1 for _ in fine.iterations())
+        n_coarse = sum(1 for _ in coarse.iterations())
+        assert n_fine > n_coarse
+
+    def test_snapshot_clustering_roundtrip(self, karate):
+        algo = AnySCAN(karate, config())
+        last = None
+        for snap in algo.iterations():
+            last = snap
+        clustering = last.clustering()
+        assert clustering.num_clusters == last.num_clusters
+
+
+class TestStates:
+    def test_all_vertices_terminal_after_run(self, karate):
+        algo = AnySCAN(karate, config())
+        algo.run()
+        for v in range(34):
+            state = algo.states.get(v)
+            assert state in (
+                S.PROCESSED_CORE,
+                S.PROCESSED_BORDER,
+                S.PROCESSED_NOISE,
+                S.UNPROCESSED_CORE,
+                S.UNPROCESSED_BORDER,
+            )
+
+    def test_low_degree_marked_noise_upfront(self, star_graph):
+        algo = AnySCAN(star_graph, AnyScanConfig(mu=4, epsilon=0.5))
+        # Leaves have degree 1 < μ-1: unprocessed-noise before any query.
+        for leaf in range(1, 7):
+            assert algo.states.get(leaf) == S.UNPROCESSED_NOISE
+
+    def test_core_states_match_roles(self, lfr_small):
+        algo = AnySCAN(lfr_small, config(mu=4))
+        result = algo.run()
+        for v in algo.states.vertices_in(S.PROCESSED_CORE, S.UNPROCESSED_CORE):
+            assert int(result.labels[int(v)]) >= 0
+
+
+class TestStatistics:
+    def test_statistics_keys(self, karate):
+        algo = AnySCAN(karate, config())
+        algo.run()
+        stats = algo.statistics()
+        for key in (
+            "sigma_evaluations",
+            "num_supernodes",
+            "union_calls",
+            "union_calls_by_step",
+            "state_counts",
+        ):
+            assert key in stats
+
+    def test_supernodes_fewer_than_vertices(self, lfr_medium):
+        algo = AnySCAN(lfr_medium, config(mu=4, alpha=64, beta=64))
+        algo.run()
+        assert 0 < algo.statistics()["num_supernodes"] < len(lfr_medium)
+
+    def test_cache_prevents_duplicate_evaluations(self, karate):
+        algo = AnySCAN(karate, config())
+        algo.run()
+        # At most one evaluation per edge pair (adjacent or two-hop).
+        assert len(algo._sim_cache) >= algo.statistics()["sigma_evaluations"] - \
+            algo.oracle.counters.neighborhood_queries * 0
+        assert algo.statistics()["sigma_evaluations"] <= karate.num_edges
+
+    def test_cost_log_recorded(self, karate):
+        algo = AnySCAN(karate, config(record_costs=True))
+        algo.run()
+        assert algo.cost_log
+        assert any(rec.blocks for rec in algo.cost_log)
+
+    def test_cost_log_disabled(self, karate):
+        algo = AnySCAN(karate, config(record_costs=False))
+        algo.run()
+        assert algo.cost_log == []
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self, lfr_small):
+        a = AnySCAN(lfr_small, config(mu=4, seed=5)).run()
+        b = AnySCAN(lfr_small, config(mu=4, seed=5)).run()
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_different_seed_same_partition_size(self, lfr_small):
+        a = AnySCAN(lfr_small, config(mu=4, seed=1)).run()
+        b = AnySCAN(lfr_small, config(mu=4, seed=2)).run()
+        assert a.num_clusters == b.num_clusters

@@ -1,0 +1,155 @@
+"""anySCAN exactness (Lemma 4): final result ≡ SCAN, across everything.
+
+The randomized sweep varies graph family, weights, μ, ε, block sizes,
+sorting, and similarity semantics; each run is compared with the
+three-part SCAN-equivalence of :mod:`repro.metrics.comparison`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import scan
+from repro.core import AnySCAN, AnyScanConfig
+from repro.graph.generators.lfr import LFRParams, lfr_graph
+from repro.graph.generators.random_graphs import (
+    gnm_random_graph,
+    relaxed_caveman_graph,
+    watts_strogatz_graph,
+)
+from repro.graph.generators.rmat import rmat_graph
+from repro.graph.generators.weights import (
+    assign_random_weights,
+    assign_triadic_weights,
+)
+from repro.metrics.comparison import explain_difference
+from repro.similarity.weighted import SimilarityConfig, SimilarityOracle
+
+
+def assert_exact(graph, mu, eps, *, alpha=48, beta=33, seed=0,
+                 similarity=None, sort_candidates=True):
+    similarity = similarity or SimilarityConfig()
+    oracle = SimilarityOracle(graph, similarity)
+    reference = scan(
+        graph, mu, eps,
+        oracle=SimilarityOracle(graph, similarity), seed=seed,
+    )
+    algo = AnySCAN(
+        graph,
+        AnyScanConfig(
+            mu=mu, epsilon=eps, alpha=alpha, beta=beta, seed=seed,
+            similarity=similarity, sort_candidates=sort_candidates,
+            record_costs=False,
+        ),
+    )
+    result = algo.run()
+    problems = explain_difference(graph, oracle, reference, result, mu, eps)
+    assert not problems, problems
+
+
+class TestFixtures:
+    @pytest.mark.parametrize(
+        "fixture", ["karate", "triangle", "two_triangles_bridge",
+                    "path_graph", "star_graph", "caveman",
+                    "lfr_small", "random_sparse"]
+    )
+    def test_fixture_graphs(self, request, fixture):
+        graph = request.getfixturevalue(fixture)
+        assert_exact(graph, 3, 0.5)
+
+    @pytest.mark.parametrize("mu", [2, 3, 5, 8])
+    def test_mu_grid_karate(self, karate, mu):
+        assert_exact(karate, mu, 0.5)
+
+    @pytest.mark.parametrize("eps", [0.2, 0.4, 0.6, 0.8, 1.0])
+    def test_eps_grid_karate(self, karate, eps):
+        assert_exact(karate, 3, eps)
+
+
+class TestBlockSizes:
+    @pytest.mark.parametrize("alpha,beta", [(1, 1), (2, 7), (16, 16),
+                                            (1000, 1000)])
+    def test_extreme_blocks(self, karate, alpha, beta):
+        assert_exact(karate, 3, 0.5, alpha=alpha, beta=beta)
+
+    def test_block_of_one_on_lfr(self, lfr_small):
+        assert_exact(lfr_small, 4, 0.5, alpha=1, beta=1)
+
+
+class TestSortingOff:
+    def test_unsorted_still_exact(self, lfr_small):
+        assert_exact(lfr_small, 4, 0.5, sort_candidates=False)
+
+    def test_unsorted_caveman(self, caveman):
+        assert_exact(caveman, 4, 0.6, sort_candidates=False)
+
+
+class TestSimilarityModes:
+    def test_pruning_off(self, karate):
+        assert_exact(
+            karate, 3, 0.5, similarity=SimilarityConfig(pruning=False)
+        )
+
+    def test_open_neighborhoods(self, karate):
+        assert_exact(
+            karate, 3, 0.4,
+            similarity=SimilarityConfig(closed=False, count_self=False),
+        )
+
+    def test_count_self_off(self, karate):
+        assert_exact(
+            karate, 3, 0.5, similarity=SimilarityConfig(count_self=False)
+        )
+
+
+@pytest.mark.parametrize("seed", range(6))
+class TestRandomizedFamilies:
+    def test_gnm(self, seed):
+        graph = gnm_random_graph(130, 650, seed=seed)
+        assert_exact(graph, 4, 0.45, seed=seed)
+
+    def test_lfr(self, seed):
+        graph, _ = lfr_graph(
+            LFRParams(n=240, average_degree=9, max_degree=26,
+                      mixing=0.3, seed=seed)
+        )
+        assert_exact(graph, 3, 0.5, seed=seed, alpha=29, beta=17)
+
+    def test_watts_strogatz(self, seed):
+        graph = watts_strogatz_graph(150, 6, 0.2, seed=seed)
+        assert_exact(graph, 3, 0.55, seed=seed)
+
+    def test_rmat(self, seed):
+        graph = rmat_graph(7, 6, seed=seed)
+        assert_exact(graph, 3, 0.4, seed=seed)
+
+    def test_random_weights(self, seed):
+        graph = relaxed_caveman_graph(9, 7, 0.2, seed=seed)
+        graph = assign_random_weights(graph, low=0.2, high=3.0, seed=seed)
+        assert_exact(graph, 4, 0.5, seed=seed)
+
+    def test_triadic_weights(self, seed):
+        graph = gnm_random_graph(100, 500, seed=seed)
+        graph = assign_triadic_weights(graph)
+        assert_exact(graph, 3, 0.5, seed=seed)
+
+
+class TestStress:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_medium_lfr_tight_blocks(self, seed):
+        graph, _ = lfr_graph(
+            LFRParams(n=500, average_degree=12, max_degree=50,
+                      mixing=0.35, seed=100 + seed)
+        )
+        assert_exact(graph, 5, 0.5, alpha=23, beta=11, seed=seed)
+
+    def test_disconnected_components(self):
+        # Two separate caveman worlds in one graph.
+        from repro.graph.builder import GraphBuilder
+
+        a = relaxed_caveman_graph(4, 6, 0.1, seed=1)
+        builder = GraphBuilder(2 * a.num_vertices)
+        for u, v, w in a.edges():
+            builder.add_edge(u, v, w)
+            builder.add_edge(u + a.num_vertices, v + a.num_vertices, w)
+        graph = builder.build()
+        assert_exact(graph, 3, 0.6)

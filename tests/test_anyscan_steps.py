@@ -1,0 +1,198 @@
+"""White-box tests of anySCAN's four steps (Figure 2 fidelity).
+
+Each test builds a small graph engineered to exercise one mechanism of
+the pseudocode: super-node creation, the Step 1 strong unions, the Step 2
+prune and shared-core merge (Lemma 2), the Step 3 weak merge (Lemma 3),
+and the Step 4 border promotion.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AnySCAN, AnyScanConfig
+from repro.graph.builder import GraphBuilder
+from repro.structures.state import VertexState as S
+
+
+def clique_edges(vertices):
+    return [
+        (a, b)
+        for i, a in enumerate(vertices)
+        for b in vertices[i + 1 :]
+    ]
+
+
+def run(graph, mu, eps, *, alpha=100, beta=100, seed=0):
+    algo = AnySCAN(
+        graph,
+        AnyScanConfig(
+            mu=mu, epsilon=eps, alpha=alpha, beta=beta, seed=seed,
+            record_costs=False,
+        ),
+    )
+    result = algo.run()
+    return algo, result
+
+
+class TestStep1Summarization:
+    def test_no_untouched_vertices_remain(self, lfr_small):
+        algo, _ = run(lfr_small, 4, 0.5, alpha=24, beta=24)
+        assert algo.states.untouched_vertices().shape[0] == 0
+
+    def test_supernode_reps_are_processed_cores(self, caveman):
+        algo, _ = run(caveman, 3, 0.5)
+        for node in algo.supernodes:
+            assert algo.states.get(node.representative) == S.PROCESSED_CORE
+
+    def test_supernode_members_are_eps_neighbors(self, caveman):
+        algo, _ = run(caveman, 3, 0.5)
+        for node in algo.supernodes:
+            rep = node.representative
+            hood = set(
+                int(q)
+                for q in algo.oracle.eps_neighborhood(rep, 0.5)
+            ) | {rep}
+            assert set(int(v) for v in node.members) == hood
+
+    def test_noise_list_holds_noise_or_promoted_borders(self):
+        # A sparse star: the center has degree 6 but weak σ to leaves.
+        builder = GraphBuilder(7)
+        for leaf in range(1, 7):
+            builder.add_edge(0, leaf)
+        graph = builder.build()
+        algo, result = run(graph, 3, 0.9)
+        assert result.num_clusters == 0
+        # The center was range-queried and found noise; leaves never
+        # needed a query (degree below μ-1).
+        assert algo.states.get(0) == S.PROCESSED_NOISE
+        for leaf in range(1, 7):
+            assert algo.states.get(leaf) == S.PROCESSED_NOISE
+
+    def test_shared_core_merges_in_step1(self):
+        # Two K4s sharing one vertex (3): the shared vertex is a core of
+        # both neighborhoods, so their super-nodes must merge (footnote 2
+        # of the paper: cores are handled in Step 1).
+        edges = clique_edges([0, 1, 2, 3]) + clique_edges([3, 4, 5, 6])
+        graph = GraphBuilder(7)
+        for u, v in edges:
+            graph.add_edge(u, v)
+        algo, result = run(graph.build(), 3, 0.5)
+        assert result.num_clusters == 1
+        total_unions = algo.statistics()["union_calls_by_step"]
+        assert sum(total_unions.values()) >= 1
+
+
+class TestStep2StrongMerge:
+    def test_strongly_related_cliques_merge(self):
+        # Two K5s overlapping in two non-adjacent... simpler: overlapping
+        # in two vertices (3, 4) — the shared vertices sit in both
+        # ε-neighborhoods, so the super-nodes are strongly related.
+        left = [0, 1, 2, 3, 4]
+        right = [3, 4, 5, 6, 7]
+        builder = GraphBuilder(8)
+        seen = set()
+        for u, v in clique_edges(left) + clique_edges(right):
+            key = (min(u, v), max(u, v))
+            if key not in seen:
+                seen.add(key)
+                builder.add_edge(u, v)
+        algo, result = run(builder.build(), 3, 0.55)
+        assert result.num_clusters == 1
+
+    def test_prune_skips_same_cluster_vertices(self, caveman):
+        # After a run, every multi-super-node vertex must see all its
+        # super-nodes in one cluster (otherwise Step 2 failed to merge).
+        algo, _ = run(caveman, 3, 0.5)
+        for v in range(caveman.num_vertices):
+            if algo.supernodes.membership_count(v) >= 2:
+                assert algo.supernodes.all_same_cluster(v)
+
+
+class TestStep3WeakMerge:
+    def test_adjacent_cliques_merge_when_sigma_passes(self):
+        # Two K5s joined by a dense K2,2 bridge: the bridge endpoints
+        # share two common neighbors across the gap, so σ(0, 5) ≈ 0.57
+        # passes ε=0.5 — yet the cliques share no vertex (weakly related
+        # only; this is exactly the sn(a)/sn(c) case of Figure 1).
+        left = [0, 1, 2, 3, 4]
+        right = [5, 6, 7, 8, 9]
+        builder = GraphBuilder(10)
+        for u, v in clique_edges(left) + clique_edges(right):
+            builder.add_edge(u, v)
+        for u, v in [(0, 5), (0, 6), (1, 5), (1, 6)]:
+            builder.add_edge(u, v)
+        algo, result = run(builder.build(), 3, 0.5)
+        # At ε=0.5 the bridge σ values pass: one merged cluster.
+        assert result.num_clusters == 1
+        assert algo.statistics()["union_calls_by_step"].get(
+            "step3", 0
+        ) + algo.statistics()["union_calls_by_step"].get(
+            "step1", 0
+        ) + algo.statistics()["union_calls_by_step"].get("step2", 0) >= 1
+
+    def test_adjacent_cliques_stay_apart_when_sigma_fails(self):
+        # One thin bridge edge: σ across it is low, clusters stay apart.
+        left = [0, 1, 2, 3, 4]
+        right = [5, 6, 7, 8, 9]
+        builder = GraphBuilder(10)
+        for u, v in clique_edges(left) + clique_edges(right):
+            builder.add_edge(u, v)
+        builder.add_edge(0, 5)
+        _, result = run(builder.build(), 3, 0.7)
+        assert result.num_clusters == 2
+        # The bridge endpoints are still members of their own cliques.
+        assert result.labels[0] >= 0
+        assert result.labels[5] >= 0
+        assert result.labels[0] != result.labels[5]
+
+
+class TestStep4Borders:
+    def test_pendant_of_core_becomes_border(self):
+        # K5 plus one pendant vertex attached to two clique members:
+        # the pendant has degree 2 < μ-1 → unprocessed-noise → Step 4
+        # must promote it via its ε-similar core neighbor (if σ passes).
+        builder = GraphBuilder(6)
+        for u, v in clique_edges([0, 1, 2, 3, 4]):
+            builder.add_edge(u, v)
+        builder.add_edge(5, 0)
+        builder.add_edge(5, 1)
+        algo, result = run(builder.build(), 4, 0.5)
+        assert int(result.labels[5]) == int(result.labels[0])
+        assert algo.states.get(5) == S.PROCESSED_BORDER
+
+    def test_true_outlier_stays_noise(self):
+        builder = GraphBuilder(7)
+        for u, v in clique_edges([0, 1, 2, 3, 4]):
+            builder.add_edge(u, v)
+        builder.add_edge(5, 6)  # an isolated dyad
+        _, result = run(builder.build(), 3, 0.5)
+        assert int(result.labels[5]) == -2
+        assert int(result.labels[6]) == -2
+
+    def test_hub_between_two_clusters(self):
+        # Vertex 10 touches both cliques but belongs to neither.
+        builder = GraphBuilder(11)
+        for u, v in clique_edges([0, 1, 2, 3, 4]):
+            builder.add_edge(u, v)
+        for u, v in clique_edges([5, 6, 7, 8, 9]):
+            builder.add_edge(u, v)
+        builder.add_edge(10, 0)
+        builder.add_edge(10, 5)
+        _, result = run(builder.build(), 3, 0.6)
+        assert result.num_clusters == 2
+        assert int(result.labels[10]) == -1  # HUB
+
+
+class TestBlockBoundaries:
+    @pytest.mark.parametrize("alpha", [1, 2, 3, 5, 50])
+    def test_any_alpha_gives_same_partition(self, alpha):
+        builder = GraphBuilder(10)
+        for u, v in clique_edges([0, 1, 2, 3, 4]):
+            builder.add_edge(u, v)
+        for u, v in clique_edges([5, 6, 7, 8, 9]):
+            builder.add_edge(u, v)
+        builder.add_edge(4, 5)
+        graph = builder.build()
+        _, baseline = run(graph, 3, 0.6, alpha=100, beta=100)
+        _, result = run(graph, 3, 0.6, alpha=alpha, beta=alpha)
+        assert baseline.same_partition(result)

@@ -1,0 +1,156 @@
+"""Tests for the anytime runner and traces."""
+
+import numpy as np
+import pytest
+
+from repro.anytime import AnytimeRunner, AnytimeTrace, TracePoint
+from repro.baselines import scan
+from repro.core import AnySCAN, AnyScanConfig
+from repro.metrics import nmi
+
+
+def make_algo(graph, *, mu=4, eps=0.5, alpha=24, beta=24):
+    return AnySCAN(
+        graph,
+        AnyScanConfig(
+            mu=mu, epsilon=eps, alpha=alpha, beta=beta, record_costs=False
+        ),
+    )
+
+
+class TestStepping:
+    def test_step_advances(self, lfr_small):
+        runner = AnytimeRunner(make_algo(lfr_small))
+        snap = runner.step()
+        assert snap is not None
+        assert snap.iteration == 0
+        assert runner.last_snapshot is snap
+
+    def test_step_after_finish_returns_none(self, triangle):
+        runner = AnytimeRunner(make_algo(triangle, mu=2))
+        runner.finish()
+        assert runner.step() is None
+
+    def test_finish_reaches_final(self, lfr_small):
+        runner = AnytimeRunner(make_algo(lfr_small))
+        snap = runner.finish()
+        assert snap.final
+        assert runner.finished
+
+
+class TestBudgets:
+    def test_max_iterations(self, lfr_small):
+        runner = AnytimeRunner(make_algo(lfr_small, alpha=8, beta=8))
+        snap = runner.run_until(max_iterations=3)
+        assert snap is not None
+        assert snap.iteration == 2
+        assert not runner.finished
+
+    def test_max_work_units(self, lfr_small):
+        runner = AnytimeRunner(make_algo(lfr_small, alpha=8, beta=8))
+        snap = runner.run_until(max_work_units=500.0)
+        assert snap.work_units >= 500.0 or runner.finished
+
+    def test_stop_when_predicate(self, lfr_small):
+        runner = AnytimeRunner(make_algo(lfr_small, alpha=8))
+        snap = runner.run_until(stop_when=lambda s: s.num_clusters >= 1)
+        assert snap.num_clusters >= 1 or runner.finished
+
+    def test_resume_after_budget(self, lfr_small):
+        algo = make_algo(lfr_small, alpha=8, beta=8)
+        runner = AnytimeRunner(algo)
+        runner.run_until(max_iterations=2)
+        final = runner.finish()
+        assert final.final
+        assert algo.finished
+
+    def test_budget_checked_after_iteration(self, triangle):
+        # Even a zero budget performs at least one iteration (the paper's
+        # suspension granularity is the block).
+        runner = AnytimeRunner(make_algo(triangle, mu=2))
+        snap = runner.run_until(max_work_units=0.0)
+        assert snap is not None
+
+
+class TestTraces:
+    def test_trace_reaches_one(self, lfr_small):
+        reference = scan(lfr_small, 4, 0.5, seed=1)
+        runner = AnytimeRunner(make_algo(lfr_small))
+        trace = runner.trace_against(reference.labels)
+        assert len(trace) > 1
+        assert trace.final_quality == pytest.approx(1.0)
+
+    def test_trace_quality_trends_upward(self, lfr_medium):
+        reference = scan(lfr_medium, 4, 0.5, seed=1)
+        runner = AnytimeRunner(make_algo(lfr_medium, alpha=64, beta=64))
+        trace = runner.trace_against(reference.labels)
+        assert trace.is_monotone(tolerance=0.25)
+        assert trace.final_quality == pytest.approx(1.0)
+
+    def test_first_reaching(self, lfr_small):
+        reference = scan(lfr_small, 4, 0.5, seed=1)
+        trace = AnytimeRunner(make_algo(lfr_small)).trace_against(
+            reference.labels
+        )
+        point = trace.first_reaching(0.5)
+        assert point is not None
+        assert point.quality >= 0.5
+        assert trace.first_reaching(1.1) is None
+
+    def test_quality_at_work_budget(self, lfr_small):
+        reference = scan(lfr_small, 4, 0.5, seed=1)
+        trace = AnytimeRunner(make_algo(lfr_small)).trace_against(
+            reference.labels
+        )
+        assert trace.quality_at_work(0.0) == 0.0
+        assert trace.quality_at_work(np.inf) == pytest.approx(
+            max(p.quality for p in trace)
+        )
+
+    def test_score_every_skips_points(self, lfr_small):
+        reference = scan(lfr_small, 4, 0.5, seed=1)
+        dense = AnytimeRunner(
+            make_algo(lfr_small, alpha=8, beta=8)
+        ).trace_against(reference.labels)
+        sparse = AnytimeRunner(
+            make_algo(lfr_small, alpha=8, beta=8)
+        ).trace_against(reference.labels, score_every=4)
+        assert len(sparse) < len(dense)
+        assert sparse.points[-1].final
+
+    def test_custom_metric(self, lfr_small):
+        reference = scan(lfr_small, 4, 0.5, seed=1)
+        trace = AnytimeRunner(make_algo(lfr_small)).trace_against(
+            reference.labels,
+            metric=lambda ref, lab: nmi(ref, lab, noise="drop"),
+        )
+        assert len(trace) > 0
+
+
+class TestTraceContainer:
+    def test_container_protocol(self):
+        trace = AnytimeTrace()
+        point = TracePoint(
+            iteration=0, step="summarize", wall_time=0.1,
+            work_units=10.0, quality=0.5, num_clusters=2,
+            assigned_fraction=0.4,
+        )
+        trace.append(point)
+        assert len(trace) == 1
+        assert trace[0] is point
+        assert list(trace) == [point]
+        assert trace.rows() == [(0, "summarize", 0.1, 10.0, 0.5)]
+
+    def test_empty_trace_properties(self):
+        trace = AnytimeTrace()
+        assert np.isnan(trace.final_quality)
+        assert trace.total_work == 0.0
+
+    def test_monotone_detection(self):
+        def point(q):
+            return TracePoint(0, "s", 0.0, 0.0, q, 0, 0.0)
+
+        up = AnytimeTrace([point(0.1), point(0.5), point(1.0)])
+        down = AnytimeTrace([point(0.9), point(0.2)])
+        assert up.is_monotone()
+        assert not down.is_monotone(tolerance=0.05)

@@ -1,0 +1,110 @@
+"""Every baseline must produce SCAN's exact clustering.
+
+The paper's comparison is only meaningful because SCAN-B, pSCAN, and
+SCAN++ are exact; this module checks them against SCAN on the shared
+fixtures and on randomized graphs across the parameter grid.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import pscan, scan, scan_b, scanpp
+from repro.graph.generators.lfr import LFRParams, lfr_graph
+from repro.graph.generators.random_graphs import (
+    gnm_random_graph,
+    relaxed_caveman_graph,
+)
+from repro.graph.generators.weights import assign_random_weights
+from repro.metrics.comparison import explain_difference
+from repro.similarity.weighted import SimilarityConfig, SimilarityOracle
+
+ALGORITHMS = {
+    "scan_b": lambda g, mu, eps: scan_b(g, mu, eps, seed=7),
+    "pscan": lambda g, mu, eps: pscan(g, mu, eps),
+    "scanpp": lambda g, mu, eps: scanpp(g, mu, eps, seed=7),
+}
+
+
+def assert_equivalent(graph, mu, eps, name, algorithm):
+    oracle = SimilarityOracle(graph, SimilarityConfig())
+    reference = scan(graph, mu, eps, seed=3)
+    candidate = algorithm(graph, mu, eps)
+    problems = explain_difference(
+        graph, oracle, reference, candidate, mu, eps
+    )
+    assert not problems, f"{name} on μ={mu}, ε={eps}: {problems}"
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+class TestFixtureGraphs:
+    @pytest.mark.parametrize(
+        "fixture", ["karate", "triangle", "two_triangles_bridge",
+                    "path_graph", "star_graph", "caveman", "lfr_small"]
+    )
+    def test_fixture(self, request, fixture, name):
+        graph = request.getfixturevalue(fixture)
+        assert_equivalent(graph, 3, 0.5, name, ALGORITHMS[name])
+
+    @pytest.mark.parametrize("mu,eps", [(2, 0.3), (5, 0.5), (3, 0.8)])
+    def test_parameter_grid_on_karate(self, karate, name, mu, eps):
+        assert_equivalent(karate, mu, eps, name, ALGORITHMS[name])
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+@pytest.mark.parametrize("seed", range(4))
+class TestRandomized:
+    def test_gnm(self, name, seed):
+        graph = gnm_random_graph(120, 700, seed=seed)
+        assert_equivalent(graph, 4, 0.45, name, ALGORITHMS[name])
+
+    def test_lfr(self, name, seed):
+        graph, _ = lfr_graph(
+            LFRParams(
+                n=250, average_degree=9, max_degree=25,
+                mixing=0.3, seed=seed,
+            )
+        )
+        assert_equivalent(graph, 3, 0.5, name, ALGORITHMS[name])
+
+    def test_weighted(self, name, seed):
+        graph = relaxed_caveman_graph(8, 7, 0.2, seed=seed)
+        graph = assign_random_weights(graph, low=0.3, high=2.5, seed=seed)
+        assert_equivalent(graph, 4, 0.55, name, ALGORITHMS[name])
+
+
+class TestPscanStats:
+    def test_stats_populated(self, karate):
+        stats = {}
+        pscan(karate, 3, 0.5, stats=stats)
+        assert stats["edges_evaluated"] <= karate.num_edges
+        assert stats["union_calls"] >= stats["effective_unions"]
+
+    def test_each_edge_evaluated_once(self, caveman):
+        oracle = SimilarityOracle(caveman, SimilarityConfig(pruning=False))
+        stats = {}
+        pscan(caveman, 4, 0.5, oracle=oracle, stats=stats)
+        assert oracle.counters.sigma_evaluations == stats["edges_evaluated"]
+        assert stats["edges_evaluated"] <= caveman.num_edges
+
+
+class TestScanppStats:
+    def test_stats_populated(self, karate):
+        stats = {}
+        scanpp(karate, 3, 0.5, stats=stats)
+        assert stats["num_pivots"] >= 1
+        assert stats["true_evaluations"] > 0
+
+    def test_pivots_cover_graph(self, lfr_small):
+        # Every vertex is a pivot or adjacent to one — implied by the
+        # total evaluation count never exceeding one per edge.
+        oracle = SimilarityOracle(lfr_small, SimilarityConfig(pruning=False))
+        stats = {}
+        scanpp(lfr_small, 4, 0.5, oracle=oracle, stats=stats)
+        total = stats["true_evaluations"] + stats["sharing_evaluations"]
+        assert total <= lfr_small.num_edges
+
+    def test_fewer_true_than_scan(self, caveman):
+        stats = {}
+        scanpp(caveman, 4, 0.5, stats=stats)
+        scan_evals = 2 * caveman.num_edges  # SCAN evaluates each edge twice
+        assert stats["true_evaluations"] < scan_evals

@@ -1,0 +1,38 @@
+"""Tests for the ``python -m repro.bench`` command line."""
+
+from repro.bench.__main__ import main
+
+
+class TestListing:
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out
+        assert "tab1" in out
+        assert "ext_dynamic" in out
+
+    def test_list_flag(self, capsys):
+        assert main(["--list"]) == 0
+        assert "available experiments" in capsys.readouterr().out
+
+
+class TestRunning:
+    def test_single_experiment_quick(self, capsys):
+        assert main(["tab1", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "GR01" in out
+        assert "finished in" in out
+
+    def test_quick_flag_uses_tiny(self, capsys):
+        assert main(["fig12", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Union operations" in out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_scale_option_accepted(self, capsys):
+        assert main(["tab2", "--quick", "--scale", "tiny"]) == 0
+        assert "LFR01" in capsys.readouterr().out

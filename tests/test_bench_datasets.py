@@ -1,0 +1,103 @@
+"""Tests for the dataset registry and its regime matching."""
+
+import pytest
+
+from repro.bench.datasets import (
+    DATASETS,
+    clear_cache,
+    dataset_names,
+    load_dataset,
+)
+from repro.errors import ExperimentError
+from repro.graph.stats import average_clustering, average_degree
+
+
+class TestRegistry:
+    def test_all_paper_datasets_present(self):
+        names = dataset_names("all")
+        for gr in ("GR01", "GR02", "GR03", "GR04", "GR05"):
+            assert gr in names
+        for i in range(1, 6):
+            assert f"LFR0{i}" in names
+            assert f"LFR1{i}" in names
+
+    def test_kind_filters(self):
+        assert all(n.startswith("GR") for n in dataset_names("real"))
+        assert all(n.startswith("LFR") for n in dataset_names("lfr"))
+        assert set(dataset_names("all")) == set(
+            dataset_names("real") + dataset_names("lfr")
+        )
+
+    def test_unknown_kind(self):
+        with pytest.raises(ExperimentError):
+            dataset_names("imaginary")
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ExperimentError):
+            load_dataset("GR99")
+
+    def test_unknown_scale(self):
+        with pytest.raises(ExperimentError):
+            DATASETS["GR01"].build("gigantic")
+
+    def test_specs_record_paper_stats(self):
+        spec = DATASETS["GR01"]
+        assert spec.paper_name == "ego-Gplus"
+        assert spec.paper_avg_degree == pytest.approx(127.06)
+
+
+class TestGeneration:
+    def test_tiny_datasets_load(self):
+        for name in ("GR01", "GR03", "LFR02", "LFR14"):
+            graph = load_dataset(name, "tiny")
+            assert graph.num_vertices > 100
+            assert graph.num_edges > 100
+
+    def test_cache_round_trip(self):
+        a = load_dataset("GR01", "tiny")
+        b = load_dataset("GR01", "tiny")  # likely from disk cache
+        assert a == b
+
+    def test_clear_cache_then_regenerate(self):
+        a = load_dataset("GR01", "tiny")
+        clear_cache()
+        b = load_dataset("GR01", "tiny")
+        assert a == b  # deterministic generation
+
+
+class TestRegimes:
+    def test_gr01_is_high_clustering(self):
+        g = load_dataset("GR01", "tiny")
+        assert average_clustering(g, sample=400, seed=0) > 0.35
+
+    def test_gr03_is_low_clustering(self):
+        g3 = load_dataset("GR03", "tiny")
+        g1 = load_dataset("GR01", "tiny")
+        assert average_clustering(g3, sample=400, seed=0) < average_clustering(
+            g1, sample=400, seed=0
+        )
+
+    def test_gr02_sparser_than_gr04(self):
+        assert average_degree(load_dataset("GR02", "tiny")) < average_degree(
+            load_dataset("GR04", "tiny")
+        )
+
+    def test_gr05_heavy_tail(self):
+        g = load_dataset("GR05", "tiny")
+        degrees = g.degrees
+        assert degrees.max() > 5 * max(float(degrees.mean()), 1.0)
+
+    def test_lfr_degree_sweep_monotone(self):
+        degs = [
+            average_degree(load_dataset(f"LFR0{i}", "tiny"))
+            for i in range(1, 6)
+        ]
+        assert all(b > a for a, b in zip(degs, degs[1:]))
+
+    def test_lfr_cc_sweep_monotone(self):
+        ccs = [
+            average_clustering(load_dataset(f"LFR1{i}", "tiny"),
+                               sample=500, seed=0)
+            for i in range(1, 6)
+        ]
+        assert all(b > a for a, b in zip(ccs, ccs[1:]))

@@ -1,0 +1,81 @@
+"""Smoke + shape tests for every experiment in the registry (quick mode).
+
+Each experiment must run end-to-end on tiny datasets and exhibit the
+paper's qualitative shape where one is asserted cheaply.
+"""
+
+import pytest
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.errors import ExperimentError
+
+ALL_IDS = sorted(EXPERIMENTS)
+
+
+class TestRegistry:
+    def test_every_table_and_figure_covered(self):
+        expected = {"tab1", "tab2"} | {f"fig{i}" for i in range(5, 15)}
+        assert expected <= set(EXPERIMENTS)
+
+    def test_ablations_present(self):
+        assert {"ablation_pruning", "ablation_sorting",
+                "ablation_schedule"} <= set(EXPERIMENTS)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("fig99")
+
+
+@pytest.mark.parametrize("exp_id", ALL_IDS)
+def test_experiment_runs_quick(exp_id):
+    results = run_experiment(exp_id, quick=True)
+    assert results, exp_id
+    for result in results:
+        assert result.rows, f"{exp_id}: empty table {result.title}"
+        text = result.render()
+        assert result.exp_id in text
+
+
+class TestShapes:
+    @pytest.fixture(scope="class")
+    def fig7(self):
+        return run_experiment("fig7", quick=True)
+
+    def test_fig7_scan_does_most_work(self, fig7):
+        counts = fig7[0]
+        for row in counts.rows:
+            by_name = dict(zip(counts.headers, row))
+            assert by_name["SCAN"] >= by_name["pSCAN"]
+            assert by_name["SCAN"] >= by_name["anySCAN"]
+
+    def test_fig12_unions_below_vertices(self):
+        panel = run_experiment("fig12", quick=True)[0]
+        for row in panel.rows:
+            by_name = dict(zip(panel.headers, row))
+            assert by_name["anySCAN unions"] <= by_name["|V|"]
+
+    def test_fig10_speedups_monotone(self):
+        results = run_experiment("fig10", quick=True)
+        final = results[-1]
+        for row in final.rows:
+            speedups = list(row[1:])
+            assert all(
+                b >= a - 1e-9 for a, b in zip(speedups, speedups[1:])
+            )
+
+    def test_fig11_anyscan_below_ideal_plus_margin(self):
+        panel = run_experiment("fig11", quick=True)[0]
+        rows = panel.rows
+        for i in range(0, len(rows), 2):
+            any_row, ideal_row = rows[i], rows[i + 1]
+            assert any_row[1] == "anySCAN" and ideal_row[1] == "ideal"
+            for a, b in zip(any_row[2:], ideal_row[2:]):
+                assert a <= b + 1.0
+
+    def test_ablation_pruning_saves_work(self):
+        panel = run_experiment("ablation_pruning", quick=True)[0]
+        by_dataset = {}
+        for row in panel.rows:
+            by_dataset.setdefault(row[0], {})[row[1]] = row[2]
+        for name, entry in by_dataset.items():
+            assert entry["on"] <= entry["off"] * 1.05, name

@@ -1,0 +1,84 @@
+"""Tests for the experiment harness and algorithm drivers."""
+
+import pytest
+
+from repro.bench.harness import (
+    ALGORITHMS,
+    ExperimentResult,
+    run_algorithm,
+)
+from repro.errors import ExperimentError
+
+
+class TestExperimentResult:
+    def _result(self):
+        r = ExperimentResult(
+            exp_id="figX",
+            title="demo",
+            headers=["name", "value", "count"],
+        )
+        r.add_row("a", 1.5, 10)
+        r.add_row("bb", 0.001, 2_000_000)
+        return r
+
+    def test_render_contains_everything(self):
+        text = self._result().render()
+        assert "figX" in text
+        assert "demo" in text
+        assert "bb" in text
+        assert "2,000,000" in text
+
+    def test_render_empty_rows(self):
+        r = ExperimentResult(exp_id="e", title="t", headers=["x"])
+        assert "e" in r.render()
+
+    def test_notes_rendered(self):
+        r = self._result()
+        r.notes.append("something important")
+        assert "something important" in r.render()
+
+    def test_column_access(self):
+        r = self._result()
+        assert r.column("name") == ["a", "bb"]
+        assert r.column("count") == [10, 2_000_000]
+
+    def test_column_missing(self):
+        with pytest.raises(ExperimentError):
+            self._result().column("nope")
+
+
+class TestAlgorithmDrivers:
+    def test_registry_contains_paper_lineup(self):
+        assert set(ALGORITHMS) == {
+            "SCAN", "SCAN-B", "SCAN++", "pSCAN", "anySCAN"
+        }
+
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_runs_and_instruments(self, karate, name):
+        run = run_algorithm(name, karate, 3, 0.5)
+        assert run.name == name
+        assert run.seconds >= 0
+        assert run.work_units > 0
+        assert run.clustering.num_vertices == 34
+
+    def test_all_drivers_agree_on_partition(self, lfr_small):
+        runs = {
+            name: run_algorithm(name, lfr_small, 4, 0.5)
+            for name in ALGORITHMS
+        }
+        reference = runs["SCAN"].clustering
+        for name, run in runs.items():
+            assert run.clustering.num_clusters == reference.num_clusters, name
+
+    def test_unknown_algorithm(self, karate):
+        with pytest.raises(ExperimentError):
+            run_algorithm("turboSCAN", karate, 3, 0.5)
+
+    def test_scanpp_extras(self, karate):
+        run = run_algorithm("SCAN++", karate, 3, 0.5)
+        assert "true_evaluations" in run.extra
+        assert "sharing_evaluations" in run.extra
+
+    def test_anyscan_extras(self, karate):
+        run = run_algorithm("anySCAN", karate, 3, 0.5)
+        assert run.extra["supernodes"] > 0

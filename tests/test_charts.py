@@ -1,0 +1,84 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.bench.charts import bar_chart, line_chart, sparkline
+from repro.errors import ExperimentError
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        line = sparkline([1, 2, 3, 4])
+        assert len(line) == 4
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_single_value(self):
+        assert len(sparkline([3.2])) == 1
+
+
+class TestBarChart:
+    def test_labels_and_values_present(self):
+        chart = bar_chart([("alpha", 10.0), ("beta", 5.0)], width=10)
+        assert "alpha" in chart
+        assert "10.00" in chart
+        lines = chart.splitlines()
+        assert lines[0].count("█") > lines[1].count("█")
+
+    def test_unit_suffix(self):
+        chart = bar_chart([("x", 2.0)], unit="s")
+        assert "2.00s" in chart
+
+    def test_zero_values(self):
+        chart = bar_chart([("x", 0.0), ("y", 0.0)])
+        assert "█" not in chart
+
+    def test_empty(self):
+        assert bar_chart([]) == "(no data)"
+
+    def test_invalid_width(self):
+        with pytest.raises(ExperimentError):
+            bar_chart([("x", 1.0)], width=0)
+
+
+class TestLineChart:
+    def test_contains_points_and_axis(self):
+        chart = line_chart([0, 1, 2, 3], [0, 1, 4, 9], width=20, height=6)
+        assert "•" in chart
+        assert "└" in chart
+        assert "9" in chart  # y max annotation
+
+    def test_labels_rendered(self):
+        chart = line_chart(
+            [0, 1], [0, 1], width=10, height=4,
+            x_label="time", y_label="NMI",
+        )
+        assert "time" in chart
+        assert "NMI" in chart
+
+    def test_constant_y(self):
+        chart = line_chart([0, 1, 2], [5, 5, 5], width=10, height=4)
+        assert "•" in chart
+
+    def test_empty(self):
+        assert line_chart([], []) == "(no data)"
+
+    def test_length_mismatch(self):
+        with pytest.raises(ExperimentError):
+            line_chart([1], [1, 2])
+
+    def test_too_small(self):
+        with pytest.raises(ExperimentError):
+            line_chart([1], [1], width=1, height=1)
+
+    def test_extremes_land_on_edges(self):
+        chart = line_chart([0, 10], [0, 10], width=10, height=5)
+        rows = [ln for ln in chart.splitlines() if "│" in ln]
+        assert "•" in rows[0]    # max y on top row
+        assert "•" in rows[-1]   # min y on bottom row

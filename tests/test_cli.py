@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph.io import save_edge_list
+
+
+@pytest.fixture()
+def graph_file(lfr_small, tmp_path):
+    path = tmp_path / "graph.txt"
+    save_edge_list(lfr_small, path)
+    return str(path)
+
+
+class TestBasicRuns:
+    def test_default_anyscan(self, graph_file, capsys):
+        assert main([graph_file, "--mu", "4", "--epsilon", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "clusters" in out
+
+    @pytest.mark.parametrize("alg", ["scan", "scan-b", "pscan", "scanpp"])
+    def test_batch_algorithms(self, graph_file, capsys, alg):
+        assert main(
+            [graph_file, "--mu", "4", "--algorithm", alg]
+        ) == 0
+        assert "clusters" in capsys.readouterr().out
+
+    def test_all_algorithms_same_cluster_count(self, graph_file, capsys):
+        counts = []
+        for alg in ("anyscan", "scan", "pscan"):
+            main([graph_file, "--mu", "4", "--algorithm", alg])
+            out = capsys.readouterr().out
+            counts.append(int(out.split(" clusters")[0].split()[-1]))
+        assert len(set(counts)) == 1
+
+
+class TestOutput:
+    def test_labels_file_written(self, graph_file, tmp_path, capsys):
+        out_file = tmp_path / "labels.txt"
+        assert main(
+            [graph_file, "--mu", "4", "--output", str(out_file)]
+        ) == 0
+        lines = out_file.read_text().strip().splitlines()
+        assert lines[0].startswith("#")
+        assert len(lines) == 301  # 300 vertices + header
+
+    def test_progress_lines(self, graph_file, capsys):
+        assert main([graph_file, "--mu", "4", "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "iter" in err
+
+
+class TestBudgets:
+    def test_work_budget_stops_early(self, graph_file, capsys):
+        assert main(
+            [graph_file, "--mu", "4", "--budget-work", "100"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "stopped early" in err or "approximate" in err
+
+    def test_budget_with_batch_algorithm_rejected(self, graph_file, capsys):
+        code = main(
+            [
+                graph_file, "--algorithm", "scan",
+                "--budget-work", "100",
+            ]
+        )
+        assert code == 2
+
+    def test_huge_budget_finishes(self, graph_file, capsys):
+        assert main(
+            [graph_file, "--mu", "4", "--budget-work", "1e12"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "stopped early" not in err
+
+
+class TestWeighted:
+    def test_weighted_load(self, weighted_triangle, tmp_path, capsys):
+        path = tmp_path / "wt.txt"
+        save_edge_list(weighted_triangle, path, weighted=True)
+        assert main(
+            [str(path), "--weighted", "--mu", "2", "--algorithm", "scan"]
+        ) == 0
+        assert "clusters" in capsys.readouterr().out

@@ -1,0 +1,106 @@
+"""Tests for the instrumentation plumbing: counters and cost records."""
+
+import pytest
+
+from repro.parallel.costs import IterationCosts, ParallelBlock
+from repro.similarity.counters import SimilarityCounters
+
+
+class TestSimilarityCounters:
+    def test_record_sigma(self):
+        c = SimilarityCounters()
+        c.record_sigma(10.0)
+        c.record_sigma(5.0, early_exit=True)
+        assert c.sigma_evaluations == 2
+        assert c.early_exits == 1
+        assert c.work_units == 15.0
+
+    def test_record_prune_costs_one(self):
+        c = SimilarityCounters()
+        c.record_prune()
+        assert c.pruned_lemma5 == 1
+        assert c.work_units == 1.0
+
+    def test_neighborhood_query_counts(self):
+        c = SimilarityCounters()
+        c.record_neighborhood_query(42.0, evaluations=7)
+        assert c.neighborhood_queries == 1
+        assert c.sigma_evaluations == 7
+        assert c.work_units == 42.0
+
+    def test_reset(self):
+        c = SimilarityCounters()
+        c.record_sigma(3.0)
+        c.mark("x")
+        c.reset()
+        assert c.sigma_evaluations == 0
+        assert c.work_units == 0.0
+        # Marks are cleared too: since() falls back to a full snapshot.
+        c.record_sigma(2.0)
+        assert c.since("x").sigma_evaluations == 1
+
+    def test_mark_and_since(self):
+        c = SimilarityCounters()
+        c.record_sigma(5.0)
+        c.mark("step1")
+        c.record_sigma(7.0)
+        c.record_prune()
+        delta = c.since("step1")
+        assert delta.sigma_evaluations == 1
+        assert delta.pruned_lemma5 == 1
+        assert delta.work_units == pytest.approx(8.0)
+
+    def test_since_unknown_mark(self):
+        c = SimilarityCounters()
+        c.record_sigma(4.0)
+        snap = c.since("never-marked")
+        assert snap.sigma_evaluations == 1
+
+    def test_snapshot_is_independent(self):
+        c = SimilarityCounters()
+        c.record_sigma(1.0)
+        snap = c.snapshot()
+        c.record_sigma(1.0)
+        assert snap.sigma_evaluations == 1
+        assert c.sigma_evaluations == 2
+
+
+class TestParallelBlock:
+    def test_add_task_and_total(self):
+        block = ParallelBlock(name="b")
+        block.add_task(2.0)
+        block.add_task(3.0)
+        assert block.total_work == pytest.approx(5.0)
+        assert block.task_costs == [2.0, 3.0]
+
+    def test_defaults(self):
+        block = ParallelBlock(name="b")
+        assert block.atomic_ops == 0
+        assert block.critical_costs == []
+        assert block.total_work == 0.0
+
+
+class TestIterationCosts:
+    def test_new_block_appends(self):
+        record = IterationCosts(step="s", index=0)
+        a = record.new_block("first")
+        b = record.new_block("second")
+        assert [blk.name for blk in record.blocks] == ["first", "second"]
+        assert a is not b
+
+    def test_totals(self):
+        record = IterationCosts(step="s", index=0)
+        block = record.new_block("b")
+        block.add_task(4.0)
+        block.atomic_ops = 3
+        block.critical_costs.append(1.0)
+        record.sequential_cost = 2.0
+        assert record.total_work == pytest.approx(6.0)
+        assert record.total_atomic_ops == 3
+        assert record.total_critical_sections == 1
+
+    def test_empty_iteration(self):
+        record = IterationCosts(step="s", index=1)
+        assert record.total_work == 0.0
+        assert record.total_atomic_ops == 0
+        assert record.total_critical_sections == 0

@@ -1,0 +1,119 @@
+"""Tests for the instrumented disjoint-set structure."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.structures.disjoint_set import DisjointSet
+
+
+class TestBasics:
+    def test_initial_singletons(self):
+        dsu = DisjointSet(5)
+        assert len(dsu) == 5
+        assert dsu.num_components() == 5
+        for i in range(5):
+            assert dsu.find(i) == i
+
+    def test_union_merges(self):
+        dsu = DisjointSet(4)
+        assert dsu.union(0, 1)
+        assert dsu.same(0, 1)
+        assert not dsu.same(0, 2)
+        assert dsu.num_components() == 3
+
+    def test_union_idempotent(self):
+        dsu = DisjointSet(3)
+        assert dsu.union(0, 1)
+        assert not dsu.union(1, 0)
+
+    def test_transitive(self):
+        dsu = DisjointSet(5)
+        dsu.union(0, 1)
+        dsu.union(1, 2)
+        dsu.union(3, 4)
+        assert dsu.same(0, 2)
+        assert not dsu.same(2, 3)
+
+    def test_components_array(self):
+        dsu = DisjointSet(4)
+        dsu.union(0, 3)
+        comps = dsu.components()
+        assert comps[0] == comps[3]
+        assert comps[1] != comps[2]
+
+    def test_component_lists(self):
+        dsu = DisjointSet(4)
+        dsu.union(0, 2)
+        lists = dsu.component_lists()
+        assert sorted(map(sorted, lists.values())) == [[0, 2], [1], [3]]
+
+    def test_zero_size(self):
+        dsu = DisjointSet(0)
+        assert dsu.num_components() == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ReproError):
+            DisjointSet(-1)
+
+    def test_out_of_range_find(self):
+        with pytest.raises(ReproError):
+            DisjointSet(3).find(3)
+
+
+class TestGrow:
+    def test_grow_appends_singletons(self):
+        dsu = DisjointSet(2)
+        first = dsu.grow(3)
+        assert first == 2
+        assert len(dsu) == 5
+        assert dsu.find(4) == 4
+
+    def test_grow_zero(self):
+        dsu = DisjointSet(2)
+        dsu.grow(0)
+        assert len(dsu) == 2
+
+    def test_grow_negative_rejected(self):
+        with pytest.raises(ReproError):
+            DisjointSet(2).grow(-1)
+
+    def test_grow_after_unions(self):
+        dsu = DisjointSet(2)
+        dsu.union(0, 1)
+        dsu.grow(1)
+        assert not dsu.same(0, 2)
+
+
+class TestCounters:
+    def test_union_counters(self):
+        dsu = DisjointSet(4)
+        dsu.union(0, 1)
+        dsu.union(0, 1)  # no-op
+        dsu.union(2, 3)
+        assert dsu.union_calls == 3
+        assert dsu.effective_unions == 2
+
+    def test_find_counter(self):
+        dsu = DisjointSet(3)
+        dsu.find(0)
+        dsu.find(1)
+        assert dsu.find_calls == 2
+
+    def test_reset_counters_keeps_structure(self):
+        dsu = DisjointSet(3)
+        dsu.union(0, 1)
+        dsu.reset_counters()
+        assert dsu.union_calls == 0
+        assert dsu.same(0, 1)
+
+
+class TestPathCompression:
+    def test_long_chain_flattens(self):
+        n = 500
+        dsu = DisjointSet(n)
+        for i in range(n - 1):
+            dsu.union(i, i + 1)
+        root = dsu.find(0)
+        assert all(dsu.find(i) == root for i in range(n))
+        # After compression, every parent points at the root directly.
+        assert all(int(dsu._parent[i]) == root for i in range(n))

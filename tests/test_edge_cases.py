@@ -1,0 +1,151 @@
+"""Edge-case sweep across modules: empty graphs, degenerate inputs."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import ExperimentResult, _fmt
+from repro.core import AnySCAN, AnyScanConfig
+from repro.core.explorer import ParameterExplorer
+from repro.core.hierarchy import EpsilonHierarchy
+from repro.dynamic import AdjacencyGraph, DynamicSCAN
+from repro.errors import (
+    ConfigError,
+    ExperimentError,
+    GraphError,
+    ReproError,
+    SimulationError,
+    StateTransitionError,
+)
+from repro.graph.builder import GraphBuilder
+from repro.graph.csr import Graph
+from repro.metrics import nmi, quality_report
+from repro.result import Clustering
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [GraphError, ConfigError, SimulationError, ExperimentError,
+         StateTransitionError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+
+class TestEmptyAndTinyGraphs:
+    def test_anyscan_on_empty_graph(self):
+        result = AnySCAN(
+            Graph.from_edges(0, []), AnyScanConfig(record_costs=False)
+        ).run()
+        assert result.num_clusters == 0
+        assert result.num_vertices == 0
+
+    def test_anyscan_on_edgeless_graph(self):
+        result = AnySCAN(
+            Graph.from_edges(5, []), AnyScanConfig(record_costs=False)
+        ).run()
+        assert result.num_clusters == 0
+        assert result.outliers.shape[0] == 5
+
+    def test_anyscan_single_edge(self):
+        result = AnySCAN(
+            Graph.from_edges(2, [(0, 1)]),
+            AnyScanConfig(mu=2, epsilon=0.5, record_costs=False),
+        ).run()
+        # With closed neighborhoods σ(0,1)=1 and both reach μ=2.
+        assert result.num_clusters == 1
+
+    def test_explorer_on_edgeless_graph(self):
+        explorer = ParameterExplorer(Graph.from_edges(4, []))
+        assert explorer.clustering_at(2, 0.5).num_clusters == 0
+        assert explorer.epsilon_candidates(2) == []
+
+    def test_hierarchy_on_edgeless_graph(self):
+        hierarchy = EpsilonHierarchy(Graph.from_edges(4, []), mu=2)
+        assert hierarchy.num_nodes == 0
+        assert hierarchy.suggest_cut() == 0.5  # fallback default
+
+    def test_dynamic_scan_from_empty(self):
+        dyn = DynamicSCAN(AdjacencyGraph(0), 2, 0.5)
+        assert dyn.clustering().num_vertices == 0
+
+    def test_quality_report_empty(self):
+        report = quality_report(
+            Graph.from_edges(0, []), Clustering(labels=np.zeros(0, int))
+        )
+        assert report["num_clusters"] == 0
+
+
+class TestWeightedSubgraph:
+    def test_subgraph_preserves_weights(self, weighted_triangle):
+        sub = weighted_triangle.subgraph([0, 1])
+        assert sub.num_edges == 1
+        assert sub.edge_weight(0, 1) == pytest.approx(2.0)
+
+    def test_subgraph_empty_selection(self, weighted_triangle):
+        sub = weighted_triangle.subgraph([])
+        assert sub.num_vertices == 0
+
+
+class TestHarnessFormatting:
+    def test_fmt_variants(self):
+        assert _fmt(0.0) == "0"
+        assert _fmt(1234.5) == "1,234"  # round-half-even of :,.0f
+        assert _fmt(3.14159) == "3.14"
+        assert _fmt(0.00123) == "0.0012"
+        assert _fmt(42) == "42"
+        assert _fmt("text") == "text"
+
+    def test_render_with_mixed_types(self):
+        result = ExperimentResult(
+            exp_id="x", title="t", headers=["a", "b"]
+        )
+        result.add_row("row", -1.5)
+        assert "-1.50" in result.render()
+
+
+class TestNMIDegenerate:
+    def test_single_vertex(self):
+        assert nmi(np.array([0]), np.array([0])) == 1.0
+
+    def test_all_noise_both(self):
+        a = np.array([-1, -2, -1])
+        assert nmi(a, a) == 1.0
+
+    def test_empty_arrays(self):
+        assert nmi(np.array([], dtype=int), np.array([], dtype=int)) == 1.0
+
+
+class TestBuilderGrowth:
+    def test_interleaved_growth_and_edges(self):
+        builder = GraphBuilder(1)
+        builder.add_edge(0, 4)      # grows to 5
+        builder.ensure_vertex(9)    # grows to 10
+        graph = builder.build()
+        assert graph.num_vertices == 10
+        assert graph.degree(9) == 0
+
+    def test_isolated_graph_roundtrip(self):
+        graph = GraphBuilder(3).build()
+        assert list(graph.edges()) == []
+        assert graph.degrees.tolist() == [0, 0, 0]
+
+
+class TestAnyScanMuOne:
+    def test_mu_one_everything_clusters(self, karate):
+        # μ=1: every vertex is trivially a core (σ(v,v)=1 counts).
+        result = AnySCAN(
+            karate, AnyScanConfig(mu=1, epsilon=0.99, record_costs=False)
+        ).run()
+        assert result.clustered_vertices.shape[0] == 34
+
+    def test_epsilon_one_strictest(self, karate):
+        result = AnySCAN(
+            karate, AnyScanConfig(mu=3, epsilon=1.0, record_costs=False)
+        ).run()
+        from repro.baselines import scan
+
+        reference = scan(karate, 3, 1.0, seed=1)
+        assert result.same_partition(reference)

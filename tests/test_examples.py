@@ -1,0 +1,33 @@
+"""Smoke test: the quickstart example must stay runnable and correct.
+
+The heavier examples (LFR generation, parallel sweeps) are exercised
+manually / by the bench suite; quickstart is the advertised first
+contact with the library and is cheap enough for the unit suite.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def test_quickstart_runs_and_finds_the_structure():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    out = proc.stdout
+    assert "2 clusters" in out
+    assert "vertex 4 is a HUB" in out
+    assert "vertex 9 is an OUTLIER" in out
+
+
+def test_all_examples_compile():
+    import py_compile
+
+    for script in sorted(EXAMPLES.glob("*.py")):
+        py_compile.compile(str(script), doraise=True)

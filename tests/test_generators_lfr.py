@@ -1,0 +1,109 @@
+"""Tests for the LFR benchmark generator and clustering tuning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeneratorError
+from repro.graph.generators.lfr import LFRParams, lfr_graph, tune_clustering
+from repro.graph.stats import average_clustering, average_degree
+from repro.metrics import nmi
+
+
+def _params(**overrides):
+    base = dict(
+        n=400, average_degree=10, max_degree=30, mixing=0.25, seed=7
+    )
+    base.update(overrides)
+    return LFRParams(**base)
+
+
+class TestLFRGeneration:
+    def test_basic_shape(self):
+        graph, membership = lfr_graph(_params())
+        assert graph.num_vertices == 400
+        assert membership.shape[0] == 400
+        assert np.all(membership >= 0)
+
+    def test_average_degree_in_regime(self):
+        graph, _ = lfr_graph(_params(n=1000, seed=3))
+        # Configuration-model losses allow some slack below target.
+        assert 6.5 <= average_degree(graph) <= 12.0
+
+    def test_mixing_controls_community_separation(self):
+        g_low, m_low = lfr_graph(_params(mixing=0.1, seed=5))
+        g_high, m_high = lfr_graph(_params(mixing=0.6, seed=5))
+
+        def intra_fraction(graph, member):
+            intra = sum(
+                1 for u, v, _ in graph.edges() if member[u] == member[v]
+            )
+            return intra / max(graph.num_edges, 1)
+
+        assert intra_fraction(g_low, m_low) > intra_fraction(g_high, m_high)
+
+    def test_communities_recoverable_at_low_mixing(self):
+        graph, membership = lfr_graph(_params(mixing=0.05, seed=11))
+        # Connected components of the intra-community subgraph should align
+        # almost perfectly with the planted communities.
+        from repro.structures.disjoint_set import DisjointSet
+
+        dsu = DisjointSet(graph.num_vertices)
+        for u, v, _ in graph.edges():
+            if membership[u] == membership[v]:
+                dsu.union(u, v)
+        components = dsu.components()
+        assert nmi(membership, components) > 0.9
+
+    def test_deterministic(self):
+        g1, m1 = lfr_graph(_params())
+        g2, m2 = lfr_graph(_params())
+        assert g1 == g2
+        assert np.array_equal(m1, m2)
+
+    def test_invalid_mixing(self):
+        with pytest.raises(GeneratorError):
+            lfr_graph(_params(mixing=1.0))
+
+    def test_invalid_max_degree(self):
+        with pytest.raises(GeneratorError):
+            lfr_graph(_params(max_degree=400))
+
+    def test_invalid_n(self):
+        with pytest.raises(GeneratorError):
+            LFRParams(
+                n=0, average_degree=5, max_degree=10
+            ).validate()
+
+    def test_community_sizes_respect_bounds(self):
+        params = _params(min_community=20, max_community=80)
+        _, membership = lfr_graph(params)
+        _, counts = np.unique(membership, return_counts=True)
+        assert counts.min() >= 10  # trim may shave, but not collapse
+        assert counts.max() <= 120  # feasibility repair may grow the top
+
+
+class TestTuneClustering:
+    def test_raises_clustering(self):
+        graph, _ = lfr_graph(_params(mixing=0.5, seed=2))
+        before = average_clustering(graph)
+        tuned = tune_clustering(
+            graph, min(before + 0.1, 1.0), seed=2, max_swaps=4000
+        )
+        after = average_clustering(tuned)
+        assert after > before
+
+    def test_preserves_degrees(self):
+        graph, _ = lfr_graph(_params(seed=3))
+        tuned = tune_clustering(graph, 0.4, seed=3, max_swaps=2000)
+        assert np.array_equal(
+            np.sort(graph.degrees), np.sort(tuned.degrees)
+        )
+
+    def test_lowers_clustering(self, caveman):
+        before = average_clustering(caveman)
+        tuned = tune_clustering(caveman, 0.1, seed=1, max_swaps=4000)
+        assert average_clustering(tuned) < before
+
+    def test_invalid_target(self, triangle):
+        with pytest.raises(GeneratorError):
+            tune_clustering(triangle, 1.5)

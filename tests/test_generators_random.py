@@ -1,0 +1,128 @@
+"""Tests for the classic random-graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeneratorError
+from repro.graph.generators.random_graphs import (
+    gnm_random_graph,
+    planted_partition_graph,
+    relaxed_caveman_graph,
+    watts_strogatz_graph,
+)
+from repro.graph.stats import average_clustering
+
+
+class TestGnm:
+    def test_exact_counts(self):
+        g = gnm_random_graph(50, 100, seed=1)
+        assert g.num_vertices == 50
+        assert g.num_edges == 100
+
+    def test_zero_edges(self):
+        g = gnm_random_graph(10, 0, seed=1)
+        assert g.num_edges == 0
+
+    def test_complete_graph(self):
+        g = gnm_random_graph(6, 15, seed=1)
+        assert g.num_edges == 15
+
+    def test_deterministic(self):
+        assert gnm_random_graph(30, 60, seed=7) == gnm_random_graph(
+            30, 60, seed=7
+        )
+
+    def test_different_seeds_differ(self):
+        assert gnm_random_graph(30, 60, seed=1) != gnm_random_graph(
+            30, 60, seed=2
+        )
+
+    def test_infeasible_m_raises(self):
+        with pytest.raises(GeneratorError):
+            gnm_random_graph(4, 100, seed=1)
+
+    def test_negative_n_raises(self):
+        with pytest.raises(GeneratorError):
+            gnm_random_graph(-1, 0)
+
+
+class TestWattsStrogatz:
+    def test_zero_rewire_is_lattice(self):
+        g = watts_strogatz_graph(20, 4, 0.0, seed=1)
+        assert g.num_edges == 40
+        assert all(g.degree(v) == 4 for v in range(20))
+
+    def test_high_clustering_at_low_p(self):
+        g = watts_strogatz_graph(200, 8, 0.05, seed=1)
+        assert average_clustering(g) > 0.4
+
+    def test_low_clustering_at_high_p(self):
+        low = watts_strogatz_graph(200, 8, 0.9, seed=1)
+        high = watts_strogatz_graph(200, 8, 0.05, seed=1)
+        assert average_clustering(low) < average_clustering(high)
+
+    def test_odd_k_raises(self):
+        with pytest.raises(GeneratorError):
+            watts_strogatz_graph(10, 3, 0.1)
+
+    def test_k_too_large_raises(self):
+        with pytest.raises(GeneratorError):
+            watts_strogatz_graph(6, 6, 0.1)
+
+    def test_bad_p_raises(self):
+        with pytest.raises(GeneratorError):
+            watts_strogatz_graph(10, 4, 1.5)
+
+
+class TestRelaxedCaveman:
+    def test_zero_rewire_is_disjoint_cliques(self):
+        g = relaxed_caveman_graph(4, 5, 0.0, seed=1)
+        assert g.num_vertices == 20
+        assert g.num_edges == 4 * 10
+        assert average_clustering(g) == pytest.approx(1.0)
+
+    def test_rewiring_preserves_edge_count(self):
+        g0 = relaxed_caveman_graph(6, 6, 0.0, seed=2)
+        g1 = relaxed_caveman_graph(6, 6, 0.3, seed=2)
+        assert g1.num_edges == g0.num_edges
+
+    def test_high_clustering_regime(self):
+        g = relaxed_caveman_graph(20, 10, 0.15, seed=3)
+        assert average_clustering(g) > 0.35
+
+    def test_invalid_params(self):
+        with pytest.raises(GeneratorError):
+            relaxed_caveman_graph(0, 5, 0.1)
+        with pytest.raises(GeneratorError):
+            relaxed_caveman_graph(3, 1, 0.1)
+        with pytest.raises(GeneratorError):
+            relaxed_caveman_graph(3, 5, 2.0)
+
+
+class TestPlantedPartition:
+    def test_block_structure(self):
+        g = planted_partition_graph([30, 30], 0.5, 0.01, seed=1)
+        assert g.num_vertices == 60
+        # Intra-block edges should dominate.
+        intra = sum(
+            1 for u, v, _ in g.edges() if (u < 30) == (v < 30)
+        )
+        inter = g.num_edges - intra
+        assert intra > 5 * max(inter, 1)
+
+    def test_zero_probabilities(self):
+        g = planted_partition_graph([10, 10], 0.0, 0.0, seed=1)
+        assert g.num_edges == 0
+
+    def test_invalid_sizes(self):
+        with pytest.raises(GeneratorError):
+            planted_partition_graph([5, 0], 0.5, 0.1)
+
+    def test_invalid_probability(self):
+        with pytest.raises(GeneratorError):
+            planted_partition_graph([5, 5], 1.5, 0.1)
+
+    def test_deterministic(self):
+        a = planted_partition_graph([20, 20], 0.4, 0.02, seed=9)
+        b = planted_partition_graph([20, 20], 0.4, 0.02, seed=9)
+        assert a == b

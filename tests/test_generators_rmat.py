@@ -1,0 +1,54 @@
+"""Tests for the R-MAT / Kronecker generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeneratorError
+from repro.graph.generators.rmat import rmat_graph
+
+
+class TestRmat:
+    def test_basic_generation(self):
+        g = rmat_graph(8, 8, seed=1)
+        assert g.num_vertices <= 256
+        assert g.num_edges > 100
+
+    def test_compact_removes_isolated(self):
+        g = rmat_graph(8, 4, seed=2, compact=True)
+        assert int(g.degrees.min()) >= 1
+
+    def test_non_compact_keeps_slots(self):
+        g = rmat_graph(8, 4, seed=2, compact=False)
+        assert g.num_vertices == 256
+
+    def test_heavy_tailed_degrees(self):
+        g = rmat_graph(10, 16, seed=3)
+        degrees = np.sort(g.degrees)[::-1]
+        # Top 1% of vertices should hold a disproportionate share of edges.
+        top = degrees[: max(len(degrees) // 100, 1)].sum()
+        assert top > 0.05 * degrees.sum()
+        assert degrees[0] > 4 * np.median(degrees)
+
+    def test_deterministic(self):
+        assert rmat_graph(7, 6, seed=9) == rmat_graph(7, 6, seed=9)
+
+    def test_seed_changes_output(self):
+        assert rmat_graph(7, 6, seed=1) != rmat_graph(7, 6, seed=2)
+
+    def test_invalid_scale(self):
+        with pytest.raises(GeneratorError):
+            rmat_graph(0, 8)
+        with pytest.raises(GeneratorError):
+            rmat_graph(30, 8)
+
+    def test_invalid_edge_factor(self):
+        with pytest.raises(GeneratorError):
+            rmat_graph(8, 0)
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(GeneratorError):
+            rmat_graph(8, 8, a=0.6, b=0.3, c=0.2)  # d <= 0
+
+    def test_zero_noise_works(self):
+        g = rmat_graph(8, 8, seed=4, noise=0.0)
+        assert g.num_edges > 0

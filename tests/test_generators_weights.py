@@ -1,0 +1,82 @@
+"""Tests for the edge-weighting schemes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeneratorError
+from repro.graph.generators.weights import (
+    assign_community_weights,
+    assign_random_weights,
+    assign_triadic_weights,
+)
+
+
+class TestRandomWeights:
+    def test_weights_in_range(self, karate):
+        g = assign_random_weights(karate, low=0.5, high=1.5, seed=1)
+        assert g.is_weighted
+        assert g.weights.min() >= 0.5
+        assert g.weights.max() <= 1.5
+
+    def test_topology_unchanged(self, karate):
+        g = assign_random_weights(karate, seed=1)
+        assert np.array_equal(g.indices, karate.indices)
+        assert np.array_equal(g.indptr, karate.indptr)
+
+    def test_symmetric_weights(self, karate):
+        g = assign_random_weights(karate, seed=2)
+        for u, v, w in g.edges():
+            assert g.edge_weight(v, u) == pytest.approx(w)
+
+    def test_deterministic(self, karate):
+        a = assign_random_weights(karate, seed=3)
+        b = assign_random_weights(karate, seed=3)
+        assert a == b
+
+    def test_invalid_range(self, karate):
+        with pytest.raises(GeneratorError):
+            assign_random_weights(karate, low=2.0, high=1.0)
+
+
+class TestCommunityWeights:
+    def test_intra_heavier_than_inter(self, two_triangles_bridge):
+        member = [0, 0, 0, 0, 1, 1, 1]
+        g = assign_community_weights(
+            two_triangles_bridge, member, intra=1.0, inter=0.2, jitter=0.0
+        )
+        assert g.edge_weight(0, 1) == pytest.approx(1.0)
+        assert g.edge_weight(3, 4) == pytest.approx(0.2)
+
+    def test_jitter_stays_positive(self, karate):
+        member = [v % 3 for v in range(34)]
+        g = assign_community_weights(karate, member, jitter=0.5, seed=4)
+        assert g.weights.min() > 0
+
+    def test_membership_length_checked(self, karate):
+        with pytest.raises(GeneratorError):
+            assign_community_weights(karate, [0, 1])
+
+    def test_invalid_base_weights(self, karate):
+        with pytest.raises(GeneratorError):
+            assign_community_weights(karate, [0] * 34, intra=0.0)
+
+
+class TestTriadicWeights:
+    def test_triangle_edges_heavier(self, two_triangles_bridge):
+        g = assign_triadic_weights(
+            two_triangles_bridge, base=0.5, per_triangle=0.25
+        )
+        # Edge (0,1) closes one triangle; bridge (3,4) closes none.
+        assert g.edge_weight(0, 1) == pytest.approx(0.75)
+        assert g.edge_weight(3, 4) == pytest.approx(0.5)
+
+    def test_cap_applies(self, karate):
+        g = assign_triadic_weights(karate, base=1.0, per_triangle=5.0, cap=2.0)
+        assert g.weights.max() <= 2.0
+
+    def test_deterministic(self, karate):
+        assert assign_triadic_weights(karate) == assign_triadic_weights(karate)
+
+    def test_invalid_base(self, karate):
+        with pytest.raises(GeneratorError):
+            assign_triadic_weights(karate, base=0.0)

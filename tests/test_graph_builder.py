@@ -1,0 +1,102 @@
+"""Tests for GraphBuilder edge accumulation and dedup policies."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder
+
+
+class TestBasics:
+    def test_build_empty(self):
+        g = GraphBuilder(3).build()
+        assert g.num_vertices == 3
+        assert g.num_edges == 0
+
+    def test_add_edge_normalizes_direction(self):
+        b = GraphBuilder(3)
+        b.add_edge(2, 0)
+        g = b.build()
+        assert g.has_edge(0, 2)
+
+    def test_ensure_vertex_grows(self):
+        b = GraphBuilder(0)
+        b.add_edge(3, 7)
+        assert b.num_vertices == 8
+
+    def test_negative_vertex_rejected(self):
+        with pytest.raises(GraphError):
+            GraphBuilder(2).add_edge(-1, 0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(GraphError):
+            GraphBuilder(-1)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            GraphBuilder(3).add_edge(1, 1)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(GraphError):
+            GraphBuilder(3).add_edge(0, 1, -2.0)
+
+    def test_pending_edges_counter(self):
+        b = GraphBuilder(3)
+        b.add_edge(0, 1)
+        b.add_edge(0, 1)
+        assert b.num_pending_edges == 2
+
+    def test_has_pending_edge(self):
+        b = GraphBuilder(3)
+        b.add_edge(1, 2)
+        assert b.has_pending_edge(2, 1)
+        assert not b.has_pending_edge(0, 1)
+
+
+class TestDedup:
+    def _dup_builder(self):
+        b = GraphBuilder(3)
+        b.add_edge(0, 1, 1.0)
+        b.add_edge(1, 0, 3.0)
+        b.add_edge(1, 2, 2.0)
+        return b
+
+    def test_error_mode(self):
+        with pytest.raises(GraphError, match="duplicate edge"):
+            self._dup_builder().build(dedup="error")
+
+    def test_ignore_keeps_first(self):
+        g = self._dup_builder().build(dedup="ignore")
+        assert g.num_edges == 2
+        assert g.edge_weight(0, 1) == 1.0
+
+    def test_sum_combines(self):
+        g = self._dup_builder().build(dedup="sum")
+        assert g.edge_weight(0, 1) == 4.0
+        assert g.edge_weight(1, 2) == 2.0
+
+    def test_max_keeps_largest(self):
+        g = self._dup_builder().build(dedup="max")
+        assert g.edge_weight(0, 1) == 3.0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(GraphError):
+            GraphBuilder(2).build(dedup="average")
+
+    def test_triple_duplicate_sum(self):
+        b = GraphBuilder(2)
+        for w in (1.0, 2.0, 4.0):
+            b.add_edge(0, 1, w)
+        assert b.build(dedup="sum").edge_weight(0, 1) == 7.0
+
+
+class TestRoundTrip:
+    def test_csr_layout_consistent(self):
+        b = GraphBuilder(4)
+        edges = [(0, 3, 1.0), (0, 1, 2.0), (2, 1, 3.0)]
+        for u, v, w in edges:
+            b.add_edge(u, v, w)
+        g = b.build()
+        assert g.num_edges == 3
+        for u, v, w in edges:
+            assert g.edge_weight(u, v) == w
+            assert g.edge_weight(v, u) == w

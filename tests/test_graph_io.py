@@ -1,0 +1,127 @@
+"""Tests for edge-list and METIS graph IO."""
+
+import gzip
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.io import load_edge_list, load_metis, save_edge_list, save_metis
+
+
+class TestEdgeList:
+    def test_round_trip_unweighted(self, karate, tmp_path):
+        path = tmp_path / "karate.txt"
+        save_edge_list(karate, path)
+        loaded, labels = load_edge_list(path)
+        assert loaded.num_vertices == karate.num_vertices
+        assert loaded.num_edges == karate.num_edges
+        assert len(labels) == karate.num_vertices
+
+    def test_round_trip_weighted(self, weighted_triangle, tmp_path):
+        path = tmp_path / "wt.txt"
+        save_edge_list(weighted_triangle, path, weighted=True)
+        loaded, _ = load_edge_list(path, weighted=True)
+        assert loaded.is_weighted
+        assert loaded.total_weight == pytest.approx(
+            weighted_triangle.total_weight
+        )
+
+    def test_gzip_round_trip(self, triangle, tmp_path):
+        path = tmp_path / "tri.txt.gz"
+        save_edge_list(triangle, path)
+        loaded, _ = load_edge_list(path)
+        assert loaded.num_edges == 3
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n\n0 1\n# comment\n1 2\n")
+        g, _ = load_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_string_labels_relabeled(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("alice bob\nbob carol\n")
+        g, labels = load_edge_list(path)
+        assert g.num_vertices == 3
+        assert set(labels) == {"alice", "bob", "carol"}
+        assert g.has_edge(labels["alice"], labels["bob"])
+
+    def test_duplicate_edges_ignored_by_default(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 0\n")
+        g, _ = load_edge_list(path)
+        assert g.num_edges == 1
+
+    def test_self_loops_dropped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 0\n0 1\n")
+        g, _ = load_edge_list(path)
+        assert g.num_edges == 1
+
+    def test_missing_column_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0\n")
+        with pytest.raises(GraphFormatError):
+            load_edge_list(path)
+
+    def test_weighted_requires_third_column(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(GraphFormatError):
+            load_edge_list(path, weighted=True)
+
+    def test_bad_weight_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 heavy\n")
+        with pytest.raises(GraphFormatError):
+            load_edge_list(path, weighted=True)
+
+
+class TestMetis:
+    def test_round_trip(self, karate, tmp_path):
+        path = tmp_path / "karate.metis"
+        save_metis(karate, path)
+        loaded = load_metis(path)
+        assert loaded == karate
+
+    def test_round_trip_weighted(self, weighted_triangle, tmp_path):
+        path = tmp_path / "wt.metis"
+        save_metis(weighted_triangle, path, weighted=True)
+        loaded = load_metis(path)
+        assert loaded.edge_weight(0, 1) == pytest.approx(2.0)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.metis"
+        path.write_text("")
+        with pytest.raises(GraphFormatError):
+            load_metis(path)
+
+    def test_bad_header_raises(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("5\n")
+        with pytest.raises(GraphFormatError):
+            load_metis(path)
+
+    def test_row_count_mismatch_raises(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("2 1\n2\n")  # header says 2 vertices, one row given
+        with pytest.raises(GraphFormatError):
+            load_metis(path)
+
+    def test_edge_count_mismatch_raises(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("2 5\n2\n1\n")
+        with pytest.raises(GraphFormatError, match="promises"):
+            load_metis(path)
+
+    def test_neighbor_out_of_range_raises(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("2 1\n3\n1\n")
+        with pytest.raises(GraphFormatError):
+            load_metis(path)
+
+    def test_comment_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("% comment\n2 1\n2\n1\n")
+        g = load_metis(path)
+        assert g.num_edges == 1

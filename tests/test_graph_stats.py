@@ -1,0 +1,105 @@
+"""Tests for graph statistics (degree, clustering coefficient, triangles)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import Graph
+from repro.graph.stats import (
+    average_clustering,
+    average_degree,
+    degree_histogram,
+    local_clustering,
+    summarize,
+    triangle_count,
+)
+
+
+class TestAverageDegree:
+    def test_triangle(self, triangle):
+        assert average_degree(triangle) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert average_degree(Graph.from_edges(0, [])) == 0.0
+
+    def test_karate(self, karate):
+        assert average_degree(karate) == pytest.approx(2 * 78 / 34)
+
+
+class TestLocalClustering:
+    def test_triangle_vertices_are_fully_clustered(self, triangle):
+        for v in range(3):
+            assert local_clustering(triangle, v) == pytest.approx(1.0)
+
+    def test_path_has_zero(self, path_graph):
+        for v in range(5):
+            assert local_clustering(path_graph, v) == 0.0
+
+    def test_star_center_zero(self, star_graph):
+        assert local_clustering(star_graph, 0) == 0.0
+
+    def test_degree_one_is_zero(self, star_graph):
+        assert local_clustering(star_graph, 1) == 0.0
+
+    def test_bridge_vertex(self, two_triangles_bridge):
+        # Vertex 2 has neighbors {0, 1, 3}; only (0,1) is an edge.
+        assert local_clustering(two_triangles_bridge, 2) == pytest.approx(1 / 3)
+
+
+class TestAverageClustering:
+    def test_exact_matches_mean_of_locals(self, karate):
+        locals_ = [local_clustering(karate, v) for v in range(34)]
+        assert average_clustering(karate) == pytest.approx(np.mean(locals_))
+
+    def test_sampled_close_to_exact(self, caveman):
+        exact = average_clustering(caveman)
+        sampled = average_clustering(caveman, sample=60, seed=1)
+        assert abs(exact - sampled) < 0.15
+
+    def test_sample_larger_than_n_is_exact(self, triangle):
+        assert average_clustering(triangle, sample=100) == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert average_clustering(Graph.from_edges(0, [])) == 0.0
+
+
+class TestTriangles:
+    def test_single_triangle(self, triangle):
+        assert triangle_count(triangle) == 1
+
+    def test_two_triangles(self, two_triangles_bridge):
+        assert triangle_count(two_triangles_bridge) == 2
+
+    def test_path_has_none(self, path_graph):
+        assert triangle_count(path_graph) == 0
+
+    def test_k4(self):
+        k4 = Graph.from_edges(
+            4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+        )
+        assert triangle_count(k4) == 4
+
+    def test_karate_known_value(self, karate):
+        assert triangle_count(karate) == 45  # published value
+
+
+class TestHistogramAndSummary:
+    def test_degree_histogram_sums_to_n(self, karate):
+        hist = degree_histogram(karate)
+        assert hist.sum() == karate.num_vertices
+
+    def test_histogram_empty(self):
+        hist = degree_histogram(Graph.from_edges(0, []))
+        assert hist.sum() == 0
+
+    def test_summary_fields(self, karate):
+        s = summarize(karate)
+        assert s.num_vertices == 34
+        assert s.num_edges == 78
+        assert s.max_degree == 17
+        assert not s.weighted
+        assert 0 < s.average_clustering < 1
+
+    def test_summary_row_renders(self, karate):
+        row = summarize(karate).row("karate")
+        assert "karate" in row
+        assert "34" in row

@@ -1,0 +1,62 @@
+"""Tests for the ideal parallel algorithm (Figure 11 yardstick)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ideal import (
+    ideal_edge_costs,
+    ideal_evaluate_all,
+    ideal_total_work,
+)
+from repro.core.parallel import ideal_speedups
+from repro.similarity.weighted import SimilarityConfig, SimilarityOracle
+
+
+class TestCosts:
+    def test_one_cost_per_edge(self, karate):
+        costs = ideal_edge_costs(karate)
+        assert costs.shape[0] == karate.num_edges
+
+    def test_costs_are_degree_sums(self, triangle):
+        costs = ideal_edge_costs(triangle)
+        assert np.all(costs == 4.0)  # every vertex has degree 2
+
+    def test_total_work(self, triangle):
+        assert ideal_total_work(triangle) == pytest.approx(12.0)
+
+    def test_total_bounded_by_max_degree(self, karate):
+        total = ideal_total_work(karate)
+        dmax = int(karate.degrees.max())
+        assert total <= 2 * karate.num_edges * dmax
+
+
+class TestEvaluation:
+    def test_pass_count_matches_manual(self, karate):
+        oracle = SimilarityOracle(karate, SimilarityConfig(pruning=False))
+        expected = sum(
+            1
+            for u, v, _ in karate.edges()
+            if oracle.sigma_unrecorded(u, v) >= 0.5
+        )
+        assert ideal_evaluate_all(karate, 0.5) == expected
+
+    def test_counters_charged(self, karate):
+        oracle = SimilarityOracle(karate, SimilarityConfig(pruning=False))
+        ideal_evaluate_all(karate, 0.5, oracle=oracle)
+        assert oracle.counters.sigma_evaluations == karate.num_edges
+
+
+class TestSpeedups:
+    def test_monotone_in_threads(self, lfr_small):
+        s = ideal_speedups(lfr_small, [1, 2, 4, 8])
+        assert s[1] == pytest.approx(1.0)
+        assert s[1] < s[2] < s[4] < s[8]
+
+    def test_bounded_by_thread_count(self, lfr_small):
+        s = ideal_speedups(lfr_small, [2, 4, 8, 16])
+        for t, speedup in s.items():
+            assert speedup <= t + 1e-9
+
+    def test_near_linear_with_many_tasks(self, lfr_medium):
+        s = ideal_speedups(lfr_medium, [8])
+        assert s[8] > 6.0

@@ -1,0 +1,130 @@
+"""Integration tests: cross-module flows a downstream user would run."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AnyScanConfig,
+    AnySCAN,
+    AnytimeRunner,
+    Clustering,
+    Graph,
+    MachineSpec,
+    ParallelAnySCAN,
+    SimilarityConfig,
+    SimilarityOracle,
+    equivalent_clusterings,
+    nmi,
+    pscan,
+    scan,
+)
+from repro.graph.generators import (
+    LFRParams,
+    assign_community_weights,
+    lfr_graph,
+)
+from repro.graph.io import load_edge_list, save_edge_list
+
+
+class TestEndToEndCommunityDetection:
+    def test_lfr_communities_recovered(self):
+        graph, truth = lfr_graph(
+            LFRParams(n=500, average_degree=12, max_degree=40,
+                      mixing=0.1, seed=21)
+        )
+        result = AnySCAN(
+            graph, AnyScanConfig(mu=3, epsilon=0.4, record_costs=False)
+        ).run()
+        # At low mixing, SCAN clusters align well with planted communities
+        # on the clustered vertices.
+        members = result.clustered_vertices
+        assert members.shape[0] > 0.5 * graph.num_vertices
+        score = nmi(truth[members], result.labels[members])
+        assert score > 0.6
+
+    def test_weighted_graph_sharpens_communities(self):
+        graph, truth = lfr_graph(
+            LFRParams(n=400, average_degree=12, max_degree=40,
+                      mixing=0.35, seed=22)
+        )
+        weighted = assign_community_weights(
+            graph, truth, intra=1.0, inter=0.2, jitter=0.0
+        )
+        plain = AnySCAN(
+            graph, AnyScanConfig(mu=4, epsilon=0.5, record_costs=False)
+        ).run()
+        sharp = AnySCAN(
+            weighted, AnyScanConfig(mu=4, epsilon=0.5, record_costs=False)
+        ).run()
+
+        # Heavier intra-community weights let SCAN recover far more of the
+        # planted structure: more member vertices at comparable accuracy.
+        assert (
+            sharp.clustered_vertices.shape[0]
+            > plain.clustered_vertices.shape[0]
+        )
+        assert nmi(truth, sharp.labels) > nmi(truth, plain.labels)
+
+
+class TestFileToClustersFlow:
+    def test_save_load_cluster_compare(self, lfr_medium, tmp_path):
+        path = tmp_path / "graph.txt"
+        save_edge_list(lfr_medium, path)
+        loaded, label_map = load_edge_list(path)
+        # Loading relabels vertices in first-seen order; the topology must
+        # survive the permutation.
+        assert loaded.num_vertices == lfr_medium.num_vertices
+        assert loaded.num_edges == lfr_medium.num_edges
+        to_new = {int(old): new for old, new in label_map.items()}
+        for u, v, _ in lfr_medium.edges():
+            assert loaded.has_edge(to_new[u], to_new[v])
+
+        oracle = SimilarityOracle(loaded, SimilarityConfig())
+        a = scan(loaded, 4, 0.5, seed=1)
+        b = pscan(loaded, 4, 0.5)
+        c = AnySCAN(
+            loaded, AnyScanConfig(mu=4, epsilon=0.5, record_costs=False)
+        ).run()
+        assert equivalent_clusterings(loaded, oracle, a, b, 4, 0.5)
+        assert equivalent_clusterings(loaded, oracle, a, c, 4, 0.5)
+
+
+class TestInteractiveSession:
+    def test_suspend_inspect_resume(self, lfr_medium):
+        algo = AnySCAN(
+            lfr_medium,
+            AnyScanConfig(mu=4, epsilon=0.5, alpha=48, beta=48,
+                          record_costs=False),
+        )
+        runner = AnytimeRunner(algo)
+        # Phase 1: run a little, inspect.
+        early = runner.run_until(max_iterations=3)
+        early_clusters = early.clustering()
+        assert isinstance(early_clusters, Clustering)
+        # Phase 2: resume to the exact result.
+        final = runner.finish()
+        assert final.final
+        assert final.num_clusters >= early.num_clusters - 5
+        # The final result is exact.
+        reference = scan(lfr_medium, 4, 0.5, seed=1)
+        oracle = SimilarityOracle(lfr_medium, SimilarityConfig())
+        assert equivalent_clusterings(
+            lfr_medium, oracle, reference, algo.result(), 4, 0.5
+        )
+
+
+class TestParallelFlow:
+    def test_cluster_then_project_scalability(self, lfr_medium):
+        par = ParallelAnySCAN(
+            lfr_medium,
+            AnyScanConfig(mu=4, epsilon=0.5, alpha=100, beta=100),
+            machine=MachineSpec(threads=1, numa_penalty=0.1),
+        )
+        result = par.run()
+        assert result.num_clusters > 0
+        speedups = par.speedups([2, 4, 8, 16])
+        assert speedups[16] > 4.0  # meaningful scalability at 16 threads
+        report = par.report(8)
+        # Interactive reading: time to the first snapshot is a fraction
+        # of the total (the "stop early, save compute" story).
+        assert report.cumulative_times[0] < report.total_time

@@ -1,0 +1,98 @@
+"""Tests for the SCAN-equivalence checker."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import scan
+from repro.metrics.comparison import (
+    equivalent_clusterings,
+    explain_difference,
+    true_core_mask,
+)
+from repro.result import Clustering, OUTLIER
+from repro.similarity.weighted import SimilarityConfig, SimilarityOracle
+
+
+@pytest.fixture()
+def setup(lfr_small):
+    oracle = SimilarityOracle(lfr_small, SimilarityConfig())
+    reference = scan(lfr_small, 4, 0.5, seed=1)
+    return lfr_small, oracle, reference
+
+
+class TestTrueCoreMask:
+    def test_matches_scan_roles(self, setup):
+        graph, oracle, reference = setup
+        mask = true_core_mask(graph, oracle, 4, 0.5)
+        scan_cores = set(int(v) for v in reference.cores())
+        assert scan_cores == set(int(v) for v in np.flatnonzero(mask))
+
+    def test_does_not_touch_counters(self, setup):
+        graph, oracle, _ = setup
+        before = oracle.counters.sigma_evaluations
+        true_core_mask(graph, oracle, 4, 0.5)
+        assert oracle.counters.sigma_evaluations == before
+
+
+class TestEquivalence:
+    def test_self_equivalent(self, setup):
+        graph, oracle, reference = setup
+        assert equivalent_clusterings(
+            graph, oracle, reference, reference, 4, 0.5
+        )
+
+    def test_different_seeds_equivalent(self, setup):
+        graph, oracle, reference = setup
+        other = scan(graph, 4, 0.5, seed=99)
+        assert equivalent_clusterings(graph, oracle, reference, other, 4, 0.5)
+
+    def test_detects_missing_member(self, setup):
+        graph, oracle, reference = setup
+        labels = reference.labels.copy()
+        member = int(reference.clustered_vertices[0])
+        labels[member] = OUTLIER
+        broken = Clustering(labels=labels)
+        problems = explain_difference(
+            graph, oracle, reference, broken, 4, 0.5
+        )
+        assert any("member sets" in p for p in problems)
+
+    def test_detects_split_cluster(self, caveman):
+        # The caveman graph guarantees clusters with many cores.
+        oracle = SimilarityOracle(caveman, SimilarityConfig())
+        reference = scan(caveman, 4, 0.5, seed=1)
+        labels = reference.labels.copy()
+        cores = reference.cores()
+        target = int(labels[cores[0]])
+        half = [int(v) for v in cores if int(labels[v]) == target][:2]
+        assert len(half) >= 2
+        labels[half[0]] = labels.max() + 1
+        broken = Clustering(labels=labels)
+        problems = explain_difference(
+            caveman, oracle, reference, broken, 4, 0.5
+        )
+        assert problems  # member sets unchanged but core partition differs
+
+    def test_detects_invalid_border(self, setup):
+        graph, oracle, reference = setup
+        labels = reference.labels.copy()
+        clusters = list(np.unique(labels[labels >= 0]))
+        if len(clusters) < 2:
+            pytest.skip("need two clusters")
+        mask = true_core_mask(graph, oracle, 4, 0.5)
+        borders = [
+            int(v)
+            for v in reference.clustered_vertices
+            if not mask[int(v)]
+        ]
+        if not borders:
+            pytest.skip("need a border vertex")
+        v = borders[0]
+        other = [c for c in clusters if c != labels[v]][0]
+        labels[v] = other  # reattach border to a cluster it can't belong to
+        broken = Clustering(labels=labels)
+        problems = explain_difference(
+            graph, oracle, reference, broken, 4, 0.5
+        )
+        assert any("invalid border" in p or "core partitions" in p
+                   for p in problems)

@@ -1,0 +1,158 @@
+"""Tests for NMI, ARI, entropy, and contingency tables."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.metrics.contingency import contingency_table, prepare_labels
+from repro.metrics.nmi import ari, entropy, mutual_information, nmi
+
+
+class TestEntropy:
+    def test_uniform_two_clusters(self):
+        assert entropy(np.array([5, 5])) == pytest.approx(np.log(2))
+
+    def test_single_cluster_zero(self):
+        assert entropy(np.array([10])) == 0.0
+
+    def test_empty(self):
+        assert entropy(np.array([])) == 0.0
+
+    def test_zeros_ignored(self):
+        assert entropy(np.array([4, 0, 4])) == pytest.approx(np.log(2))
+
+
+class TestPrepareLabels:
+    def test_cluster_mode_pools_noise(self):
+        out = prepare_labels(np.array([0, -1, -2, 1]), noise="cluster")
+        assert out[1] == out[2] == 2
+
+    def test_singleton_mode(self):
+        out = prepare_labels(np.array([0, -1, -2]), noise="singletons")
+        assert out[1] != out[2]
+        assert out[1] > 0 and out[2] > 0
+
+    def test_drop_mode(self):
+        out = prepare_labels(np.array([0, -1]), noise="drop")
+        assert out[1] == -1
+
+    def test_unknown_mode(self):
+        with pytest.raises(ReproError):
+            prepare_labels(np.array([0]), noise="whatever")
+
+
+class TestContingency:
+    def test_identity(self):
+        a = np.array([0, 0, 1, 1])
+        m, rows, cols = contingency_table(a, a)
+        assert m.tolist() == [[2, 0], [0, 2]]
+        assert rows.tolist() == [2, 2]
+        assert cols.tolist() == [2, 2]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ReproError):
+            contingency_table(np.array([0]), np.array([0, 1]))
+
+    def test_empty(self):
+        m, rows, cols = contingency_table(np.array([]), np.array([]))
+        assert m.shape == (0, 0)
+
+    def test_drop_excludes(self):
+        a = np.array([0, 0, -1])
+        b = np.array([0, 1, 0])
+        m, _, _ = contingency_table(a, b, noise="drop")
+        assert m.sum() == 2
+
+
+class TestNMI:
+    def test_identical_is_one(self):
+        labels = np.array([0, 0, 1, 1, 2])
+        assert nmi(labels, labels) == pytest.approx(1.0)
+
+    def test_identical_with_noise(self):
+        labels = np.array([0, 0, 1, -1, -2])
+        assert nmi(labels, labels) == pytest.approx(1.0)
+
+    def test_permuted_labels_is_one(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([5, 5, 2, 2])
+        assert nmi(a, b) == pytest.approx(1.0)
+
+    def test_independent_is_low(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 5, size=3000)
+        b = rng.integers(0, 5, size=3000)
+        assert nmi(a, b) < 0.05
+
+    def test_partial_between(self):
+        a = np.array([0] * 50 + [1] * 50)
+        b = a.copy()
+        b[:10] = 1  # corrupt 10%
+        assert 0.3 < nmi(a, b) < 1.0
+
+    def test_both_trivial_is_one(self):
+        a = np.zeros(5, dtype=int)
+        assert nmi(a, a) == pytest.approx(1.0)
+
+    def test_one_trivial_is_zero(self):
+        a = np.zeros(6, dtype=int)
+        b = np.array([0, 0, 0, 1, 1, 1])
+        assert nmi(a, b) == 0.0
+
+    @pytest.mark.parametrize(
+        "normalization", ["geometric", "arithmetic", "max"]
+    )
+    def test_normalizations_bounded(self, normalization):
+        a = np.array([0, 0, 1, 1, 2, 2])
+        b = np.array([0, 1, 1, 2, 2, 0])
+        value = nmi(a, b, normalization=normalization)
+        assert 0.0 <= value <= 1.0
+
+    def test_unknown_normalization(self):
+        with pytest.raises(ReproError):
+            nmi(np.array([0, 1]), np.array([0, 1]), normalization="wat")
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 4, size=200)
+        b = rng.integers(0, 3, size=200)
+        assert nmi(a, b) == pytest.approx(nmi(b, a))
+
+
+class TestARI:
+    def test_identical_is_one(self):
+        labels = np.array([0, 0, 1, 1, 2])
+        assert ari(labels, labels) == pytest.approx(1.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 4, size=4000)
+        b = rng.integers(0, 4, size=4000)
+        assert abs(ari(a, b)) < 0.05
+
+    def test_known_value(self):
+        # sklearn's doc example: ARI([0,0,1,1],[0,0,1,2]) = 0.5714...
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 0, 1, 2])
+        assert ari(a, b) == pytest.approx(0.5714, abs=1e-3)
+
+    def test_single_element(self):
+        assert ari(np.array([0]), np.array([0])) == 1.0
+
+    def test_symmetry(self):
+        a = np.array([0, 0, 1, 1, 2, 2])
+        b = np.array([0, 1, 1, 2, 2, 0])
+        assert ari(a, b) == pytest.approx(ari(b, a))
+
+
+class TestMutualInformation:
+    def test_nonnegative(self):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 3, size=100)
+        b = rng.integers(0, 3, size=100)
+        assert mutual_information(a, b) >= 0.0
+
+    def test_bounded_by_entropy(self):
+        a = np.array([0, 0, 1, 1, 2, 2])
+        mi = mutual_information(a, a)
+        assert mi == pytest.approx(entropy(np.array([2, 2, 2])))

@@ -1,0 +1,114 @@
+"""Tests for the unsupervised quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import Graph
+from repro.metrics.quality import (
+    conductance,
+    coverage,
+    modularity,
+    quality_report,
+)
+from repro.result import Clustering, OUTLIER
+
+
+def clustering(labels):
+    return Clustering(labels=np.asarray(labels, dtype=np.int64))
+
+
+@pytest.fixture(scope="module")
+def two_cliques():
+    # Two 4-cliques joined by a single edge.
+    edges = [(a, b) for a in range(4) for b in range(a + 1, 4)]
+    edges += [(a, b) for a in range(4, 8) for b in range(a + 1, 8)]
+    edges.append((3, 4))
+    return Graph.from_edges(8, edges)
+
+
+GOOD = [0, 0, 0, 0, 1, 1, 1, 1]
+BAD = [0, 1, 0, 1, 0, 1, 0, 1]
+
+
+class TestModularity:
+    def test_good_split_positive(self, two_cliques):
+        assert modularity(two_cliques, clustering(GOOD)) > 0.3
+
+    def test_bad_split_lower(self, two_cliques):
+        good = modularity(two_cliques, clustering(GOOD))
+        bad = modularity(two_cliques, clustering(BAD))
+        assert bad < good
+
+    def test_single_cluster_zero(self, two_cliques):
+        q = modularity(two_cliques, clustering([0] * 8))
+        assert q == pytest.approx(0.0, abs=1e-9)
+
+    def test_all_noise(self, two_cliques):
+        q = modularity(two_cliques, clustering([OUTLIER] * 8))
+        assert q <= 0.0 + 1e-9
+
+    def test_empty_graph(self):
+        assert modularity(Graph.from_edges(0, []), clustering([])) == 0.0
+
+    def test_weighted_edges_respected(self, weighted_triangle):
+        q = modularity(weighted_triangle, clustering([0, 0, 1]))
+        q_all = modularity(weighted_triangle, clustering([0, 0, 0]))
+        assert q <= q_all + 1e-9
+
+
+class TestConductance:
+    def test_isolated_cluster_zero(self, two_cliques):
+        # Pretend only the first clique is clustered, including edge 3-4
+        # leaving it.
+        labels = [0, 0, 0, 0, OUTLIER, OUTLIER, OUTLIER, OUTLIER]
+        cond = conductance(two_cliques, clustering(labels))
+        assert 0 < cond[0] < 0.2  # one escaping edge over volume 13
+
+    def test_good_split_low(self, two_cliques):
+        cond = conductance(two_cliques, clustering(GOOD))
+        assert all(v < 0.2 for v in cond.values())
+
+    def test_bad_split_high(self, two_cliques):
+        good = conductance(two_cliques, clustering(GOOD))
+        bad = conductance(two_cliques, clustering(BAD))
+        assert min(bad.values()) > max(good.values())
+
+    def test_no_clusters(self, two_cliques):
+        assert conductance(two_cliques, clustering([OUTLIER] * 8)) == {}
+
+
+class TestCoverage:
+    def test_full_coverage(self, two_cliques):
+        assert coverage(two_cliques, clustering([0] * 8)) == pytest.approx(1.0)
+
+    def test_good_split(self, two_cliques):
+        # 12 of 13 edges are inside clusters.
+        assert coverage(two_cliques, clustering(GOOD)) == pytest.approx(
+            12 / 13
+        )
+
+    def test_no_clusters_zero(self, two_cliques):
+        assert coverage(two_cliques, clustering([OUTLIER] * 8)) == 0.0
+
+
+class TestReport:
+    def test_report_keys_and_ranges(self, two_cliques):
+        report = quality_report(two_cliques, clustering(GOOD))
+        assert set(report) == {
+            "modularity",
+            "coverage",
+            "mean_conductance",
+            "num_clusters",
+            "clustered_fraction",
+        }
+        assert report["num_clusters"] == 2
+        assert report["clustered_fraction"] == 1.0
+        assert 0 <= report["coverage"] <= 1
+
+    def test_report_with_scan_result(self, lfr_small):
+        from repro.baselines import scan
+
+        result = scan(lfr_small, 4, 0.5, seed=1)
+        report = quality_report(lfr_small, result)
+        assert report["num_clusters"] == result.num_clusters
+        assert -1 <= report["modularity"] <= 1

@@ -1,0 +1,145 @@
+"""Tests for the parallel anySCAN replay (Figures 10-14 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AnyScanConfig
+from repro.core.parallel import ParallelAnySCAN, ideal_speedups
+from repro.errors import SimulationError
+from repro.parallel.simulator import MachineSpec
+
+
+def make(graph, **overrides):
+    base = dict(mu=4, epsilon=0.5, alpha=64, beta=64)
+    base.update(overrides)
+    return ParallelAnySCAN(graph, AnyScanConfig(**base))
+
+
+class TestRunAndReport:
+    def test_queries_require_run(self, lfr_small):
+        par = make(lfr_small)
+        with pytest.raises(SimulationError):
+            par.report(4)
+
+    def test_run_is_idempotent(self, lfr_small):
+        par = make(lfr_small)
+        a = par.run()
+        b = par.run()
+        assert a is b
+
+    def test_result_matches_sequential(self, lfr_small):
+        from repro.core import AnySCAN
+
+        par = make(lfr_small)
+        result = par.run()
+        seq = AnySCAN(
+            lfr_small, AnyScanConfig(mu=4, epsilon=0.5, alpha=64, beta=64)
+        ).run()
+        assert np.array_equal(result.labels, seq.labels)
+
+    def test_report_shape(self, lfr_small):
+        par = make(lfr_small)
+        par.run()
+        report = par.report(4)
+        assert report.threads == 4
+        assert report.cumulative_times.shape[0] == len(par.cost_log)
+        assert report.total_time == pytest.approx(
+            report.cumulative_times[-1]
+        )
+        assert report.steps[0] == "summarize"
+
+    def test_cumulative_times_increase(self, lfr_small):
+        par = make(lfr_small)
+        par.run()
+        times = par.report(2).cumulative_times
+        assert np.all(np.diff(times) >= 0)
+
+    def test_record_costs_forced_on(self, lfr_small):
+        par = ParallelAnySCAN(
+            lfr_small,
+            AnyScanConfig(mu=4, epsilon=0.5, record_costs=False),
+        )
+        par.run()
+        assert par.cost_log
+
+
+class TestSpeedups:
+    def test_monotone_and_bounded(self, lfr_medium):
+        par = make(lfr_medium, alpha=100, beta=100)
+        par.run()
+        s = par.speedups([1, 2, 4, 8])
+        assert s[1] == pytest.approx(1.0)
+        assert s[1] <= s[2] <= s[4] <= s[8]
+        for t, speedup in s.items():
+            assert speedup <= t + 1e-9
+
+    def test_numa_knee_beyond_socket(self, lfr_medium):
+        par = make(lfr_medium, alpha=100, beta=100)
+        par.run()
+        s = par.speedups([8, 16])
+        # Efficiency (speedup / threads) drops past the socket boundary.
+        assert s[16] / 16 < s[8] / 8
+
+    def test_per_iteration_speedups(self, lfr_small):
+        par = make(lfr_small)
+        par.run()
+        per_iter = par.speedups_per_iteration([2, 4])
+        assert set(per_iter) == {2, 4}
+        assert per_iter[2].shape[0] == len(par.cost_log)
+        assert np.nanmax(per_iter[4]) <= 4 + 1e-9
+
+    def test_sequential_fraction_small(self, lfr_medium):
+        par = make(lfr_medium, alpha=100, beta=100)
+        par.run()
+        # The paper's claim: sequential parts are negligible.
+        assert par.sequential_fraction() < 0.05
+
+    def test_anyscan_below_ideal(self, lfr_medium):
+        par = make(lfr_medium, alpha=100, beta=100)
+        par.run()
+        any_s = par.speedups([8])[8]
+        ideal_s = ideal_speedups(lfr_medium, [8])[8]
+        assert any_s <= ideal_s + 0.5  # close, but not above by much
+
+    def test_machine_template_respected(self, lfr_small):
+        par = ParallelAnySCAN(
+            lfr_small,
+            AnyScanConfig(mu=4, epsilon=0.5, alpha=64, beta=64),
+            machine=MachineSpec(threads=1, numa_penalty=0.5),
+        )
+        par.run()
+        harsh = par.speedups([16])[16]
+        par2 = make(lfr_small)
+        par2.run()
+        mild = par2.speedups([16])[16]
+        assert harsh < mild
+
+
+class TestCostLogStructure:
+    def test_block_names_follow_figure4(self, lfr_small):
+        par = make(lfr_small)
+        par.run()
+        names = {b.name for rec in par.cost_log for b in rec.blocks}
+        assert "step1/range-queries" in names
+        assert "step1/mark-neighbors" in names
+
+    def test_atomics_only_in_step1_marking(self, lfr_small):
+        par = make(lfr_small)
+        par.run()
+        for rec in par.cost_log:
+            for block in rec.blocks:
+                if block.atomic_ops:
+                    assert block.name == "step1/mark-neighbors"
+
+    def test_criticals_only_in_merge_blocks(self, lfr_small):
+        par = make(lfr_small)
+        par.run()
+        for rec in par.cost_log:
+            for block in rec.blocks:
+                if block.critical_costs:
+                    assert block.name in ("step2/merge", "step3/merge")
+
+    def test_total_work_positive(self, lfr_small):
+        par = make(lfr_small)
+        par.run()
+        assert sum(rec.total_work for rec in par.cost_log) > 0

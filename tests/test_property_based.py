@@ -1,0 +1,237 @@
+"""Property-based tests (hypothesis) on the core data structures.
+
+Each property pins an invariant the algorithms rely on: union-find
+equivalence-relation laws, Figure 3 reachability, σ symmetry/range,
+Lemma 5 soundness, NMI metric axioms, builder round-trips, and anySCAN ≡
+SCAN on arbitrary small graphs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import scan
+from repro.core import AnySCAN, AnyScanConfig
+from repro.graph.builder import GraphBuilder
+from repro.metrics.comparison import explain_difference
+from repro.metrics.nmi import ari, nmi
+from repro.similarity.weighted import SimilarityConfig, SimilarityOracle
+from repro.structures.disjoint_set import DisjointSet
+from repro.structures.state import ALLOWED_TRANSITIONS, VertexState
+from tests.conftest import brute_force_sigma
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 19), st.integers(0, 19)).filter(
+        lambda e: e[0] != e[1]
+    ),
+    min_size=0,
+    max_size=60,
+)
+
+
+def build_graph(edges, weights=None):
+    builder = GraphBuilder(20)
+    for i, (u, v) in enumerate(edges):
+        w = 1.0 if weights is None else weights[i % len(weights)]
+        builder.add_edge(u, v, w)
+    return builder.build(dedup="ignore")
+
+
+# ----------------------------------------------------------------------
+# disjoint set
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 14), st.integers(0, 14)), max_size=40
+    )
+)
+def test_dsu_is_equivalence_relation(ops):
+    dsu = DisjointSet(15)
+    merged = {i: {i} for i in range(15)}
+    for a, b in ops:
+        dsu.union(a, b)
+        union = merged[dsu.find(a)] | merged[dsu.find(b)]
+        for x in union:
+            merged[x] = union
+    # find is consistent: same set <-> same root.
+    for a in range(15):
+        for b in merged[a]:
+            assert dsu.same(a, b)
+    roots = {dsu.find(i) for i in range(15)}
+    assert len(roots) == dsu.num_components()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=25
+    )
+)
+def test_dsu_effective_unions_count_components(ops):
+    dsu = DisjointSet(10)
+    for a, b in ops:
+        dsu.union(a, b)
+    assert dsu.num_components() == 10 - dsu.effective_unions
+
+
+# ----------------------------------------------------------------------
+# state machine schema
+# ----------------------------------------------------------------------
+def test_schema_is_a_dag():
+    # Figure 3 has no cycles: repeated transitions must terminate.
+    for start in VertexState:
+        seen = {start}
+        frontier = {start}
+        for _ in range(len(VertexState) + 1):
+            frontier = {
+                t for s in frontier for t in ALLOWED_TRANSITIONS[s]
+            }
+            if not frontier:
+                break
+            assert not (frontier & {start}), f"cycle through {start}"
+            seen |= frontier
+
+
+def test_schema_all_paths_end_terminal():
+    terminals = {s for s, ts in ALLOWED_TRANSITIONS.items() if not ts}
+    assert terminals == {
+        VertexState.PROCESSED_BORDER,
+        VertexState.PROCESSED_CORE,
+    }
+    # Every state reaches a terminal.
+    for start in VertexState:
+        frontier = {start}
+        reached = set(frontier)
+        while frontier:
+            frontier = {
+                t for s in frontier for t in ALLOWED_TRANSITIONS[s]
+            } - reached
+            reached |= frontier
+        assert reached & (terminals | {VertexState.PROCESSED_NOISE})
+
+
+# ----------------------------------------------------------------------
+# similarity
+# ----------------------------------------------------------------------
+@settings(
+    max_examples=40, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(edges=edge_lists, data=st.data())
+def test_sigma_symmetric_bounded_and_correct(edges, data):
+    graph = build_graph(edges)
+    if graph.num_vertices < 2:
+        return
+    oracle = SimilarityOracle(graph)
+    p = data.draw(st.integers(0, graph.num_vertices - 1))
+    q = data.draw(st.integers(0, graph.num_vertices - 1))
+    s_pq = oracle.sigma_unrecorded(p, q)
+    s_qp = oracle.sigma_unrecorded(q, p)
+    assert s_pq == pytest.approx(s_qp)
+    assert -1e-9 <= s_pq <= 1.0 + 1e-9
+    assert s_pq == pytest.approx(brute_force_sigma(graph, p, q))
+
+
+@settings(
+    max_examples=30, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    edges=edge_lists,
+    weights=st.lists(
+        st.floats(0.1, 5.0, allow_nan=False), min_size=1, max_size=10
+    ),
+    epsilon=st.floats(0.05, 0.95),
+)
+def test_pruned_threshold_test_is_exact(edges, weights, epsilon):
+    graph = build_graph(edges, weights)
+    pruned = SimilarityOracle(graph, SimilarityConfig(pruning=True))
+    exact = SimilarityOracle(graph, SimilarityConfig(pruning=False))
+    for u, v, _ in graph.edges():
+        assert pruned.similar(u, v, epsilon) == (
+            exact.sigma_unrecorded(u, v) >= epsilon
+        )
+
+
+# ----------------------------------------------------------------------
+# metrics
+# ----------------------------------------------------------------------
+label_arrays = st.lists(st.integers(-2, 4), min_size=2, max_size=50)
+
+
+@settings(max_examples=60, deadline=None)
+@given(labels=label_arrays)
+def test_nmi_identity_axiom(labels):
+    arr = np.asarray(labels)
+    assert nmi(arr, arr) == pytest.approx(1.0)
+    assert ari(arr, arr) == pytest.approx(1.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=label_arrays, data=st.data())
+def test_nmi_symmetry_and_range(a, data):
+    b = data.draw(
+        st.lists(st.integers(-2, 4), min_size=len(a), max_size=len(a))
+    )
+    x, y = np.asarray(a), np.asarray(b)
+    assert nmi(x, y) == pytest.approx(nmi(y, x))
+    assert 0.0 <= nmi(x, y) <= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=label_arrays)
+def test_nmi_invariant_under_relabeling(a):
+    x = np.asarray(a)
+    permuted = np.where(x >= 0, x + 100, x)
+    assert nmi(x, permuted) == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# builder round trip
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(edges=edge_lists)
+def test_builder_roundtrip_properties(edges):
+    graph = build_graph(edges)
+    unique = {(min(u, v), max(u, v)) for u, v in edges}
+    assert graph.num_edges == len(unique)
+    assert int(graph.degrees.sum()) == 2 * graph.num_edges
+    for u, v in unique:
+        assert graph.has_edge(u, v)
+        assert graph.has_edge(v, u)
+
+
+# ----------------------------------------------------------------------
+# anySCAN ≡ SCAN on arbitrary graphs
+# ----------------------------------------------------------------------
+@settings(
+    max_examples=25, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    edges=edge_lists,
+    mu=st.integers(2, 5),
+    epsilon=st.sampled_from([0.3, 0.5, 0.7]),
+    alpha=st.integers(1, 30),
+)
+def test_anyscan_equals_scan_on_arbitrary_graphs(edges, mu, epsilon, alpha):
+    graph = build_graph(edges)
+    oracle = SimilarityOracle(graph, SimilarityConfig())
+    reference = scan(graph, mu, epsilon, seed=1)
+    result = AnySCAN(
+        graph,
+        AnyScanConfig(
+            mu=mu, epsilon=epsilon, alpha=alpha, beta=alpha,
+            record_costs=False,
+        ),
+    ).run()
+    problems = explain_difference(
+        graph, oracle, reference, result, mu, epsilon
+    )
+    assert not problems, problems

@@ -1,0 +1,100 @@
+"""Tests for the Clustering result type."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.result import HUB, OUTLIER, Clustering, VertexRole
+
+
+def make(labels, roles=None):
+    return Clustering(labels=np.asarray(labels), roles=roles)
+
+
+class TestBasics:
+    def test_num_clusters(self):
+        c = make([0, 0, 1, HUB, OUTLIER])
+        assert c.num_clusters == 2
+        assert c.num_vertices == 5
+
+    def test_empty(self):
+        c = make([])
+        assert c.num_clusters == 0
+
+    def test_all_noise(self):
+        c = make([OUTLIER, OUTLIER])
+        assert c.num_clusters == 0
+        assert list(c.outliers) == [0, 1]
+
+    def test_members_and_sets(self):
+        c = make([0, 1, 0, HUB])
+        assert list(c.members_of(0)) == [0, 2]
+        assert c.membership_sets() == [frozenset({0, 2}), frozenset({1})]
+
+    def test_hubs_outliers_unclustered(self):
+        c = make([0, HUB, OUTLIER])
+        assert list(c.hubs) == [1]
+        assert list(c.outliers) == [2]
+        assert list(c.unclustered) == [1, 2]
+
+    def test_clusters_mapping(self):
+        c = make([5, 5, 9])
+        clusters = c.clusters()
+        assert set(clusters) == {5, 9}
+        assert list(clusters[5]) == [0, 1]
+
+
+class TestRoles:
+    def test_roles_parallel_check(self):
+        with pytest.raises(ReproError):
+            make([0, 1], roles=np.array([0], dtype=np.int8))
+
+    def test_cores_borders(self):
+        roles = np.array(
+            [int(VertexRole.CORE), int(VertexRole.BORDER), int(VertexRole.HUB)],
+            dtype=np.int8,
+        )
+        c = make([0, 0, HUB], roles=roles)
+        assert list(c.cores()) == [0]
+        assert list(c.borders()) == [1]
+
+    def test_roles_required(self):
+        c = make([0, 0])
+        with pytest.raises(ReproError):
+            c.cores()
+
+
+class TestCanonicalization:
+    def test_canonical_relabels_by_first_member(self):
+        c = make([7, 7, 3, 3]).canonical()
+        assert list(c.labels) == [0, 0, 1, 1]
+
+    def test_canonical_keeps_negatives(self):
+        c = make([9, HUB, OUTLIER]).canonical()
+        assert list(c.labels) == [0, HUB, OUTLIER]
+
+    def test_same_partition_ignores_label_values(self):
+        a = make([7, 7, 3, OUTLIER])
+        b = make([1, 1, 0, HUB])  # hub/outlier pooled
+        assert a.same_partition(b)
+
+    def test_same_partition_detects_difference(self):
+        a = make([0, 0, 1])
+        b = make([0, 1, 1])
+        assert not a.same_partition(b)
+
+    def test_same_partition_length_mismatch(self):
+        assert not make([0]).same_partition(make([0, 1]))
+
+
+class TestConstruction:
+    def test_from_membership(self):
+        c = Clustering.from_membership(5, [[0, 1], [3]])
+        assert c.labels[0] == 0
+        assert c.labels[3] == 1
+        assert c.labels[4] == OUTLIER
+
+    def test_summary_text(self):
+        text = make([0, 0, HUB, OUTLIER]).summary()
+        assert "1 clusters" in text
+        assert "1 hubs" in text

@@ -1,0 +1,147 @@
+"""Tests for the SCAN reference implementation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import scan
+from repro.errors import ConfigError
+from repro.graph.csr import Graph
+from repro.result import VertexRole
+from repro.similarity.weighted import SimilarityConfig, SimilarityOracle
+
+
+class TestSmallGraphs:
+    def test_triangle_is_one_cluster(self, triangle):
+        result = scan(triangle, 2, 0.5)
+        assert result.num_clusters == 1
+        assert list(result.members_of(0)) == [0, 1, 2]
+        assert all(result.roles == int(VertexRole.CORE))
+
+    def test_triangle_high_mu_all_noise(self, triangle):
+        result = scan(triangle, 10, 0.5)
+        assert result.num_clusters == 0
+        assert result.outliers.shape[0] == 3
+
+    def test_path_is_noise_at_high_eps(self, path_graph):
+        result = scan(path_graph, 2, 0.9)
+        assert result.num_clusters == 0
+
+    def test_two_triangles_separate_clusters(self, two_triangles_bridge):
+        result = scan(two_triangles_bridge, 2, 0.75)
+        assert result.num_clusters == 2
+        sets = set(result.membership_sets())
+        assert frozenset({4, 5, 6}) in sets
+
+    def test_bridge_vertex_becomes_hub_or_outlier(self, two_triangles_bridge):
+        result = scan(two_triangles_bridge, 3, 0.8)
+        # With μ=3 and ε=0.8 the triangles cluster; the bridge endpoints
+        # (2, 3, 4) connect across — vertex 3 is unclustered.
+        labels = result.labels
+        if labels[3] < 0:
+            # it touches both clusters -> hub
+            assert int(labels[3]) == -1
+
+    def test_epsilon_one_requires_identical_neighborhoods(self):
+        # Two K4s sharing nothing: all σ inside a K4 equal 1.
+        edges = [(a, b) for a in range(4) for b in range(a + 1, 4)]
+        g = Graph.from_edges(4, edges)
+        result = scan(g, 3, 1.0)
+        assert result.num_clusters == 1
+
+
+class TestKarate:
+    def test_default_parameters_find_communities(self, karate):
+        result = scan(karate, 3, 0.5)
+        assert result.num_clusters >= 2
+        # The two famous leaders end up in different communities.
+        assert result.labels[0] != result.labels[33]
+
+    def test_order_independent_partition(self, karate):
+        a = scan(karate, 3, 0.5, seed=1)
+        b = scan(karate, 3, 0.5, seed=42)
+        assert np.array_equal(np.sort(a.cores()), np.sort(b.cores()))
+        assert a.num_clusters == b.num_clusters
+
+    def test_roles_are_consistent(self, karate):
+        result = scan(karate, 3, 0.5)
+        for v in range(34):
+            role = VertexRole(int(result.roles[v]))
+            label = int(result.labels[v])
+            if role in (VertexRole.CORE, VertexRole.BORDER):
+                assert label >= 0
+            else:
+                assert label < 0
+
+    def test_cores_satisfy_definition(self, karate):
+        oracle = SimilarityOracle(karate, SimilarityConfig())
+        result = scan(karate, 3, 0.5)
+        for v in result.cores():
+            size = oracle.eps_neighborhood(int(v), 0.5).shape[0] + 1
+            assert size >= 3
+        for v in range(34):
+            if int(result.roles[v]) != int(VertexRole.CORE):
+                size = oracle.eps_neighborhood(v, 0.5).shape[0] + 1
+                assert size < 3
+
+    def test_borders_have_core_neighbor(self, karate):
+        oracle = SimilarityOracle(karate, SimilarityConfig())
+        result = scan(karate, 3, 0.5)
+        cores = set(int(v) for v in result.cores())
+        for v in result.borders():
+            v = int(v)
+            attached = any(
+                int(q) in cores
+                and int(result.labels[q]) == int(result.labels[v])
+                and oracle.sigma_unrecorded(v, int(q)) >= 0.5
+                for q in karate.neighbors(v)
+            )
+            assert attached
+
+
+class TestParameters:
+    def test_mu_monotone_cores(self, lfr_small):
+        low = scan(lfr_small, 2, 0.5)
+        high = scan(lfr_small, 6, 0.5)
+        assert set(map(int, high.cores())) <= set(map(int, low.cores()))
+
+    def test_eps_monotone_cores(self, lfr_small):
+        loose = scan(lfr_small, 4, 0.3)
+        tight = scan(lfr_small, 4, 0.7)
+        assert set(map(int, tight.cores())) <= set(map(int, loose.cores()))
+
+    def test_invalid_mu(self, triangle):
+        with pytest.raises(ConfigError):
+            scan(triangle, 0, 0.5)
+
+    def test_invalid_epsilon(self, triangle):
+        with pytest.raises(ConfigError):
+            scan(triangle, 2, 0.0)
+        with pytest.raises(ConfigError):
+            scan(triangle, 2, 1.5)
+
+    def test_empty_graph(self):
+        result = scan(Graph.from_edges(0, []), 2, 0.5)
+        assert result.num_clusters == 0
+
+    def test_isolated_vertices_are_outliers(self):
+        g = Graph.from_edges(5, [(0, 1), (1, 2), (0, 2)])
+        result = scan(g, 2, 0.5)
+        assert int(result.labels[3]) == -2
+        assert int(result.labels[4]) == -2
+
+
+class TestWeighted:
+    def test_weights_change_similarity(self, karate):
+        from repro.graph.generators.weights import assign_community_weights
+
+        member = [0 if v < 17 else 1 for v in range(34)]
+        weighted = assign_community_weights(
+            karate, member, intra=1.0, inter=0.05, jitter=0.0
+        )
+        unweighted_result = scan(karate, 3, 0.5)
+        weighted_result = scan(weighted, 3, 0.5)
+        # Down-weighting cross-community ties must not produce the exact
+        # same member set (it sharpens the communities).
+        assert not np.array_equal(
+            unweighted_result.labels >= 0, weighted_result.labels >= 0
+        ) or unweighted_result.num_clusters != weighted_result.num_clusters

@@ -1,0 +1,144 @@
+"""Tests for the alternative structural-similarity kinds."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import scan
+from repro.core import AnySCAN, AnyScanConfig
+from repro.errors import ConfigError
+from repro.graph.generators.weights import assign_random_weights
+from repro.metrics.comparison import explain_difference
+from repro.similarity.weighted import SimilarityConfig, SimilarityOracle
+
+
+def oracle_for(graph, kind):
+    return SimilarityOracle(
+        graph, SimilarityConfig(kind=kind, pruning=False)
+    )
+
+
+class TestConfig:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            SimilarityConfig(kind="tanimoto").validate()
+
+    def test_pruning_requires_cosine(self):
+        with pytest.raises(ConfigError):
+            SimilarityConfig(kind="jaccard", pruning=True).validate()
+
+    def test_cosine_with_pruning_fine(self):
+        SimilarityConfig(kind="cosine", pruning=True).validate()
+
+
+class TestUnweightedClassicForms:
+    """With all-ones weights the kinds reduce to their set formulas."""
+
+    def closed_sets(self, graph, p, q):
+        gp = set(int(x) for x in graph.neighbors(p)) | {p}
+        gq = set(int(x) for x in graph.neighbors(q)) | {q}
+        return gp, gq
+
+    @pytest.mark.parametrize("p,q", [(0, 1), (0, 33), (5, 16), (2, 32)])
+    def test_jaccard(self, karate, p, q):
+        gp, gq = self.closed_sets(karate, p, q)
+        expected = len(gp & gq) / len(gp | gq)
+        assert oracle_for(karate, "jaccard").sigma_unrecorded(
+            p, q
+        ) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("p,q", [(0, 1), (0, 33), (5, 16)])
+    def test_dice(self, karate, p, q):
+        gp, gq = self.closed_sets(karate, p, q)
+        expected = 2 * len(gp & gq) / (len(gp) + len(gq))
+        assert oracle_for(karate, "dice").sigma_unrecorded(
+            p, q
+        ) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("p,q", [(0, 1), (0, 33), (5, 16)])
+    def test_overlap(self, karate, p, q):
+        gp, gq = self.closed_sets(karate, p, q)
+        expected = len(gp & gq) / min(len(gp), len(gq))
+        assert oracle_for(karate, "overlap").sigma_unrecorded(
+            p, q
+        ) == pytest.approx(expected)
+
+
+class TestProperties:
+    @pytest.mark.parametrize("kind", ["jaccard", "dice", "overlap"])
+    def test_self_similarity_is_one(self, karate, kind):
+        oracle = oracle_for(karate, kind)
+        for v in (0, 7, 33):
+            assert oracle.sigma_unrecorded(v, v) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("kind", ["jaccard", "dice", "overlap"])
+    def test_symmetric_and_bounded(self, karate, kind):
+        oracle = oracle_for(karate, kind)
+        rng = np.random.default_rng(1)
+        for _ in range(25):
+            p, q = (int(x) for x in rng.integers(0, 34, size=2))
+            s = oracle.sigma_unrecorded(p, q)
+            assert s == pytest.approx(oracle.sigma_unrecorded(q, p))
+            assert -1e-9 <= s <= 1.0 + 1e-9
+
+    def test_kind_ordering(self, karate):
+        # overlap >= dice >= jaccard pointwise (standard inequalities).
+        j = oracle_for(karate, "jaccard")
+        d = oracle_for(karate, "dice")
+        o = oracle_for(karate, "overlap")
+        for u, v, _ in karate.edges():
+            sj = j.sigma_unrecorded(u, v)
+            sd = d.sigma_unrecorded(u, v)
+            so = o.sigma_unrecorded(u, v)
+            assert so >= sd - 1e-9
+            assert sd >= sj - 1e-9
+
+    @pytest.mark.parametrize("kind", ["jaccard", "dice", "overlap"])
+    def test_weighted_bounded(self, karate, kind):
+        heavy = assign_random_weights(karate, low=0.2, high=4.0, seed=3)
+        oracle = oracle_for(heavy, kind)
+        for u, v, _ in heavy.edges():
+            assert 0.0 <= oracle.sigma_unrecorded(u, v) <= 1.0 + 1e-9
+
+
+class TestAlgorithmsWithKinds:
+    @pytest.mark.parametrize("kind", ["jaccard", "dice"])
+    def test_anyscan_exact_under_kind(self, lfr_small, kind):
+        config = SimilarityConfig(kind=kind, pruning=False)
+        oracle = SimilarityOracle(lfr_small, config)
+        reference = scan(
+            lfr_small, 4, 0.4,
+            oracle=SimilarityOracle(lfr_small, config), seed=1,
+        )
+        result = AnySCAN(
+            lfr_small,
+            AnyScanConfig(
+                mu=4, epsilon=0.4, alpha=32, beta=32,
+                similarity=config, record_costs=False,
+            ),
+        ).run()
+        problems = explain_difference(
+            lfr_small, oracle, reference, result, 4, 0.4
+        )
+        assert not problems, problems
+
+    def test_kinds_give_different_clusterings(self, lfr_small):
+        results = {}
+        for kind in ("cosine", "jaccard"):
+            config = SimilarityConfig(kind=kind, pruning=False)
+            results[kind] = scan(
+                lfr_small, 4, 0.5,
+                oracle=SimilarityOracle(lfr_small, config), seed=1,
+            )
+        # Jaccard is strictly smaller than cosine on most pairs, so the
+        # same ε admits fewer cores.
+        assert (
+            results["jaccard"].clustered_vertices.shape[0]
+            <= results["cosine"].clustered_vertices.shape[0]
+        )
+
+    def test_similar_respects_kind(self, karate):
+        config = SimilarityConfig(kind="jaccard", pruning=False)
+        oracle = SimilarityOracle(karate, config)
+        for u, v, _ in list(karate.edges())[:20]:
+            want = oracle.sigma_unrecorded(u, v) >= 0.4
+            assert oracle.similar(u, v, 0.4) == want

@@ -1,0 +1,112 @@
+"""Tests for the Lemma 5 pruning bound and early-exit threshold tests."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators.random_graphs import gnm_random_graph
+from repro.graph.generators.weights import assign_random_weights
+from repro.similarity.weighted import SimilarityConfig, SimilarityOracle
+
+
+class TestLemma5Bound:
+    def _check_soundness(self, graph):
+        """The bound must never be below the true numerator."""
+        oracle = SimilarityOracle(graph, SimilarityConfig(pruning=False))
+        for u, v, _ in graph.edges():
+            sigma = oracle.sigma_unrecorded(u, v)
+            numerator = sigma * float(
+                np.sqrt(oracle.lengths[u] * oracle.lengths[v])
+            )
+            assert oracle.lemma5_bound(u, v) >= numerator - 1e-9
+
+    def test_sound_on_unweighted(self, karate):
+        self._check_soundness(karate)
+
+    def test_sound_on_weighted(self, karate):
+        self._check_soundness(assign_random_weights(karate, seed=1))
+
+    def test_sound_with_large_weights(self, karate):
+        # Weights > 1 break the paper's literal bound; ours must hold.
+        heavy = assign_random_weights(karate, low=1.0, high=5.0, seed=2)
+        self._check_soundness(heavy)
+
+    def test_sound_on_random_graphs(self):
+        for seed in range(3):
+            g = gnm_random_graph(60, 300, seed=seed)
+            g = assign_random_weights(g, low=0.1, high=3.0, seed=seed)
+            self._check_soundness(g)
+
+
+class TestSimilarAgreement:
+    @pytest.mark.parametrize("epsilon", [0.2, 0.5, 0.8])
+    def test_pruned_similar_matches_exact(self, karate, epsilon):
+        exact = SimilarityOracle(karate, SimilarityConfig(pruning=False))
+        pruned = SimilarityOracle(karate, SimilarityConfig(pruning=True))
+        for u, v, _ in karate.edges():
+            want = exact.sigma_unrecorded(u, v) >= epsilon
+            assert pruned.similar(u, v, epsilon) == want
+
+    def test_pruned_similar_matches_exact_weighted(self, karate):
+        heavy = assign_random_weights(karate, low=0.2, high=4.0, seed=3)
+        exact = SimilarityOracle(heavy, SimilarityConfig(pruning=False))
+        pruned = SimilarityOracle(heavy, SimilarityConfig(pruning=True))
+        for u, v, _ in heavy.edges():
+            want = exact.sigma_unrecorded(u, v) >= 0.5
+            assert pruned.similar(u, v, 0.5) == want
+
+    def test_nonadjacent_pairs(self, karate):
+        pruned = SimilarityOracle(karate, SimilarityConfig(pruning=True))
+        exact = SimilarityOracle(karate, SimilarityConfig(pruning=False))
+        rng = np.random.default_rng(4)
+        checked = 0
+        while checked < 20:
+            u, v = (int(x) for x in rng.integers(0, 34, size=2))
+            if u == v or karate.has_edge(u, v):
+                continue
+            checked += 1
+            want = exact.sigma_unrecorded(u, v) >= 0.4
+            assert pruned.similar(u, v, 0.4) == want
+
+
+class TestPruningEffort:
+    def test_high_epsilon_prunes_more(self):
+        g = gnm_random_graph(150, 700, seed=5)
+        low = SimilarityOracle(g, SimilarityConfig(pruning=True))
+        high = SimilarityOracle(g, SimilarityConfig(pruning=True))
+        for u, v, _ in g.edges():
+            low.similar(u, v, 0.1)
+            high.similar(u, v, 0.95)
+        assert high.counters.pruned_lemma5 >= low.counters.pruned_lemma5
+
+    @pytest.mark.parametrize("epsilon", [0.5, 0.8])
+    def test_pruning_never_costs_more_than_exact(self, epsilon):
+        g = gnm_random_graph(150, 700, seed=5)
+        pruned = SimilarityOracle(g, SimilarityConfig(pruning=True))
+        exact = SimilarityOracle(g, SimilarityConfig(pruning=False))
+        for u, v, _ in g.edges():
+            pruned.similar(u, v, epsilon)
+            exact.similar(u, v, epsilon)
+        assert pruned.counters.work_units <= exact.counters.work_units
+
+    def test_prunes_cost_one_unit(self, karate):
+        oracle = SimilarityOracle(karate, SimilarityConfig(pruning=True))
+        # ε=1.0 with l_p ≥ 2 triggers the filter on weak pairs.
+        for u, v, _ in karate.edges():
+            oracle.similar(u, v, 1.0)
+        c = oracle.counters
+        assert c.pruned_lemma5 > 0
+        # Every pruned test contributed exactly one unit.
+        assert c.work_units < karate.num_edges * max(karate.degrees) * 2
+
+    def test_early_exit_recorded(self, caveman):
+        oracle = SimilarityOracle(caveman, SimilarityConfig(pruning=True))
+        for u, v, _ in caveman.edges():
+            oracle.similar(u, v, 0.2)  # low threshold: crossings are early
+        assert oracle.counters.early_exits > 0
+
+    def test_disabled_pruning_never_prunes(self, karate):
+        oracle = SimilarityOracle(karate, SimilarityConfig(pruning=False))
+        for u, v, _ in karate.edges():
+            oracle.similar(u, v, 0.9)
+        assert oracle.counters.pruned_lemma5 == 0
+        assert oracle.counters.early_exits == 0

@@ -1,0 +1,161 @@
+"""Tests for the multicore simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.parallel.costs import IterationCosts, ParallelBlock
+from repro.parallel.simulator import (
+    MachineSpec,
+    MulticoreSimulator,
+    speedup_curve,
+)
+
+
+def block_with(costs, *, atomics=0, criticals=()):
+    block = ParallelBlock(name="test")
+    block.task_costs = list(costs)
+    block.atomic_ops = atomics
+    block.critical_costs = list(criticals)
+    return block
+
+
+def machine(threads, **overrides):
+    base = dict(
+        threads=threads, schedule_overhead=0.0, atomic_cost=0.0,
+        critical_cost=1.0, numa_penalty=0.0,
+    )
+    base.update(overrides)
+    return MachineSpec(**base)
+
+
+class TestMachineSpec:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            MachineSpec(threads=0).validate()
+        with pytest.raises(SimulationError):
+            MachineSpec(threads=1, schedule="guided").validate()
+        with pytest.raises(SimulationError):
+            MachineSpec(threads=1, chunk_size=0).validate()
+
+    def test_numa_factor_single_socket(self):
+        assert machine(8).numa_factor == 1.0
+
+    def test_numa_factor_two_sockets(self):
+        spec = MachineSpec(threads=16, numa_penalty=0.1, cores_per_socket=8)
+        assert spec.numa_factor == pytest.approx(1.1)
+
+    def test_numa_factor_partial_spill(self):
+        spec = MachineSpec(threads=12, numa_penalty=0.1, cores_per_socket=8)
+        assert spec.numa_factor == pytest.approx(1.05)
+
+
+class TestDynamicScheduling:
+    def test_single_thread_sums_costs(self):
+        sim = MulticoreSimulator(machine(1))
+        timing = sim.simulate_block(block_with([3.0, 1.0, 2.0]))
+        assert timing.makespan == pytest.approx(6.0)
+
+    def test_perfect_split_two_threads(self):
+        sim = MulticoreSimulator(machine(2))
+        timing = sim.simulate_block(block_with([1.0] * 10))
+        assert timing.makespan == pytest.approx(5.0)
+
+    def test_skewed_task_dominates(self):
+        sim = MulticoreSimulator(machine(4))
+        timing = sim.simulate_block(block_with([100.0] + [1.0] * 10))
+        assert timing.makespan == pytest.approx(100.0)
+
+    def test_empty_block(self):
+        sim = MulticoreSimulator(machine(4))
+        assert sim.simulate_block(block_with([])).makespan == 0.0
+
+    def test_utilization_balanced(self):
+        sim = MulticoreSimulator(machine(2))
+        timing = sim.simulate_block(block_with([1.0] * 100))
+        assert timing.utilization == pytest.approx(1.0, abs=0.02)
+
+    def test_dynamic_beats_static_on_skew(self):
+        # Front-loaded heavy tasks starve static's first chunk.
+        costs = [50.0] * 4 + [1.0] * 96
+        dynamic = MulticoreSimulator(machine(4, schedule="dynamic"))
+        static = MulticoreSimulator(machine(4, schedule="static"))
+        block = block_with(costs)
+        assert (
+            dynamic.simulate_block(block).makespan
+            <= static.simulate_block(block).makespan
+        )
+
+    def test_chunked_scheduling(self):
+        chunky = MulticoreSimulator(machine(2, chunk_size=5))
+        timing = chunky.simulate_block(block_with([1.0] * 10))
+        assert timing.makespan == pytest.approx(5.0)
+
+
+class TestSynchronization:
+    def test_atomics_charged(self):
+        free = MulticoreSimulator(machine(2))
+        priced = MulticoreSimulator(machine(2, atomic_cost=0.5))
+        block = block_with([1.0, 1.0], atomics=10)
+        assert (
+            priced.simulate_block(block).makespan
+            > free.simulate_block(block).makespan
+        )
+
+    def test_critical_sections_extend_makespan(self):
+        sim = MulticoreSimulator(machine(2, critical_cost=10.0))
+        quiet = block_with([1.0, 1.0])
+        noisy = block_with([1.0, 1.0], criticals=[1.0, 1.0])
+        assert (
+            sim.simulate_block(noisy).makespan
+            > sim.simulate_block(quiet).makespan
+        )
+
+    def test_critical_hides_in_slack(self):
+        # A skewed block has idle threads; small critical work hides there.
+        sim = MulticoreSimulator(machine(4, critical_cost=1.0))
+        skew = block_with([100.0] + [1.0] * 3, criticals=[1.0])
+        timing = sim.simulate_block(skew)
+        assert timing.makespan < 102.0
+
+    def test_schedule_overhead_hurts_small_tasks(self):
+        cheap_tasks = [0.1] * 1000
+        fast = MulticoreSimulator(machine(4, schedule_overhead=0.0))
+        slow = MulticoreSimulator(machine(4, schedule_overhead=0.5))
+        block = block_with(cheap_tasks)
+        assert (
+            slow.simulate_block(block).makespan
+            > 2 * fast.simulate_block(block).makespan
+        )
+
+
+class TestIterationsAndRuns:
+    def _iteration(self, costs, sequential=0.0):
+        record = IterationCosts(step="s", index=0)
+        record.blocks.append(block_with(costs))
+        record.sequential_cost = sequential
+        return record
+
+    def test_sequential_tail_added(self):
+        sim = MulticoreSimulator(machine(4))
+        it = self._iteration([4.0] * 4, sequential=10.0)
+        assert sim.simulate_iteration(it) == pytest.approx(14.0)
+
+    def test_simulate_run_cumulative(self):
+        sim = MulticoreSimulator(machine(1))
+        its = [self._iteration([1.0]), self._iteration([2.0])]
+        times = sim.simulate_run(its)
+        assert times.tolist() == [1.0, 3.0]
+
+    def test_speedup_curve(self):
+        its = [self._iteration([1.0] * 64)]
+        curve = speedup_curve(its, [1, 2, 4], base_machine=machine(1))
+        assert curve[1] == pytest.approx(1.0)
+        assert curve[2] == pytest.approx(2.0)
+        assert curve[4] == pytest.approx(4.0)
+
+    def test_amdahl_limit(self):
+        # 50% sequential work caps the speedup at 2.
+        its = [self._iteration([1.0] * 8, sequential=8.0)]
+        curve = speedup_curve(its, [16], base_machine=machine(1))
+        assert curve[16] < 2.0

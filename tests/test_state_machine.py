@@ -1,0 +1,125 @@
+"""Tests for the Figure 3 vertex state machine (Theorem 1)."""
+
+import pytest
+
+from repro.errors import StateTransitionError
+from repro.structures.state import (
+    ALLOWED_TRANSITIONS,
+    StateMachine,
+    VertexState,
+)
+
+S = VertexState
+
+
+class TestSchema:
+    def test_processed_never_unprocessed(self):
+        for state, targets in ALLOWED_TRANSITIONS.items():
+            if state.name.startswith("PROCESSED"):
+                for target in targets:
+                    assert not target.name.startswith("UNTOUCHED")
+                    assert target.name.startswith("PROCESSED")
+
+    def test_border_never_core(self):
+        assert S.PROCESSED_CORE not in ALLOWED_TRANSITIONS[S.PROCESSED_BORDER]
+        assert S.UNPROCESSED_CORE not in ALLOWED_TRANSITIONS[S.PROCESSED_BORDER]
+
+    def test_core_states_terminal_or_core(self):
+        assert ALLOWED_TRANSITIONS[S.PROCESSED_CORE] == frozenset()
+        assert ALLOWED_TRANSITIONS[S.UNPROCESSED_CORE] == frozenset(
+            {S.PROCESSED_CORE}
+        )
+
+    def test_noise_promotion_path_exists(self):
+        # A noise vertex can be discovered to be a border in Step 4.
+        assert S.PROCESSED_BORDER in ALLOWED_TRANSITIONS[S.PROCESSED_NOISE]
+        assert S.PROCESSED_BORDER in ALLOWED_TRANSITIONS[S.UNPROCESSED_NOISE]
+
+
+class TestTransitions:
+    def test_initial_untouched(self):
+        sm = StateMachine(3)
+        for v in range(3):
+            assert sm.get(v) == S.UNTOUCHED
+
+    def test_legal_transition(self):
+        sm = StateMachine(2)
+        sm.set(0, S.PROCESSED_CORE)
+        assert sm.get(0) == S.PROCESSED_CORE
+
+    def test_illegal_transition_raises(self):
+        sm = StateMachine(2)
+        sm.set(0, S.PROCESSED_CORE)
+        with pytest.raises(StateTransitionError):
+            sm.set(0, S.PROCESSED_NOISE)
+
+    def test_border_to_core_rejected(self):
+        sm = StateMachine(1)
+        sm.set(0, S.UNPROCESSED_BORDER)
+        sm.set(0, S.PROCESSED_BORDER)
+        with pytest.raises(StateTransitionError):
+            sm.set(0, S.PROCESSED_CORE)
+
+    def test_same_state_is_noop(self):
+        sm = StateMachine(1)
+        sm.set(0, S.PROCESSED_CORE)
+        sm.set(0, S.PROCESSED_CORE)  # no raise
+
+    def test_try_set_returns_flag(self):
+        sm = StateMachine(1)
+        assert sm.try_set(0, S.UNPROCESSED_BORDER)
+        assert not sm.try_set(0, S.UNTOUCHED)  # illegal, silently refused
+        assert sm.get(0) == S.UNPROCESSED_BORDER
+
+    def test_validation_can_be_disabled(self):
+        sm = StateMachine(1, validate=False)
+        sm.set(0, S.PROCESSED_CORE)
+        sm.set(0, S.UNTOUCHED)  # nonsense, but allowed when disabled
+        assert sm.get(0) == S.UNTOUCHED
+
+    def test_full_legal_path(self):
+        sm = StateMachine(1)
+        sm.set(0, S.UNPROCESSED_BORDER)
+        sm.set(0, S.UNPROCESSED_CORE)
+        sm.set(0, S.PROCESSED_CORE)
+
+
+class TestQueries:
+    def test_is_core(self):
+        sm = StateMachine(3)
+        sm.set(0, S.UNPROCESSED_BORDER)
+        sm.set(0, S.UNPROCESSED_CORE)
+        sm.set(1, S.PROCESSED_CORE)
+        assert sm.is_core(0)
+        assert sm.is_core(1)
+        assert not sm.is_core(2)
+
+    def test_is_processed(self):
+        sm = StateMachine(2)
+        sm.set(0, S.PROCESSED_NOISE)
+        assert sm.is_processed(0)
+        assert not sm.is_processed(1)
+
+    def test_untouched_vertices(self):
+        sm = StateMachine(4)
+        sm.set(1, S.PROCESSED_NOISE)
+        assert list(sm.untouched_vertices()) == [0, 2, 3]
+
+    def test_vertices_in(self):
+        sm = StateMachine(4)
+        sm.set(0, S.UNPROCESSED_BORDER)
+        sm.set(2, S.UNPROCESSED_BORDER)
+        sm.set(3, S.PROCESSED_NOISE)
+        found = list(sm.vertices_in(S.UNPROCESSED_BORDER, S.PROCESSED_NOISE))
+        assert found == [0, 2, 3]
+
+    def test_counts(self):
+        sm = StateMachine(3)
+        sm.set(0, S.PROCESSED_CORE)
+        counts = sm.counts()
+        assert counts[S.PROCESSED_CORE] == 1
+        assert counts[S.UNTOUCHED] == 2
+        assert sum(counts.values()) == 3
+
+    def test_len(self):
+        assert len(StateMachine(7)) == 7

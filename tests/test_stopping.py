@@ -1,0 +1,126 @@
+"""Tests for the anytime stopping criteria."""
+
+import numpy as np
+import pytest
+
+from repro.anytime import AnytimeRunner, MarginalGain, StableClusters, StepReached
+from repro.anytime.stopping import all_of, any_of
+from repro.core import AnySCAN, AnyScanConfig
+from repro.core.snapshots import Snapshot
+from repro.errors import ConfigError
+
+
+def snap(step="summarize", clusters=1, work=100.0, fraction=0.5, it=0):
+    # assigned_fraction is derived from the labels: fill the right share.
+    labels = -np.ones(1000, dtype=np.int64)
+    labels[: int(round(fraction * 1000))] = 0
+    return Snapshot(
+        step=step,
+        iteration=it,
+        labels=labels,
+        num_supernodes=1,
+        num_clusters=clusters,
+        work_units=work,
+        sigma_evaluations=0,
+        union_calls=0,
+        wall_time=0.0,
+    )
+
+
+class TestStableClusters:
+    def test_fires_after_patience(self):
+        crit = StableClusters(patience=2)
+        assert not crit(snap(clusters=3))
+        assert not crit(snap(clusters=3))
+        assert crit(snap(clusters=3))
+
+    def test_reset_on_change(self):
+        crit = StableClusters(patience=2)
+        crit(snap(clusters=3))
+        crit(snap(clusters=3))
+        assert not crit(snap(clusters=4))
+        assert not crit(snap(clusters=4))
+        assert crit(snap(clusters=4))
+
+    def test_invalid_patience(self):
+        with pytest.raises(ConfigError):
+            StableClusters(patience=0)
+
+
+class TestMarginalGain:
+    def test_fires_on_plateau(self):
+        crit = MarginalGain(min_gain=1e-4, warmup=1)
+        assert not crit(snap(fraction=0.1, work=100))
+        assert not crit(snap(fraction=0.5, work=200))   # big gain
+        assert crit(snap(fraction=0.5000001, work=300))  # plateau
+
+    def test_respects_warmup(self):
+        crit = MarginalGain(min_gain=1.0, warmup=3)
+        assert not crit(snap(fraction=0.1, work=100))
+        assert not crit(snap(fraction=0.1, work=200))
+        assert not crit(snap(fraction=0.1, work=300))
+        assert crit(snap(fraction=0.1, work=400))
+
+    def test_invalid_gain(self):
+        with pytest.raises(ConfigError):
+            MarginalGain(min_gain=-1.0)
+
+
+class TestStepReached:
+    def test_fires_on_step(self):
+        crit = StepReached("merge-weak")
+        assert not crit(snap(step="summarize"))
+        assert not crit(snap(step="merge-strong"))
+        assert crit(snap(step="merge-weak"))
+
+    def test_fires_past_step(self):
+        crit = StepReached("merge-strong")
+        assert crit(snap(step="borders"))
+
+    def test_unknown_step(self):
+        with pytest.raises(ConfigError):
+            StepReached("step5")
+
+
+class TestCombinators:
+    def test_any_of(self):
+        crit = any_of(StepReached("borders"), StableClusters(patience=1))
+        assert not crit(snap(step="summarize", clusters=1))
+        assert crit(snap(step="summarize", clusters=1))  # stable fired
+
+    def test_all_of(self):
+        crit = all_of(StepReached("merge-weak"), StableClusters(patience=1))
+        assert not crit(snap(step="merge-weak", clusters=2))
+        assert crit(snap(step="merge-weak", clusters=2))
+
+    def test_any_of_evaluates_all(self):
+        # Stateful criteria must be updated even when another fires first.
+        stable = StableClusters(patience=1)
+        crit = any_of(StepReached("summarize"), stable)
+        crit(snap(clusters=7))
+        assert stable._last == 7
+
+
+class TestWithRealRuns:
+    def test_stop_at_merge_weak(self, lfr_small):
+        algo = AnySCAN(
+            lfr_small,
+            AnyScanConfig(mu=4, epsilon=0.5, alpha=24, beta=24,
+                          record_costs=False),
+        )
+        runner = AnytimeRunner(algo)
+        last = runner.run_until(stop_when=StepReached("merge-weak"))
+        assert last.step in ("merge-weak", "borders")
+        assert not algo.finished or last.final
+
+    def test_stable_clusters_stops_before_finish(self, lfr_medium):
+        algo = AnySCAN(
+            lfr_medium,
+            AnyScanConfig(mu=4, epsilon=0.5, alpha=16, beta=16,
+                          record_costs=False),
+        )
+        runner = AnytimeRunner(algo)
+        runner.run_until(stop_when=StableClusters(patience=3))
+        # Must be able to resume to the exact result afterwards.
+        final = runner.finish()
+        assert final.final

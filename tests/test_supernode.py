@@ -1,0 +1,132 @@
+"""Tests for super-nodes and the membership index."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.structures.supernode import SuperNodeIndex
+
+
+class TestConstruction:
+    def test_add_includes_representative(self):
+        index = SuperNodeIndex(10)
+        node = index.add(3, [1, 5, 7])
+        assert 3 in node
+        assert 1 in node
+        assert len(node) == 4
+
+    def test_members_sorted_unique(self):
+        index = SuperNodeIndex(10)
+        node = index.add(2, [5, 1, 5, 2])
+        assert list(node.members) == [1, 2, 5]
+
+    def test_out_of_range_member_rejected(self):
+        index = SuperNodeIndex(4)
+        with pytest.raises(ReproError):
+            index.add(0, [7])
+
+    def test_sequential_ids(self):
+        index = SuperNodeIndex(10)
+        a = index.add(0, [1])
+        b = index.add(2, [3])
+        assert (a.sid, b.sid) == (0, 1)
+        assert len(index) == 2
+
+    def test_iteration(self):
+        index = SuperNodeIndex(5)
+        index.add(0, [1])
+        index.add(2, [3])
+        assert [node.sid for node in index] == [0, 1]
+
+
+class TestMembership:
+    def test_supernodes_of(self):
+        index = SuperNodeIndex(10)
+        index.add(0, [1, 2])
+        index.add(3, [2, 4])
+        assert index.supernodes_of(2) == [0, 1]
+        assert index.supernodes_of(4) == [1]
+        assert index.supernodes_of(9) == []
+
+    def test_membership_count(self):
+        index = SuperNodeIndex(10)
+        index.add(0, [1, 2])
+        index.add(3, [2])
+        assert index.membership_count(2) == 2
+        assert index.membership_count(0) == 1
+        assert index.membership_count(9) == 0
+
+    def test_covered(self):
+        index = SuperNodeIndex(5)
+        index.add(0, [1])
+        assert index.covered(0)
+        assert index.covered(1)
+        assert not index.covered(4)
+
+
+class TestClusters:
+    def test_initially_separate(self):
+        index = SuperNodeIndex(10)
+        index.add(0, [1])
+        index.add(2, [3])
+        assert index.cluster_of_vertex(0) != index.cluster_of_vertex(2)
+
+    def test_merge_unifies(self):
+        index = SuperNodeIndex(10)
+        index.add(0, [1])
+        index.add(2, [3])
+        assert index.merge(0, 1)
+        assert index.cluster_of_vertex(0) == index.cluster_of_vertex(3)
+
+    def test_cluster_of_uncovered_is_minus_one(self):
+        index = SuperNodeIndex(5)
+        assert index.cluster_of_vertex(4) == -1
+
+    def test_all_same_cluster(self):
+        index = SuperNodeIndex(10)
+        index.add(0, [1, 5])
+        index.add(2, [5, 3])
+        assert not index.all_same_cluster(5)
+        index.merge(0, 1)
+        assert index.all_same_cluster(5)
+
+    def test_all_same_cluster_single_membership(self):
+        index = SuperNodeIndex(10)
+        index.add(0, [1])
+        assert index.all_same_cluster(1)
+        assert index.all_same_cluster(9)  # no memberships at all
+
+    def test_vertex_labels(self):
+        index = SuperNodeIndex(6)
+        index.add(0, [1])
+        index.add(2, [3])
+        labels = index.vertex_labels()
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+        assert labels[4] == -1
+
+    def test_vertex_labels_after_merge(self):
+        index = SuperNodeIndex(6)
+        index.add(0, [1])
+        index.add(2, [3])
+        index.merge(0, 1)
+        labels = index.vertex_labels()
+        assert labels[0] == labels[3]
+
+    def test_representative_cluster_roots(self):
+        index = SuperNodeIndex(8)
+        index.add(0, [1])
+        index.add(2, [3])
+        index.add(4, [5])
+        index.merge(0, 1)
+        roots = index.representative_cluster_roots()
+        assert len(roots) == 2
+
+    def test_union_counters_visible(self):
+        index = SuperNodeIndex(6)
+        index.add(0, [1])
+        index.add(2, [3])
+        index.merge(0, 1)
+        assert index.labels.union_calls == 1
+        assert index.labels.effective_unions == 1

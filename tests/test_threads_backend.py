@@ -1,0 +1,76 @@
+"""Tests for the real-threads backend (result parity, not speed)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.parallel.threads import (
+    ThreadBackend,
+    parallel_edge_similarities,
+    parallel_range_queries,
+)
+from repro.similarity.weighted import SimilarityConfig, SimilarityOracle
+
+
+class TestBackend:
+    def test_map_preserves_order(self):
+        backend = ThreadBackend(threads=4, chunk_size=3)
+        out = backend.map(lambda x: x * 2, list(range(100)))
+        assert out == [x * 2 for x in range(100)]
+
+    def test_single_thread_path(self):
+        backend = ThreadBackend(threads=1)
+        assert backend.map(str, [1, 2]) == ["1", "2"]
+
+    def test_small_input_runs_inline(self):
+        backend = ThreadBackend(threads=8, chunk_size=64)
+        assert backend.map(lambda x: -x, [5]) == [-5]
+
+    def test_exceptions_propagate(self):
+        backend = ThreadBackend(threads=2, chunk_size=1)
+
+        def boom(x):
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError):
+            backend.map(boom, list(range(10)))
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            ThreadBackend(threads=0).validate()
+        with pytest.raises(SimulationError):
+            ThreadBackend(threads=1, chunk_size=0).validate()
+
+
+class TestParallelQueries:
+    def test_range_queries_match_sequential(self, karate):
+        oracle = SimilarityOracle(karate, SimilarityConfig())
+        expected = [oracle.eps_neighborhood(v, 0.5) for v in range(34)]
+        parallel = parallel_range_queries(
+            karate, list(range(34)), 0.5,
+            backend=ThreadBackend(threads=4, chunk_size=5),
+        )
+        for a, b in zip(expected, parallel):
+            assert np.array_equal(a, b)
+
+    def test_edge_similarities_match_sequential(self, karate):
+        oracle = SimilarityOracle(karate, SimilarityConfig())
+        edges = [(u, v) for u, v, _ in karate.edges()]
+        expected = np.asarray(
+            [oracle.sigma_unrecorded(u, v) for u, v in edges]
+        )
+        parallel = parallel_edge_similarities(
+            karate, edges, backend=ThreadBackend(threads=4, chunk_size=7)
+        )
+        assert np.allclose(expected, parallel)
+
+    def test_custom_similarity_config(self, karate):
+        open_mode = SimilarityConfig(closed=False, count_self=False)
+        oracle = SimilarityOracle(karate, open_mode)
+        edges = [(0, 1), (2, 3)]
+        expected = [oracle.sigma_unrecorded(u, v) for u, v in edges]
+        parallel = parallel_edge_similarities(
+            karate, edges, config=open_mode,
+            backend=ThreadBackend(threads=2, chunk_size=1),
+        )
+        assert np.allclose(expected, parallel)

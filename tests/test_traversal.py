@@ -1,0 +1,95 @@
+"""Tests for BFS / components / k-hop utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.csr import Graph
+from repro.graph.traversal import (
+    bfs_distances,
+    bfs_order,
+    connected_components,
+    k_hop_neighbors,
+    largest_component,
+)
+
+
+@pytest.fixture(scope="module")
+def two_components():
+    return Graph.from_edges(7, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5)])
+
+
+class TestBFS:
+    def test_order_starts_at_source(self, karate):
+        order = bfs_order(karate, 5)
+        assert order[0] == 5
+
+    def test_order_visits_component_once(self, two_components):
+        order = bfs_order(two_components, 0)
+        assert sorted(order.tolist()) == [0, 1, 2]
+
+    def test_distances_on_path(self, path_graph):
+        dist = bfs_distances(path_graph, 0)
+        assert dist.tolist() == [0, 1, 2, 3, 4]
+
+    def test_unreachable_is_minus_one(self, two_components):
+        dist = bfs_distances(two_components, 0)
+        assert dist[3] == -1
+        assert dist[6] == -1
+
+    def test_source_out_of_range(self, triangle):
+        with pytest.raises(GraphError):
+            bfs_order(triangle, 9)
+        with pytest.raises(GraphError):
+            bfs_distances(triangle, -1)
+
+
+class TestComponents:
+    def test_counts(self, two_components):
+        comp = connected_components(two_components)
+        assert len(set(comp.tolist())) == 3  # {0,1,2}, {3,4,5}, {6}
+
+    def test_members_share_id(self, two_components):
+        comp = connected_components(two_components)
+        assert comp[0] == comp[1] == comp[2]
+        assert comp[3] == comp[4] == comp[5]
+        assert comp[0] != comp[3]
+
+    def test_connected_graph(self, karate):
+        comp = connected_components(karate)
+        assert len(set(comp.tolist())) == 1
+
+    def test_largest_component(self, two_components):
+        largest = largest_component(two_components)
+        assert sorted(largest.tolist()) == [0, 1, 2]
+
+    def test_largest_component_empty(self):
+        assert largest_component(Graph.from_edges(0, [])).shape[0] == 0
+
+
+class TestKHop:
+    def test_zero_hop_is_source(self, karate):
+        assert k_hop_neighbors(karate, 7, 0).tolist() == [7]
+
+    def test_one_hop_is_neighbors(self, karate):
+        one = set(k_hop_neighbors(karate, 0, 1).tolist())
+        assert one == set(int(v) for v in karate.neighbors(0))
+
+    def test_two_hop_excludes_neighbors(self, path_graph):
+        assert k_hop_neighbors(path_graph, 0, 2).tolist() == [2]
+
+    def test_negative_k_rejected(self, triangle):
+        with pytest.raises(GraphError):
+            k_hop_neighbors(triangle, 0, -1)
+
+    def test_hops_partition_component(self, karate):
+        seen = set()
+        k = 0
+        while True:
+            layer = k_hop_neighbors(karate, 0, k)
+            if layer.shape[0] == 0:
+                break
+            assert not (seen & set(layer.tolist()))
+            seen |= set(layer.tolist())
+            k += 1
+        assert len(seen) == karate.num_vertices

@@ -1,0 +1,46 @@
+"""Static-analysis gate enforcing the repo's structural contracts.
+
+An AST lint framework (visitor core, pluggable rules, pyproject
+config) plus a repo-specific rule pack:
+
+========  ==========================================================
+rule id   contract
+========  ==========================================================
+``R1``    concurrency: shared writes in thread-pool workers must go
+          through declared atomic/critical helpers (Figure 4 budget)
+``R2``    library purity: no networkx / test-only imports in src
+``R3``    hot-kernel vectorization: no Python loops over CSR arrays
+          in designated kernel modules
+``R4``    API contracts: public eps/mu entry points validate ranges
+``G1-3``  generic hygiene (mutable defaults, bare except, frozen
+          dataclass mutation outside ``__post_init__``)
+========  ==========================================================
+
+Run ``python -m repro.analysis src/repro`` (exits nonzero on
+findings); suppress a finding inline with ``# repro: allow[R1]``.
+The runtime half of R1 lives in :mod:`repro.analysis.runtime`.
+"""
+
+from repro.analysis.config import AnalysisConfig, AnalysisConfigError, load_config
+from repro.analysis.core import Analyzer, ModuleSource, Rule, iter_python_files
+from repro.analysis.findings import Finding
+from repro.analysis.rules import RULE_CLASSES, RULE_INDEX, default_rules
+from repro.analysis.runtime import Race, ShadowArray, ShadowWriteLog, WriteRecord
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisConfigError",
+    "Analyzer",
+    "Finding",
+    "ModuleSource",
+    "Rule",
+    "RULE_CLASSES",
+    "RULE_INDEX",
+    "ShadowArray",
+    "ShadowWriteLog",
+    "Race",
+    "WriteRecord",
+    "default_rules",
+    "iter_python_files",
+    "load_config",
+]

@@ -1,0 +1,116 @@
+"""CLI for the static-analysis gate.
+
+Usage::
+
+    python -m repro.analysis                # lint src/repro
+    python -m repro.analysis src tests      # explicit paths
+    python -m repro.analysis --list-rules   # rule ids and contracts
+    python -m repro.analysis --select R1,R2 # subset of the pack
+
+Exits 0 when clean, 1 on findings, 2 on usage/config errors — so CI
+can use it as a hard gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+from repro.analysis.config import AnalysisConfigError, load_config
+from repro.analysis.core import Analyzer
+from repro.analysis.rules import RULE_INDEX, default_rules
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST lint gate for the anySCAN reproduction.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--config",
+        type=Path,
+        default=None,
+        help="pyproject.toml holding [tool.repro-analysis] "
+        "(default: nearest one above the cwd)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--disable",
+        default=None,
+        help="comma-separated rule ids to skip (adds to config)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="finding output format",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rule ids and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, cls in sorted(RULE_INDEX.items()):
+            print(f"{rule_id:>5}  {cls.name}: {cls.description}")
+        return 0
+
+    try:
+        config = load_config(args.config)
+    except AnalysisConfigError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    rules = default_rules()
+    if args.select:
+        wanted = {part.strip() for part in args.select.split(",") if part.strip()}
+        unknown = wanted - set(RULE_INDEX)
+        if unknown:
+            print(
+                f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+                f"available: {', '.join(sorted(RULE_INDEX))}",
+                file=sys.stderr,
+            )
+            return 2
+        rules = [rule for rule in rules if rule.id in wanted]
+    if args.disable:
+        skipped = {part.strip() for part in args.disable.split(",")}
+        rules = [rule for rule in rules if rule.id not in skipped]
+
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        print(f"no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    analyzer = Analyzer(config=config, rules=rules)
+    findings = analyzer.analyze_paths(args.paths)
+
+    try:
+        if args.format == "json":
+            print(json.dumps([f.to_dict() for f in findings], indent=2))
+        else:
+            for finding in findings:
+                print(finding.format())
+            if findings:
+                print(f"\n{len(findings)} finding(s)", file=sys.stderr)
+    except BrokenPipeError:
+        # Downstream pager/head closed early; silence the shutdown flush.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,150 @@
+"""Analyzer configuration, read from ``[tool.repro-analysis]``.
+
+The analyzer works out of the box with repo-appropriate defaults; a
+``pyproject.toml`` section overrides them, e.g.::
+
+    [tool.repro-analysis]
+    disable = ["G2"]
+    kernel-modules = ["src/repro/similarity", "src/repro/graph/csr.py"]
+    atomic-helpers = ["atomic_add", "my_atomic"]
+
+Keys may be spelled with dashes (TOML style) or underscores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import List, Optional
+
+from repro.errors import ReproError
+
+try:  # Python >= 3.11; analysis degrades to defaults without it.
+    import tomllib
+except ImportError:  # pragma: no cover - depends on interpreter
+    tomllib = None  # type: ignore[assignment]
+
+__all__ = ["AnalysisConfig", "AnalysisConfigError", "load_config"]
+
+
+class AnalysisConfigError(ReproError):
+    """Raised when the ``[tool.repro-analysis]`` section is malformed."""
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Everything the rule pack can be parameterized on."""
+
+    #: Path fragments excluded from analysis (matched against POSIX paths).
+    exclude: List[str] = field(default_factory=list)
+    #: Rule ids disabled globally.
+    disable: List[str] = field(default_factory=list)
+    #: Modules whose Python ``for`` loops over CSR arrays are flagged (R3).
+    kernel_modules: List[str] = field(
+        default_factory=lambda: ["repro/similarity", "repro/graph/csr.py"]
+    )
+    #: Modules whose public eps/mu entry points must validate (R4).
+    api_modules: List[str] = field(
+        default_factory=lambda: [
+            "repro/baselines",
+            "repro/core/explorer.py",
+            "repro/core/hierarchy.py",
+            "repro/parallel/threads.py",
+        ]
+    )
+    #: Call names accepted as atomic write helpers inside workers (R1).
+    atomic_helpers: List[str] = field(
+        default_factory=lambda: [
+            "atomic_add",
+            "atomic_store",
+            "atomic_max",
+            "atomic_min",
+        ]
+    )
+    #: Context managers / call names accepted as critical sections (R1).
+    critical_helpers: List[str] = field(
+        default_factory=lambda: ["critical", "critical_union"]
+    )
+    #: Top-level imports banned inside the library tree (R2).
+    banned_imports: List[str] = field(
+        default_factory=lambda: ["networkx", "pytest", "hypothesis", "tests"]
+    )
+    #: Validator call names accepted as an R4 witness.
+    validators: List[str] = field(
+        default_factory=lambda: ["check_eps_mu", "validate"]
+    )
+    #: Names/attributes marking a loop iterable as CSR-indexed (R3).
+    loop_markers: List[str] = field(
+        default_factory=lambda: [
+            "indptr",
+            "indices",
+            "neighbors",
+            "neighbor_weights",
+            "degrees",
+            "num_vertices",
+            "num_edges",
+            "n",
+        ]
+    )
+
+    def matches(self, path: Path | str, entries: List[str]) -> bool:
+        """Whether ``path`` falls under any of the module ``entries``."""
+        posix = Path(path).as_posix()
+        for entry in entries:
+            entry = entry.rstrip("/")
+            if (
+                posix == entry
+                or posix.endswith("/" + entry)
+                or posix.startswith(entry + "/")
+                or ("/" + entry + "/") in posix
+            ):
+                return True
+        return False
+
+    def excluded(self, path: Path | str) -> bool:
+        return self.matches(path, self.exclude)
+
+
+def load_config(pyproject: Optional[Path] = None) -> AnalysisConfig:
+    """Config from ``pyproject`` (or the nearest one above the cwd)."""
+    if pyproject is None:
+        pyproject = _discover()
+        if pyproject is None:
+            return AnalysisConfig()
+    pyproject = Path(pyproject)
+    if not pyproject.is_file():
+        raise AnalysisConfigError(f"config file not found: {pyproject}")
+    if tomllib is None:  # pragma: no cover - depends on interpreter
+        return AnalysisConfig()
+    try:
+        data = tomllib.loads(pyproject.read_text(encoding="utf-8"))
+    except tomllib.TOMLDecodeError as exc:
+        raise AnalysisConfigError(f"invalid TOML in {pyproject}: {exc}") from exc
+    section = data.get("tool", {}).get("repro-analysis", {})
+    if not isinstance(section, dict):
+        raise AnalysisConfigError("[tool.repro-analysis] must be a table")
+    known = {f.name: f for f in fields(AnalysisConfig)}
+    updates = {}
+    for key, value in section.items():
+        name = key.replace("-", "_")
+        if name not in known:
+            raise AnalysisConfigError(
+                f"unknown [tool.repro-analysis] key {key!r}; "
+                f"expected one of {sorted(k.replace('_', '-') for k in known)}"
+            )
+        if not isinstance(value, list) or not all(
+            isinstance(item, str) for item in value
+        ):
+            raise AnalysisConfigError(
+                f"[tool.repro-analysis] {key!r} must be a list of strings"
+            )
+        updates[name] = list(value)
+    return replace(AnalysisConfig(), **updates)
+
+
+def _discover() -> Optional[Path]:
+    for directory in [Path.cwd(), *Path.cwd().parents]:
+        candidate = directory / "pyproject.toml"
+        if candidate.is_file():
+            return candidate
+    return None

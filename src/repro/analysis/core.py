@@ -1,0 +1,164 @@
+"""Visitor core of the AST lint framework.
+
+A :class:`Rule` inspects one parsed module and yields
+:class:`~repro.analysis.findings.Finding` records.  The
+:class:`Analyzer` walks a set of paths, parses each ``.py`` file once,
+runs every enabled rule over it, and filters findings through the
+inline suppression pragma::
+
+    some_statement()  # repro: allow[R1]
+
+The pragma suppresses the named rule ids (comma separated, ``*`` for
+all) on its own line and, when it trails a pure comment line, on the
+line immediately below — so a justification comment above a flagged
+statement carries the suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+
+__all__ = ["ModuleSource", "Rule", "Analyzer", "iter_python_files"]
+
+_PRAGMA = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_*,\s]+)\]")
+
+
+@dataclass
+class ModuleSource:
+    """One parsed module plus everything rules need to inspect it."""
+
+    path: Path
+    text: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+    _suppressions: Optional[Dict[int, Set[str]]] = None
+
+    @classmethod
+    def parse(cls, path: Path, text: Optional[str] = None) -> "ModuleSource":
+        if text is None:
+            text = Path(path).read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+        return cls(path=Path(path), text=text, tree=tree, lines=text.splitlines())
+
+    @property
+    def suppressions(self) -> Dict[int, Set[str]]:
+        """1-based line number -> set of suppressed rule ids ('*' = all)."""
+        if self._suppressions is None:
+            table: Dict[int, Set[str]] = {}
+            for lineno, line in enumerate(self.lines, start=1):
+                match = _PRAGMA.search(line)
+                if not match:
+                    continue
+                ids = {
+                    part.strip()
+                    for part in match.group(1).split(",")
+                    if part.strip()
+                }
+                table.setdefault(lineno, set()).update(ids)
+                if line.lstrip().startswith("#"):
+                    # A pure-comment pragma also covers the statement below.
+                    table.setdefault(lineno + 1, set()).update(ids)
+            self._suppressions = table
+        return self._suppressions
+
+    def suppressed(self, line: int, rule_id: str) -> bool:
+        ids = self.suppressions.get(line, set())
+        return "*" in ids or rule_id in ids
+
+
+class Rule:
+    """Base class for analysis rules.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding findings; suppression and disabling are handled by the
+    :class:`Analyzer`.
+    """
+
+    id: str = "R0"
+    name: str = "unnamed"
+    description: str = ""
+
+    def check(
+        self, module: ModuleSource, config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: ModuleSource, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            path=str(module.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.id,
+            message=message,
+        )
+
+
+def iter_python_files(paths: Sequence[Path | str]) -> Iterator[Path]:
+    """All ``.py`` files under the given files/directories, sorted."""
+    seen: Set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+class Analyzer:
+    """Runs a rule pack over modules and collects filtered findings."""
+
+    def __init__(
+        self,
+        config: Optional[AnalysisConfig] = None,
+        rules: Optional[Sequence[Rule]] = None,
+    ) -> None:
+        from repro.analysis.rules import default_rules
+
+        self.config = config or AnalysisConfig()
+        self.rules: List[Rule] = list(rules) if rules is not None else default_rules()
+
+    def enabled_rules(self) -> List[Rule]:
+        disabled = set(self.config.disable)
+        return [rule for rule in self.rules if rule.id not in disabled]
+
+    def analyze_module(self, module: ModuleSource) -> List[Finding]:
+        findings: List[Finding] = []
+        for rule in self.enabled_rules():
+            for found in rule.check(module, self.config):
+                if not module.suppressed(found.line, found.rule):
+                    findings.append(found)
+        return sorted(findings)
+
+    def analyze_paths(self, paths: Sequence[Path | str]) -> List[Finding]:
+        findings: List[Finding] = []
+        for path in iter_python_files(paths):
+            if self.config.excluded(path):
+                continue
+            try:
+                module = ModuleSource.parse(path)
+            except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+                findings.append(
+                    Finding(
+                        path=str(path),
+                        line=getattr(exc, "lineno", None) or 1,
+                        col=1,
+                        rule="PARSE",
+                        message=f"could not parse module: {exc}",
+                    )
+                )
+                continue
+            findings.extend(self.analyze_module(module))
+        return sorted(findings)

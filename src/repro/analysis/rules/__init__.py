@@ -1,0 +1,39 @@
+"""The repo-specific rule pack.
+
+Rule ids are stable and documented in DESIGN.md: R1–R4 are the
+anySCAN-specific contracts, G1–G3 are generic hygiene rules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.analysis.core import Rule
+from repro.analysis.rules.api import ApiContractRule
+from repro.analysis.rules.concurrency import ConcurrencyContractRule
+from repro.analysis.rules.generic import (
+    BareExceptRule,
+    FrozenMutationRule,
+    MutableDefaultRule,
+)
+from repro.analysis.rules.purity import PurityRule
+from repro.analysis.rules.vectorization import VectorizationRule
+
+__all__ = ["RULE_CLASSES", "RULE_INDEX", "default_rules"]
+
+RULE_CLASSES: List[Type[Rule]] = [
+    ConcurrencyContractRule,
+    PurityRule,
+    VectorizationRule,
+    ApiContractRule,
+    MutableDefaultRule,
+    BareExceptRule,
+    FrozenMutationRule,
+]
+
+RULE_INDEX: Dict[str, Type[Rule]] = {cls.id: cls for cls in RULE_CLASSES}
+
+
+def default_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in report order."""
+    return [cls() for cls in RULE_CLASSES]

@@ -1,0 +1,95 @@
+"""R4 — API contracts: public eps/mu entry points must validate.
+
+Every public function in a designated API module that accepts SCAN's
+density parameters must witness a validation on entry: either a call
+to a declared validator (``check_eps_mu``, ``*.validate``) that is
+passed the parameter, or an explicit compare-and-raise / assert on it.
+Out-of-domain μ/ε silently produce empty or wrong clusterings, so the
+check must fail fast at the API boundary.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.core import ModuleSource, Rule
+from repro.analysis.findings import Finding
+
+__all__ = ["ApiContractRule"]
+
+_PARAMS = ("mu", "epsilon", "eps")
+
+
+class ApiContractRule(Rule):
+    id = "R4"
+    name = "api-contracts"
+    description = (
+        "public entry points taking eps/mu must validate their ranges"
+    )
+
+    def check(
+        self, module: ModuleSource, config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        if not config.matches(module.path, config.api_modules):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            params = self._density_params(node)
+            if not params:
+                continue
+            witnessed = self._witnessed(node, config)
+            missing = sorted(params - witnessed)
+            if missing:
+                yield self.finding(
+                    module,
+                    node,
+                    f"public entry point {node.name!r} takes "
+                    f"{', '.join(missing)} but never validates "
+                    "the range (call check_eps_mu or raise explicitly)",
+                )
+
+    @staticmethod
+    def _density_params(node) -> Set[str]:
+        args = node.args
+        names = [
+            a.arg for a in args.posonlyargs + args.args + args.kwonlyargs
+        ]
+        return {n for n in names if n in _PARAMS}
+
+    @staticmethod
+    def _witnessed(node, config: AnalysisConfig) -> Set[str]:
+        witnessed: Set[str] = set()
+        validators = set(config.validators)
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                func = sub.func
+                name = (
+                    func.id
+                    if isinstance(func, ast.Name)
+                    else func.attr
+                    if isinstance(func, ast.Attribute)
+                    else ""
+                )
+                if name in validators:
+                    for arg in list(sub.args) + [k.value for k in sub.keywords]:
+                        for leaf in ast.walk(arg):
+                            if (
+                                isinstance(leaf, ast.Name)
+                                and leaf.id in _PARAMS
+                            ):
+                                witnessed.add(leaf.id)
+            elif isinstance(sub, ast.If):
+                if any(isinstance(n, ast.Raise) for n in ast.walk(sub)):
+                    for leaf in ast.walk(sub.test):
+                        if isinstance(leaf, ast.Name) and leaf.id in _PARAMS:
+                            witnessed.add(leaf.id)
+            elif isinstance(sub, ast.Assert):
+                for leaf in ast.walk(sub.test):
+                    if isinstance(leaf, ast.Name) and leaf.id in _PARAMS:
+                        witnessed.add(leaf.id)
+        return witnessed

@@ -1,0 +1,304 @@
+"""R1 — anySCAN's concurrency contract (static race detector).
+
+Figure 4 of the paper budgets each parallel iteration at one atomic per
+neighbor update and one critical section per ``Union``.  This rule
+finds worker callables handed to a thread pool (the first argument of
+any ``<backend>.map(...)`` or ``<pool>.submit(...)`` call) and flags
+every write they make to state captured from an enclosing scope unless
+it is routed through a declared atomic helper or wrapped in a declared
+critical section / lock.  The runtime shadow-write checker in
+:mod:`repro.analysis.runtime` is the dynamic half of the same check.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Union
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.core import ModuleSource, Rule
+from repro.analysis.findings import Finding
+
+__all__ = ["ConcurrencyContractRule"]
+
+#: Method names that mutate their receiver; calling one on captured
+#: state from a worker is a shared write in disguise.
+_MUTATORS = frozenset(
+    {
+        "union",
+        "grow",
+        "reset_counters",
+        "append",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "remove",
+        "clear",
+        "add",
+        "discard",
+        "update",
+        "setdefault",
+        "sort",
+        "reverse",
+        "fill",
+        "resize",
+        "put",
+    }
+)
+
+_Worker = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda]
+
+
+class ConcurrencyContractRule(Rule):
+    id = "R1"
+    name = "concurrency-contract"
+    description = (
+        "writes to shared state inside thread-pool workers must go "
+        "through declared atomic/critical helpers (one atomic per "
+        "neighbor update, one critical section per Union)"
+    )
+
+    def check(
+        self, module: ModuleSource, config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        finder = _WorkerFinder()
+        finder.visit(module.tree)
+        seen: Set[int] = set()
+        for worker in finder.workers:
+            if id(worker) in seen:
+                continue
+            seen.add(id(worker))
+            yield from self._check_worker(module, config, worker)
+
+    # ------------------------------------------------------------------
+    # per-worker analysis
+    # ------------------------------------------------------------------
+    def _check_worker(
+        self, module: ModuleSource, config: AnalysisConfig, worker: _Worker
+    ) -> Iterator[Finding]:
+        label = getattr(worker, "name", "<lambda>")
+        bound = _bound_names(worker)
+        body: List[ast.AST]
+        if isinstance(worker, ast.Lambda):
+            body = [worker.body]
+        else:
+            body = list(worker.body)
+        walker = _SharedWriteWalker(self, module, config, label, bound)
+        for stmt in body:
+            walker.walk(stmt, guarded=False)
+        yield from walker.findings
+
+    def shared_write(
+        self,
+        module: ModuleSource,
+        node: ast.AST,
+        label: str,
+        name: str,
+        kind: str,
+    ) -> Finding:
+        return self.finding(
+            module,
+            node,
+            f"unguarded {kind} to shared {name!r} inside worker "
+            f"{label!r} passed to a thread pool; route it through a "
+            "declared atomic helper or a critical section "
+            "(one-atomic/one-critical budget, Figure 4)",
+        )
+
+
+class _WorkerFinder(ast.NodeVisitor):
+    """Collects function defs / lambdas passed to ``.map`` / ``.submit``."""
+
+    def __init__(self) -> None:
+        self.scopes: List[dict] = [{}]
+        self.workers: List[_Worker] = []
+
+    def visit_Module(self, node: ast.Module) -> None:
+        self.scopes[-1].update(_local_defs(node.body))
+        self.generic_visit(node)
+
+    def _visit_function(self, node) -> None:
+        self.scopes.append(_local_defs(node.body))
+        self.generic_visit(node)
+        self.scopes.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in ("map", "submit")
+            and node.args
+        ):
+            target = node.args[0]
+            if isinstance(target, ast.Name):
+                for scope in reversed(self.scopes):
+                    if target.id in scope:
+                        self.workers.append(scope[target.id])
+                        break
+            elif isinstance(target, ast.Lambda):
+                self.workers.append(target)
+        self.generic_visit(node)
+
+
+def _local_defs(body) -> dict:
+    """Function definitions in ``body``, not descending into nested defs."""
+    found: dict = {}
+    stack = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            found[node.name] = node
+            continue
+        if isinstance(node, ast.Lambda):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return found
+
+
+def _bound_names(worker: _Worker) -> Set[str]:
+    """Names local to the worker: parameters plus assigned bare names."""
+    args = worker.args
+    bound = {a.arg for a in args.posonlyargs + args.args + args.kwonlyargs}
+    if args.vararg:
+        bound.add(args.vararg.arg)
+    if args.kwarg:
+        bound.add(args.kwarg.arg)
+    if isinstance(worker, ast.Lambda):
+        return bound
+    free: Set[str] = set()
+    for node in ast.walk(worker):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            bound.add(node.id)
+        elif isinstance(node, (ast.Nonlocal, ast.Global)):
+            free.update(node.names)
+    return bound - free
+
+
+def _root_name(node: ast.AST) -> Optional[str]:
+    """Leftmost ``Name`` of an attribute/subscript chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class _SharedWriteWalker:
+    """Walks a worker body tracking whether a critical guard is active."""
+
+    def __init__(
+        self,
+        rule: ConcurrencyContractRule,
+        module: ModuleSource,
+        config: AnalysisConfig,
+        label: str,
+        bound: Set[str],
+    ) -> None:
+        self.rule = rule
+        self.module = module
+        self.config = config
+        self.label = label
+        self.bound = bound
+        self.findings: List[Finding] = []
+
+    # -- guard recognition ---------------------------------------------
+    def _is_guard(self, context_expr: ast.AST) -> bool:
+        if isinstance(context_expr, ast.Call):
+            func = context_expr.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else ""
+            )
+            return name in self.config.critical_helpers
+        name = (
+            context_expr.id
+            if isinstance(context_expr, ast.Name)
+            else context_expr.attr
+            if isinstance(context_expr, ast.Attribute)
+            else ""
+        )
+        return "lock" in name.lower()
+
+    # -- violation predicates ------------------------------------------
+    def _flag_target(self, node: ast.AST, target: ast.AST) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._flag_target(node, element)
+            return
+        if isinstance(target, ast.Starred):
+            self._flag_target(node, target.value)
+            return
+        if isinstance(target, ast.Subscript):
+            root = _root_name(target)
+            if root is not None and root not in self.bound:
+                self.findings.append(
+                    self.rule.shared_write(
+                        self.module, node, self.label, root, "indexed write"
+                    )
+                )
+        elif isinstance(target, ast.Attribute):
+            root = _root_name(target)
+            if root is not None and root not in self.bound:
+                self.findings.append(
+                    self.rule.shared_write(
+                        self.module, node, self.label, root, "attribute write"
+                    )
+                )
+        elif isinstance(target, ast.Name):
+            if target.id not in self.bound:
+                # Only reachable via nonlocal/global declarations.
+                self.findings.append(
+                    self.rule.shared_write(
+                        self.module, node, self.label, target.id, "write"
+                    )
+                )
+
+    def _flag_mutator_call(self, node: ast.Call) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in _MUTATORS:
+            return
+        root = _root_name(func.value)
+        if root is not None and root not in self.bound:
+            self.findings.append(
+                self.rule.shared_write(
+                    self.module,
+                    node,
+                    self.label,
+                    f"{root}.{func.attr}()",
+                    "mutating call",
+                )
+            )
+
+    # -- traversal ------------------------------------------------------
+    def walk(self, node: ast.AST, guarded: bool) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return  # nested scopes get their own analysis if dispatched
+        if isinstance(node, ast.With):
+            inner = guarded or any(
+                self._is_guard(item.context_expr) for item in node.items
+            )
+            for item in node.items:
+                self.walk(item.context_expr, guarded)
+            for stmt in node.body:
+                self.walk(stmt, inner)
+            return
+        if not guarded:
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    self._flag_target(node, target)
+            elif isinstance(node, ast.Call):
+                self._flag_mutator_call(node)
+        for child in ast.iter_child_nodes(node):
+            self.walk(child, guarded)

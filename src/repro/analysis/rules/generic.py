@@ -1,0 +1,138 @@
+"""Generic hygiene rules (G1–G3) riding along with the repo pack.
+
+G1 — mutable default arguments; G2 — bare ``except:``; G3 — mutation
+of ``frozen=True`` dataclass fields via ``object.__setattr__`` outside
+``__post_init__`` (the one place the idiom is legitimate).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.core import ModuleSource, Rule
+from repro.analysis.findings import Finding
+
+__all__ = ["MutableDefaultRule", "BareExceptRule", "FrozenMutationRule"]
+
+_MUTABLE_CALLS = ("list", "dict", "set")
+
+
+class MutableDefaultRule(Rule):
+    id = "G1"
+    name = "mutable-default-argument"
+    description = "default argument values must not be mutable"
+
+    def check(
+        self, module: ModuleSource, config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._mutable(default):
+                    yield self.finding(
+                        module,
+                        default,
+                        f"mutable default argument in {node.name!r}; "
+                        "use None and create the value inside the body",
+                    )
+
+    @staticmethod
+    def _mutable(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_CALLS
+        )
+
+
+class BareExceptRule(Rule):
+    id = "G2"
+    name = "bare-except"
+    description = "bare except: swallows KeyboardInterrupt and typos alike"
+
+    def check(
+        self, module: ModuleSource, config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    module,
+                    node,
+                    "bare 'except:'; catch a specific exception "
+                    "(at least Exception)",
+                )
+
+
+class FrozenMutationRule(Rule):
+    id = "G3"
+    name = "frozen-dataclass-mutation"
+    description = (
+        "object.__setattr__ on frozen dataclasses only in __post_init__"
+    )
+
+    def check(
+        self, module: ModuleSource, config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not self._is_frozen_dataclass(node):
+                continue
+            for method in node.body:
+                if not isinstance(
+                    method, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                if method.name == "__post_init__":
+                    continue
+                for sub in ast.walk(method):
+                    if self._is_object_setattr(sub):
+                        yield self.finding(
+                            module,
+                            sub,
+                            f"{node.name}.{method.name} mutates a frozen "
+                            "dataclass via object.__setattr__; frozen "
+                            "state may only be seeded in __post_init__",
+                        )
+
+    @staticmethod
+    def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
+        for decorator in node.decorator_list:
+            if not isinstance(decorator, ast.Call):
+                continue
+            func = decorator.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else ""
+            )
+            if name != "dataclass":
+                continue
+            for keyword in decorator.keywords:
+                if (
+                    keyword.arg == "frozen"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True
+                ):
+                    return True
+        return False
+
+    @staticmethod
+    def _is_object_setattr(node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "__setattr__"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "object"
+        )

@@ -1,0 +1,51 @@
+"""R2 — library purity: no banned imports inside ``src/repro``.
+
+The library must stay importable with nothing beyond numpy: no
+``networkx`` fallbacks sneaking into algorithms, and no test-only
+packages (``pytest``, ``hypothesis``) or imports of the test tree
+leaking into shipped modules.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.core import ModuleSource, Rule
+from repro.analysis.findings import Finding
+
+__all__ = ["PurityRule"]
+
+
+class PurityRule(Rule):
+    id = "R2"
+    name = "library-purity"
+    description = "no networkx/test-only imports inside the library tree"
+
+    def check(
+        self, module: ModuleSource, config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        banned = set(config.banned_imports)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    top = alias.name.split(".")[0]
+                    if top in banned:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"banned import {alias.name!r}; the library "
+                            "tree must not depend on it",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or not node.module:
+                    continue
+                top = node.module.split(".")[0]
+                if top in banned:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"banned import {node.module!r}; the library "
+                        "tree must not depend on it",
+                    )

@@ -1,0 +1,59 @@
+"""R3 — hot-kernel vectorization.
+
+In designated kernel modules (the similarity oracle and the CSR
+substrate), a Python-level ``for`` loop iterating CSR index arrays is a
+performance bug waiting for traffic: the whole point of the CSR layout
+is that neighbor arithmetic runs inside numpy.  The rule flags ``for``
+statements whose iterable mentions a CSR marker (``indptr``,
+``indices``, ``.neighbors(...)``, ``range(n)`` …).  Loops that must
+stay sequential (e.g. because they charge per-item instrumentation)
+carry a ``# repro: allow[R3]`` pragma with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.core import ModuleSource, Rule
+from repro.analysis.findings import Finding
+
+__all__ = ["VectorizationRule"]
+
+
+class VectorizationRule(Rule):
+    id = "R3"
+    name = "hot-kernel-vectorization"
+    description = (
+        "no Python for loops over CSR index arrays in designated "
+        "kernel modules"
+    )
+
+    def check(
+        self, module: ModuleSource, config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        if not config.matches(module.path, config.kernel_modules):
+            return
+        markers = set(config.loop_markers)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            marker = self._marker_in(node.iter, markers)
+            if marker is not None:
+                yield self.finding(
+                    module,
+                    node,
+                    f"Python for loop over CSR data ({marker!r}) in a "
+                    "kernel module; vectorize with numpy or justify "
+                    "with '# repro: allow[R3]'",
+                )
+
+    @staticmethod
+    def _marker_in(iterable: ast.AST, markers) -> str | None:
+        for sub in ast.walk(iterable):
+            if isinstance(sub, ast.Name) and sub.id in markers:
+                return sub.id
+            if isinstance(sub, ast.Attribute) and sub.attr in markers:
+                return sub.attr
+        return None

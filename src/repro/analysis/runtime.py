@@ -1,0 +1,159 @@
+"""Runtime shadow-write checker — the dynamic half of rule R1.
+
+The static rule in :mod:`repro.analysis.rules.concurrency` proves the
+*shape* of worker code; this module cross-checks the *behaviour*:
+wrap a shared numpy array in :class:`ShadowArray`, run the workload on
+a real :class:`~repro.parallel.threads.ThreadBackend`, and ask the
+:class:`ShadowWriteLog` for races.  A **simulated race** is any array
+cell written by two or more distinct threads where not every write
+went through a declared atomic/critical helper — under the GIL such
+writes happen to serialize, but on a free-threaded build (or after a C
+rewrite of the kernels) they are genuine data races, which is exactly
+what the paper's one-atomic/one-critical budget rules out.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.parallel.sync import in_guarded_section
+
+__all__ = ["WriteRecord", "Race", "ShadowWriteLog", "ShadowArray"]
+
+
+@dataclass(frozen=True)
+class WriteRecord:
+    """One observed write to a shadowed array."""
+
+    array: str
+    index: object
+    thread_id: int
+    guarded: bool
+
+
+@dataclass(frozen=True)
+class Race:
+    """One cell with multi-thread writes not fully guarded."""
+
+    array: str
+    index: object
+    thread_ids: Tuple[int, ...]
+    unguarded_writes: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.array}[{self.index!r}] written by "
+            f"{len(self.thread_ids)} threads with "
+            f"{self.unguarded_writes} unguarded write(s)"
+        )
+
+
+class ShadowWriteLog:
+    """Thread-safe log of writes across any number of shadow arrays."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: List[WriteRecord] = []
+
+    def record(self, array: str, index: object, guarded: bool) -> None:
+        record = WriteRecord(
+            array=array,
+            index=index,
+            thread_id=threading.get_ident(),
+            guarded=guarded,
+        )
+        with self._lock:
+            self._records.append(record)
+
+    @property
+    def records(self) -> List[WriteRecord]:
+        with self._lock:
+            return list(self._records)
+
+    def races(self) -> List[Race]:
+        """Cells written by ≥2 threads with at least one unguarded write."""
+        cells: Dict[Tuple[str, object], List[WriteRecord]] = {}
+        for record in self.records:
+            cells.setdefault((record.array, record.index), []).append(record)
+        out: List[Race] = []
+        for (array, index), writes in sorted(
+            cells.items(), key=lambda item: (item[0][0], repr(item[0][1]))
+        ):
+            threads = tuple(sorted({w.thread_id for w in writes}))
+            unguarded = sum(1 for w in writes if not w.guarded)
+            if len(threads) >= 2 and unguarded:
+                out.append(
+                    Race(
+                        array=array,
+                        index=index,
+                        thread_ids=threads,
+                        unguarded_writes=unguarded,
+                    )
+                )
+        return out
+
+    def assert_race_free(self) -> None:
+        races = self.races()
+        if races:
+            details = "; ".join(race.describe() for race in races)
+            raise AssertionError(f"unguarded concurrent writes: {details}")
+
+
+def _canonical(index: object) -> object:
+    """Hashable, stable form of a numpy/py index expression."""
+    if isinstance(index, tuple):
+        return tuple(_canonical(part) for part in index)
+    if isinstance(index, slice):
+        return ("slice", index.start, index.stop, index.step)
+    if isinstance(index, np.ndarray):
+        return ("array",) + tuple(index.ravel().tolist())
+    if isinstance(index, (np.integer, np.bool_)):
+        return index.item()
+    return index
+
+
+class ShadowArray:
+    """Numpy array wrapper that records every ``__setitem__``.
+
+    Reads pass straight through; writes are logged with the calling
+    thread and whether a declared atomic/critical helper was active
+    (:func:`repro.parallel.sync.in_guarded_section`).  The wrapper is
+    intentionally *not* an ndarray subclass so that only explicit
+    element writes are observable — exactly the events the R1 budget
+    talks about.
+    """
+
+    def __init__(
+        self,
+        array: np.ndarray,
+        log: ShadowWriteLog,
+        name: str = "shared",
+    ) -> None:
+        self.array = array
+        self.log = log
+        self.name = name
+
+    def __getitem__(self, index):
+        return self.array[index]
+
+    def __setitem__(self, index, value) -> None:
+        self.log.record(self.name, _canonical(index), in_guarded_section())
+        self.array[index] = value
+
+    def __len__(self) -> int:
+        return len(self.array)
+
+    def __array__(self, dtype=None):
+        return np.asarray(self.array, dtype=dtype)
+
+    @property
+    def shape(self):
+        return self.array.shape
+
+    @property
+    def dtype(self):
+        return self.array.dtype

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.graph.csr import Graph
 from repro.similarity.weighted import SimilarityConfig, SimilarityOracle
+from repro.validation import check_eps_mu
 
 __all__ = ["ideal_edge_costs", "ideal_total_work", "ideal_evaluate_all"]
 
@@ -50,6 +51,7 @@ def ideal_evaluate_all(
     by the Figure 11 bench to report the similarity pass rate alongside
     the speedups.
     """
+    check_eps_mu(epsilon=epsilon)
     if oracle is None:
         oracle = SimilarityOracle(graph, SimilarityConfig(pruning=False))
     passing = 0

@@ -14,19 +14,12 @@ from collections import deque
 import numpy as np
 
 from repro.baselines._postprocess import finalize_clustering
-from repro.errors import ConfigError
 from repro.graph.csr import Graph
 from repro.result import Clustering
 from repro.similarity.weighted import SimilarityConfig, SimilarityOracle
+from repro.validation import check_eps_mu
 
 __all__ = ["scan"]
-
-
-def _check_params(mu: int, epsilon: float) -> None:
-    if mu < 1:
-        raise ConfigError("mu must be a positive integer")
-    if not 0.0 < epsilon <= 1.0:
-        raise ConfigError("epsilon must be in (0, 1]")
 
 
 def scan(
@@ -67,7 +60,7 @@ def scan(
     Clustering
         Clusters, hubs, and outliers with per-vertex roles.
     """
-    _check_params(mu, epsilon)
+    check_eps_mu(mu=mu, epsilon=epsilon)
     if oracle is None:
         config = similarity_config or SimilarityConfig(pruning=False)
         oracle = SimilarityOracle(graph, config)

@@ -14,6 +14,7 @@ from repro.graph.csr import Graph
 from repro.result import Clustering
 from repro.baselines.scan import scan
 from repro.similarity.weighted import SimilarityConfig, SimilarityOracle
+from repro.validation import check_eps_mu
 
 __all__ = ["scan_b"]
 
@@ -32,6 +33,7 @@ def scan_b(
     result is identical to SCAN's, only the amount of similarity work
     differs.
     """
+    check_eps_mu(mu=mu, epsilon=epsilon)
     if oracle is None:
         oracle = SimilarityOracle(graph, SimilarityConfig(pruning=True))
     return scan(

@@ -24,7 +24,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.baselines._postprocess import finalize_clustering
-from repro.errors import ConfigError
+from repro.validation import check_eps_mu
 from repro.graph.csr import Graph
 from repro.result import Clustering
 from repro.similarity.weighted import SimilarityConfig, SimilarityOracle
@@ -62,10 +62,7 @@ def scanpp(
     -------
     Clustering identical to SCAN's partition.
     """
-    if mu < 1:
-        raise ConfigError("mu must be a positive integer")
-    if not 0.0 < epsilon <= 1.0:
-        raise ConfigError("epsilon must be in (0, 1]")
+    check_eps_mu(mu=mu, epsilon=epsilon)
     if oracle is None:
         oracle = SimilarityOracle(graph, SimilarityConfig(pruning=False))
 

@@ -14,7 +14,7 @@ import sys
 import time
 
 from repro.bench.experiments import EXPERIMENTS, run_experiment
-from repro.errors import ExperimentError
+from repro.errors import BenchError, ExperimentError
 
 
 def main(argv=None) -> int:
@@ -61,16 +61,16 @@ def main(argv=None) -> int:
         started = time.perf_counter()
         try:
             results = run_experiment(exp_id, scale=args.scale, quick=args.quick)
+            for result in results:
+                print(result.render())
+                if args.chart:
+                    chart = _chart_for(result)
+                    if chart:
+                        print(chart)
+                print()
         except ExperimentError as exc:
             print(str(exc), file=sys.stderr)
             return 2
-        for result in results:
-            print(result.render())
-            if args.chart:
-                chart = _chart_for(result)
-                if chart:
-                    print(chart)
-            print()
         print(
             f"[{exp_id} finished in {time.perf_counter() - started:.1f}s]\n"
         )
@@ -94,7 +94,14 @@ def _chart_for(result) -> str | None:
     thread_cols = [h for h in headers if str(h).startswith("t=")]
     if thread_cols and len(result.rows) >= 1:
         lines = []
-        for row in result.rows:
+        for row_num, row in enumerate(result.rows, start=1):
+            if len(row) != len(headers):
+                # dict(zip(...)) would silently drop or misalign cells.
+                raise BenchError(
+                    f"table {result.title!r} row {row_num} has "
+                    f"{len(row)} cell(s) but {len(headers)} header(s); "
+                    f"cannot chart a ragged table"
+                )
             by_name = dict(zip(headers, row))
             series = [float(by_name[c]) for c in thread_cols]
             label = " ".join(

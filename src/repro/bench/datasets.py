@@ -14,6 +14,9 @@ Graphs are deterministic given the name and scale, and cached on disk
 
 from __future__ import annotations
 
+import os
+import tempfile
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
@@ -247,23 +250,57 @@ def load_dataset(name: str, scale: str = "bench") -> Graph:
             f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
         )
     cache_file = _CACHE_DIR / f"{name}-{scale}.npz"
-    if cache_file.exists():
-        data = np.load(cache_file)
-        return Graph(
-            data["indptr"], data["indices"], data["weights"], validate=False
-        )
+    graph = _load_cached(cache_file)
+    if graph is not None:
+        return graph
     graph = spec.build(scale)
+    _store_cached(cache_file, graph)
+    return graph
+
+
+def _load_cached(cache_file: Path) -> Optional[Graph]:
+    """Read one cache entry, treating any corruption as a miss."""
+    if not cache_file.exists():
+        return None
+    try:
+        with np.load(cache_file) as data:
+            return Graph(
+                data["indptr"], data["indices"], data["weights"],
+                validate=False,
+            )
+    except (zipfile.BadZipFile, OSError, KeyError, ValueError, EOFError):
+        # Truncated download, interrupted write, wrong schema: rebuild.
+        try:
+            cache_file.unlink()
+        except OSError:
+            pass
+        return None
+
+
+def _store_cached(cache_file: Path, graph: Graph) -> None:
+    """Best-effort cache write; atomic so readers never see half a file."""
     try:
         _CACHE_DIR.mkdir(exist_ok=True)
-        np.savez_compressed(
-            cache_file,
-            indptr=graph.indptr,
-            indices=graph.indices,
-            weights=graph.weights,
+        fd, tmp_name = tempfile.mkstemp(
+            dir=_CACHE_DIR, prefix=cache_file.stem, suffix=".tmp"
         )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez_compressed(
+                    handle,
+                    indptr=graph.indptr,
+                    indices=graph.indices,
+                    weights=graph.weights,
+                )
+            os.replace(tmp_name, cache_file)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
     except OSError:
         pass  # caching is best-effort
-    return graph
 
 
 def clear_cache() -> None:

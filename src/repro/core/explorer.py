@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.baselines._postprocess import finalize_clustering
 from repro.errors import ConfigError
+from repro.validation import check_eps_mu
 from repro.graph.csr import Graph
 from repro.result import Clustering
 from repro.similarity.weighted import SimilarityConfig, SimilarityOracle
@@ -108,8 +109,7 @@ class ParameterExplorer:
         ``count_self``), i.e. its (μ-1)-th largest incident σ must reach
         ε; without self-counting, the μ-th largest.
         """
-        if mu < 1:
-            raise ConfigError("mu must be a positive integer")
+        check_eps_mu(mu=mu)
         values, ptr = self._incident()
         need = mu - (1 if self.oracle.config.count_self else 0)
         n = self.graph.num_vertices
@@ -125,12 +125,12 @@ class ParameterExplorer:
 
     def cores_at(self, mu: int, epsilon: float) -> np.ndarray:
         """Boolean core mask for the given parameters."""
-        if not 0.0 < epsilon <= 1.0:
-            raise ConfigError("epsilon must be in (0, 1]")
+        check_eps_mu(mu=mu, epsilon=epsilon)
         return self.core_thresholds(mu) >= epsilon
 
     def clustering_at(self, mu: int, epsilon: float) -> Clustering:
         """Exact SCAN clustering for ``(μ, ε)`` from the σ table."""
+        check_eps_mu(mu=mu, epsilon=epsilon)
         core = self.cores_at(mu, epsilon)
         n = self.graph.num_vertices
         dsu = DisjointSet(n)
@@ -161,6 +161,7 @@ class ParameterExplorer:
         threshold; this returns the (descending) core-threshold steps —
         the natural stops for an interactive ε slider.
         """
+        check_eps_mu(mu=mu)
         thresholds = self.core_thresholds(mu)
         distinct = np.unique(thresholds[thresholds > 0])[::-1]
         return [
@@ -184,6 +185,7 @@ class ParameterExplorer:
         gap in the sorted core-threshold profile (a knee heuristic, no
         clustering probes).
         """
+        check_eps_mu(mu=mu)
         thresholds = np.sort(self.core_thresholds(mu))[::-1]
         eligible = thresholds[thresholds > 0]
         if eligible.shape[0] < max(min_cores, 2):

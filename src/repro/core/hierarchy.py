@@ -31,7 +31,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.explorer import ParameterExplorer
-from repro.errors import ConfigError
+from repro.validation import check_eps_mu
 from repro.graph.csr import Graph
 from repro.result import Clustering
 from repro.similarity.weighted import SimilarityConfig
@@ -74,8 +74,7 @@ class EpsilonHierarchy:
         similarity: SimilarityConfig | None = None,
         explorer: ParameterExplorer | None = None,
     ) -> None:
-        if mu < 1:
-            raise ConfigError("mu must be a positive integer")
+        check_eps_mu(mu=mu)
         self.graph = graph
         self.mu = mu
         self.explorer = explorer or ParameterExplorer(
@@ -167,6 +166,7 @@ class EpsilonHierarchy:
 
     def cut(self, epsilon: float) -> Clustering:
         """Exact SCAN clustering at (μ, ε) — borders and hubs included."""
+        check_eps_mu(epsilon=epsilon)
         return self.explorer.clustering_at(self.mu, epsilon)
 
     def core_partition_at(self, epsilon: float) -> List[frozenset]:
@@ -175,8 +175,7 @@ class EpsilonHierarchy:
         A node represents a live cluster at ε iff it was born at or above
         ε and dies strictly below it.
         """
-        if not 0.0 < epsilon <= 1.0:
-            raise ConfigError("epsilon must be in (0, 1]")
+        check_eps_mu(epsilon=epsilon)
         live = [
             node
             for node in self.nodes.values()

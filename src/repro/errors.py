@@ -38,3 +38,7 @@ class SimulationError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when a benchmark experiment is misconfigured."""
+
+
+class BenchError(ExperimentError):
+    """Raised when benchmark output (tables, charts) is malformed."""

@@ -84,15 +84,25 @@ class Graph:
                 "undirected CSR must store both edge directions; "
                 "odd number of directed entries found"
             )
-        for p in range(n):
-            row = indices[indptr[p] : indptr[p + 1]]
-            if row.shape[0] > 1 and np.any(np.diff(row) <= 0):
+        if indices.shape[0]:
+            owners = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+            same_row = owners[1:] == owners[:-1]
+            unsorted = same_row & (np.diff(indices) <= 0)
+            self_loops = indices == owners
+            # Report the lowest-numbered offending vertex, and prefer the
+            # sortedness error when both occur on the same vertex (matching
+            # the order of the historical per-row checks).
+            bad_sort = int(owners[1:][unsorted].min()) if unsorted.any() else n
+            bad_loop = int(owners[self_loops].min()) if self_loops.any() else n
+            if bad_sort <= bad_loop and bad_sort < n:
                 raise GraphError(
-                    f"neighbors of vertex {p} must be strictly increasing "
-                    "(sorted, no parallel edges)"
+                    f"neighbors of vertex {bad_sort} must be strictly "
+                    "increasing (sorted, no parallel edges)"
                 )
-            if np.any(row == p):
-                raise GraphError(f"self-loop on vertex {p} is not allowed")
+            if bad_loop < n:
+                raise GraphError(
+                    f"self-loop on vertex {bad_loop} is not allowed"
+                )
         if np.any(weights < 0):
             raise GraphError("edge weights must be non-negative")
 
@@ -189,12 +199,15 @@ class Graph:
 
     def edges(self) -> Iterator[Tuple[int, int, float]]:
         """Iterate each undirected edge once as ``(u, v, w)`` with ``u < v``."""
-        indptr, indices, weights = self._indptr, self._indices, self._weights
-        for u in range(self.num_vertices):
-            for k in range(indptr[u], indptr[u + 1]):
-                v = int(indices[k])
-                if u < v:
-                    yield u, v, float(weights[k])
+        owners = np.repeat(
+            np.arange(self.num_vertices, dtype=np.int64),
+            np.diff(self._indptr),
+        )
+        mask = owners < self._indices
+        us = owners[mask].tolist()
+        vs = self._indices[mask].tolist()
+        ws = self._weights[mask].tolist()
+        yield from zip(us, vs, ws)
 
     @property
     def is_weighted(self) -> bool:

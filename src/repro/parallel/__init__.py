@@ -1,6 +1,14 @@
 """Simulated shared-memory multicore machine (OpenMP substitute)."""
 
 from repro.parallel.costs import IterationCosts, ParallelBlock
+from repro.parallel.sync import (
+    atomic_add,
+    atomic_max,
+    atomic_min,
+    atomic_store,
+    critical,
+    critical_union,
+)
 from repro.parallel.threads import (
     ThreadBackend,
     parallel_edge_similarities,
@@ -23,4 +31,10 @@ __all__ = [
     "ThreadBackend",
     "parallel_range_queries",
     "parallel_edge_similarities",
+    "atomic_add",
+    "atomic_store",
+    "atomic_max",
+    "atomic_min",
+    "critical",
+    "critical_union",
 ]

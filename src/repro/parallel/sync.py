@@ -1,0 +1,99 @@
+"""Declared atomic/critical helpers — the R1 contract's vocabulary.
+
+Figure 4 of the paper budgets each parallel iteration at **one atomic
+per neighbor update and one critical section per ``Union``**.  Worker
+callables executed by :class:`~repro.parallel.threads.ThreadBackend`
+must route every write to shared state through the helpers in this
+module; the static-analysis gate (rule R1 in :mod:`repro.analysis`)
+flags any direct shared write, and the runtime shadow-write checker
+(:mod:`repro.analysis.runtime`) verifies dynamically that guarded
+writes stay race-free.
+
+On CPython the GIL already serializes bytecode, so these helpers cost
+one lock acquisition; on GIL-free builds they are what makes the
+backend correct.  ``atomic_*`` helpers model hardware atomics (cheap,
+per-element); :func:`critical` and :func:`critical_union` model the
+paper's single global critical section.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "atomic_add",
+    "atomic_store",
+    "atomic_max",
+    "atomic_min",
+    "critical",
+    "critical_union",
+    "in_guarded_section",
+]
+
+#: One process-wide lock models the paper's global critical section; the
+#: atomics share it because CPython has no finer-grained primitive.
+_GLOBAL_LOCK = threading.RLock()
+
+_guard_state = threading.local()
+
+
+def in_guarded_section() -> bool:
+    """Whether the calling thread is inside a declared atomic/critical."""
+    return getattr(_guard_state, "depth", 0) > 0
+
+
+@contextmanager
+def _guarded() -> Iterator[None]:
+    _guard_state.depth = getattr(_guard_state, "depth", 0) + 1
+    try:
+        yield
+    finally:
+        _guard_state.depth -= 1
+
+
+def atomic_add(array, index, value):
+    """Atomically ``array[index] += value``; returns the new value."""
+    with _GLOBAL_LOCK, _guarded():
+        array[index] += value
+        return array[index]
+
+
+def atomic_store(array, index, value):
+    """Atomically ``array[index] = value``."""
+    with _GLOBAL_LOCK, _guarded():
+        array[index] = value
+
+
+def atomic_max(array, index, value):
+    """Atomically ``array[index] = max(array[index], value)``."""
+    with _GLOBAL_LOCK, _guarded():
+        if value > array[index]:
+            array[index] = value
+        return array[index]
+
+
+def atomic_min(array, index, value):
+    """Atomically ``array[index] = min(array[index], value)``."""
+    with _GLOBAL_LOCK, _guarded():
+        if value < array[index]:
+            array[index] = value
+        return array[index]
+
+
+@contextmanager
+def critical(lock: threading.RLock | threading.Lock | None = None) -> Iterator[None]:
+    """One critical section (Figure 4 lines 41-42 / 60-61).
+
+    Serializes on ``lock`` (the global lock when omitted) and marks the
+    section as guarded for the runtime shadow-write checker.
+    """
+    with (lock if lock is not None else _GLOBAL_LOCK), _guarded():
+        yield
+
+
+def critical_union(disjoint_set, a: int, b: int, *, lock=None) -> bool:
+    """``Union(a, b)`` inside one critical section; True when merged."""
+    with critical(lock):
+        return disjoint_set.union(a, b)

@@ -26,9 +26,16 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.graph.csr import Graph
+from repro.parallel.sync import atomic_add
 from repro.similarity.weighted import SimilarityConfig, SimilarityOracle
+from repro.validation import check_eps_mu
 
-__all__ = ["ThreadBackend", "parallel_range_queries", "parallel_edge_similarities"]
+__all__ = [
+    "ThreadBackend",
+    "parallel_range_queries",
+    "parallel_edge_similarities",
+    "parallel_neighbor_updates",
+]
 
 T = TypeVar("T")
 
@@ -64,6 +71,8 @@ class ThreadBackend:
 
         def run_chunk(start: int) -> None:
             for i in range(start, min(start + self.chunk_size, len(items))):
+                # Chunks own disjoint index ranges, so these slot writes
+                # cannot collide across threads.  # repro: allow[R1]
                 results[i] = fn(items[i])
 
         starts = range(0, len(items), self.chunk_size)
@@ -86,6 +95,7 @@ def parallel_range_queries(
     Each thread owns a private oracle (no shared counters → no locking),
     exactly like the per-thread buffers of Figure 4 lines 6-9.
     """
+    check_eps_mu(epsilon=epsilon)
     backend = backend or ThreadBackend()
     config = config or SimilarityConfig()
     # Thread-local oracles: constructed once per call; precomputation is
@@ -96,6 +106,38 @@ def parallel_range_queries(
         return oracle.eps_neighborhood(int(v), epsilon)
 
     return backend.map(query, list(vertices))  # type: ignore[return-value]
+
+
+def parallel_neighbor_updates(
+    graph: Graph,
+    vertices: Sequence[int],
+    epsilon: float,
+    *,
+    backend: ThreadBackend | None = None,
+    config: SimilarityConfig | None = None,
+) -> Tuple[List[np.ndarray], np.ndarray]:
+    """Step 1's shared update: count how often each vertex is ε-touched.
+
+    Each worker runs one range query and performs **one atomic per
+    neighbor update** (Figure 4 lines 14-15) into the shared counter
+    array — exactly the concurrency contract rule R1 of
+    :mod:`repro.analysis` enforces.  Returns the per-vertex
+    ε-neighborhoods and the shared touch counts.
+    """
+    check_eps_mu(epsilon=epsilon)
+    backend = backend or ThreadBackend()
+    config = config or SimilarityConfig()
+    oracle = SimilarityOracle(graph, config)
+    touched = np.zeros(graph.num_vertices, dtype=np.int64)
+
+    def update(v: int) -> np.ndarray:
+        hood = oracle.eps_neighborhood(int(v), epsilon)
+        for q in hood:
+            atomic_add(touched, int(q), 1)
+        return hood
+
+    hoods = backend.map(update, list(vertices))
+    return hoods, touched  # type: ignore[return-value]
 
 
 def parallel_edge_similarities(

@@ -1,0 +1,26 @@
+"""Shared parameter validation for public entry points.
+
+Every public function that accepts SCAN's density parameters μ/ε calls
+:func:`check_eps_mu` on entry, so out-of-domain values fail fast with a
+:class:`~repro.errors.ConfigError` instead of producing silently wrong
+clusterings.  The static-analysis gate (rule R4 in
+:mod:`repro.analysis`) enforces that the call is present.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+__all__ = ["check_eps_mu"]
+
+
+def check_eps_mu(mu: int | None = None, epsilon: float | None = None) -> None:
+    """Validate SCAN's density parameters; ``None`` skips a check.
+
+    ``mu`` must be a positive integer and ``epsilon`` must lie in
+    ``(0, 1]`` (Definition 3 of the paper).
+    """
+    if mu is not None and mu < 1:
+        raise ConfigError("mu must be a positive integer")
+    if epsilon is not None and not 0.0 < epsilon <= 1.0:
+        raise ConfigError("epsilon must be in (0, 1]")

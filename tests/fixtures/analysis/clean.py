@@ -1,0 +1,28 @@
+"""A module every rule should accept untouched."""
+
+import numpy as np
+
+from repro.parallel.sync import atomic_add
+from repro.parallel.threads import ThreadBackend
+from repro.validation import check_eps_mu
+
+
+def histogram(backend, counts, items):
+    def worker(item):
+        atomic_add(counts, item, 1)
+        return item
+
+    return backend.map(worker, items)
+
+
+def threshold(graph, mu, epsilon):
+    check_eps_mu(mu=mu, epsilon=epsilon)
+    return np.asarray(graph.degrees) >= mu
+
+
+def doubled(values, out=None):
+    if out is None:
+        out = []
+    for value in values:
+        out.append(2 * value)
+    return out

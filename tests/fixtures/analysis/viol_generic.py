@@ -1,0 +1,26 @@
+"""Seeded G1/G2/G3 violations: generic hygiene."""
+
+from dataclasses import dataclass
+
+
+def collect(items, into=[]):  # G1: mutable default argument
+    into.extend(items)
+    return into
+
+
+def swallow(fn):
+    try:
+        return fn()
+    except:  # G2: bare except
+        return None
+
+
+@dataclass(frozen=True)
+class Frozen:
+    value: int
+
+    def __post_init__(self):
+        object.__setattr__(self, "value", int(self.value))  # legitimate
+
+    def bump(self):
+        object.__setattr__(self, "value", self.value + 1)  # G3

@@ -1,0 +1,36 @@
+"""Seeded R1 violation: unguarded shared writes inside a pool worker."""
+
+import numpy as np
+
+from repro.parallel.sync import atomic_add, critical
+from repro.parallel.threads import ThreadBackend
+
+
+def tally_unguarded(graph, vertices, counts, dsu):
+    """Every write here breaks the one-atomic/one-critical budget."""
+    backend = ThreadBackend(threads=4)
+    processed = 0
+
+    def worker(v):
+        nonlocal processed
+        counts[v] += 1          # R1: raw indexed write to shared array
+        processed += 1          # R1: raw write to closure counter
+        dsu.union(v, 0)         # R1: Union outside a critical section
+        return v
+
+    return backend.map(worker, vertices)
+
+
+def tally_guarded(graph, vertices, counts, dsu, lock):
+    """The compliant version of the same workload (no findings)."""
+    backend = ThreadBackend(threads=4)
+
+    def worker(v):
+        atomic_add(counts, v, 1)
+        with critical(lock):
+            dsu.union(v, 0)
+        local = np.zeros(4)
+        local[0] = 1.0          # worker-local: not a shared write
+        return v
+
+    return backend.map(worker, vertices)

@@ -1,0 +1,12 @@
+"""Seeded R2 violation: banned imports in library code."""
+
+import networkx as nx  # R2: networkx must not leak into src/repro
+from pytest import approx  # R2: test-only dependency
+
+
+def shortest_path(graph, source, target):
+    return nx.shortest_path(graph, source, target)
+
+
+def close_enough(a, b):
+    return a == approx(b)

@@ -1,0 +1,26 @@
+"""Seeded R3 violation: Python loops over CSR arrays in a kernel."""
+
+import numpy as np
+
+
+def degree_sums(graph):
+    total = 0.0
+    for p in range(graph.num_vertices):  # R3: loop sized by |V|
+        for q in graph.neighbors(p):  # R3: loop over a CSR row
+            total += q
+    return total
+
+
+def row_scan(indptr, indices):
+    hits = 0
+    for k in indices:  # R3: loop over the CSR index array
+        hits += int(k)
+    return hits
+
+
+def allowed_scan(indices):
+    hits = 0
+    # Justified: charging per-item instrumentation.  # repro: allow[R3]
+    for k in indices:
+        hits += int(k)
+    return hits

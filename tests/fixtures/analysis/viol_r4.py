@@ -1,0 +1,25 @@
+"""Seeded R4 violation: public eps/mu entry point without validation."""
+
+from repro.validation import check_eps_mu
+
+
+def cluster(graph, mu, epsilon):
+    """R4: neither parameter is range-checked before use."""
+    return [v for v in range(graph.num_vertices) if mu and epsilon]
+
+
+def cluster_checked(graph, mu, epsilon):
+    check_eps_mu(mu=mu, epsilon=epsilon)
+    return [v for v in range(graph.num_vertices)]
+
+
+def cluster_inline(graph, mu, epsilon):
+    if mu < 1:
+        raise ValueError("mu must be a positive integer")
+    if not 0.0 < epsilon <= 1.0:
+        raise ValueError("epsilon must be in (0, 1]")
+    return []
+
+
+def _private(graph, mu, epsilon):
+    return None  # private helpers are out of scope for R4

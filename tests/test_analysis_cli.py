@@ -1,0 +1,129 @@
+"""CLI contract for ``python -m repro.analysis``.
+
+The acceptance gate: exit 0 on the shipped tree, exit 1 on every
+seeded-violation fixture, exit 2 on usage errors.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.__main__ import main
+
+REPO = Path(__file__).resolve().parents[1]
+FIXTURES = REPO / "tests" / "fixtures" / "analysis"
+FIXTURE_CONFIG = FIXTURES / "pyproject.toml"
+
+
+def run_cli(*argv):
+    """Run main() in-process, capturing stdout."""
+    import io
+    from contextlib import redirect_stderr, redirect_stdout
+
+    out, err = io.StringIO(), io.StringIO()
+    with redirect_stdout(out), redirect_stderr(err):
+        code = main(list(argv))
+    return code, out.getvalue(), err.getvalue()
+
+
+class TestExitCodes:
+    def test_shipped_tree_is_clean_subprocess(self):
+        """The literal acceptance command, run exactly as CI runs it."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "src/repro"],
+            cwd=REPO,
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    @pytest.mark.parametrize(
+        "fixture",
+        ["viol_r1.py", "viol_r2.py", "viol_r3.py", "viol_r4.py",
+         "viol_generic.py"],
+    )
+    def test_each_seeded_fixture_fails(self, fixture):
+        code, out, _ = run_cli(
+            str(FIXTURES / fixture), "--config", str(FIXTURE_CONFIG)
+        )
+        assert code == 1
+        assert fixture in out
+
+    def test_clean_fixture_passes(self):
+        code, out, _ = run_cli(
+            str(FIXTURES / "clean.py"), "--config", str(FIXTURE_CONFIG)
+        )
+        assert code == 0
+        assert out == ""
+
+    def test_missing_path_is_usage_error(self):
+        code, _, err = run_cli("no/such/dir")
+        assert code == 2
+        assert "no such path" in err
+
+    def test_unknown_rule_id_is_usage_error(self):
+        code, _, err = run_cli(str(FIXTURES / "clean.py"), "--select", "R9")
+        assert code == 2
+        assert "unknown rule id" in err
+
+    def test_bad_config_is_usage_error(self, tmp_path):
+        bad = tmp_path / "pyproject.toml"
+        bad.write_text("[tool.repro-analysis]\nnot-a-key = 1\n")
+        code, _, err = run_cli(
+            str(FIXTURES / "clean.py"), "--config", str(bad)
+        )
+        assert code == 2
+        assert "not-a-key" in err
+
+
+class TestOptions:
+    def test_select_restricts_rules(self):
+        code, out, _ = run_cli(
+            str(FIXTURES / "viol_generic.py"),
+            "--config", str(FIXTURE_CONFIG),
+            "--select", "R1,R2,R3,R4",
+        )
+        assert code == 0
+        assert out == ""
+
+    def test_disable_drops_rules(self):
+        code, out, _ = run_cli(
+            str(FIXTURES / "viol_r2.py"),
+            "--config", str(FIXTURE_CONFIG),
+            "--disable", "R2",
+        )
+        assert code == 0, out
+
+    def test_json_format(self):
+        code, out, _ = run_cli(
+            str(FIXTURES / "viol_r2.py"),
+            "--config", str(FIXTURE_CONFIG),
+            "--format", "json",
+        )
+        assert code == 1
+        payload = json.loads(out)
+        assert {f["rule"] for f in payload} == {"R2"}
+        assert all({"path", "line", "col", "message"} <= set(f) for f in payload)
+
+    def test_list_rules(self):
+        code, out, _ = run_cli("--list-rules")
+        assert code == 0
+        for rule_id in ("R1", "R2", "R3", "R4", "G1", "G2", "G3"):
+            assert rule_id in out
+
+    def test_text_format_reports_location(self):
+        code, out, _ = run_cli(
+            str(FIXTURES / "viol_r2.py"), "--config", str(FIXTURE_CONFIG)
+        )
+        assert code == 1
+        first = out.splitlines()[0]
+        # path:line:col: RULE message
+        assert first.count(":") >= 3
+        assert " R2 " in first

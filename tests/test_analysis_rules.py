@@ -1,0 +1,164 @@
+"""Each analysis rule fires on its seeded fixture and only there."""
+
+from pathlib import Path
+
+from repro.analysis import (
+    AnalysisConfig,
+    Analyzer,
+    Finding,
+    ModuleSource,
+    RULE_INDEX,
+    default_rules,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "analysis"
+
+#: Config mirroring tests/fixtures/analysis/pyproject.toml.
+FIXTURE_CONFIG = AnalysisConfig(
+    kernel_modules=["fixtures/analysis"],
+    api_modules=["fixtures/analysis"],
+)
+
+
+def findings_for(name, config=FIXTURE_CONFIG):
+    analyzer = Analyzer(config=config)
+    return analyzer.analyze_paths([FIXTURES / name])
+
+
+def rule_ids(findings):
+    return sorted({f.rule for f in findings})
+
+
+class TestSeededViolations:
+    def test_r1_fires_on_unguarded_shared_writes(self):
+        findings = [f for f in findings_for("viol_r1.py") if f.rule == "R1"]
+        assert len(findings) == 3
+        messages = " ".join(f.message for f in findings)
+        assert "'counts'" in messages
+        assert "'processed'" in messages
+        assert "dsu.union()" in messages
+
+    def test_r1_accepts_guarded_worker(self):
+        findings = findings_for("viol_r1.py")
+        guarded_lines = [
+            f for f in findings if "tally_guarded" in f.message
+        ]
+        assert guarded_lines == []
+
+    def test_r2_fires_on_banned_imports(self):
+        findings = [f for f in findings_for("viol_r2.py") if f.rule == "R2"]
+        assert len(findings) == 2
+        assert any("networkx" in f.message for f in findings)
+        assert any("pytest" in f.message for f in findings)
+
+    def test_r3_fires_on_csr_loops(self):
+        findings = [f for f in findings_for("viol_r3.py") if f.rule == "R3"]
+        assert len(findings) == 3
+
+    def test_r3_respects_pragma(self):
+        findings = findings_for("viol_r3.py")
+        # the allowed_scan loop is suppressed by its pragma comment
+        assert all(f.line < 22 for f in findings)
+
+    def test_r3_silent_outside_kernel_modules(self):
+        findings = findings_for("viol_r3.py", config=AnalysisConfig())
+        assert [f for f in findings if f.rule == "R3"] == []
+
+    def test_r4_fires_on_unvalidated_entry_point(self):
+        findings = [f for f in findings_for("viol_r4.py") if f.rule == "R4"]
+        assert len(findings) == 1
+        assert "'cluster'" in findings[0].message
+
+    def test_r4_accepts_validator_and_inline_checks(self):
+        messages = " ".join(f.message for f in findings_for("viol_r4.py"))
+        assert "cluster_checked" not in messages
+        assert "cluster_inline" not in messages
+        assert "_private" not in messages
+
+    def test_generic_rules_fire(self):
+        findings = findings_for("viol_generic.py")
+        assert rule_ids(findings) == ["G1", "G2", "G3"]
+
+    def test_clean_fixture_is_clean(self):
+        assert findings_for("clean.py") == []
+
+
+class TestFramework:
+    def test_every_rule_has_unique_id(self):
+        ids = [rule.id for rule in default_rules()]
+        assert len(ids) == len(set(ids))
+        assert set(ids) == set(RULE_INDEX)
+
+    def test_disable_filters_rules(self):
+        config = AnalysisConfig(disable=["G1", "G2", "G3"])
+        findings = Analyzer(config=config).analyze_paths(
+            [FIXTURES / "viol_generic.py"]
+        )
+        assert findings == []
+
+    def test_findings_sorted_and_formatted(self):
+        findings = findings_for("viol_r1.py")
+        assert findings == sorted(findings)
+        formatted = findings[0].format()
+        assert formatted.endswith(findings[0].message)
+        assert f":{findings[0].line}:" in formatted
+
+    def test_wildcard_pragma_suppresses_everything(self, tmp_path):
+        source = "def f(x=[]):  # repro: allow[*]\n    return x\n"
+        path = tmp_path / "module.py"
+        path.write_text(source)
+        assert Analyzer().analyze_paths([path]) == []
+
+    def test_pragma_on_comment_line_covers_next_line(self, tmp_path):
+        source = (
+            "# justified below  # repro: allow[G1]\n"
+            "def f(x=[]):\n"
+            "    return x\n"
+        )
+        path = tmp_path / "module.py"
+        path.write_text(source)
+        assert Analyzer().analyze_paths([path]) == []
+
+    def test_pragma_is_rule_specific(self, tmp_path):
+        source = "def f(x=[]):  # repro: allow[R1]\n    return x\n"
+        path = tmp_path / "module.py"
+        path.write_text(source)
+        findings = Analyzer().analyze_paths([path])
+        assert rule_ids(findings) == ["G1"]
+
+    def test_syntax_error_becomes_parse_finding(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def f(:\n")
+        findings = Analyzer().analyze_paths([path])
+        assert [f.rule for f in findings] == ["PARSE"]
+
+    def test_exclude_skips_paths(self, tmp_path):
+        path = tmp_path / "skipme" / "module.py"
+        path.parent.mkdir()
+        path.write_text("def f(x=[]):\n    return x\n")
+        config = AnalysisConfig(exclude=["skipme"])
+        assert Analyzer(config=config).analyze_paths([tmp_path]) == []
+
+    def test_module_source_parse(self):
+        module = ModuleSource.parse(FIXTURES / "clean.py")
+        assert module.lines[0].startswith('"""')
+        assert isinstance(module.suppressions, dict)
+
+    def test_finding_to_dict_round_trip(self):
+        finding = Finding(path="a.py", line=3, col=1, rule="R1", message="m")
+        data = finding.to_dict()
+        assert data == {
+            "path": "a.py",
+            "line": 3,
+            "col": 1,
+            "rule": "R1",
+            "message": "m",
+        }
+
+
+class TestShippedTree:
+    def test_src_repro_is_clean(self):
+        repo = Path(__file__).resolve().parents[1]
+        analyzer = Analyzer(config=AnalysisConfig())
+        findings = analyzer.analyze_paths([repo / "src" / "repro"])
+        assert findings == [], "\n".join(f.format() for f in findings)

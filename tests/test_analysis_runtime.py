@@ -1,0 +1,200 @@
+"""Runtime shadow-write checker: the dynamic half of rule R1."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.analysis.runtime import Race, ShadowArray, ShadowWriteLog
+from repro.parallel.sync import atomic_add, atomic_store, critical
+from repro.parallel.threads import ThreadBackend
+
+
+def record_from_helper_thread(log, array, index, guarded):
+    """Log one write attributed to a thread other than the caller's."""
+    thread = threading.Thread(
+        target=log.record, args=(array, index, guarded)
+    )
+    thread.start()
+    thread.join()
+
+
+class TestShadowWriteLog:
+    def test_single_thread_never_races(self):
+        log = ShadowWriteLog()
+        for _ in range(5):
+            log.record("a", 0, guarded=False)
+        assert log.races() == []
+        log.assert_race_free()
+
+    def test_two_threads_unguarded_is_race(self):
+        log = ShadowWriteLog()
+        log.record("a", 0, guarded=False)
+        record_from_helper_thread(log, "a", 0, guarded=False)
+        races = log.races()
+        assert len(races) == 1
+        assert races[0].array == "a"
+        assert races[0].index == 0
+        assert len(races[0].thread_ids) == 2
+        assert races[0].unguarded_writes == 2
+
+    def test_two_threads_all_guarded_is_race_free(self):
+        log = ShadowWriteLog()
+        log.record("a", 0, guarded=True)
+        record_from_helper_thread(log, "a", 0, guarded=True)
+        assert log.races() == []
+
+    def test_one_unguarded_write_is_enough(self):
+        log = ShadowWriteLog()
+        log.record("a", 0, guarded=True)
+        record_from_helper_thread(log, "a", 0, guarded=False)
+        races = log.races()
+        assert len(races) == 1
+        assert races[0].unguarded_writes == 1
+
+    def test_distinct_cells_do_not_race(self):
+        log = ShadowWriteLog()
+        log.record("a", 0, guarded=False)
+        record_from_helper_thread(log, "a", 1, guarded=False)
+        record_from_helper_thread(log, "b", 0, guarded=False)
+        assert log.races() == []
+
+    def test_assert_race_free_raises_with_description(self):
+        log = ShadowWriteLog()
+        log.record("counts", 7, guarded=False)
+        record_from_helper_thread(log, "counts", 7, guarded=False)
+        with pytest.raises(AssertionError, match=r"counts\[7\]"):
+            log.assert_race_free()
+
+    def test_race_describe(self):
+        race = Race(
+            array="x", index=3, thread_ids=(1, 2), unguarded_writes=2
+        )
+        assert "x[3]" in race.describe()
+        assert "2 threads" in race.describe()
+
+
+class TestShadowArray:
+    def test_reads_pass_through(self):
+        base = np.arange(4.0)
+        shadow = ShadowArray(base, ShadowWriteLog(), name="base")
+        assert shadow[2] == 2.0
+        assert len(shadow) == 4
+        assert shadow.shape == (4,)
+        assert shadow.dtype == np.float64
+        np.testing.assert_array_equal(np.asarray(shadow), base)
+
+    def test_setitem_writes_through_and_records(self):
+        base = np.zeros(3)
+        log = ShadowWriteLog()
+        shadow = ShadowArray(base, log, name="base")
+        shadow[1] = 5.0
+        assert base[1] == 5.0
+        (record,) = log.records
+        assert (record.array, record.index, record.guarded) == (
+            "base", 1, False
+        )
+
+    def test_atomic_helpers_mark_writes_guarded(self):
+        log = ShadowWriteLog()
+        shadow = ShadowArray(np.zeros(3), log, name="base")
+        atomic_add(shadow, 0, 2.0)
+        atomic_store(shadow, 1, 7.0)
+        with critical():
+            shadow[2] = 1.0
+        assert [r.guarded for r in log.records] == [True, True, True]
+        assert shadow[0] == 2.0 and shadow[1] == 7.0
+
+    def test_numpy_scalar_index_collapses_with_python_int(self):
+        log = ShadowWriteLog()
+        shadow = ShadowArray(np.zeros(4), log, name="base")
+        shadow[np.int64(2)] = 1.0
+        shadow[2] = 2.0
+        indices = {r.index for r in log.records}
+        assert indices == {2}
+
+    def test_slice_and_tuple_indices_are_hashable(self):
+        log = ShadowWriteLog()
+        shadow = ShadowArray(np.zeros((2, 2)), log, name="base")
+        shadow[0, 1] = 1.0
+        shadow1d = ShadowArray(np.zeros(4), log, name="flat")
+        shadow1d[1:3] = 5.0
+        shadow1d[np.array([0, 3])] = 2.0
+        assert log.races() == []  # single thread; also proves hashability
+
+
+class TestThreadBackendIntegration:
+    """Drive real ThreadBackend runs; a barrier forces two pool threads."""
+
+    N_ITEMS = 2
+
+    def run_workload(self, worker):
+        backend = ThreadBackend(threads=2, chunk_size=1)
+        barrier = threading.Barrier(self.N_ITEMS, timeout=10)
+
+        def item(v):
+            barrier.wait()
+            return worker(v)
+
+        return backend.map(item, list(range(self.N_ITEMS)))
+
+    def test_unguarded_concurrent_writes_are_detected(self):
+        log = ShadowWriteLog()
+        shadow = ShadowArray(np.zeros(1, dtype=np.int64), log, name="counts")
+
+        def worker(v):
+            shadow[0] = shadow[0] + 1  # raw shared write: R1 violation
+            return v
+
+        self.run_workload(worker)
+        assert len({r.thread_id for r in log.records}) == 2
+        races = log.races()
+        assert len(races) == 1
+        assert races[0].unguarded_writes == 2
+        with pytest.raises(AssertionError):
+            log.assert_race_free()
+
+    def test_atomic_writes_are_race_free(self):
+        log = ShadowWriteLog()
+        shadow = ShadowArray(np.zeros(1, dtype=np.int64), log, name="counts")
+
+        def worker(v):
+            atomic_add(shadow, 0, 1)
+            return v
+
+        self.run_workload(worker)
+        # The negative result is meaningful: two threads really wrote.
+        assert len({r.thread_id for r in log.records}) == 2
+        log.assert_race_free()
+        assert shadow[0] == self.N_ITEMS
+
+    def test_critical_section_writes_are_race_free(self):
+        log = ShadowWriteLog()
+        shadow = ShadowArray(np.zeros(1, dtype=np.int64), log, name="counts")
+        lock = threading.Lock()
+
+        def worker(v):
+            with critical(lock):
+                shadow[0] = shadow[0] + 1
+            return v
+
+        self.run_workload(worker)
+        assert len({r.thread_id for r in log.records}) == 2
+        log.assert_race_free()
+        assert shadow[0] == self.N_ITEMS
+
+    def test_guard_state_is_thread_local(self):
+        log = ShadowWriteLog()
+        shadow = ShadowArray(np.zeros(1, dtype=np.int64), log, name="counts")
+        seen = []
+
+        def worker(v):
+            atomic_add(shadow, 0, 1)
+            seen.append((v, threading.get_ident()))
+            shadow[0] = shadow[0]  # unguarded again after helper returns
+            return v
+
+        self.run_workload(worker)
+        guarded_flags = [r.guarded for r in log.records]
+        assert guarded_flags.count(True) == self.N_ITEMS
+        assert guarded_flags.count(False) == self.N_ITEMS

@@ -36,3 +36,54 @@ class TestRunning:
     def test_scale_option_accepted(self, capsys):
         assert main(["tab2", "--quick", "--scale", "tiny"]) == 0
         assert "LFR01" in capsys.readouterr().out
+
+
+class TestChartRows:
+    """_chart_for must reject ragged tables instead of misaligning cells."""
+
+    @staticmethod
+    def _speedup_table(rows):
+        from repro.bench.harness import ExperimentResult
+
+        result = ExperimentResult(
+            exp_id="fig13",
+            title="speedups",
+            headers=["dataset", "t=1", "t=2", "t=4"],
+        )
+        for row in rows:
+            result.rows.append(tuple(row))
+        return result
+
+    def test_well_formed_rows_chart(self):
+        from repro.bench.__main__ import _chart_for
+
+        chart = _chart_for(self._speedup_table([("GR01", 1.0, 1.9, 3.4)]))
+        assert chart is not None
+        assert "t=1" in chart and "GR01" in chart
+
+    def test_short_row_raises_bench_error(self):
+        import pytest
+
+        from repro.bench.__main__ import _chart_for
+        from repro.errors import BenchError
+
+        table = self._speedup_table([("GR01", 1.0, 1.9)])
+        with pytest.raises(BenchError, match="row 1 has 3 cell"):
+            _chart_for(table)
+
+    def test_long_row_raises_bench_error(self):
+        import pytest
+
+        from repro.bench.__main__ import _chart_for
+        from repro.errors import BenchError
+
+        table = self._speedup_table(
+            [("GR01", 1.0, 1.9, 3.4), ("GR02", 1.0, 1.8, 3.1, 9.9)]
+        )
+        with pytest.raises(BenchError, match="row 2 has 5 cell"):
+            _chart_for(table)
+
+    def test_bench_error_is_experiment_error(self):
+        from repro.errors import BenchError, ExperimentError
+
+        assert issubclass(BenchError, ExperimentError)

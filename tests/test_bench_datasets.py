@@ -101,3 +101,44 @@ class TestRegimes:
             for i in range(1, 6)
         ]
         assert all(b > a for a, b in zip(ccs, ccs[1:]))
+
+
+class TestCacheRobustness:
+    """Corrupt or half-written cache entries must never break loading."""
+
+    @pytest.fixture()
+    def private_cache(self, tmp_path, monkeypatch):
+        import repro.bench.datasets as datasets
+
+        monkeypatch.setattr(datasets, "_CACHE_DIR", tmp_path)
+        return tmp_path
+
+    def test_corrupt_npz_is_regenerated(self, private_cache):
+        graph = load_dataset("GR01", "tiny")  # populates the cache
+        cache_file = private_cache / "GR01-tiny.npz"
+        assert cache_file.exists()
+        cache_file.write_bytes(b"PK\x05\x06 this is not a zip")
+        again = load_dataset("GR01", "tiny")
+        assert again == graph
+        # the corrupt entry was replaced by a valid one
+        assert load_dataset("GR01", "tiny") == graph
+        assert cache_file.stat().st_size > 100
+
+    def test_truncated_npz_is_regenerated(self, private_cache):
+        graph = load_dataset("GR01", "tiny")
+        cache_file = private_cache / "GR01-tiny.npz"
+        blob = cache_file.read_bytes()
+        cache_file.write_bytes(blob[: len(blob) // 2])
+        assert load_dataset("GR01", "tiny") == graph
+
+    def test_wrong_schema_is_regenerated(self, private_cache):
+        import numpy as np
+
+        graph = load_dataset("GR01", "tiny")
+        cache_file = private_cache / "GR01-tiny.npz"
+        np.savez_compressed(cache_file, unrelated=np.arange(3))
+        assert load_dataset("GR01", "tiny") == graph
+
+    def test_no_temp_files_left_behind(self, private_cache):
+        load_dataset("GR01", "tiny")
+        assert list(private_cache.glob("*.tmp")) == []

@@ -74,3 +74,83 @@ class TestParallelQueries:
             backend=ThreadBackend(threads=2, chunk_size=1),
         )
         assert np.allclose(expected, parallel)
+
+
+class TestChunkingEquivalence:
+    """Every (threads, chunk_size) pair computes the sequential answer."""
+
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    @pytest.mark.parametrize("chunk_size", [1, 3, 7, 64, 200])
+    def test_matches_sequential_map(self, threads, chunk_size):
+        items = list(range(97))
+        expected = [x * x - 1 for x in items]
+        backend = ThreadBackend(threads=threads, chunk_size=chunk_size)
+        assert backend.map(lambda x: x * x - 1, items) == expected
+
+    def test_order_preserved_under_uneven_work(self):
+        import time
+
+        def slow_for_early_items(x):
+            if x < 4:
+                time.sleep(0.01)
+            return x
+
+        backend = ThreadBackend(threads=4, chunk_size=1)
+        items = list(range(32))
+        assert backend.map(slow_for_early_items, items) == items
+
+    def test_empty_input(self):
+        assert ThreadBackend(threads=4, chunk_size=2).map(str, []) == []
+
+
+class TestValidateErrorPaths:
+    @pytest.mark.parametrize("threads", [0, -1, -8])
+    def test_bad_thread_counts(self, threads):
+        with pytest.raises(SimulationError, match="thread"):
+            ThreadBackend(threads=threads).validate()
+
+    @pytest.mark.parametrize("chunk_size", [0, -1])
+    def test_bad_chunk_sizes(self, chunk_size):
+        with pytest.raises(SimulationError, match="chunk_size"):
+            ThreadBackend(threads=2, chunk_size=chunk_size).validate()
+
+    def test_map_validates_before_running(self):
+        with pytest.raises(SimulationError):
+            ThreadBackend(threads=0).map(str, [1, 2, 3])
+
+    def test_valid_backend_passes(self):
+        ThreadBackend(threads=1, chunk_size=1).validate()
+
+
+class TestParallelNeighborUpdates:
+    def test_matches_sequential_tally(self, karate):
+        from collections import Counter
+
+        from repro.parallel.threads import parallel_neighbor_updates
+
+        oracle = SimilarityOracle(karate, SimilarityConfig())
+        vertices = list(range(34))
+        expected_hoods = [
+            oracle.eps_neighborhood(v, 0.5) for v in vertices
+        ]
+        tally = Counter()
+        for hood in expected_hoods:
+            tally.update(int(q) for q in hood)
+
+        hoods, touched = parallel_neighbor_updates(
+            karate, vertices, 0.5,
+            backend=ThreadBackend(threads=4, chunk_size=3),
+        )
+        for a, b in zip(expected_hoods, hoods):
+            assert np.array_equal(a, b)
+        for v in range(34):
+            assert touched[v] == tally.get(v, 0)
+
+    def test_epsilon_validated(self, karate):
+        from repro.errors import ConfigError
+        from repro.parallel.threads import parallel_neighbor_updates
+
+        with pytest.raises(ConfigError):
+            parallel_neighbor_updates(karate, [0], 0.0)
+        with pytest.raises(ConfigError):
+            parallel_range_queries(karate, [0], 1.5)

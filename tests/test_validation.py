@@ -1,0 +1,32 @@
+"""Central eps/mu validation used by every public entry point."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.validation import check_eps_mu
+
+
+class TestCheckEpsMu:
+    def test_valid_combinations_pass(self):
+        check_eps_mu()
+        check_eps_mu(mu=1)
+        check_eps_mu(mu=2, epsilon=0.5)
+        check_eps_mu(epsilon=1.0)
+        check_eps_mu(epsilon=1e-9)
+
+    @pytest.mark.parametrize("mu", [0, -1, -100])
+    def test_nonpositive_mu_rejected(self, mu):
+        with pytest.raises(ConfigError, match="mu"):
+            check_eps_mu(mu=mu)
+
+    @pytest.mark.parametrize("epsilon", [0.0, -0.5, 1.0001, 2.0])
+    def test_epsilon_out_of_range_rejected(self, epsilon):
+        with pytest.raises(ConfigError, match="epsilon"):
+            check_eps_mu(epsilon=epsilon)
+
+    def test_none_parameters_are_skipped(self):
+        check_eps_mu(mu=None, epsilon=None)
+
+    def test_first_failure_wins(self):
+        with pytest.raises(ConfigError, match="mu"):
+            check_eps_mu(mu=0, epsilon=5.0)

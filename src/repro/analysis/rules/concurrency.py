@@ -2,8 +2,10 @@
 
 Figure 4 of the paper budgets each parallel iteration at one atomic per
 neighbor update and one critical section per ``Union``.  This rule
-finds worker callables handed to a thread pool (the first argument of
-any ``<backend>.map(...)`` or ``<pool>.submit(...)`` call) and flags
+finds worker callables handed to a pool (the first argument of any
+``<backend>.map(...)`` or ``<pool>.submit(...)`` call, plus anything
+passed as an ``initializer=`` keyword — those run once per worker
+process before any task) and flags
 every write they make to state captured from an enclosing scope unless
 it is routed through a declared atomic helper or wrapped in a declared
 critical section / lock.  The runtime shadow-write checker in
@@ -108,7 +110,7 @@ class ConcurrencyContractRule(Rule):
 
 
 class _WorkerFinder(ast.NodeVisitor):
-    """Collects function defs / lambdas passed to ``.map`` / ``.submit``."""
+    """Collects defs / lambdas passed to ``.map``/``.submit``/``initializer=``."""
 
     def __init__(self) -> None:
         self.scopes: List[dict] = [{}]
@@ -128,12 +130,19 @@ class _WorkerFinder(ast.NodeVisitor):
 
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
+        targets: List[ast.AST] = []
         if (
             isinstance(func, ast.Attribute)
             and func.attr in ("map", "submit")
             and node.args
         ):
-            target = node.args[0]
+            targets.append(node.args[0])
+        # Pool constructors: initializer= runs in every worker process
+        # before it takes tasks, so it is a worker entry point too.
+        targets.extend(
+            kw.value for kw in node.keywords if kw.arg == "initializer"
+        )
+        for target in targets:
             if isinstance(target, ast.Name):
                 for scope in reversed(self.scopes):
                     if target.id in scope:

@@ -16,8 +16,14 @@ import time
 
 from repro.anytime import AnytimeRunner
 from repro.baselines import pscan, scan, scan_b, scanpp
-from repro.core import AnySCAN, AnyScanConfig
+from repro.core import AnySCAN, AnyScanConfig, parallel_scan
 from repro.graph.io import load_edge_list
+from repro.parallel.backends import (
+    BACKEND_NAMES,
+    backend_kind,
+    close_backend,
+    create_backend,
+)
 from repro.result import HUB, Clustering
 
 __all__ = ["main"]
@@ -61,6 +67,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="anytime: stop after this many compute seconds",
     )
     parser.add_argument(
+        "--backend",
+        choices=["sequential"] + list(BACKEND_NAMES),
+        default="sequential",
+        help="execution backend; thread/process/auto run the σ phase on a "
+        "real pool (exact SCAN only, requires --algorithm scan)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="pool width for --backend thread/process/auto",
+    )
+    parser.add_argument(
         "--output", default=None, help="write 'vertex label' lines here"
     )
     parser.add_argument(
@@ -82,7 +101,23 @@ def main(argv=None) -> int:
         file=sys.stderr,
     )
 
-    if args.algorithm == "anyscan":
+    if args.backend != "sequential":
+        if args.budget_work or args.budget_seconds:
+            print(
+                "budgets need the sequential anytime engine; drop "
+                "--backend or the --budget-* flags",
+                file=sys.stderr,
+            )
+            return 2
+        if args.algorithm != "scan":
+            print(
+                "--backend parallelizes exact SCAN; pass --algorithm scan "
+                f"(got {args.algorithm!r})",
+                file=sys.stderr,
+            )
+            return 2
+        clustering = _run_parallel(graph, args)
+    elif args.algorithm == "anyscan":
         clustering = _run_anyscan(graph, args)
     else:
         if args.budget_work or args.budget_seconds:
@@ -99,6 +134,24 @@ def main(argv=None) -> int:
         _write_labels(clustering, labels_map, args.output)
         print(f"labels written to {args.output}", file=sys.stderr)
     return 0
+
+
+def _run_parallel(graph, args) -> Clustering:
+    backend = create_backend(args.backend, workers=args.workers)
+    try:
+        result = parallel_scan(
+            graph, args.mu, args.epsilon, backend=backend, seed=args.seed
+        )
+        # Report after the run: a lazy fallback (no shared memory, dead
+        # pool) only shows up in the backend's kind once it has executed.
+        print(
+            f"backend {args.backend} resolved to {backend_kind(backend)} "
+            f"(workers={args.workers or 'auto'})",
+            file=sys.stderr,
+        )
+        return result
+    finally:
+        close_backend(backend)
 
 
 def _run_anyscan(graph, args) -> Clustering:

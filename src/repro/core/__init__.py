@@ -1,6 +1,7 @@
 """The paper's contribution: anySCAN, its parallel model, exploration."""
 
 from repro.core.anyscan import AnySCAN
+from repro.core.backend_scan import parallel_scan
 from repro.core.config import AnyScanConfig
 from repro.core.explorer import ParameterExplorer
 from repro.core.hierarchy import ClusterNode, EpsilonHierarchy
@@ -13,4 +14,5 @@ __all__ = [
     "ParameterExplorer",
     "EpsilonHierarchy",
     "ClusterNode",
+    "parallel_scan",
 ]

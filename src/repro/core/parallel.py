@@ -16,8 +16,9 @@ edge σ evaluations as one embarrassingly parallel block.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -26,11 +27,25 @@ from repro.core.anyscan import AnySCAN
 from repro.core.config import AnyScanConfig
 from repro.errors import SimulationError
 from repro.graph.csr import Graph
+from repro.parallel.backends import (
+    backend_kind,
+    close_backend,
+    create_backend,
+    run_range_queries,
+)
 from repro.parallel.costs import IterationCosts, ParallelBlock
 from repro.parallel.simulator import MachineSpec, MulticoreSimulator
 from repro.result import Clustering
+from repro.similarity.weighted import SimilarityConfig
+from repro.validation import check_eps_mu
 
-__all__ = ["ParallelRunReport", "ParallelAnySCAN", "ideal_speedups"]
+__all__ = [
+    "ParallelRunReport",
+    "ParallelAnySCAN",
+    "ideal_speedups",
+    "MeasuredSpeedup",
+    "measured_sigma_speedups",
+]
 
 
 @dataclass(frozen=True)
@@ -193,6 +208,81 @@ def ideal_speedups(
         int(t): baseline / total_for(int(t)) if total_for(int(t)) > 0 else 0.0
         for t in thread_counts
     }
+
+
+# ----------------------------------------------------------------------
+# measured (real-hardware) companion to the simulated speedups
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MeasuredSpeedup:
+    """Wall-clock measurement of the σ phase at one worker count."""
+
+    workers: int
+    kind: str          # "process" or "thread" (fallback-aware)
+    seconds: float
+    speedup: float     # over the first (usually 1-worker) measurement
+
+
+def measured_sigma_speedups(
+    graph: Graph,
+    worker_counts: Sequence[int],
+    *,
+    epsilon: float = 0.5,
+    backend: str = "auto",
+    vertices: Optional[Sequence[int]] = None,
+    config: Optional[SimilarityConfig] = None,
+    chunk_size: Optional[int] = None,
+    repeats: int = 1,
+) -> List[MeasuredSpeedup]:
+    """Measured wall-clock speedups of the σ-evaluation phase.
+
+    The simulator above *predicts* scalability from cost logs; this
+    times the same embarrassingly parallel phase (batched ε range
+    queries) for real on the selected registry backend, giving the
+    real-hardware column next to Figures 10–12.  The first entry of
+    ``worker_counts`` is the baseline, so pass ``[1, 2, 4, ...]``.
+
+    ``vertices`` restricts the batch (default: every vertex); ``repeats``
+    keeps the best of N timings to damp scheduler noise.
+    """
+    check_eps_mu(epsilon=epsilon)
+    if not worker_counts:
+        raise SimulationError("need at least one worker count")
+    if repeats < 1:
+        raise SimulationError("repeats must be >= 1")
+    batch = (
+        list(range(graph.num_vertices))
+        if vertices is None
+        else [int(v) for v in vertices]
+    )
+    out: List[MeasuredSpeedup] = []
+    baseline: Optional[float] = None
+    for count in worker_counts:
+        runner = create_backend(
+            backend, workers=int(count), chunk_size=chunk_size
+        )
+        try:
+            best = float("inf")
+            for _ in range(repeats):
+                started = time.perf_counter()
+                run_range_queries(
+                    graph, batch, epsilon, backend=runner, config=config
+                )
+                best = min(best, time.perf_counter() - started)
+            kind = backend_kind(runner)
+        finally:
+            close_backend(runner)
+        if baseline is None:
+            baseline = best
+        out.append(
+            MeasuredSpeedup(
+                workers=int(count),
+                kind=kind,
+                seconds=best,
+                speedup=baseline / best if best > 0 else float("nan"),
+            )
+        )
+    return out
 
 
 def _with_record_costs(config: AnyScanConfig) -> AnyScanConfig:

@@ -1,6 +1,21 @@
-"""Simulated shared-memory multicore machine (OpenMP substitute)."""
+"""Parallel execution: simulated machine, real threads, real processes."""
 
+from repro.parallel.backends import (
+    BACKEND_NAMES,
+    backend_kind,
+    close_backend,
+    create_backend,
+    resolve_backend_name,
+    run_edge_similarities,
+    run_neighbor_updates,
+    run_range_queries,
+)
 from repro.parallel.costs import IterationCosts, ParallelBlock
+from repro.parallel.processes import (
+    ProcessBackend,
+    SharedGraph,
+    shared_memory_available,
+)
 from repro.parallel.sync import (
     atomic_add,
     atomic_max,
@@ -29,6 +44,17 @@ __all__ = [
     "MulticoreSimulator",
     "speedup_curve",
     "ThreadBackend",
+    "ProcessBackend",
+    "SharedGraph",
+    "shared_memory_available",
+    "BACKEND_NAMES",
+    "resolve_backend_name",
+    "create_backend",
+    "backend_kind",
+    "close_backend",
+    "run_range_queries",
+    "run_edge_similarities",
+    "run_neighbor_updates",
     "parallel_range_queries",
     "parallel_edge_similarities",
     "atomic_add",

@@ -1,0 +1,149 @@
+"""Execution-backend registry: ``"thread" | "process" | "auto"``.
+
+One small indirection shared by :mod:`repro.core.parallel`, the bench
+harness, and the CLI, so every caller selects real-execution backends
+the same way:
+
+* ``"thread"``  — :class:`~repro.parallel.threads.ThreadBackend`
+  (GIL-bound; result parity, no wall-clock speedup on CPython);
+* ``"process"`` — :class:`~repro.parallel.processes.ProcessBackend`
+  (shared-memory process pool; real multicore speedups);
+* ``"auto"``    — process when the machine has more than one core and
+  shared memory works, thread otherwise.
+
+The ``run_*`` helpers dispatch one workload to whichever backend object
+they are handed, so differential tests can sweep backends through a
+single code path.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.graph.csr import Graph
+from repro.parallel import threads as _threads
+from repro.parallel.processes import ProcessBackend, shared_memory_available
+from repro.parallel.threads import ThreadBackend
+from repro.similarity.weighted import SimilarityConfig
+from repro.validation import check_eps_mu
+
+__all__ = [
+    "BACKEND_NAMES",
+    "Backend",
+    "resolve_backend_name",
+    "create_backend",
+    "backend_kind",
+    "close_backend",
+    "run_range_queries",
+    "run_edge_similarities",
+    "run_neighbor_updates",
+]
+
+#: Names accepted everywhere a backend is selected.
+BACKEND_NAMES = ("thread", "process", "auto")
+
+Backend = Union[ThreadBackend, ProcessBackend]
+
+
+def resolve_backend_name(name: str = "auto") -> str:
+    """Resolve a registry name to ``"thread"`` or ``"process"``."""
+    if name not in BACKEND_NAMES:
+        raise SimulationError(
+            f"unknown backend {name!r}; one of {BACKEND_NAMES}"
+        )
+    if name != "auto":
+        return name
+    cores = os.cpu_count() or 1
+    if cores > 1 and shared_memory_available():
+        return "process"
+    return "thread"
+
+
+def create_backend(
+    name: str = "auto",
+    *,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+) -> Backend:
+    """Build the backend object a registry name stands for."""
+    resolved = resolve_backend_name(name)
+    if resolved == "thread":
+        return ThreadBackend(
+            threads=workers or (os.cpu_count() or 1),
+            chunk_size=chunk_size or 64,
+        )
+    return ProcessBackend(workers=workers, chunk_size=chunk_size or 256)
+
+
+def backend_kind(backend: Backend) -> str:
+    """Effective kind of a backend object (fallback-aware)."""
+    if isinstance(backend, ProcessBackend):
+        return backend.kind
+    return "thread"
+
+
+def close_backend(backend: Backend) -> None:
+    """Release backend resources (no-op for thread backends)."""
+    if isinstance(backend, ProcessBackend):
+        backend.close()
+
+
+# ----------------------------------------------------------------------
+# uniform workload dispatch
+# ----------------------------------------------------------------------
+def run_range_queries(
+    graph: Graph,
+    vertices: Sequence[int],
+    epsilon: float,
+    *,
+    backend: Backend,
+    config: SimilarityConfig | None = None,
+) -> List[np.ndarray]:
+    """ε-neighborhood batch on whichever backend object is handed in."""
+    check_eps_mu(epsilon=epsilon)
+    if isinstance(backend, ProcessBackend):
+        return backend.map_range_queries(
+            graph, vertices, epsilon, config=config
+        )
+    return _threads.parallel_range_queries(
+        graph, vertices, epsilon, backend=backend, config=config
+    )
+
+
+def run_edge_similarities(
+    graph: Graph,
+    edges: Sequence[Tuple[int, int]],
+    *,
+    backend: Backend,
+    config: SimilarityConfig | None = None,
+) -> np.ndarray:
+    """Edge σ batch on whichever backend object is handed in."""
+    if isinstance(backend, ProcessBackend):
+        return backend.map_edge_similarities(graph, edges, config=config)
+    return _threads.parallel_edge_similarities(
+        graph, edges, backend=backend, config=config
+    )
+
+
+def run_neighbor_updates(
+    graph: Graph,
+    vertices: Sequence[int],
+    epsilon: float,
+    *,
+    backend: Backend,
+    config: SimilarityConfig | None = None,
+    out: np.ndarray | None = None,
+) -> Tuple[List[np.ndarray], np.ndarray]:
+    """Neighbor-touch counting on whichever backend object is handed in."""
+    check_eps_mu(epsilon=epsilon)
+    if isinstance(backend, ProcessBackend):
+        return backend.map_neighbor_updates(
+            graph, vertices, epsilon, config=config, out=out
+        )
+    return _threads.parallel_neighbor_updates(
+        graph, vertices, epsilon, backend=backend, config=config, out=out
+    )

@@ -1,0 +1,548 @@
+"""Real multicore execution: a shared-memory process-pool backend.
+
+:class:`~repro.parallel.threads.ThreadBackend` proves result parity but
+is GIL-bound; this module is the path that actually escapes the GIL.
+The graph's CSR arrays (``indptr``, ``indices``, ``weights``) and the
+oracle's precomputed invariants (``l_p``, ``w_p``, linear sums) are
+published once through :mod:`multiprocessing.shared_memory`; worker
+processes attach by name and rebuild zero-copy numpy views, so the only
+per-task traffic is the vertex/edge ids going out and the (small)
+ε-neighborhoods coming back.  The σ-evaluation / range-query phase is
+embarrassingly parallel (no shared writes at all — shared updates are
+reduced in the parent), which is exactly the phase the paper's Figure 4
+and the parallel-SCAN literature identify as the scalability carrier.
+
+Lifecycle contract:
+
+* the pool and the shared segments spin up lazily on the first parallel
+  call and are reused while the (graph, similarity-config) pair stays
+  the same;
+* :meth:`ProcessBackend.close` (or the context manager, or the GC
+  finalizer) tears both down and **unlinks** the segments even when the
+  workload raised;
+* when shared memory is unavailable (restricted ``/dev/shm``, forced
+  off via :data:`FORCE_FALLBACK_ENV`) the backend degrades to an
+  equivalent :class:`~repro.parallel.threads.ThreadBackend` — same
+  results, no real speedup — unless ``allow_fallback=False``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.graph.csr import Graph
+from repro.parallel import threads as _threads
+from repro.parallel.threads import ThreadBackend
+from repro.similarity.weighted import SimilarityConfig, SimilarityOracle
+from repro.validation import check_eps_mu
+
+__all__ = [
+    "FORCE_FALLBACK_ENV",
+    "shared_memory_available",
+    "SharedGraph",
+    "ProcessBackend",
+    "parallel_range_queries",
+    "parallel_edge_similarities",
+    "parallel_neighbor_updates",
+]
+
+#: Setting this environment variable (to any non-empty value) makes the
+#: backend behave as if shared memory were unavailable — the CI smoke
+#: tests use it to exercise the thread-fallback path deterministically.
+FORCE_FALLBACK_ENV = "REPRO_FORCE_THREAD_FALLBACK"
+
+#: Labels of the arrays a :class:`SharedGraph` publishes.
+_ARRAY_LABELS = (
+    "indptr", "indices", "weights", "lengths", "max_weights", "linear_sums",
+)
+
+
+def shared_memory_available() -> bool:
+    """Whether POSIX shared memory works here (and is not forced off)."""
+    if os.environ.get(FORCE_FALLBACK_ENV):
+        return False
+    try:
+        probe = shared_memory.SharedMemory(create=True, size=8)
+    except (OSError, ValueError):
+        return False
+    try:
+        probe.close()
+        probe.unlink()
+    except OSError:  # pragma: no cover - cleanup best effort
+        pass
+    return True
+
+
+# ----------------------------------------------------------------------
+# shared segments (owner side)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _SharedSpec:
+    """Picklable description of one shared-memory-backed array."""
+
+    shm_name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+@dataclass(frozen=True)
+class SharedGraphHandle:
+    """Everything a worker needs to rebuild the graph and oracle."""
+
+    specs: Tuple[Tuple[str, _SharedSpec], ...]
+    similarity: SimilarityConfig
+
+
+def _release_segments(segments: Tuple[shared_memory.SharedMemory, ...]) -> None:
+    """Close and unlink owner-side segments; idempotent and exception-safe."""
+    for shm in segments:
+        try:
+            shm.close()
+        except (OSError, BufferError):  # pragma: no cover - best effort
+            pass
+        try:
+            shm.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+
+
+class SharedGraph:
+    """Owner-side copy of one graph (plus oracle invariants) in shared memory.
+
+    Creating one copies the six arrays into fresh segments exactly once;
+    :attr:`handle` is the picklable attachment recipe handed to workers.
+    The segments are unlinked by :meth:`close`, the context manager, or —
+    as a last resort — a GC finalizer, so abandoned instances cannot leak
+    ``/dev/shm`` entries.
+    """
+
+    def __init__(self, graph: Graph, config: SimilarityConfig | None = None) -> None:
+        config = config or SimilarityConfig()
+        config.validate()
+        oracle = SimilarityOracle(graph, config)
+        lengths, max_weights, linear_sums = oracle.precomputed_arrays()
+        arrays = {
+            "indptr": graph.indptr,
+            "indices": graph.indices,
+            "weights": graph.weights,
+            "lengths": lengths,
+            "max_weights": max_weights,
+            "linear_sums": linear_sums,
+        }
+        segments: List[shared_memory.SharedMemory] = []
+        specs: List[Tuple[str, _SharedSpec]] = []
+        try:
+            for label in _ARRAY_LABELS:
+                arr = np.ascontiguousarray(arrays[label])
+                # Zero-length arrays are legal (edgeless graphs) but
+                # zero-byte segments are not; round up to one byte.
+                shm = shared_memory.SharedMemory(
+                    create=True, size=max(arr.nbytes, 1)
+                )
+                segments.append(shm)
+                view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+                view[...] = arr
+                del view  # drop the exported buffer so close() can unmap
+                specs.append(
+                    (label, _SharedSpec(shm.name, tuple(arr.shape), arr.dtype.str))
+                )
+        except BaseException:
+            _release_segments(tuple(segments))
+            raise
+        self._segments = tuple(segments)
+        self.handle = SharedGraphHandle(
+            specs=tuple(specs), similarity=config
+        )
+        self._finalizer = weakref.finalize(
+            self, _release_segments, self._segments
+        )
+
+    def close(self) -> None:
+        """Close and unlink every segment (safe to call repeatedly)."""
+        self._finalizer()
+
+    @property
+    def closed(self) -> bool:
+        return not self._finalizer.alive
+
+    def __enter__(self) -> "SharedGraph":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+#: Per-process attachment state, set once by the pool initializer.  Each
+#: worker process has its own copy of this module, so the global is
+#: process-local by construction and never shared between workers.
+_WORKER_STATE: Optional[dict] = None
+
+
+def _worker_init(handle: SharedGraphHandle) -> None:
+    """Attach the shared segments and rebuild graph + oracle, once.
+
+    Workers never unlink: pool processes share the parent's resource
+    tracker, so attaching re-registers the same name as a set no-op and
+    the parent's single unlink is the whole cleanup story.
+    """
+    global _WORKER_STATE
+    segments = []
+    views = {}
+    for label, spec in handle.specs:
+        shm = shared_memory.SharedMemory(name=spec.shm_name)
+        segments.append(shm)
+        views[label] = np.ndarray(
+            spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf
+        )
+    # validate=False: the arrays were validated when the owner built the
+    # graph; ascontiguousarray on an aligned view is zero-copy.
+    graph = Graph(
+        views["indptr"], views["indices"], views["weights"], validate=False
+    )
+    oracle = SimilarityOracle(
+        graph,
+        handle.similarity,
+        precomputed=(
+            views["lengths"], views["max_weights"], views["linear_sums"]
+        ),
+    )
+    # Process-local cache: this module instance lives in exactly one
+    # worker process, so the write is not shared state.  # repro: allow[R1]
+    _WORKER_STATE = {
+        "segments": segments,
+        "graph": graph,
+        "oracle": oracle,
+    }
+
+
+def _worker_oracle() -> SimilarityOracle:
+    if _WORKER_STATE is None:  # pragma: no cover - defensive
+        raise SimulationError("worker used before pool initialization")
+    return _WORKER_STATE["oracle"]
+
+
+def _range_query_chunk(task: Tuple[Sequence[int], float]) -> List[np.ndarray]:
+    vertices, epsilon = task
+    oracle = _worker_oracle()
+    return [oracle.eps_neighborhood(int(v), epsilon) for v in vertices]
+
+
+def _edge_sigma_chunk(task: Sequence[Tuple[int, int]]) -> np.ndarray:
+    oracle = _worker_oracle()
+    return np.asarray(
+        [oracle.sigma_unrecorded(int(u), int(v)) for u, v in task],
+        dtype=np.float64,
+    )
+
+
+# ----------------------------------------------------------------------
+# the backend
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _FallbackResult:
+    """Marks a result produced by the retry path (already final-shaped)."""
+
+    value: object
+
+
+class ProcessBackend:
+    """Chunked parallel map over a pool of real processes.
+
+    Mirrors :class:`~repro.parallel.threads.ThreadBackend`'s chunked-map
+    API for the three SCAN workloads (range queries, edge σ, neighbor
+    updates).  Worker callables must be module-level functions (they are
+    pickled); closures stay the thread backend's territory.
+
+    Parameters
+    ----------
+    workers:
+        Pool width; defaults to ``os.cpu_count()``.
+    chunk_size:
+        Work items handed to a worker per task, as in OpenMP's
+        ``schedule(dynamic, chunk)``.
+    allow_fallback:
+        Degrade to an equivalent thread backend when shared memory is
+        unavailable (or forced off); when ``False`` such conditions
+        raise :class:`~repro.errors.SimulationError` instead.
+    start_method:
+        ``multiprocessing`` start method; defaults to ``fork`` where
+        available (cheapest on Linux) and the platform default elsewhere.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        chunk_size: int = 256,
+        *,
+        allow_fallback: bool = True,
+        start_method: str | None = None,
+    ) -> None:
+        self.workers = int(workers) if workers is not None else (os.cpu_count() or 1)
+        self.chunk_size = int(chunk_size)
+        self.allow_fallback = bool(allow_fallback)
+        self.start_method = start_method
+        self._shared: Optional[SharedGraph] = None
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._graph: Optional[Graph] = None
+        self._config: Optional[SimilarityConfig] = None
+        self._fallback: Optional[ThreadBackend] = None
+
+    # -- lifecycle ------------------------------------------------------
+    def validate(self) -> None:
+        if self.workers < 1:
+            raise SimulationError("need at least one worker")
+        if self.chunk_size < 1:
+            raise SimulationError("chunk_size must be >= 1")
+
+    @property
+    def kind(self) -> str:
+        """``"process"``, or ``"thread"`` once the fallback engaged."""
+        return "thread" if self._fallback is not None else "process"
+
+    def close(self) -> None:
+        """Shut the pool down and unlink the shared segments."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+        shared, self._shared = self._shared, None
+        if shared is not None:
+            shared.close()
+        self._graph = None
+        self._config = None
+
+    def __enter__(self) -> "ProcessBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- session management --------------------------------------------
+    def _thread_fallback(self, reason: str) -> ThreadBackend:
+        if not self.allow_fallback:
+            raise SimulationError(
+                f"process backend unavailable ({reason}) and fallback "
+                "is disabled"
+            )
+        if self._fallback is None:
+            self._fallback = ThreadBackend(
+                threads=self.workers, chunk_size=self.chunk_size
+            )
+        return self._fallback
+
+    def _ensure_session(
+        self, graph: Graph, config: SimilarityConfig
+    ) -> Optional[ThreadBackend]:
+        """Spin up (or reuse) the pool; a ThreadBackend means fallback."""
+        self.validate()
+        if not shared_memory_available():
+            return self._thread_fallback("shared memory unavailable")
+        if (
+            self._executor is not None
+            and self._graph is graph
+            and self._config == config
+        ):
+            return None
+        self.close()
+        try:
+            self._shared = SharedGraph(graph, config)
+            mp_context = None
+            method = self.start_method
+            if method is None and "fork" in multiprocessing.get_all_start_methods():
+                method = "fork"
+            if method is not None:
+                mp_context = multiprocessing.get_context(method)
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=mp_context,
+                initializer=_worker_init,
+                initargs=(self._shared.handle,),
+            )
+        except (OSError, ValueError) as exc:
+            self.close()
+            return self._thread_fallback(f"pool setup failed: {exc}")
+        self._graph = graph
+        self._config = config
+        return None
+
+    def _chunks(self, items: list) -> List[list]:
+        return [
+            items[i : i + self.chunk_size]
+            for i in range(0, len(items), self.chunk_size)
+        ]
+
+    def _run_chunks(self, fn, tasks, retry):
+        """Order-preserving map over the pool; one barrier at the end.
+
+        A dead pool (OOM-killed worker, crashed interpreter) engages the
+        thread fallback and re-runs the whole batch via ``retry``; the
+        retried result is returned wrapped in :class:`_FallbackResult`
+        because it is already in the caller's final shape.
+        """
+        assert self._executor is not None
+        try:
+            return list(self._executor.map(fn, tasks))
+        except BrokenProcessPool as exc:
+            self.close()
+            if not self.allow_fallback:
+                raise SimulationError(f"process pool died: {exc}") from exc
+            self._thread_fallback(f"process pool died: {exc}")
+            return _FallbackResult(retry())
+
+    # -- the three SCAN workloads --------------------------------------
+    def map_range_queries(
+        self,
+        graph: Graph,
+        vertices: Sequence[int],
+        epsilon: float,
+        *,
+        config: SimilarityConfig | None = None,
+    ) -> List[np.ndarray]:
+        """ε-neighborhoods for a batch of vertices (σ-evaluation phase)."""
+        check_eps_mu(epsilon=epsilon)
+        config = config or SimilarityConfig()
+        items = [int(v) for v in vertices]
+        if not items:
+            return []
+
+        def sequentialize():
+            return _threads.parallel_range_queries(
+                graph, items, epsilon, backend=self._fallback, config=config
+            )
+
+        if self._ensure_session(graph, config) is not None:
+            return sequentialize()
+        tasks = [(chunk, float(epsilon)) for chunk in self._chunks(items)]
+        out = self._run_chunks(_range_query_chunk, tasks, sequentialize)
+        if isinstance(out, _FallbackResult):
+            return out.value
+        return [hood for chunk in out for hood in chunk]
+
+    def map_edge_similarities(
+        self,
+        graph: Graph,
+        edges: Sequence[Tuple[int, int]],
+        *,
+        config: SimilarityConfig | None = None,
+    ) -> np.ndarray:
+        """σ for a batch of edges (the ideal algorithm's parallel block)."""
+        config = config or SimilarityConfig()
+        items = [(int(u), int(v)) for u, v in edges]
+        if not items:
+            return np.zeros(0, dtype=np.float64)
+
+        def sequentialize():
+            return _threads.parallel_edge_similarities(
+                graph, items, backend=self._fallback, config=config
+            )
+
+        if self._ensure_session(graph, config) is not None:
+            return sequentialize()
+        tasks = self._chunks(items)
+        out = self._run_chunks(_edge_sigma_chunk, tasks, sequentialize)
+        if isinstance(out, _FallbackResult):
+            return out.value
+        return np.concatenate(out)
+
+    def map_neighbor_updates(
+        self,
+        graph: Graph,
+        vertices: Sequence[int],
+        epsilon: float,
+        *,
+        config: SimilarityConfig | None = None,
+        out: np.ndarray | None = None,
+    ) -> Tuple[List[np.ndarray], np.ndarray]:
+        """Range queries plus the shared ε-touch counts.
+
+        Workers never write shared state: each returns its chunk's
+        neighborhoods and the parent reduces them into the counter array
+        (a sum reduction is arithmetically identical to the thread
+        backend's one-atomic-per-neighbor updates).
+        """
+        check_eps_mu(epsilon=epsilon)
+        hoods = self.map_range_queries(
+            graph, vertices, epsilon, config=config
+        )
+        flat = (
+            np.concatenate(hoods)
+            if hoods
+            else np.zeros(0, dtype=np.int64)
+        )
+        counts = np.bincount(flat, minlength=graph.num_vertices).astype(np.int64)
+        if out is None:
+            return hoods, counts
+        out[...] = np.asarray(out) + counts
+        return hoods, out
+
+
+# ----------------------------------------------------------------------
+# module-level conveniences mirroring repro.parallel.threads
+# ----------------------------------------------------------------------
+def parallel_range_queries(
+    graph: Graph,
+    vertices: Sequence[int],
+    epsilon: float,
+    *,
+    backend: ProcessBackend | None = None,
+    config: SimilarityConfig | None = None,
+) -> List[np.ndarray]:
+    """ε-neighborhoods on real processes; owns a throwaway backend if needed."""
+    check_eps_mu(epsilon=epsilon)
+    if backend is not None:
+        return backend.map_range_queries(graph, vertices, epsilon, config=config)
+    with ProcessBackend() as owned:
+        return owned.map_range_queries(graph, vertices, epsilon, config=config)
+
+
+def parallel_edge_similarities(
+    graph: Graph,
+    edges: Sequence[Tuple[int, int]],
+    *,
+    backend: ProcessBackend | None = None,
+    config: SimilarityConfig | None = None,
+) -> np.ndarray:
+    """Edge σ batch on real processes; owns a throwaway backend if needed."""
+    if backend is not None:
+        return backend.map_edge_similarities(graph, edges, config=config)
+    with ProcessBackend() as owned:
+        return owned.map_edge_similarities(graph, edges, config=config)
+
+
+def parallel_neighbor_updates(
+    graph: Graph,
+    vertices: Sequence[int],
+    epsilon: float,
+    *,
+    backend: ProcessBackend | None = None,
+    config: SimilarityConfig | None = None,
+    out: np.ndarray | None = None,
+) -> Tuple[List[np.ndarray], np.ndarray]:
+    """Neighbor-touch counting on real processes (parent-side reduction)."""
+    check_eps_mu(epsilon=epsilon)
+    if backend is not None:
+        return backend.map_neighbor_updates(
+            graph, vertices, epsilon, config=config, out=out
+        )
+    with ProcessBackend() as owned:
+        return owned.map_neighbor_updates(
+            graph, vertices, epsilon, config=config, out=out
+        )

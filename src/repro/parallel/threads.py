@@ -115,6 +115,7 @@ def parallel_neighbor_updates(
     *,
     backend: ThreadBackend | None = None,
     config: SimilarityConfig | None = None,
+    out: np.ndarray | None = None,
 ) -> Tuple[List[np.ndarray], np.ndarray]:
     """Step 1's shared update: count how often each vertex is ε-touched.
 
@@ -122,13 +123,19 @@ def parallel_neighbor_updates(
     neighbor update** (Figure 4 lines 14-15) into the shared counter
     array — exactly the concurrency contract rule R1 of
     :mod:`repro.analysis` enforces.  Returns the per-vertex
-    ε-neighborhoods and the shared touch counts.
+    ε-neighborhoods and the shared touch counts.  ``out`` supplies the
+    counter array to update in place (e.g. a
+    :class:`~repro.analysis.runtime.ShadowArray` under the runtime race
+    checker); a fresh zero array is used otherwise.
     """
     check_eps_mu(epsilon=epsilon)
     backend = backend or ThreadBackend()
     config = config or SimilarityConfig()
     oracle = SimilarityOracle(graph, config)
-    touched = np.zeros(graph.num_vertices, dtype=np.int64)
+    touched = (
+        out if out is not None
+        else np.zeros(graph.num_vertices, dtype=np.int64)
+    )
 
     def update(v: int) -> np.ndarray:
         hood = oracle.eps_neighborhood(int(v), epsilon)

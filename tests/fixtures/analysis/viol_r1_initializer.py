@@ -1,0 +1,33 @@
+"""Seeded R1 violation: unguarded shared write inside a pool initializer."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+_CACHE = {}
+
+
+def bad_init(handle):
+    global _CACHE
+    _CACHE = {"handle": handle}  # R1: raw write to module global
+
+
+def good_init(handle):
+    local = {"handle": handle}
+    return local
+
+
+def worker(task):
+    return _CACHE.get("handle"), task
+
+
+def run_bad(handle, tasks):
+    with ProcessPoolExecutor(
+        max_workers=2, initializer=bad_init, initargs=(handle,)
+    ) as pool:
+        return list(pool.map(worker, tasks))
+
+
+def run_good(handle, tasks):
+    with ProcessPoolExecutor(
+        max_workers=2, initializer=good_init, initargs=(handle,)
+    ) as pool:
+        return list(pool.map(worker, tasks))

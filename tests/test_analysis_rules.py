@@ -45,6 +45,22 @@ class TestSeededViolations:
         ]
         assert guarded_lines == []
 
+    def test_r1_fires_on_pool_initializer(self):
+        findings = [
+            f
+            for f in findings_for("viol_r1_initializer.py")
+            if f.rule == "R1"
+        ]
+        assert len(findings) == 1
+        assert "'_CACHE'" in findings[0].message
+        assert "'bad_init'" in findings[0].message
+
+    def test_r1_accepts_local_only_initializer(self):
+        messages = " ".join(
+            f.message for f in findings_for("viol_r1_initializer.py")
+        )
+        assert "good_init" not in messages
+
     def test_r2_fires_on_banned_imports(self):
         findings = [f for f in findings_for("viol_r2.py") if f.rule == "R2"]
         assert len(findings) == 2

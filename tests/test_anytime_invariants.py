@@ -1,0 +1,129 @@
+"""Property-based anytime invariants: suspension is free, progress is monotone.
+
+The paper's interactivity story rests on three invariants of the anytime
+iteration:
+
+* suspending after *any* iteration boundary and resuming later yields
+  exactly the clustering of an uninterrupted ``run()``;
+* a vertex that reached a core state never demotes (the state machine
+  is a DAG toward PROCESSED_CORE);
+* the cumulative statistics counters never decrease between snapshots.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import AnySCAN, AnyScanConfig
+from repro.anytime import AnytimeRunner
+from repro.graph.generators.random_graphs import (
+    gnm_random_graph,
+    planted_partition_graph,
+)
+
+SLOW_SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _config(mu, eps, seed, block=16):
+    # Small blocks force many anytime iterations on small graphs.
+    return AnyScanConfig(
+        mu=mu, epsilon=eps, alpha=block, beta=block, seed=seed,
+        record_costs=False,
+    )
+
+
+def _drain_stepwise(graph, config):
+    algo = AnySCAN(graph, config)
+    runner = AnytimeRunner(algo)
+    snapshots = []
+    while True:
+        snap = runner.step()
+        if snap is None:
+            break
+        snapshots.append(snap)
+    return algo.result(), snapshots
+
+
+class TestSuspendResume:
+    def test_stepwise_equals_straight_run(self):
+        graph = gnm_random_graph(90, 270, seed=2)
+        config = _config(3, 0.5, seed=2)
+        stepped, _ = _drain_stepwise(graph, config)
+        straight = AnySCAN(graph, config).run()
+        np.testing.assert_array_equal(stepped.labels, straight.labels)
+        np.testing.assert_array_equal(stepped.roles, straight.roles)
+
+    def test_suspend_at_every_boundary(self):
+        """Stop after k iterations, then finish — for every k."""
+        graph = planted_partition_graph([25, 25, 25], 0.3, 0.03, seed=4)
+        config = _config(3, 0.5, seed=4)
+        straight = AnySCAN(graph, config).run()
+        total = len(_drain_stepwise(graph, config)[1])
+        assert total >= 4, "need several iterations to make this meaningful"
+        for k in range(total):
+            algo = AnySCAN(graph, config)
+            runner = AnytimeRunner(algo)
+            for _ in range(k):
+                runner.step()
+            runner.finish()
+            resumed = algo.result()
+            np.testing.assert_array_equal(straight.labels, resumed.labels)
+            np.testing.assert_array_equal(straight.roles, resumed.roles)
+
+    @SLOW_SETTINGS
+    @given(
+        seed=st.integers(0, 50),
+        mu=st.integers(2, 4),
+        eps=st.sampled_from([0.3, 0.5, 0.7]),
+    )
+    def test_randomized_stepwise_equals_run(self, seed, mu, eps):
+        graph = gnm_random_graph(60, 180, seed=seed)
+        config = _config(mu, eps, seed=seed)
+        stepped, _ = _drain_stepwise(graph, config)
+        straight = AnySCAN(graph, config).run()
+        np.testing.assert_array_equal(stepped.labels, straight.labels)
+        np.testing.assert_array_equal(stepped.roles, straight.roles)
+
+
+class TestMonotoneProgress:
+    def test_core_states_never_demote(self):
+        graph = gnm_random_graph(80, 320, seed=6)
+        algo = AnySCAN(graph, _config(3, 0.4, seed=6))
+        runner = AnytimeRunner(algo)
+        cores_so_far = set()
+        while runner.step() is not None:
+            now = {
+                v
+                for v in range(graph.num_vertices)
+                if algo.states.is_core(v)
+            }
+            assert cores_so_far <= now, (
+                f"core set shrank: lost {cores_so_far - now}"
+            )
+            cores_so_far = now
+
+    @SLOW_SETTINGS
+    @given(seed=st.integers(0, 50))
+    def test_statistics_counters_nondecreasing(self, seed):
+        graph = gnm_random_graph(60, 200, seed=seed)
+        _, snapshots = _drain_stepwise(graph, _config(3, 0.5, seed=seed))
+        assert snapshots, "run produced no snapshots"
+        for prev, cur in zip(snapshots, snapshots[1:]):
+            assert cur.iteration == prev.iteration + 1
+            assert cur.work_units >= prev.work_units
+            assert cur.sigma_evaluations >= prev.sigma_evaluations
+            assert cur.union_calls >= prev.union_calls
+            assert cur.wall_time >= prev.wall_time
+        assert snapshots[-1].final
+
+    def test_assigned_fraction_reaches_everyone_processed(self):
+        graph = gnm_random_graph(80, 240, seed=8)
+        algo = AnySCAN(graph, _config(3, 0.5, seed=8))
+        runner = AnytimeRunner(algo)
+        runner.finish()
+        assert algo.finished
+        stats = algo.statistics()
+        assert stats["sigma_evaluations"] >= 0

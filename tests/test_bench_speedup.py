@@ -1,0 +1,76 @@
+"""The measured-speedup bench experiment, quick mode (CI smoke)."""
+
+import pytest
+
+from repro.bench.__main__ import main as bench_main
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.core.parallel import MeasuredSpeedup, measured_sigma_speedups
+from repro.errors import SimulationError
+from repro.graph.generators.random_graphs import gnm_random_graph
+from repro.parallel.processes import FORCE_FALLBACK_ENV
+
+
+class TestRegistry:
+    def test_speedup_is_registered(self):
+        assert "speedup" in EXPERIMENTS
+
+    def test_quick_run_shape(self):
+        tables = run_experiment("speedup", quick=True)
+        assert len(tables) == 1
+        table = tables[0]
+        assert table.headers[0] == "backend"
+        assert [h for h in table.headers[1:]] == ["t=1", "t=2"]
+        backends = table.column("backend")
+        assert any(b.startswith("process") for b in backends)
+        assert "thread" in backends
+        assert "simulated" in backends
+        # Every row is normalized to its own 1-worker baseline.
+        for row in table.rows:
+            assert row[1] == pytest.approx(1.0)
+
+    def test_quick_run_under_forced_fallback(self, monkeypatch):
+        """The shm-off path must still produce a complete table."""
+        monkeypatch.setenv(FORCE_FALLBACK_ENV, "1")
+        tables = run_experiment("speedup", quick=True)
+        backends = tables[0].column("backend")
+        # The process row records that it degraded to threads.
+        assert any("thread" in b for b in backends if b.startswith("process"))
+        assert any("fell back" in note for note in tables[0].notes)
+
+
+class TestBenchCli:
+    def test_main_renders_table(self, capsys):
+        assert bench_main(["speedup", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "measured sigma-phase speedup" in out
+        assert "simulated" in out
+
+
+class TestMeasuredSpeedups:
+    def test_baseline_is_first_worker_count(self):
+        graph = gnm_random_graph(120, 360, seed=5)
+        rows = measured_sigma_speedups(
+            graph, [1, 2], backend="thread", repeats=2
+        )
+        assert [r.workers for r in rows] == [1, 2]
+        assert isinstance(rows[0], MeasuredSpeedup)
+        assert rows[0].speedup == pytest.approx(1.0)
+        assert all(r.kind == "thread" for r in rows)
+        assert all(r.seconds > 0 for r in rows)
+
+    def test_vertex_subset_and_chunking(self):
+        graph = gnm_random_graph(120, 360, seed=5)
+        rows = measured_sigma_speedups(
+            graph, [1], backend="thread", vertices=[0, 1, 2], chunk_size=2
+        )
+        assert len(rows) == 1
+
+    def test_empty_worker_counts_rejected(self):
+        graph = gnm_random_graph(20, 40, seed=5)
+        with pytest.raises(SimulationError):
+            measured_sigma_speedups(graph, [])
+
+    def test_bad_repeats_rejected(self):
+        graph = gnm_random_graph(20, 40, seed=5)
+        with pytest.raises(SimulationError):
+            measured_sigma_speedups(graph, [1], repeats=0)

@@ -84,3 +84,60 @@ class TestWeighted:
             [str(path), "--weighted", "--mu", "2", "--algorithm", "scan"]
         ) == 0
         assert "clusters" in capsys.readouterr().out
+
+
+class TestBackendFlag:
+    def _summary(self, capsys):
+        captured = capsys.readouterr()
+        return captured.out, captured.err
+
+    def test_sequential_and_parallel_agree(self, graph_file, capsys):
+        outputs = []
+        for backend in ("sequential", "thread", "process", "auto"):
+            args = [graph_file, "--mu", "4", "--algorithm", "scan"]
+            if backend != "sequential":
+                args += ["--backend", backend, "--workers", "2"]
+            assert main(args) == 0
+            outputs.append(self._summary(capsys)[0])
+        assert len(set(outputs)) == 1, outputs
+
+    def test_resolved_kind_reported(self, graph_file, capsys):
+        assert main(
+            [graph_file, "--algorithm", "scan", "--backend", "thread"]
+        ) == 0
+        err = self._summary(capsys)[1]
+        assert "resolved to thread" in err
+
+    def test_forced_fallback_path(self, graph_file, capsys, monkeypatch):
+        from repro.parallel.processes import FORCE_FALLBACK_ENV
+
+        monkeypatch.setenv(FORCE_FALLBACK_ENV, "1")
+        assert main(
+            [graph_file, "--mu", "4", "--algorithm", "scan",
+             "--backend", "process"]
+        ) == 0
+        out, err = self._summary(capsys)
+        assert "clusters" in out
+        assert "resolved to thread" in err  # fallback engaged and reported
+
+    def test_backend_with_non_scan_algorithm_rejected(self, graph_file, capsys):
+        assert main([graph_file, "--backend", "process"]) == 2
+        assert main(
+            [graph_file, "--algorithm", "pscan", "--backend", "thread"]
+        ) == 2
+
+    def test_backend_with_budget_rejected(self, graph_file, capsys):
+        code = main(
+            [graph_file, "--algorithm", "scan", "--backend", "thread",
+             "--budget-work", "100"]
+        )
+        assert code == 2
+
+    def test_labels_written_from_parallel_run(self, graph_file, tmp_path, capsys):
+        out_file = tmp_path / "labels.txt"
+        assert main(
+            [graph_file, "--mu", "4", "--algorithm", "scan",
+             "--backend", "process", "--workers", "2",
+             "--output", str(out_file)]
+        ) == 0
+        assert len(out_file.read_text().strip().splitlines()) == 301

@@ -1,0 +1,128 @@
+"""Cross-backend differential battery: one clustering, three executions.
+
+The conformance contract of the PR: sequential ``scan``, ``parallel_scan``
+on the thread backend, and ``parallel_scan`` on the shared-memory process
+backend must produce **byte-identical** labels and roles for the same
+seed, on every graph family and every (ε, μ) cell of the grid.  AnySCAN
+is held to the paper's own equivalence (Lemma 4): identical member sets,
+identical core partition, valid border attachments — shared borders may
+legitimately land in a different cluster.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.scan import scan
+from repro.core import AnySCAN, AnyScanConfig
+from repro.core.backend_scan import parallel_scan
+from repro.graph.generators.lfr import LFRParams, lfr_graph
+from repro.graph.generators.random_graphs import (
+    gnm_random_graph,
+    planted_partition_graph,
+)
+from repro.metrics.comparison import explain_difference
+from repro.parallel.processes import ProcessBackend, shared_memory_available
+from repro.parallel.threads import ThreadBackend
+from repro.similarity.weighted import SimilarityConfig, SimilarityOracle
+
+GRID = [(0.3, 2), (0.5, 3), (0.7, 4)]  # (epsilon, mu)
+
+
+def _lfr():
+    graph, _ = lfr_graph(
+        LFRParams(n=200, average_degree=8, max_degree=24, mixing=0.2, seed=9)
+    )
+    return graph
+
+
+GRAPHS = {
+    "gnm": lambda: gnm_random_graph(150, 450, seed=21),
+    "planted": lambda: planted_partition_graph(
+        [40, 40, 40], 0.30, 0.02, seed=22
+    ),
+    "lfr": _lfr,
+}
+
+
+@pytest.fixture(scope="module", params=sorted(GRAPHS))
+def family(request):
+    return request.param, GRAPHS[request.param]()
+
+
+@pytest.fixture(scope="module")
+def process_pool():
+    if not shared_memory_available():
+        pytest.skip("POSIX shared memory unavailable")
+    with ProcessBackend(workers=2, chunk_size=32) as backend:
+        yield backend
+
+
+class TestByteIdenticalExecutions:
+    @pytest.mark.parametrize("eps,mu", GRID)
+    def test_thread_matches_sequential(self, family, eps, mu):
+        _, graph = family
+        ref = scan(graph, mu, eps, seed=0)
+        got = parallel_scan(
+            graph,
+            mu,
+            eps,
+            backend=ThreadBackend(threads=3, chunk_size=13),
+            seed=0,
+        )
+        np.testing.assert_array_equal(ref.labels, got.labels)
+        np.testing.assert_array_equal(ref.roles, got.roles)
+
+    @pytest.mark.parametrize("eps,mu", GRID)
+    def test_process_matches_sequential(self, family, eps, mu, process_pool):
+        _, graph = family
+        ref = scan(graph, mu, eps, seed=0)
+        got = parallel_scan(graph, mu, eps, backend=process_pool, seed=0)
+        np.testing.assert_array_equal(ref.labels, got.labels)
+        np.testing.assert_array_equal(ref.roles, got.roles)
+
+    def test_identity_holds_across_seeds(self, family, process_pool):
+        _, graph = family
+        for seed in (1, 7):
+            ref = scan(graph, 3, 0.5, seed=seed)
+            got = parallel_scan(
+                graph, 3, 0.5, backend=process_pool, seed=seed
+            )
+            np.testing.assert_array_equal(ref.labels, got.labels)
+
+    def test_worker_and_chunk_counts_are_invisible(self, family):
+        """Same labels whatever the pool geometry (thread side; the
+        process side is pinned by test_process_matches_sequential)."""
+        _, graph = family
+        ref = scan(graph, 3, 0.5, seed=0)
+        for threads, chunk in [(1, 1), (2, 7), (4, graph.num_vertices)]:
+            got = parallel_scan(
+                graph,
+                3,
+                0.5,
+                backend=ThreadBackend(threads=threads, chunk_size=chunk),
+                seed=0,
+            )
+            np.testing.assert_array_equal(ref.labels, got.labels)
+
+
+class TestAnyScanEquivalence:
+    @pytest.mark.parametrize("eps,mu", GRID)
+    def test_anyscan_is_scan_equivalent(self, family, eps, mu):
+        _, graph = family
+        ref = scan(graph, mu, eps, seed=0)
+        block = max(graph.num_vertices // 6, 16)
+        result = AnySCAN(
+            graph,
+            AnyScanConfig(mu=mu, epsilon=eps, alpha=block, beta=block),
+        ).run()
+        oracle = SimilarityOracle(graph, SimilarityConfig(pruning=False))
+        problems = explain_difference(graph, oracle, ref, result, mu, eps)
+        assert problems == [], "\n".join(problems)
+        # Member/noise sets are order-independent and must agree exactly.
+        # anySCAN may *under-report* cores it never had to range-query
+        # (a claimed border skips the check), so its core set is a sound
+        # subset of SCAN's exact one, never a superset.
+        assert set(ref.unclustered.tolist()) == set(
+            result.unclustered.tolist()
+        )
+        assert set(result.cores().tolist()) <= set(ref.cores().tolist())

@@ -1,0 +1,204 @@
+"""The shared-memory process backend: parity, lifecycle, fallback."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.graph.csr import Graph
+from repro.graph.generators.random_graphs import gnm_random_graph
+from repro.parallel import processes as procmod
+from repro.parallel.processes import (
+    FORCE_FALLBACK_ENV,
+    ProcessBackend,
+    SharedGraph,
+    shared_memory_available,
+)
+from repro.parallel.threads import (
+    parallel_edge_similarities as thread_edge_similarities,
+    parallel_neighbor_updates as thread_neighbor_updates,
+    parallel_range_queries as thread_range_queries,
+)
+from repro.similarity.weighted import SimilarityConfig, SimilarityOracle
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(),
+    reason="POSIX shared memory unavailable on this machine",
+)
+
+EPS = 0.4
+
+
+@pytest.fixture(scope="module")
+def medium():
+    return gnm_random_graph(150, 450, seed=3)
+
+
+@pytest.fixture(scope="module")
+def pool(medium):
+    """One pool reused across the module (spin-up is the slow part)."""
+    with ProcessBackend(workers=2, chunk_size=16) as backend:
+        # Warm the session once so individual tests stay fast.
+        backend.map_range_queries(medium, [0], EPS)
+        yield backend
+
+
+class TestSharedGraph:
+    def test_publishes_all_arrays(self, medium):
+        with SharedGraph(medium) as shared:
+            labels = [label for label, _ in shared.handle.specs]
+            assert labels == list(procmod._ARRAY_LABELS)
+
+    def test_segments_match_source_arrays(self, medium):
+        shared = SharedGraph(medium)
+        try:
+            specs = dict(shared.handle.specs)
+            assert specs["indptr"].shape == medium.indptr.shape
+            assert specs["indices"].shape == medium.indices.shape
+        finally:
+            shared.close()
+
+    def test_close_is_idempotent(self, medium):
+        shared = SharedGraph(medium)
+        assert not shared.closed
+        shared.close()
+        assert shared.closed
+        shared.close()  # second close must not raise
+
+    def test_edgeless_graph_roundtrip(self):
+        empty = Graph.from_edges(4, [])
+        with SharedGraph(empty) as shared:
+            assert len(shared.handle.specs) == len(procmod._ARRAY_LABELS)
+
+    def test_worker_reconstruction_matches_owner(self, medium):
+        """_worker_init rebuilds an oracle identical to a fresh one."""
+        with SharedGraph(medium) as shared:
+            procmod._worker_init(shared.handle)
+            try:
+                rebuilt = procmod._worker_oracle()
+                fresh = SimilarityOracle(medium, SimilarityConfig())
+                for v in range(0, medium.num_vertices, 17):
+                    np.testing.assert_array_equal(
+                        rebuilt.eps_neighborhood(v, EPS),
+                        fresh.eps_neighborhood(v, EPS),
+                    )
+            finally:
+                procmod._WORKER_STATE = None
+
+
+class TestParity:
+    def test_range_queries_match_threads(self, medium, pool):
+        got = pool.map_range_queries(medium, range(medium.num_vertices), EPS)
+        want = thread_range_queries(medium, range(medium.num_vertices), EPS)
+        assert len(got) == len(want)
+        for a, b in zip(got, want):
+            np.testing.assert_array_equal(a, b)
+
+    def test_edge_similarities_match_threads(self, medium, pool):
+        edges = [
+            (int(medium.indices[medium.indptr[v]]), v)
+            for v in range(medium.num_vertices)
+            if medium.indptr[v] < medium.indptr[v + 1]
+        ]
+        got = pool.map_edge_similarities(medium, edges)
+        want = thread_edge_similarities(medium, edges)
+        np.testing.assert_allclose(got, want)
+
+    def test_neighbor_updates_match_threads(self, medium, pool):
+        vertices = list(range(medium.num_vertices))
+        hoods_p, counts_p = pool.map_neighbor_updates(medium, vertices, EPS)
+        hoods_t, counts_t = thread_neighbor_updates(medium, vertices, EPS)
+        np.testing.assert_array_equal(counts_p, counts_t)
+        for a, b in zip(hoods_p, hoods_t):
+            np.testing.assert_array_equal(a, b)
+
+    def test_neighbor_updates_out_param_accumulates(self, medium, pool):
+        base = np.full(medium.num_vertices, 5, dtype=np.int64)
+        _, counts = pool.map_neighbor_updates(
+            medium, range(medium.num_vertices), EPS, out=base
+        )
+        assert counts is base
+        _, fresh = pool.map_neighbor_updates(
+            medium, range(medium.num_vertices), EPS
+        )
+        np.testing.assert_array_equal(base, fresh + 5)
+
+    def test_empty_batches(self, medium, pool):
+        assert pool.map_range_queries(medium, [], EPS) == []
+        assert pool.map_edge_similarities(medium, []).shape == (0,)
+        hoods, counts = pool.map_neighbor_updates(medium, [], EPS)
+        assert hoods == []
+        assert counts.sum() == 0
+
+
+class TestLifecycle:
+    def test_session_reused_for_same_graph(self, medium, pool):
+        pool.map_range_queries(medium, [0, 1], EPS)
+        executor = pool._executor
+        pool.map_range_queries(medium, [2, 3], EPS)
+        assert pool._executor is executor
+
+    def test_close_then_reuse_respins(self, medium):
+        backend = ProcessBackend(workers=2, chunk_size=8)
+        first = backend.map_range_queries(medium, [0, 1, 2], EPS)
+        backend.close()
+        assert backend._executor is None
+        second = backend.map_range_queries(medium, [0, 1, 2], EPS)
+        backend.close()
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
+    def test_context_manager_unlinks_segments(self, medium):
+        with ProcessBackend(workers=2) as backend:
+            backend.map_range_queries(medium, [0], EPS)
+            shared = backend._shared
+            assert shared is not None and not shared.closed
+        assert shared.closed
+
+    def test_validate_rejects_bad_parameters(self):
+        with pytest.raises(SimulationError):
+            ProcessBackend(workers=0).validate()
+        with pytest.raises(SimulationError):
+            ProcessBackend(chunk_size=0).validate()
+
+    def test_kind_is_process_without_fallback(self, pool):
+        assert pool.kind == "process"
+
+
+class TestFallback:
+    def test_env_var_forces_thread_fallback(self, medium, monkeypatch):
+        monkeypatch.setenv(FORCE_FALLBACK_ENV, "1")
+        assert not shared_memory_available()
+        with ProcessBackend(workers=2) as backend:
+            got = backend.map_range_queries(
+                medium, range(medium.num_vertices), EPS
+            )
+            assert backend.kind == "thread"
+        want = thread_range_queries(medium, range(medium.num_vertices), EPS)
+        for a, b in zip(got, want):
+            np.testing.assert_array_equal(a, b)
+
+    def test_fallback_covers_all_three_workloads(self, medium, monkeypatch):
+        monkeypatch.setenv(FORCE_FALLBACK_ENV, "yes")
+        with ProcessBackend(workers=2) as backend:
+            hoods, counts = backend.map_neighbor_updates(medium, [0, 1], EPS)
+            sigmas = backend.map_edge_similarities(medium, [(0, 1)])
+        assert len(hoods) == 2 and counts.shape == (medium.num_vertices,)
+        assert sigmas.shape == (1,)
+
+    def test_allow_fallback_false_raises(self, medium, monkeypatch):
+        monkeypatch.setenv(FORCE_FALLBACK_ENV, "1")
+        backend = ProcessBackend(workers=2, allow_fallback=False)
+        with pytest.raises(SimulationError, match="fallback"):
+            backend.map_range_queries(medium, [0], EPS)
+
+
+class TestModuleConveniences:
+    def test_owned_backend_range_queries(self, medium):
+        got = procmod.parallel_range_queries(medium, [0, 1, 2], EPS)
+        want = thread_range_queries(medium, [0, 1, 2], EPS)
+        for a, b in zip(got, want):
+            np.testing.assert_array_equal(a, b)
+
+    def test_epsilon_validated(self, medium, pool):
+        with pytest.raises(ConfigError):
+            procmod.parallel_range_queries(medium, [0], -0.5, backend=pool)

@@ -17,6 +17,7 @@ import time
 from repro.anytime import AnytimeRunner
 from repro.baselines import pscan, scan, scan_b, scanpp
 from repro.core import AnySCAN, AnyScanConfig, parallel_scan
+from repro.errors import ConfigError
 from repro.graph.io import load_edge_list
 from repro.parallel.backends import (
     BACKEND_NAMES,
@@ -25,6 +26,7 @@ from repro.parallel.backends import (
     create_backend,
 )
 from repro.result import HUB, Clustering
+from repro.similarity.index import EdgeSimilarityIndex, IndexedOracle
 
 __all__ = ["main"]
 
@@ -80,6 +82,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="pool width for --backend thread/process/auto",
     )
     parser.add_argument(
+        "--similarity-index",
+        choices=["off", "build", "use"],
+        default="off",
+        help="edge-similarity index: 'build' computes σ for every edge "
+        "(on --backend when parallel) and saves it next to the graph; "
+        "'use' loads a previously built index so re-clustering at a new "
+        "(ε, μ) performs no σ evaluations",
+    )
+    parser.add_argument(
+        "--index-path",
+        default=None,
+        help="where the similarity index lives (default: GRAPH.sigma.npz)",
+    )
+    parser.add_argument(
         "--output", default=None, help="write 'vertex label' lines here"
     )
     parser.add_argument(
@@ -101,6 +117,12 @@ def main(argv=None) -> int:
         file=sys.stderr,
     )
 
+    try:
+        index = _prepare_index(graph, args)
+    except ConfigError as exc:
+        print(f"similarity index error: {exc}", file=sys.stderr)
+        return 2
+
     if args.backend != "sequential":
         if args.budget_work or args.budget_seconds:
             print(
@@ -116,9 +138,9 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             return 2
-        clustering = _run_parallel(graph, args)
+        clustering = _run_parallel(graph, args, index=index)
     elif args.algorithm == "anyscan":
-        clustering = _run_anyscan(graph, args)
+        clustering = _run_anyscan(graph, args, index=index)
     else:
         if args.budget_work or args.budget_seconds:
             print(
@@ -127,7 +149,10 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             return 2
-        clustering = _BATCH[args.algorithm](graph, args.mu, args.epsilon)
+        oracle = IndexedOracle(index) if index is not None else None
+        clustering = _BATCH[args.algorithm](
+            graph, args.mu, args.epsilon, oracle=oracle
+        )
 
     print(clustering.summary())
     if args.output:
@@ -136,7 +161,36 @@ def main(argv=None) -> int:
     return 0
 
 
-def _run_parallel(graph, args) -> Clustering:
+def _prepare_index(graph, args) -> EdgeSimilarityIndex | None:
+    """Build or load the edge-similarity index the flags ask for."""
+    if args.similarity_index == "off":
+        return None
+    path = args.index_path or (args.graph + ".sigma.npz")
+    if args.similarity_index == "build":
+        started = time.perf_counter()
+        backend = args.backend if args.backend != "sequential" else None
+        index = EdgeSimilarityIndex.build(
+            graph, backend=backend, workers=args.workers
+        )
+        index.save(path)
+        print(
+            f"similarity index built ({index.sigmas.shape[0]:,d} edge "
+            f"slots) in {time.perf_counter() - started:.2f}s, "
+            f"saved to {path}",
+            file=sys.stderr,
+        )
+        return index
+    index = EdgeSimilarityIndex.load(path, graph)
+    print(f"similarity index loaded from {path}", file=sys.stderr)
+    return index
+
+
+def _run_parallel(graph, args, *, index=None) -> Clustering:
+    if index is not None:
+        # Every σ comes from the index; no pool to spin up.
+        return parallel_scan(
+            graph, args.mu, args.epsilon, index=index, seed=args.seed
+        )
     backend = create_backend(args.backend, workers=args.workers)
     try:
         result = parallel_scan(
@@ -154,7 +208,7 @@ def _run_parallel(graph, args) -> Clustering:
         close_backend(backend)
 
 
-def _run_anyscan(graph, args) -> Clustering:
+def _run_anyscan(graph, args, *, index=None) -> Clustering:
     config = AnyScanConfig(
         mu=args.mu,
         epsilon=args.epsilon,
@@ -163,7 +217,8 @@ def _run_anyscan(graph, args) -> Clustering:
         seed=args.seed,
         record_costs=False,
     )
-    algo = AnySCAN(graph, config)
+    oracle = IndexedOracle(index) if index is not None else None
+    algo = AnySCAN(graph, config, oracle=oracle)
     runner = AnytimeRunner(algo)
     if args.budget_work is None and args.budget_seconds is None:
         if args.progress:

@@ -44,7 +44,7 @@ import numpy as np
 from repro.baselines._postprocess import finalize_clustering
 from repro.core.config import AnyScanConfig
 from repro.core.snapshots import Snapshot
-from repro.errors import ReproError
+from repro.errors import ConfigError, ReproError
 from repro.graph.csr import Graph
 from repro.parallel.costs import IterationCosts
 from repro.result import Clustering
@@ -99,6 +99,20 @@ class AnySCAN:
         self.graph = graph
         self.config = config or AnyScanConfig()
         self.config.validate()
+        if oracle is not None:
+            mine = self.config.similarity
+            theirs = oracle.config
+            mismatched = [
+                name
+                for name in ("kind", "closed", "self_weight", "count_self")
+                if getattr(mine, name) != getattr(theirs, name)
+            ]
+            if mismatched:
+                raise ConfigError(
+                    "supplied oracle disagrees with config.similarity on "
+                    f"{mismatched}; anySCAN would silently cluster under "
+                    "different semantics — pass a matching oracle or config"
+                )
         self.oracle = oracle or SimilarityOracle(graph, self.config.similarity)
 
         n = graph.num_vertices

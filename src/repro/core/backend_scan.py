@@ -14,7 +14,7 @@ differential tests pin this conformance contract.
 from __future__ import annotations
 
 from collections import deque
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -29,6 +29,9 @@ from repro.parallel.backends import (
 from repro.result import Clustering
 from repro.similarity.weighted import SimilarityConfig
 from repro.validation import check_eps_mu
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.similarity.index import EdgeSimilarityIndex
 
 __all__ = ["parallel_scan"]
 
@@ -83,6 +86,7 @@ def parallel_scan(
     workers: int | None = None,
     config: SimilarityConfig | None = None,
     seed: int = 0,
+    index: "EdgeSimilarityIndex | None" = None,
 ) -> Clustering:
     """Cluster ``graph`` with SCAN, σ phase on a real parallel backend.
 
@@ -101,24 +105,37 @@ def parallel_scan(
     seed:
         Vertex-visit order; the same seed makes the result byte-identical
         to ``scan(graph, mu, epsilon, seed=seed)``.
+    index:
+        A prebuilt :class:`~repro.similarity.index.EdgeSimilarityIndex`;
+        when given, the σ phase is answered entirely from it (zero σ
+        evaluations, no backend traffic) — the interactive re-clustering
+        path.  Raises :class:`~repro.errors.ConfigError` when the index
+        does not match ``graph`` or ``config``.
     """
     check_eps_mu(mu=mu, epsilon=epsilon)
     config = config or SimilarityConfig(pruning=False)
-    owned = isinstance(backend, str)
-    resolved: Backend = (
-        create_backend(backend, workers=workers) if owned else backend
-    )
-    try:
-        hoods = run_range_queries(
-            graph,
-            range(graph.num_vertices),
-            epsilon,
-            backend=resolved,
-            config=config,
+    if index is not None:
+        index.require_compatible(graph=graph, config=config)
+        hoods = [
+            index.eps_neighborhood(v, epsilon)
+            for v in range(graph.num_vertices)
+        ]
+    else:
+        owned = isinstance(backend, str)
+        resolved: Backend = (
+            create_backend(backend, workers=workers) if owned else backend
         )
-    finally:
-        if owned:
-            close_backend(resolved)
+        try:
+            hoods = run_range_queries(
+                graph,
+                range(graph.num_vertices),
+                epsilon,
+                backend=resolved,
+                config=config,
+            )
+        finally:
+            if owned:
+                close_backend(resolved)
     self_count = 1 if config.count_self else 0
     sizes = np.asarray([h.shape[0] for h in hoods], dtype=np.int64)
     core_mask = sizes + self_count >= mu

@@ -20,7 +20,7 @@ test suite also uses it as a cross-check oracle for the five algorithms.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Tuple
 
 import numpy as np
 
@@ -31,6 +31,9 @@ from repro.graph.csr import Graph
 from repro.result import Clustering
 from repro.similarity.weighted import SimilarityConfig, SimilarityOracle
 from repro.structures.disjoint_set import DisjointSet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.similarity.index import EdgeSimilarityIndex
 
 __all__ = ["ParameterExplorer"]
 
@@ -43,10 +46,22 @@ class ParameterExplorer:
         graph: Graph,
         *,
         similarity: SimilarityConfig | None = None,
+        index: "EdgeSimilarityIndex | None" = None,
     ) -> None:
         self.graph = graph
-        self.oracle = SimilarityOracle(graph, similarity or SimilarityConfig())
-        self._us, self._vs, self._sigmas = self._evaluate_all_edges()
+        if index is not None:
+            # A prebuilt edge-similarity index already holds every σ this
+            # explorer would compute; adopt it instead of re-evaluating.
+            index.require_compatible(graph=graph, config=similarity)
+            self.oracle = SimilarityOracle(
+                graph, similarity or index.config
+            )
+            self._us, self._vs, self._sigmas = index.forward_edges()
+        else:
+            self.oracle = SimilarityOracle(
+                graph, similarity or SimilarityConfig()
+            )
+            self._us, self._vs, self._sigmas = self._evaluate_all_edges()
         # Incident σ lists per vertex, sorted descending (built lazily).
         self._incident_sorted: np.ndarray | None = None
         self._incident_ptr: np.ndarray | None = None

@@ -41,6 +41,7 @@ __all__ = [
     "run_range_queries",
     "run_edge_similarities",
     "run_neighbor_updates",
+    "run_sigma_rows",
 ]
 
 #: Names accepted everywhere a backend is selected.
@@ -126,6 +127,20 @@ def run_edge_similarities(
         return backend.map_edge_similarities(graph, edges, config=config)
     return _threads.parallel_edge_similarities(
         graph, edges, backend=backend, config=config
+    )
+
+
+def run_sigma_rows(
+    graph: Graph,
+    *,
+    backend: Backend,
+    config: SimilarityConfig | None = None,
+) -> np.ndarray:
+    """All-edges σ (the index build) on whichever backend is handed in."""
+    if isinstance(backend, ProcessBackend):
+        return backend.map_sigma_rows(graph, config=config)
+    return _threads.parallel_sigma_rows(
+        graph, backend=backend, config=config
     )
 
 

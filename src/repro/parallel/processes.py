@@ -54,6 +54,7 @@ __all__ = [
     "parallel_range_queries",
     "parallel_edge_similarities",
     "parallel_neighbor_updates",
+    "parallel_sigma_rows",
 ]
 
 #: Setting this environment variable (to any non-empty value) makes the
@@ -61,9 +62,14 @@ __all__ = [
 #: tests use it to exercise the thread-fallback path deterministically.
 FORCE_FALLBACK_ENV = "REPRO_FORCE_THREAD_FALLBACK"
 
-#: Labels of the arrays a :class:`SharedGraph` publishes.
+#: Labels of the arrays a :class:`SharedGraph` publishes.  ``sigma_out``
+#: is the only writable one: an all-edges σ buffer that
+#: :meth:`ProcessBackend.map_sigma_rows` workers fill in disjoint
+#: vertex-range slices (the index build's reduction lives in shared
+#: memory instead of pickling one float per edge back to the parent).
 _ARRAY_LABELS = (
     "indptr", "indices", "weights", "lengths", "max_weights", "linear_sums",
+    "sigma_out",
 )
 
 
@@ -138,6 +144,7 @@ class SharedGraph:
             "lengths": lengths,
             "max_weights": max_weights,
             "linear_sums": linear_sums,
+            "sigma_out": np.zeros(graph.indices.shape[0], dtype=np.float64),
         }
         segments: List[shared_memory.SharedMemory] = []
         specs: List[Tuple[str, _SharedSpec]] = []
@@ -166,6 +173,20 @@ class SharedGraph:
         self._finalizer = weakref.finalize(
             self, _release_segments, self._segments
         )
+
+    def read_array(self, label: str) -> np.ndarray:
+        """Copy one published array out of its shared segment."""
+        if self.closed:
+            raise SimulationError("shared graph already closed")
+        for (name, spec), shm in zip(self.handle.specs, self._segments):
+            if name == label:
+                view = np.ndarray(
+                    spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf
+                )
+                out = np.array(view)
+                del view  # drop the exported buffer so close() can unmap
+                return out
+        raise SimulationError(f"no shared array labelled {label!r}")
 
     def close(self) -> None:
         """Close and unlink every segment (safe to call repeatedly)."""
@@ -225,6 +246,7 @@ def _worker_init(handle: SharedGraphHandle) -> None:
         "segments": segments,
         "graph": graph,
         "oracle": oracle,
+        "sigma_out": views["sigma_out"],
     }
 
 
@@ -245,6 +267,24 @@ def _edge_sigma_chunk(task: Sequence[Tuple[int, int]]) -> np.ndarray:
     return np.asarray(
         [oracle.sigma_unrecorded(int(u), int(v)) for u, v in task],
         dtype=np.float64,
+    )
+
+
+def _sigma_row_chunk(task: Tuple[int, int]) -> None:
+    """Fill ``sigma_out`` for one vertex range's CSR rows.
+
+    Vertex ranges are disjoint, so the slot slices
+    ``indptr[lo]:indptr[hi]`` are disjoint across workers — each shared
+    slice has exactly one writer and no reader until the barrier.
+    """
+    lo, hi = task
+    if _WORKER_STATE is None:  # pragma: no cover - defensive
+        raise SimulationError("worker used before pool initialization")
+    oracle = _WORKER_STATE["oracle"]
+    indptr = _WORKER_STATE["graph"].indptr
+    sigma_out = _WORKER_STATE["sigma_out"]
+    sigma_out[int(indptr[lo]) : int(indptr[hi])] = oracle.sigma_row_block(
+        lo, hi
     )
 
 
@@ -462,6 +502,42 @@ class ProcessBackend:
             return out.value
         return np.concatenate(out)
 
+    def map_sigma_rows(
+        self,
+        graph: Graph,
+        *,
+        config: SimilarityConfig | None = None,
+    ) -> np.ndarray:
+        """σ for every directed CSR edge (the index build's σ phase).
+
+        Workers fill disjoint vertex-range slices of the shared
+        ``sigma_out`` segment through the batched kernels; after the
+        barrier the parent copies the assembled array out in one read.
+        Because slot (u, v) is always computed by expanding v's row, the
+        result is bitwise-identical to the sequential and thread paths.
+        """
+        config = config or SimilarityConfig()
+        if graph.indices.shape[0] == 0:
+            return np.zeros(0, dtype=np.float64)
+
+        def sequentialize():
+            return _threads.parallel_sigma_rows(
+                graph, backend=self._fallback, config=config
+            )
+
+        if self._ensure_session(graph, config) is not None:
+            return sequentialize()
+        n = graph.num_vertices
+        tasks = [
+            (lo, min(lo + self.chunk_size, n))
+            for lo in range(0, n, self.chunk_size)
+        ]
+        out = self._run_chunks(_sigma_row_chunk, tasks, sequentialize)
+        if isinstance(out, _FallbackResult):
+            return out.value
+        assert self._shared is not None
+        return self._shared.read_array("sigma_out")
+
     def map_neighbor_updates(
         self,
         graph: Graph,
@@ -525,6 +601,19 @@ def parallel_edge_similarities(
         return backend.map_edge_similarities(graph, edges, config=config)
     with ProcessBackend() as owned:
         return owned.map_edge_similarities(graph, edges, config=config)
+
+
+def parallel_sigma_rows(
+    graph: Graph,
+    *,
+    backend: ProcessBackend | None = None,
+    config: SimilarityConfig | None = None,
+) -> np.ndarray:
+    """All-edges σ on real processes; owns a throwaway backend if needed."""
+    if backend is not None:
+        return backend.map_sigma_rows(graph, config=config)
+    with ProcessBackend() as owned:
+        return owned.map_sigma_rows(graph, config=config)
 
 
 def parallel_neighbor_updates(

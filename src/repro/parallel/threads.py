@@ -35,6 +35,7 @@ __all__ = [
     "parallel_range_queries",
     "parallel_edge_similarities",
     "parallel_neighbor_updates",
+    "parallel_sigma_rows",
 ]
 
 T = TypeVar("T")
@@ -145,6 +146,40 @@ def parallel_neighbor_updates(
 
     hoods = backend.map(update, list(vertices))
     return hoods, touched  # type: ignore[return-value]
+
+
+def parallel_sigma_rows(
+    graph: Graph,
+    *,
+    backend: ThreadBackend | None = None,
+    config: SimilarityConfig | None = None,
+) -> np.ndarray:
+    """σ for **every** directed CSR edge, in vertex-range blocks.
+
+    The building block of the edge-similarity index
+    (:class:`~repro.similarity.index.EdgeSimilarityIndex`): each worker
+    runs the batched kernel over a contiguous vertex range, and because
+    slot (u, v) is always computed by expanding v's row, the
+    concatenation is bitwise-identical for every block decomposition.
+    """
+    backend = backend or ThreadBackend()
+    config = config or SimilarityConfig()
+    oracle = SimilarityOracle(graph, config)
+    if graph.indices.shape[0] == 0:
+        return np.zeros(0, dtype=np.float64)
+    # Materialize the lazy probe structure before fanning out so worker
+    # threads share one read-only array instead of racing to build it.
+    oracle.edge_keys
+    n = graph.num_vertices
+    blocks = [
+        (lo, min(lo + backend.chunk_size, n))
+        for lo in range(0, n, backend.chunk_size)
+    ]
+
+    def block_sigmas(block: Tuple[int, int]) -> np.ndarray:
+        return oracle.sigma_row_block(block[0], block[1])
+
+    return np.concatenate(backend.map(block_sigmas, blocks))
 
 
 def parallel_edge_similarities(

@@ -1,6 +1,18 @@
-"""Weighted structural similarity, pruning optimizations, and counters."""
+"""Weighted structural similarity, batched kernels, and the edge index."""
 
 from repro.similarity.counters import SimilarityCounters
 from repro.similarity.weighted import SimilarityConfig, SimilarityOracle
+from repro.similarity.index import (
+    EdgeSimilarityIndex,
+    IndexedOracle,
+    graph_fingerprint,
+)
 
-__all__ = ["SimilarityConfig", "SimilarityOracle", "SimilarityCounters"]
+__all__ = [
+    "SimilarityConfig",
+    "SimilarityOracle",
+    "SimilarityCounters",
+    "EdgeSimilarityIndex",
+    "IndexedOracle",
+    "graph_fingerprint",
+]

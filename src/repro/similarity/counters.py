@@ -36,22 +36,45 @@ class SimilarityCounters:
         if early_exit:
             self.early_exits += 1
 
-    def record_prune(self) -> None:
-        """Record one Lemma 5 constant-time prune."""
-        self.pruned_lemma5 += 1
-        self.work_units += 1.0
+    def record_prune(self, count: int = 1) -> None:
+        """Record ``count`` Lemma 5 constant-time prunes (1 work unit each)."""
+        self.pruned_lemma5 += count
+        self.work_units += float(count)
 
-    def record_neighborhood_query(self, cost: float, evaluations: int = 0) -> None:
+    def record_sigma_batch(self, evaluations: int, cost: float) -> None:
+        """Record a batched σ pass: ``evaluations`` evaluations, total ``cost``.
+
+        Equivalent to ``evaluations`` calls to :meth:`record_sigma` whose
+        costs sum to ``cost`` — the batched kernels charge exactly what
+        the per-pair path would, just in one call.
+        """
+        self.sigma_evaluations += int(evaluations)
+        self.work_units += float(cost)
+
+    def record_neighborhood_query(
+        self,
+        cost: float,
+        evaluations: int = 0,
+        *,
+        early_exits: int = 0,
+        pruned: int = 0,
+    ) -> None:
         """Record one full ε-neighborhood (range) query.
 
         ``evaluations`` is the number of per-neighbor σ computations the
         query performed; they count toward :attr:`sigma_evaluations` so
         algorithms using full range queries (SCAN) are comparable with
-        those evaluating edges individually (Figure 7).
+        those evaluating edges individually (Figure 7).  Pruned range
+        queries (SCAN-B) additionally report how many neighbors were
+        settled by an early exit (``early_exits``) or skipped entirely by
+        the Lemma 5 filter (``pruned``, 1 work unit each on top of
+        ``cost``).
         """
         self.neighborhood_queries += 1
         self.sigma_evaluations += evaluations
-        self.work_units += cost
+        self.early_exits += early_exits
+        self.pruned_lemma5 += pruned
+        self.work_units += cost + float(pruned)
 
     def reset(self) -> None:
         """Zero every counter."""

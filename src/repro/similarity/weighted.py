@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.graph.csr import Graph
+from repro.similarity import kernels
 from repro.similarity.counters import SimilarityCounters
 
 __all__ = ["SimilarityConfig", "SimilarityOracle"]
@@ -113,6 +114,7 @@ class SimilarityOracle:
             self._lengths, self._max_weights, self._linear_sums = (
                 self._precompute()
             )
+        self._edge_keys: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # preprocessing (O(|E|) total, as in the paper)
@@ -246,6 +248,109 @@ class SimilarityOracle:
         return value
 
     # ------------------------------------------------------------------
+    # batched similarity (repro.similarity.kernels)
+    # ------------------------------------------------------------------
+    @property
+    def edge_keys(self) -> np.ndarray:
+        """Global sorted edge keys for the batched kernels (lazy, cached)."""
+        if self._edge_keys is None:
+            self._edge_keys = kernels.directed_edge_keys(
+                self.graph.indptr, self.graph.indices
+            )
+        return self._edge_keys
+
+    def _pair_sigmas(self, ps: np.ndarray, qs: np.ndarray) -> tuple:
+        """Batched (σ values, merge costs) for aligned pair arrays."""
+        graph, cfg = self.graph, self.config
+        return kernels.sigma_for_pairs(
+            graph.indptr, graph.indices, graph.weights, self.edge_keys,
+            ps, qs,
+            kind=cfg.kind, closed=cfg.closed, self_weight=cfg.self_weight,
+            lengths=self._lengths, linear_sums=self._linear_sums,
+        )
+
+    def sigma_pairs_unrecorded(
+        self, ps: np.ndarray, qs: np.ndarray
+    ) -> np.ndarray:
+        """Batched σ for aligned pair arrays, without touching counters."""
+        ps = np.ascontiguousarray(ps, dtype=np.int64)
+        qs = np.ascontiguousarray(qs, dtype=np.int64)
+        values, _ = self._pair_sigmas(ps, qs)
+        return values
+
+    def sigma_batch(self, p: int, qs: np.ndarray) -> np.ndarray:
+        """Exact σ(p, q) for a batch of targets, one numpy pass.
+
+        Counters are charged equivalently to ``len(qs)`` scalar
+        :meth:`sigma` calls: one evaluation each, full merge cost
+        ``|N_p| + |N_q|`` each.
+        """
+        qs = np.ascontiguousarray(qs, dtype=np.int64)
+        if qs.shape[0] == 0:
+            return np.zeros(0, dtype=np.float64)
+        ps = np.full(qs.shape[0], int(p), dtype=np.int64)
+        values, costs = self._pair_sigmas(ps, qs)
+        self.counters.record_sigma_batch(
+            int(qs.shape[0]), float(costs.sum())
+        )
+        return values
+
+    def similar_batch(
+        self, p: int, qs: np.ndarray, epsilon: float
+    ) -> np.ndarray:
+        """Batched threshold tests σ(p, q) ≥ ε with Lemma 5 pre-filtering.
+
+        For the cosine kind with pruning enabled, the whole batch goes
+        through the vectorized Lemma 5 bound first; pruned pairs cost 1
+        work unit each and only the survivors are evaluated (at full
+        merge cost — the batch path has no per-pair early exit, so its
+        recorded work is an upper bound on the scalar path's).
+        """
+        qs = np.ascontiguousarray(qs, dtype=np.int64)
+        if qs.shape[0] == 0:
+            return np.zeros(0, dtype=bool)
+        cfg = self.config
+        if cfg.kind != "cosine" or not cfg.pruning:
+            ps = np.full(qs.shape[0], int(p), dtype=np.int64)
+            values, costs = self._pair_sigmas(ps, qs)
+            self.counters.record_sigma_batch(
+                int(qs.shape[0]), float(costs.sum())
+            )
+            return values >= epsilon
+        ps = np.full(qs.shape[0], int(p), dtype=np.int64)
+        thresholds = epsilon * np.sqrt(self._lengths[p] * self._lengths[qs])
+        bounds = kernels.lemma5_bounds(
+            self.graph.degrees, self._max_weights, ps, qs,
+            closed=cfg.closed, self_weight=cfg.self_weight,
+        )
+        pruned = bounds < thresholds
+        out = np.zeros(qs.shape[0], dtype=bool)
+        survivors = ~pruned
+        count = int(survivors.sum())
+        if count:
+            values, costs = self._pair_sigmas(ps[survivors], qs[survivors])
+            out[survivors] = values >= epsilon
+            self.counters.record_sigma_batch(count, float(costs.sum()))
+        if count < qs.shape[0]:
+            self.counters.record_prune(int(qs.shape[0]) - count)
+        return out
+
+    def sigma_row_block(self, lo: int, hi: int) -> np.ndarray:
+        """σ for every CSR slot of the vertex block ``[lo, hi)``, unrecorded.
+
+        The unit of work of the edge-similarity index build (see
+        :mod:`repro.similarity.index`): deterministic per slot, so any
+        partition of the vertex range reassembles bitwise-identically.
+        """
+        graph, cfg = self.graph, self.config
+        return kernels.sigma_row_block(
+            graph.indptr, graph.indices, graph.weights, int(lo), int(hi),
+            kind=cfg.kind, closed=cfg.closed, self_weight=cfg.self_weight,
+            lengths=self._lengths, linear_sums=self._linear_sums,
+            edge_keys=self.edge_keys,
+        )
+
+    # ------------------------------------------------------------------
     # threshold tests with the Section III-D optimizations
     # ------------------------------------------------------------------
     def lemma5_bound(self, p: int, q: int) -> float:
@@ -275,19 +380,30 @@ class SimilarityOracle:
         cannot reach it σ < ε is certain.  The recorded cost reflects the
         consumed prefix of the merge.
         """
+        passed, cost, outcome = self._threshold_test(p, q, epsilon)
+        if outcome == "prune":
+            self.counters.record_prune()
+        else:
+            self.counters.record_sigma(cost, early_exit=outcome == "early")
+        return passed
+
+    def _threshold_test(self, p: int, q: int, epsilon: float) -> tuple:
+        """``(passed, cost, outcome)`` with outcome in prune/early/full.
+
+        The unrecorded core of :meth:`similar`; range queries aggregate
+        many of these into a single counter record.
+        """
         if self.config.kind != "cosine" or not self.config.pruning:
             value, cost = self._sigma_value(p, q)
-            self.counters.record_sigma(cost)
-            return value >= epsilon
+            return value >= epsilon, cost, "full"
         threshold = epsilon * float(
             np.sqrt(self._lengths[p] * self._lengths[q])
         )
         if self.lemma5_bound(p, q) < threshold:
-            self.counters.record_prune()
-            return False
+            return False, 1.0, "prune"
         return self._similar_early_exit(p, q, threshold)
 
-    def _similar_early_exit(self, p: int, q: int, threshold: float) -> bool:
+    def _similar_early_exit(self, p: int, q: int, threshold: float) -> tuple:
         """Threshold test charging only the consumed merge prefix."""
         graph, cfg = self.graph, self.config
         np_row = graph.neighbors(p)
@@ -302,8 +418,7 @@ class SimilarityOracle:
             if pos < nq_row.shape[0] and int(nq_row[pos]) == p:
                 acc += 2.0 * cfg.self_weight * float(wq_row[pos])
         if acc >= threshold:
-            self.counters.record_sigma(2.0, early_exit=True)
-            return True
+            return True, 2.0, "early"
 
         # Vectorized merge with a cumulative-sum early-exit charge: the
         # products are computed at C speed, then the crossing point tells
@@ -312,11 +427,8 @@ class SimilarityOracle:
             np_row, nq_row, assume_unique=True, return_indices=True
         )
         if ip.shape[0] == 0:
-            self.counters.record_sigma(
-                min(full_cost, 2.0 + float(min(len(np_row), len(nq_row)))),
-                early_exit=True,
-            )
-            return acc >= threshold
+            cost = min(full_cost, 2.0 + float(min(len(np_row), len(nq_row))))
+            return acc >= threshold, cost, "early"
         order = np.argsort(ip)  # merge consumes common neighbors in id order
         products = wp_row[ip[order]] * wq_row[iq[order]]
         cumulative = acc + np.cumsum(products)
@@ -325,12 +437,9 @@ class SimilarityOracle:
             # σ ≥ ε; the merge could stop at the crossing product.
             k = int(np.searchsorted(cumulative, threshold)) + 1
             fraction = k / products.shape[0]
-            self.counters.record_sigma(
-                max(2.0, fraction * full_cost), early_exit=fraction < 1.0
-            )
-            return True
-        self.counters.record_sigma(full_cost)
-        return False
+            cost = max(2.0, fraction * full_cost)
+            return True, cost, ("early" if fraction < 1.0 else "full")
+        return False, full_cost, "full"
 
     # ------------------------------------------------------------------
     # neighborhoods
@@ -338,38 +447,48 @@ class SimilarityOracle:
     def eps_neighborhood(self, p: int, epsilon: float) -> np.ndarray:
         """Structural neighborhood ``N_p^ε`` (Definition 2), excluding ``p``.
 
-        Records one range query whose cost is the sum of the merge costs
-        of all neighbor evaluations (the dominant cost of Step 1).
+        One batched kernel pass over the whole row (no per-pair Python
+        work); records one range query whose cost is the sum of the full
+        merge costs of all neighbor evaluations — identical accounting to
+        the historical per-pair loop (the dominant cost of Step 1).
         """
-        graph = self.graph
-        neighbors = graph.neighbors(p)
-        passing = []
-        total_cost = 0.0
-        # Each neighbor charges its own merge cost to the counters, so the
-        # loop stays sequential until counters vectorize.  # repro: allow[R3]
-        for q in neighbors:
-            q = int(q)
-            value, cost = self._sigma_value(p, q)
-            total_cost += cost
-            if value >= epsilon:
-                passing.append(q)
+        neighbors = self.graph.neighbors(p)
+        if neighbors.shape[0] == 0:
+            self.counters.record_neighborhood_query(0.0, evaluations=0)
+            return np.zeros(0, dtype=np.int64)
+        ps = np.full(neighbors.shape[0], int(p), dtype=np.int64)
+        values, costs = self._pair_sigmas(ps, neighbors)
         self.counters.record_neighborhood_query(
-            total_cost, evaluations=int(neighbors.shape[0])
+            float(costs.sum()), evaluations=int(neighbors.shape[0])
         )
-        return np.asarray(passing, dtype=np.int64)
+        return neighbors[values >= epsilon].astype(np.int64, copy=False)
 
     def eps_neighborhood_pruned(self, p: int, epsilon: float) -> np.ndarray:
         """``N_p^ε`` computed with per-neighbor threshold tests.
 
         This is the SCAN-B range query: each neighbor goes through the
         Lemma 5 filter and early-exit test instead of a full σ evaluation,
-        so for high ε most of the merge work is skipped.
+        so for high ε most of the merge work is skipped.  Like
+        :meth:`eps_neighborhood` it records one range query charging the
+        consumed costs (prunes, early exits, and full merges included),
+        so Figure-7-style reports count SCAN-B's range queries too.
         """
-        passing = [
-            int(q)
-            for q in self.graph.neighbors(p)
-            if self.similar(p, int(q), epsilon)
+        neighbors = self.graph.neighbors(p)
+        tests = [
+            self._threshold_test(p, int(q), epsilon) for q in neighbors
         ]
+        passing = [
+            int(q) for q, (ok, _, _) in zip(neighbors, tests) if ok
+        ]
+        pruned = sum(1 for _, _, outcome in tests if outcome == "prune")
+        early = sum(1 for _, _, outcome in tests if outcome == "early")
+        cost = sum(c for _, c, outcome in tests if outcome != "prune")
+        self.counters.record_neighborhood_query(
+            float(cost),
+            evaluations=len(tests) - pruned,
+            early_exits=early,
+            pruned=pruned,
+        )
         return np.asarray(passing, dtype=np.int64)
 
     def eps_neighborhood_size(self, p: int, epsilon: float) -> int:

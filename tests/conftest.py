@@ -32,6 +32,12 @@ KARATE_EDGES = [
 ]
 
 
+@pytest.fixture(autouse=True)
+def _bench_artifacts_in_tmp(tmp_path, monkeypatch):
+    """Keep bench JSON artifacts (BENCH_*.json) out of the working tree."""
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+
+
 @pytest.fixture(scope="session")
 def karate() -> Graph:
     return Graph.from_edges(34, KARATE_EDGES)

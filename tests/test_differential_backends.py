@@ -23,6 +23,7 @@ from repro.graph.generators.random_graphs import (
 from repro.metrics.comparison import explain_difference
 from repro.parallel.processes import ProcessBackend, shared_memory_available
 from repro.parallel.threads import ThreadBackend
+from repro.similarity.index import EdgeSimilarityIndex, IndexedOracle
 from repro.similarity.weighted import SimilarityConfig, SimilarityOracle
 
 GRID = [(0.3, 2), (0.5, 3), (0.7, 4)]  # (epsilon, mu)
@@ -103,6 +104,92 @@ class TestByteIdenticalExecutions:
                 seed=0,
             )
             np.testing.assert_array_equal(ref.labels, got.labels)
+
+
+class _ScalarReferenceOracle(SimilarityOracle):
+    """The pre-kernel per-pair ε-neighborhood loop, kept as a reference."""
+
+    def eps_neighborhood(self, p, epsilon):
+        neighbors = self.graph.neighbors(int(p))
+        passing = [
+            int(q)
+            for q in neighbors
+            if self.sigma_unrecorded(int(p), int(q)) >= epsilon
+        ]
+        return np.asarray(passing, dtype=np.int64)
+
+
+class TestIndexedExecutions:
+    """The batched kernels and the σ index leave results byte-identical."""
+
+    @pytest.mark.parametrize("eps,mu", GRID)
+    def test_batched_oracle_matches_scalar_loop(self, family, eps, mu):
+        _, graph = family
+        ref = scan(
+            graph,
+            mu,
+            eps,
+            oracle=_ScalarReferenceOracle(
+                graph, SimilarityConfig(pruning=False)
+            ),
+            seed=0,
+        )
+        got = scan(graph, mu, eps, seed=0)
+        np.testing.assert_array_equal(ref.labels, got.labels)
+        np.testing.assert_array_equal(ref.roles, got.roles)
+
+    @pytest.mark.parametrize("eps,mu", GRID)
+    def test_indexed_scan_matches_sequential(self, family, eps, mu):
+        _, graph = family
+        config = SimilarityConfig(pruning=False)
+        index = EdgeSimilarityIndex.build(graph, config)
+        ref = scan(graph, mu, eps, seed=0)
+        got = scan(
+            graph, mu, eps, oracle=IndexedOracle(index, config=config), seed=0
+        )
+        np.testing.assert_array_equal(ref.labels, got.labels)
+        np.testing.assert_array_equal(ref.roles, got.roles)
+
+    @pytest.mark.parametrize("eps,mu", GRID)
+    def test_parallel_scan_with_index_matches_sequential(
+        self, family, eps, mu
+    ):
+        _, graph = family
+        index = EdgeSimilarityIndex.build(
+            graph, SimilarityConfig(pruning=False)
+        )
+        ref = scan(graph, mu, eps, seed=0)
+        got = parallel_scan(graph, mu, eps, index=index, seed=0)
+        np.testing.assert_array_equal(ref.labels, got.labels)
+        np.testing.assert_array_equal(ref.roles, got.roles)
+
+    def test_index_builds_are_bitwise_identical_across_backends(
+        self, family, process_pool
+    ):
+        _, graph = family
+        config = SimilarityConfig(pruning=False)
+        inproc = EdgeSimilarityIndex.build(graph, config).sigmas
+        threaded = EdgeSimilarityIndex.build(
+            graph,
+            config,
+            backend=ThreadBackend(threads=3, chunk_size=17),
+        ).sigmas
+        processed = EdgeSimilarityIndex.build(
+            graph, config, backend=process_pool
+        ).sigmas
+        np.testing.assert_array_equal(inproc, threaded)
+        np.testing.assert_array_equal(inproc, processed)
+
+    def test_indexed_requery_performs_no_sigma_evaluations(self, family):
+        _, graph = family
+        config = SimilarityConfig(pruning=False)
+        index = EdgeSimilarityIndex.build(graph, config)
+        oracle = IndexedOracle(index, config=config)
+        for eps, mu in GRID:
+            scan(graph, mu, eps, oracle=oracle, seed=0)
+        assert oracle.counters.sigma_evaluations == 0
+        assert oracle.counters.work_units == 0.0
+        assert oracle.index_lookups > 0
 
 
 class TestAnyScanEquivalence:

@@ -19,6 +19,7 @@ from repro.bench.experiments.fig12 import fig12
 from repro.bench.experiments.fig13 import fig13
 from repro.bench.experiments.fig14 import fig14
 from repro.bench.experiments.kernels import kernels
+from repro.bench.experiments.service import service
 from repro.bench.experiments.speedup import speedup
 from repro.bench.experiments.tables import tab1, tab2
 from repro.bench.harness import ExperimentResult
@@ -41,6 +42,7 @@ EXPERIMENTS: Dict[str, Callable[..., List[ExperimentResult]]] = {
     "fig14": fig14,
     "speedup": speedup,
     "kernels": kernels,
+    "service": service,
     "ablation_pruning": ablation_pruning,
     "ablation_sorting": ablation_sorting,
     "ablation_schedule": ablation_schedule,

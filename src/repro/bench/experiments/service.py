@@ -1,0 +1,221 @@
+"""Service throughput/latency under concurrent clients.
+
+The service layer's claim (DESIGN.md §8): once a graph's σ index and
+result cache are warm, interactive clustering queries are wire-bound —
+the server sustains high query throughput with low tail latency, and
+repeat queries perform **zero** σ evaluations.  This experiment stands
+up a real :class:`~repro.service.server.ClusteringServer` (HTTP over
+localhost), drives it with concurrent stdlib clients at ≥2 concurrency
+levels, and reports sustained throughput plus exact client-side
+p50/p99 latency per level for two request mixes:
+
+* ``cached`` — repeat (ε, μ) queries answered from the LRU result
+  cache (the steady state of a dashboard polling fixed settings);
+* ``indexed-job`` — distinct (ε, μ) per request, each scheduled as an
+  anytime job whose σ phase is threshold passes over the prebuilt
+  index (the interactive-exploration state).
+
+Writes ``BENCH_service.json`` (to ``$REPRO_BENCH_DIR`` or the working
+directory) so CI archives the numbers per commit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Dict, List, Tuple
+
+from repro.bench.harness import ExperimentResult
+from repro.graph.generators.lfr import LFRParams, lfr_graph
+from repro.service.client import ServiceClient
+from repro.service.server import ClusteringServer
+
+__all__ = ["service"]
+
+_GRAPH = "bench"
+# Warmed (ε, μ) settings the cached mix cycles over.
+_WARM = ((0.5, 4), (0.6, 3), (0.65, 5), (0.7, 2))
+
+
+def _percentile(samples: List[float], p: float) -> float:
+    """Exact percentile by nearest-rank over the sorted samples."""
+    ordered = sorted(samples)
+    rank = max(1, int(round(p / 100.0 * len(ordered))))
+    return ordered[rank - 1]
+
+
+def _drive(
+    url: str,
+    concurrency: int,
+    requests_per_client: int,
+    make_call,
+) -> Tuple[float, List[float]]:
+    """Run ``make_call(client, i)`` from ``concurrency`` threads.
+
+    Returns (wall seconds, per-request latencies).  Each worker keeps
+    its own latency list; they are merged after the join, so no shared
+    state is written concurrently.
+    """
+    buckets: List[List[float]] = [[] for _ in range(concurrency)]
+    barrier = threading.Barrier(concurrency + 1)
+
+    def worker(slot: int) -> None:
+        client = ServiceClient(url, timeout=120.0)
+        barrier.wait()
+        for i in range(requests_per_client):
+            started = time.perf_counter()
+            make_call(client, slot * requests_per_client + i)
+            buckets[slot].append(time.perf_counter() - started)
+
+    threads = [
+        threading.Thread(target=worker, args=(slot,), daemon=True)
+        for slot in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    return elapsed, [sample for bucket in buckets for sample in bucket]
+
+
+def service(scale: str = "bench", quick: bool = False) -> List[ExperimentResult]:
+    """Concurrent-client throughput and p50/p99 latency over HTTP."""
+    if quick:
+        params = LFRParams(n=300, average_degree=8, max_degree=30, seed=7)
+        levels = (1, 2)
+        cached_requests = 40
+        job_requests = 3
+    else:
+        params = LFRParams(
+            n=4_000, average_degree=12, max_degree=60, seed=7
+        )
+        levels = (1, 4, 8)
+        cached_requests = 300
+        job_requests = 8
+    graph, _ = lfr_graph(params)
+
+    table = ExperimentResult(
+        exp_id="service",
+        title=(
+            f"service throughput (LFR n={graph.num_vertices:,}, "
+            f"m={graph.num_edges:,}, σ index + result cache warm)"
+        ),
+        headers=[
+            "mix",
+            "concurrency",
+            "requests",
+            "throughput req/s",
+            "p50 ms",
+            "p99 ms",
+        ],
+    )
+    json_levels: List[Dict[str, object]] = []
+
+    with ClusteringServer(workers=2, slice_iterations=4) as server:
+        client = ServiceClient(server.url, timeout=120.0)
+        client.load_graph(_GRAPH, graph=graph, build_index=True)
+        for epsilon, mu in _WARM:  # fill the cache once
+            client.cluster(_GRAPH, mu, epsilon, wait=300.0, labels=False)
+
+        for concurrency in levels:
+            # -- cached mix: repeat queries, zero σ work ----------------
+            def cached_call(c: ServiceClient, i: int) -> None:
+                epsilon, mu = _WARM[i % len(_WARM)]
+                body = c.cluster(_GRAPH, mu, epsilon, labels=False)
+                if not body.get("cached"):
+                    raise AssertionError(
+                        "warm query missed the cache; bench is mismeasuring"
+                    )
+
+            elapsed, latencies = _drive(
+                server.url, concurrency, cached_requests, cached_call
+            )
+            throughput = len(latencies) / elapsed if elapsed > 0 else 0.0
+            p50 = _percentile(latencies, 50.0) * 1e3
+            p99 = _percentile(latencies, 99.0) * 1e3
+            table.add_row(
+                "cached", concurrency, len(latencies), throughput, p50, p99
+            )
+            json_levels.append(
+                {
+                    "mix": "cached",
+                    "concurrency": concurrency,
+                    "requests": len(latencies),
+                    "throughput_rps": throughput,
+                    "p50_ms": p50,
+                    "p99_ms": p99,
+                }
+            )
+
+            # -- indexed-job mix: distinct (ε, μ) anytime jobs ----------
+            def job_call(c: ServiceClient, i: int) -> None:
+                epsilon = 0.30 + 0.004 * (i % 100)
+                mu = 2 + (i % 5)
+                body = c.cluster(
+                    _GRAPH, mu, epsilon, wait=300.0, labels=False
+                )
+                if body.get("state") != "done":
+                    raise AssertionError(
+                        f"job did not finish in time: {body}"
+                    )
+
+            elapsed, latencies = _drive(
+                server.url, concurrency, job_requests, job_call
+            )
+            throughput = len(latencies) / elapsed if elapsed > 0 else 0.0
+            p50 = _percentile(latencies, 50.0) * 1e3
+            p99 = _percentile(latencies, 99.0) * 1e3
+            table.add_row(
+                "indexed-job",
+                concurrency,
+                len(latencies),
+                throughput,
+                p50,
+                p99,
+            )
+            json_levels.append(
+                {
+                    "mix": "indexed-job",
+                    "concurrency": concurrency,
+                    "requests": len(latencies),
+                    "throughput_rps": throughput,
+                    "p50_ms": p50,
+                    "p99_ms": p99,
+                }
+            )
+
+        metrics = client.metrics()
+
+    counters = dict(metrics.get("counters", {}))
+    table.notes.append(
+        "cached mix asserts every request is a cache hit "
+        f"(hits={counters.get('cache_hits', 0)}, "
+        f"sigma_evaluations={counters.get('sigma_evaluations', 0)} "
+        "total across all jobs)"
+    )
+    table.notes.append(
+        "indexed-job mix runs one anytime job per request over the "
+        "prebuilt edge-similarity index"
+    )
+
+    payload = {
+        "quick": bool(quick),
+        "graph": {
+            "n": int(graph.num_vertices),
+            "m": int(graph.num_edges),
+        },
+        "levels": json_levels,
+        "counters": counters,
+    }
+    out_dir = os.environ.get("REPRO_BENCH_DIR", ".")
+    out_path = os.path.join(out_dir, "BENCH_service.json")
+    with open(out_path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    table.notes.append(f"json written to {out_path}")
+    return [table]

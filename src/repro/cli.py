@@ -5,6 +5,7 @@ Examples::
     anyscan graph.txt --mu 5 --epsilon 0.5
     anyscan graph.txt --weighted --algorithm pscan --output labels.txt
     anyscan graph.txt --budget-work 1e6        # anytime: stop early
+    repro serve --port 8421 --graph web=graph.txt   # clustering server
     python -m repro ...                        # same entry point
 """
 
@@ -107,6 +108,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["serve"]:
+        # Subcommand: the interactive clustering server (DESIGN.md §8).
+        # Imported lazily so plain clustering runs don't pay for it.
+        from repro.service.server import serve_main
+
+        return serve_main(argv[1:])
     args = _build_parser().parse_args(argv)
     started = time.perf_counter()
     graph, labels_map = load_edge_list(args.graph, weighted=args.weighted)

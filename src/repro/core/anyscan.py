@@ -131,6 +131,17 @@ class AnySCAN:
         self._compute_seconds = 0.0
         self._finished = False
         self._generator: Optional[Iterator[Snapshot]] = None
+        # Explicit anytime cursor.  All suspension state lives here (and
+        # in the structures above) rather than inside a live generator
+        # frame, so a suspended run pickles and resumes elsewhere.
+        self._cursor: Dict[str, object] = {
+            "phase": "step1",     # step1 -> step2 -> step3 -> step4
+            "order": None,        # Step 1 random vertex permutation
+            "pos": 0,             # Step 1 position in the permutation
+            "candidates": None,   # Step 2/3 candidate list (per phase)
+            "cpos": 0,            # Step 2/3 position in the candidates
+            "first": True,        # Step 2/3: charge the sort cost once
+        }
 
         # Vertices that can never be core are known immediately from their
         # degree (Figure 3: untouched -> unprocessed-noise without a query).
@@ -152,6 +163,46 @@ class AnySCAN:
         if self._generator is None:
             self._generator = self._run_generator()
         return self._generator
+
+    def advance(self) -> Optional[Snapshot]:
+        """Run one anytime block iteration; ``None`` once finished.
+
+        The imperative twin of :meth:`iterations` (both drive the same
+        cursor, so they can be mixed freely).  Because no generator frame
+        is involved, a consumer that only ever calls ``advance`` can
+        pickle the instance between any two calls — the suspend/resume
+        contract the service scheduler relies on.
+        """
+        while not self._finished:
+            phase = self._cursor["phase"]
+            if phase == "step1":
+                block = self._next_step1_block()
+                if block is not None:
+                    return self._timed_block(
+                        "summarize", lambda: self._step1_block(block)
+                    )
+                self._enter_candidate_phase("step2")
+            elif phase == "step2":
+                block = self._next_candidate_block()
+                if block is not None:
+                    return self._run_candidate_block(
+                        "merge-strong", self._step2_block, block
+                    )
+                self._enter_candidate_phase("step3")
+            elif phase == "step3":
+                block = self._next_candidate_block()
+                if block is not None:
+                    return self._run_candidate_block(
+                        "merge-weak", self._step3_block, block
+                    )
+                self._cursor["phase"] = "step4"
+            else:  # step4: one terminal iteration
+                started = time.perf_counter()
+                self._step4_body()
+                self._compute_seconds += time.perf_counter() - started
+                self._finished = True
+                return self._make_snapshot(step="borders", final=True)
+        return None
 
     def run(self) -> Clustering:
         """Drain the remaining iterations and return the exact result."""
@@ -333,12 +384,25 @@ class AnySCAN:
     # the anytime loop
     # ------------------------------------------------------------------
     def _run_generator(self) -> Iterator[Snapshot]:
-        yield from self._step1()
-        yield from self._step2()
-        yield from self._step3()
-        yield from self._step4()
-        self._finished = True
-        yield self._make_snapshot(step="borders", final=True)
+        while True:
+            snap = self.advance()
+            if snap is None:
+                return
+            yield snap
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Generator frames cannot pickle; every bit of suspension state
+        # lives in the cursor and the structures, so dropping the frame
+        # loses nothing — iterations() lazily rebuilds it after load.
+        state = self.__dict__.copy()
+        state["_generator"] = None
+        return state
+
+    def _timed_block(self, step: str, work) -> Snapshot:
+        started = time.perf_counter()
+        work()
+        self._compute_seconds += time.perf_counter() - started
+        return self._make_snapshot(step=step, final=False)
 
     def _open_iteration(self, step: str) -> IterationCosts:
         record = IterationCosts(step=step, index=self._iteration_index)
@@ -347,25 +411,23 @@ class AnySCAN:
         return record
 
     # ---------------------------- Step 1 ------------------------------
-    def _step1(self) -> Iterator[Snapshot]:
-        rng = np.random.default_rng(self.config.seed)
-        order = rng.permutation(self.graph.num_vertices)
-        pos = 0
+    def _next_step1_block(self) -> Optional[List[int]]:
+        """The next block of α untouched vertices, or None when exhausted."""
+        cursor = self._cursor
+        if cursor["order"] is None:
+            rng = np.random.default_rng(self.config.seed)
+            cursor["order"] = rng.permutation(self.graph.num_vertices)
+        order = cursor["order"]
+        pos = int(cursor["pos"])
         n = self.graph.num_vertices
-        while True:
-            # Select the next block of α untouched vertices.
-            block_vertices: List[int] = []
-            while pos < n and len(block_vertices) < self.config.alpha:
-                v = int(order[pos])
-                pos += 1
-                if self._states.is_untouched(v):
-                    block_vertices.append(v)
-            if not block_vertices:
-                break
-            started = time.perf_counter()
-            self._step1_block(block_vertices)
-            self._compute_seconds += time.perf_counter() - started
-            yield self._make_snapshot(step="summarize", final=False)
+        block_vertices: List[int] = []
+        while pos < n and len(block_vertices) < self.config.alpha:
+            v = int(order[pos])
+            pos += 1
+            if self._states.is_untouched(v):
+                block_vertices.append(v)
+        cursor["pos"] = pos
+        return block_vertices or None
 
     def _step1_block(self, block_vertices: List[int]) -> None:
         record = self._open_iteration("summarize")
@@ -435,31 +497,64 @@ class AnySCAN:
                 sequential += _SUPERNODE_COST
         record.sequential_cost = sequential
 
-    # ---------------------------- Step 2 ------------------------------
-    def _step2(self) -> Iterator[Snapshot]:
-        candidates = [
-            int(v)
-            for v in self._states.vertices_in(_S.UNPROCESSED_BORDER)
-            if self._sn.membership_count(int(v)) >= 2
-        ]
-        if self.config.sort_candidates:
-            candidates.sort(key=self._sn.membership_count, reverse=True)
-        sort_cost = _SCAN_COST * len(candidates) * max(
+    # ---------------------- Step 2/3 block cursor ---------------------
+    def _enter_candidate_phase(self, phase: str) -> None:
+        cursor = self._cursor
+        cursor["phase"] = phase
+        cursor["candidates"] = None
+        cursor["cpos"] = 0
+        cursor["first"] = True
+
+    def _prepare_candidates(self) -> None:
+        """Materialize (and sort) the current phase's candidate list."""
+        cursor = self._cursor
+        if cursor["phase"] == "step2":
+            candidates = [
+                int(v)
+                for v in self._states.vertices_in(_S.UNPROCESSED_BORDER)
+                if self._sn.membership_count(int(v)) >= 2
+            ]
+            if self.config.sort_candidates:
+                candidates.sort(key=self._sn.membership_count, reverse=True)
+        else:
+            candidates = [
+                int(v)
+                for v in self._states.vertices_in(
+                    _S.UNPROCESSED_BORDER,
+                    _S.UNPROCESSED_CORE,
+                    _S.PROCESSED_CORE,
+                )
+            ]
+            if self.config.sort_candidates:
+                degrees = self.graph.degrees
+                candidates.sort(key=lambda v: int(degrees[v]), reverse=True)
+        cursor["candidates"] = candidates
+        cursor["sort_cost"] = _SCAN_COST * len(candidates) * max(
             np.log2(len(candidates) + 1), 1.0
         )
-        pos = 0
-        first = True
-        while pos < len(candidates):
-            block = candidates[pos : pos + self.config.beta]
-            pos += self.config.beta
-            started = time.perf_counter()
-            record = self._open_iteration("merge-strong")
-            if first:
-                record.sequential_cost += sort_cost
-                first = False
-            self._step2_block(block, record)
-            self._compute_seconds += time.perf_counter() - started
-            yield self._make_snapshot(step="merge-strong", final=False)
+
+    def _next_candidate_block(self) -> Optional[List[int]]:
+        cursor = self._cursor
+        if cursor["candidates"] is None:
+            self._prepare_candidates()
+        candidates = cursor["candidates"]
+        pos = int(cursor["cpos"])
+        if pos >= len(candidates):
+            return None
+        cursor["cpos"] = pos + self.config.beta
+        return candidates[pos : pos + self.config.beta]
+
+    def _run_candidate_block(
+        self, step: str, block_fn, block: List[int]
+    ) -> Snapshot:
+        started = time.perf_counter()
+        record = self._open_iteration(step)
+        if self._cursor["first"]:
+            record.sequential_cost += self._cursor["sort_cost"]
+            self._cursor["first"] = False
+        block_fn(block, record)
+        self._compute_seconds += time.perf_counter() - started
+        return self._make_snapshot(step=step, final=False)
 
     def _step2_block(self, block_vertices: List[int], record: IterationCosts) -> None:
         counters = self.oracle.counters
@@ -500,33 +595,6 @@ class AnySCAN:
         _S.PROCESSED_NOISE,
         _S.PROCESSED_BORDER,
     )
-
-    def _step3(self) -> Iterator[Snapshot]:
-        candidates = [
-            int(v)
-            for v in self._states.vertices_in(
-                _S.UNPROCESSED_BORDER, _S.UNPROCESSED_CORE, _S.PROCESSED_CORE
-            )
-        ]
-        if self.config.sort_candidates:
-            degrees = self.graph.degrees
-            candidates.sort(key=lambda v: int(degrees[v]), reverse=True)
-        sort_cost = _SCAN_COST * len(candidates) * max(
-            np.log2(len(candidates) + 1), 1.0
-        )
-        pos = 0
-        first = True
-        while pos < len(candidates):
-            block = candidates[pos : pos + self.config.beta]
-            pos += self.config.beta
-            started = time.perf_counter()
-            record = self._open_iteration("merge-weak")
-            if first:
-                record.sequential_cost += sort_cost
-                first = False
-            self._step3_block(block, record)
-            self._compute_seconds += time.perf_counter() - started
-            yield self._make_snapshot(step="merge-weak", final=False)
 
     def _prunable_step3(self, p: int) -> Tuple[bool, float]:
         """Whether examining ``p`` cannot change the clustering.
@@ -589,8 +657,7 @@ class AnySCAN:
             block_b.add_task(cost + counters.work_units - before)
 
     # ---------------------------- Step 4 ------------------------------
-    def _step4(self) -> Iterator[Snapshot]:
-        started = time.perf_counter()
+    def _step4_body(self) -> None:
         record = self._open_iteration("borders")
         block = record.new_block("step4/noise")
         counters = self.oracle.counters
@@ -635,10 +702,6 @@ class AnySCAN:
             else:
                 self._states.set(p, _S.PROCESSED_NOISE)
             block.add_task(cost + counters.work_units - before)
-
-        self._compute_seconds += time.perf_counter() - started
-        return
-        yield  # pragma: no cover - makes this a generator for uniformity
 
     def _promote_noise_to_border(self, p: int, anchor: int) -> None:
         """Noise vertex ``p`` turned out to be a border of ``anchor``'s cluster."""

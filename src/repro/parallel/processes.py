@@ -20,6 +20,10 @@ Lifecycle contract:
 * :meth:`ProcessBackend.close` (or the context manager, or the GC
   finalizer) tears both down and **unlinks** the segments even when the
   workload raised;
+* abnormal shutdown is covered too: an atexit hook unlinks every live
+  segment on interpreter exit (``KeyboardInterrupt`` included), and
+  :func:`install_signal_cleanup` extends that to SIGTERM — segments are
+  named ``repro_{pid}_…`` so a leak check can audit ``/dev/shm``;
 * when shared memory is unavailable (restricted ``/dev/shm``, forced
   off via :data:`FORCE_FALLBACK_ENV`) the backend degrades to an
   equivalent :class:`~repro.parallel.threads.ThreadBackend` — same
@@ -28,8 +32,11 @@ Lifecycle contract:
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
+import secrets
+import signal
 import weakref
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -48,9 +55,12 @@ from repro.validation import check_eps_mu
 
 __all__ = [
     "FORCE_FALLBACK_ENV",
+    "SEGMENT_PREFIX",
     "shared_memory_available",
     "SharedGraph",
     "ProcessBackend",
+    "cleanup_live_segments",
+    "install_signal_cleanup",
     "parallel_range_queries",
     "parallel_edge_similarities",
     "parallel_neighbor_updates",
@@ -71,6 +81,65 @@ _ARRAY_LABELS = (
     "indptr", "indices", "weights", "lengths", "max_weights", "linear_sums",
     "sigma_out",
 )
+
+
+#: Leading component of every shared-memory segment name this module
+#: creates.  Segments show up in ``/dev/shm`` as
+#: ``{SEGMENT_PREFIX}_{owner pid}_{label}_{token}``, so a leak check (or
+#: an operator) can attribute every stray segment to its creating
+#: process — anonymous ``psm_*`` names cannot be audited that way.
+SEGMENT_PREFIX = "repro"
+
+#: Every live (not yet closed) :class:`SharedGraph`.  The GC finalizer
+#: handles ordinary drops; this registry is for *abnormal* shutdown —
+#: the atexit hook and :func:`install_signal_cleanup` walk it so a
+#: ``KeyboardInterrupt`` or SIGTERM mid-job still unlinks every segment.
+_LIVE_SHARED: "weakref.WeakSet[SharedGraph]" = weakref.WeakSet()
+
+
+def cleanup_live_segments() -> int:
+    """Close and unlink every live shared graph; returns how many.
+
+    Idempotent and safe to call from an atexit hook or a signal handler:
+    :meth:`SharedGraph.close` is itself idempotent and exception-free.
+    """
+    graphs = list(_LIVE_SHARED)
+    for shared in graphs:
+        shared.close()
+    return len(graphs)
+
+
+atexit.register(cleanup_live_segments)
+
+
+def install_signal_cleanup(
+    signals: Sequence[int] = (signal.SIGTERM,),
+) -> List[Tuple[int, object]]:
+    """Unlink shared segments before dying of ``signals`` (default SIGTERM).
+
+    Python's default SIGTERM disposition kills the interpreter without
+    running atexit hooks, which strands every ``/dev/shm`` segment a
+    running job published.  This installs a handler that unlinks all
+    live segments, restores the previous disposition, and re-raises the
+    signal so the exit status still reflects the termination.  Must be
+    called from the main thread (a CPython restriction on
+    ``signal.signal``); the service server and the ``serve`` CLI do so
+    on startup.  Returns ``(signum, previous handler)`` pairs so a
+    caller can undo the installation.
+    """
+    previous: List[Tuple[int, object]] = []
+
+    def _handler(signum, frame):  # pragma: no cover - exercised via subprocess
+        cleanup_live_segments()
+        for num, old in previous:
+            if num == signum:
+                signal.signal(num, old if callable(old) else signal.SIG_DFL)
+        os.kill(os.getpid(), signum)
+
+    for signum in signals:
+        previous.append((signum, signal.getsignal(signum)))
+        signal.signal(signum, _handler)
+    return previous
 
 
 def shared_memory_available() -> bool:
@@ -122,6 +191,28 @@ def _release_segments(segments: Tuple[shared_memory.SharedMemory, ...]) -> None:
             pass
 
 
+def _create_named_segment(label: str, size: int) -> shared_memory.SharedMemory:
+    """A fresh segment named ``{prefix}_{pid}_{label}_{token}``.
+
+    The random token keeps concurrent owners (and re-created sessions in
+    one process) from colliding; the pid component lets a leak check
+    attribute any stray segment to its creator.
+    """
+    for _ in range(16):
+        name = (
+            f"{SEGMENT_PREFIX}_{os.getpid()}_{label}_{secrets.token_hex(4)}"
+        )
+        try:
+            return shared_memory.SharedMemory(
+                create=True, name=name, size=size
+            )
+        except FileExistsError:  # pragma: no cover - 2^32 collision
+            continue
+    raise SimulationError(
+        f"could not allocate a shared segment for {label!r}"
+    )  # pragma: no cover - requires 16 collisions
+
+
 class SharedGraph:
     """Owner-side copy of one graph (plus oracle invariants) in shared memory.
 
@@ -153,9 +244,7 @@ class SharedGraph:
                 arr = np.ascontiguousarray(arrays[label])
                 # Zero-length arrays are legal (edgeless graphs) but
                 # zero-byte segments are not; round up to one byte.
-                shm = shared_memory.SharedMemory(
-                    create=True, size=max(arr.nbytes, 1)
-                )
+                shm = _create_named_segment(label, max(arr.nbytes, 1))
                 segments.append(shm)
                 view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
                 view[...] = arr
@@ -173,6 +262,7 @@ class SharedGraph:
         self._finalizer = weakref.finalize(
             self, _release_segments, self._segments
         )
+        _LIVE_SHARED.add(self)
 
     def read_array(self, label: str) -> np.ndarray:
         """Copy one published array out of its shared segment."""

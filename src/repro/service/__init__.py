@@ -1,0 +1,52 @@
+"""Interactive anytime-clustering service (DESIGN.md §8).
+
+The integration layer over the reproduction's primitives: anySCAN's
+suspend/resume contract (:mod:`repro.core.anyscan`) scheduled in
+budgeted slices across a worker pool (:mod:`repro.service.jobs`), named
+graphs with reusable σ indexes and an LRU result cache
+(:mod:`repro.service.store`), a JSON wire protocol over the stdlib
+HTTP server (:mod:`repro.service.api`, :mod:`repro.service.server`,
+:mod:`repro.service.client`), and the observability the throughput
+bench reads (:mod:`repro.service.metrics`).
+"""
+
+from repro.service.api import ServiceError, wire_table
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.jobs import JobRecord, JobScheduler, JobState
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.server import (
+    ClusteringServer,
+    ClusteringService,
+    serve_main,
+)
+from repro.service.store import (
+    CachedResult,
+    CacheKey,
+    GraphEntry,
+    GraphStore,
+    ResultCache,
+    make_cache_key,
+    similarity_signature,
+)
+
+__all__ = [
+    "CacheKey",
+    "CachedResult",
+    "ClusteringServer",
+    "ClusteringService",
+    "GraphEntry",
+    "GraphStore",
+    "JobRecord",
+    "JobScheduler",
+    "JobState",
+    "LatencyHistogram",
+    "ResultCache",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceError",
+    "ServiceMetrics",
+    "make_cache_key",
+    "serve_main",
+    "similarity_signature",
+    "wire_table",
+]

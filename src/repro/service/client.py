@@ -1,0 +1,222 @@
+"""Stdlib HTTP client for the clustering service.
+
+A thin, dependency-free wrapper over :mod:`urllib.request` mirroring
+the wire protocol one method per endpoint.  Domain failures surface as
+:class:`ServiceClientError` carrying the HTTP status and the server's
+error message, so callers distinguish "bad request" from "server died"
+without parsing bodies themselves.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+from urllib.error import HTTPError, URLError
+from urllib.request import Request, urlopen
+
+from repro.errors import ReproError
+from repro.graph.csr import Graph
+from repro.validation import check_eps_mu
+
+__all__ = ["ServiceClient", "ServiceClientError"]
+
+
+class ServiceClientError(ReproError):
+    """A request the server rejected (or could not receive at all)."""
+
+    def __init__(self, message: str, *, status: int = 0) -> None:
+        super().__init__(message)
+        self.status = int(status)
+
+
+class ServiceClient:
+    """One service endpoint, e.g. ``ServiceClient("http://127.0.0.1:8421")``."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        data = (
+            json.dumps(payload).encode("utf-8")
+            if payload is not None
+            else None
+        )
+        request = Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except HTTPError as exc:
+            detail = ""
+            try:
+                body = json.loads(exc.read().decode("utf-8"))
+                detail = str(body.get("error", ""))
+            except ValueError:
+                pass
+            raise ServiceClientError(
+                detail or f"{method} {path} failed with HTTP {exc.code}",
+                status=exc.code,
+            ) from None
+        except URLError as exc:
+            raise ServiceClientError(
+                f"cannot reach {self.base_url}: {exc.reason}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # graphs
+    # ------------------------------------------------------------------
+    def load_graph(
+        self,
+        name: str,
+        *,
+        graph: Optional[Graph] = None,
+        edges: Optional[Sequence[Sequence[float]]] = None,
+        num_vertices: Optional[int] = None,
+        similarity: Optional[Dict[str, object]] = None,
+        build_index: bool = False,
+        replace: bool = False,
+    ) -> Dict[str, object]:
+        """Host a graph server-side, from a CSR ``graph`` or raw edges."""
+        if (graph is None) == (edges is None):
+            raise ServiceClientError(
+                "pass exactly one of 'graph' or 'edges'"
+            )
+        if graph is not None:
+            edges = [[int(u), int(v), float(w)] for u, v, w in graph.edges()]
+            num_vertices = graph.num_vertices
+        payload: Dict[str, object] = {
+            "name": name,
+            "edges": [list(edge) for edge in (edges or [])],
+            "build_index": build_index,
+            "replace": replace,
+        }
+        if num_vertices is not None:
+            payload["num_vertices"] = int(num_vertices)
+        if similarity is not None:
+            payload["similarity"] = similarity
+        return self._request("POST", "/graphs", payload)
+
+    def graphs(self) -> List[Dict[str, object]]:
+        return list(self._request("GET", "/graphs")["graphs"])
+
+    def graph_info(self, name: str) -> Dict[str, object]:
+        return self._request("GET", f"/graphs/{name}")
+
+    def update_edges(
+        self,
+        name: str,
+        *,
+        insert: Sequence[Sequence[float]] = (),
+        delete: Sequence[Sequence[int]] = (),
+        add_vertices: int = 0,
+    ) -> Dict[str, object]:
+        return self._request(
+            "POST",
+            f"/graphs/{name}/update-edges",
+            {
+                "insert": [list(edge) for edge in insert],
+                "delete": [list(edge) for edge in delete],
+                "add_vertices": int(add_vertices),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # clustering jobs
+    # ------------------------------------------------------------------
+    def cluster(
+        self,
+        name: str,
+        mu: int,
+        epsilon: float,
+        *,
+        wait: Optional[float] = None,
+        priority: int = 0,
+        alpha: Optional[int] = None,
+        beta: Optional[int] = None,
+        seed: Optional[int] = None,
+        labels: bool = True,
+    ) -> Dict[str, object]:
+        """Submit a clustering query; ``wait`` seconds for completion."""
+        check_eps_mu(mu=mu, epsilon=epsilon)
+        payload: Dict[str, object] = {
+            "graph": name,
+            "mu": int(mu),
+            "epsilon": float(epsilon),
+            "priority": int(priority),
+            "labels": labels,
+        }
+        if wait is not None:
+            payload["wait"] = float(wait)
+        if alpha is not None:
+            payload["alpha"] = int(alpha)
+        if beta is not None:
+            payload["beta"] = int(beta)
+        if seed is not None:
+            payload["seed"] = int(seed)
+        return self._request("POST", "/cluster", payload)
+
+    def jobs(self) -> List[Dict[str, object]]:
+        return list(self._request("GET", "/jobs")["jobs"])
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def snapshot(
+        self, job_id: str, *, labels: bool = True
+    ) -> Dict[str, object]:
+        suffix = "" if labels else "?labels=false"
+        return self._request("GET", f"/jobs/{job_id}/snapshot{suffix}")
+
+    def result(
+        self,
+        job_id: str,
+        *,
+        wait: Optional[float] = None,
+        labels: bool = True,
+    ) -> Dict[str, object]:
+        params = []
+        if wait is not None:
+            params.append(f"wait={float(wait)}")
+        if not labels:
+            params.append("labels=false")
+        suffix = "?" + "&".join(params) if params else ""
+        return self._request("GET", f"/jobs/{job_id}/result{suffix}")
+
+    def pause(self, job_id: str) -> Dict[str, object]:
+        return self._request("POST", f"/jobs/{job_id}/pause", {})
+
+    def resume(self, job_id: str) -> Dict[str, object]:
+        return self._request("POST", f"/jobs/{job_id}/resume", {})
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        return self._request("POST", f"/jobs/{job_id}/cancel", {})
+
+    def set_priority(self, job_id: str, priority: int) -> Dict[str, object]:
+        return self._request(
+            "POST", f"/jobs/{job_id}/priority", {"priority": int(priority)}
+        )
+
+    # ------------------------------------------------------------------
+    # observability + shutdown
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, object]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, object]:
+        return self._request("GET", "/metrics")
+
+    def shutdown(self) -> Dict[str, object]:
+        return self._request("POST", "/shutdown", {})

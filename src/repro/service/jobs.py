@@ -1,0 +1,480 @@
+"""Cooperative scheduling of anySCAN runs as budgeted anytime jobs.
+
+The paper's anytime contract (suspend after any block iteration, resume
+later, exact result at the end) is precisely the primitive a serving
+layer needs to multiplex many clustering requests over one worker pool:
+
+* a *job* wraps one :class:`~repro.core.anyscan.AnySCAN` instance;
+* workers repeatedly pop the highest-priority runnable job, run a
+  *slice* of ``slice_iterations`` calls to
+  :meth:`~repro.core.anyscan.AnySCAN.advance`, and requeue it — so N
+  concurrent jobs make interleaved progress instead of running head-of-
+  line;
+* any job can be paused, resumed, reprioritized, or cancelled between
+  slices, and its latest :class:`~repro.core.snapshots.Snapshot`
+  (assigned fraction + approximate clustering) is readable at any time;
+* paused jobs survive a scheduler restart: :meth:`JobScheduler.export_job`
+  pickles the suspended algorithm (its cursor holds all loop state) and
+  :meth:`JobScheduler.import_job` revives it elsewhere.
+
+Concurrency contract (the R1 budget of the analysis gate): every shared
+mutation — job records, the ready heap, the slice log — happens under
+``self._lock``; the only work done *outside* it is the slice itself,
+which touches one job's algorithm, owned exclusively by the worker that
+marked the job RUNNING.  ``pause_requested``/``cancel_requested`` are
+additionally *read* mid-slice without the lock for promptness; those
+reads are advisory (a stale value only delays the reaction by at most
+one iteration) and the authoritative check happens under the lock.
+
+The ``on_done`` callback runs *under* the scheduler lock, in the same
+critical section that makes the job terminal: callers observing a
+terminal state (``wait``, ``info``, a status poll) are then guaranteed
+the callback's effects — the serving layer's cache fill and counter
+updates — already happened.  The callback must only take leaf locks
+and must not call back into the scheduler.
+"""
+
+from __future__ import annotations
+
+import heapq
+import pickle
+import threading
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.anyscan import AnySCAN
+from repro.core.snapshots import Snapshot
+from repro.errors import ConfigError, ReproError
+from repro.result import Clustering
+from repro.validation import check_eps_mu
+
+__all__ = ["JobRecord", "JobScheduler", "JobState"]
+
+_SLICE_LOG_LIMIT = 10_000
+
+
+class JobState(Enum):
+    """Lifecycle of one anytime job (see DESIGN.md §8)."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    PAUSED = "paused"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+#: States from which a job can never run again.
+TERMINAL_STATES = frozenset(
+    {JobState.DONE, JobState.FAILED, JobState.CANCELLED}
+)
+
+
+@dataclass
+class JobRecord:
+    """Bookkeeping for one scheduled anySCAN run."""
+
+    job_id: str
+    graph_name: str
+    mu: int
+    epsilon: float
+    priority: int
+    algorithm: AnySCAN
+    state: JobState = JobState.PENDING
+    slices: int = 0
+    iterations: int = 0
+    latest: Optional[Snapshot] = None
+    result: Optional[Clustering] = None
+    error: Optional[str] = None
+    pause_requested: bool = False
+    cancel_requested: bool = False
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def info(self) -> Dict[str, object]:
+        """JSON-ready status view (no labels; use snapshots for those)."""
+        latest = self.latest
+        return {
+            "job_id": self.job_id,
+            "graph": self.graph_name,
+            "mu": self.mu,
+            "epsilon": self.epsilon,
+            "priority": self.priority,
+            "state": self.state.value,
+            "slices": self.slices,
+            "iterations": self.iterations,
+            "finished": self.state in TERMINAL_STATES,
+            "assigned_fraction": (
+                latest.assigned_fraction if latest is not None else 0.0
+            ),
+            "num_clusters": (
+                latest.num_clusters if latest is not None else 0
+            ),
+            "error": self.error,
+        }
+
+
+class JobScheduler:
+    """Worker pool running anySCAN jobs in interleaved slices."""
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        slice_iterations: int = 4,
+        on_done: Optional[Callable[[JobRecord], None]] = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigError("workers must be >= 1")
+        if slice_iterations < 1:
+            raise ConfigError("slice_iterations must be >= 1")
+        self.slice_iterations = int(slice_iterations)
+        self.on_done = on_done
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._jobs: Dict[str, JobRecord] = {}
+        # Ready queue: (-priority, seq, job_id).  Entries go stale when a
+        # job is paused/cancelled/reprioritized; _pop_ready_locked skips
+        # them lazily instead of rebuilding the heap.
+        self._ready: List[Tuple[int, int, str]] = []
+        self._seq = 0
+        self._closed = False
+        #: Order in which slices completed (job ids) — the observable
+        #: interleaving; bounded, oldest half dropped on overflow.
+        self.slice_log: List[str] = []
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"job-worker-{i}",
+                daemon=True,
+            )
+            for i in range(int(workers))
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # submission and lifecycle control
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        algorithm: AnySCAN,
+        *,
+        graph_name: str = "",
+        mu: Optional[int] = None,
+        epsilon: Optional[float] = None,
+        priority: int = 0,
+        meta: Optional[Dict[str, object]] = None,
+    ) -> str:
+        """Queue one anySCAN run; returns its job id immediately."""
+        check_eps_mu(mu=mu, epsilon=epsilon)
+        mu = int(mu if mu is not None else algorithm.config.mu)
+        epsilon = float(
+            epsilon if epsilon is not None else algorithm.config.epsilon
+        )
+        with self._wake:
+            if self._closed:
+                raise ReproError("scheduler is closed")
+            self._seq += 1
+            job = JobRecord(
+                job_id=f"job-{self._seq}",
+                graph_name=graph_name,
+                mu=mu,
+                epsilon=epsilon,
+                priority=int(priority),
+                algorithm=algorithm,
+                meta=dict(meta or {}),
+            )
+            # Seed the snapshot so status/snapshot reads never race the
+            # worker: before the first slice the algorithm is idle.
+            job.latest = algorithm.snapshot()
+            self._jobs[job.job_id] = job
+            if algorithm.finished:
+                job.state = JobState.DONE
+                job.result = algorithm.result()
+                self._notify_done_locked(job)
+            else:
+                self._push_ready_locked(job)
+            self._wake.notify_all()
+        return job.job_id
+
+    def pause(self, job_id: str) -> Dict[str, object]:
+        """Stop a job after its current slice; no-op if already paused."""
+        with self._wake:
+            job = self._require_locked(job_id)
+            if job.state is JobState.PENDING:
+                job.state = JobState.PAUSED
+            elif job.state is JobState.RUNNING:
+                job.pause_requested = True
+            elif job.state is not JobState.PAUSED:
+                raise ReproError(
+                    f"job {job_id} is {job.state.value}; cannot pause"
+                )
+            return job.info()
+
+    def resume(self, job_id: str) -> Dict[str, object]:
+        """Requeue a paused job (or cancel a pending pause request)."""
+        with self._wake:
+            job = self._require_locked(job_id)
+            if job.state is JobState.PAUSED:
+                job.state = JobState.PENDING
+                job.pause_requested = False
+                self._push_ready_locked(job)
+                self._wake.notify_all()
+            elif job.state in (JobState.PENDING, JobState.RUNNING):
+                job.pause_requested = False
+            else:
+                raise ReproError(
+                    f"job {job_id} is {job.state.value}; cannot resume"
+                )
+            return job.info()
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        """Terminate a job; running slices stop at the next iteration."""
+        with self._wake:
+            job = self._require_locked(job_id)
+            if job.state in (JobState.PENDING, JobState.PAUSED):
+                job.state = JobState.CANCELLED
+                self._notify_done_locked(job)
+                self._wake.notify_all()
+            elif job.state is JobState.RUNNING:
+                job.cancel_requested = True
+            elif job.state not in TERMINAL_STATES:
+                raise ReproError(
+                    f"job {job_id} is {job.state.value}; cannot cancel"
+                )
+            return job.info()
+
+    def reprioritize(self, job_id: str, priority: int) -> Dict[str, object]:
+        """Change a job's priority; takes effect at its next queueing."""
+        with self._wake:
+            job = self._require_locked(job_id)
+            if job.state in TERMINAL_STATES:
+                raise ReproError(
+                    f"job {job_id} is {job.state.value}; cannot reprioritize"
+                )
+            job.priority = int(priority)
+            if job.state is JobState.PENDING:
+                self._push_ready_locked(job)
+                self._wake.notify_all()
+            return job.info()
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def info(self, job_id: str) -> Dict[str, object]:
+        with self._lock:
+            return self._require_locked(job_id).info()
+
+    def list_jobs(self) -> List[Dict[str, object]]:
+        with self._lock:
+            return [job.info() for job in self._jobs.values()]
+
+    def snapshot(self, job_id: str) -> Snapshot:
+        """Latest post-slice snapshot (pre-run: the empty iteration 0)."""
+        with self._lock:
+            job = self._require_locked(job_id)
+            assert job.latest is not None  # seeded at submit
+            return job.latest
+
+    def result(self, job_id: str) -> Clustering:
+        """Exact final clustering of a DONE job."""
+        with self._lock:
+            job = self._require_locked(job_id)
+            if job.state is not JobState.DONE or job.result is None:
+                raise ReproError(
+                    f"job {job_id} is {job.state.value}; no final result"
+                )
+            return job.result
+
+    def wait(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> Dict[str, object]:
+        """Block until the job reaches a terminal state (or timeout)."""
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        with self._wake:
+            job = self._require_locked(job_id)
+            while job.state not in TERMINAL_STATES:
+                remaining = (
+                    None
+                    if deadline is None
+                    else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    break
+                self._wake.wait(remaining)
+            return job.info()
+
+    def state_counts(self) -> Dict[str, int]:
+        """Jobs per state — the gauge ``/metrics`` reports."""
+        with self._lock:
+            counts: Dict[str, int] = {}
+            for job in self._jobs.values():
+                counts[job.state.value] = counts.get(job.state.value, 0) + 1
+            return counts
+
+    # ------------------------------------------------------------------
+    # suspend-to-disk (scheduler restarts)
+    # ------------------------------------------------------------------
+    def export_job(self, job_id: str) -> bytes:
+        """Pickle a paused/pending job for re-import after a restart."""
+        with self._lock:
+            job = self._require_locked(job_id)
+            if job.state not in (JobState.PAUSED, JobState.PENDING):
+                raise ReproError(
+                    f"job {job_id} is {job.state.value}; only paused or "
+                    "pending jobs can be exported"
+                )
+            payload = {
+                "job_id": job.job_id,
+                "graph_name": job.graph_name,
+                "mu": job.mu,
+                "epsilon": job.epsilon,
+                "priority": job.priority,
+                "algorithm": job.algorithm,
+                "slices": job.slices,
+                "iterations": job.iterations,
+                "latest": job.latest,
+                "meta": dict(job.meta),
+            }
+        return pickle.dumps(payload)
+
+    def import_job(self, data: bytes) -> str:
+        """Revive an exported job in PAUSED state; returns its (new) id."""
+        payload = pickle.loads(data)
+        with self._wake:
+            if self._closed:
+                raise ReproError("scheduler is closed")
+            self._seq += 1
+            job_id = str(payload["job_id"])
+            if job_id in self._jobs:
+                job_id = f"{job_id}-r{self._seq}"
+            job = JobRecord(
+                job_id=job_id,
+                graph_name=str(payload["graph_name"]),
+                mu=int(payload["mu"]),
+                epsilon=float(payload["epsilon"]),
+                priority=int(payload["priority"]),
+                algorithm=payload["algorithm"],
+                state=JobState.PAUSED,
+                slices=int(payload["slices"]),
+                iterations=int(payload["iterations"]),
+                latest=payload["latest"],
+                meta=dict(payload["meta"]),
+            )
+            self._jobs[job.job_id] = job
+        return job.job_id
+
+    # ------------------------------------------------------------------
+    # shutdown
+    # ------------------------------------------------------------------
+    def close(self, timeout: Optional[float] = 10.0) -> None:
+        """Stop the workers after their current slices; idempotent."""
+        with self._wake:
+            self._closed = True
+            self._wake.notify_all()
+        for thread in self._threads:
+            thread.join(timeout)
+
+    def __enter__(self) -> "JobScheduler":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # worker internals
+    # ------------------------------------------------------------------
+    def _notify_done_locked(self, job: JobRecord) -> None:
+        """Run ``on_done`` while still holding the scheduler lock.
+
+        A job must never be *observably* terminal (via ``wait``/``info``)
+        before its completion callback ran — the serving layer fills the
+        result cache in ``on_done``, and releasing the lock first would
+        let a repeat query race the cache fill and miss.  The callback
+        must therefore only take leaf locks (cache, metrics) and must
+        not call back into the scheduler.
+        """
+        if self.on_done is not None:
+            self.on_done(job)
+
+    def _require_locked(self, job_id: str) -> JobRecord:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise ReproError(f"unknown job {job_id!r}")
+        return job
+
+    def _push_ready_locked(self, job: JobRecord) -> None:
+        self._seq += 1
+        heapq.heappush(self._ready, (-job.priority, self._seq, job.job_id))
+
+    def _pop_ready_locked(self) -> Optional[JobRecord]:
+        while self._ready:
+            neg_priority, _, job_id = heapq.heappop(self._ready)
+            job = self._jobs.get(job_id)
+            if (
+                job is not None
+                and job.state is JobState.PENDING
+                and -neg_priority == job.priority
+            ):
+                return job
+            # Stale entry (paused/cancelled/reprioritized since push).
+        return None
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._wake:
+                job = self._pop_ready_locked()
+                while job is None and not self._closed:
+                    self._wake.wait()
+                    job = self._pop_ready_locked()
+                if job is None:
+                    return
+                job.state = JobState.RUNNING
+            self._run_slice(job)
+
+    def _run_slice(self, job: JobRecord) -> None:
+        """One budgeted slice; the worker owns ``job.algorithm`` here."""
+        snaps: List[Snapshot] = []
+        result: Optional[Clustering] = None
+        error: Optional[str] = None
+        try:
+            for _ in range(self.slice_iterations):
+                snap = job.algorithm.advance()
+                if snap is None:
+                    break
+                snaps.append(snap)
+                if job.cancel_requested or job.pause_requested:
+                    break  # advisory read; authoritative check below
+            if job.algorithm.finished:
+                result = job.algorithm.result()
+        except Exception as exc:  # jobs fail; the scheduler must not
+            error = f"{type(exc).__name__}: {exc}"
+        with self._wake:
+            job.slices += 1
+            job.iterations += len(snaps)
+            if snaps:
+                job.latest = snaps[-1]
+            if len(self.slice_log) >= _SLICE_LOG_LIMIT:
+                del self.slice_log[: _SLICE_LOG_LIMIT // 2]
+            self.slice_log.append(job.job_id)
+            if error is not None:
+                job.state = JobState.FAILED
+                job.error = error
+            elif result is not None:
+                job.state = JobState.DONE
+                job.result = result
+            elif job.cancel_requested:
+                job.state = JobState.CANCELLED
+            elif job.pause_requested:
+                job.state = JobState.PAUSED
+                job.pause_requested = False
+            else:
+                job.state = JobState.PENDING
+                self._push_ready_locked(job)
+            if job.state in TERMINAL_STATES:
+                self._notify_done_locked(job)
+            self._wake.notify_all()

@@ -1,0 +1,152 @@
+"""Service observability: latency histograms, counters, and gauges.
+
+Everything the ``/metrics`` endpoint reports lives here:
+
+* :class:`LatencyHistogram` — log-spaced bucket histogram with exact
+  count/sum/min/max, good for p50/p99 within one bucket's resolution
+  (10 buckets per decade, so quantile error is bounded by ~26%
+  multiplicative — plenty for dashboards and the bench's latency
+  tables) at O(1) memory per endpoint.
+* :class:`ServiceMetrics` — a registry of named monotonic counters
+  (cache hits, σ evaluations, …), per-endpoint latency histograms, and
+  *gauge callbacks* sampled at snapshot time (the job scheduler
+  registers its per-state job counts this way, so ``/metrics`` always
+  reflects the live queue without the metrics layer holding scheduler
+  state).
+
+Concurrency: HTTP handler threads and scheduler workers record
+concurrently, so every mutation happens under one internal lock (the
+R1 budget of the analysis gate).  Gauge callbacks are invoked *outside*
+that lock — they typically take their owner's lock (e.g. the
+scheduler's), and nesting foreign locks under ours invites ordering
+deadlocks.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Callable, Dict, List
+
+from repro.errors import ConfigError
+
+__all__ = ["LatencyHistogram", "ServiceMetrics"]
+
+# Bucket upper bounds in seconds: 10 per decade from 100µs to 100s; one
+# overflow bucket catches anything slower.
+_BOUNDS: List[float] = [
+    10.0 ** (-4 + k / 10.0) for k in range(0, 61)
+]
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram (seconds); not itself locked —
+    the owning :class:`ServiceMetrics` serializes access."""
+
+    def __init__(self) -> None:
+        self._counts = [0] * (len(_BOUNDS) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ConfigError("latency cannot be negative")
+        self._counts[bisect.bisect_left(_BOUNDS, seconds)] += 1
+        self.count += 1
+        self.total += seconds
+        self.min = min(self.min, seconds)
+        self.max = max(self.max, seconds)
+
+    def percentile(self, p: float) -> float:
+        """Upper bound of the bucket holding the p-th percentile sample.
+
+        Clamped to the exact observed ``[min, max]`` so degenerate
+        distributions (all samples in one bucket) stay tight.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ConfigError("percentile must be in [0, 100]")
+        if self.count == 0:
+            return 0.0
+        target = max(1, int(p / 100.0 * self.count + 0.5))
+        cumulative = 0
+        for idx, count in enumerate(self._counts):
+            cumulative += count
+            if cumulative >= target:
+                upper = _BOUNDS[idx] if idx < len(_BOUNDS) else self.max
+                return min(max(upper, self.min), self.max)
+        return self.max
+
+    def snapshot(self) -> Dict[str, float]:
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean_s": self.total / self.count,
+            "min_s": self.min,
+            "max_s": self.max,
+            "p50_s": self.percentile(50.0),
+            "p99_s": self.percentile(99.0),
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe counters + per-endpoint latency + gauge callbacks."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._latency: Dict[str, LatencyHistogram] = {}
+        self._gauges: Dict[str, Callable[[], object]] = {}
+
+    # ------------------------------------------------------------------
+    # counters
+    # ------------------------------------------------------------------
+    def increment(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + int(amount)
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    # ------------------------------------------------------------------
+    # latency
+    # ------------------------------------------------------------------
+    def observe_latency(self, endpoint: str, seconds: float) -> None:
+        with self._lock:
+            histogram = self._latency.get(endpoint)
+            if histogram is None:
+                histogram = self._latency[endpoint] = LatencyHistogram()
+            histogram.record(seconds)
+
+    # ------------------------------------------------------------------
+    # gauges
+    # ------------------------------------------------------------------
+    def register_gauge(self, name: str, fn: Callable[[], object]) -> None:
+        """Register a callable sampled on every :meth:`snapshot`.
+
+        The callable runs outside the metrics lock and must return a
+        JSON-serializable value.
+        """
+        with self._lock:
+            self._gauges[name] = fn
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """One JSON-ready view of every counter/histogram/gauge."""
+        with self._lock:
+            gauges = dict(self._gauges)
+        sampled = {name: fn() for name, fn in gauges.items()}
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "latency": {
+                    endpoint: histogram.snapshot()
+                    for endpoint, histogram in self._latency.items()
+                },
+                "gauges": sampled,
+            }

@@ -1,0 +1,589 @@
+"""The clustering service: endpoint handlers + stdlib HTTP hosting.
+
+:class:`ClusteringService` composes the pieces the previous layers
+built — the :class:`~repro.service.store.GraphStore` (named graphs +
+σ indexes), the :class:`~repro.service.store.ResultCache`, the
+:class:`~repro.service.jobs.JobScheduler` (anytime slices over a worker
+pool) and :class:`~repro.service.metrics.ServiceMetrics` — behind the
+wire protocol of :mod:`repro.service.api`.  The HTTP layer is a plain
+``ThreadingHTTPServer`` (no dependencies beyond the stdlib): each
+request thread parses JSON, dispatches to a ``handle_*`` method, and
+records the endpoint's latency.
+
+The cache discipline implements the issue's interactivity story:
+
+* a `cluster` request first consults the LRU under the full query
+  identity (graph fingerprint, σ semantics, μ, ε) — a hit answers with
+  **zero** σ evaluations and no job;
+* a miss schedules an anytime job whose oracle is the graph's
+  :class:`~repro.similarity.index.IndexedOracle` when σ is
+  materialized — near-miss (ε, μ) queries then also run without σ
+  evaluations, just threshold passes over stored values;
+* `update-edges` mutates through DynamicSCAN and invalidates exactly
+  the entries keyed by the pre-update fingerprint.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional
+
+from repro.core.anyscan import AnySCAN
+from repro.core.config import AnyScanConfig
+from repro.errors import ConfigError
+from repro.graph.builder import GraphBuilder
+from repro.graph.csr import Graph
+from repro.service import api
+from repro.service.api import (
+    ServiceError,
+    clustering_payload,
+    get_bool,
+    get_float,
+    get_int,
+    get_str,
+    snapshot_payload,
+)
+from repro.service.jobs import JobRecord, JobScheduler, JobState
+from repro.service.metrics import ServiceMetrics
+from repro.service.store import (
+    CachedResult,
+    GraphStore,
+    ResultCache,
+    make_cache_key,
+)
+from repro.similarity.weighted import SimilarityConfig
+from repro.validation import check_eps_mu
+
+__all__ = ["ClusteringServer", "ClusteringService", "serve_main"]
+
+_SIMILARITY_FIELDS = (
+    "kind",
+    "closed",
+    "self_weight",
+    "count_self",
+    "pruning",
+)
+
+
+def _similarity_from_payload(spec: object) -> Optional[SimilarityConfig]:
+    if spec is None:
+        return None
+    if not isinstance(spec, dict):
+        raise ServiceError("field 'similarity' must be an object")
+    unknown = sorted(set(spec) - set(_SIMILARITY_FIELDS))
+    if unknown:
+        raise ServiceError(
+            f"unknown similarity fields {unknown}; "
+            f"allowed: {sorted(_SIMILARITY_FIELDS)}"
+        )
+    config = SimilarityConfig(**spec)
+    config.validate()
+    return config
+
+
+class ClusteringService:
+    """Endpoint implementations over store + cache + scheduler."""
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        slice_iterations: int = 4,
+        cache_capacity: int = 128,
+        default_alpha: int = 1024,
+        default_beta: int = 1024,
+    ) -> None:
+        if default_alpha < 1 or default_beta < 1:
+            raise ConfigError("default block sizes must be >= 1")
+        self.default_alpha = int(default_alpha)
+        self.default_beta = int(default_beta)
+        self.store = GraphStore()
+        self.cache = ResultCache(capacity=cache_capacity)
+        self.metrics = ServiceMetrics()
+        self.scheduler = JobScheduler(
+            workers=workers,
+            slice_iterations=slice_iterations,
+            on_done=self._job_finished,
+        )
+        self.shutdown_event = threading.Event()
+        self.metrics.register_gauge("jobs", self.scheduler.state_counts)
+        self.metrics.register_gauge("cache", self.cache.stats)
+        self.metrics.register_gauge("graphs", lambda: len(self.store))
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self.scheduler.close()
+
+    def _job_finished(self, job: JobRecord) -> None:
+        """Scheduler callback: account terminal jobs, fill the cache."""
+        if job.state is JobState.DONE and job.result is not None:
+            stats = job.algorithm.statistics()
+            evaluations = int(stats["sigma_evaluations"])
+            self.metrics.increment("jobs_completed")
+            self.metrics.increment("sigma_evaluations", evaluations)
+            key = job.meta.get("cache_key")
+            if key is not None:
+                self.cache.put(
+                    key,
+                    CachedResult(
+                        labels=job.result.labels.copy(),
+                        num_clusters=job.result.num_clusters,
+                        sigma_evaluations=evaluations,
+                        compute_seconds=float(stats["compute_seconds"]),
+                    ),
+                )
+        elif job.state is JobState.FAILED:
+            self.metrics.increment("jobs_failed")
+        elif job.state is JobState.CANCELLED:
+            self.metrics.increment("jobs_cancelled")
+
+    # ------------------------------------------------------------------
+    # graph endpoints
+    # ------------------------------------------------------------------
+    def handle_load_graph(self, payload: Dict[str, object]) -> Dict[str, object]:
+        name = get_str(payload, "name")
+        edges = payload.get("edges")
+        if not isinstance(edges, list):
+            raise ServiceError("field 'edges' must be a list of [u, v(, w)]")
+        max_vertex = -1
+        for spec in edges:
+            if not isinstance(spec, (list, tuple)) or len(spec) not in (2, 3):
+                raise ServiceError(
+                    "edges entries must be [u, v] or [u, v, weight]"
+                )
+            max_vertex = max(max_vertex, int(spec[0]), int(spec[1]))
+        num_vertices = get_int(payload, "num_vertices", max_vertex + 1)
+        assert num_vertices is not None
+        if num_vertices <= max_vertex:
+            raise ServiceError(
+                f"num_vertices={num_vertices} but edges reference vertex "
+                f"{max_vertex}"
+            )
+        builder = GraphBuilder(num_vertices)
+        for spec in edges:
+            weight = float(spec[2]) if len(spec) == 3 else 1.0
+            builder.add_edge(int(spec[0]), int(spec[1]), weight)
+        graph = builder.build(dedup="error")
+        entry = self.store.add(
+            name,
+            graph,
+            similarity=_similarity_from_payload(payload.get("similarity")),
+            build_index=get_bool(payload, "build_index"),
+            replace=get_bool(payload, "replace"),
+        )
+        self.metrics.increment("graphs_loaded")
+        return entry.info()
+
+    def handle_list_graphs(self, payload: Dict[str, object]) -> Dict[str, object]:
+        return {"graphs": self.store.infos()}
+
+    def handle_graph_info(
+        self, payload: Dict[str, object], name: str
+    ) -> Dict[str, object]:
+        return self.store.get(name).info()
+
+    def handle_update_edges(
+        self, payload: Dict[str, object], name: str
+    ) -> Dict[str, object]:
+        insert = payload.get("insert", [])
+        delete = payload.get("delete", [])
+        if not isinstance(insert, list) or not isinstance(delete, list):
+            raise ServiceError("'insert' and 'delete' must be lists")
+        add_vertices = get_int(payload, "add_vertices", 0)
+        assert add_vertices is not None
+        stats = self.store.update_edges(
+            name,
+            insert=insert,
+            delete=delete,
+            add_vertices=add_vertices,
+        )
+        invalidated = self.cache.invalidate_fingerprint(
+            stats.old_fingerprint
+        )
+        self.metrics.increment("edge_updates")
+        self.metrics.increment("cache_invalidated", invalidated)
+        return {
+            "graph": name,
+            "fingerprint": stats.new_fingerprint,
+            "previous_fingerprint": stats.old_fingerprint,
+            "vertices_added": stats.vertices_added,
+            "inserted": stats.inserted,
+            "deleted": stats.deleted,
+            "sigma_recomputations": stats.sigma_recomputations,
+            "cache_entries_invalidated": invalidated,
+        }
+
+    # ------------------------------------------------------------------
+    # clustering endpoints
+    # ------------------------------------------------------------------
+    def handle_cluster(self, payload: Dict[str, object]) -> Dict[str, object]:
+        name = get_str(payload, "graph")
+        mu = get_int(payload, "mu")
+        epsilon = get_float(payload, "epsilon")
+        if mu is None or epsilon is None:
+            raise ServiceError("fields 'mu' and 'epsilon' are required")
+        check_eps_mu(mu=mu, epsilon=epsilon)
+        wait = get_float(payload, "wait", 0.0)
+        assert wait is not None
+        include_labels = get_bool(payload, "labels", True)
+        entry = self.store.get(name)
+        key = make_cache_key(entry.fingerprint, entry.similarity, mu, epsilon)
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.metrics.increment("cache_hits")
+            body = clustering_payload(
+                cached.labels, include_labels=include_labels
+            )
+            body.update(
+                {
+                    "graph": name,
+                    "state": "done",
+                    "cached": True,
+                    "job_id": None,
+                    "sigma_evaluations": 0,
+                }
+            )
+            return body
+        self.metrics.increment("cache_misses")
+        if entry.auto_index and entry.index is None:
+            # The index went stale after update-edges; rebuild lazily.
+            entry = self.store.ensure_index(name)
+        config = AnyScanConfig(
+            mu=mu,
+            epsilon=epsilon,
+            alpha=get_int(payload, "alpha", self.default_alpha) or 1,
+            beta=get_int(payload, "beta", self.default_beta) or 1,
+            seed=get_int(payload, "seed", 0) or 0,
+            similarity=entry.similarity,
+            record_costs=False,
+        )
+        algorithm = AnySCAN(
+            entry.graph, config, oracle=self.store.oracle_for(entry)
+        )
+        job_id = self.scheduler.submit(
+            algorithm,
+            graph_name=name,
+            mu=mu,
+            epsilon=epsilon,
+            priority=get_int(payload, "priority", 0) or 0,
+            meta={"cache_key": key, "fingerprint": entry.fingerprint},
+        )
+        self.metrics.increment("jobs_submitted")
+        if wait > 0:
+            info = self.scheduler.wait(job_id, timeout=wait)
+            if info["state"] == JobState.DONE.value:
+                return self._result_body(
+                    job_id, name, include_labels=include_labels
+                )
+            return dict(info, cached=False)
+        return dict(self.scheduler.info(job_id), cached=False)
+
+    def _result_body(
+        self, job_id: str, graph_name: str, *, include_labels: bool
+    ) -> Dict[str, object]:
+        labels = self.scheduler.result(job_id).labels
+        snap = self.scheduler.snapshot(job_id)
+        body = clustering_payload(labels, include_labels=include_labels)
+        body.update(
+            {
+                "graph": graph_name,
+                "job_id": job_id,
+                "state": "done",
+                "cached": False,
+                "sigma_evaluations": int(snap.sigma_evaluations),
+            }
+        )
+        return body
+
+    # ------------------------------------------------------------------
+    # job endpoints
+    # ------------------------------------------------------------------
+    def handle_list_jobs(self, payload: Dict[str, object]) -> Dict[str, object]:
+        return {"jobs": self.scheduler.list_jobs()}
+
+    def handle_job_status(
+        self, payload: Dict[str, object], job_id: str
+    ) -> Dict[str, object]:
+        return self.scheduler.info(job_id)
+
+    def handle_job_snapshot(
+        self, payload: Dict[str, object], job_id: str
+    ) -> Dict[str, object]:
+        include_labels = get_bool(payload, "labels", True)
+        snap = self.scheduler.snapshot(job_id)
+        body = snapshot_payload(snap, include_labels=include_labels)
+        body["job_id"] = job_id
+        body.update(
+            state=self.scheduler.info(job_id)["state"],
+        )
+        return body
+
+    def handle_job_result(
+        self, payload: Dict[str, object], job_id: str
+    ) -> Dict[str, object]:
+        wait = get_float(payload, "wait")
+        include_labels = get_bool(payload, "labels", True)
+        if wait is not None:
+            info = self.scheduler.wait(job_id, timeout=wait)
+        else:
+            info = self.scheduler.info(job_id)
+        if info["state"] == JobState.DONE.value:
+            return self._result_body(
+                job_id, str(info["graph"]), include_labels=include_labels
+            )
+        if info["state"] == JobState.FAILED.value:
+            raise ServiceError(
+                f"job {job_id} failed: {info['error']}", status=500
+            )
+        raise ServiceError(
+            f"job {job_id} is {info['state']}; result not available",
+            status=409,
+        )
+
+    def handle_pause_job(
+        self, payload: Dict[str, object], job_id: str
+    ) -> Dict[str, object]:
+        return self.scheduler.pause(job_id)
+
+    def handle_resume_job(
+        self, payload: Dict[str, object], job_id: str
+    ) -> Dict[str, object]:
+        return self.scheduler.resume(job_id)
+
+    def handle_cancel_job(
+        self, payload: Dict[str, object], job_id: str
+    ) -> Dict[str, object]:
+        return self.scheduler.cancel(job_id)
+
+    def handle_set_priority(
+        self, payload: Dict[str, object], job_id: str
+    ) -> Dict[str, object]:
+        priority = get_int(payload, "priority")
+        if priority is None:
+            raise ServiceError("field 'priority' is required")
+        return self.scheduler.reprioritize(job_id, priority)
+
+    # ------------------------------------------------------------------
+    # observability + shutdown
+    # ------------------------------------------------------------------
+    def handle_health(self, payload: Dict[str, object]) -> Dict[str, object]:
+        return {
+            "status": "ok",
+            "graphs": len(self.store),
+            "jobs": sum(self.scheduler.state_counts().values()),
+        }
+
+    def handle_metrics(self, payload: Dict[str, object]) -> Dict[str, object]:
+        return self.metrics.snapshot()
+
+    def handle_shutdown(self, payload: Dict[str, object]) -> Dict[str, object]:
+        self.shutdown_event.set()
+        return {"status": "shutting-down"}
+
+
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, handler, service: ClusteringService) -> None:
+        super().__init__(address, handler)
+        self.service = service
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-service/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # The metrics histograms carry the traffic story; per-request stderr
+    # lines would swamp test output.
+    def log_message(self, format: str, *args: object) -> None:
+        pass
+
+    def do_GET(self) -> None:
+        self._serve("GET")
+
+    def do_POST(self) -> None:
+        self._serve("POST")
+
+    def _serve(self, method: str) -> None:
+        service = self.server.service  # type: ignore[attr-defined]
+        started = time.perf_counter()
+        payload: Dict[str, object] = {}
+        status = 400
+        endpoint = "unmatched"
+        body: Dict[str, object]
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length > 0 else b""
+            if raw:
+                decoded = json.loads(raw)
+                if not isinstance(decoded, dict):
+                    raise ValueError("request body must be a JSON object")
+                payload = decoded
+        except ValueError as exc:
+            body = {"error": f"invalid JSON body: {exc}", "type": "BadRequest"}
+        else:
+            status, body, endpoint = api.dispatch(
+                service, method, self.path, payload
+            )
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+        service.metrics.observe_latency(
+            endpoint, time.perf_counter() - started
+        )
+        service.metrics.increment("requests_total")
+        if status >= 400:
+            service.metrics.increment("errors_total")
+
+
+class ClusteringServer:
+    """One service bound to a listening socket, served from a thread."""
+
+    def __init__(
+        self,
+        service: Optional[ClusteringService] = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **service_kwargs: object,
+    ) -> None:
+        self.service = service or ClusteringService(**service_kwargs)
+        self._httpd = _ServiceHTTPServer((host, port), _Handler, self.service)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return int(self._httpd.server_address[1])
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ClusteringServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                kwargs={"poll_interval": 0.05},
+                name="service-http",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self._httpd.server_close()
+        self.service.close()
+
+    def __enter__(self) -> "ClusteringServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# `repro serve` / `anyscan serve`
+# ----------------------------------------------------------------------
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Interactive anytime-clustering server (JSON over HTTP).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8421, help="0 picks a free port"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="scheduler worker threads"
+    )
+    parser.add_argument(
+        "--slice-iterations",
+        type=int,
+        default=4,
+        help="anytime iterations one job runs before yielding the worker",
+    )
+    parser.add_argument("--cache-capacity", type=int, default=128)
+    parser.add_argument(
+        "--alpha", type=int, default=1024, help="default block size α"
+    )
+    parser.add_argument(
+        "--beta", type=int, default=1024, help="default block size β"
+    )
+    parser.add_argument(
+        "--graph",
+        action="append",
+        default=None,
+        metavar="NAME=PATH",
+        help="preload an edge-list file (repeatable)",
+    )
+    parser.add_argument(
+        "--weighted",
+        action="store_true",
+        help="read the third edge-list column as weight when preloading",
+    )
+    parser.add_argument(
+        "--build-index",
+        action="store_true",
+        help="build the edge-similarity index for preloaded graphs",
+    )
+    return parser
+
+
+def serve_main(argv=None) -> int:
+    """Entry point behind ``repro serve`` (and ``anyscan serve``)."""
+    args = _build_parser().parse_args(argv)
+    # Shared-memory hygiene: a SIGTERM'd server must not leak segments.
+    from repro.parallel.processes import install_signal_cleanup
+
+    install_signal_cleanup()
+    service = ClusteringService(
+        workers=args.workers,
+        slice_iterations=args.slice_iterations,
+        cache_capacity=args.cache_capacity,
+        default_alpha=args.alpha,
+        default_beta=args.beta,
+    )
+    for spec in args.graph or []:
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            print(f"--graph expects NAME=PATH, got {spec!r}", file=sys.stderr)
+            return 2
+        from repro.graph.io import load_edge_list
+
+        graph, _ = load_edge_list(path, weighted=args.weighted)
+        service.store.add(name, graph, build_index=args.build_index)
+        print(
+            f"loaded {name}: {graph.num_vertices:,d} vertices, "
+            f"{graph.num_edges:,d} edges",
+            file=sys.stderr,
+        )
+    server = ClusteringServer(service, host=args.host, port=args.port)
+    server.start()
+    print(f"serving on {server.url}", flush=True)
+    try:
+        while not service.shutdown_event.wait(timeout=0.2):
+            pass
+    except KeyboardInterrupt:
+        print("interrupted; shutting down", file=sys.stderr)
+    finally:
+        server.close()
+    return 0

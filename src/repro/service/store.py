@@ -1,0 +1,391 @@
+"""Graph/index registry and the (fingerprint, config, ε, μ) result cache.
+
+The serving layer's data plane:
+
+* :class:`GraphStore` hosts named graphs together with their similarity
+  semantics and (optionally) an :class:`~repro.similarity.index.EdgeSimilarityIndex`,
+  so repeat clustering queries at new (ε, μ) settings are answered from
+  stored σ values with zero σ evaluations.
+* ``update-edges`` requests are routed through
+  :class:`~repro.dynamic.scan.DynamicSCAN` on a lazily-built mutable
+  mirror: each update repairs only the O(deg(u)+deg(v)) affected σ
+  entries, the CSR snapshot and fingerprint are refreshed, and the old
+  fingerprint is returned so the caller can invalidate exactly the
+  cache entries that answered for the pre-update graph.
+* :class:`ResultCache` is an LRU over :class:`CacheKey` — the full
+  identity of a clustering query: exact graph content (fingerprint),
+  the σ-semantics fields of the similarity config, μ and ε.  Anything
+  that changes the answer changes the key; anything that does not
+  (e.g. ``pruning``, a pure scheduling knob) is excluded.
+
+Both classes are safe to share across HTTP handler threads and
+scheduler workers: every mutation happens under an internal lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dynamic.graph import AdjacencyGraph
+from repro.dynamic.scan import DynamicSCAN
+from repro.errors import ConfigError
+from repro.graph.csr import Graph
+from repro.similarity.index import (
+    EdgeSimilarityIndex,
+    IndexedOracle,
+    graph_fingerprint,
+)
+from repro.similarity.weighted import SimilarityConfig, SimilarityOracle
+from repro.validation import check_eps_mu
+
+__all__ = [
+    "CacheKey",
+    "CachedResult",
+    "GraphEntry",
+    "GraphStore",
+    "ResultCache",
+    "make_cache_key",
+    "similarity_signature",
+]
+
+#: Config fields that change σ values (mirrors the index's semantic
+#: compatibility check); ``pruning`` never changes results, only work.
+_SEMANTIC_FIELDS = ("kind", "closed", "self_weight", "count_self")
+
+
+def similarity_signature(config: SimilarityConfig) -> Tuple[object, ...]:
+    """Hashable tuple of the σ-semantic fields of a similarity config."""
+    return tuple(getattr(config, name) for name in _SEMANTIC_FIELDS)
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Full identity of a clustering query (cache-key semantics §8)."""
+
+    fingerprint: str
+    similarity: Tuple[object, ...]
+    mu: int
+    epsilon: float
+
+
+def make_cache_key(
+    fingerprint: str, config: SimilarityConfig, mu: int, epsilon: float
+) -> CacheKey:
+    """Build the cache key for one (graph, semantics, μ, ε) query."""
+    check_eps_mu(mu=mu, epsilon=epsilon)
+    return CacheKey(
+        fingerprint=fingerprint,
+        similarity=similarity_signature(config),
+        mu=int(mu),
+        epsilon=float(epsilon),
+    )
+
+
+@dataclass
+class CachedResult:
+    """A completed clustering plus the cost it took to produce."""
+
+    labels: np.ndarray
+    num_clusters: int
+    sigma_evaluations: int
+    compute_seconds: float
+    hits: int = 0
+
+
+class ResultCache:
+    """LRU cache over :class:`CacheKey`; eviction at ``capacity``."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ConfigError("cache capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[CacheKey, CachedResult]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    def get(self, key: CacheKey) -> Optional[CachedResult]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            entry.hits += 1
+            self._hits += 1
+            return entry
+
+    def put(self, key: CacheKey, value: CachedResult) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def invalidate_fingerprint(self, fingerprint: str) -> int:
+        """Drop every entry answering for ``fingerprint``; returns count."""
+        with self._lock:
+            stale = [
+                key
+                for key in self._entries
+                if key.fingerprint == fingerprint
+            ]
+            for key in stale:
+                del self._entries[key]
+            self._invalidations += len(stale)
+            return len(stale)
+
+    def keys(self) -> List[CacheKey]:
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "invalidations": self._invalidations,
+            }
+
+
+@dataclass
+class GraphEntry:
+    """One hosted graph: CSR snapshot + semantics + optional σ index."""
+
+    name: str
+    graph: Graph
+    similarity: SimilarityConfig
+    fingerprint: str
+    index: Optional[EdgeSimilarityIndex] = None
+    auto_index: bool = False
+    updates_applied: int = 0
+    # Mutable mirror backing update-edges; built on the first update.
+    dynamic: Optional[DynamicSCAN] = field(default=None, repr=False)
+
+    def info(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "num_vertices": int(self.graph.num_vertices),
+            "num_edges": int(self.graph.num_edges),
+            "fingerprint": self.fingerprint,
+            "indexed": self.index is not None,
+            "auto_index": self.auto_index,
+            "updates_applied": self.updates_applied,
+            "similarity": {
+                name: getattr(self.similarity, name)
+                for name in _SEMANTIC_FIELDS
+            },
+        }
+
+
+@dataclass(frozen=True)
+class UpdateStats:
+    """Outcome of one update-edges request."""
+
+    old_fingerprint: str
+    new_fingerprint: str
+    vertices_added: int
+    inserted: int
+    deleted: int
+    sigma_recomputations: int
+
+
+class GraphStore:
+    """Named-graph registry shared by every service endpoint."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: Dict[str, GraphEntry] = {}
+
+    # ------------------------------------------------------------------
+    # registry
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        name: str,
+        graph: Graph,
+        *,
+        similarity: SimilarityConfig | None = None,
+        build_index: bool = False,
+        replace: bool = False,
+    ) -> GraphEntry:
+        """Host ``graph`` under ``name``; optionally build its σ index."""
+        if not name:
+            raise ConfigError("graph name must be non-empty")
+        similarity = similarity or SimilarityConfig()
+        similarity.validate()
+        index = (
+            EdgeSimilarityIndex.build(graph, similarity)
+            if build_index
+            else None
+        )
+        entry = GraphEntry(
+            name=name,
+            graph=graph,
+            similarity=similarity,
+            fingerprint=graph_fingerprint(graph),
+            index=index,
+            auto_index=build_index,
+        )
+        with self._lock:
+            if name in self._entries and not replace:
+                raise ConfigError(
+                    f"graph {name!r} is already loaded; pass replace=true "
+                    "to overwrite it"
+                )
+            self._entries[name] = entry
+        return entry
+
+    def get(self, name: str) -> GraphEntry:
+        with self._lock:
+            entry = self._entries.get(name)
+        if entry is None:
+            raise ConfigError(f"unknown graph {name!r}")
+        return entry
+
+    def remove(self, name: str) -> str:
+        """Unload a graph; returns its fingerprint (for invalidation)."""
+        with self._lock:
+            entry = self._entries.pop(name, None)
+        if entry is None:
+            raise ConfigError(f"unknown graph {name!r}")
+        return entry.fingerprint
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # query plumbing
+    # ------------------------------------------------------------------
+    def oracle_for(self, entry: GraphEntry) -> SimilarityOracle:
+        """A fresh per-job oracle: indexed when σ is materialized.
+
+        Per-job (rather than shared) because the oracle's counters are
+        the per-query cost accounting the service reports.
+        """
+        if entry.index is not None:
+            return IndexedOracle(entry.index, config=entry.similarity)
+        return SimilarityOracle(entry.graph, entry.similarity)
+
+    def ensure_index(self, name: str) -> GraphEntry:
+        """(Re)build the σ index for ``name`` if it is missing."""
+        entry = self.get(name)
+        if entry.index is not None:
+            return entry
+        index = EdgeSimilarityIndex.build(entry.graph, entry.similarity)
+        with self._lock:
+            current = self._entries.get(name)
+            # Only install if the graph didn't change under us.
+            if (
+                current is entry
+                and current.fingerprint == index.fingerprint
+            ):
+                current.index = index
+        return entry
+
+    # ------------------------------------------------------------------
+    # dynamic updates (routed through DynamicSCAN)
+    # ------------------------------------------------------------------
+    def update_edges(
+        self,
+        name: str,
+        *,
+        insert: Sequence[Sequence[float]] = (),
+        delete: Sequence[Sequence[int]] = (),
+        add_vertices: int = 0,
+    ) -> UpdateStats:
+        """Apply an edge-update batch and refresh the CSR snapshot.
+
+        Updates go through the entry's persistent
+        :class:`~repro.dynamic.scan.DynamicSCAN`, so the per-edge σ
+        cache is repaired incrementally rather than recomputed.  The σ
+        index (if any) answers for the *old* graph and is dropped;
+        ``auto_index`` entries rebuild it lazily on the next query.
+        """
+        if add_vertices < 0:
+            raise ConfigError("add_vertices must be non-negative")
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                raise ConfigError(f"unknown graph {name!r}")
+            if entry.dynamic is None:
+                # μ/ε are irrelevant for updates (only for DynamicSCAN's
+                # own clustering reads); any valid pair works here.
+                entry.dynamic = DynamicSCAN(
+                    AdjacencyGraph.from_csr(entry.graph),
+                    mu=2,
+                    epsilon=0.5,
+                    similarity=entry.similarity,
+                )
+            dynamic = entry.dynamic
+            before_recomputations = dynamic.sigma_recomputations
+            old_fingerprint = entry.fingerprint
+            inserted = deleted = 0
+            try:
+                for _ in range(add_vertices):
+                    dynamic.add_vertex()
+                for spec in insert:
+                    if len(spec) == 2:
+                        dynamic.add_edge(int(spec[0]), int(spec[1]))
+                    elif len(spec) == 3:
+                        dynamic.add_edge(
+                            int(spec[0]), int(spec[1]), float(spec[2])
+                        )
+                    else:
+                        raise ConfigError(
+                            "insert entries must be [u, v] or "
+                            "[u, v, weight]"
+                        )
+                    inserted += 1
+                for spec in delete:
+                    if len(spec) != 2:
+                        raise ConfigError("delete entries must be [u, v]")
+                    dynamic.remove_edge(int(spec[0]), int(spec[1]))
+                    deleted += 1
+            finally:
+                # A mid-batch failure leaves the mirror partially
+                # mutated; the CSR snapshot must follow it either way.
+                if inserted or deleted or add_vertices:
+                    entry.graph = dynamic.graph.to_csr()
+                    entry.fingerprint = graph_fingerprint(entry.graph)
+                    entry.index = None
+                    entry.updates_applied += 1
+            return UpdateStats(
+                old_fingerprint=old_fingerprint,
+                new_fingerprint=entry.fingerprint,
+                vertices_added=int(add_vertices),
+                inserted=inserted,
+                deleted=deleted,
+                sigma_recomputations=(
+                    dynamic.sigma_recomputations - before_recomputations
+                ),
+            )
+
+    def infos(self) -> List[Dict[str, object]]:
+        with self._lock:
+            entries = list(self._entries.values())
+        return [entry.info() for entry in entries]

@@ -1,0 +1,142 @@
+"""Property-based differential tests for the dynamic-update path.
+
+Two claims, each checked against an independent reference:
+
+* **stream ≡ fresh**: any interleaved insert/delete stream applied
+  through :class:`~repro.dynamic.scan.DynamicSCAN` yields exactly the
+  clustering a from-scratch sequential ``scan`` computes on the final
+  graph (and the incremental σ cache matches a full recompute);
+* **exact invalidation**: after a service-level ``update-edges``, the
+  result cache loses precisely the entries keyed by the pre-update
+  fingerprint — never a bystander graph's entries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.scan import scan
+from repro.dynamic.graph import AdjacencyGraph
+from repro.dynamic.scan import DynamicSCAN
+from repro.graph.builder import GraphBuilder
+from repro.service.store import (
+    CachedResult,
+    GraphStore,
+    ResultCache,
+    make_cache_key,
+)
+from repro.similarity.index import graph_fingerprint
+from repro.similarity.weighted import SimilarityConfig
+
+_N = 12
+
+# A stream of edge "toggles": present -> delete, absent -> insert.
+# Toggling sidesteps duplicate-insert/missing-delete bookkeeping while
+# still exercising arbitrary interleavings of both operations.
+toggle_streams = st.lists(
+    st.tuples(st.integers(0, _N - 1), st.integers(0, _N - 1)).filter(
+        lambda e: e[0] != e[1]
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+seed_edges = st.lists(
+    st.tuples(st.integers(0, _N - 1), st.integers(0, _N - 1)).filter(
+        lambda e: e[0] != e[1]
+    ),
+    max_size=20,
+)
+
+
+def _key(u, v):
+    return (u, v) if u < v else (v, u)
+
+
+def _csr_of(edge_weights):
+    builder = GraphBuilder(_N)
+    for (u, v), w in sorted(edge_weights.items()):
+        builder.add_edge(u, v, w)
+    return builder.build(dedup="error")
+
+
+@settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=seed_edges, stream=toggle_streams, mu=st.integers(2, 4))
+def test_update_stream_equals_fresh_scan(seed, stream, mu):
+    model = {}
+    for u, v in seed:
+        model[_key(u, v)] = 1.0
+    dynamic = DynamicSCAN(
+        AdjacencyGraph.from_csr(_csr_of(model)), mu=mu, epsilon=0.5
+    )
+    for u, v in stream:
+        if _key(u, v) in model:
+            dynamic.remove_edge(u, v)
+            del model[_key(u, v)]
+        else:
+            dynamic.add_edge(u, v)
+            model[_key(u, v)] = 1.0
+    dynamic.verify_cache()  # incremental σ ≡ from-scratch σ
+    fresh = _csr_of(model)
+    expected = scan(fresh, mu, 0.5).canonical().labels
+    got = dynamic.clustering().canonical().labels
+    assert np.array_equal(got, expected)
+    assert graph_fingerprint(dynamic.graph.to_csr()) == graph_fingerprint(
+        fresh
+    )
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=seed_edges, stream=toggle_streams)
+def test_update_edges_invalidates_exactly_affected_entries(seed, stream):
+    model = {}
+    for u, v in seed:
+        model[_key(u, v)] = 1.0
+    store = GraphStore()
+    entry = store.add("target", _csr_of(model))
+    cache = ResultCache(capacity=64)
+    config = SimilarityConfig()
+
+    target_keys = [
+        make_cache_key(entry.fingerprint, config, mu, eps)
+        for mu, eps in ((2, 0.4), (3, 0.6))
+    ]
+    bystander_keys = [
+        make_cache_key("other-graph", config, mu, eps)
+        for mu, eps in ((2, 0.4), (2, 0.7), (4, 0.5))
+    ]
+    blank = CachedResult(
+        labels=np.zeros(_N, dtype=np.int64),
+        num_clusters=0,
+        sigma_evaluations=0,
+        compute_seconds=0.0,
+    )
+    for key in target_keys + bystander_keys:
+        cache.put(key, blank)
+
+    insert = [[u, v] for u, v in stream if _key(u, v) not in model][:1]
+    delete = (
+        [list(next(iter(model)))] if model and not insert else []
+    )
+    if not insert and not delete:
+        return  # nothing to mutate this example
+    stats = store.update_edges("target", insert=insert, delete=delete)
+    assert cache.invalidate_fingerprint(stats.old_fingerprint) == len(
+        target_keys
+    )
+    remaining = cache.keys()
+    assert len(remaining) == len(bystander_keys)
+    assert all(key.fingerprint == "other-graph" for key in remaining)
+    # The refreshed fingerprint keys future queries against the new
+    # graph content, distinct from the invalidated generation.
+    assert stats.new_fingerprint != stats.old_fingerprint

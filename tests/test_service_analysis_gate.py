@@ -1,0 +1,50 @@
+"""The concurrency lint gate covers the new service package.
+
+The issue's bar: ``repro.analysis`` over ``src/repro/service`` reports
+zero findings, and the package earns that with **zero** suppression
+pragmas outside ``server.py`` (currently zero anywhere)."""
+
+from __future__ import annotations
+
+import io
+from contextlib import redirect_stderr, redirect_stdout
+from pathlib import Path
+
+from repro.analysis.__main__ import main
+
+REPO = Path(__file__).resolve().parents[1]
+SERVICE = REPO / "src" / "repro" / "service"
+
+
+def _run(*argv):
+    out, err = io.StringIO(), io.StringIO()
+    with redirect_stdout(out), redirect_stderr(err):
+        code = main(list(argv))
+    return code, out.getvalue() + err.getvalue()
+
+
+def test_service_package_passes_the_gate():
+    code, output = _run(
+        str(SERVICE), "--config", str(REPO / "pyproject.toml")
+    )
+    assert code == 0, output
+
+
+def test_service_is_configured_as_an_api_module():
+    """R4 (eps/mu validation at public entry points) must apply to the
+    service package, not just the original library surface."""
+    from repro.analysis.config import load_config
+
+    config = load_config(REPO / "pyproject.toml")
+    assert any("service" in module for module in config.api_modules)
+
+
+def test_no_suppression_pragmas_outside_server_py():
+    offenders = []
+    for path in sorted(SERVICE.rglob("*.py")):
+        if path.name == "server.py":
+            continue
+        text = path.read_text()
+        if "repro: allow" in text:
+            offenders.append(path.name)
+    assert not offenders, f"unexpected pragmas in {offenders}"

@@ -1,0 +1,117 @@
+"""Unit coverage for the service observability layer.
+
+The `/metrics` numbers back two acceptance claims (zero σ evaluations
+on cache hits; p50/p99 latency per endpoint), so the counters and the
+log-bucket histogram must be exact where the tests rely on them.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+
+
+class TestLatencyHistogram:
+    def test_empty_snapshot(self):
+        assert LatencyHistogram().snapshot() == {"count": 0}
+        assert LatencyHistogram().percentile(50.0) == 0.0
+
+    def test_count_sum_min_max_are_exact(self):
+        hist = LatencyHistogram()
+        for value in (0.001, 0.010, 0.100):
+            hist.record(value)
+        snap = hist.snapshot()
+        assert snap["count"] == 3
+        assert snap["min_s"] == pytest.approx(0.001)
+        assert snap["max_s"] == pytest.approx(0.100)
+        assert snap["mean_s"] == pytest.approx(0.111 / 3)
+
+    def test_percentile_within_bucket_resolution(self):
+        """Buckets are 10/decade, so the bound is one bucket's width."""
+        hist = LatencyHistogram()
+        for _ in range(99):
+            hist.record(0.001)
+        hist.record(1.0)
+        # p50 lands in the 1ms bucket; the upper edge is < 10^(1/10)×.
+        assert 0.001 <= hist.percentile(50.0) <= 0.001 * 10 ** 0.1
+        # p99 = the 99th of 100 samples is still the 1ms population.
+        assert hist.percentile(99.0) <= 0.001 * 10 ** 0.1
+        assert hist.percentile(100.0) == pytest.approx(1.0)
+
+    def test_degenerate_distribution_stays_tight(self):
+        """All-identical samples report that exact value at any p."""
+        hist = LatencyHistogram()
+        for _ in range(10):
+            hist.record(0.42)
+        for p in (0.0, 50.0, 99.0, 100.0):
+            assert hist.percentile(p) == pytest.approx(0.42)
+
+    def test_overflow_bucket(self):
+        hist = LatencyHistogram()
+        hist.record(5000.0)  # beyond the last 100s bound
+        assert hist.percentile(50.0) == pytest.approx(5000.0)
+
+    def test_validation(self):
+        hist = LatencyHistogram()
+        with pytest.raises(ConfigError):
+            hist.record(-0.1)
+        with pytest.raises(ConfigError):
+            hist.percentile(101.0)
+
+
+class TestServiceMetrics:
+    def test_counters(self):
+        metrics = ServiceMetrics()
+        assert metrics.counter("cache_hits") == 0
+        metrics.increment("cache_hits")
+        metrics.increment("cache_hits", 4)
+        assert metrics.counter("cache_hits") == 5
+        assert metrics.snapshot()["counters"] == {"cache_hits": 5}
+
+    def test_per_endpoint_latency(self):
+        metrics = ServiceMetrics()
+        metrics.observe_latency("cluster", 0.002)
+        metrics.observe_latency("cluster", 0.004)
+        metrics.observe_latency("healthz", 0.0001)
+        latency = metrics.snapshot()["latency"]
+        assert latency["cluster"]["count"] == 2
+        assert latency["healthz"]["count"] == 1
+
+    def test_gauges_sampled_at_snapshot_time(self):
+        metrics = ServiceMetrics()
+        state = {"jobs": 1}
+        metrics.register_gauge("jobs", lambda: dict(state))
+        assert metrics.snapshot()["gauges"]["jobs"] == {"jobs": 1}
+        state["jobs"] = 7
+        assert metrics.snapshot()["gauges"]["jobs"] == {"jobs": 7}
+
+    def test_gauge_may_reenter_the_metrics_api(self):
+        """Gauges run outside the metrics lock, so a callback that
+        itself reads a counter (a real pattern: derived gauges) must
+        not deadlock."""
+        metrics = ServiceMetrics()
+        metrics.increment("requests_total", 3)
+        metrics.register_gauge(
+            "derived", lambda: metrics.counter("requests_total")
+        )
+        assert metrics.snapshot()["gauges"]["derived"] == 3
+
+    def test_concurrent_recording_is_lossless(self):
+        metrics = ServiceMetrics()
+
+        def worker():
+            for _ in range(500):
+                metrics.increment("n")
+                metrics.observe_latency("endpoint", 0.001)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert metrics.counter("n") == 4000
+        assert metrics.snapshot()["latency"]["endpoint"]["count"] == 4000

@@ -1,0 +1,236 @@
+"""Data-plane contracts: cache-key semantics, LRU behaviour, the graph
+registry, and update-edges routed through DynamicSCAN.
+
+The load-bearing claims:
+
+* the cache key is the *full* identity of a query (graph fingerprint,
+  σ-semantic similarity fields, μ, ε) and nothing else — ``pruning``
+  is a scheduling knob and must not fragment the cache;
+* ``update_edges`` returns the pre-update fingerprint so exactly the
+  affected entries can be invalidated;
+* a mid-batch failure leaves the CSR snapshot consistent with the
+  partially-applied mirror (never the stale pre-batch graph).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.scan import scan
+from repro.errors import ConfigError
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators.random_graphs import gnm_random_graph
+from repro.service.store import (
+    CachedResult,
+    GraphStore,
+    ResultCache,
+    make_cache_key,
+    similarity_signature,
+)
+from repro.similarity.index import graph_fingerprint
+from repro.similarity.weighted import SimilarityConfig, SimilarityOracle
+from repro.similarity.index import IndexedOracle
+
+
+def _result(n=5):
+    return CachedResult(
+        labels=np.zeros(n, dtype=np.int64),
+        num_clusters=1,
+        sigma_evaluations=10,
+        compute_seconds=0.01,
+    )
+
+
+class TestCacheKey:
+    def test_pruning_does_not_change_the_key(self):
+        lazy = SimilarityConfig(pruning=False)
+        eager = SimilarityConfig(pruning=True)
+        assert similarity_signature(lazy) == similarity_signature(eager)
+        assert make_cache_key("fp", lazy, 3, 0.5) == make_cache_key(
+            "fp", eager, 3, 0.5
+        )
+
+    def test_semantic_fields_change_the_key(self):
+        base = SimilarityConfig()
+        jaccard = SimilarityConfig(kind="jaccard", pruning=False)
+        assert make_cache_key("fp", base, 3, 0.5) != make_cache_key(
+            "fp", jaccard, 3, 0.5
+        )
+
+    def test_mu_epsilon_fingerprint_change_the_key(self):
+        config = SimilarityConfig()
+        base = make_cache_key("fp", config, 3, 0.5)
+        assert base != make_cache_key("fp", config, 4, 0.5)
+        assert base != make_cache_key("fp", config, 3, 0.6)
+        assert base != make_cache_key("other", config, 3, 0.5)
+
+    def test_key_validates_eps_mu(self):
+        with pytest.raises(ConfigError):
+            make_cache_key("fp", SimilarityConfig(), 0, 0.5)
+        with pytest.raises(ConfigError):
+            make_cache_key("fp", SimilarityConfig(), 2, 1.5)
+
+
+class TestResultCache:
+    def test_hit_miss_accounting(self):
+        cache = ResultCache(capacity=4)
+        key = make_cache_key("fp", SimilarityConfig(), 3, 0.5)
+        assert cache.get(key) is None
+        cache.put(key, _result())
+        entry = cache.get(key)
+        assert entry is not None and entry.hits == 1
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(capacity=2)
+        config = SimilarityConfig()
+        k1 = make_cache_key("fp", config, 2, 0.1)
+        k2 = make_cache_key("fp", config, 2, 0.2)
+        k3 = make_cache_key("fp", config, 2, 0.3)
+        cache.put(k1, _result())
+        cache.put(k2, _result())
+        cache.get(k1)  # refresh k1; k2 is now least-recent
+        cache.put(k3, _result())
+        assert cache.get(k2) is None
+        assert cache.get(k1) is not None
+        assert cache.get(k3) is not None
+        assert cache.stats()["evictions"] == 1
+
+    def test_invalidate_fingerprint_is_exact(self):
+        cache = ResultCache(capacity=8)
+        config = SimilarityConfig()
+        stale = [make_cache_key("old", config, 2, e) for e in (0.3, 0.5)]
+        kept = [make_cache_key("new", config, 2, e) for e in (0.3, 0.5, 0.7)]
+        for key in stale + kept:
+            cache.put(key, _result())
+        assert cache.invalidate_fingerprint("old") == 2
+        assert sorted(k.epsilon for k in cache.keys()) == [0.3, 0.5, 0.7]
+        assert all(k.fingerprint == "new" for k in cache.keys())
+        # A second pass finds nothing left to drop.
+        assert cache.invalidate_fingerprint("old") == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigError):
+            ResultCache(capacity=0)
+
+
+class TestGraphStore:
+    def test_add_get_remove(self):
+        store = GraphStore()
+        graph = gnm_random_graph(30, 60, seed=1)
+        entry = store.add("g", graph)
+        assert store.get("g") is entry
+        assert entry.fingerprint == graph_fingerprint(graph)
+        assert store.names() == ["g"] and len(store) == 1
+        assert store.remove("g") == entry.fingerprint
+        with pytest.raises(ConfigError):
+            store.get("g")
+
+    def test_duplicate_requires_replace(self):
+        store = GraphStore()
+        graph = gnm_random_graph(10, 20, seed=2)
+        store.add("g", graph)
+        with pytest.raises(ConfigError):
+            store.add("g", graph)
+        other = gnm_random_graph(12, 24, seed=3)
+        entry = store.add("g", other, replace=True)
+        assert entry.graph is other
+
+    def test_oracle_kind_follows_index(self):
+        store = GraphStore()
+        graph = gnm_random_graph(25, 50, seed=4)
+        plain = store.add("plain", graph)
+        indexed = store.add("indexed", graph, build_index=True)
+        assert isinstance(store.oracle_for(plain), SimilarityOracle)
+        assert isinstance(store.oracle_for(indexed), IndexedOracle)
+
+    def test_ensure_index_builds_once(self):
+        store = GraphStore()
+        graph = gnm_random_graph(20, 40, seed=5)
+        store.add("g", graph)
+        entry = store.ensure_index("g")
+        assert entry.index is not None
+        first = entry.index
+        assert store.ensure_index("g").index is first
+
+
+class TestUpdateEdges:
+    def _store_with(self, n=30, m=70, seed=6):
+        store = GraphStore()
+        store.add("g", gnm_random_graph(n, m, seed=seed), build_index=True)
+        return store
+
+    def _free_pair(self, graph):
+        existing = {(u, v) for u, v, _ in graph.edges()}
+        for u in range(graph.num_vertices):
+            for v in range(u + 1, graph.num_vertices):
+                if (u, v) not in existing:
+                    return u, v
+        raise AssertionError("graph is complete")
+
+    def test_insert_changes_fingerprint_and_drops_index(self):
+        store = self._store_with()
+        entry = store.get("g")
+        old = entry.fingerprint
+        u, v = self._free_pair(entry.graph)
+        stats = store.update_edges("g", insert=[[u, v]])
+        assert stats.old_fingerprint == old
+        assert stats.new_fingerprint != old
+        assert stats.inserted == 1 and stats.deleted == 0
+        assert stats.sigma_recomputations > 0
+        entry = store.get("g")
+        assert entry.fingerprint == stats.new_fingerprint
+        assert entry.index is None  # stale index dropped
+        assert entry.updates_applied == 1
+
+    def test_updated_snapshot_matches_batch_rebuild(self):
+        """Incremental maintenance must equal building from scratch."""
+        store = self._store_with(n=40, m=90, seed=7)
+        entry = store.get("g")
+        u, v = self._free_pair(entry.graph)
+        victim = next(iter(entry.graph.edges()))
+        store.update_edges(
+            "g", insert=[[u, v, 2.0]], delete=[[victim[0], victim[1]]]
+        )
+        entry = store.get("g")
+        builder = GraphBuilder(entry.graph.num_vertices)
+        for a, b, w in entry.graph.edges():
+            builder.add_edge(a, b, w)
+        rebuilt = builder.build(dedup="error")
+        expected = scan(rebuilt, 2, 0.5).canonical().labels
+        got = scan(entry.graph, 2, 0.5).canonical().labels
+        assert np.array_equal(got, expected)
+        assert entry.fingerprint == graph_fingerprint(rebuilt)
+
+    def test_mid_batch_failure_keeps_snapshot_consistent(self):
+        """A bad spec after a good one: the applied prefix must be
+        visible in the CSR snapshot and the fingerprint refreshed."""
+        store = self._store_with(n=20, m=30, seed=8)
+        entry = store.get("g")
+        old_fingerprint = entry.fingerprint
+        old_edges = entry.graph.num_edges
+        u, v = self._free_pair(entry.graph)
+        with pytest.raises(ConfigError):
+            store.update_edges("g", insert=[[u, v], [1, 2, 3, 4]])
+        entry = store.get("g")
+        assert entry.graph.num_edges == old_edges + 1
+        assert entry.fingerprint != old_fingerprint
+        assert entry.fingerprint == graph_fingerprint(entry.graph)
+
+    def test_add_vertices(self):
+        store = self._store_with(n=10, m=15, seed=9)
+        before = store.get("g").graph.num_vertices
+        stats = store.update_edges("g", add_vertices=3)
+        assert stats.vertices_added == 3
+        assert store.get("g").graph.num_vertices == before + 3
+
+    def test_validation(self):
+        store = self._store_with()
+        with pytest.raises(ConfigError):
+            store.update_edges("g", add_vertices=-1)
+        with pytest.raises(ConfigError):
+            store.update_edges("missing", insert=[[0, 1]])
+        with pytest.raises(ConfigError):
+            store.update_edges("g", delete=[[0]])

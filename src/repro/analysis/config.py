@@ -73,6 +73,23 @@ class AnalysisConfig:
     validators: List[str] = field(
         default_factory=lambda: ["check_eps_mu", "validate"]
     )
+    #: Modules whose ``except`` handlers must re-raise, return, or call
+    #: a failure witness (R5) — the layers that degrade instead of crash.
+    guarded_exception_modules: List[str] = field(
+        default_factory=lambda: ["repro/parallel", "repro/service"]
+    )
+    #: Call names accepted as an R5 failure witness (structured logging
+    #: through metrics, failure bookkeeping, fault-site accounting).
+    exception_witnesses: List[str] = field(
+        default_factory=lambda: [
+            "increment",
+            "observe_latency",
+            "record_event",
+            "record_failure",
+            "fault_point",
+            "_force_fail",
+        ]
+    )
     #: Names/attributes marking a loop iterable as CSR-indexed (R3).
     loop_markers: List[str] = field(
         default_factory=lambda: [

@@ -1,6 +1,6 @@
 """The repo-specific rule pack.
 
-Rule ids are stable and documented in DESIGN.md: R1–R4 are the
+Rule ids are stable and documented in DESIGN.md: R1–R5 are the
 anySCAN-specific contracts, G1–G3 are generic hygiene rules.
 """
 
@@ -17,6 +17,7 @@ from repro.analysis.rules.generic import (
     MutableDefaultRule,
 )
 from repro.analysis.rules.purity import PurityRule
+from repro.analysis.rules.robustness import ExceptionDisciplineRule
 from repro.analysis.rules.vectorization import VectorizationRule
 
 __all__ = ["RULE_CLASSES", "RULE_INDEX", "default_rules"]
@@ -26,6 +27,7 @@ RULE_CLASSES: List[Type[Rule]] = [
     PurityRule,
     VectorizationRule,
     ApiContractRule,
+    ExceptionDisciplineRule,
     MutableDefaultRule,
     BareExceptRule,
     FrozenMutationRule,

@@ -1,0 +1,86 @@
+"""R5 — exception discipline in the failure-hardened layers.
+
+The robustness story of DESIGN.md §9 only holds if no failure vanishes
+silently: the parallel backends and the service layer may *translate*
+exceptions (retry, degrade, answer 503) but every ``except`` handler
+must leave a trace.  R5 enforces that contract structurally: inside the
+``guarded-exception-modules`` (default ``repro/parallel`` and
+``repro/service``), an ``except`` handler must do at least one of
+
+* re-raise (``raise`` anywhere in the handler, chained or not),
+* return a value (the caller sees the translated outcome),
+* call a failure witness — a name from ``exception-witnesses``
+  (metrics ``increment``/``observe_latency``/``record_event``, the
+  scheduler's ``record_failure``, or ``fault_point``), or
+* carry an explicit ``# repro: allow[swallow]`` pragma on the handler
+  line (or a pure-comment line directly above), which is the audited
+  "yes, swallowing is the contract here" marker — observer callbacks
+  and best-effort cleanup are the legitimate cases.
+
+``# repro: allow[R5]`` works too (the generic mechanism), but the
+``swallow`` spelling is preferred because it names the *behaviour*
+being waived, not the rule number.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.core import ModuleSource, Rule
+from repro.analysis.findings import Finding
+
+__all__ = ["ExceptionDisciplineRule"]
+
+
+class ExceptionDisciplineRule(Rule):
+    id = "R5"
+    name = "exception-discipline"
+    description = (
+        "except handlers in hardened modules must re-raise, return, "
+        "call a failure witness, or carry # repro: allow[swallow]"
+    )
+
+    def check(
+        self, module: ModuleSource, config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        if not config.matches(module.path, config.guarded_exception_modules):
+            return
+        witnesses = set(config.exception_witnesses)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if module.suppressed(node.lineno, "swallow"):
+                continue
+            if self._witnessed(node, witnesses):
+                continue
+            caught = (
+                ast.unparse(node.type) if node.type is not None else "<bare>"
+            )
+            yield self.finding(
+                module,
+                node,
+                f"handler for {caught} swallows the failure; re-raise, "
+                "return, call a witness "
+                f"({', '.join(sorted(witnesses))}), or mark the line "
+                "with '# repro: allow[swallow]'",
+            )
+
+    @staticmethod
+    def _witnessed(handler: ast.ExceptHandler, witnesses: set) -> bool:
+        for sub in ast.walk(handler):
+            if isinstance(sub, (ast.Raise, ast.Return)):
+                return True
+            if isinstance(sub, ast.Call):
+                func = sub.func
+                name = (
+                    func.id
+                    if isinstance(func, ast.Name)
+                    else func.attr
+                    if isinstance(func, ast.Attribute)
+                    else ""
+                )
+                if name in witnesses:
+                    return True
+        return False

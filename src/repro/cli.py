@@ -188,8 +188,18 @@ def _prepare_index(graph, args) -> EdgeSimilarityIndex | None:
             file=sys.stderr,
         )
         return index
-    index = EdgeSimilarityIndex.load(path, graph)
-    print(f"similarity index loaded from {path}", file=sys.stderr)
+    backend = args.backend if args.backend != "sequential" else None
+    index, recovered = EdgeSimilarityIndex.load_or_rebuild(
+        path, graph, backend=backend, workers=args.workers
+    )
+    if recovered:
+        print(
+            f"similarity index at {path} was damaged; quarantined to "
+            f"{path}.quarantined and rebuilt",
+            file=sys.stderr,
+        )
+    else:
+        print(f"similarity index loaded from {path}", file=sys.stderr)
     return index
 
 

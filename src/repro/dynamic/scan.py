@@ -14,8 +14,8 @@ neighborhoods of ``x`` and ``y``.  Inserting or deleting the edge
 
 :class:`DynamicSCAN` keeps a per-edge σ cache; each update recomputes
 only the O(deg(u) + deg(v)) affected entries and marks the labeling
-dirty.  :meth:`clustering` rebuilds labels from the cache with a single
-union–find pass (O(|E| α)) — no σ work — so a stream of updates costs
+dirty.  :meth:`clustering` rebuilds labels from the cache with one
+O(n + |E|) relabel pass — no σ work — so a stream of updates costs
 "σ on touched pairs" + "one cheap relabel per read", versus a full
 O(Σ degree-sums) batch re-run.
 """
@@ -23,16 +23,16 @@ O(Σ degree-sums) batch re-run.
 from __future__ import annotations
 
 import math
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from repro.baselines._postprocess import finalize_clustering
+from repro.core.backend_scan import _expand_clusters
 from repro.dynamic.graph import AdjacencyGraph
 from repro.errors import ConfigError
 from repro.result import Clustering
 from repro.similarity.weighted import SimilarityConfig
-from repro.structures.disjoint_set import DisjointSet
 
 __all__ = ["DynamicSCAN"]
 
@@ -172,26 +172,30 @@ class DynamicSCAN:
                 counts[v] += 1
         return counts >= self.mu
 
-    def clustering(self) -> Clustering:
-        """Exact SCAN clustering of the current graph (cheap relabel)."""
-        core = self.core_mask()
+    def clustering(self, *, seed: int = 0) -> Clustering:
+        """Exact SCAN clustering of the current graph (cheap relabel).
+
+        Replays the reference BFS expansion of
+        :func:`repro.baselines.scan.scan` over the cached σ values —
+        same seeded visit order, same first-cluster-wins rule for shared
+        borders — so the labels are byte-identical to a fresh batch run
+        at the same ``seed``, not merely the same member partition.  No
+        σ work happens here; the ε-neighborhoods are threshold passes
+        over the cache.
+        """
         n = self.graph.num_vertices
-        dsu = DisjointSet(n)
+        hoods: List[List[int]] = [[] for _ in range(n)]
         for (u, v), sigma in self._sigma.items():
-            if sigma >= self.epsilon and core[u] and core[v]:
-                dsu.union(u, v)
-        labels = np.full(n, -4, dtype=np.int64)
-        roots: Dict[int, int] = {}
-        for u in np.flatnonzero(core):
-            root = dsu.find(int(u))
-            labels[int(u)] = roots.setdefault(root, len(roots))
-        for (u, v), sigma in self._sigma.items():
-            if sigma < self.epsilon:
-                continue
-            if core[u] and not core[v] and labels[v] < 0:
-                labels[v] = labels[u]
-            elif core[v] and not core[u] and labels[u] < 0:
-                labels[u] = labels[v]
+            if sigma >= self.epsilon:
+                hoods[u].append(v)
+                hoods[v].append(u)
+        for hood in hoods:
+            hood.sort()  # CSR rows are sorted; match the oracle's order
+        bonus = 1 if self.config.count_self else 0
+        core = np.asarray(
+            [len(hood) + bonus >= self.mu for hood in hoods], dtype=bool
+        ).reshape(n)
+        labels = _expand_clusters(hoods, core, seed)
         self._dirty = False
         return finalize_clustering(self.graph.to_csr(), labels, core)
 

@@ -28,6 +28,11 @@ class ConfigError(ReproError):
     """Raised when algorithm parameters are out of their valid domain."""
 
 
+class IndexIntegrityError(ConfigError):
+    """Raised when a persisted similarity index fails integrity checks
+    (unreadable archive, missing fields, or checksum mismatch)."""
+
+
 class StateTransitionError(ReproError):
     """Raised when a vertex state change violates the Figure 3 schema."""
 

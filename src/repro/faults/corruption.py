@@ -1,0 +1,64 @@
+"""Seeded on-disk corruption for the index-persistence battery.
+
+The fault plan's raise/exit/delay kinds never damage data by
+construction; *these* helpers do — deterministically — so the
+checksum-verification and quarantine-and-rebuild paths of
+:class:`~repro.similarity.index.EdgeSimilarityIndex` can be exercised
+against realistic disk rot: flipped bytes mid-archive, truncated tails
+(a crashed writer), and zeroed headers (a lost inode).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import Tuple
+
+from repro.errors import ConfigError
+
+__all__ = ["corrupt_file", "CORRUPTION_MODES"]
+
+CORRUPTION_MODES: Tuple[str, ...] = ("flip", "truncate", "zero-header")
+
+
+def corrupt_file(
+    path, *, mode: str = "flip", seed: int = 0, amount: int = 16
+) -> str:
+    """Damage ``path`` in place; returns a description of what was done.
+
+    ``flip`` XORs ``amount`` seeded byte positions, ``truncate`` drops
+    the trailing half (at least ``amount`` bytes), ``zero-header``
+    overwrites the first ``amount`` bytes (killing the zip magic of an
+    ``.npz``).
+    """
+    if mode not in CORRUPTION_MODES:
+        raise ConfigError(
+            f"unknown corruption mode {mode!r}; expected one of "
+            f"{CORRUPTION_MODES}"
+        )
+    if amount < 1:
+        raise ConfigError("amount must be >= 1")
+    size = os.path.getsize(path)
+    if size == 0:
+        raise ConfigError(f"cannot corrupt empty file {path!s}")
+    rng = random.Random(f"corrupt:{int(seed)}:{mode}")
+    if mode == "truncate":
+        keep = max(0, min(size - amount, size // 2))
+        with open(path, "r+b") as handle:
+            handle.truncate(keep)
+        return f"truncated {path!s} from {size} to {keep} bytes"
+    with open(path, "r+b") as handle:
+        if mode == "zero-header":
+            span = min(amount, size)
+            handle.seek(0)
+            handle.write(b"\x00" * span)
+            return f"zeroed the first {span} bytes of {path!s}"
+        positions = sorted(
+            rng.randrange(size) for _ in range(min(amount, size))
+        )
+        for position in positions:
+            handle.seek(position)
+            byte = handle.read(1)
+            handle.seek(position)
+            handle.write(bytes([byte[0] ^ (1 + rng.randrange(255))]))
+        return f"flipped {len(positions)} bytes of {path!s}"

@@ -35,18 +35,22 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+import random
 import secrets
 import signal
+import threading
+import time
 import weakref
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.faults import FaultInjected, fault_point
 from repro.graph.csr import Graph
 from repro.parallel import threads as _threads
 from repro.parallel.threads import ThreadBackend
@@ -56,6 +60,9 @@ from repro.validation import check_eps_mu
 __all__ = [
     "FORCE_FALLBACK_ENV",
     "SEGMENT_PREFIX",
+    "DegradationEvent",
+    "add_degradation_listener",
+    "remove_degradation_listener",
     "shared_memory_available",
     "SharedGraph",
     "ProcessBackend",
@@ -71,6 +78,63 @@ __all__ = [
 #: backend behave as if shared memory were unavailable — the CI smoke
 #: tests use it to exercise the thread-fallback path deterministically.
 FORCE_FALLBACK_ENV = "REPRO_FORCE_THREAD_FALLBACK"
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """Structured record of one backend degradation (process → thread).
+
+    Emitted exactly once per :class:`ProcessBackend` instance, at the
+    moment the thread fallback is engaged, to the backend's own
+    ``on_degrade`` callback and every listener registered through
+    :func:`add_degradation_listener` (the service bridges these into
+    :class:`~repro.service.metrics.ServiceMetrics`).
+    """
+
+    backend: str
+    reason: str
+    failures: int
+    workers: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "backend": self.backend,
+            "reason": self.reason,
+            "failures": self.failures,
+            "workers": self.workers,
+        }
+
+
+_DEGRADATION_LISTENERS: List[Callable[[DegradationEvent], None]] = []
+_LISTENER_LOCK = threading.Lock()
+
+
+def add_degradation_listener(
+    listener: Callable[[DegradationEvent], None],
+) -> Callable[[DegradationEvent], None]:
+    """Register a process-wide observer of degradation events."""
+    with _LISTENER_LOCK:
+        _DEGRADATION_LISTENERS.append(listener)
+    return listener
+
+
+def remove_degradation_listener(
+    listener: Callable[[DegradationEvent], None],
+) -> None:
+    """Unregister a listener; missing listeners are ignored."""
+    with _LISTENER_LOCK:
+        if listener in _DEGRADATION_LISTENERS:
+            _DEGRADATION_LISTENERS.remove(listener)
+
+
+def _emit_degradation(event: DegradationEvent) -> None:
+    with _LISTENER_LOCK:
+        listeners = list(_DEGRADATION_LISTENERS)
+    for listener in listeners:
+        try:
+            listener(event)
+        except Exception:  # repro: allow[swallow] - observers must not mask
+            pass
 
 #: Labels of the arrays a :class:`SharedGraph` publishes.  ``sigma_out``
 #: is the only writable one: an all-edges σ buffer that
@@ -153,7 +217,8 @@ def shared_memory_available() -> bool:
     try:
         probe.close()
         probe.unlink()
-    except OSError:  # pragma: no cover - cleanup best effort
+    # repro: allow[swallow] - probe cleanup is best effort
+    except OSError:  # pragma: no cover
         pass
     return True
 
@@ -183,10 +248,12 @@ def _release_segments(segments: Tuple[shared_memory.SharedMemory, ...]) -> None:
     for shm in segments:
         try:
             shm.close()
-        except (OSError, BufferError):  # pragma: no cover - best effort
+        # repro: allow[swallow] - teardown keeps going per segment
+        except (OSError, BufferError):  # pragma: no cover
             pass
         try:
             shm.unlink()
+        # repro: allow[swallow] - already-unlinked is the idempotent case
         except (FileNotFoundError, OSError):
             pass
 
@@ -198,6 +265,7 @@ def _create_named_segment(label: str, size: int) -> shared_memory.SharedMemory:
     one process) from colliding; the pid component lets a leak check
     attribute any stray segment to its creator.
     """
+    fault_point("process.segment.create")
     for _ in range(16):
         name = (
             f"{SEGMENT_PREFIX}_{os.getpid()}_{label}_{secrets.token_hex(4)}"
@@ -206,6 +274,7 @@ def _create_named_segment(label: str, size: int) -> shared_memory.SharedMemory:
             return shared_memory.SharedMemory(
                 create=True, name=name, size=size
             )
+        # repro: allow[swallow] - retry; the loop raises after 16 misses
         except FileExistsError:  # pragma: no cover - 2^32 collision
             continue
     raise SimulationError(
@@ -301,6 +370,33 @@ class SharedGraph:
 #: process-local by construction and never shared between workers.
 _WORKER_STATE: Optional[dict] = None
 
+#: How often a worker checks that its parent is still alive (seconds).
+_PARENT_POLL_SECONDS = 0.5
+
+
+def _start_parent_watchdog() -> None:
+    """Exit this worker when the parent process disappears.
+
+    A SIGKILL'd parent runs no cleanup hook, so the only path back to a
+    clean ``/dev/shm`` is the multiprocessing resource tracker — and the
+    tracker only sweeps once *every* process holding its pipe has died.
+    Orphaned pool workers block on the call queue forever (the queue's
+    writers include the workers themselves, so no EOF ever arrives),
+    which would keep the tracker pipe open and the segments leaked.
+    Reparenting (``getppid`` changing) is the death signal; ``os._exit``
+    skips worker-side cleanup on purpose — the tracker owns it.
+    """
+    parent = os.getppid()
+
+    def watch() -> None:
+        while os.getppid() == parent:
+            time.sleep(_PARENT_POLL_SECONDS)
+        os._exit(1)
+
+    threading.Thread(
+        target=watch, name="parent-watchdog", daemon=True
+    ).start()
+
 
 def _worker_init(handle: SharedGraphHandle) -> None:
     """Attach the shared segments and rebuild graph + oracle, once.
@@ -309,6 +405,8 @@ def _worker_init(handle: SharedGraphHandle) -> None:
     tracker, so attaching re-registers the same name as a set no-op and
     the parent's single unlink is the whole cleanup story.
     """
+    _start_parent_watchdog()
+    fault_point("process.worker.init")
     global _WORKER_STATE
     segments = []
     views = {}
@@ -347,12 +445,14 @@ def _worker_oracle() -> SimilarityOracle:
 
 
 def _range_query_chunk(task: Tuple[Sequence[int], float]) -> List[np.ndarray]:
+    fault_point("process.worker.chunk")
     vertices, epsilon = task
     oracle = _worker_oracle()
     return [oracle.eps_neighborhood(int(v), epsilon) for v in vertices]
 
 
 def _edge_sigma_chunk(task: Sequence[Tuple[int, int]]) -> np.ndarray:
+    fault_point("process.worker.chunk")
     oracle = _worker_oracle()
     return np.asarray(
         [oracle.sigma_unrecorded(int(u), int(v)) for u, v in task],
@@ -367,6 +467,7 @@ def _sigma_row_chunk(task: Tuple[int, int]) -> None:
     ``indptr[lo]:indptr[hi]`` are disjoint across workers — each shared
     slice has exactly one writer and no reader until the barrier.
     """
+    fault_point("process.worker.chunk")
     lo, hi = task
     if _WORKER_STATE is None:  # pragma: no cover - defensive
         raise SimulationError("worker used before pool initialization")
@@ -405,11 +506,27 @@ class ProcessBackend:
         ``schedule(dynamic, chunk)``.
     allow_fallback:
         Degrade to an equivalent thread backend when shared memory is
-        unavailable (or forced off); when ``False`` such conditions
-        raise :class:`~repro.errors.SimulationError` instead.
+        unavailable (or forced off), or after the failure budget is
+        spent; when ``False`` such conditions raise
+        :class:`~repro.errors.SimulationError` instead.
     start_method:
         ``multiprocessing`` start method; defaults to ``fork`` where
         available (cheapest on Linux) and the platform default elsewhere.
+    max_chunk_retries:
+        How many times one chunk may fail with an ordinary exception
+        (not a pool death) before the backend gives up on the process
+        path; retries back off exponentially with jitter.
+    failure_budget:
+        How many pool deaths (:class:`BrokenProcessPool`) the backend
+        absorbs — respawning the pool and reassigning the dead workers'
+        chunks — before it degrades to the thread fallback for good.
+    retry_backoff:
+        Base sleep (seconds) before re-running a failed chunk; attempt
+        ``k`` sleeps ``retry_backoff * 2**(k-1)`` scaled by a random
+        jitter in ``[1, 2)``.
+    on_degrade:
+        Optional callback receiving the :class:`DegradationEvent` when
+        the fallback engages (process-wide listeners fire as well).
     """
 
     def __init__(
@@ -419,16 +536,27 @@ class ProcessBackend:
         *,
         allow_fallback: bool = True,
         start_method: str | None = None,
+        max_chunk_retries: int = 2,
+        failure_budget: int = 2,
+        retry_backoff: float = 0.05,
+        on_degrade: Optional[Callable[[DegradationEvent], None]] = None,
     ) -> None:
         self.workers = int(workers) if workers is not None else (os.cpu_count() or 1)
         self.chunk_size = int(chunk_size)
         self.allow_fallback = bool(allow_fallback)
         self.start_method = start_method
+        self.max_chunk_retries = int(max_chunk_retries)
+        self.failure_budget = int(failure_budget)
+        self.retry_backoff = float(retry_backoff)
+        self.on_degrade = on_degrade
         self._shared: Optional[SharedGraph] = None
         self._executor: Optional[ProcessPoolExecutor] = None
         self._graph: Optional[Graph] = None
         self._config: Optional[SimilarityConfig] = None
         self._fallback: Optional[ThreadBackend] = None
+        self._failures = 0
+        self._degraded = False
+        self._retry_rng = random.Random(0xC0FFEE)
 
     # -- lifecycle ------------------------------------------------------
     def validate(self) -> None:
@@ -436,6 +564,12 @@ class ProcessBackend:
             raise SimulationError("need at least one worker")
         if self.chunk_size < 1:
             raise SimulationError("chunk_size must be >= 1")
+        if self.max_chunk_retries < 0:
+            raise SimulationError("max_chunk_retries must be >= 0")
+        if self.failure_budget < 0:
+            raise SimulationError("failure_budget must be >= 0")
+        if self.retry_backoff < 0:
+            raise SimulationError("retry_backoff must be >= 0")
 
     @property
     def kind(self) -> str:
@@ -462,6 +596,7 @@ class ProcessBackend:
     def __del__(self) -> None:  # pragma: no cover - GC timing dependent
         try:
             self.close()
+        # repro: allow[swallow] - interpreter may already be tearing down
         except Exception:
             pass
 
@@ -476,13 +611,44 @@ class ProcessBackend:
             self._fallback = ThreadBackend(
                 threads=self.workers, chunk_size=self.chunk_size
             )
+            event = DegradationEvent(
+                backend="process",
+                reason=reason,
+                failures=self._failures,
+                workers=self.workers,
+            )
+            if self.on_degrade is not None:
+                try:
+                    self.on_degrade(event)
+                except Exception:  # repro: allow[swallow] - observers must not mask
+                    pass
+            _emit_degradation(event)
         return self._fallback
+
+    def _make_executor(self) -> ProcessPoolExecutor:
+        """A fresh pool attached to the current shared graph."""
+        fault_point("process.pool.spawn")
+        assert self._shared is not None
+        mp_context = None
+        method = self.start_method
+        if method is None and "fork" in multiprocessing.get_all_start_methods():
+            method = "fork"
+        if method is not None:
+            mp_context = multiprocessing.get_context(method)
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=mp_context,
+            initializer=_worker_init,
+            initargs=(self._shared.handle,),
+        )
 
     def _ensure_session(
         self, graph: Graph, config: SimilarityConfig
     ) -> Optional[ThreadBackend]:
         """Spin up (or reuse) the pool; a ThreadBackend means fallback."""
         self.validate()
+        if self._degraded:
+            return self._thread_fallback("degraded after repeated failures")
         if not shared_memory_available():
             return self._thread_fallback("shared memory unavailable")
         if (
@@ -494,19 +660,8 @@ class ProcessBackend:
         self.close()
         try:
             self._shared = SharedGraph(graph, config)
-            mp_context = None
-            method = self.start_method
-            if method is None and "fork" in multiprocessing.get_all_start_methods():
-                method = "fork"
-            if method is not None:
-                mp_context = multiprocessing.get_context(method)
-            self._executor = ProcessPoolExecutor(
-                max_workers=self.workers,
-                mp_context=mp_context,
-                initializer=_worker_init,
-                initargs=(self._shared.handle,),
-            )
-        except (OSError, ValueError) as exc:
+            self._executor = self._make_executor()
+        except (OSError, ValueError, MemoryError, FaultInjected) as exc:
             self.close()
             return self._thread_fallback(f"pool setup failed: {exc}")
         self._graph = graph
@@ -519,23 +674,102 @@ class ProcessBackend:
             for i in range(0, len(items), self.chunk_size)
         ]
 
-    def _run_chunks(self, fn, tasks, retry):
-        """Order-preserving map over the pool; one barrier at the end.
+    def _sleep_backoff(self, attempt: int) -> None:
+        """Exponential backoff with jitter before re-running a chunk."""
+        if self.retry_backoff <= 0:
+            return
+        delay = self.retry_backoff * (2 ** max(0, attempt - 1))
+        delay *= 1.0 + self._retry_rng.random()
+        time.sleep(min(delay, 1.0))
 
-        A dead pool (OOM-killed worker, crashed interpreter) engages the
-        thread fallback and re-runs the whole batch via ``retry``; the
-        retried result is returned wrapped in :class:`_FallbackResult`
-        because it is already in the caller's final shape.
+    def _give_up(self, reason: str, cause: BaseException, retry):
+        """Abandon the process path: degrade for good or raise."""
+        self.close()
+        if not self.allow_fallback:
+            raise SimulationError(
+                f"process backend failed ({reason}) and fallback is disabled"
+            ) from cause
+        self._degraded = True
+        self._thread_fallback(reason)
+        return _FallbackResult(retry())
+
+    def _run_chunks(self, fn, tasks, retry):
+        """Order-preserving map over the pool with failure recovery.
+
+        Chunks that fail with an ordinary exception are re-submitted up
+        to ``max_chunk_retries`` times with exponential backoff.  A dead
+        pool (OOM-killed or crashed worker) is detected as
+        :class:`BrokenProcessPool`: completed chunks keep their results,
+        the pool is respawned, and the dead workers' chunks are
+        reassigned — until ``failure_budget`` deaths, after which the
+        backend degrades for good to the thread fallback and re-runs the
+        whole batch via ``retry`` (returned wrapped in
+        :class:`_FallbackResult` because it is already final-shaped).
+        Chunks are idempotent by construction (pure reads, or disjoint
+        slice writes re-written whole on retry), so reassignment cannot
+        corrupt results.
         """
-        assert self._executor is not None
-        try:
-            return list(self._executor.map(fn, tasks))
-        except BrokenProcessPool as exc:
-            self.close()
-            if not self.allow_fallback:
-                raise SimulationError(f"process pool died: {exc}") from exc
-            self._thread_fallback(f"process pool died: {exc}")
-            return _FallbackResult(retry())
+        tasks = list(tasks)
+        results: List[object] = [None] * len(tasks)
+        pending = list(range(len(tasks)))
+        attempts = [0] * len(tasks)
+        while pending:
+            assert self._executor is not None
+            futures = [
+                (self._executor.submit(fn, tasks[i]), i) for i in pending
+            ]
+            requeue: List[int] = []
+            pool_broke: Optional[BaseException] = None
+            for future, i in futures:
+                if pool_broke is not None:
+                    # The pool is dead; keep whatever finished cleanly
+                    # and reassign the rest after the respawn.
+                    if future.done() and future.exception() is None:
+                        results[i] = future.result()
+                    else:
+                        requeue.append(i)
+                    continue
+                try:
+                    results[i] = future.result()
+                # Accounted after the drain loop: failure budget, pool
+                # respawn, or degradation.  # repro: allow[swallow]
+                except BrokenProcessPool as exc:
+                    pool_broke = exc
+                    requeue.append(i)
+                except Exception as exc:
+                    attempts[i] += 1
+                    if attempts[i] > self.max_chunk_retries:
+                        return self._give_up(
+                            f"chunk failed {attempts[i]} times: {exc}",
+                            exc,
+                            retry,
+                        )
+                    requeue.append(i)
+                    self._sleep_backoff(attempts[i])
+            if pool_broke is not None:
+                self._failures += 1
+                if self._failures > self.failure_budget:
+                    return self._give_up(
+                        f"process pool died {self._failures} times: "
+                        f"{pool_broke}",
+                        pool_broke,
+                        retry,
+                    )
+                try:
+                    self._respawn_pool()
+                except (OSError, ValueError, FaultInjected) as exc:
+                    return self._give_up(
+                        f"pool respawn failed: {exc}", exc, retry
+                    )
+            pending = requeue
+        return results
+
+    def _respawn_pool(self) -> None:
+        """Replace a dead executor, keeping the shared segments."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+        self._executor = self._make_executor()
 
     # -- the three SCAN workloads --------------------------------------
     def map_range_queries(

@@ -55,11 +55,25 @@ __all__ = [
 
 
 class ServiceError(ReproError):
-    """A request-level failure carrying its HTTP status."""
+    """A request-level failure carrying its HTTP status.
 
-    def __init__(self, message: str, *, status: int = 400) -> None:
+    ``retry_after`` (seconds) marks the failure as transient — the HTTP
+    layer lifts it into a ``Retry-After`` header so well-behaved clients
+    back off instead of hammering a saturated scheduler.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: int = 400,
+        retry_after: Optional[float] = None,
+    ) -> None:
         super().__init__(message)
         self.status = int(status)
+        self.retry_after = (
+            None if retry_after is None else float(retry_after)
+        )
 
 
 class Route:
@@ -214,11 +228,13 @@ def dispatch(
         body = handler(merged, *args)
         return 200, body, route.handler
     except ServiceError as exc:
-        return (
-            exc.status,
-            {"error": str(exc), "type": type(exc).__name__},
-            route.handler,
-        )
+        body: Dict[str, object] = {
+            "error": str(exc),
+            "type": type(exc).__name__,
+        }
+        if exc.retry_after is not None:
+            body["retry_after"] = exc.retry_after
+        return exc.status, body, route.handler
     except ReproError as exc:
         return (
             400,

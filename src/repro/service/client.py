@@ -5,16 +5,25 @@ the wire protocol one method per endpoint.  Domain failures surface as
 :class:`ServiceClientError` carrying the HTTP status and the server's
 error message, so callers distinguish "bad request" from "server died"
 without parsing bodies themselves.
+
+Failure handling (DESIGN.md §9): every request carries a connect/read
+timeout, and **idempotent GETs** are retried up to ``max_retries``
+times with exponential backoff on transport failures and on 503
+(honoring the server's ``Retry-After``).  POSTs are never retried by
+the transport — re-submitting ``cluster`` could schedule a duplicate
+job; callers wanting safe resubmission pass an ``idempotency_key``.
 """
 
 from __future__ import annotations
 
 import json
+import time
+from http.client import HTTPException
 from typing import Dict, List, Optional, Sequence
 from urllib.error import HTTPError, URLError
 from urllib.request import Request, urlopen
 
-from repro.errors import ReproError
+from repro.errors import ConfigError, ReproError
 from repro.graph.csr import Graph
 from repro.validation import check_eps_mu
 
@@ -22,24 +31,95 @@ __all__ = ["ServiceClient", "ServiceClientError"]
 
 
 class ServiceClientError(ReproError):
-    """A request the server rejected (or could not receive at all)."""
+    """A request the server rejected (or could not receive at all).
 
-    def __init__(self, message: str, *, status: int = 0) -> None:
+    ``status`` is 0 when the server was unreachable; ``retry_after``
+    echoes the server's backoff hint when one was sent.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: int = 0,
+        retry_after: Optional[float] = None,
+    ) -> None:
         super().__init__(message)
         self.status = int(status)
+        self.retry_after = (
+            None if retry_after is None else float(retry_after)
+        )
+
+
+def _retry_after_seconds(exc: HTTPError) -> Optional[float]:
+    value = exc.headers.get("Retry-After") if exc.headers else None
+    if value is None:
+        return None
+    try:
+        return max(0.0, float(value))
+    except ValueError:
+        return None  # HTTP-date form; treat as "no usable hint"
+
+
+def _error_detail(exc: HTTPError) -> str:
+    """The server's ``error`` field, or ``""`` for a non-JSON body."""
+    try:
+        body = json.loads(exc.read().decode("utf-8"))
+        return str(body.get("error", ""))
+    except ValueError:
+        return ""
 
 
 class ServiceClient:
     """One service endpoint, e.g. ``ServiceClient("http://127.0.0.1:8421")``."""
 
-    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 30.0,
+        max_retries: int = 2,
+        retry_backoff: float = 0.2,
+    ) -> None:
+        if timeout <= 0:
+            raise ConfigError("timeout must be positive")
+        if max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        if retry_backoff < 0:
+            raise ConfigError("retry_backoff must be >= 0")
         self.base_url = base_url.rstrip("/")
         self.timeout = float(timeout)
+        self.max_retries = int(max_retries)
+        self.retry_backoff = float(retry_backoff)
 
     # ------------------------------------------------------------------
     # transport
     # ------------------------------------------------------------------
     def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        # Only GETs are retried: they are idempotent by protocol design,
+        # so a duplicate delivery cannot change server state.
+        attempts = 1 + (self.max_retries if method == "GET" else 0)
+        for attempt in range(attempts):
+            try:
+                return self._request_once(method, path, payload)
+            except ServiceClientError as exc:
+                transient = exc.status == 0 or exc.status == 503
+                if not transient or attempt == attempts - 1:
+                    raise
+                delay = (
+                    exc.retry_after
+                    if exc.retry_after is not None
+                    else self.retry_backoff * (2.0 ** attempt)
+                )
+                time.sleep(min(delay, 5.0))
+        raise AssertionError("unreachable: loop returns or raises")
+
+    def _request_once(
         self,
         method: str,
         path: str,
@@ -60,19 +140,26 @@ class ServiceClient:
             with urlopen(request, timeout=self.timeout) as response:
                 return json.loads(response.read().decode("utf-8"))
         except HTTPError as exc:
-            detail = ""
-            try:
-                body = json.loads(exc.read().decode("utf-8"))
-                detail = str(body.get("error", ""))
-            except ValueError:
-                pass
             raise ServiceClientError(
-                detail or f"{method} {path} failed with HTTP {exc.code}",
+                _error_detail(exc)
+                or f"{method} {path} failed with HTTP {exc.code}",
                 status=exc.code,
+                retry_after=_retry_after_seconds(exc),
+            ) from None
+        except TimeoutError as exc:
+            raise ServiceClientError(
+                f"{method} {path} timed out after {self.timeout}s: {exc}"
             ) from None
         except URLError as exc:
             raise ServiceClientError(
                 f"cannot reach {self.base_url}: {exc.reason}"
+            ) from None
+        except (OSError, HTTPException) as exc:
+            # Connection-level failures (reset, server closed mid-read):
+            # transient by nature, so they share the retryable status 0.
+            raise ServiceClientError(
+                f"connection to {self.base_url} failed: "
+                f"{type(exc).__name__}: {exc}"
             ) from None
 
     # ------------------------------------------------------------------
@@ -148,8 +235,15 @@ class ServiceClient:
         beta: Optional[int] = None,
         seed: Optional[int] = None,
         labels: bool = True,
+        idempotency_key: Optional[str] = None,
     ) -> Dict[str, object]:
-        """Submit a clustering query; ``wait`` seconds for completion."""
+        """Submit a clustering query; ``wait`` seconds for completion.
+
+        ``idempotency_key`` makes resubmission safe: the server replays
+        the job it already scheduled for (graph, key) instead of
+        starting a duplicate — the knob that lets callers retry a
+        ``cluster`` POST that may or may not have reached the server.
+        """
         check_eps_mu(mu=mu, epsilon=epsilon)
         payload: Dict[str, object] = {
             "graph": name,
@@ -158,6 +252,8 @@ class ServiceClient:
             "priority": int(priority),
             "labels": labels,
         }
+        if idempotency_key is not None:
+            payload["idempotency_key"] = str(idempotency_key)
         if wait is not None:
             payload["wait"] = float(wait)
         if alpha is not None:

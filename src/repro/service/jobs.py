@@ -40,6 +40,7 @@ import heapq
 import pickle
 import threading
 import time
+import traceback
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, Dict, List, Optional, Tuple
@@ -47,12 +48,18 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.core.anyscan import AnySCAN
 from repro.core.snapshots import Snapshot
 from repro.errors import ConfigError, ReproError
+from repro.faults import fault_point
 from repro.result import Clustering
 from repro.validation import check_eps_mu
 
 __all__ = ["JobRecord", "JobScheduler", "JobState"]
 
 _SLICE_LOG_LIMIT = 10_000
+
+#: Most recent failures kept per job (formatted tracebacks), and the
+#: size cap of each entry — enough for a full chain, bounded for JSON.
+_ERROR_CHAIN_LIMIT = 8
+_ERROR_ENTRY_LIMIT = 4_000
 
 
 class JobState(Enum):
@@ -91,6 +98,10 @@ class JobRecord:
     pause_requested: bool = False
     cancel_requested: bool = False
     meta: Dict[str, object] = field(default_factory=dict)
+    #: How many slices of this job have raised.
+    failures: int = 0
+    #: Formatted tracebacks of those failures, oldest first (bounded).
+    error_chain: List[str] = field(default_factory=list)
 
     def info(self) -> Dict[str, object]:
         """JSON-ready status view (no labels; use snapshots for those)."""
@@ -112,6 +123,8 @@ class JobRecord:
                 latest.num_clusters if latest is not None else 0
             ),
             "error": self.error,
+            "failures": self.failures,
+            "error_chain": list(self.error_chain),
         }
 
 
@@ -124,13 +137,28 @@ class JobScheduler:
         workers: int = 2,
         slice_iterations: int = 4,
         on_done: Optional[Callable[[JobRecord], None]] = None,
+        slice_deadline: Optional[float] = None,
+        max_slice_retries: int = 1,
     ) -> None:
         if workers < 1:
             raise ConfigError("workers must be >= 1")
         if slice_iterations < 1:
             raise ConfigError("slice_iterations must be >= 1")
+        if slice_deadline is not None and slice_deadline <= 0:
+            raise ConfigError("slice_deadline must be positive")
+        if max_slice_retries < 0:
+            raise ConfigError("max_slice_retries must be >= 0")
         self.slice_iterations = int(slice_iterations)
         self.on_done = on_done
+        #: Wall-clock budget for one slice; checked at iteration
+        #: boundaries, so an over-budget slice stops early and requeues
+        #: (one job cannot monopolize a worker beyond ~one iteration).
+        self.slice_deadline = (
+            float(slice_deadline) if slice_deadline is not None else None
+        )
+        #: How many failed slices are retried (from a checkpoint taken
+        #: at slice start) before the job goes FAILED for good.
+        self.max_slice_retries = int(max_slice_retries)
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
         self._jobs: Dict[str, JobRecord] = {}
@@ -308,6 +336,19 @@ class JobScheduler:
                 self._wake.wait(remaining)
             return job.info()
 
+    def active_count(self) -> int:
+        """Jobs currently consuming or queued for worker time.
+
+        The backpressure signal: PENDING + RUNNING, excluding PAUSED
+        (parked by a client, holds no worker) and terminal states.
+        """
+        with self._lock:
+            return sum(
+                1
+                for job in self._jobs.values()
+                if job.state in (JobState.PENDING, JobState.RUNNING)
+            )
+
     def state_counts(self) -> Dict[str, int]:
         """Jobs per state — the gauge ``/metrics`` reports."""
         with self._lock:
@@ -339,6 +380,8 @@ class JobScheduler:
                 "iterations": job.iterations,
                 "latest": job.latest,
                 "meta": dict(job.meta),
+                "failures": job.failures,
+                "error_chain": list(job.error_chain),
             }
         return pickle.dumps(payload)
 
@@ -364,6 +407,8 @@ class JobScheduler:
                 iterations=int(payload["iterations"]),
                 latest=payload["latest"],
                 meta=dict(payload["meta"]),
+                failures=int(payload.get("failures", 0)),
+                error_chain=list(payload.get("error_chain", [])),
             )
             self._jobs[job.job_id] = job
         return job.job_id
@@ -424,6 +469,29 @@ class JobScheduler:
             # Stale entry (paused/cancelled/reprioritized since push).
         return None
 
+    def record_failure(self, job: JobRecord, exc: BaseException) -> None:
+        """Append one formatted failure (full cause chain) to the job.
+
+        Caller must hold the scheduler lock or own the RUNNING job.
+        """
+        text = "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        ).strip()
+        if len(text) > _ERROR_ENTRY_LIMIT:
+            text = text[-_ERROR_ENTRY_LIMIT:]
+        job.failures += 1
+        job.error_chain.append(text)
+        del job.error_chain[:-_ERROR_CHAIN_LIMIT]
+
+    def _force_fail(self, job: JobRecord, exc: BaseException) -> None:
+        """Terminate a job whose slice machinery itself blew up."""
+        with self._wake:
+            self.record_failure(job, exc)
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.state = JobState.FAILED
+            self._notify_done_locked(job)
+            self._wake.notify_all()
+
     def _worker_loop(self) -> None:
         while True:
             with self._wake:
@@ -434,14 +502,38 @@ class JobScheduler:
                 if job is None:
                     return
                 job.state = JobState.RUNNING
-            self._run_slice(job)
+            try:
+                self._run_slice(job)
+            except Exception as exc:
+                # Crash isolation: a poisoned job (unpicklable state,
+                # broken snapshot, pathological callback input) fails
+                # alone; the worker loop keeps serving other jobs.
+                self._force_fail(job, exc)
 
     def _run_slice(self, job: JobRecord) -> None:
-        """One budgeted slice; the worker owns ``job.algorithm`` here."""
+        """One budgeted slice; the worker owns ``job.algorithm`` here.
+
+        Failure handling: when ``max_slice_retries`` > 0 the algorithm
+        is checkpointed (pickled) at slice start; a slice that raises is
+        rolled back to that checkpoint and requeued, up to the retry
+        budget — the replay is deterministic, so a successful retry
+        yields the same result a fault-free run would have.  Beyond the
+        budget the job goes FAILED with every failure's formatted
+        traceback preserved in ``error_chain``.
+        """
+        checkpoint: Optional[bytes] = None
+        if self.max_slice_retries > 0:
+            try:
+                checkpoint = pickle.dumps(job.algorithm)
+            except Exception as exc:
+                checkpoint = None  # unpicklable: retries disabled
+                with self._lock:
+                    self.record_failure(job, exc)
         snaps: List[Snapshot] = []
         result: Optional[Clustering] = None
-        error: Optional[str] = None
+        started = time.monotonic()
         try:
+            fault_point("jobs.slice")
             for _ in range(self.slice_iterations):
                 snap = job.algorithm.advance()
                 if snap is None:
@@ -449,10 +541,29 @@ class JobScheduler:
                 snaps.append(snap)
                 if job.cancel_requested or job.pause_requested:
                     break  # advisory read; authoritative check below
+                if (
+                    self.slice_deadline is not None
+                    and time.monotonic() - started >= self.slice_deadline
+                ):
+                    break  # over budget: requeue instead of monopolizing
             if job.algorithm.finished:
                 result = job.algorithm.result()
-        except Exception as exc:  # jobs fail; the scheduler must not
-            error = f"{type(exc).__name__}: {exc}"
+        except Exception as exc:
+            # Jobs fail; the scheduler must not — _account_slice routes
+            # the failure through record_failure.
+            self._account_slice(job, snaps, None, exc, checkpoint)
+            return
+        self._account_slice(job, snaps, result, None, checkpoint)
+
+    def _account_slice(
+        self,
+        job: JobRecord,
+        snaps: List[Snapshot],
+        result: Optional[Clustering],
+        failure: Optional[BaseException],
+        checkpoint: Optional[bytes],
+    ) -> None:
+        """Post-slice bookkeeping and the job's next state transition."""
         with self._wake:
             job.slices += 1
             job.iterations += len(snaps)
@@ -461,9 +572,25 @@ class JobScheduler:
             if len(self.slice_log) >= _SLICE_LOG_LIMIT:
                 del self.slice_log[: _SLICE_LOG_LIMIT // 2]
             self.slice_log.append(job.job_id)
-            if error is not None:
-                job.state = JobState.FAILED
-                job.error = error
+            if failure is not None:
+                self.record_failure(job, failure)
+                restored = False
+                if (
+                    checkpoint is not None
+                    and job.failures <= self.max_slice_retries
+                    and not job.cancel_requested
+                ):
+                    try:
+                        job.algorithm = pickle.loads(checkpoint)
+                        restored = True
+                    except Exception as exc:
+                        self.record_failure(job, exc)
+                if restored:
+                    job.state = JobState.PENDING
+                    self._push_ready_locked(job)
+                else:
+                    job.state = JobState.FAILED
+                    job.error = f"{type(failure).__name__}: {failure}"
             elif result is not None:
                 job.state = JobState.DONE
                 job.result = result

@@ -91,6 +91,10 @@ class LatencyHistogram:
         }
 
 
+#: Structured events kept per kind; old entries roll off.
+_EVENT_LIMIT = 64
+
+
 class ServiceMetrics:
     """Thread-safe counters + per-endpoint latency + gauge callbacks."""
 
@@ -99,6 +103,7 @@ class ServiceMetrics:
         self._counters: Dict[str, int] = {}
         self._latency: Dict[str, LatencyHistogram] = {}
         self._gauges: Dict[str, Callable[[], object]] = {}
+        self._events: Dict[str, List[Dict[str, object]]] = {}
 
     # ------------------------------------------------------------------
     # counters
@@ -120,6 +125,25 @@ class ServiceMetrics:
             if histogram is None:
                 histogram = self._latency[endpoint] = LatencyHistogram()
             histogram.record(seconds)
+
+    # ------------------------------------------------------------------
+    # structured events
+    # ------------------------------------------------------------------
+    def record_event(self, kind: str, data: Dict[str, object]) -> None:
+        """Append one structured event (e.g. a backend degradation).
+
+        Events are the failure-model audit trail (DESIGN.md §9): each
+        ``kind`` keeps its last ``_EVENT_LIMIT`` entries, reported
+        verbatim by :meth:`snapshot` under ``"events"``.
+        """
+        with self._lock:
+            entries = self._events.setdefault(kind, [])
+            entries.append(dict(data))
+            del entries[:-_EVENT_LIMIT]
+
+    def events(self, kind: str) -> List[Dict[str, object]]:
+        with self._lock:
+            return [dict(entry) for entry in self._events.get(kind, [])]
 
     # ------------------------------------------------------------------
     # gauges
@@ -149,4 +173,8 @@ class ServiceMetrics:
                     for endpoint, histogram in self._latency.items()
                 },
                 "gauges": sampled,
+                "events": {
+                    kind: [dict(entry) for entry in entries]
+                    for kind, entries in self._events.items()
+                },
             }

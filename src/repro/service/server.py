@@ -30,14 +30,21 @@ import json
 import sys
 import threading
 import time
+from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.core.anyscan import AnySCAN
 from repro.core.config import AnyScanConfig
 from repro.errors import ConfigError
+from repro.faults import FaultInjected, fault_point
 from repro.graph.builder import GraphBuilder
 from repro.graph.csr import Graph
+from repro.parallel.processes import (
+    DegradationEvent,
+    add_degradation_listener,
+    remove_degradation_listener,
+)
 from repro.service import api
 from repro.service.api import (
     ServiceError,
@@ -69,6 +76,9 @@ _SIMILARITY_FIELDS = (
     "pruning",
 )
 
+#: Remembered (graph, idempotency_key) → job_id pairs; old ones roll off.
+_IDEMPOTENCY_LIMIT = 4096
+
 
 def _similarity_from_payload(spec: object) -> Optional[SimilarityConfig]:
     if spec is None:
@@ -97,11 +107,23 @@ class ClusteringService:
         cache_capacity: int = 128,
         default_alpha: int = 1024,
         default_beta: int = 1024,
+        request_timeout: float = 30.0,
+        max_pending_jobs: Optional[int] = None,
     ) -> None:
         if default_alpha < 1 or default_beta < 1:
             raise ConfigError("default block sizes must be >= 1")
+        if request_timeout <= 0:
+            raise ConfigError("request_timeout must be positive")
+        if max_pending_jobs is not None and max_pending_jobs < 1:
+            raise ConfigError("max_pending_jobs must be >= 1 (or None)")
         self.default_alpha = int(default_alpha)
         self.default_beta = int(default_beta)
+        #: Socket read/write budget per HTTP request (stalled clients).
+        self.request_timeout = float(request_timeout)
+        #: Active-job ceiling; above it `cluster` answers 503+Retry-After.
+        self.max_pending_jobs = (
+            None if max_pending_jobs is None else int(max_pending_jobs)
+        )
         self.store = GraphStore()
         self.cache = ResultCache(capacity=cache_capacity)
         self.metrics = ServiceMetrics()
@@ -111,6 +133,14 @@ class ClusteringService:
             on_done=self._job_finished,
         )
         self.shutdown_event = threading.Event()
+        # Replayed submissions: (graph, key) → the job already scheduled.
+        self._idempotency: "OrderedDict[Tuple[str, str], str]" = OrderedDict()
+        self._idempotency_lock = threading.Lock()
+        # Backend degradations (process pool → threads) land in the
+        # metrics audit trail so operators see them without log scraping.
+        self._degradation_listener = add_degradation_listener(
+            self._backend_degraded
+        )
         self.metrics.register_gauge("jobs", self.scheduler.state_counts)
         self.metrics.register_gauge("cache", self.cache.stats)
         self.metrics.register_gauge("graphs", lambda: len(self.store))
@@ -119,7 +149,12 @@ class ClusteringService:
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
+        remove_degradation_listener(self._degradation_listener)
         self.scheduler.close()
+
+    def _backend_degraded(self, event: DegradationEvent) -> None:
+        self.metrics.increment("backend_degradations")
+        self.metrics.record_event("degradation", event.to_dict())
 
     def _job_finished(self, job: JobRecord) -> None:
         """Scheduler callback: account terminal jobs, fill the cache."""
@@ -129,8 +164,16 @@ class ClusteringService:
             self.metrics.increment("jobs_completed")
             self.metrics.increment("sigma_evaluations", evaluations)
             key = job.meta.get("cache_key")
-            if key is not None:
-                self.cache.put(
+            fingerprint = job.meta.get("fingerprint")
+            if key is not None and isinstance(fingerprint, str):
+                # Guarded fill: the graph may have been unloaded or
+                # mutated while the job ran; the store re-checks the
+                # fingerprint under its lock so a finished-late job
+                # cannot resurrect an already-invalidated entry.
+                filled = self.store.fill_cache_if_current(
+                    self.cache,
+                    job.graph_name,
+                    fingerprint,
                     key,
                     CachedResult(
                         labels=job.result.labels.copy(),
@@ -139,6 +182,8 @@ class ClusteringService:
                         compute_seconds=float(stats["compute_seconds"]),
                     ),
                 )
+                if not filled:
+                    self.metrics.increment("cache_fills_skipped_stale")
         elif job.state is JobState.FAILED:
             self.metrics.increment("jobs_failed")
         elif job.state is JobState.CANCELLED:
@@ -252,6 +297,68 @@ class ClusteringService:
             )
             return body
         self.metrics.increment("cache_misses")
+        idem_key = payload.get("idempotency_key")
+        if idem_key is not None and not isinstance(idem_key, str):
+            raise ServiceError("field 'idempotency_key' must be a string")
+        if idem_key:
+            map_key = (name, idem_key)
+            # Held across lookup + submit: two concurrent retries of the
+            # same request must not both schedule a job.
+            with self._idempotency_lock:
+                job_id = self._idempotency.get(map_key)
+                if job_id is None:
+                    self._admit_or_reject()
+                    job_id = self._submit_cluster_job(
+                        payload, entry, name, mu, epsilon, key
+                    )
+                    self._idempotency[map_key] = job_id
+                    while len(self._idempotency) > _IDEMPOTENCY_LIMIT:
+                        self._idempotency.popitem(last=False)
+                else:
+                    self._idempotency.move_to_end(map_key)
+                    self.metrics.increment("idempotent_replays")
+        else:
+            self._admit_or_reject()
+            job_id = self._submit_cluster_job(
+                payload, entry, name, mu, epsilon, key
+            )
+        if wait > 0:
+            info = self.scheduler.wait(job_id, timeout=wait)
+            if info["state"] == JobState.DONE.value:
+                return self._result_body(
+                    job_id, name, include_labels=include_labels
+                )
+            return dict(info, cached=False)
+        return dict(self.scheduler.info(job_id), cached=False)
+
+    def _admit_or_reject(self) -> None:
+        """Backpressure: refuse new jobs while the scheduler is saturated.
+
+        A 503 with ``Retry-After`` is cheap and honest; accepting the
+        job would only grow an unbounded queue the client interprets as
+        a hang.
+        """
+        if self.max_pending_jobs is None:
+            return
+        active = self.scheduler.active_count()
+        if active >= self.max_pending_jobs:
+            self.metrics.increment("backpressure_rejections")
+            raise ServiceError(
+                f"scheduler is saturated ({active} active jobs, limit "
+                f"{self.max_pending_jobs}); retry later",
+                status=503,
+                retry_after=1.0,
+            )
+
+    def _submit_cluster_job(
+        self,
+        payload: Dict[str, object],
+        entry,
+        name: str,
+        mu: int,
+        epsilon: float,
+        key,
+    ) -> str:
         if entry.auto_index and entry.index is None:
             # The index went stale after update-edges; rebuild lazily.
             entry = self.store.ensure_index(name)
@@ -276,14 +383,7 @@ class ClusteringService:
             meta={"cache_key": key, "fingerprint": entry.fingerprint},
         )
         self.metrics.increment("jobs_submitted")
-        if wait > 0:
-            info = self.scheduler.wait(job_id, timeout=wait)
-            if info["state"] == JobState.DONE.value:
-                return self._result_body(
-                    job_id, name, include_labels=include_labels
-                )
-            return dict(info, cached=False)
-        return dict(self.scheduler.info(job_id), cached=False)
+        return job_id
 
     def _result_body(
         self, job_id: str, graph_name: str, *, include_labels: bool
@@ -395,6 +495,7 @@ class _ServiceHTTPServer(ThreadingHTTPServer):
     def __init__(self, address, handler, service: ClusteringService) -> None:
         super().__init__(address, handler)
         self.service = service
+        self.request_timeout = service.request_timeout
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -405,6 +506,13 @@ class _Handler(BaseHTTPRequestHandler):
     # lines would swamp test output.
     def log_message(self, format: str, *args: object) -> None:
         pass
+
+    def setup(self) -> None:
+        # Bound every socket read/write: a stalled client must not pin
+        # a handler thread forever (StreamRequestHandler applies
+        # ``timeout`` to the connection in ``setup``).
+        self.timeout = getattr(self.server, "request_timeout", 30.0)
+        super().setup()
 
     def do_GET(self) -> None:
         self._serve("GET")
@@ -420,25 +528,44 @@ class _Handler(BaseHTTPRequestHandler):
         endpoint = "unmatched"
         body: Dict[str, object]
         try:
+            fault_point("http.request")
             length = int(self.headers.get("Content-Length") or 0)
             raw = self.rfile.read(length) if length > 0 else b""
+        except (TimeoutError, OSError, FaultInjected):
+            # The client stalled or reset mid-body; there is no one
+            # left to answer, so drop the connection and account it.
+            service.metrics.increment("request_read_failures")
+            self.close_connection = True
+            return
+        try:
             if raw:
                 decoded = json.loads(raw)
                 if not isinstance(decoded, dict):
                     raise ValueError("request body must be a JSON object")
                 payload = decoded
         except ValueError as exc:
+            service.metrics.increment("bad_request_bodies")
             body = {"error": f"invalid JSON body: {exc}", "type": "BadRequest"}
         else:
             status, body, endpoint = api.dispatch(
                 service, method, self.path, payload
             )
         data = json.dumps(body).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(data)))
-        self.end_headers()
-        self.wfile.write(data)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            retry_after = body.get("retry_after")
+            if isinstance(retry_after, (int, float)):
+                # Lift the body hint into the standard backoff header.
+                self.send_header("Retry-After", f"{float(retry_after):g}")
+            self.end_headers()
+            self.wfile.write(data)
+        except (TimeoutError, OSError):
+            # The client went away while we answered; nothing to send
+            # the error to, so count it and close.
+            service.metrics.increment("response_write_failures")
+            self.close_connection = True
         service.metrics.observe_latency(
             endpoint, time.perf_counter() - started
         )
@@ -523,6 +650,25 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--cache-capacity", type=int, default=128)
     parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        help="per-request socket read/write budget in seconds",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="active-job ceiling before `cluster` answers 503 with "
+        "Retry-After; 0 disables backpressure",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="PLAN.json",
+        help="arm a serialized fault plan at startup (chaos testing)",
+    )
+    parser.add_argument(
         "--alpha", type=int, default=1024, help="default block size α"
     )
     parser.add_argument(
@@ -555,12 +701,24 @@ def serve_main(argv=None) -> int:
     from repro.parallel.processes import install_signal_cleanup
 
     install_signal_cleanup()
+    if args.fault_plan:
+        from repro.faults import FaultPlan, arm
+
+        with open(args.fault_plan, "r", encoding="utf-8") as handle:
+            plan = arm(FaultPlan.from_json(handle.read()))
+        print(
+            f"fault plan {plan.name or 'unnamed'!r} armed "
+            f"({len(plan.rules)} rules) from {args.fault_plan}",
+            file=sys.stderr,
+        )
     service = ClusteringService(
         workers=args.workers,
         slice_iterations=args.slice_iterations,
         cache_capacity=args.cache_capacity,
         default_alpha=args.alpha,
         default_beta=args.beta,
+        request_timeout=args.request_timeout,
+        max_pending_jobs=args.max_pending or None,
     )
     for spec in args.graph or []:
         name, sep, path = spec.partition("=")
@@ -582,7 +740,7 @@ def serve_main(argv=None) -> int:
     try:
         while not service.shutdown_event.wait(timeout=0.2):
             pass
-    except KeyboardInterrupt:
+    except KeyboardInterrupt:  # repro: allow[swallow] - ^C is the shutdown signal
         print("interrupted; shutting down", file=sys.stderr)
     finally:
         server.close()

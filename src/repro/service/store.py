@@ -291,6 +291,31 @@ class GraphStore:
             return IndexedOracle(entry.index, config=entry.similarity)
         return SimilarityOracle(entry.graph, entry.similarity)
 
+    def fill_cache_if_current(
+        self,
+        cache: ResultCache,
+        name: str,
+        fingerprint: str,
+        key: CacheKey,
+        value: CachedResult,
+    ) -> bool:
+        """Insert ``value`` only if ``name`` still answers for ``fingerprint``.
+
+        A clustering job can outlive its graph: by the time the job
+        completes, the graph may have been unloaded, replaced, or
+        mutated by update-edges.  Filling the cache then would plant an
+        entry that ``invalidate_fingerprint`` already purged (or never
+        saw), so a revert-to-the-old-graph sequence could read a result
+        whose provenance is gone.  The check and the put happen under
+        the store lock, so no remove/replace/update can interleave.
+        """
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None or entry.fingerprint != fingerprint:
+                return False
+            cache.put(key, value)
+            return True
+
     def ensure_index(self, name: str) -> GraphEntry:
         """(Re)build the σ index for ``name`` if it is missing."""
         entry = self.get(name)

@@ -14,8 +14,16 @@ repository's CSR layout:
   (:mod:`repro.similarity.kernels`), optionally fanned out over the
   thread/process backends; every path produces the bitwise-identical
   array (each slot (u, v) is always computed by expanding v's row).
-* ``save``/``load`` round-trip through ``.npz`` with a graph fingerprint
-  and the similarity config embedded; a mismatch on either raises
+* ``save``/``load`` round-trip through ``.npz`` with a graph fingerprint,
+  the similarity config, and a payload checksum embedded.  Saves are
+  atomic (write-to-temp + ``os.replace``), so a crashed writer can never
+  leave a half-written archive under the real name.  Loads verify the
+  checksum; damage of any kind (truncation, flipped bytes, a zeroed
+  header, missing fields) raises
+  :class:`~repro.errors.IndexIntegrityError`, and
+  :meth:`EdgeSimilarityIndex.load_or_rebuild` turns that into quarantine
+  (``{path}.quarantined``) plus a fresh rebuild instead of a crash.  A
+  graph/semantics mismatch still raises plain
   :class:`~repro.errors.ConfigError` rather than silently returning σ
   values for the wrong graph or semantics.
 * :class:`IndexedOracle` is a drop-in
@@ -31,11 +39,13 @@ CSR ``weights`` array.
 from __future__ import annotations
 
 import hashlib
+import os
 from typing import Tuple
 
 import numpy as np
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, IndexIntegrityError
+from repro.faults import fault_point
 from repro.graph.csr import Graph
 from repro.similarity import kernels
 from repro.similarity.weighted import SimilarityConfig, SimilarityOracle
@@ -60,6 +70,26 @@ def graph_fingerprint(graph: Graph) -> str:
 
 def _config_signature(config: SimilarityConfig) -> dict:
     return {name: getattr(config, name) for name in _SEMANTIC_FIELDS}
+
+
+def _archive_path(path) -> str:
+    """The on-disk name ``np.savez`` would use (it appends ``.npz``)."""
+    text = os.fspath(path)
+    return text if text.endswith(".npz") else text + ".npz"
+
+
+def _payload_checksum(
+    fingerprint: str, sigmas: np.ndarray, config: SimilarityConfig
+) -> str:
+    """Digest binding the σ payload to its graph and semantics."""
+    digest = hashlib.sha256()
+    digest.update(fingerprint.encode())
+    digest.update(
+        np.ascontiguousarray(sigmas, dtype=np.float64).tobytes()
+    )
+    for name in _SEMANTIC_FIELDS + ("pruning",):
+        digest.update(f"{name}={getattr(config, name)!r};".encode())
+    return digest.hexdigest()
 
 
 class EdgeSimilarityIndex:
@@ -251,18 +281,35 @@ class EdgeSimilarityIndex:
                 )
 
     def save(self, path) -> None:
-        """Persist to ``.npz`` (σ array + fingerprint + config)."""
+        """Persist atomically to ``.npz`` (σ + fingerprint + checksum).
+
+        The archive is written to a temporary sibling and moved into
+        place with ``os.replace``, so a crash mid-write (or an injected
+        ``index.save`` fault) leaves the previous file — never a torn
+        one — under the real name.
+        """
+        fault_point("index.save")
         cfg = self.config
-        np.savez_compressed(
-            path,
-            sigmas=self._sigmas,
-            fingerprint=np.str_(self.fingerprint),
-            kind=np.str_(cfg.kind),
-            closed=np.bool_(cfg.closed),
-            self_weight=np.float64(cfg.self_weight),
-            count_self=np.bool_(cfg.count_self),
-            pruning=np.bool_(cfg.pruning),
-        )
+        final = _archive_path(path)
+        tmp = f"{final}.tmp-{os.getpid()}.npz"
+        try:
+            np.savez_compressed(
+                tmp,
+                sigmas=self._sigmas,
+                fingerprint=np.str_(self.fingerprint),
+                checksum=np.str_(
+                    _payload_checksum(self.fingerprint, self._sigmas, cfg)
+                ),
+                kind=np.str_(cfg.kind),
+                closed=np.bool_(cfg.closed),
+                self_weight=np.float64(cfg.self_weight),
+                count_self=np.bool_(cfg.count_self),
+                pruning=np.bool_(cfg.pruning),
+            )
+            os.replace(tmp, final)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
 
     @classmethod
     def load(
@@ -274,24 +321,46 @@ class EdgeSimilarityIndex:
     ) -> "EdgeSimilarityIndex":
         """Load an index saved by :meth:`save` and bind it to ``graph``.
 
-        Raises :class:`ConfigError` when the stored fingerprint does not
-        match ``graph`` or when ``config`` (if given) disagrees with the
-        stored semantics.
+        Raises :class:`IndexIntegrityError` when the archive is
+        unreadable, incomplete, or fails its checksum (disk rot, a torn
+        write by some other tool), and plain :class:`ConfigError` when
+        the archive is intact but answers for a different graph or —
+        if ``config`` is given — different semantics.
         """
-        with np.load(path, allow_pickle=False) as data:
-            sigmas = np.asarray(data["sigmas"], dtype=np.float64)
-            fingerprint = str(data["fingerprint"])
-            stored = SimilarityConfig(
-                kind=str(data["kind"]),
-                closed=bool(data["closed"]),
-                self_weight=float(data["self_weight"]),
-                count_self=bool(data["count_self"]),
-                pruning=bool(data["pruning"]),
+        fault_point("index.load")
+        final = _archive_path(path)
+        try:
+            with np.load(final, allow_pickle=False) as data:
+                sigmas = np.asarray(data["sigmas"], dtype=np.float64)
+                fingerprint = str(data["fingerprint"])
+                checksum = str(data["checksum"])
+                stored = SimilarityConfig(
+                    kind=str(data["kind"]),
+                    closed=bool(data["closed"]),
+                    self_weight=float(data["self_weight"]),
+                    count_self=bool(data["count_self"]),
+                    pruning=bool(data["pruning"]),
+                )
+        except Exception as exc:
+            # Damaged archives surface as an open-ended set of parse
+            # errors (BadZipFile, zlib.error, struct.error, KeyError,
+            # even NotImplementedError for mangled flag bits); all of
+            # them mean the same thing here and the chain is preserved.
+            raise IndexIntegrityError(
+                f"similarity index at {final!s} is unreadable or incomplete "
+                f"({type(exc).__name__}: {exc}); quarantine and rebuild"
+            ) from exc
+        expected = _payload_checksum(fingerprint, sigmas, stored)
+        if checksum != expected:
+            raise IndexIntegrityError(
+                f"similarity index at {final!s} failed checksum verification "
+                f"(stored {checksum[:12]}…, computed {expected[:12]}…); the "
+                "archive is damaged — quarantine and rebuild"
             )
         found = graph_fingerprint(graph)
         if fingerprint != found:
             raise ConfigError(
-                f"similarity index at {path!s} was built for a different "
+                f"similarity index at {final!s} was built for a different "
                 f"graph (stored fingerprint {fingerprint[:12]}…, this graph "
                 f"{found[:12]}…)"
             )
@@ -299,6 +368,38 @@ class EdgeSimilarityIndex:
         if config is not None:
             index.require_compatible(config=config)
         return index
+
+    @classmethod
+    def load_or_rebuild(
+        cls,
+        path,
+        graph: Graph,
+        *,
+        config: SimilarityConfig | None = None,
+        backend=None,
+        workers: int | None = None,
+    ) -> Tuple["EdgeSimilarityIndex", bool]:
+        """Load ``path``; on damage, quarantine it and rebuild from σ.
+
+        Returns ``(index, recovered)`` — ``recovered`` is True when the
+        stored archive was damaged (or missing) and a fresh index was
+        built and saved in its place; the damaged file is preserved as
+        ``{path}.quarantined`` for post-mortems.  A fingerprint or
+        semantics mismatch is *not* recovered from: that is a caller
+        error (wrong file for this graph) and still raises
+        :class:`ConfigError`.
+        """
+        final = _archive_path(path)
+        try:
+            return cls.load(final, graph, config=config), False
+        except IndexIntegrityError:
+            try:
+                os.replace(final, final + ".quarantined")
+            except FileNotFoundError:
+                pass  # missing archive: nothing to quarantine
+            index = cls.build(graph, config, backend=backend, workers=workers)
+            index.save(final)
+            return index, True
 
 
 class IndexedOracle(SimilarityOracle):

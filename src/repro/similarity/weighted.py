@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.faults import fault_point
 from repro.graph.csr import Graph
 from repro.similarity import kernels
 from repro.similarity.counters import SimilarityCounters
@@ -452,6 +453,7 @@ class SimilarityOracle:
         merge costs of all neighbor evaluations — identical accounting to
         the historical per-pair loop (the dominant cost of Step 1).
         """
+        fault_point("sigma.query")
         neighbors = self.graph.neighbors(p)
         if neighbors.shape[0] == 0:
             self.counters.record_neighborhood_query(0.0, evaluations=0)

@@ -1,0 +1,47 @@
+"""Seeded R5 violations: silent ``except`` handlers in a guarded module."""
+
+
+def swallow_into_fallback(work, fallback):
+    """R5: the failure is replaced by a default with no trace."""
+    try:
+        result = work()
+    except ValueError:
+        result = fallback
+    return result
+
+
+def swallow_with_pass(work):
+    """R5: the failure vanishes entirely."""
+    try:
+        work()
+    except OSError:
+        pass
+
+
+def reraise_translated(work):
+    try:
+        return work()
+    except ValueError as exc:
+        raise RuntimeError("translated") from exc
+
+
+def return_on_failure(work):
+    try:
+        return work()
+    except ValueError:
+        return None
+
+
+def witnessed_by_metrics(work, metrics):
+    try:
+        work()
+    except ValueError:
+        metrics.increment("failures")
+
+
+def sanctioned_swallow(work):
+    try:
+        work()
+    # Best-effort probe; justified in the module docstring.  # repro: allow[swallow]
+    except ValueError:
+        pass

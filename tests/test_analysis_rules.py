@@ -17,6 +17,7 @@ FIXTURES = Path(__file__).parent / "fixtures" / "analysis"
 FIXTURE_CONFIG = AnalysisConfig(
     kernel_modules=["fixtures/analysis"],
     api_modules=["fixtures/analysis"],
+    guarded_exception_modules=["fixtures/analysis"],
 )
 
 
@@ -90,6 +91,39 @@ class TestSeededViolations:
         assert "cluster_checked" not in messages
         assert "cluster_inline" not in messages
         assert "_private" not in messages
+
+    def test_r5_fires_on_silent_handlers(self):
+        findings = [f for f in findings_for("viol_r5.py") if f.rule == "R5"]
+        assert len(findings) == 2
+        messages = " ".join(f.message for f in findings)
+        assert "ValueError" in messages
+        assert "OSError" in messages
+
+    def test_r5_accepts_reraise_return_and_witness(self):
+        messages = " ".join(f.message for f in findings_for("viol_r5.py"))
+        findings = findings_for("viol_r5.py")
+        flagged_lines = {f.line for f in findings if f.rule == "R5"}
+        # only the two seeded handlers fire; the compliant ones (raise,
+        # return, metrics witness, pragma) stay silent
+        assert flagged_lines == {8, 17}, messages
+
+    def test_r5_respects_swallow_pragma(self, tmp_path):
+        source = (
+            "def f(work):\n"
+            "    try:\n"
+            "        work()\n"
+            "    except ValueError:  # repro: allow[swallow]\n"
+            "        pass\n"
+        )
+        path = tmp_path / "fixtures" / "analysis" / "module.py"
+        path.parent.mkdir(parents=True)
+        path.write_text(source)
+        analyzer = Analyzer(config=FIXTURE_CONFIG)
+        assert analyzer.analyze_paths([path]) == []
+
+    def test_r5_silent_outside_guarded_modules(self):
+        findings = findings_for("viol_r5.py", config=AnalysisConfig())
+        assert [f for f in findings if f.rule == "R5"] == []
 
     def test_generic_rules_fire(self):
         findings = findings_for("viol_generic.py")

@@ -1,0 +1,224 @@
+"""The chaos battery: randomized fault plans against the hardened stack.
+
+Run with ``pytest -m chaos``.  Each battery arms a seeded random
+:class:`~repro.faults.FaultPlan` and asserts the invariant the hardened
+layers guarantee by construction: injected faults *raise*, *kill
+workers*, or *delay* — they never corrupt data — so
+
+* any run that reports success is **byte-identical** to the sequential
+  ``scan`` reference;
+* any run that fails does so with a structured exception (never a hang);
+* no run leaks a ``repro_*`` shared-memory segment or leaves a corrupt
+  index file under its real name.
+
+Seeds come from ``REPRO_CHAOS_SEEDS`` (comma-separated) so CI can shard
+the battery across a seed matrix; every plan is dumped as JSON into
+``REPRO_CHAOS_DIR`` (when set) so a failing run ships the exact plan
+that broke it.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.baselines.scan import scan
+from repro.core.anyscan import AnySCAN
+from repro.core.backend_scan import parallel_scan
+from repro.core.config import AnyScanConfig
+from repro.errors import ReproError
+from repro.faults import FaultPlan, FaultRule, armed
+from repro.faults.corruption import CORRUPTION_MODES, corrupt_file
+from repro.graph.generators.random_graphs import gnm_random_graph
+from repro.parallel.processes import ProcessBackend, shared_memory_available
+from repro.service.jobs import JobScheduler
+from repro.similarity.index import EdgeSimilarityIndex, IndexIntegrityError
+from repro.similarity.weighted import SimilarityConfig
+
+pytestmark = [pytest.mark.chaos, pytest.mark.timeout(180)]
+
+
+def _seeds():
+    raw = os.environ.get("REPRO_CHAOS_SEEDS", "0,1,2,3")
+    return [int(part) for part in raw.split(",") if part.strip()]
+
+
+def _dump_plan(plan, battery):
+    """Persist the plan JSON so CI can upload it from a failed run."""
+    directory = os.environ.get("REPRO_CHAOS_DIR")
+    if directory:
+        path = Path(directory) / f"plan_{battery}_{plan.seed}.json"
+        path.write_text(plan.to_json())
+
+
+def _stray_segments():
+    shm = Path("/dev/shm")
+    if not shm.is_dir():
+        return []
+    return sorted(p.name for p in shm.glob(f"repro_{os.getpid()}_*"))
+
+
+#: Structured failures a faulted run may legitimately surface.  Anything
+#: else (or a hang) is a hardening bug.
+_STRUCTURED = (ReproError, OSError, MemoryError, ValueError, TimeoutError)
+
+_BACKEND_SITES = [
+    "process.worker.chunk",
+    "process.pool.spawn",
+    "process.segment.create",
+    "sigma.query",
+]
+_EXIT_SITES = ["process.worker.chunk"]
+
+
+@pytest.mark.parametrize("seed", _seeds())
+def test_process_backend_differential_under_faults(seed):
+    """Battery A: the cross-backend differential holds under faults."""
+    if not shared_memory_available():
+        pytest.skip("POSIX shared memory unavailable")
+    graph = gnm_random_graph(120, 420, seed=31)
+    reference = scan(graph, 2, 0.5, seed=0)
+    plan = FaultPlan.random(
+        seed, sites=_BACKEND_SITES, exit_sites=_EXIT_SITES
+    )
+    _dump_plan(plan, "backend")
+    outcome = "success"
+    with ProcessBackend(workers=2, chunk_size=32, retry_backoff=0.01) as backend:
+        with armed(plan):
+            try:
+                got = parallel_scan(graph, 2, 0.5, backend=backend, seed=0)
+            except _STRUCTURED:
+                outcome = "structured-failure"
+    if outcome == "success":
+        np.testing.assert_array_equal(reference.labels, got.labels)
+        np.testing.assert_array_equal(reference.roles, got.roles)
+    assert _stray_segments() == [], plan.to_json()
+
+
+@pytest.mark.parametrize("seed", _seeds())
+def test_index_persistence_under_corruption(seed, tmp_path):
+    """Battery B: seeded disk rot → quarantine → rebuild, never a torn
+    or corrupt archive under the real name."""
+    graph = gnm_random_graph(80, 240, seed=41)
+    config = SimilarityConfig()
+    fresh = EdgeSimilarityIndex.build(graph, config)
+    path = tmp_path / "battery.npz"
+    fresh.save(path)
+    mode = CORRUPTION_MODES[seed % len(CORRUPTION_MODES)]
+    corrupt_file(path, mode=mode, seed=seed)
+    with pytest.raises(IndexIntegrityError):
+        EdgeSimilarityIndex.load(path, graph, config=config)
+    recovered_index, recovered = EdgeSimilarityIndex.load_or_rebuild(
+        path, graph, config=config
+    )
+    assert recovered
+    quarantined = [p.name for p in tmp_path.iterdir() if "quarantined" in p.name]
+    assert quarantined, "damaged archive must be preserved for post-mortems"
+    np.testing.assert_array_equal(fresh.sigmas, recovered_index.sigmas)
+    reloaded = EdgeSimilarityIndex.load(path, graph, config=config)
+    np.testing.assert_array_equal(fresh.sigmas, reloaded.sigmas)
+
+
+@pytest.mark.parametrize("seed", _seeds())
+def test_scheduler_jobs_under_slice_faults(seed):
+    """Battery C: faulted slices either retry to the exact result or
+    fail with the exception chain preserved — the scheduler survives."""
+    graph = gnm_random_graph(100, 350, seed=51)
+    reference = scan(graph, 2, 0.5, seed=0)
+    plan = FaultPlan.random(seed, sites=["jobs.slice"])
+    _dump_plan(plan, "jobs")
+    config = AnyScanConfig(
+        mu=2, epsilon=0.5, alpha=32, beta=32, record_costs=False
+    )
+    with armed(plan):
+        with JobScheduler(workers=1, slice_iterations=2, max_slice_retries=8) as scheduler:
+            job = scheduler.submit(AnySCAN(graph, config), graph_name="chaos")
+            info = scheduler.wait(job, timeout=120.0)
+            if info["state"] == "done":
+                got = scheduler.result(job)
+                np.testing.assert_array_equal(
+                    reference.canonical().labels, got.canonical().labels
+                )
+            else:
+                assert info["state"] == "failed", plan.to_json()
+                assert info["error"], "failed jobs must carry an error"
+                assert info["error_chain"], plan.to_json()
+
+
+def test_worker_death_is_absorbed_within_budget():
+    """A deterministic pool-death plan: one worker is killed mid-chunk;
+    the run must still succeed exactly (chunk reassignment + respawn)."""
+    if not shared_memory_available():
+        pytest.skip("POSIX shared memory unavailable")
+    graph = gnm_random_graph(120, 420, seed=31)
+    reference = scan(graph, 2, 0.5, seed=0)
+    plan = FaultPlan(
+        [FaultRule(site="process.worker.chunk", kind="exit", after=2)],
+        name="one-worker-death",
+    )
+    with ProcessBackend(workers=2, chunk_size=16, retry_backoff=0.01) as backend:
+        with armed(plan):
+            got = parallel_scan(graph, 2, 0.5, backend=backend, seed=0)
+    np.testing.assert_array_equal(reference.labels, got.labels)
+    np.testing.assert_array_equal(reference.roles, got.roles)
+    assert _stray_segments() == []
+
+
+def test_exhausted_failure_budget_degrades_with_event():
+    """Unlimited chunk faults blow the budget: the backend must degrade
+    to threads, emit a structured DegradationEvent, and still be exact."""
+    if not shared_memory_available():
+        pytest.skip("POSIX shared memory unavailable")
+    graph = gnm_random_graph(120, 420, seed=31)
+    reference = scan(graph, 2, 0.5, seed=0)
+    events = []
+    plan = FaultPlan(
+        [
+            FaultRule(
+                site="process.worker.chunk",
+                kind="raise",
+                exception="MemoryError",
+                times=None,
+            )
+        ],
+        name="budget-exhaustion",
+    )
+    backend = ProcessBackend(
+        workers=2,
+        chunk_size=16,
+        max_chunk_retries=1,
+        failure_budget=1,
+        retry_backoff=0.01,
+        on_degrade=events.append,
+    )
+    with backend:
+        with armed(plan):
+            got = parallel_scan(graph, 2, 0.5, backend=backend, seed=0)
+        assert backend.kind == "thread"
+    assert len(events) == 1
+    assert events[0].backend == "process"
+    assert events[0].reason
+    assert events[0].workers == 2
+    np.testing.assert_array_equal(reference.labels, got.labels)
+    np.testing.assert_array_equal(reference.roles, got.roles)
+    assert _stray_segments() == []
+
+
+def test_faulted_index_save_never_tears_the_archive(tmp_path):
+    """An injected ``index.save`` fault must leave the previous archive
+    intact (atomic replace), not a torn file."""
+    graph = gnm_random_graph(60, 150, seed=61)
+    config = SimilarityConfig()
+    index = EdgeSimilarityIndex.build(graph, config)
+    path = tmp_path / "atomic.npz"
+    index.save(path)
+    plan = FaultPlan([FaultRule(site="index.save", exception="OSError")])
+    with armed(plan):
+        with pytest.raises(OSError):
+            index.save(path)
+    reloaded = EdgeSimilarityIndex.load(path, graph, config=config)
+    np.testing.assert_array_equal(index.sigmas, reloaded.sigmas)
+    assert [p.name for p in tmp_path.iterdir()] == ["atomic.npz"]

@@ -108,6 +108,52 @@ _CHILD = textwrap.dedent(
 )
 
 
+def test_sigkill_parent_mid_job_leaves_no_stray_segments():
+    """SIGKILL the parent mid-job; /dev/shm must still come back clean.
+
+    SIGKILL runs no handler and no atexit hook, so this path cannot be
+    cleaned by the parent: the guarantee comes from the worker-side
+    parent watchdog (orphaned workers exit when they are reparented)
+    plus the multiprocessing resource tracker, which sweeps every
+    registered segment once the last pipe holder is gone."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(os.path.dirname(__file__), "..", "src"),
+         env.get("PYTHONPATH", "")]
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-c", _CHILD],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        line = proc.stdout.readline().strip()
+        if line == "FALLBACK":
+            proc.wait(timeout=30)
+            pytest.skip("process pool unavailable in this environment")
+        assert line == "READY"
+        deadline = time.monotonic() + 10
+        while not _segments_of(proc.pid):
+            assert time.monotonic() < deadline, "child published no segments"
+            time.sleep(0.05)
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+        assert proc.returncode == -signal.SIGKILL
+        # Watchdog poll (0.5s) + tracker sweep; allow generous slack.
+        deadline = time.monotonic() + 20
+        while _segments_of(proc.pid):
+            assert time.monotonic() < deadline, (
+                f"stray segments: {_segments_of(proc.pid)}"
+            )
+            time.sleep(0.1)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+        proc.stdout.close()
+
+
 def test_sigterm_mid_job_leaves_no_stray_segments(tmp_path):
     """Kill a busy session with SIGTERM; /dev/shm must come back clean."""
     env = dict(os.environ)

@@ -234,3 +234,52 @@ class TestUpdateEdges:
             store.update_edges("missing", insert=[[0, 1]])
         with pytest.raises(ConfigError):
             store.update_edges("g", delete=[[0]])
+
+
+class TestGuardedCacheFill:
+    """A job finishing late must not plant a cache entry for a graph
+    that was unloaded, replaced, or mutated while it ran (§9)."""
+
+    def _setup(self):
+        store = GraphStore()
+        graph = gnm_random_graph(20, 40, seed=11)
+        entry = store.add("g", graph)
+        cache = ResultCache(capacity=8)
+        key = make_cache_key(entry.fingerprint, entry.similarity, 2, 0.5)
+        return store, cache, entry, key
+
+    def test_fill_succeeds_while_graph_is_current(self):
+        store, cache, entry, key = self._setup()
+        assert store.fill_cache_if_current(
+            cache, "g", entry.fingerprint, key, _result()
+        )
+        assert cache.get(key) is not None
+
+    def test_fill_skipped_after_remove(self):
+        store, cache, entry, key = self._setup()
+        store.remove("g")
+        assert not store.fill_cache_if_current(
+            cache, "g", entry.fingerprint, key, _result()
+        )
+        assert len(cache) == 0
+
+    def test_fill_skipped_after_update_changed_fingerprint(self):
+        store, cache, entry, key = self._setup()
+        old_fingerprint = entry.fingerprint
+        u, v = TestUpdateEdges()._free_pair(entry.graph)
+        store.update_edges("g", insert=[[u, v]])
+        # The job answered for the pre-update fingerprint; by now the
+        # invalidation for that fingerprint has already run, so a fill
+        # here would resurrect a purged entry.
+        assert not store.fill_cache_if_current(
+            cache, "g", old_fingerprint, key, _result()
+        )
+        assert len(cache) == 0
+
+    def test_fill_skipped_after_replace(self):
+        store, cache, entry, key = self._setup()
+        store.add("g", gnm_random_graph(22, 44, seed=12), replace=True)
+        assert not store.fill_cache_if_current(
+            cache, "g", entry.fingerprint, key, _result()
+        )
+        assert len(cache) == 0

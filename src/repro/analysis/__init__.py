@@ -12,35 +12,87 @@ rule id   contract
 ``R3``    hot-kernel vectorization: no Python loops over CSR arrays
           in designated kernel modules
 ``R4``    API contracts: public eps/mu entry points validate ranges
+``R5``    exception discipline: handlers in hardened modules must
+          re-raise, return, or witness the failure
+``R6``    interprocedural shared writes: state reachable from >=2
+          concurrent worker roots needs a common lock on every path
+``R7``    lock-order consistency: the acquisition-order graph across
+          all concurrent roots must be acyclic (no ABBA deadlocks)
+``R8``    shared-memory lifecycle: every ``SharedMemory`` create
+          reaches close/unlink (or transfers ownership) on all
+          paths, exception edges included
 ``G1-3``  generic hygiene (mutable defaults, bare except, frozen
           dataclass mutation outside ``__post_init__``)
 ========  ==========================================================
 
-Run ``python -m repro.analysis src/repro`` (exits nonzero on
-findings); suppress a finding inline with ``# repro: allow[R1]``.
-The runtime half of R1 lives in :mod:`repro.analysis.runtime`.
+R1–R5 and G1–G3 are per-module; R6–R8 are whole-program passes built
+on the call graph in :mod:`repro.analysis.dataflow` and run with
+``python -m repro.analysis --interprocedural`` (exits nonzero on
+findings).  Suppress a finding inline with ``# repro: allow[R1]``; a
+pragma on a ``def`` line (or its decorators) covers the whole
+function.  Reports render as text, JSON, or SARIF 2.1.0
+(:mod:`repro.analysis.report`), with a checked-in baseline for
+accepted findings.  The runtime half of R1 (:class:`ShadowArray`) and
+of R7 (:class:`LockOrderWatch`) live in :mod:`repro.analysis.runtime`.
 """
 
 from repro.analysis.config import AnalysisConfig, AnalysisConfigError, load_config
 from repro.analysis.core import Analyzer, ModuleSource, Rule, iter_python_files
+from repro.analysis.dataflow import (
+    PROGRAM_RULE_CLASSES,
+    PROGRAM_RULE_INDEX,
+    Program,
+    ProgramAnalyzer,
+    ProgramRule,
+    default_program_rules,
+)
 from repro.analysis.findings import Finding
+from repro.analysis.report import (
+    load_baseline,
+    render_json,
+    render_sarif,
+    subtract_baseline,
+    write_baseline,
+)
 from repro.analysis.rules import RULE_CLASSES, RULE_INDEX, default_rules
-from repro.analysis.runtime import Race, ShadowArray, ShadowWriteLog, WriteRecord
+from repro.analysis.runtime import (
+    LockOrderViolation,
+    LockOrderWatch,
+    Race,
+    ShadowArray,
+    ShadowWriteLog,
+    WatchedLock,
+    WriteRecord,
+)
 
 __all__ = [
     "AnalysisConfig",
     "AnalysisConfigError",
     "Analyzer",
     "Finding",
+    "LockOrderViolation",
+    "LockOrderWatch",
     "ModuleSource",
+    "PROGRAM_RULE_CLASSES",
+    "PROGRAM_RULE_INDEX",
+    "Program",
+    "ProgramAnalyzer",
+    "ProgramRule",
     "Rule",
     "RULE_CLASSES",
     "RULE_INDEX",
     "ShadowArray",
     "ShadowWriteLog",
     "Race",
+    "WatchedLock",
     "WriteRecord",
+    "default_program_rules",
     "default_rules",
     "iter_python_files",
+    "load_baseline",
     "load_config",
+    "render_json",
+    "render_sarif",
+    "subtract_baseline",
+    "write_baseline",
 ]

@@ -2,26 +2,48 @@
 
 Usage::
 
-    python -m repro.analysis                # lint src/repro
-    python -m repro.analysis src tests      # explicit paths
-    python -m repro.analysis --list-rules   # rule ids and contracts
-    python -m repro.analysis --select R1,R2 # subset of the pack
+    python -m repro.analysis                     # lint src/repro
+    python -m repro.analysis src tests           # explicit paths
+    python -m repro.analysis --list-rules        # rule ids and contracts
+    python -m repro.analysis --select R1,R6      # subset of the pack
+    python -m repro.analysis --interprocedural   # add R6-R8 whole-program pass
+    python -m repro.analysis --format sarif -o out.sarif
+    python -m repro.analysis --baseline analysis-baseline.json
 
 Exits 0 when clean, 1 on findings, 2 on usage/config errors — so CI
-can use it as a hard gate.
+can use it as a hard gate.  With ``--baseline`` only findings absent
+from the baseline count against the exit code; stale baseline entries
+are reported on stderr so suppressions get pruned as code is fixed.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 from pathlib import Path
+from typing import List
 
 from repro.analysis.config import AnalysisConfigError, load_config
 from repro.analysis.core import Analyzer
+from repro.analysis.dataflow import ProgramAnalyzer
+from repro.analysis.dataflow.rules import (
+    PROGRAM_RULE_INDEX,
+    default_program_rules,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.report import (
+    load_baseline,
+    render_json,
+    render_sarif,
+    subtract_baseline,
+    write_baseline,
+)
 from repro.analysis.rules import RULE_INDEX, default_rules
+
+
+def _all_rule_ids() -> set:
+    return set(RULE_INDEX) | set(PROGRAM_RULE_INDEX)
 
 
 def main(argv=None) -> int:
@@ -53,10 +75,35 @@ def main(argv=None) -> int:
         help="comma-separated rule ids to skip (adds to config)",
     )
     parser.add_argument(
+        "--interprocedural",
+        action="store_true",
+        help="also run the whole-program pass (rules R6-R8)",
+    )
+    parser.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
         help="finding output format",
+    )
+    parser.add_argument(
+        "--output",
+        "-o",
+        type=Path,
+        default=None,
+        help="write the report here instead of stdout",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="JSON baseline of accepted findings; only new findings "
+        "fail the gate",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        type=Path,
+        default=None,
+        help="write the current findings as a baseline file and exit 0",
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="list rule ids and exit"
@@ -64,8 +111,15 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule_id, cls in sorted(RULE_INDEX.items()):
+        per_module = sorted(RULE_INDEX.items())
+        program = sorted(PROGRAM_RULE_INDEX.items())
+        for rule_id, cls in per_module:
             print(f"{rule_id:>5}  {cls.name}: {cls.description}")
+        for rule_id, cls in program:
+            print(
+                f"{rule_id:>5}  {cls.name}: {cls.description} "
+                "[interprocedural]"
+            )
         return 0
 
     try:
@@ -74,21 +128,36 @@ def main(argv=None) -> int:
         print(str(exc), file=sys.stderr)
         return 2
 
-    rules = default_rules()
+    wanted = None
     if args.select:
-        wanted = {part.strip() for part in args.select.split(",") if part.strip()}
-        unknown = wanted - set(RULE_INDEX)
+        wanted = {
+            part.strip() for part in args.select.split(",") if part.strip()
+        }
+        unknown = wanted - _all_rule_ids()
         if unknown:
             print(
                 f"unknown rule id(s): {', '.join(sorted(unknown))}; "
-                f"available: {', '.join(sorted(RULE_INDEX))}",
+                f"available: {', '.join(sorted(_all_rule_ids()))}",
                 file=sys.stderr,
             )
             return 2
-        rules = [rule for rule in rules if rule.id in wanted]
+    skipped = set()
     if args.disable:
         skipped = {part.strip() for part in args.disable.split(",")}
-        rules = [rule for rule in rules if rule.id not in skipped]
+
+    rules = default_rules()
+    if wanted is not None:
+        rules = [rule for rule in rules if rule.id in wanted]
+    rules = [rule for rule in rules if rule.id not in skipped]
+
+    program_rules = default_program_rules()
+    if wanted is not None:
+        program_rules = [r for r in program_rules if r.id in wanted]
+    program_rules = [r for r in program_rules if r.id not in skipped]
+    # --select R6 alone implies the interprocedural pass.
+    run_program = args.interprocedural or (
+        wanted is not None and bool(wanted & set(PROGRAM_RULE_INDEX))
+    )
 
     missing = [path for path in args.paths if not Path(path).exists()]
     if missing:
@@ -96,20 +165,62 @@ def main(argv=None) -> int:
         return 2
 
     analyzer = Analyzer(config=config, rules=rules)
-    findings = analyzer.analyze_paths(args.paths)
+    findings: List[Finding] = list(analyzer.analyze_paths(args.paths))
+    if run_program and program_rules:
+        program_analyzer = ProgramAnalyzer(
+            config=config, rules=program_rules
+        )
+        findings.extend(program_analyzer.analyze_paths(args.paths))
+    findings.sort()
+
+    if args.write_baseline is not None:
+        write_baseline(args.write_baseline, findings)
+        print(
+            f"wrote {len(findings)} finding(s) to {args.write_baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    gating = findings
+    if args.baseline is not None:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        diff = subtract_baseline(findings, baseline)
+        gating = diff.new
+        if diff.known:
+            print(
+                f"{len(diff.known)} finding(s) matched the baseline",
+                file=sys.stderr,
+            )
+        for entry in diff.stale:
+            print(
+                "stale baseline entry (no longer fires): "
+                f"{entry['path']}: {entry['rule']} {entry['message']}",
+                file=sys.stderr,
+            )
+
+    if args.format == "json":
+        report = render_json(gating)
+    elif args.format == "sarif":
+        report = render_sarif(gating)
+    else:
+        report = "".join(f.format() + "\n" for f in gating)
 
     try:
-        if args.format == "json":
-            print(json.dumps([f.to_dict() for f in findings], indent=2))
+        if args.output is not None:
+            args.output.write_text(report, encoding="utf-8")
+            print(f"report written to {args.output}", file=sys.stderr)
         else:
-            for finding in findings:
-                print(finding.format())
-            if findings:
-                print(f"\n{len(findings)} finding(s)", file=sys.stderr)
+            sys.stdout.write(report)
+        if gating and args.format == "text":
+            print(f"\n{len(gating)} finding(s)", file=sys.stderr)
     except BrokenPipeError:
         # Downstream pager/head closed early; silence the shutdown flush.
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
-    return 1 if findings else 0
+    return 1 if gating else 0
 
 
 if __name__ == "__main__":

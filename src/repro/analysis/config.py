@@ -103,6 +103,27 @@ class AnalysisConfig:
             "n",
         ]
     )
+    #: Extra concurrent roots for the interprocedural pass (R6/R7), as
+    #: ``module:qualname`` refs or bare qualname suffixes — functions
+    #: that run on ≥2 concurrent workers but reach their pool through
+    #: indirection the call-graph builder cannot see.
+    concurrency_roots: List[str] = field(default_factory=list)
+    #: Substrings that mark a name/attribute as a lock-like guard for
+    #: the interprocedural lock-set analysis (R6/R7).
+    lock_name_fragments: List[str] = field(
+        default_factory=lambda: ["lock", "mutex", "sem", "cond", "wake"]
+    )
+    #: Module-level lock names canonicalized to the one global critical
+    #: section, so ``critical()`` and a direct ``with _GLOBAL_LOCK:``
+    #: count as the *same* lock in R6 intersection tests.
+    global_lock_names: List[str] = field(
+        default_factory=lambda: ["_GLOBAL_LOCK"]
+    )
+    #: Call names that create a shared-memory segment the caller must
+    #: close/unlink (R8), besides ``SharedMemory(create=True)`` itself.
+    segment_factories: List[str] = field(
+        default_factory=lambda: ["_create_named_segment"]
+    )
 
     def matches(self, path: Path | str, entries: List[str]) -> bool:
         """Whether ``path`` falls under any of the module ``entries``."""

@@ -12,6 +12,13 @@ The pragma suppresses the named rule ids (comma separated, ``*`` for
 all) on its own line and, when it trails a pure comment line, on the
 line immediately below — so a justification comment above a flagged
 statement carries the suppression.
+
+Function/class signatures are treated as one suppression span: a
+pragma anywhere between the first decorator and the end of the
+signature covers findings reported at any line of that span, so
+``# repro: allow[...]`` on the ``def`` line still works when
+decorators shift the reported lineno or the signature wraps over
+several lines.
 """
 
 from __future__ import annotations
@@ -20,7 +27,7 @@ import ast
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.config import AnalysisConfig
 from repro.analysis.findings import Finding
@@ -39,6 +46,7 @@ class ModuleSource:
     tree: ast.Module
     lines: List[str] = field(default_factory=list)
     _suppressions: Optional[Dict[int, Set[str]]] = None
+    _def_spans: Optional[List[Tuple[int, int]]] = None
 
     @classmethod
     def parse(cls, path: Path, text: Optional[str] = None) -> "ModuleSource":
@@ -68,9 +76,52 @@ class ModuleSource:
             self._suppressions = table
         return self._suppressions
 
+    @property
+    def def_spans(self) -> List[Tuple[int, int, int]]:
+        """(first decorator line, last signature line, last body line).
+
+        A multi-line signature (or a decorated one) is one logical
+        statement: a pragma anywhere on those lines belongs to the
+        def.  For functions such a pragma covers the whole body —
+        that is how a caller allows an interprocedural finding (R6-R8)
+        anchored deep inside — while for classes it only covers the
+        signature itself, so one ``class`` line cannot silence every
+        method below it.
+        """
+        if self._def_spans is None:
+            spans: List[Tuple[int, int, int]] = []
+            for node in ast.walk(self.tree):
+                if not isinstance(
+                    node,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                ):
+                    continue
+                start = min(
+                    [node.lineno]
+                    + [dec.lineno for dec in node.decorator_list]
+                )
+                sig_end = node.lineno
+                if node.body:
+                    sig_end = max(sig_end, node.body[0].lineno - 1)
+                if isinstance(node, ast.ClassDef):
+                    body_end = sig_end
+                else:
+                    body_end = max(sig_end, node.end_lineno or sig_end)
+                spans.append((start, sig_end, body_end))
+            self._def_spans = spans
+        return self._def_spans
+
     def suppressed(self, line: int, rule_id: str) -> bool:
         ids = self.suppressions.get(line, set())
-        return "*" in ids or rule_id in ids
+        if "*" in ids or rule_id in ids:
+            return True
+        for start, sig_end, body_end in self.def_spans:
+            if start <= line <= body_end:
+                for pragma_line in range(start, sig_end + 1):
+                    span_ids = self.suppressions.get(pragma_line, set())
+                    if "*" in span_ids or rule_id in span_ids:
+                        return True
+        return False
 
 
 class Rule:

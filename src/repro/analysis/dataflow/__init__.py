@@ -1,0 +1,62 @@
+"""Interprocedural concurrency analysis (rules R6–R8).
+
+The whole-program half of the analysis gate: a module-level call graph
+rooted at worker entry points, a lock-set pass flagging shared writes
+without a common lock (R6) and inconsistent lock-acquisition orders
+(R7), and a shared-memory lifecycle pass proving every ``SharedMemory``
+create reaches ``close``/``unlink`` on all paths (R8).  See
+:mod:`repro.analysis.dataflow.program` for the program model and
+DESIGN.md §7 for rule semantics and soundness limits.
+
+Run it from the CLI with ``python -m repro.analysis --interprocedural``.
+"""
+
+from repro.analysis.dataflow.callgraph import (
+    CallGraph,
+    RootInfo,
+    build_call_graph,
+)
+from repro.analysis.dataflow.concurrency import (
+    ConcurrencyAnalysis,
+    OrderEdge,
+    WriteSite,
+    analyze_concurrency,
+)
+from repro.analysis.dataflow.lifecycle import analyze_lifecycles
+from repro.analysis.dataflow.program import (
+    FunctionInfo,
+    ModuleInfo,
+    Program,
+    ProgramAnalyzer,
+    ProgramRule,
+)
+from repro.analysis.dataflow.rules import (
+    PROGRAM_RULE_CLASSES,
+    PROGRAM_RULE_INDEX,
+    LockOrderRule,
+    SegmentLifecycleRule,
+    SharedStateRaceRule,
+    default_program_rules,
+)
+
+__all__ = [
+    "CallGraph",
+    "ConcurrencyAnalysis",
+    "FunctionInfo",
+    "LockOrderRule",
+    "ModuleInfo",
+    "OrderEdge",
+    "PROGRAM_RULE_CLASSES",
+    "PROGRAM_RULE_INDEX",
+    "Program",
+    "ProgramAnalyzer",
+    "ProgramRule",
+    "RootInfo",
+    "SegmentLifecycleRule",
+    "SharedStateRaceRule",
+    "WriteSite",
+    "analyze_concurrency",
+    "analyze_lifecycles",
+    "build_call_graph",
+    "default_program_rules",
+]

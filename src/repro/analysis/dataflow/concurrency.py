@@ -1,0 +1,428 @@
+"""Interprocedural lock-set analysis: shared writes (R6) and lock order (R7).
+
+From every concurrent root (see :mod:`~repro.analysis.dataflow.callgraph`)
+a DFS walks the call graph carrying three pieces of context:
+
+* the **held lock set** — canonical ids of locks acquired by enclosing
+  ``with`` guards, in any caller on the path;
+* a **lock substitution** map — parameters bound to lock-valued
+  arguments, canonicalized at the call site, so ``critical(lock)``
+  deep inside a callee still names the caller's lock;
+* the **shared parameter** set — parameters bound to arguments whose
+  root is shared state from the caller's perspective (module globals,
+  captured names, attributes, or the caller's own shared parameters).
+
+Each write to shared state found at call depth ≥ 1 is recorded as a
+*write site* together with (root, held-lock-set).  Depth-0 writes are
+the per-module rule R1's territory (closure captures inside the worker
+itself) and are skipped here to avoid double reporting.  Each lock
+acquired while other locks are held records directed *order edges*
+used by R7's cycle detection.
+
+Soundness limits (documented in DESIGN.md §7): resolution is
+name-based, aliasing through containers is invisible, and dynamic
+dispatch links only via the unique-method heuristic — the pass
+under-approximates reachability rather than over-reporting.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.dataflow.callgraph import CallGraph, build_call_graph, resolve_call
+from repro.analysis.dataflow.locks import collect_lock_aliases, guard_lock_id, canonical_lock_id
+from repro.analysis.dataflow.program import FunctionInfo, Program
+
+__all__ = [
+    "WriteSite",
+    "OrderEdge",
+    "ConcurrencyAnalysis",
+    "analyze_concurrency",
+]
+
+#: Mutating method names — same vocabulary as rule R1.
+_MUTATORS = frozenset(
+    {
+        "union", "grow", "reset_counters", "append", "extend", "insert",
+        "pop", "popitem", "remove", "clear", "add", "discard", "update",
+        "setdefault", "sort", "reverse", "fill", "resize", "put",
+    }
+)
+
+_MAX_DEPTH = 24
+
+
+def _root_name(node: ast.AST) -> Optional[str]:
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+@dataclass
+class WriteSite:
+    """One shared write observed from at least one concurrent context."""
+
+    function: FunctionInfo
+    node: ast.AST
+    target: str
+    kind: str
+    #: (root ref, held lock ids) per reaching context.
+    contexts: List[Tuple[str, FrozenSet[str]]] = field(default_factory=list)
+
+    @property
+    def common_locks(self) -> FrozenSet[str]:
+        held = [ctx[1] for ctx in self.contexts]
+        if not held:
+            return frozenset()
+        common = set(held[0])
+        for locks in held[1:]:
+            common &= locks
+        return frozenset(common)
+
+    @property
+    def roots(self) -> List[str]:
+        return sorted({ctx[0] for ctx in self.contexts})
+
+
+@dataclass(frozen=True)
+class OrderEdge:
+    """Lock ``second`` acquired while ``first`` was held."""
+
+    first: str
+    second: str
+    function: FunctionInfo
+    line: int
+
+
+@dataclass
+class ConcurrencyAnalysis:
+    call_graph: CallGraph
+    write_sites: List[WriteSite]
+    order_edges: List[OrderEdge]
+
+
+class _Walker:
+    """Walks one function body under one interprocedural context."""
+
+    def __init__(
+        self,
+        analysis: "_Engine",
+        function: FunctionInfo,
+        root_ref: str,
+        depth: int,
+        held: FrozenSet[str],
+        lock_subst: Dict[str, str],
+        shared_params: FrozenSet[str],
+        stack: Tuple[str, ...],
+    ) -> None:
+        self.engine = analysis
+        self.function = function
+        self.module = function.module
+        self.root_ref = root_ref
+        self.depth = depth
+        self.lock_subst = lock_subst
+        self.shared_params = shared_params
+        self.stack = stack
+        self.bound = function.bound_names()
+
+    # -- shared-state predicates ---------------------------------------
+    def _is_shared_root(self, name: Optional[str]) -> bool:
+        if name is None:
+            return False
+        if name in self.shared_params:
+            return True
+        if name in ("self", "cls"):
+            return False  # instance state needs alias info we lack
+        if name in self.module.global_names and name not in self.bound:
+            return True
+        return False
+
+    def _record_write(
+        self, node: ast.AST, name: str, kind: str, held: FrozenSet[str]
+    ) -> None:
+        if self.depth < 1:
+            return  # depth-0 writes are R1's (per-module) territory
+        self.engine.record_write(
+            self.function, node, name, kind, self.root_ref, held
+        )
+
+    # -- traversal ------------------------------------------------------
+    def walk_body(self, held: FrozenSet[str]) -> None:
+        node = self.function.node
+        body = [node.body] if isinstance(node, ast.Lambda) else list(node.body)
+        for stmt in body:
+            self._walk(stmt, held)
+
+    def _walk(self, node: ast.AST, held: FrozenSet[str]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return  # nested defs analyzed when called/spawned
+        if isinstance(node, ast.With):
+            inner = set(held)
+            for item in node.items:
+                lock_id = guard_lock_id(
+                    item.context_expr,
+                    self.module,
+                    self.function,
+                    self.engine.config,
+                    self.lock_subst,
+                )
+                if lock_id is not None:
+                    for existing in sorted(inner):
+                        if existing != lock_id:
+                            self.engine.record_order(
+                                existing,
+                                lock_id,
+                                self.function,
+                                item.context_expr,
+                            )
+                    inner.add(lock_id)
+                else:
+                    self._walk(item.context_expr, held)
+            for stmt in node.body:
+                self._walk(stmt, frozenset(inner))
+            return
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                self._flag_target(node, target, held)
+        if isinstance(node, ast.Call):
+            self._handle_call(node, held)
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                self._walk(arg, held)
+            self._walk(node.func, held)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._walk(child, held)
+
+    def _flag_target(
+        self, node: ast.AST, target: ast.AST, held: FrozenSet[str]
+    ) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._flag_target(node, element, held)
+            return
+        if isinstance(target, ast.Starred):
+            self._flag_target(node, target.value, held)
+            return
+        if isinstance(target, (ast.Subscript, ast.Attribute)):
+            root = _root_name(target)
+            if self._is_shared_root(root):
+                kind = (
+                    "indexed write"
+                    if isinstance(target, ast.Subscript)
+                    else "attribute write"
+                )
+                self._record_write(node, root, kind, held)
+        elif isinstance(target, ast.Name):
+            if (
+                target.id not in self.bound
+                and target.id in self.module.global_names
+            ):
+                self._record_write(node, target.id, "global rebind", held)
+
+    def _handle_call(self, node: ast.Call, held: FrozenSet[str]) -> None:
+        config = self.engine.config
+        func = node.func
+        call_name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else ""
+        )
+        # Declared atomic/critical helpers are the sanctioned write path.
+        if call_name in config.atomic_helpers or call_name in config.critical_helpers:
+            return
+        # Mutating method call on a shared receiver.
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+            root = _root_name(func.value)
+            if self._is_shared_root(root):
+                self._record_write(
+                    node, f"{root}.{func.attr}()", "mutating call", held
+                )
+        callee = resolve_call(
+            self.engine.program, self.function, self.module, func
+        )
+        if callee is None or isinstance(callee.node, ast.Lambda):
+            return
+        self.engine.enter(
+            callee,
+            root_ref=self.root_ref,
+            depth=self.depth + 1,
+            held=held,
+            call=node,
+            caller=self,
+        )
+
+
+class _Engine:
+    def __init__(self, program: Program, config: AnalysisConfig) -> None:
+        self.program = program
+        self.config = config
+        self.call_graph = build_call_graph(program, config)
+        self._sites: Dict[Tuple[str, int, str], WriteSite] = {}
+        self._edges: Dict[Tuple[str, str], OrderEdge] = {}
+        self._visited: Set[Tuple[str, str, FrozenSet[str], FrozenSet[str], Tuple[Tuple[str, str], ...]]] = set()
+
+    def record_write(
+        self,
+        function: FunctionInfo,
+        node: ast.AST,
+        target: str,
+        kind: str,
+        root_ref: str,
+        held: FrozenSet[str],
+    ) -> None:
+        key = (function.ref, getattr(node, "lineno", 0), target)
+        site = self._sites.get(key)
+        if site is None:
+            site = WriteSite(
+                function=function, node=node, target=target, kind=kind
+            )
+            self._sites[key] = site
+        site.contexts.append((root_ref, held))
+
+    def record_order(
+        self, first: str, second: str, function: FunctionInfo, node: ast.AST
+    ) -> None:
+        key = (first, second)
+        if key not in self._edges:
+            self._edges[key] = OrderEdge(
+                first=first,
+                second=second,
+                function=function,
+                line=getattr(node, "lineno", 1),
+            )
+
+    def _bind_callee_context(
+        self, callee: FunctionInfo, call: ast.Call, caller: _Walker
+    ) -> Tuple[Dict[str, str], FrozenSet[str]]:
+        """Lock substitutions and shared params for one call edge."""
+        params = callee.positional_params()
+        offset = 0
+        if (
+            callee.cls is not None
+            and params
+            and params[0] in ("self", "cls")
+        ):
+            offset = 1
+        lock_subst: Dict[str, str] = {}
+        shared: Set[str] = set()
+        pairs: List[Tuple[str, ast.AST]] = []
+        for i, arg in enumerate(call.args):
+            index = i + offset
+            if index < len(params):
+                pairs.append((params[index], arg))
+        names = set(params)
+        for kw in call.keywords:
+            if kw.arg and kw.arg in names:
+                pairs.append((kw.arg, kw.value))
+        for param, arg in pairs:
+            lock_id = canonical_lock_id(
+                arg,
+                caller.module,
+                caller.function,
+                self.config,
+                caller.lock_subst,
+            )
+            if lock_id is not None and self._is_lock_expr(arg, caller):
+                lock_subst[param] = lock_id
+            root = _root_name(arg) if not isinstance(arg, ast.Call) else None
+            if root is not None and (
+                caller._is_shared_root(root)
+                or root not in caller.bound
+                and caller.depth == 0
+                and root not in ("self", "cls")
+            ):
+                shared.add(param)
+        return lock_subst, frozenset(shared)
+
+    def _is_lock_expr(self, arg: ast.AST, caller: _Walker) -> bool:
+        return (
+            guard_lock_id(
+                arg,
+                caller.module,
+                caller.function,
+                self.config,
+                caller.lock_subst,
+            )
+            is not None
+        )
+
+    def enter(
+        self,
+        function: FunctionInfo,
+        *,
+        root_ref: str,
+        depth: int,
+        held: FrozenSet[str],
+        call: Optional[ast.Call] = None,
+        caller: Optional[_Walker] = None,
+    ) -> None:
+        if depth > _MAX_DEPTH or function.ref in (
+            caller.stack if caller else ()
+        ):
+            return
+        if call is not None and caller is not None:
+            lock_subst, shared_params = self._bind_callee_context(
+                function, call, caller
+            )
+        else:
+            lock_subst, shared_params = {}, frozenset()
+        memo_key = (
+            function.ref,
+            root_ref,
+            held,
+            shared_params,
+            tuple(sorted(lock_subst.items())),
+        )
+        if memo_key in self._visited:
+            return
+        self._visited.add(memo_key)
+        stack = (caller.stack if caller else ()) + (function.ref,)
+        walker = _Walker(
+            self,
+            function,
+            root_ref,
+            depth,
+            held,
+            lock_subst,
+            shared_params,
+            stack,
+        )
+        walker.walk_body(held)
+
+    def run(self) -> ConcurrencyAnalysis:
+        for module in self.program.modules.values():
+            collect_lock_aliases(module, self.config)
+        for root in self.call_graph.roots:
+            self.enter(
+                root.function,
+                root_ref=root.function.ref,
+                depth=0,
+                held=frozenset(),
+            )
+        return ConcurrencyAnalysis(
+            call_graph=self.call_graph,
+            write_sites=sorted(
+                self._sites.values(),
+                key=lambda s: (str(s.function.module.path), getattr(s.node, "lineno", 0)),
+            ),
+            order_edges=sorted(
+                self._edges.values(), key=lambda e: (e.first, e.second)
+            ),
+        )
+
+
+def analyze_concurrency(
+    program: Program, config: AnalysisConfig
+) -> ConcurrencyAnalysis:
+    """Run the interprocedural lock-set DFS over every concurrent root."""
+    return _Engine(program, config).run()

@@ -1,0 +1,407 @@
+"""Shared-memory lifecycle analysis (rule R8).
+
+Tracks every ``SharedMemory(create=True, …)`` allocation — plus the
+configured ``segment-factories`` helpers and any program function that
+directly returns one — through an abstract interpretation of the
+creating function's body.  An allocation is an *obligation*; the pass
+proves each obligation is discharged on every path:
+
+* **released** — ``handle.close()`` or ``handle.unlink()`` is called on
+  the binding (a release call counts even if it could itself raise);
+* **escaped** — ownership transfers out of the function: the handle is
+  returned or yielded, stored into an attribute/subscript/container,
+  or passed as an argument to another call (``segments.append(shm)``,
+  ``weakref.finalize(self, _release, shm)``, …).
+
+Two finding shapes come out:
+
+* an obligation still live at function exit (or at a ``return`` that
+  does not carry it) — a leak on the normal path;
+* an obligation live while a statement that may raise executes, with
+  no enclosing ``try`` whose ``finally`` or handlers discharge it — a
+  leak on the exception edge.
+
+The pass is intraprocedural per creating function on purpose: escapes
+transfer the obligation to the receiver, which is either audited the
+same way (if it creates segments itself) or trusted (registries,
+finalizers).  That keeps the rule quiet on the owner/attach split of
+``repro.parallel.processes`` while still proving the create sites.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.dataflow.program import FunctionInfo, Program
+
+__all__ = ["Obligation", "LeakFinding", "analyze_lifecycles"]
+
+_RELEASE_METHODS = frozenset({"close", "unlink"})
+
+
+@dataclass
+class Obligation:
+    """One live shared-memory allocation bound to local names."""
+
+    names: Set[str]
+    node: ast.AST
+    released: bool = False
+    escaped: bool = False
+    exception_leak_line: Optional[int] = None
+
+    @property
+    def discharged(self) -> bool:
+        return self.released or self.escaped
+
+
+@dataclass(frozen=True)
+class LeakFinding:
+    function: FunctionInfo
+    node: ast.AST
+    message: str
+
+
+def _creator_functions(
+    program: Program, config: AnalysisConfig
+) -> Set[str]:
+    """Names whose call yields a fresh segment the caller must manage."""
+    creators: Set[str] = set(config.segment_factories)
+    changed = True
+    while changed:
+        changed = False
+        for info in program.functions.values():
+            if info.name in creators:
+                continue
+            for node in ast.walk(info.node):
+                if (
+                    isinstance(node, ast.Return)
+                    and node.value is not None
+                    and _is_creator_call(node.value, creators)
+                ):
+                    creators.add(info.name)
+                    changed = True
+                    break
+    return creators
+
+
+def _is_creator_call(node: ast.AST, creators: Set[str]) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = (
+        func.id
+        if isinstance(func, ast.Name)
+        else func.attr
+        if isinstance(func, ast.Attribute)
+        else ""
+    )
+    if name == "SharedMemory":
+        return any(
+            kw.arg == "create"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is True
+            for kw in node.keywords
+        )
+    return name in creators
+
+
+class _LifecycleWalker:
+    """Abstract interpretation of one function body."""
+
+    def __init__(
+        self, function: FunctionInfo, creators: Set[str]
+    ) -> None:
+        self.function = function
+        self.creators = creators
+        self.obligations: List[Obligation] = []
+        #: Stack of enclosing Try nodes for exception-edge protection.
+        self._try_stack: List[ast.Try] = []
+
+    # -- helpers --------------------------------------------------------
+    def _live(self) -> List[Obligation]:
+        return [o for o in self.obligations if not o.discharged]
+
+    def _find(self, name: str) -> Optional[Obligation]:
+        for obligation in self.obligations:
+            if name in obligation.names and not obligation.discharged:
+                return obligation
+        return None
+
+    def _protected(self, obligation: Obligation) -> bool:
+        """Whether an enclosing try discharges this obligation on raise."""
+        for try_node in self._try_stack:
+            if self._block_discharges(try_node.finalbody, obligation):
+                return True
+            if try_node.handlers and all(
+                self._block_discharges(handler.body, obligation)
+                for handler in try_node.handlers
+            ):
+                return True
+        return False
+
+    def _block_discharges(
+        self, body: List[ast.stmt], obligation: Obligation
+    ) -> bool:
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _RELEASE_METHODS
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in obligation.names
+                ):
+                    return True
+                if isinstance(node, ast.Call):
+                    for arg in list(node.args) + [
+                        kw.value for kw in node.keywords
+                    ]:
+                        if (
+                            isinstance(arg, ast.Name)
+                            and arg.id in obligation.names
+                        ):
+                            return True
+                        # tuple(segments)-style indirection: releasing a
+                        # container the handle escaped into counts via
+                        # the escape rule at the append site instead.
+        return False
+
+    def _may_raise(self, stmt: ast.stmt) -> bool:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Call, ast.Raise, ast.Assert)):
+                return True
+        return False
+
+    # -- events ---------------------------------------------------------
+    def _note_escapes(self, stmt: ast.stmt) -> None:
+        """Handle names leaving the function's custody in ``stmt``."""
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                value = node.value
+                if value is not None:
+                    self._escape_names_in(value)
+            elif isinstance(node, ast.Call):
+                receiver_names = set()
+                if isinstance(node.func, ast.Attribute) and isinstance(
+                    node.func.value, ast.Name
+                ):
+                    receiver_names.add(node.func.value.id)
+                    if node.func.attr in _RELEASE_METHODS:
+                        obligation = self._find(node.func.value.id)
+                        if obligation is not None:
+                            obligation.released = True
+                            continue
+                for arg in list(node.args) + [
+                    kw.value for kw in node.keywords
+                ]:
+                    self._escape_names_in(arg)
+
+    def _escape_names_in(self, expr: ast.AST) -> None:
+        """Mark handles referenced *as values* in ``expr`` as escaped.
+
+        Only a bare name — possibly nested in a container literal,
+        starred element, or conditional expression — transfers the
+        handle.  ``shm.buf`` or ``shm.name`` hands out a view of the
+        segment, not ownership, so attribute/subscript bases stay put.
+        """
+        if isinstance(expr, ast.Name):
+            obligation = self._find(expr.id)
+            if obligation is not None:
+                obligation.escaped = True
+        elif isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            for elt in expr.elts:
+                self._escape_names_in(elt)
+        elif isinstance(expr, ast.Dict):
+            for sub in list(expr.keys) + list(expr.values):
+                if sub is not None:
+                    self._escape_names_in(sub)
+        elif isinstance(expr, ast.Starred):
+            self._escape_names_in(expr.value)
+        elif isinstance(expr, ast.IfExp):
+            self._escape_names_in(expr.body)
+            self._escape_names_in(expr.orelse)
+        elif isinstance(expr, ast.NamedExpr):
+            self._escape_names_in(expr.value)
+
+    def _handle_binding(self, target: ast.AST, value: ast.AST) -> None:
+        if _is_creator_call(value, self.creators):
+            if isinstance(target, ast.Name):
+                existing = self._find(target.id)
+                if existing is not None:
+                    # Rebinding the only handle loses the old segment.
+                    existing.names.discard(target.id)
+                self.obligations.append(
+                    Obligation(names={target.id}, node=value)
+                )
+            # Assigning straight into an attribute/subscript escapes.
+        elif isinstance(target, ast.Name) and isinstance(value, ast.Name):
+            obligation = self._find(value.id)
+            if obligation is not None:
+                obligation.names.add(target.id)
+        elif not isinstance(target, ast.Name):
+            self._escape_names_in(value)
+
+    # -- statement walk -------------------------------------------------
+    def run(self) -> None:
+        node = self.function.node
+        if isinstance(node, ast.Lambda):
+            return
+        self._walk_block(list(node.body))
+
+    def _walk_block(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            self._walk_stmt(stmt)
+
+    def _walk_stmt(self, stmt: ast.stmt) -> None:
+        # Compound statements: descend so their inner statements see the
+        # right try-stack; the exception-edge check runs on the simple
+        # statements inside, never on the compound node itself.
+        if isinstance(stmt, ast.Try):
+            self._try_stack.append(stmt)
+            self._walk_block(stmt.body)
+            self._try_stack.pop()
+            for handler in stmt.handlers:
+                self._walk_block(handler.body)
+            self._walk_block(stmt.orelse)
+            self._walk_block(stmt.finalbody)
+            return
+        if isinstance(stmt, ast.If):
+            self._note_escapes_expr(stmt.test)
+            self._walk_block(stmt.body)
+            self._walk_block(stmt.orelse)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._note_escapes_expr(stmt.iter)
+            self._walk_block(stmt.body)
+            self._walk_block(stmt.orelse)
+            return
+        if isinstance(stmt, ast.While):
+            self._note_escapes_expr(stmt.test)
+            self._walk_block(stmt.body)
+            self._walk_block(stmt.orelse)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if _is_creator_call(item.context_expr, self.creators):
+                    if isinstance(item.optional_vars, ast.Name):
+                        self.obligations.append(
+                            Obligation(
+                                names={item.optional_vars.id},
+                                node=item.context_expr,
+                            )
+                        )
+                else:
+                    self._note_escapes_expr(item.context_expr)
+            self._walk_block(stmt.body)
+            return
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            return  # nested scopes audited separately
+
+        # Simple statement: apply its own events first so a statement
+        # that discharges an obligation — an escape into a registry, a
+        # release call — does not flag itself as the risky statement;
+        # the transfer is treated as atomic.
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                self._handle_binding(target, stmt.value)
+            if not _is_creator_call(
+                stmt.value, self.creators
+            ) and not isinstance(stmt.value, ast.Name):
+                self._note_escapes(stmt)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            if stmt.value is not None:
+                self._handle_binding(stmt.target, stmt.value)
+                if not _is_creator_call(stmt.value, self.creators):
+                    self._note_escapes(stmt)
+        else:
+            self._note_escapes(stmt)
+        # Exception edge: this statement may raise while obligations are
+        # still live with no enclosing try to discharge them.
+        if self._may_raise(stmt) and not self._creates(stmt):
+            for obligation in self._live():
+                if (
+                    obligation.exception_leak_line is None
+                    and not self._protected(obligation)
+                ):
+                    obligation.exception_leak_line = stmt.lineno
+
+    def _note_escapes_expr(self, expr: ast.AST) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                for arg in list(node.args) + [
+                    kw.value for kw in node.keywords
+                ]:
+                    self._escape_names_in(arg)
+
+    def _creates(self, stmt: ast.stmt) -> bool:
+        for node in ast.walk(stmt):
+            if _is_creator_call(node, self.creators):
+                return True
+        return False
+
+
+def analyze_lifecycles(
+    program: Program, config: AnalysisConfig
+) -> List[LeakFinding]:
+    """Leak findings for every segment-creating function in the program."""
+    creators = _creator_functions(program, config)
+    findings: List[LeakFinding] = []
+    for info in program.functions.values():
+        if isinstance(info.node, ast.Lambda):
+            continue
+        if not any(
+            _is_creator_call(node, creators)
+            for node in ast.walk(info.node)
+        ):
+            continue
+        if _only_returns_creation(info, creators):
+            continue  # pure factory: ownership is the caller's
+        walker = _LifecycleWalker(info, creators)
+        walker.run()
+        for obligation in walker.obligations:
+            name = "/".join(sorted(obligation.names)) or "<anonymous>"
+            if not obligation.discharged:
+                findings.append(
+                    LeakFinding(
+                        function=info,
+                        node=obligation.node,
+                        message=(
+                            f"shared-memory handle {name!r} created in "
+                            f"{info.qualname!r} never reaches close/unlink "
+                            "on the fall-through path"
+                        ),
+                    )
+                )
+            elif obligation.exception_leak_line is not None:
+                findings.append(
+                    LeakFinding(
+                        function=info,
+                        node=obligation.node,
+                        message=(
+                            f"shared-memory handle {name!r} created in "
+                            f"{info.qualname!r} leaks if line "
+                            f"{obligation.exception_leak_line} raises — no "
+                            "enclosing try releases or transfers it on the "
+                            "exception edge"
+                        ),
+                    )
+                )
+    return findings
+
+
+def _only_returns_creation(info: FunctionInfo, creators: Set[str]) -> bool:
+    """True when every creator call in ``info`` is immediately returned."""
+    returned = {
+        id(node.value)
+        for node in ast.walk(info.node)
+        if isinstance(node, ast.Return) and node.value is not None
+    }
+    for node in ast.walk(info.node):
+        if _is_creator_call(node, creators) and id(node) not in returned:
+            return False
+    return True

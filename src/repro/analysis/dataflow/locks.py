@@ -1,0 +1,158 @@
+"""Lock recognition and canonical lock identity for the R6/R7 pass.
+
+A *guard* is the context expression of a ``with`` statement that the
+analysis treats as a lock acquisition.  Three shapes are recognized:
+
+* a call to a declared critical helper (``critical(...)``,
+  ``critical_union(...)`` — the ``critical-helpers`` config list);
+* a name or attribute whose last component contains one of the
+  ``lock-name-fragments`` (``lock``, ``mutex``, ``cond``, ``wake``…);
+* a name listed under ``global-lock-names``, canonicalized to the one
+  process-wide critical section so ``critical()`` with no argument and
+  ``with _GLOBAL_LOCK:`` compare equal in lock-set intersections.
+
+Canonical ids are strings: ``module:NAME`` for module-level locks,
+``module:Class.attr`` for instance locks (``self._lock`` inside a
+method of ``Class``), and ``<global-critical>`` for the default
+critical section.  ``threading.Condition(some_lock)`` assignments are
+detected per class/module and aliased to the wrapped lock's id, so
+acquiring a condition is acquiring its lock.  Locks reaching a callee
+through a parameter are canonicalized *at the call site* and carried
+into the callee via a substitution map, which keeps identities stable
+across function boundaries.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.dataflow.program import FunctionInfo, ModuleInfo
+
+__all__ = [
+    "GLOBAL_CRITICAL",
+    "canonical_lock_id",
+    "guard_lock_id",
+    "collect_lock_aliases",
+]
+
+#: Canonical id of the default critical section (``critical()`` with no
+#: lock argument, and every name in ``global-lock-names``).
+GLOBAL_CRITICAL = "<global-critical>"
+
+
+def _is_lockish_name(name: str, config: AnalysisConfig) -> bool:
+    lowered = name.lower()
+    return any(frag in lowered for frag in config.lock_name_fragments)
+
+
+def canonical_lock_id(
+    expr: ast.AST,
+    module: ModuleInfo,
+    function: Optional[FunctionInfo],
+    config: AnalysisConfig,
+    substitutions: Optional[Dict[str, str]] = None,
+) -> Optional[str]:
+    """Canonical id for a lock-valued expression, or None if unknown.
+
+    ``substitutions`` maps parameter names of ``function`` to canonical
+    ids established by the caller (call-site lock propagation).
+    """
+    if isinstance(expr, ast.Name):
+        if substitutions and expr.id in substitutions:
+            return substitutions[expr.id]
+        if expr.id in config.global_lock_names:
+            return GLOBAL_CRITICAL
+        canonical = f"{module.name}:{expr.id}"
+        return module.lock_aliases.get(canonical, canonical)
+    if isinstance(expr, ast.Attribute):
+        value = expr.value
+        if isinstance(value, ast.Name) and value.id in ("self", "cls"):
+            cls = function.cls if function is not None else None
+            if cls is None and function is not None and function.parent:
+                cls = function.parent.cls
+            owner = cls or "self"
+            canonical = f"{module.name}:{owner}.{expr.attr}"
+        else:
+            canonical = f"{module.name}:{ast.unparse(expr)}"
+        return module.lock_aliases.get(canonical, canonical)
+    return None
+
+
+def guard_lock_id(
+    expr: ast.AST,
+    module: ModuleInfo,
+    function: Optional[FunctionInfo],
+    config: AnalysisConfig,
+    substitutions: Optional[Dict[str, str]] = None,
+) -> Optional[str]:
+    """Lock id acquired by a ``with`` item, or None when not a guard."""
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else ""
+        )
+        if name in config.critical_helpers:
+            for arg in list(expr.args) + [
+                kw.value for kw in expr.keywords if kw.arg == "lock"
+            ]:
+                inner = canonical_lock_id(
+                    arg, module, function, config, substitutions
+                )
+                if inner is not None:
+                    return inner
+            return GLOBAL_CRITICAL
+        return None
+    last = (
+        expr.id
+        if isinstance(expr, ast.Name)
+        else expr.attr
+        if isinstance(expr, ast.Attribute)
+        else ""
+    )
+    if last and (
+        _is_lockish_name(last, config) or last in config.global_lock_names
+    ):
+        return canonical_lock_id(expr, module, function, config, substitutions)
+    return None
+
+
+def collect_lock_aliases(module: ModuleInfo, config: AnalysisConfig) -> None:
+    """Detect ``x = threading.Condition(lock)`` wrappers and alias them.
+
+    Fills ``module.lock_aliases`` in place; looks at module-level and
+    method-body assignments (``self._wake = Condition(self._lock)``).
+    """
+
+    def wrapped_lock(value: ast.AST) -> Optional[ast.AST]:
+        if not isinstance(value, ast.Call) or not value.args:
+            return None
+        func = value.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else ""
+        )
+        return value.args[0] if name == "Condition" else None
+
+    for function in list(module.functions.values()) + [None]:
+        tree = function.node if function is not None else module.source.tree
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            inner = wrapped_lock(node.value)
+            if inner is None:
+                continue
+            alias_id = canonical_lock_id(
+                node.targets[0], module, function, config
+            )
+            lock_id = canonical_lock_id(inner, module, function, config)
+            if alias_id is not None and lock_id is not None:
+                module.lock_aliases[alias_id] = lock_id

@@ -1,0 +1,366 @@
+"""Whole-program representation for the interprocedural pass.
+
+The per-module rules (R1–R5) see one :class:`~repro.analysis.core.ModuleSource`
+at a time; the rules in :mod:`repro.analysis.dataflow.rules` need the
+*program*: every module parsed, functions indexed by qualified name,
+import aliases resolved, and module-level state known — so a call-graph
+walk can cross module boundaries.
+
+A :class:`ProgramRule` is the whole-program analogue of
+:class:`~repro.analysis.core.Rule`: it inspects one :class:`Program`
+and yields findings anywhere in it.  :class:`ProgramAnalyzer` builds
+the program once, runs every enabled program rule, and filters
+findings through the same inline pragma machinery as the per-module
+analyzer (``# repro: allow[R6]`` works exactly like ``allow[R1]``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Union
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.core import ModuleSource, iter_python_files
+from repro.analysis.findings import Finding
+
+__all__ = [
+    "FunctionInfo",
+    "ModuleInfo",
+    "Program",
+    "ProgramRule",
+    "ProgramAnalyzer",
+    "module_name_for",
+]
+
+_FuncNode = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda]
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name inferred from the package layout on disk.
+
+    Walks parent directories while ``__init__.py`` files are present,
+    so ``src/repro/parallel/sync.py`` maps to ``repro.parallel.sync``
+    and a loose fixture file maps to its bare stem.
+    """
+    path = Path(path)
+    parts: List[str] = []
+    directory = path.parent
+    while (directory / "__init__.py").is_file():
+        parts.insert(0, directory.name)
+        directory = directory.parent
+    if path.stem != "__init__":
+        parts.append(path.stem)
+    return ".".join(parts) if parts else path.stem
+
+
+@dataclass
+class FunctionInfo:
+    """One function/method/lambda known to the program."""
+
+    qualname: str
+    module: "ModuleInfo"
+    node: _FuncNode
+    cls: Optional[str] = None
+    parent: Optional["FunctionInfo"] = None
+    #: Nested ``def``s by bare name (for scope-chain call resolution).
+    children: Dict[str, "FunctionInfo"] = field(default_factory=dict)
+
+    @property
+    def ref(self) -> str:
+        """Stable program-wide id, ``module.name:qualname``."""
+        return f"{self.module.name}:{self.qualname}"
+
+    @property
+    def name(self) -> str:
+        return getattr(self.node, "name", "<lambda>")
+
+    def bound_names(self) -> Set[str]:
+        """Parameters plus locally assigned bare names (cached)."""
+        cached = getattr(self, "_bound", None)
+        if cached is not None:
+            return cached
+        args = self.node.args
+        bound = {
+            a.arg for a in args.posonlyargs + args.args + args.kwonlyargs
+        }
+        if args.vararg:
+            bound.add(args.vararg.arg)
+        if args.kwarg:
+            bound.add(args.kwarg.arg)
+        if not isinstance(self.node, ast.Lambda):
+            free: Set[str] = set()
+            for sub in ast.walk(self.node):
+                if isinstance(sub, ast.Name) and isinstance(
+                    sub.ctx, ast.Store
+                ):
+                    bound.add(sub.id)
+                elif isinstance(sub, (ast.Nonlocal, ast.Global)):
+                    free.update(sub.names)
+            bound -= free
+        self._bound = bound
+        return bound
+
+    def positional_params(self) -> List[str]:
+        """Positional parameter names, ``self``/``cls`` included."""
+        args = self.node.args
+        return [a.arg for a in args.posonlyargs + args.args]
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module plus the symbol tables the pass needs."""
+
+    source: ModuleSource
+    name: str
+    #: Local alias -> dotted target (``import m as x`` / ``from m import f``).
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: qualname -> info, for every def (methods and nested included).
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: Bare name -> info for module-level defs only.
+    toplevel: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: Class name -> method name -> info.
+    classes: Dict[str, Dict[str, FunctionInfo]] = field(default_factory=dict)
+    #: Names assigned at module level (the shared mutable state R6 guards).
+    global_names: Set[str] = field(default_factory=set)
+    #: Canonical lock id -> canonical lock id it wraps — detected from
+    #: ``self.cond = threading.Condition(self.lock)`` style assignments,
+    #: so a Condition and its underlying lock count as one lock.
+    lock_aliases: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def path(self) -> Path:
+        return self.source.path
+
+
+class _ModuleIndexer(ast.NodeVisitor):
+    """Builds the function/global/import tables of one module."""
+
+    def __init__(self, info: ModuleInfo) -> None:
+        self.info = info
+        self._class_stack: List[str] = []
+        self._func_stack: List[FunctionInfo] = []
+
+    # -- imports --------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            target = alias.name if alias.asname else alias.name.split(".")[0]
+            self.info.imports[local] = target
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        base = node.module or ""
+        if node.level:
+            # Resolve relative imports against this module's package.
+            package_parts = self.info.name.split(".")
+            if self.info.source.path.stem != "__init__":
+                package_parts = package_parts[:-1]
+            drop = node.level - 1
+            if drop:
+                package_parts = package_parts[: len(package_parts) - drop]
+            base = ".".join(package_parts + ([node.module] if node.module else []))
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            local = alias.asname or alias.name
+            self.info.imports[local] = f"{base}.{alias.name}" if base else alias.name
+        self.generic_visit(node)
+
+    # -- defs -----------------------------------------------------------
+    def _qualname(self, name: str) -> str:
+        parts: List[str] = []
+        if self._class_stack:
+            parts.extend(self._class_stack)
+        if self._func_stack:
+            parts.append(self._func_stack[-1].qualname.split(".")[-1])
+            # Use the full parent qualname for uniqueness instead.
+            parts = [self._func_stack[-1].qualname]
+        return ".".join(parts + [name]) if parts else name
+
+    def _register(self, node: _FuncNode, name: str) -> FunctionInfo:
+        qualname = self._qualname(name)
+        parent = self._func_stack[-1] if self._func_stack else None
+        info = FunctionInfo(
+            qualname=qualname,
+            module=self.info,
+            node=node,
+            cls=self._class_stack[-1] if self._class_stack else None,
+            parent=parent,
+        )
+        self.info.functions[qualname] = info
+        if parent is not None:
+            parent.children[name] = info
+        elif not self._class_stack:
+            self.info.toplevel[name] = info
+        if self._class_stack and parent is None:
+            methods = self.info.classes.setdefault(self._class_stack[-1], {})
+            methods[name] = info
+        return info
+
+    def _visit_def(self, node) -> None:
+        info = self._register(node, node.name)
+        self._func_stack.append(info)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    visit_FunctionDef = _visit_def
+    visit_AsyncFunctionDef = _visit_def
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        qualname = self._qualname(f"<lambda@{node.lineno}>")
+        parent = self._func_stack[-1] if self._func_stack else None
+        info = FunctionInfo(
+            qualname=qualname,
+            module=self.info,
+            node=node,
+            cls=self._class_stack[-1] if self._class_stack else None,
+            parent=parent,
+        )
+        self.info.functions[qualname] = info
+        self.generic_visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    # -- module-level state ---------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if not self._func_stack and not self._class_stack:
+            for target in node.targets:
+                for name_node in ast.walk(target):
+                    if isinstance(name_node, ast.Name) and isinstance(
+                        name_node.ctx, ast.Store
+                    ):
+                        self.info.global_names.add(name_node.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if (
+            not self._func_stack
+            and not self._class_stack
+            and isinstance(node.target, ast.Name)
+        ):
+            self.info.global_names.add(node.target.id)
+        self.generic_visit(node)
+
+
+class Program:
+    """Every module of the analyzed tree, parsed and cross-indexed."""
+
+    def __init__(self, config: AnalysisConfig) -> None:
+        self.config = config
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.by_path: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: Bare method name -> every class method with that name, for
+        #: the unique-method call-resolution heuristic.
+        self.method_index: Dict[str, List[FunctionInfo]] = {}
+        self.parse_failures: List[Finding] = []
+
+    @classmethod
+    def build(
+        cls,
+        paths: Sequence[Path | str],
+        config: Optional[AnalysisConfig] = None,
+    ) -> "Program":
+        config = config or AnalysisConfig()
+        program = cls(config)
+        for path in iter_python_files(paths):
+            if config.excluded(path):
+                continue
+            try:
+                source = ModuleSource.parse(path)
+            except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+                program.parse_failures.append(
+                    Finding(
+                        path=str(path),
+                        line=getattr(exc, "lineno", None) or 1,
+                        col=1,
+                        rule="PARSE",
+                        message=f"could not parse module: {exc}",
+                    )
+                )
+                continue
+            program.add_module(source)
+        return program
+
+    def add_module(self, source: ModuleSource) -> ModuleInfo:
+        info = ModuleInfo(source=source, name=module_name_for(source.path))
+        _ModuleIndexer(info).visit(source.tree)
+        self.modules[info.name] = info
+        self.by_path[str(info.path)] = info
+        for function in info.functions.values():
+            self.functions[function.ref] = function
+            if function.cls is not None and function.parent is None:
+                self.method_index.setdefault(function.name, []).append(
+                    function
+                )
+        return info
+
+    def module_for_finding(self, finding: Finding) -> Optional[ModuleInfo]:
+        return self.by_path.get(finding.path)
+
+    def suppressed(self, finding: Finding) -> bool:
+        module = self.module_for_finding(finding)
+        if module is None:
+            return False
+        return module.source.suppressed(finding.line, finding.rule)
+
+
+class ProgramRule:
+    """Base class for whole-program rules (R6–R8)."""
+
+    id: str = "P0"
+    name: str = "unnamed"
+    description: str = ""
+
+    def check(
+        self, program: Program, config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: ModuleInfo, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            path=str(module.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.id,
+            message=message,
+        )
+
+
+class ProgramAnalyzer:
+    """Builds the program once and runs every enabled program rule."""
+
+    def __init__(
+        self,
+        config: Optional[AnalysisConfig] = None,
+        rules: Optional[Sequence[ProgramRule]] = None,
+    ) -> None:
+        from repro.analysis.dataflow.rules import default_program_rules
+
+        self.config = config or AnalysisConfig()
+        self.rules: List[ProgramRule] = (
+            list(rules) if rules is not None else default_program_rules()
+        )
+
+    def enabled_rules(self) -> List[ProgramRule]:
+        disabled = set(self.config.disable)
+        return [rule for rule in self.rules if rule.id not in disabled]
+
+    def analyze_program(self, program: Program) -> List[Finding]:
+        findings: List[Finding] = list(program.parse_failures)
+        for rule in self.enabled_rules():
+            for found in rule.check(program, self.config):
+                if not program.suppressed(found):
+                    findings.append(found)
+        return sorted(findings)
+
+    def analyze_paths(self, paths: Sequence[Path | str]) -> List[Finding]:
+        program = Program.build(paths, self.config)
+        return self.analyze_program(program)

@@ -1,0 +1,181 @@
+"""The interprocedural rule pack: R6 (races), R7 (lock order), R8 (leaks).
+
+These are :class:`~repro.analysis.dataflow.program.ProgramRule`s — they
+see the whole program at once, unlike the per-module R1–R5.  Rule ids
+are stable and documented in DESIGN.md §7; suppress findings with the
+same ``# repro: allow[R6]`` pragma mechanism as the per-module pack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Type
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.dataflow.concurrency import analyze_concurrency
+from repro.analysis.dataflow.lifecycle import analyze_lifecycles
+from repro.analysis.dataflow.program import Program, ProgramRule
+from repro.analysis.findings import Finding
+
+__all__ = [
+    "SharedStateRaceRule",
+    "LockOrderRule",
+    "SegmentLifecycleRule",
+    "PROGRAM_RULE_CLASSES",
+    "PROGRAM_RULE_INDEX",
+    "default_program_rules",
+]
+
+
+class SharedStateRaceRule(ProgramRule):
+    id = "R6"
+    name = "interprocedural-shared-write"
+    description = (
+        "writes to shared state reachable from >=2 concurrent worker "
+        "instances must hold a common lock on every path from every root"
+    )
+
+    def check(
+        self, program: Program, config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        analysis = program_concurrency(program, config)
+        for site in analysis.write_sites:
+            if site.common_locks:
+                continue
+            roots = ", ".join(
+                ref.split(":", 1)[1] for ref in site.roots
+            )
+            lock_sets = sorted(
+                {
+                    "{" + ", ".join(sorted(h)) + "}" if h else "{}"
+                    for _, h in site.contexts
+                }
+            )
+            yield self.finding(
+                site.function.module,
+                site.node,
+                f"unguarded {site.kind} to shared {site.target!r} in "
+                f"{site.function.qualname!r}, reachable from concurrent "
+                f"worker root(s) {roots} with no common lock "
+                f"(observed lock-sets: {', '.join(lock_sets)})",
+            )
+
+
+class LockOrderRule(ProgramRule):
+    id = "R7"
+    name = "lock-order-consistency"
+    description = (
+        "lock acquisition order must be globally acyclic across every "
+        "path from every concurrent root (no ABBA deadlocks)"
+    )
+
+    def check(
+        self, program: Program, config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        analysis = program_concurrency(program, config)
+        graph: Dict[str, List[str]] = {}
+        sites = {}
+        for edge in analysis.order_edges:
+            graph.setdefault(edge.first, []).append(edge.second)
+            sites[(edge.first, edge.second)] = edge
+        for cycle in _cycles(graph):
+            pairs = list(zip(cycle, cycle[1:] + cycle[:1]))
+            edge = next(
+                sites[pair] for pair in pairs if pair in sites
+            )
+            where = "; ".join(
+                f"{b} after {a} at "
+                f"{sites[(a, b)].function.module.path}:{sites[(a, b)].line}"
+                for a, b in pairs
+                if (a, b) in sites
+            )
+            yield self.finding(
+                edge.function.module,
+                edge.function.node,
+                "inconsistent lock-acquisition order can deadlock: cycle "
+                + " -> ".join(cycle + [cycle[0]])
+                + f" ({where})",
+            )
+
+
+def _cycles(graph: Dict[str, List[str]]) -> List[List[str]]:
+    """Elementary cycles via Tarjan SCCs (one finding per SCC)."""
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Dict[str, bool] = {}
+    stack: List[str] = []
+    counter = [0]
+    out: List[List[str]] = []
+
+    def strongconnect(v: str) -> None:
+        index[v] = lowlink[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack[v] = True
+        for w in graph.get(v, []):
+            if w not in index:
+                strongconnect(w)
+                lowlink[v] = min(lowlink[v], lowlink[w])
+            elif on_stack.get(w):
+                lowlink[v] = min(lowlink[v], index[w])
+        if lowlink[v] == index[v]:
+            component: List[str] = []
+            while True:
+                w = stack.pop()
+                on_stack[w] = False
+                component.append(w)
+                if w == v:
+                    break
+            if len(component) > 1 or v in graph.get(v, []):
+                out.append(sorted(component))
+
+    for vertex in sorted(graph):
+        if vertex not in index:
+            strongconnect(vertex)
+    return out
+
+
+class SegmentLifecycleRule(ProgramRule):
+    id = "R8"
+    name = "shared-memory-lifecycle"
+    description = (
+        "every SharedMemory create must reach close/unlink (or transfer "
+        "ownership) on all paths, exception edges included"
+    )
+
+    def check(
+        self, program: Program, config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        for leak in analyze_lifecycles(program, config):
+            yield self.finding(
+                leak.function.module, leak.node, leak.message
+            )
+
+
+#: One concurrency DFS per (program, config) pair — R6 and R7 share it.
+_ANALYSIS_CACHE: Dict[int, object] = {}
+
+
+def program_concurrency(program: Program, config: AnalysisConfig):
+    key = id(program)
+    cached = _ANALYSIS_CACHE.get(key)
+    if cached is None:
+        cached = analyze_concurrency(program, config)
+        _ANALYSIS_CACHE.clear()  # hold at most one program at a time
+        _ANALYSIS_CACHE[key] = cached
+    return cached
+
+
+PROGRAM_RULE_CLASSES: List[Type[ProgramRule]] = [
+    SharedStateRaceRule,
+    LockOrderRule,
+    SegmentLifecycleRule,
+]
+
+PROGRAM_RULE_INDEX: Dict[str, Type[ProgramRule]] = {
+    cls.id: cls for cls in PROGRAM_RULE_CLASSES
+}
+
+
+def default_program_rules() -> List[ProgramRule]:
+    """Fresh instances of every registered program rule, in report order."""
+    return [cls() for cls in PROGRAM_RULE_CLASSES]

@@ -1,0 +1,200 @@
+"""Report emitters and the suppressions baseline for the analysis gate.
+
+Three output shapes:
+
+* ``render_json`` — a versioned JSON report (tool metadata + findings),
+  the diffable artifact CI uploads on every run;
+* ``render_sarif`` — SARIF 2.1.0, so code hosts and editors can ingest
+  the same findings without a custom adapter;
+* the **baseline** — a checked-in JSON list of known findings that the
+  gate tolerates.  ``subtract_baseline`` drops findings already in the
+  baseline, so the exit code only reflects *new* violations, and
+  reports baseline entries that no longer fire so stale suppressions
+  get cleaned up.
+
+Baseline entries match on ``(path, rule, message)`` — deliberately not
+on line/column, so unrelated edits shifting a file do not churn the
+baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.analysis.findings import Finding
+
+__all__ = [
+    "BaselineDiff",
+    "load_baseline",
+    "render_json",
+    "render_sarif",
+    "subtract_baseline",
+    "write_baseline",
+]
+
+TOOL_NAME = "repro-analysis"
+TOOL_VERSION = "1.0"
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_BaselineKey = Tuple[str, str, str]
+
+
+def _key(finding: Finding) -> _BaselineKey:
+    return (finding.path, finding.rule, finding.message)
+
+
+def _rule_descriptions() -> Dict[str, str]:
+    # Imported lazily: rules import findings, findings must not import
+    # rules at module load or the package would cycle.
+    from repro.analysis.dataflow.rules import PROGRAM_RULE_INDEX
+    from repro.analysis.rules import RULE_INDEX
+
+    table: Dict[str, str] = {}
+    for index in (RULE_INDEX, PROGRAM_RULE_INDEX):
+        for rule_id, cls in index.items():
+            table[rule_id] = getattr(cls, "description", "")
+    return table
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Versioned JSON report: stable keys, findings pre-sorted."""
+    payload = {
+        "tool": {"name": TOOL_NAME, "version": TOOL_VERSION},
+        "findings": [f.to_dict() for f in sorted(findings)],
+        "summary": _summary(findings),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def _summary(findings: Sequence[Finding]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    counts["total"] = len(findings)
+    return counts
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """SARIF 2.1.0 with one run, one result per finding."""
+    descriptions = _rule_descriptions()
+    seen_rules = sorted({f.rule for f in findings} | set(descriptions))
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {
+                "text": descriptions.get(rule_id, rule_id)
+            },
+        }
+        for rule_id in seen_rules
+    ]
+    rule_index = {rule_id: i for i, rule_id in enumerate(seen_rules)}
+    results = [
+        {
+            "ruleId": finding.rule,
+            "ruleIndex": rule_index[finding.rule],
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/")
+                        },
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": max(finding.col + 1, 1),
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in sorted(findings)
+    ]
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "version": TOOL_VERSION,
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2) + "\n"
+
+
+@dataclass
+class BaselineDiff:
+    """Findings split against a baseline."""
+
+    new: List[Finding]
+    known: List[Finding]
+    stale: List[dict]  # baseline entries that no longer fire
+
+
+def load_baseline(path: Path) -> List[dict]:
+    """Parse a baseline file; raises ValueError on malformed content."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON: {exc}") from exc
+    entries = data.get("findings") if isinstance(data, dict) else data
+    if not isinstance(entries, list):
+        raise ValueError(f"{path}: expected a list of findings")
+    for entry in entries:
+        if not isinstance(entry, dict) or not {
+            "path",
+            "rule",
+            "message",
+        } <= set(entry):
+            raise ValueError(
+                f"{path}: each entry needs path/rule/message keys"
+            )
+    return entries
+
+
+def subtract_baseline(
+    findings: Iterable[Finding], baseline: Sequence[dict]
+) -> BaselineDiff:
+    accepted = {
+        (entry["path"], entry["rule"], entry["message"])
+        for entry in baseline
+    }
+    new: List[Finding] = []
+    known: List[Finding] = []
+    seen: set = set()
+    for finding in findings:
+        key = _key(finding)
+        seen.add(key)
+        (known if key in accepted else new).append(finding)
+    stale = [
+        entry
+        for entry in baseline
+        if (entry["path"], entry["rule"], entry["message"]) not in seen
+    ]
+    return BaselineDiff(new=new, known=known, stale=stale)
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    payload = {
+        "tool": {"name": TOOL_NAME, "version": TOOL_VERSION},
+        "findings": [f.to_dict() for f in sorted(findings)],
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )

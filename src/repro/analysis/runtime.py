@@ -1,28 +1,46 @@
-"""Runtime shadow-write checker — the dynamic half of rule R1.
+"""Runtime sanitizers — the dynamic half of rules R1 and R7.
 
-The static rule in :mod:`repro.analysis.rules.concurrency` proves the
-*shape* of worker code; this module cross-checks the *behaviour*:
-wrap a shared numpy array in :class:`ShadowArray`, run the workload on
-a real :class:`~repro.parallel.threads.ThreadBackend`, and ask the
-:class:`ShadowWriteLog` for races.  A **simulated race** is any array
-cell written by two or more distinct threads where not every write
-went through a declared atomic/critical helper — under the GIL such
-writes happen to serialize, but on a free-threaded build (or after a C
-rewrite of the kernels) they are genuine data races, which is exactly
-what the paper's one-atomic/one-critical budget rules out.
+The static rules in :mod:`repro.analysis` prove the *shape* of worker
+code; this module cross-checks the *behaviour*:
+
+* :class:`ShadowArray` / :class:`ShadowWriteLog` (R1): wrap a shared
+  numpy array, run the workload on a real backend, and ask the log for
+  races.  A **simulated race** is any array cell written by two or
+  more distinct threads where not every write went through a declared
+  atomic/critical helper — under the GIL such writes happen to
+  serialize, but on a free-threaded build (or after a C rewrite of the
+  kernels) they are genuine data races, which is exactly what the
+  paper's one-atomic/one-critical budget rules out.
+
+* :class:`LockOrderWatch` (R7): record the lock-acquisition order DAG
+  as the program actually runs.  Wrap each lock with
+  :meth:`LockOrderWatch.wrap` (or arm the declared helpers via
+  :func:`repro.parallel.sync.set_lock_order_watch`) and every
+  ``A-held-while-acquiring-B`` event becomes an edge; a cycle in that
+  graph is a potential ABBA deadlock even if this run got lucky with
+  timing.  ``strict=True`` raises :class:`LockOrderViolation` at the
+  acquisition that would close the cycle.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.parallel.sync import in_guarded_section
 
-__all__ = ["WriteRecord", "Race", "ShadowWriteLog", "ShadowArray"]
+__all__ = [
+    "WriteRecord",
+    "Race",
+    "ShadowWriteLog",
+    "ShadowArray",
+    "LockOrderViolation",
+    "LockOrderWatch",
+    "WatchedLock",
+]
 
 
 @dataclass(frozen=True)
@@ -157,3 +175,195 @@ class ShadowArray:
     @property
     def dtype(self):
         return self.array.dtype
+
+
+class LockOrderViolation(RuntimeError):
+    """A lock acquisition closed a cycle in the acquisition-order graph."""
+
+
+class LockOrderWatch:
+    """Runtime lock-order sanitizer — the dynamic half of rule R7.
+
+    Each thread keeps a stack of watched locks it currently holds;
+    acquiring lock ``B`` while holding ``A`` adds the directed edge
+    ``A → B`` to a process-wide graph.  The graph must stay acyclic:
+    a cycle means two code paths disagree about acquisition order, so
+    the right interleaving deadlocks — even if the observed run did
+    not.  With ``strict=True`` the acquisition that would close a
+    cycle raises :class:`LockOrderViolation` immediately (before
+    blocking on the lock); otherwise violations accumulate and
+    :meth:`assert_acyclic` reports them at the end of the run.
+
+    ``threading.Condition`` wait/notify re-acquisition of the *same*
+    lock carries no ordering information and is deliberately invisible
+    to the watch (see :class:`WatchedLock`).
+    """
+
+    def __init__(self, strict: bool = False) -> None:
+        self.strict = strict
+        self._mutex = threading.Lock()
+        #: first lock name -> {second lock name -> first-observed site}
+        self._edges: Dict[str, Dict[str, str]] = {}
+        self._held = threading.local()
+        self.violations: List[str] = []
+
+    # -- lock instrumentation -------------------------------------------
+    def wrap(self, lock, name: str) -> "WatchedLock":
+        """Proxy ``lock`` so its acquire/release report to this watch."""
+        return WatchedLock(lock, name, self)
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
+    def notify_acquire(self, name: str) -> None:
+        """Record edges held-locks→``name``; raise in strict mode on cycle.
+
+        Called *before* blocking on the lock so a strict watch fails
+        fast instead of deadlocking the test that armed it.
+        """
+        stack = self._stack()
+        cycle: Optional[List[str]] = None
+        message = ""
+        with self._mutex:
+            inserted: List[str] = []
+            for held in stack:
+                if held == name:
+                    continue  # re-entrant acquire: no ordering info
+                seconds = self._edges.setdefault(held, {})
+                if name not in seconds:
+                    seconds[name] = self._call_site()
+                    inserted.append(held)
+            cycle = self._find_cycle_through(name)
+            if cycle is not None:
+                message = (
+                    "lock-order cycle "
+                    + " -> ".join(cycle)
+                    + " (held: "
+                    + (", ".join(stack) or "none")
+                    + f"; acquiring: {name})"
+                )
+                if message not in self.violations:
+                    self.violations.append(message)
+                # Roll back the edges that closed the cycle: the
+                # violation is recorded, and keeping the graph acyclic
+                # means one bad ordering reports once instead of
+                # tripping every later touch of the locks involved.
+                for held in inserted:
+                    self._edges[held].pop(name, None)
+        if cycle is not None and self.strict:
+            raise LockOrderViolation(message)
+        stack.append(name)
+
+    def notify_release(self, name: str) -> None:
+        stack = self._stack()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] == name:
+                del stack[i]
+                break
+
+    # -- graph queries ---------------------------------------------------
+    def edges(self) -> Set[Tuple[str, str]]:
+        with self._mutex:
+            return {
+                (first, second)
+                for first, seconds in self._edges.items()
+                for second in seconds
+            }
+
+    def assert_acyclic(self) -> None:
+        """Raise :class:`LockOrderViolation` if any cycle was observed."""
+        with self._mutex:
+            violations = list(self.violations)
+        if violations:
+            raise LockOrderViolation("; ".join(violations))
+
+    def _call_site(self) -> str:
+        # Cheap placeholder: thread name is enough to tell two worker
+        # populations apart in a report; a full stack walk would cost
+        # more than the locks being watched.
+        return threading.current_thread().name
+
+    def _find_cycle_through(self, name: str) -> Optional[List[str]]:
+        """A cycle containing ``name`` in the edge graph, if any."""
+        # Graphs here are a handful of nodes; a DFS per acquire is
+        # cheaper than maintaining an incremental SCC structure.
+        path: List[str] = []
+        on_path: Set[str] = set()
+        visited: Set[str] = set()
+
+        def dfs(node: str) -> Optional[List[str]]:
+            path.append(node)
+            on_path.add(node)
+            for succ in self._edges.get(node, ()):
+                if succ == name and len(path) > 0 and node != name:
+                    if path[0] == name:
+                        return path + [name]
+                if succ in on_path:
+                    continue
+                if succ in visited:
+                    continue
+                found = dfs(succ)
+                if found is not None:
+                    return found
+            path.pop()
+            on_path.discard(node)
+            visited.add(node)
+            return None
+
+        return dfs(name)
+
+
+class WatchedLock:
+    """Explicit-delegation lock proxy reporting to a :class:`LockOrderWatch`.
+
+    Only ``acquire``/``release``/``locked`` and the context-manager
+    protocol are proxied — deliberately no ``__getattr__`` fallback.
+    When the underlying lock exposes ``threading.Condition``'s private
+    hooks (``_is_owned``, ``_release_save``, ``_acquire_restore``) they
+    are re-exported unwrapped, so a Condition built on a watched RLock
+    waits and notifies without the watch seeing the same-lock
+    re-acquire (which carries no ordering information anyway).
+    """
+
+    def __init__(self, lock, name: str, watch: LockOrderWatch) -> None:
+        self.lock = lock
+        self.name = name
+        self.watch = watch
+        for hook in ("_is_owned", "_release_save", "_acquire_restore"):
+            inner = getattr(lock, hook, None)
+            if inner is not None:
+                setattr(self, hook, inner)
+
+    def acquire(self, *args, **kwargs):
+        self.watch.notify_acquire(self.name)
+        try:
+            acquired = self.lock.acquire(*args, **kwargs)
+        except BaseException:
+            self.watch.notify_release(self.name)
+            raise
+        if not acquired:
+            # Non-blocking attempt that lost: we never held it.
+            self.watch.notify_release(self.name)
+        return acquired
+
+    def release(self) -> None:
+        self.lock.release()
+        self.watch.notify_release(self.name)
+
+    def locked(self) -> bool:
+        locked = getattr(self.lock, "locked", None)
+        return bool(locked()) if locked is not None else False
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"WatchedLock({self.name!r}, {self.lock!r})"

@@ -12,6 +12,7 @@ from repro.bench.datasets import load_dataset
 from repro.bench.harness import ExperimentResult
 from repro.core import AnyScanConfig
 from repro.core.parallel import ParallelAnySCAN
+from repro.validation import check_eps_mu
 
 __all__ = ["fig10", "parallel_run"]
 
@@ -22,6 +23,7 @@ _THREADS = [1, 2, 4, 8, 16]
 def parallel_run(graph, *, mu: int = 5, eps: float = 0.5, seed: int = 0,
                  alpha: int | None = None) -> ParallelAnySCAN:
     """One executed ParallelAnySCAN with the multicore default block size."""
+    check_eps_mu(mu=mu, epsilon=eps)
     block = alpha if alpha is not None else max(graph.num_vertices // 8, 128)
     par = ParallelAnySCAN(
         graph,

@@ -19,6 +19,7 @@ from repro.errors import ExperimentError
 from repro.graph.csr import Graph
 from repro.result import Clustering
 from repro.similarity.weighted import SimilarityConfig, SimilarityOracle
+from repro.validation import check_eps_mu
 
 __all__ = [
     "ExperimentResult",
@@ -193,6 +194,7 @@ def run_algorithm(
     name: str, graph: Graph, mu: int, epsilon: float, *, seed: int = 0
 ) -> AlgorithmRun:
     """Run one of the registered algorithms with uniform instrumentation."""
+    check_eps_mu(mu=mu, epsilon=epsilon)
     driver = ALGORITHMS.get(name)
     if driver is None:
         raise ExperimentError(

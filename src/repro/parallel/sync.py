@@ -19,7 +19,7 @@ paper's single global critical section.
 from __future__ import annotations
 
 import threading
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from typing import Iterator
 
 __all__ = [
@@ -30,13 +30,69 @@ __all__ = [
     "critical",
     "critical_union",
     "in_guarded_section",
+    "set_lock_order_watch",
+    "get_lock_order_watch",
+    "GLOBAL_LOCK_NAME",
 ]
 
 #: One process-wide lock models the paper's global critical section; the
 #: atomics share it because CPython has no finer-grained primitive.
 _GLOBAL_LOCK = threading.RLock()
 
+#: Canonical name the global lock reports to a lock-order watch — kept
+#: equal to the static analyzer's id for it so runtime and static R7
+#: reports name the same node.
+GLOBAL_LOCK_NAME = "<global-critical>"
+
 _guard_state = threading.local()
+
+#: Optional lock-order sanitizer (duck-typed: needs ``notify_acquire``
+#: and ``notify_release``).  Kept as a module global set by tests so
+#: the helpers stay dependency-free; :mod:`repro.analysis.runtime`
+#: provides the real :class:`~repro.analysis.runtime.LockOrderWatch`.
+_lock_order_watch = None
+
+
+def set_lock_order_watch(watch):
+    """Arm (or with ``None`` disarm) the lock-order sanitizer.
+
+    Every declared helper that takes the global critical-section lock —
+    and :func:`critical` with a caller-supplied lock — reports its
+    acquisition to the watch, so lock-order cycles between library
+    locks and test locks surface at runtime.  Returns the previous
+    watch so callers can restore it.
+    """
+    global _lock_order_watch
+    previous = _lock_order_watch
+    _lock_order_watch = watch
+    return previous
+
+
+def get_lock_order_watch():
+    """The armed lock-order watch, or None."""
+    return _lock_order_watch
+
+
+@contextmanager
+def _watched(name: str) -> Iterator[None]:
+    """Report one acquisition span to the armed watch, if any."""
+    watch = _lock_order_watch
+    if watch is None:
+        yield
+        return
+    watch.notify_acquire(name)
+    try:
+        yield
+    finally:
+        watch.notify_release(name)
+
+
+def _lock_watch_name(lock) -> str:
+    """Stable display name for a caller-supplied critical-section lock."""
+    name = getattr(lock, "name", None)
+    if isinstance(name, str) and name:
+        return name
+    return f"{type(lock).__name__}@{id(lock):#x}"
 
 
 def in_guarded_section() -> bool:
@@ -55,20 +111,20 @@ def _guarded() -> Iterator[None]:
 
 def atomic_add(array, index, value):
     """Atomically ``array[index] += value``; returns the new value."""
-    with _GLOBAL_LOCK, _guarded():
+    with _watched(GLOBAL_LOCK_NAME), _GLOBAL_LOCK, _guarded():
         array[index] += value
         return array[index]
 
 
 def atomic_store(array, index, value):
     """Atomically ``array[index] = value``."""
-    with _GLOBAL_LOCK, _guarded():
+    with _watched(GLOBAL_LOCK_NAME), _GLOBAL_LOCK, _guarded():
         array[index] = value
 
 
 def atomic_max(array, index, value):
     """Atomically ``array[index] = max(array[index], value)``."""
-    with _GLOBAL_LOCK, _guarded():
+    with _watched(GLOBAL_LOCK_NAME), _GLOBAL_LOCK, _guarded():
         if value > array[index]:
             array[index] = value
         return array[index]
@@ -76,7 +132,7 @@ def atomic_max(array, index, value):
 
 def atomic_min(array, index, value):
     """Atomically ``array[index] = min(array[index], value)``."""
-    with _GLOBAL_LOCK, _guarded():
+    with _watched(GLOBAL_LOCK_NAME), _GLOBAL_LOCK, _guarded():
         if value < array[index]:
             array[index] = value
         return array[index]
@@ -86,10 +142,19 @@ def atomic_min(array, index, value):
 def critical(lock: threading.RLock | threading.Lock | None = None) -> Iterator[None]:
     """One critical section (Figure 4 lines 41-42 / 60-61).
 
-    Serializes on ``lock`` (the global lock when omitted) and marks the
-    section as guarded for the runtime shadow-write checker.
+    Serializes on ``lock`` (the global lock when omitted), marks the
+    section as guarded for the runtime shadow-write checker, and
+    reports the acquisition to the armed lock-order watch.  A lock
+    that notifies the watch itself (a ``WatchedLock`` proxy, spotted
+    by its ``watch`` attribute) is not double-reported.
     """
-    with (lock if lock is not None else _GLOBAL_LOCK), _guarded():
+    if lock is None:
+        watched = _watched(GLOBAL_LOCK_NAME)
+    elif getattr(lock, "watch", None) is not None:
+        watched = nullcontext()
+    else:
+        watched = _watched(_lock_watch_name(lock))
+    with watched, (lock if lock is not None else _GLOBAL_LOCK), _guarded():
         yield
 
 

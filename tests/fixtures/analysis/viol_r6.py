@@ -1,0 +1,58 @@
+"""R6 fixture: seeded interprocedural races and their guarded twins.
+
+The worker roots here never write shared state directly (that is R1's
+fixture); every write happens one or two calls down the graph, which is
+exactly what the per-module rules cannot see.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+COUNTS = {}
+TOTALS = [0] * 16
+SAFE_COUNTS = {}
+_TABLE_LOCK = threading.Lock()
+
+
+def _bump(key):
+    # Reached from two concurrent roots with no lock held: a race.
+    COUNTS[key] = COUNTS.get(key, 0) + 1
+
+
+def _tally(index, amount):
+    _accumulate(index, amount)
+
+
+def _accumulate(index, amount):
+    # Two calls deep from the worker root, still unguarded.
+    TOTALS[index] += amount
+
+
+def _bump_safe(key):
+    with _TABLE_LOCK:
+        SAFE_COUNTS[key] = SAFE_COUNTS.get(key, 0) + 1
+
+
+def worker(item):
+    _bump(item)
+    _tally(item % 16, 1)
+    _bump_safe(item)
+
+
+def other_worker(item):
+    _bump(item)
+    _bump_safe(item)
+
+
+def local_worker(item):
+    # Purely local state: nothing shared, nothing to flag.
+    cache = {}
+    cache[item] = item * 2
+    return cache
+
+
+def run(items):
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        list(pool.map(worker, items))
+        list(pool.map(other_worker, items))
+        list(pool.map(local_worker, items))

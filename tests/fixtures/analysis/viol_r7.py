@@ -1,0 +1,52 @@
+"""R7 fixture: a seeded ABBA lock-order cycle plus a consistent pair.
+
+``first_worker`` takes A then B (via a helper); ``second_worker`` takes
+B then A — a classic ABBA deadlock.  The C/D pair below is always
+acquired in the same order and must stay silent.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+LOCK_A = threading.Lock()
+LOCK_B = threading.Lock()
+LOCK_C = threading.Lock()
+LOCK_D = threading.Lock()
+
+STATE = {}
+
+
+def _update_under_b():
+    with LOCK_B:
+        STATE["b"] = 1
+
+
+def first_worker(item):
+    with LOCK_A:
+        _update_under_b()
+
+
+def second_worker(item):
+    with LOCK_B:
+        with LOCK_A:
+            STATE["a"] = item
+
+
+def consistent_worker(item):
+    with LOCK_C:
+        with LOCK_D:
+            STATE["cd"] = item
+
+
+def also_consistent(item):
+    with LOCK_C:
+        with LOCK_D:
+            STATE["cd2"] = item
+
+
+def run(items):
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        list(pool.map(first_worker, items))
+        list(pool.map(second_worker, items))
+        list(pool.map(consistent_worker, items))
+        list(pool.map(also_consistent, items))

@@ -1,0 +1,43 @@
+"""R8 fixture: seeded shared-memory segment leaks and clean lifecycles."""
+
+from multiprocessing import shared_memory
+from multiprocessing.shared_memory import SharedMemory
+
+
+def leaky_fallthrough():
+    shm = SharedMemory(create=True, size=64)
+    return shm.name  # the handle itself never reaches close/unlink
+
+
+def leaky_exception_edge(fill):
+    shm = SharedMemory(create=True, size=64)
+    fill(shm.buf)  # if this raises, the segment is stranded
+    shm.close()
+    shm.unlink()
+    return True
+
+
+def clean_try_finally(fill):
+    shm = SharedMemory(create=True, size=64)
+    try:
+        fill(shm.buf)
+    finally:
+        shm.close()
+        shm.unlink()
+    return True
+
+
+def clean_escape_to_registry(registry):
+    shm = shared_memory.SharedMemory(create=True, size=64)
+    registry.append(shm)  # ownership transferred to the registry
+    return shm
+
+
+def clean_factory():
+    return SharedMemory(create=True, size=64)  # caller owns it
+
+
+def clean_attach_only(name):
+    shm = SharedMemory(name=name)  # attach, not create: no obligation
+    value = bytes(shm.buf[:8])
+    return value

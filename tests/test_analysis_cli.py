@@ -109,8 +109,13 @@ class TestOptions:
         )
         assert code == 1
         payload = json.loads(out)
-        assert {f["rule"] for f in payload} == {"R2"}
-        assert all({"path", "line", "col", "message"} <= set(f) for f in payload)
+        assert payload["tool"]["name"] == "repro-analysis"
+        findings = payload["findings"]
+        assert {f["rule"] for f in findings} == {"R2"}
+        assert all(
+            {"path", "line", "col", "message"} <= set(f) for f in findings
+        )
+        assert payload["summary"]["total"] == len(findings)
 
     def test_list_rules(self):
         code, out, _ = run_cli("--list-rules")

@@ -176,6 +176,68 @@ class TestFramework:
         findings = Analyzer().analyze_paths([path])
         assert rule_ids(findings) == ["G1"]
 
+    def test_pragma_survives_decorators(self, tmp_path):
+        # The G1 finding anchors at the decorator line; the pragma sits
+        # on the def line two lines below.  Both are one logical
+        # signature, so the pragma must still apply.
+        source = (
+            "import functools\n"
+            "\n"
+            "@functools.lru_cache\n"
+            "@functools.wraps(len)\n"
+            "def f(x=[]):  # repro: allow[G1]\n"
+            "    return x\n"
+        )
+        path = tmp_path / "module.py"
+        path.write_text(source)
+        assert Analyzer().analyze_paths([path]) == []
+
+    def test_pragma_on_multiline_signature_last_line(self, tmp_path):
+        source = (
+            "def f(\n"
+            "    x=[],\n"
+            "    y=0,\n"
+            "):  # repro: allow[G1]\n"
+            "    return x, y\n"
+        )
+        path = tmp_path / "module.py"
+        path.write_text(source)
+        assert Analyzer().analyze_paths([path]) == []
+
+    def test_def_line_pragma_covers_the_body(self, tmp_path):
+        source = (
+            "def f():  # repro: allow[G2]\n"
+            "    try:\n"
+            "        return 1\n"
+            "    except:\n"
+            "        return 0\n"
+        )
+        path = tmp_path / "module.py"
+        path.write_text(source)
+        assert Analyzer().analyze_paths([path]) == []
+
+    def test_def_span_pragma_is_still_rule_specific(self, tmp_path):
+        source = (
+            "@property\n"
+            "def f(x=[]):  # repro: allow[G2]\n"
+            "    return x\n"
+        )
+        path = tmp_path / "module.py"
+        path.write_text(source)
+        findings = Analyzer().analyze_paths([path])
+        assert rule_ids(findings) == ["G1"]
+
+    def test_class_line_pragma_does_not_cover_methods(self, tmp_path):
+        source = (
+            "class C:  # repro: allow[G1]\n"
+            "    def f(self, x=[]):\n"
+            "        return x\n"
+        )
+        path = tmp_path / "module.py"
+        path.write_text(source)
+        findings = Analyzer().analyze_paths([path])
+        assert rule_ids(findings) == ["G1"]
+
     def test_syntax_error_becomes_parse_finding(self, tmp_path):
         path = tmp_path / "broken.py"
         path.write_text("def f(:\n")

@@ -5,8 +5,19 @@ import threading
 import numpy as np
 import pytest
 
-from repro.analysis.runtime import Race, ShadowArray, ShadowWriteLog
-from repro.parallel.sync import atomic_add, atomic_store, critical
+from repro.analysis.runtime import (
+    LockOrderViolation,
+    LockOrderWatch,
+    Race,
+    ShadowArray,
+    ShadowWriteLog,
+)
+from repro.parallel.sync import (
+    atomic_add,
+    atomic_store,
+    critical,
+    set_lock_order_watch,
+)
 from repro.parallel.threads import ThreadBackend
 
 
@@ -198,3 +209,150 @@ class TestThreadBackendIntegration:
         guarded_flags = [r.guarded for r in log.records]
         assert guarded_flags.count(True) == self.N_ITEMS
         assert guarded_flags.count(False) == self.N_ITEMS
+
+
+class TestLockOrderWatch:
+    def test_consistent_order_stays_silent(self):
+        watch = LockOrderWatch(strict=True)
+        a = watch.wrap(threading.Lock(), "A")
+        b = watch.wrap(threading.Lock(), "B")
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+        watch.assert_acyclic()
+        assert watch.edges() == {("A", "B")}
+        assert watch.violations == []
+
+    def test_abba_cycle_is_detected(self):
+        watch = LockOrderWatch()
+        a = watch.wrap(threading.Lock(), "A")
+        b = watch.wrap(threading.Lock(), "B")
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        # The cycle-closing edge is rolled back after being reported,
+        # so the recorded graph stays acyclic.
+        assert watch.edges() == {("A", "B")}
+        assert watch.violations
+        with pytest.raises(LockOrderViolation, match="A"):
+            watch.assert_acyclic()
+
+    def test_strict_mode_raises_at_the_closing_acquire(self):
+        watch = LockOrderWatch(strict=True)
+        a = watch.wrap(threading.Lock(), "A")
+        b = watch.wrap(threading.Lock(), "B")
+        with a:
+            with b:
+                pass
+        with pytest.raises(LockOrderViolation):
+            with b:
+                with a:
+                    pass
+        # The failed acquire must not corrupt the held stack: the same
+        # consistent order keeps working afterwards.
+        with a:
+            with b:
+                pass
+
+    def test_three_lock_cycle_across_threads(self):
+        # A->B, B->C, C->A: no pair is inverted, yet the triangle
+        # deadlocks.  Each leg runs in its own thread so per-thread
+        # held stacks are exercised too.
+        watch = LockOrderWatch()
+        names = ["A", "B", "C"]
+        locks = {n: watch.wrap(threading.Lock(), n) for n in names}
+
+        def leg(first, second):
+            with locks[first]:
+                with locks[second]:
+                    pass
+
+        for first, second in [("A", "B"), ("B", "C"), ("C", "A")]:
+            t = threading.Thread(target=leg, args=(first, second))
+            t.start()
+            t.join()
+        with pytest.raises(LockOrderViolation):
+            watch.assert_acyclic()
+
+    def test_reentrant_acquire_is_not_an_edge(self):
+        watch = LockOrderWatch(strict=True)
+        r = watch.wrap(threading.RLock(), "R")
+        with r:
+            with r:
+                pass
+        assert watch.edges() == set()
+        watch.assert_acyclic()
+
+    def test_condition_on_watched_lock_works(self):
+        watch = LockOrderWatch(strict=True)
+        wrapped = watch.wrap(threading.RLock(), "cond-lock")
+        cond = threading.Condition(wrapped)
+        done = []
+
+        def waiter():
+            with cond:
+                while not done:
+                    cond.wait(timeout=2.0)
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        with cond:
+            done.append(True)
+            cond.notify_all()
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+        watch.assert_acyclic()
+
+    def test_failed_nonblocking_acquire_leaves_stack_clean(self):
+        watch = LockOrderWatch()
+        inner = threading.Lock()
+        a = watch.wrap(inner, "A")
+        b = watch.wrap(threading.Lock(), "B")
+        inner.acquire()  # someone else holds A
+        try:
+            assert a.acquire(blocking=False) is False
+        finally:
+            inner.release()
+        with b:
+            pass
+        # A was never held, so no A->B or B->A ordering was recorded.
+        assert watch.edges() == set()
+
+
+class TestSyncHelperIntegration:
+    @pytest.fixture()
+    def watch(self):
+        watch = LockOrderWatch()
+        previous = set_lock_order_watch(watch)
+        yield watch
+        set_lock_order_watch(previous)
+
+    def test_atomics_report_the_global_lock(self, watch):
+        arr = np.zeros(2)
+        atomic_add(arr, 0, 1.0)
+        with critical():
+            pass
+        assert watch.edges() == set()  # nothing held around them
+
+    def test_cycle_between_test_lock_and_global_lock(self, watch):
+        arr = np.zeros(2)
+        outer = watch.wrap(threading.Lock(), "test-lock")
+        with outer:
+            atomic_add(arr, 0, 1.0)  # test-lock -> <global-critical>
+        with critical():
+            with outer:  # <global-critical> -> test-lock: cycle
+                pass
+        with pytest.raises(LockOrderViolation, match="test-lock"):
+            watch.assert_acyclic()
+
+    def test_caller_supplied_critical_lock_is_named(self, watch):
+        lock = threading.Lock()
+        with critical(lock):
+            pass
+        # No ordering edge (nothing else held), but the acquisition
+        # must not crash and must not report the global lock's name.
+        assert watch.edges() == set()

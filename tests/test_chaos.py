@@ -20,11 +20,13 @@ that broke it.
 from __future__ import annotations
 
 import os
+import threading
 from pathlib import Path
 
 import numpy as np
 import pytest
 
+from repro.analysis.runtime import LockOrderViolation, LockOrderWatch
 from repro.baselines.scan import scan
 from repro.core.anyscan import AnySCAN
 from repro.core.backend_scan import parallel_scan
@@ -34,6 +36,7 @@ from repro.faults import FaultPlan, FaultRule, armed
 from repro.faults.corruption import CORRUPTION_MODES, corrupt_file
 from repro.graph.generators.random_graphs import gnm_random_graph
 from repro.parallel.processes import ProcessBackend, shared_memory_available
+from repro.parallel.sync import atomic_add, critical, set_lock_order_watch
 from repro.service.jobs import JobScheduler
 from repro.similarity.index import EdgeSimilarityIndex, IndexIntegrityError
 from repro.similarity.weighted import SimilarityConfig
@@ -222,3 +225,57 @@ def test_faulted_index_save_never_tears_the_archive(tmp_path):
     reloaded = EdgeSimilarityIndex.load(path, graph, config=config)
     np.testing.assert_array_equal(index.sigmas, reloaded.sigmas)
     assert [p.name for p in tmp_path.iterdir()] == ["atomic.npz"]
+
+
+@pytest.mark.parametrize("seed", _seeds())
+def test_lock_order_watch_armed_during_faulted_scan(seed):
+    """Battery E: the lock-order sanitizer rides a faulted parallel scan.
+
+    Every declared atomic/critical acquisition reports to the watch
+    while the backend absorbs injected faults; the acquisition-order
+    graph observed across the whole run must stay acyclic.
+    """
+    graph = gnm_random_graph(120, 420, seed=31)
+    plan = FaultPlan.random(seed, sites=["sigma.query"])
+    _dump_plan(plan, "lockorder")
+    watch = LockOrderWatch()
+    previous = set_lock_order_watch(watch)
+    try:
+        with armed(plan):
+            try:
+                parallel_scan(graph, 2, 0.5, seed=0)
+            except _STRUCTURED:
+                pass
+    finally:
+        set_lock_order_watch(previous)
+    watch.assert_acyclic()
+
+
+def test_lock_order_watch_flags_injected_abba_cycle():
+    """Negative control: a seeded ABBA cycle through the declared
+    helpers must trip the sanitizer even though this run never
+    deadlocks (the two legs execute sequentially)."""
+    watch = LockOrderWatch()
+    previous = set_lock_order_watch(watch)
+    table = watch.wrap(threading.Lock(), "table-lock")
+    arr = np.zeros(4)
+
+    def first_leg():
+        with table:  # table-lock then the global lock
+            atomic_add(arr, 0, 1.0)
+
+    def second_leg():
+        with critical():  # the global lock then table-lock: inverted
+            with table:
+                arr[1] = 1.0
+
+    try:
+        for leg in (first_leg, second_leg):
+            thread = threading.Thread(target=leg)
+            thread.start()
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+    finally:
+        set_lock_order_watch(previous)
+    with pytest.raises(LockOrderViolation, match="table-lock"):
+        watch.assert_acyclic()

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.analysis.runtime import ShadowArray, ShadowWriteLog
 from repro.errors import ConfigError, SimulationError
 from repro.graph.csr import Graph
 from repro.graph.generators.random_graphs import gnm_random_graph
@@ -202,3 +203,63 @@ class TestModuleConveniences:
     def test_epsilon_validated(self, medium, pool):
         with pytest.raises(ConfigError):
             procmod.parallel_range_queries(medium, [0], -0.5, backend=pool)
+
+
+class TestShadowArrayIntegration:
+    """R1's runtime checker composed with the process backend.
+
+    The process backend's reduction model means the *parent* is the
+    only writer of the shared counter array — the shadow log must see
+    exactly one writing thread and no races, in both the real process
+    path and the forced thread fallback.
+    """
+
+    def test_out_param_writes_are_single_threaded(self, medium, pool):
+        log = ShadowWriteLog()
+        base = np.zeros(medium.num_vertices, dtype=np.int64)
+        shadow = ShadowArray(base, log, name="counts")
+        _, out = pool.map_neighbor_updates(
+            medium, range(medium.num_vertices), EPS, out=shadow
+        )
+        assert out is shadow
+        writers = {r.thread_id for r in log.records}
+        assert len(writers) == 1
+        log.assert_race_free()
+        _, want = thread_neighbor_updates(
+            medium, range(medium.num_vertices), EPS
+        )
+        np.testing.assert_array_equal(base, want)
+
+    def test_out_param_race_free_under_thread_fallback(
+        self, medium, monkeypatch
+    ):
+        monkeypatch.setenv(FORCE_FALLBACK_ENV, "1")
+        log = ShadowWriteLog()
+        base = np.zeros(medium.num_vertices, dtype=np.int64)
+        shadow = ShadowArray(base, log, name="counts")
+        with ProcessBackend(workers=2) as backend:
+            _, out = backend.map_neighbor_updates(
+                medium, range(medium.num_vertices), EPS, out=shadow
+            )
+            assert backend.kind == "thread"
+        assert out is shadow
+        log.assert_race_free()
+        _, want = thread_neighbor_updates(
+            medium, range(medium.num_vertices), EPS
+        )
+        np.testing.assert_array_equal(base, want)
+
+    def test_accumulation_into_shadow_matches_plain_array(
+        self, medium, pool
+    ):
+        log = ShadowWriteLog()
+        base = np.full(medium.num_vertices, 3, dtype=np.int64)
+        shadow = ShadowArray(base, log, name="counts")
+        pool.map_neighbor_updates(
+            medium, range(medium.num_vertices), EPS, out=shadow
+        )
+        plain = np.full(medium.num_vertices, 3, dtype=np.int64)
+        pool.map_neighbor_updates(
+            medium, range(medium.num_vertices), EPS, out=plain
+        )
+        np.testing.assert_array_equal(base, plain)

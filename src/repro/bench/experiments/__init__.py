@@ -18,6 +18,7 @@ from repro.bench.experiments.fig11 import fig11
 from repro.bench.experiments.fig12 import fig12
 from repro.bench.experiments.fig13 import fig13
 from repro.bench.experiments.fig14 import fig14
+from repro.bench.experiments.index_queries import index_queries
 from repro.bench.experiments.kernels import kernels
 from repro.bench.experiments.service import service
 from repro.bench.experiments.speedup import speedup
@@ -43,6 +44,7 @@ EXPERIMENTS: Dict[str, Callable[..., List[ExperimentResult]]] = {
     "speedup": speedup,
     "kernels": kernels,
     "service": service,
+    "index_queries": index_queries,
     "ablation_pruning": ablation_pruning,
     "ablation_sorting": ablation_sorting,
     "ablation_schedule": ablation_schedule,

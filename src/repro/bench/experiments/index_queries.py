@@ -1,0 +1,169 @@
+"""Clustering-index query latency vs the anySCAN path.
+
+The GS*-style index claim (DESIGN.md §10): after one σ pass at build
+time, **any** (ε, μ) query is answered by a binary search over the core
+order plus a union-find sweep over the σ-sorted adjacency — zero σ
+evaluations per query, byte-identical labels to the sequential
+reference.  This experiment builds a :class:`ClusteringIndex` once,
+then replays a grid of (ε, μ) queries through three paths:
+
+* ``index`` — ``ClusteringIndex.query``; σ-evaluations per query are
+  read from the index's own counters and **asserted to be zero**;
+* ``anyscan`` — a fresh :class:`AnySCAN` run per query (the anytime
+  engine, σ computed on demand with pruning);
+* ``scan`` — the sequential reference, for a latency floor sanity line.
+
+Writes ``BENCH_index_queries.json`` (to ``$REPRO_BENCH_DIR`` or the
+working directory) so CI archives the numbers per commit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.baselines import scan
+from repro.bench.harness import ExperimentResult
+from repro.core import AnySCAN, AnyScanConfig
+from repro.graph.generators.lfr import LFRParams, lfr_graph
+from repro.similarity.gsindex import ClusteringIndex
+
+__all__ = ["index_queries"]
+
+# The (ε, μ) exploration grid an interactive user would sweep.
+_GRID = (
+    (0.35, 2),
+    (0.45, 3),
+    (0.50, 4),
+    (0.55, 5),
+    (0.60, 4),
+    (0.65, 8),
+    (0.70, 3),
+    (0.80, 6),
+)
+
+
+def index_queries(
+    scale: str = "bench", quick: bool = False
+) -> List[ExperimentResult]:
+    """σ-evals-per-query (must be 0) and latency, index vs anySCAN."""
+    if quick:
+        params = LFRParams(n=400, average_degree=8, max_degree=30, seed=11)
+        grid = _GRID[:4]
+        repeats = 2
+    else:
+        params = LFRParams(
+            n=8_000, average_degree=12, max_degree=80, seed=11
+        )
+        grid = _GRID
+        repeats = 3
+    graph, _ = lfr_graph(params)
+
+    started = time.perf_counter()
+    index = ClusteringIndex.build(graph)
+    build_seconds = time.perf_counter() - started
+
+    table = ExperimentResult(
+        exp_id="index_queries",
+        title=(
+            f"any-(ε, μ) query latency (LFR n={graph.num_vertices:,}, "
+            f"m={graph.num_edges:,}; index built once in "
+            f"{build_seconds:.2f}s)"
+        ),
+        headers=[
+            "epsilon",
+            "mu",
+            "index ms",
+            "index σ-evals",
+            "anyscan ms",
+            "anyscan σ-evals",
+            "scan ms",
+            "speedup vs anyscan",
+        ],
+    )
+    json_rows: List[Dict[str, object]] = []
+
+    for epsilon, mu in grid:
+        # -- index path: best-of-repeats, σ-evals from the counters ----
+        index_seconds = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            indexed = index.query(epsilon, mu, seed=0)
+            index_seconds.append(time.perf_counter() - t0)
+            evals = int(index.last_query["sigma_evaluations"])
+            if evals != 0:
+                raise AssertionError(
+                    f"index query at (ε={epsilon}, μ={mu}) performed "
+                    f"{evals} σ evaluations; the zero-σ contract is broken"
+                )
+        index_ms = min(index_seconds) * 1e3
+
+        # -- anySCAN path: fresh run, σ computed on demand --------------
+        t0 = time.perf_counter()
+        algo = AnySCAN(
+            graph, AnyScanConfig(mu=mu, epsilon=epsilon, seed=0)
+        )
+        anyscan_result = algo.run()
+        anyscan_ms = (time.perf_counter() - t0) * 1e3
+        anyscan_evals = int(algo.statistics()["sigma_evaluations"])
+
+        # -- sequential reference: latency floor + conformance ----------
+        t0 = time.perf_counter()
+        reference = scan(graph, mu, epsilon, seed=0)
+        scan_ms = (time.perf_counter() - t0) * 1e3
+        if not np.array_equal(indexed.labels, reference.labels):
+            raise AssertionError(
+                f"index query at (ε={epsilon}, μ={mu}) diverged from "
+                "the sequential reference"
+            )
+
+        speedup = anyscan_ms / index_ms if index_ms > 0 else float("inf")
+        table.add_row(
+            epsilon, mu, index_ms, 0, anyscan_ms, anyscan_evals,
+            scan_ms, speedup,
+        )
+        json_rows.append(
+            {
+                "epsilon": float(epsilon),
+                "mu": int(mu),
+                "index_ms": index_ms,
+                "index_sigma_evaluations": 0,
+                "anyscan_ms": anyscan_ms,
+                "anyscan_sigma_evaluations": anyscan_evals,
+                "scan_ms": scan_ms,
+                "speedup_vs_anyscan": speedup,
+                "num_clusters": int(anyscan_result.num_clusters),
+            }
+        )
+
+    table.notes.append(
+        "index σ-evals is asserted zero per query (read from "
+        "similarity counters); labels are asserted byte-identical to "
+        "the sequential reference at every grid point"
+    )
+    table.notes.append(
+        f"index build cost is paid once ({build_seconds:.2f}s), then "
+        f"amortized over every query; latency is best of {repeats}"
+    )
+
+    payload = {
+        "quick": bool(quick),
+        "graph": {
+            "n": int(graph.num_vertices),
+            "m": int(graph.num_edges),
+        },
+        "build_seconds": build_seconds,
+        "mu_cap": int(index.mu_cap),
+        "rows": json_rows,
+    }
+    out_dir = os.environ.get("REPRO_BENCH_DIR", ".")
+    out_path = os.path.join(out_dir, "BENCH_index_queries.json")
+    with open(out_path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    table.notes.append(f"json written to {out_path}")
+    return [table]

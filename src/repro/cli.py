@@ -27,6 +27,7 @@ from repro.parallel.backends import (
     create_backend,
 )
 from repro.result import HUB, Clustering
+from repro.similarity.gsindex import DEFAULT_MU_CAP, ClusteringIndex
 from repro.similarity.index import EdgeSimilarityIndex, IndexedOracle
 
 __all__ = ["main"]
@@ -97,6 +98,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help="where the similarity index lives (default: GRAPH.sigma.npz)",
     )
     parser.add_argument(
+        "--cluster-index",
+        choices=["off", "build", "use"],
+        default="off",
+        help="GS*-style clustering index: σ-sorted neighbor lists plus a "
+        "core order, so any (ε, μ) query is answered by binary search + "
+        "union-find with zero σ evaluations; 'build' saves it next to "
+        "the graph, 'use' loads a previously built one (requires "
+        "--algorithm scan)",
+    )
+    parser.add_argument(
+        "--cluster-index-path",
+        default=None,
+        help="where the clustering index lives (default: GRAPH.gsindex.npz)",
+    )
+    parser.add_argument(
+        "--mu-cap",
+        type=int,
+        default=DEFAULT_MU_CAP,
+        help="largest μ the clustering index answers by binary search "
+        "(larger μ still works via an O(n) gather, still zero σ)",
+    )
+    parser.add_argument(
         "--output", default=None, help="write 'vertex label' lines here"
     )
     parser.add_argument(
@@ -127,11 +150,42 @@ def main(argv=None) -> int:
 
     try:
         index = _prepare_index(graph, args)
+        cluster_index = _prepare_cluster_index(graph, args)
     except ConfigError as exc:
         print(f"similarity index error: {exc}", file=sys.stderr)
         return 2
 
-    if args.backend != "sequential":
+    if cluster_index is not None:
+        if args.algorithm != "scan":
+            print(
+                "--cluster-index answers exact SCAN queries; pass "
+                f"--algorithm scan (got {args.algorithm!r})",
+                file=sys.stderr,
+            )
+            return 2
+        if args.budget_work or args.budget_seconds:
+            print(
+                "budgets need the sequential anytime engine; drop "
+                "--cluster-index or the --budget-* flags",
+                file=sys.stderr,
+            )
+            return 2
+        started = time.perf_counter()
+        clustering = parallel_scan(
+            graph,
+            args.mu,
+            args.epsilon,
+            index=cluster_index,
+            seed=args.seed,
+        )
+        print(
+            f"query answered from the clustering index in "
+            f"{time.perf_counter() - started:.3f}s "
+            f"(σ evaluations: "
+            f"{cluster_index.last_query['sigma_evaluations']})",
+            file=sys.stderr,
+        )
+    elif args.backend != "sequential":
         if args.budget_work or args.budget_seconds:
             print(
                 "budgets need the sequential anytime engine; drop "
@@ -201,6 +255,43 @@ def _prepare_index(graph, args) -> EdgeSimilarityIndex | None:
     else:
         print(f"similarity index loaded from {path}", file=sys.stderr)
     return index
+
+
+def _prepare_cluster_index(graph, args) -> ClusteringIndex | None:
+    """Build or load the GS*-style clustering index the flags ask for."""
+    if args.cluster_index == "off":
+        return None
+    path = args.cluster_index_path or (args.graph + ".gsindex.npz")
+    backend = args.backend if args.backend != "sequential" else None
+    if args.cluster_index == "build":
+        started = time.perf_counter()
+        cluster_index = ClusteringIndex.build(
+            graph, mu_cap=args.mu_cap, backend=backend, workers=args.workers
+        )
+        cluster_index.save(path)
+        print(
+            f"clustering index built (μ ≤ {cluster_index.mu_cap} by "
+            f"binary search) in {time.perf_counter() - started:.2f}s, "
+            f"saved to {path}",
+            file=sys.stderr,
+        )
+        return cluster_index
+    cluster_index, recovered = ClusteringIndex.load_or_rebuild(
+        path,
+        graph,
+        mu_cap=args.mu_cap,
+        backend=backend,
+        workers=args.workers,
+    )
+    if recovered:
+        print(
+            f"clustering index at {path} was damaged; quarantined to "
+            f"{path}.quarantined and rebuilt",
+            file=sys.stderr,
+        )
+    else:
+        print(f"clustering index loaded from {path}", file=sys.stderr)
+    return cluster_index
 
 
 def _run_parallel(graph, args, *, index=None) -> Clustering:

@@ -27,6 +27,7 @@ from repro.parallel.backends import (
     run_range_queries,
 )
 from repro.result import Clustering
+from repro.similarity.gsindex import ClusteringIndex
 from repro.similarity.weighted import SimilarityConfig
 from repro.validation import check_eps_mu
 
@@ -86,7 +87,7 @@ def parallel_scan(
     workers: int | None = None,
     config: SimilarityConfig | None = None,
     seed: int = 0,
-    index: "EdgeSimilarityIndex | None" = None,
+    index: "EdgeSimilarityIndex | ClusteringIndex | None" = None,
 ) -> Clustering:
     """Cluster ``graph`` with SCAN, σ phase on a real parallel backend.
 
@@ -106,14 +107,21 @@ def parallel_scan(
         Vertex-visit order; the same seed makes the result byte-identical
         to ``scan(graph, mu, epsilon, seed=seed)``.
     index:
-        A prebuilt :class:`~repro.similarity.index.EdgeSimilarityIndex`;
-        when given, the σ phase is answered entirely from it (zero σ
+        A prebuilt :class:`~repro.similarity.index.EdgeSimilarityIndex`
+        or :class:`~repro.similarity.gsindex.ClusteringIndex`; when
+        given, the σ phase is answered entirely from it (zero σ
         evaluations, no backend traffic) — the interactive re-clustering
-        path.  Raises :class:`~repro.errors.ConfigError` when the index
-        does not match ``graph`` or ``config``.
+        path.  A clustering index goes further: the whole query becomes
+        a union-find extraction (no BFS either), still byte-identical to
+        the sequential reference.  Raises
+        :class:`~repro.errors.ConfigError` when the index does not match
+        ``graph`` or ``config``.
     """
     check_eps_mu(mu=mu, epsilon=epsilon)
     config = config or SimilarityConfig(pruning=False)
+    if isinstance(index, ClusteringIndex):
+        index.require_compatible(graph=graph, config=config)
+        return index.query(epsilon, mu, seed=seed)
     if index is not None:
         index.require_compatible(graph=graph, config=config)
         hoods = [

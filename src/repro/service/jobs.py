@@ -81,14 +81,20 @@ TERMINAL_STATES = frozenset(
 
 @dataclass
 class JobRecord:
-    """Bookkeeping for one scheduled anySCAN run."""
+    """Bookkeeping for one scheduled anySCAN run.
+
+    ``algorithm`` is ``None`` for jobs born terminal (index-served
+    answers via :meth:`JobScheduler.submit_completed`); such jobs never
+    enter the ready queue, so the worker path always sees a real
+    algorithm.
+    """
 
     job_id: str
     graph_name: str
     mu: int
     epsilon: float
     priority: int
-    algorithm: AnySCAN
+    algorithm: Optional[AnySCAN]
     state: JobState = JobState.PENDING
     slices: int = 0
     iterations: int = 0
@@ -224,6 +230,63 @@ class JobScheduler:
                 self._notify_done_locked(job)
             else:
                 self._push_ready_locked(job)
+            self._wake.notify_all()
+        return job.job_id
+
+    def submit_completed(
+        self,
+        result: Clustering,
+        *,
+        graph_name: str = "",
+        mu: int,
+        epsilon: float,
+        priority: int = 0,
+        meta: Optional[Dict[str, object]] = None,
+        sigma_evaluations: int = 0,
+        compute_seconds: float = 0.0,
+    ) -> str:
+        """Register an already-computed clustering as a DONE job.
+
+        The short-circuit path for index-served queries: the clustering
+        index answers (ε, μ) without running anySCAN, but the answer
+        must still flow through the job ledger so status polls,
+        ``on_done`` accounting, and the result-cache fill behave exactly
+        as for scheduled jobs.  The job is born terminal — it never
+        touches the ready queue or a worker — and ``on_done`` runs under
+        the lock in the same critical section, preserving the scheduler's
+        visibility guarantee (a job observably DONE has already filled
+        the cache).
+        """
+        check_eps_mu(mu=mu, epsilon=epsilon)
+        with self._wake:
+            if self._closed:
+                raise ReproError("scheduler is closed")
+            self._seq += 1
+            job = JobRecord(
+                job_id=f"job-{self._seq}",
+                graph_name=graph_name,
+                mu=int(mu),
+                epsilon=float(epsilon),
+                priority=int(priority),
+                algorithm=None,
+                state=JobState.DONE,
+                meta=dict(meta or {}),
+            )
+            job.result = result
+            job.latest = Snapshot(
+                step="index",
+                iteration=0,
+                labels=result.labels.copy(),
+                num_supernodes=0,
+                num_clusters=int(result.num_clusters),
+                work_units=0.0,
+                sigma_evaluations=int(sigma_evaluations),
+                union_calls=0,
+                wall_time=float(compute_seconds),
+                final=True,
+            )
+            self._jobs[job.job_id] = job
+            self._notify_done_locked(job)
             self._wake.notify_all()
         return job.job_id
 

@@ -63,6 +63,7 @@ from repro.service.store import (
     ResultCache,
     make_cache_key,
 )
+from repro.similarity.gsindex import DEFAULT_MU_CAP
 from repro.similarity.weighted import SimilarityConfig
 from repro.validation import check_eps_mu
 
@@ -124,9 +125,9 @@ class ClusteringService:
         self.max_pending_jobs = (
             None if max_pending_jobs is None else int(max_pending_jobs)
         )
-        self.store = GraphStore()
-        self.cache = ResultCache(capacity=cache_capacity)
         self.metrics = ServiceMetrics()
+        self.store = GraphStore(metrics=self.metrics)
+        self.cache = ResultCache(capacity=cache_capacity)
         self.scheduler = JobScheduler(
             workers=workers,
             slice_iterations=slice_iterations,
@@ -157,9 +158,23 @@ class ClusteringService:
         self.metrics.record_event("degradation", event.to_dict())
 
     def _job_finished(self, job: JobRecord) -> None:
-        """Scheduler callback: account terminal jobs, fill the cache."""
+        """Scheduler callback: account terminal jobs, fill the cache.
+
+        Index-served jobs (born DONE via ``submit_completed``) carry no
+        algorithm; their cost accounting travels in ``job.meta["stats"]``
+        instead — by construction 0 σ evaluations.  Both kinds fill the
+        same cache keyspace, so invalidation and hits are uniform.
+        """
         if job.state is JobState.DONE and job.result is not None:
-            stats = job.algorithm.statistics()
+            if job.algorithm is not None:
+                stats = job.algorithm.statistics()
+            else:
+                meta_stats = job.meta.get("stats")
+                stats = (
+                    dict(meta_stats)
+                    if isinstance(meta_stats, dict)
+                    else {"sigma_evaluations": 0, "compute_seconds": 0.0}
+                )
             evaluations = int(stats["sigma_evaluations"])
             self.metrics.increment("jobs_completed")
             self.metrics.increment("sigma_evaluations", evaluations)
@@ -221,6 +236,8 @@ class ClusteringService:
             graph,
             similarity=_similarity_from_payload(payload.get("similarity")),
             build_index=get_bool(payload, "build_index"),
+            build_cluster_index=get_bool(payload, "build_cluster_index"),
+            mu_cap=get_int(payload, "mu_cap", DEFAULT_MU_CAP) or DEFAULT_MU_CAP,
             replace=get_bool(payload, "replace"),
         )
         self.metrics.increment("graphs_loaded")
@@ -232,6 +249,24 @@ class ClusteringService:
     def handle_graph_info(
         self, payload: Dict[str, object], name: str
     ) -> Dict[str, object]:
+        return self.store.get(name).info()
+
+    def handle_build_index(
+        self, payload: Dict[str, object], name: str
+    ) -> Dict[str, object]:
+        """Build (or widen) the graph's GS*-style clustering index.
+
+        Subsequent ``cluster`` requests for this graph short-circuit to
+        index extraction: any (ε, μ), zero σ evaluations.  ``mu_cap``
+        bounds the binary-search core path (larger μ stays exact via the
+        O(n) gather); re-posting with a larger cap rebuilds the derived
+        orders from the existing σ array.
+        """
+        mu_cap = get_int(payload, "mu_cap")
+        entry = self.store.ensure_cluster_index(name, mu_cap=mu_cap)
+        # Mark the entry for automatic repatch/rebuild across updates.
+        entry.auto_cluster_index = True
+        self.metrics.increment("cluster_indexes_built")
         return self.store.get(name).info()
 
     def handle_update_edges(
@@ -262,6 +297,7 @@ class ClusteringService:
             "inserted": stats.inserted,
             "deleted": stats.deleted,
             "sigma_recomputations": stats.sigma_recomputations,
+            "index_rows_refreshed": stats.index_rows_refreshed,
             "cache_entries_invalidated": invalidated,
         }
 
@@ -359,6 +395,41 @@ class ClusteringService:
         epsilon: float,
         key,
     ) -> str:
+        if entry.auto_cluster_index and entry.cluster_index is None:
+            # The clustering index went stale after update-edges (and
+            # could not be patched in place); rebuild lazily.
+            entry = self.store.ensure_cluster_index(name)
+        if entry.cluster_index is not None:
+            # Default query path: the GS*-style index extracts the
+            # exact clustering directly — zero σ evaluations, no worker
+            # time.  The answer still registers as a (born-DONE) job so
+            # polling, accounting, and the cache fill are uniform.
+            started = time.perf_counter()
+            result = entry.cluster_index.query(
+                epsilon, mu, seed=get_int(payload, "seed", 0) or 0
+            )
+            elapsed = time.perf_counter() - started
+            job_id = self.scheduler.submit_completed(
+                result,
+                graph_name=name,
+                mu=mu,
+                epsilon=epsilon,
+                priority=get_int(payload, "priority", 0) or 0,
+                meta={
+                    "cache_key": key,
+                    "fingerprint": entry.fingerprint,
+                    "served_by": "cluster-index",
+                    "stats": {
+                        "sigma_evaluations": 0,
+                        "compute_seconds": elapsed,
+                    },
+                },
+                sigma_evaluations=0,
+                compute_seconds=elapsed,
+            )
+            self.metrics.increment("index_served_queries")
+            self.metrics.increment("jobs_submitted")
+            return job_id
         if entry.auto_index and entry.index is None:
             # The index went stale after update-edges; rebuild lazily.
             entry = self.store.ensure_index(name)
@@ -691,6 +762,20 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="build the edge-similarity index for preloaded graphs",
     )
+    parser.add_argument(
+        "--build-cluster-index",
+        action="store_true",
+        help="build the GS*-style clustering index for preloaded graphs "
+        "(cluster requests then answer from the index: any (ε, μ), "
+        "zero σ evaluations)",
+    )
+    parser.add_argument(
+        "--mu-cap",
+        type=int,
+        default=None,
+        help="largest μ with a precomputed core order in the clustering "
+        "index (larger μ stays exact via an O(n) pass)",
+    )
     return parser
 
 
@@ -728,7 +813,13 @@ def serve_main(argv=None) -> int:
         from repro.graph.io import load_edge_list
 
         graph, _ = load_edge_list(path, weighted=args.weighted)
-        service.store.add(name, graph, build_index=args.build_index)
+        service.store.add(
+            name,
+            graph,
+            build_index=args.build_index,
+            build_cluster_index=args.build_cluster_index,
+            mu_cap=args.mu_cap if args.mu_cap is not None else DEFAULT_MU_CAP,
+        )
         print(
             f"loaded {name}: {graph.num_vertices:,d} vertices, "
             f"{graph.num_edges:,d} edges",

@@ -34,7 +34,9 @@ import numpy as np
 from repro.dynamic.graph import AdjacencyGraph
 from repro.dynamic.scan import DynamicSCAN
 from repro.errors import ConfigError
+from repro.faults import fault_point
 from repro.graph.csr import Graph
+from repro.similarity.gsindex import DEFAULT_MU_CAP, ClusteringIndex
 from repro.similarity.index import (
     EdgeSimilarityIndex,
     IndexedOracle,
@@ -61,6 +63,23 @@ _SEMANTIC_FIELDS = ("kind", "closed", "self_weight", "count_self")
 def similarity_signature(config: SimilarityConfig) -> Tuple[object, ...]:
     """Hashable tuple of the σ-semantic fields of a similarity config."""
     return tuple(getattr(config, name) for name in _SEMANTIC_FIELDS)
+
+
+def _collect_affected(
+    affected: set, mirror: AdjacencyGraph, u: int, v: int
+) -> None:
+    """Record the σ rows an edge op on (u, v) can change.
+
+    A row x changes when x's own neighborhood changes (x ∈ {u, v}) or
+    when an entry σ(x, u)/σ(x, v) of it does (x adjacent to u or v).
+    Out-of-range endpoints are skipped — the op itself raises the
+    proper error; this collector must not pre-empt it.
+    """
+    n = mirror.num_vertices
+    for x in (u, v):
+        if 0 <= x < n:
+            affected.add(x)
+            affected.update(mirror.neighbors(x))
 
 
 @dataclass(frozen=True)
@@ -169,7 +188,14 @@ class ResultCache:
 
 @dataclass
 class GraphEntry:
-    """One hosted graph: CSR snapshot + semantics + optional σ index."""
+    """One hosted graph: CSR snapshot + semantics + optional indexes.
+
+    ``index`` (per-edge σ) accelerates scheduled anySCAN jobs;
+    ``cluster_index`` (GS*-style) answers whole (ε, μ) queries directly
+    and is the default query path when present.  The two share the σ
+    array (``cluster_index.edge`` *is* an edge index), so building the
+    clustering index implies the edge index at no extra σ cost.
+    """
 
     name: str
     graph: Graph
@@ -177,7 +203,15 @@ class GraphEntry:
     fingerprint: str
     index: Optional[EdgeSimilarityIndex] = None
     auto_index: bool = False
+    cluster_index: Optional[ClusteringIndex] = field(
+        default=None, repr=False
+    )
+    auto_cluster_index: bool = False
+    mu_cap: int = DEFAULT_MU_CAP
     updates_applied: int = 0
+    #: σ-row refreshes the clustering index absorbed in-place (as
+    #: opposed to full rebuilds) across update-edges batches.
+    index_rows_refreshed: int = 0
     # Mutable mirror backing update-edges; built on the first update.
     dynamic: Optional[DynamicSCAN] = field(default=None, repr=False)
 
@@ -189,7 +223,11 @@ class GraphEntry:
             "fingerprint": self.fingerprint,
             "indexed": self.index is not None,
             "auto_index": self.auto_index,
+            "cluster_indexed": self.cluster_index is not None,
+            "auto_cluster_index": self.auto_cluster_index,
+            "mu_cap": int(self.mu_cap),
             "updates_applied": self.updates_applied,
+            "index_rows_refreshed": self.index_rows_refreshed,
             "similarity": {
                 name: getattr(self.similarity, name)
                 for name in _SEMANTIC_FIELDS
@@ -199,7 +237,12 @@ class GraphEntry:
 
 @dataclass(frozen=True)
 class UpdateStats:
-    """Outcome of one update-edges request."""
+    """Outcome of one update-edges request.
+
+    ``index_rows_refreshed`` counts the σ rows the clustering index
+    recomputed in place (0 when no clustering index was present, or
+    when it had to be dropped instead of patched).
+    """
 
     old_fingerprint: str
     new_fingerprint: str
@@ -207,14 +250,22 @@ class UpdateStats:
     inserted: int
     deleted: int
     sigma_recomputations: int
+    index_rows_refreshed: int = 0
 
 
 class GraphStore:
-    """Named-graph registry shared by every service endpoint."""
+    """Named-graph registry shared by every service endpoint.
 
-    def __init__(self) -> None:
+    ``metrics`` (any object with ``record_event(kind, data)``, e.g.
+    :class:`~repro.service.metrics.ServiceMetrics`) receives the audit
+    trail for degraded-mode decisions such as a dropped clustering
+    index; ``None`` keeps the store usable standalone.
+    """
+
+    def __init__(self, metrics=None) -> None:
         self._lock = threading.Lock()
         self._entries: Dict[str, GraphEntry] = {}
+        self.metrics = metrics
 
     # ------------------------------------------------------------------
     # registry
@@ -226,25 +277,40 @@ class GraphStore:
         *,
         similarity: SimilarityConfig | None = None,
         build_index: bool = False,
+        build_cluster_index: bool = False,
+        mu_cap: int = DEFAULT_MU_CAP,
         replace: bool = False,
     ) -> GraphEntry:
-        """Host ``graph`` under ``name``; optionally build its σ index."""
+        """Host ``graph`` under ``name``; optionally build its indexes.
+
+        ``build_cluster_index`` implies the edge index: the clustering
+        index wraps one, and its σ array serves both paths.
+        """
         if not name:
             raise ConfigError("graph name must be non-empty")
         similarity = similarity or SimilarityConfig()
         similarity.validate()
-        index = (
-            EdgeSimilarityIndex.build(graph, similarity)
-            if build_index
+        cluster_index = (
+            ClusteringIndex.build(graph, similarity, mu_cap=mu_cap)
+            if build_cluster_index
             else None
         )
+        if cluster_index is not None:
+            index: Optional[EdgeSimilarityIndex] = cluster_index.edge
+        elif build_index:
+            index = EdgeSimilarityIndex.build(graph, similarity)
+        else:
+            index = None
         entry = GraphEntry(
             name=name,
             graph=graph,
             similarity=similarity,
             fingerprint=graph_fingerprint(graph),
             index=index,
-            auto_index=build_index,
+            auto_index=build_index or build_cluster_index,
+            cluster_index=cluster_index,
+            auto_cluster_index=build_cluster_index,
+            mu_cap=int(mu_cap),
         )
         with self._lock:
             if name in self._entries and not replace:
@@ -332,6 +398,37 @@ class GraphStore:
                 current.index = index
         return entry
 
+    def ensure_cluster_index(
+        self, name: str, *, mu_cap: int | None = None
+    ) -> GraphEntry:
+        """(Re)build the clustering index for ``name`` if it is missing.
+
+        Also installs the wrapped edge index (same σ array) so the
+        anySCAN fallback path benefits too.  Like :meth:`ensure_index`,
+        the build happens outside the store lock and is only installed
+        when the graph has not changed underneath it.
+        """
+        entry = self.get(name)
+        cap = int(mu_cap) if mu_cap is not None else entry.mu_cap
+        if (
+            entry.cluster_index is not None
+            and entry.cluster_index.mu_cap >= cap
+        ):
+            return entry
+        cluster_index = ClusteringIndex.build(
+            entry.graph, entry.similarity, mu_cap=cap
+        )
+        with self._lock:
+            current = self._entries.get(name)
+            if (
+                current is entry
+                and current.fingerprint == cluster_index.fingerprint
+            ):
+                current.cluster_index = cluster_index
+                current.index = cluster_index.edge
+                current.mu_cap = cap
+        return entry
+
     # ------------------------------------------------------------------
     # dynamic updates (routed through DynamicSCAN)
     # ------------------------------------------------------------------
@@ -370,35 +467,55 @@ class GraphStore:
             before_recomputations = dynamic.sigma_recomputations
             old_fingerprint = entry.fingerprint
             inserted = deleted = 0
+            # σ rows the batch touches: for an edge op on (u, v), the
+            # endpoints plus everything adjacent to either — before
+            # *and* after the op, so deletions cover the lost
+            # adjacency and insertions the gained one.  Collected even
+            # for ops that subsequently fail (a superset only costs a
+            # few extra row recomputations, never correctness).
+            affected: set = set()
+            rows_refreshed = 0
             try:
                 for _ in range(add_vertices):
                     dynamic.add_vertex()
                 for spec in insert:
                     if len(spec) == 2:
-                        dynamic.add_edge(int(spec[0]), int(spec[1]))
+                        u, v, weight = int(spec[0]), int(spec[1]), 1.0
                     elif len(spec) == 3:
-                        dynamic.add_edge(
-                            int(spec[0]), int(spec[1]), float(spec[2])
+                        u, v, weight = (
+                            int(spec[0]),
+                            int(spec[1]),
+                            float(spec[2]),
                         )
                     else:
                         raise ConfigError(
                             "insert entries must be [u, v] or "
                             "[u, v, weight]"
                         )
+                    _collect_affected(affected, dynamic.graph, u, v)
+                    dynamic.add_edge(u, v, weight)
+                    _collect_affected(affected, dynamic.graph, u, v)
                     inserted += 1
                 for spec in delete:
                     if len(spec) != 2:
                         raise ConfigError("delete entries must be [u, v]")
-                    dynamic.remove_edge(int(spec[0]), int(spec[1]))
+                    u, v = int(spec[0]), int(spec[1])
+                    _collect_affected(affected, dynamic.graph, u, v)
+                    dynamic.remove_edge(u, v)
+                    _collect_affected(affected, dynamic.graph, u, v)
                     deleted += 1
             finally:
                 # A mid-batch failure leaves the mirror partially
-                # mutated; the CSR snapshot must follow it either way.
+                # mutated; the CSR snapshot (and any index) must follow
+                # it either way — a stale index answering for the old
+                # graph would be silent corruption.
                 if inserted or deleted or add_vertices:
                     entry.graph = dynamic.graph.to_csr()
                     entry.fingerprint = graph_fingerprint(entry.graph)
-                    entry.index = None
                     entry.updates_applied += 1
+                    rows_refreshed = self._refresh_indexes_locked(
+                        entry, affected
+                    )
             return UpdateStats(
                 old_fingerprint=old_fingerprint,
                 new_fingerprint=entry.fingerprint,
@@ -408,7 +525,50 @@ class GraphStore:
                 sigma_recomputations=(
                     dynamic.sigma_recomputations - before_recomputations
                 ),
+                index_rows_refreshed=rows_refreshed,
             )
+
+    def _refresh_indexes_locked(
+        self, entry: GraphEntry, affected: set
+    ) -> int:
+        """Carry the entry's indexes across a graph mutation.
+
+        With a clustering index present, only the ``affected`` σ rows
+        are recomputed (:meth:`ClusteringIndex.refresh` — bitwise equal
+        to a fresh build); the wrapped edge index is re-derived from the
+        same σ array for free.  Without one, the edge index is dropped
+        (``auto_index`` entries rebuild lazily on the next query).  Any
+        patch failure degrades to the drop path: the one unacceptable
+        outcome is an index still answering for the pre-update graph.
+        """
+        cluster_index = entry.cluster_index
+        entry.index = None
+        entry.cluster_index = None
+        if cluster_index is None:
+            return 0
+        n = entry.graph.num_vertices
+        valid = {v for v in affected if 0 <= v < n}
+        try:
+            fault_point("store.index_refresh")
+            patched, stats = cluster_index.refresh(entry.graph, valid)
+        except Exception as exc:
+            # Degraded mode: drop the index (auto entries rebuild
+            # lazily) — stale reads are impossible either way.  The
+            # swallow is witnessed on the metrics audit trail.
+            if self.metrics is not None:
+                self.metrics.record_event(
+                    "index_refresh_failed",
+                    {
+                        "graph": entry.name,
+                        "error": f"{type(exc).__name__}: {exc}",
+                        "rows_affected": len(valid),
+                    },
+                )
+            return 0
+        entry.cluster_index = patched
+        entry.index = patched.edge
+        entry.index_rows_refreshed += int(stats["rows_recomputed"])
+        return int(stats["rows_recomputed"])
 
     def infos(self) -> List[Dict[str, object]]:
         with self._lock:

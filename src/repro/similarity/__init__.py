@@ -1,4 +1,4 @@
-"""Weighted structural similarity, batched kernels, and the edge index."""
+"""Weighted structural similarity, batched kernels, and the indexes."""
 
 from repro.similarity.counters import SimilarityCounters
 from repro.similarity.weighted import SimilarityConfig, SimilarityOracle
@@ -7,6 +7,7 @@ from repro.similarity.index import (
     IndexedOracle,
     graph_fingerprint,
 )
+from repro.similarity.gsindex import DEFAULT_MU_CAP, ClusteringIndex
 
 __all__ = [
     "SimilarityConfig",
@@ -14,5 +15,7 @@ __all__ = [
     "SimilarityCounters",
     "EdgeSimilarityIndex",
     "IndexedOracle",
+    "ClusteringIndex",
+    "DEFAULT_MU_CAP",
     "graph_fingerprint",
 ]

@@ -1,0 +1,612 @@
+"""Parameter-free clustering index (GS*-style): any (ε, μ) in output time.
+
+:class:`~repro.similarity.index.EdgeSimilarityIndex` already removes σ
+work from repeat queries, but every query still walks all CSR rows to
+re-derive cores and re-runs a BFS over the whole graph.  This module
+layers the remaining structure of *Parallel Index-Based Structural
+Graph Clustering and Its Approximation* (Tseng, Dhulipala & Shun) on
+top of it, so clusters for **arbitrary** (ε, μ) come out of pure array
+passes with **zero** σ evaluations:
+
+* **σ-sorted neighbor lists** — each vertex's CSR row reordered by
+  descending σ (ties broken by ascending neighbor id, so builds are
+  deterministic and tie ordering is observably irrelevant).  The
+  ε-neighborhood of any vertex is a *prefix* of its sorted row, found
+  by one binary search.
+* **core order** — for every μ up to ``mu_cap``, each vertex's *core
+  threshold* ``ε̂_μ(v)``: the maximal ε at which v is still a μ-core
+  (the (μ − self)-th largest σ in its row).  Vertices are kept sorted
+  by that threshold, so the core set of any (ε, μ) with μ ≤ ``mu_cap``
+  is a prefix of the order, found by one binary search; larger μ fall
+  back to a vectorized gather over the sorted rows (still zero σ).
+* **cluster extraction** — a union-find sweep over the qualifying
+  (σ ≥ ε) core-core edges, followed by the reference border attachment
+  rule, reproducing :func:`repro.baselines.scan.scan` labels *exactly*
+  (same seed ⇒ byte-identical labels and roles, hubs/outliers included;
+  see :meth:`ClusteringIndex.query` for why the replay is exact).
+
+Construction reuses the batched σ kernels through
+``parallel_sigma_rows`` (thread/process/auto backends produce the
+bitwise-identical index), persistence reuses the ``.npz`` + checksum +
+quarantine machinery of :mod:`repro.similarity.index` — a
+``ClusteringIndex`` archive is a strict superset of the edge-index
+format (one extra ``mu_cap`` field outside the checksum), so it is also
+loadable as a plain :class:`EdgeSimilarityIndex`.  Dynamic updates
+patch the index through :meth:`ClusteringIndex.refresh`: only the rows
+whose σ actually changed are recomputed; all others are copied, and the
+result is bitwise-identical to a fresh build on the updated graph.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError, IndexIntegrityError
+from repro.faults import fault_point
+from repro.graph.csr import Graph
+from repro.result import Clustering
+from repro.similarity.counters import SimilarityCounters
+from repro.similarity.index import (
+    EdgeSimilarityIndex,
+    _archive_path,
+    _payload_checksum,
+)
+from repro.similarity.weighted import SimilarityConfig, SimilarityOracle
+from repro.structures.disjoint_set import DisjointSet
+from repro.validation import check_eps_mu
+
+__all__ = ["ClusteringIndex", "DEFAULT_MU_CAP"]
+
+#: Default upper bound on μ served by the O(log n)-core-determination
+#: path; queries above it stay exact through an O(n) gather (no σ work).
+DEFAULT_MU_CAP = 16
+
+#: Core-threshold sentinel: "core at every valid ε" (ε ≤ 1 < 2).
+_ALWAYS_CORE = 2.0
+#: Core-threshold sentinel: "core at no ε" (ε > 0 > −1).
+_NEVER_CORE = -1.0
+
+
+class ClusteringIndex:
+    """GS*-style structure answering any (ε, μ) query without σ work.
+
+    Parameters
+    ----------
+    edge:
+        The materialized per-edge σ values the structure is derived
+        from; the graph, similarity semantics, and fingerprint are
+        taken from it.
+    mu_cap:
+        Largest μ with a precomputed core order.  Queries with
+        ``μ > mu_cap`` remain exact (and still σ-free); only their core
+        determination degrades from a binary search to one vectorized
+        pass over the vertex set.
+    """
+
+    def __init__(self, edge: EdgeSimilarityIndex, *, mu_cap: int = DEFAULT_MU_CAP) -> None:
+        if mu_cap < 1:
+            raise ConfigError("mu_cap must be >= 1")
+        self.edge = edge
+        self.mu_cap = int(mu_cap)
+        self.counters = SimilarityCounters()
+        self.last_query: Dict[str, object] = {}
+        self._derive()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph: Graph,
+        config: SimilarityConfig | None = None,
+        *,
+        mu_cap: int = DEFAULT_MU_CAP,
+        backend=None,
+        workers: int | None = None,
+    ) -> "ClusteringIndex":
+        """Materialize σ (via the batched kernels, optionally fanned out
+        over the thread/process backends) and derive the query structure.
+
+        Every backend produces the bitwise-identical index: the σ array
+        is slot-deterministic (see ``parallel_sigma_rows``) and the
+        derived orders are deterministic functions of it.
+        """
+        edge = EdgeSimilarityIndex.build(
+            graph, config, backend=backend, workers=workers
+        )
+        return cls(edge, mu_cap=mu_cap)
+
+    def _derive(self) -> None:
+        """Sorted rows + per-μ core orders from the σ array (no σ work)."""
+        graph = self.edge.graph
+        sigmas = self.edge.sigmas
+        n = graph.num_vertices
+        degrees = graph.degrees.astype(np.int64, copy=False)
+        owners = np.repeat(np.arange(n, dtype=np.int64), degrees)
+        self._owners = owners
+        if sigmas.shape[0]:
+            # Primary: owner (keeps rows contiguous); secondary: σ
+            # descending; tertiary: neighbor id ascending (tie order is
+            # thereby pinned — and provably irrelevant to queries).
+            order = np.lexsort((graph.indices, -sigmas, owners))
+        else:
+            order = np.zeros(0, dtype=np.int64)
+        self._order = order
+        self._sorted_sigmas = sigmas[order]
+        self._sorted_neighbors = graph.indices[order].astype(
+            np.int64, copy=False
+        )
+        self_count = 1 if self.edge.config.count_self else 0
+        self._self_count = self_count
+        starts = graph.indptr[:-1].astype(np.int64, copy=False)
+        core_eps = np.empty((self.mu_cap, n), dtype=np.float64)
+        for level in range(self.mu_cap):
+            mu = level + 1
+            k = mu - self_count
+            if k <= 0:
+                core_eps[level, :] = _ALWAYS_CORE
+                continue
+            has = degrees >= k
+            row = np.full(n, _NEVER_CORE, dtype=np.float64)
+            if self._sorted_sigmas.shape[0]:
+                idx = np.where(has, starts + (k - 1), 0)
+                row[has] = self._sorted_sigmas[idx][has]
+            core_eps[level, :] = row
+        self._core_eps = core_eps
+        # Per-μ vertex order by threshold descending, vertex id ascending.
+        vertex_ids = np.arange(n, dtype=np.int64)
+        core_order = np.empty((self.mu_cap, n), dtype=np.int64)
+        for level in range(self.mu_cap):
+            core_order[level, :] = np.lexsort(
+                (vertex_ids, -core_eps[level, :])
+            )
+        self._core_order = core_order
+        self._core_thresholds_sorted = np.take_along_axis(
+            core_eps, core_order, axis=1
+        )
+
+    # ------------------------------------------------------------------
+    # core determination (binary search; no σ evaluations)
+    # ------------------------------------------------------------------
+    def core_epsilon(self, v: int, mu: int) -> float:
+        """Maximal ε at which ``v`` is a μ-core.
+
+        Sentinels: ``2.0`` means "core at every valid ε" (possible for
+        μ ≤ the self count), ``-1.0`` means "core at no ε" (degree too
+        small).  For μ ≤ ``mu_cap`` this is one array read; above the
+        cap it is one gather from the σ-sorted row.
+        """
+        check_eps_mu(mu=mu)
+        v = int(v)
+        if mu <= self.mu_cap:
+            return float(self._core_eps[mu - 1, v])
+        k = mu - self._self_count
+        graph = self.edge.graph
+        if k <= 0:
+            return _ALWAYS_CORE
+        if k > graph.degree(v):
+            return _NEVER_CORE
+        return float(self._sorted_sigmas[int(graph.indptr[v]) + k - 1])
+
+    def core_mask(self, epsilon: float, mu: int) -> np.ndarray:
+        """Boolean μ-core indicator at ε — zero σ evaluations.
+
+        μ ≤ ``mu_cap``: one binary search over the precomputed core
+        order plus a prefix write (output-proportional).  Larger μ: one
+        vectorized gather over the σ-sorted rows (O(n), still σ-free).
+        """
+        check_eps_mu(mu=mu, epsilon=epsilon)
+        graph = self.edge.graph
+        n = graph.num_vertices
+        if mu <= self.mu_cap:
+            level = mu - 1
+            thresholds = self._core_thresholds_sorted[level]
+            count = int(
+                np.searchsorted(-thresholds, -float(epsilon), side="right")
+            )
+            mask = np.zeros(n, dtype=bool)
+            mask[self._core_order[level, :count]] = True
+            return mask
+        k = mu - self._self_count
+        if k <= 0:
+            return np.ones(n, dtype=bool)
+        degrees = graph.degrees
+        has = degrees >= k
+        if not self._sorted_sigmas.shape[0]:
+            return np.zeros(n, dtype=bool)
+        starts = graph.indptr[:-1].astype(np.int64, copy=False)
+        idx = np.where(has, starts + (k - 1), 0)
+        return has & (self._sorted_sigmas[idx] >= epsilon)
+
+    def cores(self, epsilon: float, mu: int) -> np.ndarray:
+        """Ascending ids of the (ε, μ)-cores."""
+        return np.flatnonzero(self.core_mask(epsilon, mu))
+
+    # ------------------------------------------------------------------
+    # neighborhood reads (prefix of the σ-sorted row)
+    # ------------------------------------------------------------------
+    def _prefix_length(self, lo: int, hi: int, epsilon: float) -> int:
+        """Qualifying prefix length of the sorted row slice [lo, hi)."""
+        return int(
+            np.searchsorted(
+                -self._sorted_sigmas[lo:hi], -float(epsilon), side="right"
+            )
+        )
+
+    def eps_neighborhood(self, v: int, epsilon: float) -> np.ndarray:
+        """``N_v^ε`` in ascending id order — one binary search + sort of
+        the qualifying prefix, no σ work."""
+        check_eps_mu(epsilon=epsilon)
+        graph = self.edge.graph
+        lo, hi = int(graph.indptr[v]), int(graph.indptr[v + 1])
+        plen = self._prefix_length(lo, hi, epsilon)
+        return np.sort(self._sorted_neighbors[lo : lo + plen])
+
+    # ------------------------------------------------------------------
+    # the query: cores → union-find sweep → border/hub/outlier epilogue
+    # ------------------------------------------------------------------
+    def query(
+        self, epsilon: float, mu: int, *, seed: int = 0
+    ) -> Clustering:
+        """Exact SCAN clustering at (ε, μ) with **zero** σ evaluations.
+
+        The replay is exact, not merely isomorphic: it reproduces the
+        reference :func:`repro.baselines.scan.scan` byte for byte at the
+        same ``seed``, because the sequential algorithm's outcome is a
+        pure function of structures this index holds —
+
+        * the core set is determined by per-vertex thresholds (binary
+          search over the core order);
+        * cores connected through qualifying (σ ≥ ε) core-core edges
+          always share a cluster regardless of visit order (σ is
+          symmetric), so the member partition of cores equals the
+          union-find components of the qualifying core subgraph;
+        * the reference assigns cluster ids in the order clusters are
+          *discovered* along its seeded vertex permutation — component
+          ids here are ranked by the minimal permutation position of
+          each component's cores;
+        * a shared border keeps its *first* cluster, and because the
+          reference expands each cluster to completion before starting
+          the next, "first" is exactly the smallest cluster id among
+          the adjacent qualifying cores.
+
+        Hubs and outliers then come from the shared post-processing
+        (:func:`repro.baselines._postprocess.finalize_clustering`), as
+        in every other algorithm of the repository.
+        """
+        from repro.baselines._postprocess import finalize_clustering
+
+        check_eps_mu(mu=mu, epsilon=epsilon)
+        graph = self.edge.graph
+        n = graph.num_vertices
+        mask = self.core_mask(epsilon, mu)
+        # Qualifying directed slots owned by cores: σ ≥ ε and owner core.
+        qualifying = (self._sorted_sigmas >= epsilon) & mask[self._owners]
+        slots = np.flatnonzero(qualifying)
+        us = self._owners[slots]
+        vs = self._sorted_neighbors[slots]
+        into_core = mask[vs]
+        core_us, core_vs = us[into_core], vs[into_core]
+        dsu = DisjointSet(n)
+        for a, b in zip(core_us.tolist(), core_vs.tolist()):
+            dsu.union(a, b)
+        # Cluster ids in reference discovery order: rank vertices by the
+        # seeded permutation, rank components by their best core.
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(n)
+        rank = np.empty(n, dtype=np.int64)
+        rank[perm] = np.arange(n, dtype=np.int64)
+        cores = np.flatnonzero(mask)
+        roots = np.asarray(
+            [dsu.find(v) for v in cores.tolist()], dtype=np.int64
+        )
+        labels = np.full(n, -4, dtype=np.int64)  # -4: non-member
+        num_components = 0
+        if cores.shape[0]:
+            comp_rank: Dict[int, int] = {}
+            for root, pos in zip(roots.tolist(), rank[cores].tolist()):
+                best = comp_rank.get(root)
+                if best is None or pos < best:
+                    comp_rank[root] = pos
+            ordered = sorted(comp_rank, key=comp_rank.__getitem__)
+            cid_of = {root: cid for cid, root in enumerate(ordered)}
+            num_components = len(ordered)
+            labels[cores] = np.asarray(
+                [cid_of[root] for root in roots.tolist()], dtype=np.int64
+            )
+            # Borders: non-core q with a qualifying core neighbor joins
+            # the smallest adjacent cluster id (the first to reach it).
+            border_us, border_vs = us[~into_core], vs[~into_core]
+            if border_us.shape[0]:
+                cand = np.asarray(
+                    [
+                        cid_of[dsu.find(u)]
+                        for u in border_us.tolist()
+                    ],
+                    dtype=np.int64,
+                )
+                best_cid = np.full(n, n, dtype=np.int64)
+                np.minimum.at(best_cid, border_vs, cand)
+                attach = best_cid < n
+                labels[attach] = best_cid[attach]
+        self.counters.record_neighborhood_query(0.0, evaluations=0)
+        self.last_query = {
+            "epsilon": float(epsilon),
+            "mu": int(mu),
+            "seed": int(seed),
+            "cores": int(cores.shape[0]),
+            "clusters": num_components,
+            "qualifying_slots": int(slots.shape[0]),
+            "sigma_evaluations": 0,
+            "index_lookups": int(slots.shape[0]),
+        }
+        return finalize_clustering(graph, labels, mask)
+
+    # ------------------------------------------------------------------
+    # compatibility / introspection
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        return self.edge.graph
+
+    @property
+    def config(self) -> SimilarityConfig:
+        return self.edge.config
+
+    @property
+    def fingerprint(self) -> str:
+        return self.edge.fingerprint
+
+    def require_compatible(
+        self,
+        graph: Graph | None = None,
+        config: SimilarityConfig | None = None,
+    ) -> None:
+        """Raise :class:`ConfigError` unless the index answers for these."""
+        self.edge.require_compatible(graph=graph, config=config)
+
+    def info(self) -> Dict[str, object]:
+        """JSON-ready summary (service ``graph_info`` embeds this)."""
+        graph = self.edge.graph
+        return {
+            "mu_cap": self.mu_cap,
+            "slots": int(graph.indices.shape[0]),
+            "num_vertices": int(graph.num_vertices),
+            "fingerprint": self.edge.fingerprint,
+            "bytes": int(
+                self._sorted_sigmas.nbytes
+                + self._sorted_neighbors.nbytes
+                + self._order.nbytes
+                + self._core_eps.nbytes
+                + self._core_order.nbytes
+                + self._core_thresholds_sorted.nbytes
+                + self.edge.sigmas.nbytes
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # incremental maintenance (update-edges)
+    # ------------------------------------------------------------------
+    def refresh(
+        self,
+        new_graph: Graph,
+        affected: Iterable[int],
+    ) -> Tuple["ClusteringIndex", Dict[str, int]]:
+        """Patch the index for ``new_graph``, recomputing σ only for
+        ``affected`` rows.
+
+        ``affected`` must cover every vertex whose σ row changed — for
+        an edge update (u, v) that is ``{u, v} ∪ N(u) ∪ N(v)`` (union
+        of pre- and post-update neighborhoods; the service's
+        ``DynamicSCAN`` mirror supplies exactly this set).  Rows outside
+        it are *copied*: their adjacency is required to be unchanged
+        (verified, :class:`ConfigError` otherwise), and σ of a pair
+        depends only on the two endpoint neighborhoods, so the copied
+        values are bitwise what a fresh build would produce.  The result
+        is therefore bitwise-identical to
+        ``ClusteringIndex.build(new_graph, config, mu_cap=...)`` while
+        charging σ-kernel work only for the affected rows.
+
+        Returns ``(patched_index, stats)`` with ``rows_recomputed``,
+        ``slots_recomputed`` and ``slots_copied`` in ``stats``.
+        """
+        old_graph = self.edge.graph
+        old_n = old_graph.num_vertices
+        n = new_graph.num_vertices
+        affected_ids = np.unique(
+            np.asarray(list(affected), dtype=np.int64)
+        )
+        if affected_ids.shape[0] and (
+            affected_ids[0] < 0 or affected_ids[-1] >= n
+        ):
+            raise ConfigError(
+                "affected vertex ids out of range for the updated graph"
+            )
+        affected_mask = np.zeros(n, dtype=bool)
+        affected_mask[affected_ids] = True
+        # Vertices that did not exist before cannot be copied.
+        affected_mask[old_n:] = True
+        copy_owner = ~affected_mask
+        new_degrees = new_graph.degrees.astype(np.int64, copy=False)
+        old_degrees = np.zeros(n, dtype=np.int64)
+        old_degrees[:old_n] = old_graph.degrees
+        if not np.array_equal(
+            new_degrees[copy_owner], old_degrees[copy_owner]
+        ):
+            raise ConfigError(
+                "refresh affected set does not cover every changed row "
+                "(a copied row's degree differs); pass the full "
+                "{u, v} ∪ N(u) ∪ N(v) set or rebuild the index"
+            )
+        m_new = int(new_graph.indices.shape[0])
+        new_sigmas = np.empty(m_new, dtype=np.float64)
+        owners = np.repeat(np.arange(n, dtype=np.int64), new_degrees)
+        slot_offsets = (
+            np.arange(m_new, dtype=np.int64)
+            - new_graph.indptr[:-1].astype(np.int64)[owners]
+        )
+        old_starts = np.zeros(n, dtype=np.int64)
+        old_starts[:old_n] = old_graph.indptr[:-1]
+        copy_slots = copy_owner[owners]
+        slots_copied = int(copy_slots.sum())
+        if slots_copied:
+            src = old_starts[owners[copy_slots]] + slot_offsets[copy_slots]
+            if not np.array_equal(
+                new_graph.indices[copy_slots], old_graph.indices[src]
+            ):
+                raise ConfigError(
+                    "refresh affected set does not cover every changed "
+                    "row (a copied row's adjacency differs)"
+                )
+            new_sigmas[copy_slots] = self.edge.sigmas[src]
+        slots_recomputed = 0
+        if affected_ids.shape[0] or old_n < n:
+            oracle = SimilarityOracle(new_graph, self.edge.config)
+            oracle.edge_keys  # shared probe structure for all blocks
+            runs = _consecutive_runs(np.flatnonzero(affected_mask))
+            for lo, hi in runs:
+                a = int(new_graph.indptr[lo])
+                b = int(new_graph.indptr[hi])
+                if b > a:
+                    new_sigmas[a:b] = oracle.sigma_row_block(lo, hi)
+                    slots_recomputed += b - a
+        edge = EdgeSimilarityIndex(new_graph, self.edge.config, new_sigmas)
+        patched = type(self)(edge, mu_cap=self.mu_cap)
+        stats = {
+            "rows_recomputed": int(affected_mask.sum()),
+            "slots_recomputed": int(slots_recomputed),
+            "slots_copied": slots_copied,
+        }
+        return patched, stats
+
+    # ------------------------------------------------------------------
+    # persistence (.npz superset of the edge-index format)
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Persist atomically; the archive doubles as an edge index.
+
+        Same fields, checksum, and atomic write-to-temp + ``os.replace``
+        discipline as :meth:`EdgeSimilarityIndex.save`, plus ``mu_cap``.
+        The checksum covers the σ payload exactly as the edge-index
+        format does, so the file is loadable by either class; the
+        derived orders are deterministic functions of σ and are rebuilt
+        on load rather than trusted from disk.
+        """
+        fault_point("index.save")
+        edge = self.edge
+        cfg = edge.config
+        final = _archive_path(path)
+        tmp = f"{final}.tmp-{os.getpid()}.npz"
+        try:
+            np.savez_compressed(
+                tmp,
+                sigmas=edge.sigmas,
+                fingerprint=np.str_(edge.fingerprint),
+                checksum=np.str_(
+                    _payload_checksum(edge.fingerprint, edge.sigmas, cfg)
+                ),
+                kind=np.str_(cfg.kind),
+                closed=np.bool_(cfg.closed),
+                self_weight=np.float64(cfg.self_weight),
+                count_self=np.bool_(cfg.count_self),
+                pruning=np.bool_(cfg.pruning),
+                mu_cap=np.int64(self.mu_cap),
+            )
+            os.replace(tmp, final)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+
+    @classmethod
+    def load(
+        cls,
+        path,
+        graph: Graph,
+        *,
+        config: SimilarityConfig | None = None,
+        mu_cap: int | None = None,
+    ) -> "ClusteringIndex":
+        """Load an archive saved by :meth:`save` (or by the edge index).
+
+        Verification (checksum, fingerprint, semantics) is delegated to
+        :meth:`EdgeSimilarityIndex.load` — damage raises
+        :class:`~repro.errors.IndexIntegrityError`, a graph/semantics
+        mismatch raises :class:`~repro.errors.ConfigError`.  ``mu_cap``
+        overrides the stored cap (an edge-index archive has none; the
+        default cap applies then).
+        """
+        edge = EdgeSimilarityIndex.load(path, graph, config=config)
+        stored_cap: Optional[int] = None
+        try:
+            with np.load(_archive_path(path), allow_pickle=False) as data:
+                if "mu_cap" in data.files:
+                    stored_cap = int(data["mu_cap"])
+        except Exception as exc:
+            raise IndexIntegrityError(
+                f"clustering index at {os.fspath(path)!s} lost its "
+                f"archive mid-load ({type(exc).__name__}: {exc})"
+            ) from exc
+        if stored_cap is not None and stored_cap < 1:
+            raise IndexIntegrityError(
+                f"clustering index at {os.fspath(path)!s} stores an "
+                f"invalid mu_cap ({stored_cap}); the archive is damaged"
+            )
+        cap = mu_cap if mu_cap is not None else (stored_cap or DEFAULT_MU_CAP)
+        return cls(edge, mu_cap=cap)
+
+    @classmethod
+    def load_or_rebuild(
+        cls,
+        path,
+        graph: Graph,
+        *,
+        config: SimilarityConfig | None = None,
+        mu_cap: int | None = None,
+        backend=None,
+        workers: int | None = None,
+    ) -> Tuple["ClusteringIndex", bool]:
+        """Load ``path``; on damage, quarantine it and rebuild from σ.
+
+        Mirrors :meth:`EdgeSimilarityIndex.load_or_rebuild`: a damaged
+        (or missing) archive is preserved as ``{path}.quarantined`` and
+        a fresh index is built and saved in its place (``recovered`` is
+        True then); a fingerprint/semantics mismatch is a caller error
+        and still raises :class:`~repro.errors.ConfigError`.
+        """
+        final = _archive_path(path)
+        try:
+            return (
+                cls.load(final, graph, config=config, mu_cap=mu_cap),
+                False,
+            )
+        except IndexIntegrityError:
+            try:
+                os.replace(final, final + ".quarantined")
+            except FileNotFoundError:
+                pass  # missing archive: nothing to quarantine
+            index = cls.build(
+                graph,
+                config,
+                mu_cap=mu_cap if mu_cap is not None else DEFAULT_MU_CAP,
+                backend=backend,
+                workers=workers,
+            )
+            index.save(final)
+            return index, True
+
+
+def _consecutive_runs(ids: np.ndarray) -> List[Tuple[int, int]]:
+    """Group sorted vertex ids into maximal [lo, hi) consecutive runs."""
+    if ids.shape[0] == 0:
+        return []
+    breaks = np.flatnonzero(np.diff(ids) > 1)
+    starts = np.concatenate(([0], breaks + 1))
+    ends = np.concatenate((breaks, [ids.shape[0] - 1]))
+    return [
+        (int(ids[s]), int(ids[e]) + 1)
+        for s, e in zip(starts.tolist(), ends.tolist())
+    ]

@@ -38,6 +38,8 @@ from repro.graph.generators.random_graphs import gnm_random_graph
 from repro.parallel.processes import ProcessBackend, shared_memory_available
 from repro.parallel.sync import atomic_add, critical, set_lock_order_watch
 from repro.service.jobs import JobScheduler
+from repro.service.store import GraphStore
+from repro.similarity.gsindex import ClusteringIndex
 from repro.similarity.index import EdgeSimilarityIndex, IndexIntegrityError
 from repro.similarity.weighted import SimilarityConfig
 
@@ -225,6 +227,72 @@ def test_faulted_index_save_never_tears_the_archive(tmp_path):
     reloaded = EdgeSimilarityIndex.load(path, graph, config=config)
     np.testing.assert_array_equal(index.sigmas, reloaded.sigmas)
     assert [p.name for p in tmp_path.iterdir()] == ["atomic.npz"]
+
+
+@pytest.mark.parametrize("seed", _seeds())
+def test_clustering_index_persistence_under_corruption(seed, tmp_path):
+    """Battery B': the clustering-index archive survives the same rot
+    modes — quarantine, rebuild, and *identical query answers* after."""
+    graph = gnm_random_graph(80, 240, seed=41)
+    fresh = ClusteringIndex.build(graph, mu_cap=5)
+    path = tmp_path / "battery.gsindex.npz"
+    fresh.save(path)
+    mode = CORRUPTION_MODES[seed % len(CORRUPTION_MODES)]
+    corrupt_file(path, mode=mode, seed=seed)
+    with pytest.raises(IndexIntegrityError):
+        ClusteringIndex.load(path, graph)
+    recovered_index, recovered = ClusteringIndex.load_or_rebuild(
+        path, graph, mu_cap=5
+    )
+    assert recovered
+    quarantined = [
+        p.name for p in tmp_path.iterdir() if "quarantined" in p.name
+    ]
+    assert quarantined, "damaged archive must be preserved for post-mortems"
+    np.testing.assert_array_equal(
+        fresh.edge.sigmas, recovered_index.edge.sigmas
+    )
+    for epsilon, mu in ((0.3, 2), (0.55, 4), (0.5, 9)):
+        np.testing.assert_array_equal(
+            fresh.query(epsilon, mu, seed=seed).labels,
+            recovered_index.query(epsilon, mu, seed=seed).labels,
+        )
+        assert recovered_index.last_query["sigma_evaluations"] == 0
+
+
+@pytest.mark.parametrize("seed", _seeds())
+def test_store_index_refresh_faults_never_leave_stale_reads(seed):
+    """Battery F: faults inside the store's index-refresh path must
+    degrade (drop the index) — a query after a faulted update-edges
+    must match the sequential reference on the *updated* graph."""
+    graph = gnm_random_graph(70, 220, seed=71)
+    plan = FaultPlan.random(seed, sites=["store.index_refresh"])
+    _dump_plan(plan, "index_refresh")
+    store = GraphStore()
+    store.add("chaos", graph, build_cluster_index=True, mu_cap=4)
+    with armed(plan):
+        for step in range(4):
+            u = (3 * step) % graph.num_vertices
+            v = (11 * step + 17) % graph.num_vertices
+            if u == v:
+                continue
+            try:
+                store.update_edges("chaos", insert=[[u, v, 1.0]])
+            except _STRUCTURED:
+                pass
+            entry = store.get("chaos")
+            reference = scan(entry.graph, 2, 0.5, seed=0)
+            if entry.cluster_index is not None:
+                got = entry.cluster_index.query(0.5, 2, seed=0)
+                np.testing.assert_array_equal(
+                    got.labels, reference.labels, err_msg=plan.to_json()
+                )
+            else:
+                # Degraded mode: the index was dropped, never stale.
+                got = parallel_scan(entry.graph, 2, 0.5, seed=0)
+                np.testing.assert_array_equal(
+                    got.labels, reference.labels
+                )
 
 
 @pytest.mark.parametrize("seed", _seeds())

@@ -1,0 +1,300 @@
+"""Unit tests for the GS*-style clustering index (DESIGN.md §10).
+
+Covers the derived structures in isolation — core thresholds, core
+order, σ-sorted neighborhood prefixes — plus persistence, incremental
+refresh, and the zero-σ counter contract.  The differential battery
+against the sequential reference lives in ``test_index_differential``;
+metamorphic properties in ``test_index_properties``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import scan
+from repro.errors import ConfigError, IndexIntegrityError
+from repro.graph.csr import Graph
+from repro.graph.generators.random_graphs import gnm_random_graph
+from repro.similarity.gsindex import (
+    DEFAULT_MU_CAP,
+    ClusteringIndex,
+    _consecutive_runs,
+)
+from repro.similarity.index import EdgeSimilarityIndex
+from repro.similarity.weighted import SimilarityConfig, SimilarityOracle
+
+
+@pytest.fixture(scope="module")
+def medium():
+    return gnm_random_graph(120, 420, seed=5)
+
+
+@pytest.fixture(scope="module")
+def index(medium):
+    return ClusteringIndex.build(medium, mu_cap=6)
+
+
+# ----------------------------------------------------------------------
+# construction and validation
+# ----------------------------------------------------------------------
+def test_mu_cap_must_be_positive(medium):
+    edge = EdgeSimilarityIndex.build(medium)
+    with pytest.raises(ConfigError):
+        ClusteringIndex(edge, mu_cap=0)
+
+
+def test_build_default_cap(medium):
+    assert ClusteringIndex.build(medium).mu_cap == DEFAULT_MU_CAP
+
+
+def test_sorted_rows_are_permuted_csr_rows(medium, index):
+    """Each σ-sorted row holds exactly the CSR row, σ non-increasing,
+    ties broken by ascending neighbor id."""
+    for v in range(medium.num_vertices):
+        lo, hi = int(medium.indptr[v]), int(medium.indptr[v + 1])
+        neighbors = index._sorted_neighbors[lo:hi]
+        sigmas = index._sorted_sigmas[lo:hi]
+        assert sorted(neighbors) == sorted(medium.indices[lo:hi])
+        assert np.all(np.diff(sigmas) <= 0)
+        for i in range(len(sigmas) - 1):
+            if sigmas[i] == sigmas[i + 1]:
+                assert neighbors[i] < neighbors[i + 1]
+
+
+def test_core_epsilon_is_kth_largest_sigma(medium, index):
+    """ε̂_μ(v) equals the (μ − self)-th largest σ of v's row (brute
+    force recomputation), with the documented sentinels elsewhere."""
+    oracle = SimilarityOracle(medium, index.config)
+    for v in range(medium.num_vertices):
+        row = np.asarray(
+            sorted(
+                (oracle.sigma(v, int(q)) for q in medium.neighbors(v)),
+                reverse=True,
+            )
+        )
+        for mu in (1, 2, 3, 6, 9, 40):
+            k = mu - 1  # count_self=True by default
+            expected = (
+                2.0 if k <= 0 else (-1.0 if k > row.shape[0] else row[k - 1])
+            )
+            assert index.core_epsilon(v, mu) == pytest.approx(expected)
+
+
+def test_core_mask_matches_thresholds(medium, index):
+    for epsilon in (0.2, 0.5, 0.8):
+        for mu in (2, 4, 6):
+            mask = index.core_mask(epsilon, mu)
+            for v in range(medium.num_vertices):
+                assert mask[v] == (index.core_epsilon(v, mu) >= epsilon)
+
+
+def test_core_mask_above_cap_matches_below_cap(medium):
+    """μ > mu_cap degrades to the gather path; answers must not change."""
+    small = ClusteringIndex.build(medium, mu_cap=2)
+    wide = ClusteringIndex.build(medium, mu_cap=12)
+    for epsilon in (0.3, 0.6):
+        for mu in (3, 7, 12):
+            np.testing.assert_array_equal(
+                small.core_mask(epsilon, mu),  # gather path
+                wide.core_mask(epsilon, mu),  # binary-search path
+            )
+
+
+def test_core_mask_exact_threshold_is_inclusive(medium, index):
+    """ε exactly equal to a vertex's threshold keeps it a core (σ ≥ ε)."""
+    v = int(np.argmax(medium.degrees))
+    threshold = index.core_epsilon(v, 3)
+    assert 0 < threshold <= 1
+    assert index.core_mask(threshold, 3)[v]
+
+
+def test_eps_neighborhood_matches_oracle(medium, index):
+    oracle = SimilarityOracle(medium, index.config)
+    for v in (0, 7, 42, 119):
+        for epsilon in (0.25, 0.5, 0.75):
+            expected = np.asarray(
+                sorted(
+                    q
+                    for q in medium.neighbors(v)
+                    if oracle.sigma(v, int(q)) >= epsilon
+                ),
+                dtype=np.int64,
+            )
+            got = index.eps_neighborhood(v, epsilon)
+            np.testing.assert_array_equal(got, expected)
+
+
+def test_cores_ascending(medium, index):
+    cores = index.cores(0.5, 3)
+    assert np.all(np.diff(cores) > 0)
+    assert np.array_equal(cores, np.flatnonzero(index.core_mask(0.5, 3)))
+
+
+# ----------------------------------------------------------------------
+# zero-σ contract
+# ----------------------------------------------------------------------
+def test_queries_never_evaluate_sigma(medium):
+    """The whole point: after build, σ counters stay frozen at zero."""
+    idx = ClusteringIndex.build(medium, mu_cap=4)
+    assert idx.counters.sigma_evaluations == 0
+    for epsilon, mu in ((0.3, 2), (0.5, 4), (0.7, 9), (0.9, 2)):
+        idx.query(epsilon, mu, seed=3)
+        idx.core_mask(epsilon, mu)
+        idx.eps_neighborhood(0, epsilon)
+        assert idx.counters.sigma_evaluations == 0
+        assert idx.last_query["sigma_evaluations"] == 0
+        assert idx.last_query["epsilon"] == pytest.approx(epsilon)
+        assert idx.last_query["mu"] == mu
+    assert idx.counters.neighborhood_queries == 4
+
+
+def test_query_matches_scan_smoke(medium, index):
+    result = index.query(0.5, 3, seed=1)
+    reference = scan(medium, 3, 0.5, seed=1)
+    np.testing.assert_array_equal(result.labels, reference.labels)
+
+
+def test_query_validates_parameters(index):
+    with pytest.raises(ConfigError):
+        index.query(0.0, 2)
+    with pytest.raises(ConfigError):
+        index.query(0.5, 0)
+
+
+def test_empty_graph():
+    empty = Graph.from_edges(5, [])
+    idx = ClusteringIndex.build(empty)
+    assert idx.query(0.5, 2).num_clusters == 0
+    assert not idx.core_mask(0.5, 2).any()
+    # μ=1 with count_self: every vertex is trivially a core.
+    assert idx.core_mask(0.5, 1).all()
+
+
+def test_info_reports_structure(index, medium):
+    info = index.info()
+    assert info["mu_cap"] == 6
+    assert info["num_vertices"] == medium.num_vertices
+    assert info["slots"] == int(medium.indices.shape[0])
+    assert info["bytes"] > 0
+    assert info["fingerprint"] == index.fingerprint
+
+
+# ----------------------------------------------------------------------
+# cross-backend determinism
+# ----------------------------------------------------------------------
+def test_build_bitwise_identical_across_backends(medium):
+    base = ClusteringIndex.build(medium)
+    for backend in ("thread", "auto"):
+        other = ClusteringIndex.build(medium, backend=backend, workers=2)
+        np.testing.assert_array_equal(base.edge.sigmas, other.edge.sigmas)
+        np.testing.assert_array_equal(base._order, other._order)
+        np.testing.assert_array_equal(base._core_eps, other._core_eps)
+        np.testing.assert_array_equal(base._core_order, other._core_order)
+
+
+# ----------------------------------------------------------------------
+# persistence
+# ----------------------------------------------------------------------
+def test_save_load_roundtrip(tmp_path, medium, index):
+    path = tmp_path / "g.gsindex.npz"
+    index.save(path)
+    loaded = ClusteringIndex.load(path, medium)
+    assert loaded.mu_cap == index.mu_cap
+    np.testing.assert_array_equal(loaded.edge.sigmas, index.edge.sigmas)
+    np.testing.assert_array_equal(loaded._order, index._order)
+
+
+def test_archive_is_edge_index_superset(tmp_path, medium, index):
+    """A clustering-index archive loads as a plain edge index, and an
+    edge-index archive loads as a clustering index (default cap)."""
+    path = tmp_path / "g.gsindex.npz"
+    index.save(path)
+    edge = EdgeSimilarityIndex.load(path, medium)
+    np.testing.assert_array_equal(edge.sigmas, index.edge.sigmas)
+
+    other = tmp_path / "g.sigma.npz"
+    index.edge.save(other)
+    upgraded = ClusteringIndex.load(other, medium)
+    assert upgraded.mu_cap == DEFAULT_MU_CAP
+    np.testing.assert_array_equal(upgraded.edge.sigmas, index.edge.sigmas)
+
+
+def test_load_rejects_wrong_graph(tmp_path, medium, index):
+    path = tmp_path / "g.gsindex.npz"
+    index.save(path)
+    other = gnm_random_graph(120, 420, seed=6)
+    with pytest.raises(ConfigError):
+        ClusteringIndex.load(path, other)
+
+
+def test_load_missing_raises_integrity(tmp_path, medium):
+    with pytest.raises(IndexIntegrityError):
+        ClusteringIndex.load(tmp_path / "missing.npz", medium)
+
+
+def test_load_or_rebuild_quarantines_garbage(tmp_path, medium):
+    path = tmp_path / "g.gsindex.npz"
+    path.write_bytes(b"not an archive")
+    idx, recovered = ClusteringIndex.load_or_rebuild(path, medium, mu_cap=3)
+    assert recovered
+    assert idx.mu_cap == 3
+    assert (tmp_path / "g.gsindex.npz.quarantined").exists()
+    # The rebuilt archive is valid now.
+    again, recovered_again = ClusteringIndex.load_or_rebuild(path, medium)
+    assert not recovered_again
+    np.testing.assert_array_equal(again.edge.sigmas, idx.edge.sigmas)
+
+
+# ----------------------------------------------------------------------
+# incremental refresh
+# ----------------------------------------------------------------------
+def _drop_one_edge(graph: Graph):
+    """Remove the first undirected edge; return (new_graph, u, v)."""
+    owners = np.repeat(
+        np.arange(graph.num_vertices), np.diff(graph.indptr)
+    )
+    mask = owners < graph.indices
+    u = int(owners[mask][0])
+    v = int(graph.indices[mask][0])
+    pairs = list(zip(owners[mask].tolist(), graph.indices[mask].tolist()))
+    pairs.remove((u, v))
+    return Graph.from_edges(graph.num_vertices, pairs), u, v
+
+
+def test_refresh_bitwise_equals_fresh_build(medium, index):
+    new_graph, u, v = _drop_one_edge(medium)
+    affected = {u, v}
+    affected.update(int(q) for q in medium.neighbors(u))
+    affected.update(int(q) for q in medium.neighbors(v))
+    patched, stats = index.refresh(new_graph, affected)
+    fresh = ClusteringIndex.build(new_graph, mu_cap=index.mu_cap)
+    np.testing.assert_array_equal(patched.edge.sigmas, fresh.edge.sigmas)
+    np.testing.assert_array_equal(patched._order, fresh._order)
+    np.testing.assert_array_equal(patched._core_eps, fresh._core_eps)
+    assert stats["rows_recomputed"] == len(affected)
+    assert stats["slots_recomputed"] + stats["slots_copied"] == int(
+        new_graph.indices.shape[0]
+    )
+    assert stats["slots_copied"] > 0  # most rows were untouched
+
+
+def test_refresh_rejects_insufficient_affected_set(medium, index):
+    new_graph, u, v = _drop_one_edge(medium)
+    with pytest.raises(ConfigError, match="affected set"):
+        index.refresh(new_graph, {u})  # v's row changed too
+
+
+def test_refresh_rejects_out_of_range_ids(medium, index):
+    with pytest.raises(ConfigError, match="out of range"):
+        index.refresh(medium, {medium.num_vertices + 3})
+
+
+def test_consecutive_runs():
+    assert _consecutive_runs(np.asarray([], dtype=np.int64)) == []
+    assert _consecutive_runs(np.asarray([4])) == [(4, 5)]
+    assert _consecutive_runs(np.asarray([1, 2, 3, 7, 9, 10])) == [
+        (1, 4),
+        (7, 8),
+        (9, 11),
+    ]

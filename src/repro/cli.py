@@ -6,6 +6,7 @@ Examples::
     anyscan graph.txt --weighted --algorithm pscan --output labels.txt
     anyscan graph.txt --budget-work 1e6        # anytime: stop early
     repro serve --port 8421 --graph web=graph.txt   # clustering server
+    repro serve --processes 4 --graph web=graph.txt # sharded fleet (§11)
     python -m repro ...                        # same entry point
 """
 
@@ -133,7 +134,8 @@ def _build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv[:1] == ["serve"]:
-        # Subcommand: the interactive clustering server (DESIGN.md §8).
+        # Subcommand: the interactive clustering server (DESIGN.md §8;
+        # --processes N runs the sharded fleet of §11).
         # Imported lazily so plain clustering runs don't pay for it.
         from repro.service.server import serve_main
 

@@ -44,7 +44,7 @@ import weakref
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from multiprocessing import shared_memory
+from multiprocessing import resource_tracker, shared_memory
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -61,6 +61,9 @@ __all__ = [
     "FORCE_FALLBACK_ENV",
     "SEGMENT_PREFIX",
     "DegradationEvent",
+    "SegmentRegistry",
+    "SharedArraySpec",
+    "untrack_attachment",
     "add_degradation_listener",
     "remove_degradation_listener",
     "shared_memory_available",
@@ -154,23 +157,25 @@ _ARRAY_LABELS = (
 #: process — anonymous ``psm_*`` names cannot be audited that way.
 SEGMENT_PREFIX = "repro"
 
-#: Every live (not yet closed) :class:`SharedGraph`.  The GC finalizer
-#: handles ordinary drops; this registry is for *abnormal* shutdown —
-#: the atexit hook and :func:`install_signal_cleanup` walk it so a
-#: ``KeyboardInterrupt`` or SIGTERM mid-job still unlinks every segment.
-_LIVE_SHARED: "weakref.WeakSet[SharedGraph]" = weakref.WeakSet()
+#: Every live (not yet closed) :class:`SegmentRegistry`.  The GC
+#: finalizer handles ordinary drops; this registry-of-registries is for
+#: *abnormal* shutdown — the atexit hook and
+#: :func:`install_signal_cleanup` walk it so a ``KeyboardInterrupt`` or
+#: SIGTERM mid-job still unlinks every owned segment.
+_LIVE_REGISTRIES: "weakref.WeakSet[SegmentRegistry]" = weakref.WeakSet()
 
 
 def cleanup_live_segments() -> int:
-    """Close and unlink every live shared graph; returns how many.
+    """Close and unlink every live segment registry; returns how many.
 
     Idempotent and safe to call from an atexit hook or a signal handler:
-    :meth:`SharedGraph.close` is itself idempotent and exception-free.
+    :meth:`SegmentRegistry.close` is itself idempotent and
+    exception-free.
     """
-    graphs = list(_LIVE_SHARED)
-    for shared in graphs:
-        shared.close()
-    return len(graphs)
+    registries = list(_LIVE_REGISTRIES)
+    for registry in registries:
+        registry.close()
+    return len(registries)
 
 
 atexit.register(cleanup_live_segments)
@@ -227,25 +232,47 @@ def shared_memory_available() -> bool:
 # shared segments (owner side)
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
-class _SharedSpec:
-    """Picklable description of one shared-memory-backed array."""
+class SharedArraySpec:
+    """Picklable description of one shared-memory-backed array.
+
+    A spec is the *attachment recipe* for a published array: segment
+    name, shape, and dtype string.  It travels over pickle (process
+    pools) or JSON-ish manifests (the service layer serialises the three
+    fields) and is everything :meth:`SegmentRegistry.attach` needs.
+    """
 
     shm_name: str
     shape: Tuple[int, ...]
     dtype: str
 
 
+#: Backward-compatible internal alias (pre-registry name).
+_SharedSpec = SharedArraySpec
+
+
 @dataclass(frozen=True)
 class SharedGraphHandle:
     """Everything a worker needs to rebuild the graph and oracle."""
 
-    specs: Tuple[Tuple[str, _SharedSpec], ...]
+    specs: Tuple[Tuple[str, SharedArraySpec], ...]
     similarity: SimilarityConfig
 
 
-def _release_segments(segments: Tuple[shared_memory.SharedMemory, ...]) -> None:
-    """Close and unlink owner-side segments; idempotent and exception-safe."""
-    for shm in segments:
+def _release_named(
+    owned: Dict[str, shared_memory.SharedMemory],
+    owner_pid: Optional[int] = None,
+) -> None:
+    """Close and unlink owner-side segments; idempotent and exception-safe.
+
+    ``owner_pid`` guards against inherited finalizers: a forked child
+    carries copies of the parent's registries (and their GC/atexit
+    finalizers), and letting those run would unlink segments the parent
+    still serves from.  Ownership does not survive ``fork``.
+    """
+    if owner_pid is not None and os.getpid() != owner_pid:
+        return
+    while owned:
+        _, shm = owned.popitem()
         try:
             shm.close()
         # repro: allow[swallow] - teardown keeps going per segment
@@ -256,6 +283,33 @@ def _release_segments(segments: Tuple[shared_memory.SharedMemory, ...]) -> None:
         # repro: allow[swallow] - already-unlinked is the idempotent case
         except (FileNotFoundError, OSError):
             pass
+
+
+def _close_attached(shm: shared_memory.SharedMemory) -> None:
+    """Reader-side detach: close the mapping, never unlink (owner's job)."""
+    try:
+        shm.close()
+    # repro: allow[swallow] - a lingering export just delays the unmap
+    except (OSError, BufferError):  # pragma: no cover
+        pass
+
+
+def untrack_attachment(shm: shared_memory.SharedMemory) -> None:
+    """Tell this process's resource tracker to forget an attachment.
+
+    ``SharedMemory(name=...)`` registers the segment with the *local*
+    resource tracker even when merely attaching (fixed upstream only in
+    3.13's ``track=False``).  A fleet worker is its own interpreter with
+    its own tracker, so without this a dying worker's tracker would
+    "clean up" — i.e. unlink — segments the writer process still owns
+    and serves.  Attachments are close-only by design; the owner's
+    registry is the only unlinker.
+    """
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    # repro: allow[swallow] - tracker impl details vary across versions
+    except (AttributeError, KeyError, ValueError):  # pragma: no cover
+        pass
 
 
 def _create_named_segment(label: str, size: int) -> shared_memory.SharedMemory:
@@ -282,6 +336,139 @@ def _create_named_segment(label: str, size: int) -> shared_memory.SharedMemory:
     )  # pragma: no cover - requires 16 collisions
 
 
+class SegmentRegistry:
+    """Owner-side bookkeeping for a group of named shared segments.
+
+    Every shared-memory layer in the codebase (the process-pool backend
+    here, the service's zero-copy :class:`~repro.service.shm.StorePublisher`)
+    funnels segment creation through one of these so the lifecycle story
+    is identical everywhere: the registry owns its segments, `close`
+    (or the GC finalizer, or the atexit/SIGTERM sweep over
+    :data:`_LIVE_REGISTRIES`) closes **and unlinks** all of them, and
+    per-segment :meth:`release` lets a long-lived owner retire old
+    epochs without tearing the rest down.
+
+    Reader-side attachment is a classmethod on purpose: attachments are
+    *not* owned (close-only, never unlink) and their lifetime rides on
+    the returned numpy view via a GC finalizer, so readers can drop a
+    stale epoch's views and have the mapping unmapped without any
+    explicit bookkeeping.
+    """
+
+    def __init__(self) -> None:
+        self._owned: Dict[str, shared_memory.SharedMemory] = {}
+        self._lock = threading.Lock()
+        self._owner_pid = os.getpid()
+        self._finalizer = weakref.finalize(
+            self, _release_named, self._owned, self._owner_pid
+        )
+        _LIVE_REGISTRIES.add(self)
+
+    # -- owner side -----------------------------------------------------
+    def publish(self, label: str, array: np.ndarray) -> SharedArraySpec:
+        """Copy ``array`` into a fresh named segment; return its spec."""
+        if self.closed:
+            raise SimulationError("segment registry already closed")
+        arr = np.ascontiguousarray(array)
+        # Zero-length arrays are legal (edgeless graphs) but zero-byte
+        # segments are not; round up to one byte.
+        shm = _create_named_segment(label, max(arr.nbytes, 1))
+        # Register *before* the copy: if the fill raises, close() still
+        # unlinks the fresh segment instead of leaking it.
+        with self._lock:
+            self._owned[shm.name] = shm
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+        view[...] = arr
+        del view  # drop the exported buffer so close() can unmap
+        return SharedArraySpec(shm.name, tuple(arr.shape), arr.dtype.str)
+
+    def create_block(self, label: str, size: int) -> shared_memory.SharedMemory:
+        """A fresh raw segment the caller keeps writing through.
+
+        The registry still owns (and will unlink) it; the caller must
+        not close or unlink the returned handle itself.
+        """
+        if self.closed:
+            raise SimulationError("segment registry already closed")
+        shm = _create_named_segment(label, max(int(size), 1))
+        with self._lock:
+            self._owned[shm.name] = shm
+        return shm
+
+    def read(self, spec: SharedArraySpec) -> np.ndarray:
+        """Copy one owned array out of its segment."""
+        with self._lock:
+            shm = self._owned.get(spec.shm_name)
+        if shm is None:
+            raise SimulationError(
+                f"no owned segment named {spec.shm_name!r}"
+            )
+        view = np.ndarray(
+            spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf
+        )
+        out = np.array(view)
+        del view  # drop the exported buffer so close() can unmap
+        return out
+
+    def release(self, names: Sequence[str]) -> int:
+        """Close + unlink the named owned segments; returns how many.
+
+        Unknown names are ignored (idempotent): an epoch can be retired
+        twice without error.  Readers that already attached keep their
+        mappings — POSIX unlink removes the name, not the memory.
+        """
+        retired: Dict[str, shared_memory.SharedMemory] = {}
+        with self._lock:
+            for name in names:
+                shm = self._owned.pop(name, None)
+                if shm is not None:
+                    retired[name] = shm
+        count = len(retired)
+        _release_named(retired)
+        return count
+
+    # -- reader side ----------------------------------------------------
+    @classmethod
+    def attach(
+        cls, spec: SharedArraySpec, *, writable: bool = False
+    ) -> np.ndarray:
+        """Zero-copy numpy view over an existing named segment.
+
+        The mapping is closed (never unlinked) by a GC finalizer when
+        the returned view is collected, so callers manage lifetime by
+        simply dropping references.  Read-only by default: readers of a
+        published store must not be able to corrupt it.
+        """
+        shm = shared_memory.SharedMemory(name=spec.shm_name)
+        untrack_attachment(shm)
+        view = np.ndarray(
+            spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf
+        )
+        if not writable:
+            view.flags.writeable = False
+        weakref.finalize(view, _close_attached, shm)
+        return view
+
+    # -- lifecycle ------------------------------------------------------
+    def names(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(self._owned)
+
+    def close(self) -> None:
+        """Close and unlink every owned segment (safe to call repeatedly)."""
+        self._finalizer()
+
+    @property
+    def closed(self) -> bool:
+        return not self._finalizer.alive
+
+    def __enter__(self) -> "SegmentRegistry":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
 class SharedGraph:
     """Owner-side copy of one graph (plus oracle invariants) in shared memory.
 
@@ -306,54 +493,35 @@ class SharedGraph:
             "linear_sums": linear_sums,
             "sigma_out": np.zeros(graph.indices.shape[0], dtype=np.float64),
         }
-        segments: List[shared_memory.SharedMemory] = []
-        specs: List[Tuple[str, _SharedSpec]] = []
+        registry = SegmentRegistry()
+        specs: List[Tuple[str, SharedArraySpec]] = []
         try:
             for label in _ARRAY_LABELS:
-                arr = np.ascontiguousarray(arrays[label])
-                # Zero-length arrays are legal (edgeless graphs) but
-                # zero-byte segments are not; round up to one byte.
-                shm = _create_named_segment(label, max(arr.nbytes, 1))
-                segments.append(shm)
-                view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
-                view[...] = arr
-                del view  # drop the exported buffer so close() can unmap
-                specs.append(
-                    (label, _SharedSpec(shm.name, tuple(arr.shape), arr.dtype.str))
-                )
+                specs.append((label, registry.publish(label, arrays[label])))
         except BaseException:
-            _release_segments(tuple(segments))
+            registry.close()
             raise
-        self._segments = tuple(segments)
+        self._registry = registry
         self.handle = SharedGraphHandle(
             specs=tuple(specs), similarity=config
         )
-        self._finalizer = weakref.finalize(
-            self, _release_segments, self._segments
-        )
-        _LIVE_SHARED.add(self)
 
     def read_array(self, label: str) -> np.ndarray:
         """Copy one published array out of its shared segment."""
         if self.closed:
             raise SimulationError("shared graph already closed")
-        for (name, spec), shm in zip(self.handle.specs, self._segments):
+        for name, spec in self.handle.specs:
             if name == label:
-                view = np.ndarray(
-                    spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf
-                )
-                out = np.array(view)
-                del view  # drop the exported buffer so close() can unmap
-                return out
+                return self._registry.read(spec)
         raise SimulationError(f"no shared array labelled {label!r}")
 
     def close(self) -> None:
         """Close and unlink every segment (safe to call repeatedly)."""
-        self._finalizer()
+        self._registry.close()
 
     @property
     def closed(self) -> bool:
-        return not self._finalizer.alive
+        return self._registry.closed
 
     def __enter__(self) -> "SharedGraph":
         return self

@@ -25,6 +25,8 @@ generated from it, so they cannot drift apart.
 | POST   | /jobs/{id}/cancel         | cancel_job     | terminate a job                       |
 | POST   | /jobs/{id}/priority       | set_priority   | reprioritize a live job               |
 | POST   | /shutdown                 | shutdown       | stop the server loop                  |
+| POST   | /fleet/register           | fleet_register | worker → supervisor announce (fleet)  |
+| GET    | /fleet/metrics            | fleet_metrics  | merged fleet-wide /metrics            |
 
 Errors are JSON too: ``{"error": message, "type": exception_class}``
 with status 400 for domain errors (:class:`~repro.errors.ReproError`),
@@ -137,6 +139,18 @@ ROUTES: Tuple[Route, ...] = (
         "reprioritize a job",
     ),
     Route("POST", "/shutdown", "shutdown", "stop the server loop"),
+    Route(
+        "POST",
+        "/fleet/register",
+        "fleet_register",
+        "worker → supervisor: announce pid/admin URL (control channel)",
+    ),
+    Route(
+        "GET",
+        "/fleet/metrics",
+        "fleet_metrics",
+        "fleet-wide merged /metrics (summed counters, merged histograms)",
+    ),
 )
 
 

@@ -1,10 +1,19 @@
 """Stdlib HTTP client for the clustering service.
 
-A thin, dependency-free wrapper over :mod:`urllib.request` mirroring
-the wire protocol one method per endpoint.  Domain failures surface as
+A thin, dependency-free wrapper over :mod:`http.client` mirroring the
+wire protocol one method per endpoint.  Domain failures surface as
 :class:`ServiceClientError` carrying the HTTP status and the server's
 error message, so callers distinguish "bad request" from "server died"
 without parsing bodies themselves.
+
+The transport holds **one persistent keep-alive connection** (the
+server speaks HTTP/1.1): repeat requests skip the TCP handshake, which
+both halves per-request overhead at bench scales and — against a
+``SO_REUSEPORT`` fleet — pins a client to one shard for the
+connection's lifetime, so job submit/poll sequences naturally land on
+the owning process.  The connection is an optimization, never a
+correctness dependency: any transport failure drops it and the next
+request dials fresh.
 
 Failure handling (DESIGN.md §9): every request carries a connect/read
 timeout, and **idempotent GETs** are retried up to ``max_retries``
@@ -12,16 +21,20 @@ times with exponential backoff on transport failures and on 503
 (honoring the server's ``Retry-After``).  POSTs are never retried by
 the transport — re-submitting ``cluster`` could schedule a duplicate
 job; callers wanting safe resubmission pass an ``idempotency_key``.
+The one exception is a *reused* connection dying before any response
+byte arrives (the server reaped it idle between requests); the request
+is re-sent once on a fresh connection, exactly the recovery every
+keep-alive HTTP library performs.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 import time
-from http.client import HTTPException
+from http.client import BadStatusLine, HTTPConnection, HTTPException
 from typing import Dict, List, Optional, Sequence
-from urllib.error import HTTPError, URLError
-from urllib.request import Request, urlopen
+from urllib.parse import urlsplit
 
 from repro.errors import ConfigError, ReproError
 from repro.graph.csr import Graph
@@ -51,8 +64,7 @@ class ServiceClientError(ReproError):
         )
 
 
-def _retry_after_seconds(exc: HTTPError) -> Optional[float]:
-    value = exc.headers.get("Retry-After") if exc.headers else None
+def _retry_after_seconds(value: Optional[str]) -> Optional[float]:
     if value is None:
         return None
     try:
@@ -61,12 +73,12 @@ def _retry_after_seconds(exc: HTTPError) -> Optional[float]:
         return None  # HTTP-date form; treat as "no usable hint"
 
 
-def _error_detail(exc: HTTPError) -> str:
+def _error_detail(body: bytes) -> str:
     """The server's ``error`` field, or ``""`` for a non-JSON body."""
     try:
-        body = json.loads(exc.read().decode("utf-8"))
-        return str(body.get("error", ""))
-    except ValueError:
+        payload = json.loads(body.decode("utf-8"))
+        return str(payload.get("error", ""))
+    except (ValueError, UnicodeDecodeError):
         return ""
 
 
@@ -88,9 +100,33 @@ class ServiceClient:
         if retry_backoff < 0:
             raise ConfigError("retry_backoff must be >= 0")
         self.base_url = base_url.rstrip("/")
+        split = urlsplit(self.base_url)
+        if split.scheme != "http" or not split.hostname:
+            raise ConfigError(
+                f"base_url must look like http://host:port, got {base_url!r}"
+            )
+        self._host = split.hostname
+        self._port = split.port or 80
         self.timeout = float(timeout)
         self.max_retries = int(max_retries)
         self.retry_backoff = float(retry_backoff)
+        # The persistent keep-alive connection; one in-flight request at
+        # a time (the lock), matching http.client's connection model.
+        self._conn: Optional[HTTPConnection] = None
+        self._conn_lock = threading.Lock()
+
+    def close(self) -> None:
+        """Drop the persistent connection (idempotent)."""
+        with self._conn_lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # transport
@@ -130,37 +166,87 @@ class ServiceClient:
             if payload is not None
             else None
         )
-        request = Request(
-            self.base_url + path,
-            data=data,
-            method=method,
-            headers={"Content-Type": "application/json"},
-        )
-        try:
-            with urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except HTTPError as exc:
+        with self._conn_lock:
+            status, body, retry_after = self._exchange(method, path, data)
+        if status >= 400:
             raise ServiceClientError(
-                _error_detail(exc)
-                or f"{method} {path} failed with HTTP {exc.code}",
-                status=exc.code,
-                retry_after=_retry_after_seconds(exc),
-            ) from None
-        except TimeoutError as exc:
-            raise ServiceClientError(
-                f"{method} {path} timed out after {self.timeout}s: {exc}"
-            ) from None
-        except URLError as exc:
-            raise ServiceClientError(
-                f"cannot reach {self.base_url}: {exc.reason}"
-            ) from None
-        except (OSError, HTTPException) as exc:
-            # Connection-level failures (reset, server closed mid-read):
-            # transient by nature, so they share the retryable status 0.
-            raise ServiceClientError(
-                f"connection to {self.base_url} failed: "
-                f"{type(exc).__name__}: {exc}"
-            ) from None
+                _error_detail(body)
+                or f"{method} {path} failed with HTTP {status}",
+                status=status,
+                retry_after=_retry_after_seconds(retry_after),
+            )
+        return json.loads(body.decode("utf-8"))
+
+    def _exchange(
+        self, method: str, path: str, data: Optional[bytes]
+    ) -> "tuple[int, bytes, Optional[str]]":
+        """One request/response over the persistent connection.
+
+        Caller holds ``_conn_lock``.  A failure on a **reused**
+        connection before any response byte (the server reaped it idle)
+        re-dials and re-sends once; every other failure maps to the
+        transient status-0 :class:`ServiceClientError`.
+        """
+        for attempt in (0, 1):
+            conn = self._conn
+            reused = conn is not None
+            if conn is None:
+                conn = HTTPConnection(
+                    self._host, self._port, timeout=self.timeout
+                )
+            self._conn = None
+            try:
+                conn.request(
+                    method,
+                    path,
+                    body=data,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                body = response.read()
+            except (OSError, HTTPException) as exc:
+                conn.close()
+                stale_reuse = reused and isinstance(
+                    exc, (ConnectionError, BadStatusLine)
+                )
+                if stale_reuse and attempt == 0:
+                    continue
+                if isinstance(exc, TimeoutError):
+                    raise ServiceClientError(
+                        f"{method} {path} timed out after "
+                        f"{self.timeout}s: {exc}"
+                    ) from None
+                if not reused and isinstance(exc, ConnectionError):
+                    raise ServiceClientError(
+                        f"cannot reach {self.base_url}: {exc}"
+                    ) from None
+                # Connection-level failures (reset, server closed
+                # mid-read): transient, so they share retryable status 0.
+                raise ServiceClientError(
+                    f"connection to {self.base_url} failed: "
+                    f"{type(exc).__name__}: {exc}"
+                ) from None
+            if response.will_close:
+                conn.close()
+            else:
+                self._conn = conn
+            return (
+                response.status,
+                body,
+                response.getheader("Retry-After"),
+            )
+        raise AssertionError("unreachable: loop returns or raises")
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        """Raw wire-level escape hatch (used by the fleet's forwarding
+        and job-proxy paths); same retry/error semantics as the typed
+        endpoint methods."""
+        return self._request(method, path, payload)
 
     # ------------------------------------------------------------------
     # graphs
@@ -332,6 +418,10 @@ class ServiceClient:
 
     def metrics(self) -> Dict[str, object]:
         return self._request("GET", "/metrics")
+
+    def fleet_metrics(self) -> Dict[str, object]:
+        """Fleet-wide merged metrics (single-shard merge off-fleet)."""
+        return self._request("GET", "/fleet/metrics")
 
     def shutdown(self) -> Dict[str, object]:
         return self._request("POST", "/shutdown", {})

@@ -1,0 +1,702 @@
+"""Multi-process sharded serving fleet (DESIGN.md §11).
+
+``repro serve --processes N`` turns the single-process server into a
+fleet of N worker processes that answer queries in parallel while
+sharing every hosted graph — CSR arrays, materialized σ, and the
+GS*-style clustering index — **zero-copy** through the shared-memory
+publication layer of :mod:`repro.service.shm`:
+
+* :class:`ServiceSupervisor` runs in the launching process.  It owns
+  the single *writer* :class:`~repro.service.server.ClusteringService`
+  (the only process that mutates graphs), mirrors its store through a
+  :class:`~repro.service.shm.StorePublisher`, hosts the writer behind a
+  loopback **control server**, and spawns N workers as fresh
+  interpreter subprocesses (``python -m repro.service.fleet.worker``
+  semantics via ``-c``-free module dispatch below).  A watch thread
+  respawns workers that die, so a SIGKILL'd shard comes back without
+  dropping the fleet.
+* Each worker builds an :class:`~repro.service.shm.AttachedGraphStore`
+  over the supervisor's manifest and serves the public port.  Load
+  sharing uses ``SO_REUSEPORT`` when the kernel offers it — every
+  worker binds its own listening socket on the shared port and the
+  kernel balances accepts — and falls back to **pre-forked accept** on
+  a single inherited listening socket otherwise.
+* Mutations (``/graphs``, ``…/index``, ``…/update-edges``,
+  ``/shutdown``) hitting a worker are forwarded over the control
+  channel to the writer, which republishes the affected entry as a new
+  epoch; the worker then refreshes its attachment before answering, so
+  a client that mutates through shard A and immediately reads from
+  shard A sees its own write.
+* Job ids are shard-prefixed (``w3-job-7``); a worker receiving a job
+  request it does not own proxies it to the owning shard's private
+  admin endpoint, found in the fleet table the supervisor publishes
+  through the manifest.
+
+Workers are deliberately *subprocesses*, not forks of the supervisor: a
+forked child inherits the publisher's segment registry along with its
+GC/atexit finalizers, and those must never unlink segments the parent
+still serves (the registries carry an owner-pid guard as a second line
+of defense).  A fresh interpreter sidesteps the inherited-lock and
+inherited-finalizer classes of bugs entirely; only the fallback
+listening socket crosses the boundary, via ``pass_fds``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.service.api import ServiceError, get_bool
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.metrics import merge_metric_snapshots
+from repro.service.server import ClusteringServer, ClusteringService
+from repro.service.shm import AttachedGraphStore, StorePublisher
+
+__all__ = ["ServiceSupervisor", "WorkerService", "worker_main"]
+
+#: Environment knob forcing the pre-forked-accept fallback even where
+#: ``SO_REUSEPORT`` exists — lets tests exercise both socket strategies
+#: on one kernel.
+_FORCE_FALLBACK_ENV = "REPRO_FLEET_NO_REUSEPORT"
+
+#: How long a spawning fleet waits for every worker to register.
+_READY_TIMEOUT_SECONDS = 60.0
+
+
+def _reuseport_available() -> bool:
+    if os.environ.get(_FORCE_FALLBACK_ENV):
+        return False
+    return hasattr(socket, "SO_REUSEPORT")
+
+
+def _bind_public_socket(host: str, port: int, *, listen: bool) -> socket.socket:
+    """A public-port socket with ``SO_REUSEPORT`` set before bind.
+
+    The supervisor binds one with ``listen=False`` purely to pin down a
+    concrete port (resolving ``--port 0``) without joining the accept
+    pool — a TCP socket outside LISTEN state never receives
+    connections, so it cannot black-hole clients; workers bind theirs
+    with ``listen=True`` to join the kernel's balancing group.
+    """
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        sock.bind((host, port))
+        if listen:
+            sock.listen(128)
+    except BaseException:
+        sock.close()
+        raise
+    return sock
+
+
+class ServiceSupervisor:
+    """Writer + publisher + worker fleet behind one public port."""
+
+    def __init__(
+        self,
+        service: ClusteringService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        processes: int = 2,
+        worker_options: Optional[Dict[str, object]] = None,
+        respawn: bool = True,
+    ) -> None:
+        if processes < 1:
+            raise ConfigError("processes must be >= 1")
+        self.service = service
+        self.processes = int(processes)
+        self.respawn = bool(respawn)
+        self._worker_options = dict(worker_options or {})
+        self._lock = threading.Lock()
+        self._procs: Dict[int, subprocess.Popen] = {}
+        self._registrations: Dict[int, Dict[str, object]] = {}
+        self._respawns = 0
+        self._closing = threading.Event()
+        self._watch: Optional[threading.Thread] = None
+
+        # Single-writer publication: every mutation of the writer's
+        # store now lands in shared memory as a fresh epoch.
+        self.publisher = StorePublisher(metrics=service.metrics)
+        self._listen_sock: Optional[socket.socket] = None
+        self._probe_sock: Optional[socket.socket] = None
+        self._control: Optional[ClusteringServer] = None
+        try:
+            service.store.attach_publisher(self.publisher)
+            service.fleet = self
+            self.reuseport = _reuseport_available()
+            if self.reuseport:
+                # Reserve the concrete port; workers bind their own
+                # listeners against it.
+                self._probe_sock = _bind_public_socket(
+                    host, port, listen=False
+                )
+                resolved = self._probe_sock.getsockname()
+            else:
+                # Pre-fork fallback: one listening socket, inherited by
+                # every worker, which all accept on it.
+                self._listen_sock = socket.create_server(
+                    (host, port), backlog=128, reuse_port=False
+                )
+                resolved = self._listen_sock.getsockname()
+            self.host = resolved[0]
+            self.port = int(resolved[1])
+            # The control channel: the writer service itself, on a
+            # loopback port workers forward mutations to.
+            self._control = ClusteringServer(
+                service, host="127.0.0.1", port=0
+            )
+            self._control.start()
+        except BaseException:
+            self._teardown()
+            raise
+        service.metrics.register_gauge("process", self._process_gauge)
+        service.metrics.register_gauge("fleet", self._fleet_gauge)
+
+    # ------------------------------------------------------------------
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def control_url(self) -> str:
+        assert self._control is not None
+        return self._control.url
+
+    def _process_gauge(self) -> Dict[str, object]:
+        return {
+            "role": "writer",
+            "pid": os.getpid(),
+            "generation": self.publisher.generation(),
+        }
+
+    def _fleet_gauge(self) -> Dict[str, object]:
+        with self._lock:
+            alive = sum(
+                1 for proc in self._procs.values() if proc.poll() is None
+            )
+            return {
+                "processes": self.processes,
+                "alive": alive,
+                "registered": len(self._registrations),
+                "respawns": self._respawns,
+                "reuseport": self.reuseport,
+            }
+
+    # ------------------------------------------------------------------
+    # worker lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ServiceSupervisor":
+        with self._lock:
+            for index in range(self.processes):
+                if index not in self._procs:
+                    self._procs[index] = self._spawn(index)
+        if self._watch is None:
+            self._watch = threading.Thread(
+                target=self._watch_loop, name="fleet-watch", daemon=True
+            )
+            self._watch.start()
+        return self
+
+    def _spawn(self, index: int) -> subprocess.Popen:
+        options: Dict[str, object] = {
+            "process_index": index,
+            "manifest_name": self.publisher.manifest_name,
+            "control_url": self.control_url,
+            "host": self.host,
+            "port": self.port,
+            "reuseport": self.reuseport,
+            "service": self._worker_options,
+        }
+        pass_fds: List[int] = []
+        if not self.reuseport:
+            assert self._listen_sock is not None
+            fd = self._listen_sock.fileno()
+            options["listen_fd"] = fd
+            pass_fds.append(fd)
+        # -c, not -m: runpy would re-execute this module under __main__
+        # after the package import already loaded it once.
+        return subprocess.Popen(
+            [
+                sys.executable,
+                "-c",
+                "import sys; from repro.service.fleet import worker_main; "
+                "sys.exit(worker_main(sys.argv[1:]))",
+                json.dumps(options),
+            ],
+            pass_fds=pass_fds,
+            stdin=subprocess.DEVNULL,
+        )
+
+    def _watch_loop(self) -> None:
+        while not self._closing.wait(0.2):
+            with self._lock:
+                dead = [
+                    (index, proc)
+                    for index, proc in self._procs.items()
+                    if proc.poll() is not None
+                ]
+                for index, proc in dead:
+                    self.service.metrics.increment("worker_exits")
+                    self.service.metrics.record_event(
+                        "worker_exit",
+                        {
+                            "process_id": index,
+                            "pid": proc.pid,
+                            "returncode": proc.returncode,
+                        },
+                    )
+                    self._registrations.pop(index, None)
+                    if self.respawn and not self._closing.is_set():
+                        self._respawns += 1
+                        self.service.metrics.increment("worker_respawns")
+                        self._procs[index] = self._spawn(index)
+                    else:
+                        del self._procs[index]
+                if dead:
+                    self._publish_workers_locked()
+
+    def _publish_workers_locked(self) -> None:
+        self.publisher.set_workers(
+            [
+                self._registrations[index]
+                for index in sorted(self._registrations)
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    # control-channel callbacks (via the writer's /fleet/* handlers)
+    # ------------------------------------------------------------------
+    def register_worker(
+        self, payload: Dict[str, object]
+    ) -> Dict[str, object]:
+        try:
+            index = int(payload["process_id"])  # type: ignore[arg-type]
+            pid = int(payload["pid"])  # type: ignore[arg-type]
+            admin_url = str(payload["admin_url"])
+        except (KeyError, TypeError, ValueError):
+            raise ServiceError(
+                "fleet registration needs integer 'process_id'/'pid' "
+                "and string 'admin_url'"
+            ) from None
+        record = {
+            "process_id": index,
+            "pid": pid,
+            "admin_url": admin_url,
+        }
+        with self._lock:
+            self._registrations[index] = record
+            self._publish_workers_locked()
+            registered = len(self._registrations)
+        self.service.metrics.increment("workers_registered")
+        self.service.metrics.record_event("worker_registered", record)
+        return {"status": "registered", "workers": registered}
+
+    def merged_metrics(self) -> Dict[str, object]:
+        """Fleet-wide ``/metrics``: summed counters, exactly merged
+        histograms, per-shard gauges/events under ``shards``."""
+        snapshots = [self.service.metrics.snapshot()]
+        with self._lock:
+            workers = [
+                dict(record) for record in self._registrations.values()
+            ]
+        scraped = []
+        for record in sorted(workers, key=lambda r: int(r["process_id"])):
+            try:
+                with ServiceClient(
+                    str(record["admin_url"]), timeout=5.0, max_retries=0
+                ) as shard:
+                    snapshots.append(shard.metrics())
+                scraped.append(record)
+            except ServiceClientError as exc:
+                # A shard mid-respawn answers nothing; report it absent
+                # rather than failing the whole scrape.
+                self.service.metrics.increment("metrics_scrape_failures")
+                self.service.metrics.record_event(
+                    "metrics_scrape_failed",
+                    {"process_id": record["process_id"], "error": str(exc)},
+                )
+        merged = merge_metric_snapshots(snapshots)
+        merged["fleet"] = {
+            "processes": self.processes,
+            "scraped_shards": [r["process_id"] for r in scraped],
+            "respawns": self._respawns,
+            "generation": self.publisher.generation(),
+        }
+        return merged
+
+    def wait_ready(
+        self, timeout: float = _READY_TIMEOUT_SECONDS
+    ) -> "ServiceSupervisor":
+        """Block until every worker registered (spawn-time barrier)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            with self._lock:
+                if len(self._registrations) >= self.processes:
+                    return self
+            if time.monotonic() > deadline:
+                with self._lock:
+                    missing = self.processes - len(self._registrations)
+                raise ConfigError(
+                    f"fleet startup timed out: {missing} of "
+                    f"{self.processes} workers never registered"
+                )
+            time.sleep(0.05)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop workers, the control server, and unlink every segment."""
+        self._closing.set()
+        if self._watch is not None:
+            self._watch.join(timeout=5.0)
+            self._watch = None
+        self._teardown()
+
+    def _teardown(self) -> None:
+        with self._lock:
+            procs = list(self._procs.values())
+            self._procs = {}
+            self._registrations = {}
+        if any(proc.poll() is None for proc in procs):
+            # Drain grace: a worker that just forwarded /shutdown to the
+            # writer is still flushing that response to its client;
+            # terminating instantly would reset the connection.
+            time.sleep(0.3)
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        deadline = time.monotonic() + 5.0
+        for proc in procs:
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                self.service.metrics.increment("worker_kill_escalations")
+                proc.kill()
+                proc.wait(timeout=5.0)
+        if self._control is not None:
+            self._control.close()
+            self._control = None
+        for sock in (self._probe_sock, self._listen_sock):
+            if sock is not None:
+                sock.close()
+        self._probe_sock = None
+        self._listen_sock = None
+        self.publisher.close()
+
+    def __enter__(self) -> "ServiceSupervisor":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class WorkerService(ClusteringService):
+    """A shard: answers reads locally, forwards writes to the writer.
+
+    Reads run against the zero-copy :class:`AttachedGraphStore`; every
+    request revalidates the manifest generation, so an epoch committed
+    by the writer is visible to the very next read.  Mutations forward
+    over the control channel and then ``refresh()`` before answering —
+    read-your-writes for the client that mutated.  Job requests whose
+    shard prefix names another worker proxy to that worker's admin URL
+    from the published fleet table.
+    """
+
+    def __init__(
+        self,
+        *,
+        store: AttachedGraphStore,
+        control_url: str,
+        process_index: int,
+        **kwargs: object,
+    ) -> None:
+        super().__init__(
+            store=store,  # type: ignore[arg-type]
+            job_id_prefix=f"w{process_index}-job",
+            **kwargs,  # type: ignore[arg-type]
+        )
+        self.process_index = int(process_index)
+        self.control_url = control_url
+        self._control = ServiceClient(
+            control_url, timeout=self.request_timeout, max_retries=0
+        )
+        self._peer_lock = threading.Lock()
+        self._peers: Dict[str, ServiceClient] = {}
+        # Epoch-moved entries evict their stale cache lines eagerly
+        # (correctness never depends on it — cache keys embed the
+        # fingerprint, which the new epoch changed).
+        store.fingerprint_listeners.append(self.cache.invalidate_fingerprint)
+        store.metrics = self.metrics
+        self.metrics.register_gauge("process", self._process_gauge)
+
+    def _process_gauge(self) -> Dict[str, object]:
+        return {
+            "role": "worker",
+            "process_id": self.process_index,
+            "pid": os.getpid(),
+            "generation": self.store.generation(),
+            "epochs": self.store.epochs(),
+        }
+
+    def close(self) -> None:
+        super().close()
+        self._control.close()
+        with self._peer_lock:
+            peers = list(self._peers.values())
+            self._peers = {}
+        for peer in peers:
+            peer.close()
+        self.store.close()
+
+    # ------------------------------------------------------------------
+    # write forwarding (worker → writer over the control channel)
+    # ------------------------------------------------------------------
+    def _forward(
+        self, method: str, path: str, payload: Dict[str, object]
+    ) -> Dict[str, object]:
+        try:
+            body = self._control.request(method, path, payload)
+        except ServiceClientError as exc:
+            raise ServiceError(
+                str(exc), status=exc.status or 502,
+                retry_after=exc.retry_after,
+            ) from None
+        # The writer committed a new epoch before answering; observe it
+        # now so this worker's next read serves the mutated graph.
+        self.store.refresh()
+        return body
+
+    def handle_load_graph(self, payload):
+        body = self._forward("POST", "/graphs", payload)
+        self.metrics.increment("graphs_loaded")
+        return body
+
+    def handle_build_index(self, payload, name):
+        body = self._forward("POST", f"/graphs/{name}/index", payload)
+        self.metrics.increment("cluster_indexes_built")
+        return body
+
+    def handle_update_edges(self, payload, name):
+        # Invalidate this shard's cache lines for the pre-update
+        # fingerprint *before* refresh() (whose listener would otherwise
+        # count them first) so the reported count matches what a
+        # single-process server answers for the same request stream.
+        try:
+            body = self._control.request(
+                "POST", f"/graphs/{name}/update-edges", payload
+            )
+        except ServiceClientError as exc:
+            raise ServiceError(
+                str(exc), status=exc.status or 502,
+                retry_after=exc.retry_after,
+            ) from None
+        invalidated = self.cache.invalidate_fingerprint(
+            str(body["previous_fingerprint"])
+        )
+        self.store.refresh()
+        self.metrics.increment("edge_updates")
+        self.metrics.increment("cache_invalidated", invalidated)
+        return dict(body, cache_entries_invalidated=invalidated)
+
+    def handle_shutdown(self, payload):
+        # Stopping one shard of a fleet is not a meaningful client
+        # operation; /shutdown stops the whole fleet via the writer.
+        body = self._forward("POST", "/shutdown", {})
+        self.shutdown_event.set()
+        return body
+
+    # ------------------------------------------------------------------
+    # job routing (shard-prefixed ids; foreign ids proxy to the owner)
+    # ------------------------------------------------------------------
+    def _job_peer(self, job_id: str) -> Optional[ServiceClient]:
+        """The owning shard's admin client, or None for local ids."""
+        prefix, sep, _ = job_id.partition("-")
+        if not sep or not prefix.startswith("w"):
+            return None  # not shard-addressed; treat as local
+        if prefix == f"w{self.process_index}":
+            return None
+        try:
+            owner = int(prefix[1:])
+        except ValueError:
+            return None
+        for record in self.store.workers():
+            if int(record.get("process_id", -1)) == owner:
+                admin_url = str(record["admin_url"])
+                with self._peer_lock:
+                    peer = self._peers.get(admin_url)
+                    if peer is None:
+                        peer = self._peers[admin_url] = ServiceClient(
+                            admin_url,
+                            timeout=self.request_timeout,
+                            max_retries=0,
+                        )
+                return peer
+        raise ServiceError(
+            f"job {job_id!r} belongs to shard {owner}, which has left "
+            "the fleet",
+            status=410,
+        )
+
+    def _job_call(
+        self,
+        payload: Dict[str, object],
+        job_id: str,
+        method: str,
+        suffix: str,
+        local,
+    ) -> Dict[str, object]:
+        peer = self._job_peer(job_id)
+        if peer is None:
+            return local(payload, job_id)
+        self.metrics.increment("jobs_proxied")
+        try:
+            return peer.request(method, f"/jobs/{job_id}{suffix}", payload)
+        except ServiceClientError as exc:
+            raise ServiceError(
+                str(exc), status=exc.status or 502,
+                retry_after=exc.retry_after,
+            ) from None
+
+    def handle_job_status(self, payload, job_id):
+        return self._job_call(
+            payload, job_id, "GET", "", super().handle_job_status
+        )
+
+    def handle_job_snapshot(self, payload, job_id):
+        return self._job_call(
+            payload, job_id, "GET", "/snapshot", super().handle_job_snapshot
+        )
+
+    def handle_job_result(self, payload, job_id):
+        return self._job_call(
+            payload, job_id, "GET", "/result", super().handle_job_result
+        )
+
+    def handle_pause_job(self, payload, job_id):
+        return self._job_call(
+            payload, job_id, "POST", "/pause", super().handle_pause_job
+        )
+
+    def handle_resume_job(self, payload, job_id):
+        return self._job_call(
+            payload, job_id, "POST", "/resume", super().handle_resume_job
+        )
+
+    def handle_cancel_job(self, payload, job_id):
+        return self._job_call(
+            payload, job_id, "POST", "/cancel", super().handle_cancel_job
+        )
+
+    def handle_set_priority(self, payload, job_id):
+        return self._job_call(
+            payload, job_id, "POST", "/priority", super().handle_set_priority
+        )
+
+    def handle_list_jobs(self, payload):
+        """Union of every shard's jobs (``shard_only`` stops fan-out)."""
+        local = super().handle_list_jobs(payload)
+        if get_bool(payload, "shard_only", False):
+            return local
+        jobs = list(local["jobs"])
+        for record in self.store.workers():
+            if int(record.get("process_id", -1)) == self.process_index:
+                continue
+            try:
+                with ServiceClient(
+                    str(record["admin_url"]), timeout=5.0, max_retries=0
+                ) as peer:
+                    remote = peer.request(
+                        "GET", "/jobs", {"shard_only": True}
+                    )
+                jobs.extend(remote["jobs"])
+            except ServiceClientError:
+                # A dying shard's jobs are gone with it; listing the
+                # survivors is the useful answer.
+                self.metrics.increment("job_list_scrape_failures")
+        jobs.sort(key=lambda job: str(job.get("job_id", "")))
+        return {"jobs": jobs}
+
+    def handle_fleet_metrics(self, payload):
+        return self._forward("GET", "/fleet/metrics", payload)
+
+
+# ----------------------------------------------------------------------
+# worker process entry point (`python -m repro.service.fleet <json>`)
+# ----------------------------------------------------------------------
+def worker_main(argv: Optional[List[str]] = None) -> int:
+    """Run one fleet worker until the fleet shuts down."""
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if len(argv) != 1:
+        print(
+            "usage: worker_main(['<options json>'])",
+            file=sys.stderr,
+        )
+        return 2
+    options = json.loads(argv[0])
+    from repro.parallel.processes import install_signal_cleanup
+
+    install_signal_cleanup()
+    index = int(options["process_index"])
+    fault_plan = (options.get("service") or {}).pop("fault_plan", None)
+    if fault_plan:
+        from repro.faults import FaultPlan, arm
+
+        with open(fault_plan, "r", encoding="utf-8") as handle:
+            arm(FaultPlan.from_json(handle.read()))
+    store = AttachedGraphStore(str(options["manifest_name"]))
+    service = WorkerService(
+        store=store,
+        control_url=str(options["control_url"]),
+        process_index=index,
+        **(options.get("service") or {}),
+    )
+    if options.get("reuseport"):
+        sock = _bind_public_socket(
+            str(options["host"]), int(options["port"]), listen=True
+        )
+    else:
+        sock = socket.socket(fileno=int(options["listen_fd"]))
+    public = ClusteringServer(service, sock=sock)
+    # The private admin endpoint: job proxying and metrics scrapes land
+    # here, addressed per-shard, never load-balanced.
+    admin = ClusteringServer(service, host="127.0.0.1", port=0)
+    public.start()
+    admin.start()
+    with ServiceClient(
+        str(options["control_url"]), timeout=10.0, max_retries=2
+    ) as control:
+        control.request(
+            "POST",
+            "/fleet/register",
+            {
+                "process_id": index,
+                "pid": os.getpid(),
+                "admin_url": admin.url,
+            },
+        )
+    try:
+        while not service.shutdown_event.wait(timeout=0.2):
+            if os.getppid() == 1:
+                # The supervisor died without reaping us; exit rather
+                # than serve a manifest nobody maintains.
+                break
+    except KeyboardInterrupt:  # ^C stops the worker, cleanly
+        service.metrics.increment("keyboard_interrupts")
+    finally:
+        admin.close()
+        public.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(worker_main())

@@ -145,9 +145,12 @@ class JobScheduler:
         on_done: Optional[Callable[[JobRecord], None]] = None,
         slice_deadline: Optional[float] = None,
         max_slice_retries: int = 1,
+        id_prefix: str = "job",
     ) -> None:
         if workers < 1:
             raise ConfigError("workers must be >= 1")
+        if not id_prefix:
+            raise ConfigError("id_prefix must be non-empty")
         if slice_iterations < 1:
             raise ConfigError("slice_iterations must be >= 1")
         if slice_deadline is not None and slice_deadline <= 0:
@@ -156,6 +159,11 @@ class JobScheduler:
             raise ConfigError("max_slice_retries must be >= 0")
         self.slice_iterations = int(slice_iterations)
         self.on_done = on_done
+        #: Leading component of generated job ids (``{prefix}-{seq}``).
+        #: A sharded fleet gives each worker process a distinct prefix
+        #: (``w3-job``), so any process can route a foreign job id to
+        #: the shard that owns it.
+        self.id_prefix = str(id_prefix)
         #: Wall-clock budget for one slice; checked at iteration
         #: boundaries, so an over-budget slice stops early and requeues
         #: (one job cannot monopolize a worker beyond ~one iteration).
@@ -212,7 +220,7 @@ class JobScheduler:
                 raise ReproError("scheduler is closed")
             self._seq += 1
             job = JobRecord(
-                job_id=f"job-{self._seq}",
+                job_id=f"{self.id_prefix}-{self._seq}",
                 graph_name=graph_name,
                 mu=mu,
                 epsilon=epsilon,
@@ -263,7 +271,7 @@ class JobScheduler:
                 raise ReproError("scheduler is closed")
             self._seq += 1
             job = JobRecord(
-                job_id=f"job-{self._seq}",
+                job_id=f"{self.id_prefix}-{self._seq}",
                 graph_name=graph_name,
                 mu=int(mu),
                 epsilon=float(epsilon),

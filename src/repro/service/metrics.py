@@ -30,7 +30,12 @@ from typing import Callable, Dict, List
 
 from repro.errors import ConfigError
 
-__all__ = ["LatencyHistogram", "ServiceMetrics"]
+__all__ = [
+    "LatencyHistogram",
+    "ServiceMetrics",
+    "merge_histogram_snapshots",
+    "merge_metric_snapshots",
+]
 
 # Bucket upper bounds in seconds: 10 per decade from 100µs to 100s; one
 # overflow bucket catches anything slower.
@@ -78,7 +83,7 @@ class LatencyHistogram:
                 return min(max(upper, self.min), self.max)
         return self.max
 
-    def snapshot(self) -> Dict[str, float]:
+    def snapshot(self) -> Dict[str, object]:
         if self.count == 0:
             return {"count": 0}
         return {
@@ -88,7 +93,55 @@ class LatencyHistogram:
             "max_s": self.max,
             "p50_s": self.percentile(50.0),
             "p99_s": self.percentile(99.0),
+            # Sparse bucket counts ([index, count] pairs) so snapshots
+            # from different processes can be merged exactly — summed
+            # buckets re-derive percentiles with no extra error.
+            "buckets": [
+                [idx, count]
+                for idx, count in enumerate(self._counts)
+                if count
+            ],
         }
+
+    @classmethod
+    def from_snapshot(cls, snap: Dict[str, object]) -> "LatencyHistogram":
+        """Rebuild a histogram from a :meth:`snapshot` payload."""
+        histogram = cls()
+        count = int(snap.get("count", 0))
+        if count == 0:
+            return histogram
+        for idx, bucket_count in snap.get("buckets", []):
+            histogram._counts[int(idx)] += int(bucket_count)
+        histogram.count = count
+        histogram.total = float(snap["mean_s"]) * count
+        histogram.min = float(snap["min_s"])
+        histogram.max = float(snap["max_s"])
+        return histogram
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold ``other``'s samples into this histogram, exactly."""
+        for idx, count in enumerate(other._counts):
+            self._counts[idx] += count
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+
+def merge_histogram_snapshots(
+    snapshots: List[Dict[str, object]],
+) -> Dict[str, object]:
+    """Exact cross-process merge of histogram snapshots.
+
+    Counters and bucket counts add; min/max fold; percentiles are
+    re-derived from the summed buckets, so the merged p50/p99 carry the
+    same (bucket-bounded) error as a single-process histogram — not the
+    unbounded error of averaging per-shard percentiles.
+    """
+    merged = LatencyHistogram()
+    for snap in snapshots:
+        merged.merge(LatencyHistogram.from_snapshot(snap))
+    return merged.snapshot()
 
 
 #: Structured events kept per kind; old entries roll off.
@@ -178,3 +231,38 @@ class ServiceMetrics:
                     for kind, entries in self._events.items()
                 },
             }
+
+
+def merge_metric_snapshots(
+    snapshots: List[Dict[str, object]],
+) -> Dict[str, object]:
+    """Fleet-wide ``/metrics`` view from per-process snapshots.
+
+    Counters sum; per-endpoint latency histograms merge exactly through
+    their bucket counts; gauges and events are *not* summed (a queue
+    depth summed across shards is meaningless) — each input snapshot's
+    gauges/events instead appear verbatim under ``"shards"``, in input
+    order, so per-shard ``process_id``/``epoch`` gauges stay visible.
+    """
+    counters: Dict[str, int] = {}
+    latency: Dict[str, List[Dict[str, object]]] = {}
+    shards: List[Dict[str, object]] = []
+    for snap in snapshots:
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + int(value)
+        for endpoint, histogram in snap.get("latency", {}).items():
+            latency.setdefault(endpoint, []).append(histogram)
+        shards.append(
+            {
+                "gauges": snap.get("gauges", {}),
+                "events": snap.get("events", {}),
+            }
+        )
+    return {
+        "counters": counters,
+        "latency": {
+            endpoint: merge_histogram_snapshots(histograms)
+            for endpoint, histograms in latency.items()
+        },
+        "shards": shards,
+    }

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import socket
 import sys
 import threading
 import time
@@ -56,7 +57,7 @@ from repro.service.api import (
     snapshot_payload,
 )
 from repro.service.jobs import JobRecord, JobScheduler, JobState
-from repro.service.metrics import ServiceMetrics
+from repro.service.metrics import ServiceMetrics, merge_metric_snapshots
 from repro.service.store import (
     CachedResult,
     GraphStore,
@@ -110,6 +111,8 @@ class ClusteringService:
         default_beta: int = 1024,
         request_timeout: float = 30.0,
         max_pending_jobs: Optional[int] = None,
+        store: Optional[GraphStore] = None,
+        job_id_prefix: str = "job",
     ) -> None:
         if default_alpha < 1 or default_beta < 1:
             raise ConfigError("default block sizes must be >= 1")
@@ -126,13 +129,24 @@ class ClusteringService:
             None if max_pending_jobs is None else int(max_pending_jobs)
         )
         self.metrics = ServiceMetrics()
-        self.store = GraphStore(metrics=self.metrics)
+        # Fleet workers inject an AttachedGraphStore (zero-copy reader
+        # over the writer's shared-memory segments); standalone servers
+        # own a plain in-process store.
+        self.store = store if store is not None else GraphStore(
+            metrics=self.metrics
+        )
+        if store is not None and getattr(store, "metrics", None) is None:
+            store.metrics = self.metrics
         self.cache = ResultCache(capacity=cache_capacity)
         self.scheduler = JobScheduler(
             workers=workers,
             slice_iterations=slice_iterations,
             on_done=self._job_finished,
+            id_prefix=job_id_prefix,
         )
+        #: Set by :class:`repro.service.fleet.ServiceSupervisor` on the
+        #: writer service; ``/fleet/*`` handlers consult it.
+        self.fleet = None
         self.shutdown_event = threading.Event()
         # Replayed submissions: (graph, key) → the job already scheduled.
         self._idempotency: "OrderedDict[Tuple[str, str], str]" = OrderedDict()
@@ -264,8 +278,10 @@ class ClusteringService:
         """
         mu_cap = get_int(payload, "mu_cap")
         entry = self.store.ensure_cluster_index(name, mu_cap=mu_cap)
-        # Mark the entry for automatic repatch/rebuild across updates.
+        # Mark the entry for automatic repatch/rebuild across updates;
+        # republish so attached fleet readers see the flag too.
         entry.auto_cluster_index = True
+        self.store.republish(name)
         self.metrics.increment("cluster_indexes_built")
         return self.store.get(name).info()
 
@@ -558,13 +574,56 @@ class ClusteringService:
         self.shutdown_event.set()
         return {"status": "shutting-down"}
 
+    # ------------------------------------------------------------------
+    # fleet endpoints (overridden / activated by repro.service.fleet)
+    # ------------------------------------------------------------------
+    def handle_fleet_register(
+        self, payload: Dict[str, object]
+    ) -> Dict[str, object]:
+        if self.fleet is None:
+            raise ServiceError(
+                "this server is not a fleet supervisor; "
+                "start it with `repro serve --processes N`",
+                status=400,
+            )
+        return self.fleet.register_worker(payload)
+
+    def handle_fleet_metrics(
+        self, payload: Dict[str, object]
+    ) -> Dict[str, object]:
+        """Fleet-wide merged metrics; degenerate single-shard merge
+        when no fleet is attached, so the response shape is uniform."""
+        if self.fleet is not None:
+            return self.fleet.merged_metrics()
+        return merge_metric_snapshots([self.metrics.snapshot()])
+
 
 class _ServiceHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, address, handler, service: ClusteringService) -> None:
-        super().__init__(address, handler)
+    def __init__(
+        self,
+        address,
+        handler,
+        service: ClusteringService,
+        *,
+        sock: Optional[socket.socket] = None,
+    ) -> None:
+        if sock is None:
+            super().__init__(address, handler)
+        else:
+            # Adopt an already-listening socket (fleet workers: either a
+            # per-process SO_REUSEPORT listener or the supervisor's
+            # inherited pre-fork socket) instead of binding a new one.
+            super().__init__(address, handler, bind_and_activate=False)
+            placeholder = self.socket
+            self.socket = sock
+            placeholder.close()
+            host, port = sock.getsockname()[:2]
+            self.server_address = (host, port)
+            self.server_name = host
+            self.server_port = port
         self.service = service
         self.request_timeout = service.request_timeout
 
@@ -654,10 +713,13 @@ class ClusteringServer:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        sock: Optional[socket.socket] = None,
         **service_kwargs: object,
     ) -> None:
         self.service = service or ClusteringService(**service_kwargs)
-        self._httpd = _ServiceHTTPServer((host, port), _Handler, self.service)
+        self._httpd = _ServiceHTTPServer(
+            (host, port), _Handler, self.service, sock=sock
+        )
         self._thread: Optional[threading.Thread] = None
 
     @property
@@ -709,6 +771,14 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument(
         "--port", type=int, default=8421, help="0 picks a free port"
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        help="server processes; >1 starts a sharded fleet sharing the "
+        "graph store zero-copy through named shared-memory segments "
+        "(SO_REUSEPORT when available, pre-forked accept otherwise)",
     )
     parser.add_argument(
         "--workers", type=int, default=2, help="scheduler worker threads"
@@ -825,6 +895,42 @@ def serve_main(argv=None) -> int:
             f"{graph.num_edges:,d} edges",
             file=sys.stderr,
         )
+    if args.processes > 1:
+        from repro.service.fleet import ServiceSupervisor
+
+        supervisor = ServiceSupervisor(
+            service,
+            host=args.host,
+            port=args.port,
+            processes=args.processes,
+            worker_options={
+                "workers": args.workers,
+                "slice_iterations": args.slice_iterations,
+                "cache_capacity": args.cache_capacity,
+                "default_alpha": args.alpha,
+                "default_beta": args.beta,
+                "request_timeout": args.request_timeout,
+                "max_pending_jobs": args.max_pending or None,
+                "fault_plan": args.fault_plan,
+            },
+        )
+        supervisor.start()
+        # The probe socket never accepts; the port only answers once a
+        # worker is listening, so gate the banner on registration.
+        supervisor.wait_ready()
+        print(
+            f"serving on {supervisor.url} "
+            f"({args.processes} processes, control {supervisor.control_url})",
+            flush=True,
+        )
+        try:
+            while not service.shutdown_event.wait(timeout=0.2):
+                pass
+        except KeyboardInterrupt:  # repro: allow[swallow] - ^C is the shutdown signal
+            print("interrupted; shutting down", file=sys.stderr)
+        finally:
+            supervisor.close()
+        return 0
     server = ClusteringServer(service, host=args.host, port=args.port)
     server.start()
     print(f"serving on {server.url}", flush=True)

@@ -1,0 +1,574 @@
+"""Zero-copy shared-memory publication of the GraphStore (DESIGN.md §11).
+
+The multi-process serving fleet needs every worker to see the hosted
+graphs — CSR arrays, materialized per-edge σ, and the GS*-style derived
+structure — without ever pickling them across process boundaries.  This
+module is the storage half of that design:
+
+* :class:`ManifestBlock` — a single shared segment holding a JSON
+  manifest under a **seqlock**: an 8-byte generation counter that is odd
+  while the writer is mid-update and even when the payload is stable.
+  Readers sample the generation, copy the payload, and re-sample; a
+  mismatch (or an odd value) means "retry", so torn reads are detected
+  rather than served.  One writer, any number of readers, no locks
+  shared across processes.
+* :class:`StorePublisher` — the single writer's mirror.  Each
+  :class:`~repro.service.store.GraphEntry` is published as a group of
+  immutable named segments (``repro_{pid}_g{slug}e{epoch}_{label}_…``)
+  through the same :class:`~repro.parallel.processes.SegmentRegistry`
+  machinery as the process-pool backend, so the atexit/SIGTERM sweep and
+  the ``/dev/shm`` leak audit cover the service layer for free.  A
+  mutation publishes a **new epoch** (fresh segments), rewrites the
+  manifest, then unlinks the previous epoch's segments — attached
+  readers keep their mappings (POSIX unlink removes the name, not the
+  memory), and new attachments can only land on the new epoch.
+* :class:`AttachedGraphStore` — the reader's view.  It attaches every
+  array zero-copy (read-only numpy views over the segments; the
+  clustering index is rebuilt via
+  :meth:`~repro.similarity.gsindex.ClusteringIndex.from_derived`, so no
+  O(m log m) re-derivation happens), revalidates the manifest
+  generation before every read, and re-attaches exactly the entries
+  whose epoch moved.  Stale reads are impossible: an entry is only ever
+  swapped in *after* its manifest record — fingerprint included — was
+  read consistently under the seqlock.
+
+Epoch protocol invariants (the short version; DESIGN.md §11 has the
+full argument):
+
+1. segments are immutable once published — a segment name never serves
+   two different byte contents;
+2. the manifest write is the commit point — readers act only on records
+   they observed under a stable generation;
+3. unlink-after-commit cannot strand a reader — a reader that loses the
+   attach race (``FileNotFoundError`` on a just-retired name) re-reads
+   the manifest and lands on the newer epoch.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import threading
+import time
+from multiprocessing import shared_memory
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.graph.csr import Graph
+from repro.parallel.processes import (
+    SegmentRegistry,
+    SharedArraySpec,
+    untrack_attachment,
+)
+from repro.service.store import GraphEntry
+from repro.similarity.gsindex import ClusteringIndex
+from repro.similarity.index import (
+    EdgeSimilarityIndex,
+    IndexedOracle,
+)
+from repro.similarity.weighted import SimilarityConfig, SimilarityOracle
+
+__all__ = [
+    "DEFAULT_MANIFEST_BYTES",
+    "AttachedGraphStore",
+    "ManifestBlock",
+    "StorePublisher",
+]
+
+#: Default manifest capacity.  Manifest records are O(100) bytes per
+#: graph plus the worker table, so 1 MiB is orders of magnitude above
+#: any realistic fleet; the writer raises loudly on overflow.
+DEFAULT_MANIFEST_BYTES = 1 << 20
+
+#: ``(generation, payload length)`` — both unsigned 64-bit.
+_HEADER = struct.Struct("<QQ")
+
+#: How long a reader spins on a mid-write manifest before giving up.
+#: Writes are one JSON dump plus two header stores, so microseconds;
+#: a full second of odd generation means the writer died mid-write.
+_READ_TIMEOUT_SECONDS = 1.0
+
+
+class ManifestBlock:
+    """Seqlock'd JSON document in one shared segment.
+
+    The caller supplies the segment; the block never owns it (the
+    writer's segment belongs to its :class:`SegmentRegistry`, a reader's
+    to whoever attached it).  Writer methods must only ever be called
+    from the single writer process — the seqlock protocol has exactly
+    one writer by construction.
+    """
+
+    def __init__(
+        self, shm: shared_memory.SharedMemory, *, writer: bool
+    ) -> None:
+        self._shm = shm
+        self._writer = bool(writer)
+        generation, _ = _HEADER.unpack_from(shm.buf, 0)
+        # A writer adopting a fresh (zeroed) segment starts at 0; the
+        # first write commits generation 2.
+        self._generation = int(generation)
+
+    @property
+    def capacity(self) -> int:
+        return len(self._shm.buf) - _HEADER.size
+
+    def generation(self) -> int:
+        """The current commit counter (odd = a write is in flight)."""
+        generation, _ = _HEADER.unpack_from(self._shm.buf, 0)
+        return int(generation)
+
+    def write(self, payload: Dict[str, object]) -> int:
+        """Commit ``payload``; returns the new (even) generation.
+
+        Callers serialize their own writes (the publisher holds its
+        lock); the seqlock only orders writer vs readers.
+        """
+        if not self._writer:
+            raise ConfigError("manifest block opened read-only")
+        data = json.dumps(payload, sort_keys=True).encode("utf-8")
+        if len(data) > self.capacity:
+            raise ConfigError(
+                f"manifest payload ({len(data)} bytes) exceeds the "
+                f"shared block capacity ({self.capacity} bytes)"
+            )
+        buf = self._shm.buf
+        pending = self._generation + 1  # odd: readers must retry
+        _HEADER.pack_into(buf, 0, pending, 0)
+        buf[_HEADER.size : _HEADER.size + len(data)] = data
+        self._generation = pending + 1  # even: stable again
+        _HEADER.pack_into(buf, 0, self._generation, len(data))
+        return self._generation
+
+    def read(self) -> "tuple[int, Dict[str, object]]":
+        """A consistent ``(generation, payload)`` snapshot.
+
+        Spins while a write is in flight (bounded by
+        :data:`_READ_TIMEOUT_SECONDS`); raises :class:`ConfigError` on
+        timeout or when no payload was ever committed.
+        """
+        deadline = time.monotonic() + _READ_TIMEOUT_SECONDS
+        buf = self._shm.buf
+        while True:
+            first, length = _HEADER.unpack_from(buf, 0)
+            if first and first % 2 == 0:
+                data = bytes(
+                    buf[_HEADER.size : _HEADER.size + int(length)]
+                )
+                second, _ = _HEADER.unpack_from(buf, 0)
+                if second == first:
+                    return int(first), json.loads(data.decode("utf-8"))
+            if time.monotonic() > deadline:
+                raise ConfigError(
+                    "manifest stayed mid-write past the read timeout "
+                    "(writer died?)" if first else "manifest never written"
+                )
+            time.sleep(0.0005)
+
+
+def _spec_to_wire(spec: SharedArraySpec) -> List[object]:
+    return [spec.shm_name, list(int(x) for x in spec.shape), spec.dtype]
+
+
+def _spec_from_wire(wire: Sequence[object]) -> SharedArraySpec:
+    name, shape, dtype = wire
+    return SharedArraySpec(str(name), tuple(int(x) for x in shape), str(dtype))
+
+
+class StorePublisher:
+    """Single-writer mirror of a :class:`~repro.service.store.GraphStore`.
+
+    Attach one via :meth:`GraphStore.attach_publisher`; afterwards every
+    store mutation republishes the affected entry as a fresh epoch and
+    rewrites the manifest.  All segments — the manifest block included —
+    are owned by one :class:`SegmentRegistry`, so ``close()`` (or the
+    process-wide atexit/SIGTERM sweep) unlinks everything.
+    """
+
+    def __init__(
+        self,
+        *,
+        manifest_bytes: int = DEFAULT_MANIFEST_BYTES,
+        metrics=None,
+    ) -> None:
+        if manifest_bytes < _HEADER.size + 2:
+            raise ConfigError("manifest_bytes is too small to hold a header")
+        self._registry = SegmentRegistry()
+        self._manifest_shm = self._registry.create_block(
+            "manifest", manifest_bytes
+        )
+        self._block = ManifestBlock(self._manifest_shm, writer=True)
+        self._lock = threading.Lock()
+        self._graphs: Dict[str, Dict[str, object]] = {}
+        self._segment_names: Dict[str, List[str]] = {}
+        self._epochs: Dict[str, int] = {}
+        self._slugs: Dict[str, int] = {}
+        self._workers: List[Dict[str, object]] = []
+        self.metrics = metrics
+        self._block.write(self._payload())
+
+    # ------------------------------------------------------------------
+    @property
+    def manifest_name(self) -> str:
+        """Segment name readers hand to :class:`AttachedGraphStore`."""
+        return self._manifest_shm.name
+
+    def generation(self) -> int:
+        return self._block.generation()
+
+    def _payload(self) -> Dict[str, object]:
+        return {"graphs": self._graphs, "workers": self._workers}
+
+    # ------------------------------------------------------------------
+    def publish_entry(self, entry: GraphEntry) -> int:
+        """Publish ``entry`` as a fresh epoch; returns the epoch number.
+
+        Old-epoch segments are unlinked only *after* the manifest commit
+        so a reader can never observe a manifest record whose segments
+        were already retired at commit time.
+        """
+        with self._lock:
+            if self._registry.closed:
+                raise ConfigError("store publisher already closed")
+            slug = self._slugs.setdefault(entry.name, len(self._slugs))
+            epoch = self._epochs.get(entry.name, 0) + 1
+            prefix = f"g{slug}e{epoch}"
+            published: List[str] = []
+            arrays: Dict[str, SharedArraySpec] = {}
+
+            def _publish(label: str, array: np.ndarray) -> None:
+                spec = self._registry.publish(f"{prefix}_{label}", array)
+                published.append(spec.shm_name)
+                arrays[label] = spec
+
+            try:
+                graph = entry.graph
+                _publish("indptr", graph.indptr)
+                _publish("indices", graph.indices)
+                _publish("weights", graph.weights)
+                if entry.index is not None:
+                    _publish("sigmas", entry.index.sigmas)
+                if entry.cluster_index is not None:
+                    for label, array in (
+                        entry.cluster_index.derived_arrays().items()
+                    ):
+                        _publish(f"ci_{label}", array)
+            except BaseException:
+                # A half-published epoch must not outlive the failure.
+                self._registry.release(published)
+                raise
+            record: Dict[str, object] = {
+                "epoch": epoch,
+                "fingerprint": entry.fingerprint,
+                "similarity": {
+                    "kind": entry.similarity.kind,
+                    "closed": entry.similarity.closed,
+                    "self_weight": entry.similarity.self_weight,
+                    "count_self": entry.similarity.count_self,
+                    "pruning": entry.similarity.pruning,
+                },
+                "mu_cap": int(entry.mu_cap),
+                "auto_index": bool(entry.auto_index),
+                "auto_cluster_index": bool(entry.auto_cluster_index),
+                "updates_applied": int(entry.updates_applied),
+                "index_rows_refreshed": int(entry.index_rows_refreshed),
+                "indexed": entry.index is not None,
+                "cluster_indexed": entry.cluster_index is not None,
+                "arrays": {
+                    label: _spec_to_wire(spec)
+                    for label, spec in arrays.items()
+                },
+            }
+            previous = self._segment_names.get(entry.name, [])
+            self._graphs[entry.name] = record
+            self._epochs[entry.name] = epoch
+            self._segment_names[entry.name] = published
+            self._block.write(self._payload())
+            self._registry.release(previous)
+            return epoch
+
+    def remove_entry(self, name: str) -> None:
+        """Drop a graph from the manifest and retire its segments."""
+        with self._lock:
+            record = self._graphs.pop(name, None)
+            if record is None:
+                return
+            previous = self._segment_names.pop(name, [])
+            self._block.write(self._payload())
+            self._registry.release(previous)
+
+    def set_workers(self, workers: Sequence[Dict[str, object]]) -> None:
+        """Publish the fleet table (worker pids/admin URLs) to readers."""
+        with self._lock:
+            self._workers = [dict(worker) for worker in workers]
+            self._block.write(self._payload())
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Unlink every owned segment, manifest included (idempotent)."""
+        self._registry.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._registry.closed
+
+    def __enter__(self) -> "StorePublisher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class AttachedGraphStore:
+    """Read-only :class:`GraphStore` lookalike over published segments.
+
+    Serves the same read API the request handlers use (``get``,
+    ``names``, ``infos``, ``oracle_for``, ``fill_cache_if_current``) but
+    backed entirely by zero-copy attachments.  Every read revalidates
+    the manifest generation first — one shared-memory load on the hot
+    path — and re-attaches only entries whose epoch moved.  Mutating
+    methods raise: mutations belong to the single writer, reached over
+    the fleet's control channel.
+    """
+
+    def __init__(self, manifest_name: str, *, metrics=None) -> None:
+        self._manifest_shm = shared_memory.SharedMemory(name=manifest_name)
+        # Attachments must never reach this process's resource tracker:
+        # a dying reader's tracker would unlink the writer's segments.
+        untrack_attachment(self._manifest_shm)
+        self._block = ManifestBlock(self._manifest_shm, writer=False)
+        self._lock = threading.Lock()
+        self._generation = 0
+        self._entries: Dict[str, GraphEntry] = {}
+        self._workers: List[Dict[str, object]] = []
+        self.metrics = metrics
+        #: Called with the *old* fingerprint whenever a refresh replaces
+        #: an entry (epoch moved); the worker service hooks its result
+        #: cache here.  Purely an eviction optimization — cache keys
+        #: embed the fingerprint, so stale hits are impossible anyway.
+        self.fingerprint_listeners: List[Callable[[str], None]] = []
+        self.refresh()
+
+    # ------------------------------------------------------------------
+    # attachment
+    # ------------------------------------------------------------------
+    def refresh(self) -> bool:
+        """Revalidate against the manifest; returns True when resynced.
+
+        The fast path (generation unchanged) is lock-free: a single
+        8-byte read of the seqlock counter.  The slow path re-reads the
+        manifest and swaps in re-attached entries under the store lock;
+        losing an attach race against the writer's unlink just retries
+        the read (the manifest has necessarily moved on).
+        """
+        if self._block.generation() == self._generation:
+            return False
+        with self._lock:
+            while True:
+                generation, payload = self._block.read()
+                if generation == self._generation:
+                    return False
+                try:
+                    self._resync(payload)
+                except FileNotFoundError:
+                    # Lost the race: a record pointed at segments the
+                    # writer retired after our read.  The manifest has
+                    # a newer generation by construction — re-read it.
+                    if self.metrics is not None:
+                        self.metrics.record_event(
+                            "attach_race_retried",
+                            {"generation": generation},
+                        )
+                    continue
+                self._generation = generation
+                return True
+
+    def _resync(self, payload: Dict[str, object]) -> None:
+        graphs: Dict[str, Dict[str, object]] = payload.get("graphs", {})
+        fresh: Dict[str, GraphEntry] = {}
+        dropped_fingerprints: List[str] = []
+        for name, record in graphs.items():
+            current = self._entries.get(name)
+            if current is not None and current.epoch == record["epoch"]:
+                fresh[name] = current
+                continue
+            fresh[name] = self._build_entry(name, record)
+            if current is not None:
+                dropped_fingerprints.append(current.fingerprint)
+        for name, entry in self._entries.items():
+            if name not in graphs:
+                dropped_fingerprints.append(entry.fingerprint)
+        self._entries = fresh
+        self._workers = list(payload.get("workers", []))
+        for fingerprint in dropped_fingerprints:
+            for listener in self.fingerprint_listeners:
+                listener(fingerprint)
+
+    def _build_entry(
+        self, name: str, record: Dict[str, object]
+    ) -> GraphEntry:
+        wire: Dict[str, Sequence[object]] = record["arrays"]
+        views = {
+            label: SegmentRegistry.attach(_spec_from_wire(spec))
+            for label, spec in wire.items()
+        }
+        # validate=False: the writer validated at build time, and
+        # ascontiguousarray over an aligned view is zero-copy.
+        graph = Graph(
+            views["indptr"],
+            views["indices"],
+            views["weights"],
+            validate=False,
+        )
+        similarity = SimilarityConfig(**record["similarity"])
+        fingerprint = str(record["fingerprint"])
+        index: Optional[EdgeSimilarityIndex] = None
+        cluster_index: Optional[ClusteringIndex] = None
+        if "sigmas" in views:
+            index = EdgeSimilarityIndex(
+                graph, similarity, views["sigmas"], fingerprint=fingerprint
+            )
+            derived = {
+                label[len("ci_"):]: view
+                for label, view in views.items()
+                if label.startswith("ci_")
+            }
+            if derived:
+                cluster_index = ClusteringIndex.from_derived(
+                    index, mu_cap=int(record["mu_cap"]), arrays=derived
+                )
+        entry = GraphEntry(
+            name=name,
+            graph=graph,
+            similarity=similarity,
+            fingerprint=fingerprint,
+            index=index,
+            auto_index=bool(record["auto_index"]),
+            cluster_index=cluster_index,
+            auto_cluster_index=bool(record["auto_cluster_index"]),
+            mu_cap=int(record["mu_cap"]),
+            updates_applied=int(record["updates_applied"]),
+            index_rows_refreshed=int(record["index_rows_refreshed"]),
+        )
+        entry.epoch = int(record["epoch"])
+        return entry
+
+    # ------------------------------------------------------------------
+    # GraphStore read API
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> GraphEntry:
+        self.refresh()
+        with self._lock:
+            entry = self._entries.get(name)
+        if entry is None:
+            raise ConfigError(f"unknown graph {name!r}")
+        return entry
+
+    def names(self) -> List[str]:
+        self.refresh()
+        with self._lock:
+            return sorted(self._entries)
+
+    def __len__(self) -> int:
+        self.refresh()
+        with self._lock:
+            return len(self._entries)
+
+    def infos(self) -> List[Dict[str, object]]:
+        self.refresh()
+        with self._lock:
+            entries = list(self._entries.values())
+        return [entry.info() for entry in entries]
+
+    def workers(self) -> List[Dict[str, object]]:
+        """The fleet table the writer last published."""
+        self.refresh()
+        with self._lock:
+            return [dict(worker) for worker in self._workers]
+
+    def generation(self) -> int:
+        return self._block.generation()
+
+    def epochs(self) -> Dict[str, int]:
+        """Per-graph publication epochs this reader currently serves."""
+        self.refresh()
+        with self._lock:
+            return {
+                name: int(entry.epoch)
+                for name, entry in sorted(self._entries.items())
+            }
+
+    def republish(self, name: str) -> None:
+        """No-op: only the writer's store re-exports entries."""
+
+    def oracle_for(self, entry: GraphEntry) -> SimilarityOracle:
+        """Same contract as :meth:`GraphStore.oracle_for`."""
+        if entry.index is not None:
+            return IndexedOracle(entry.index, config=entry.similarity)
+        return SimilarityOracle(entry.graph, entry.similarity)
+
+    def fill_cache_if_current(
+        self, cache, name: str, fingerprint: str, key, value
+    ) -> bool:
+        """Insert only if ``name`` still answers for ``fingerprint``.
+
+        Same guard as the writer's store: revalidate the manifest, then
+        check-and-put under the local lock so a refresh cannot
+        interleave between the check and the insert.
+        """
+        self.refresh()
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None or entry.fingerprint != fingerprint:
+                return False
+            cache.put(key, value)
+            return True
+
+    # ------------------------------------------------------------------
+    # mutations are the writer's job
+    # ------------------------------------------------------------------
+    def _read_only(self) -> "ConfigError":
+        return ConfigError(
+            "this store is an attached read-only view; mutations route "
+            "to the writer over the fleet control channel"
+        )
+
+    def add(self, *args, **kwargs):
+        raise self._read_only()
+
+    def remove(self, name: str):
+        raise self._read_only()
+
+    def update_edges(self, name: str, **kwargs):
+        raise self._read_only()
+
+    def ensure_index(self, name: str) -> GraphEntry:
+        """Read-only stores never build; serve whatever is attached."""
+        return self.get(name)
+
+    def ensure_cluster_index(
+        self, name: str, *, mu_cap: int | None = None
+    ) -> GraphEntry:
+        """Read-only stores never build; serve whatever is attached."""
+        return self.get(name)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop attachments; array views detach via their finalizers."""
+        with self._lock:
+            self._entries = {}
+            self._workers = []
+        try:
+            self._manifest_shm.close()
+        except (OSError, BufferError):  # pragma: no cover
+            # A lingering buffer export just defers the unmap to
+            # process exit; nothing useful to do about it here.
+            return
+
+    def __enter__(self) -> "AttachedGraphStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -212,6 +212,10 @@ class GraphEntry:
     #: σ-row refreshes the clustering index absorbed in-place (as
     #: opposed to full rebuilds) across update-edges batches.
     index_rows_refreshed: int = 0
+    #: Shared-memory publication epoch (0 = never published).  Bumped
+    #: by the store's publisher on every mutation that republishes the
+    #: entry; attached readers compare epochs to revalidate.
+    epoch: int = 0
     # Mutable mirror backing update-edges; built on the first update.
     dynamic: Optional[DynamicSCAN] = field(default=None, repr=False)
 
@@ -221,6 +225,7 @@ class GraphEntry:
             "num_vertices": int(self.graph.num_vertices),
             "num_edges": int(self.graph.num_edges),
             "fingerprint": self.fingerprint,
+            "epoch": int(self.epoch),
             "indexed": self.index is not None,
             "auto_index": self.auto_index,
             "cluster_indexed": self.cluster_index is not None,
@@ -266,6 +271,38 @@ class GraphStore:
         self._lock = threading.Lock()
         self._entries: Dict[str, GraphEntry] = {}
         self.metrics = metrics
+        # Optional shared-memory mirror (repro.service.shm.StorePublisher):
+        # when attached, every mutation republishes the affected entry so
+        # attached reader processes revalidate by epoch, never serve stale.
+        self._publisher = None
+
+    # ------------------------------------------------------------------
+    # shared-memory publication (single-writer side of DESIGN.md §11)
+    # ------------------------------------------------------------------
+    def attach_publisher(self, publisher) -> None:
+        """Mirror current entries — and every future mutation — into
+        ``publisher`` (duck-typed: ``publish_entry``/``remove_entry``).
+
+        Publish failures propagate: a mutation that cannot reach the
+        shared manifest must fail loudly rather than let attached
+        readers drift behind the writer's private state.
+        """
+        with self._lock:
+            self._publisher = publisher
+            for entry in self._entries.values():
+                self._publish_locked(entry)
+
+    def _publish_locked(self, entry: GraphEntry) -> None:
+        if self._publisher is not None:
+            entry.epoch = self._publisher.publish_entry(entry)
+
+    def republish(self, name: str) -> None:
+        """Re-export one entry's current state (e.g. a metadata flag
+        flip) to attached readers; no-op without a publisher."""
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is not None:
+                self._publish_locked(entry)
 
     # ------------------------------------------------------------------
     # registry
@@ -319,6 +356,7 @@ class GraphStore:
                     "to overwrite it"
                 )
             self._entries[name] = entry
+            self._publish_locked(entry)
         return entry
 
     def get(self, name: str) -> GraphEntry:
@@ -332,6 +370,8 @@ class GraphStore:
         """Unload a graph; returns its fingerprint (for invalidation)."""
         with self._lock:
             entry = self._entries.pop(name, None)
+            if entry is not None and self._publisher is not None:
+                self._publisher.remove_entry(name)
         if entry is None:
             raise ConfigError(f"unknown graph {name!r}")
         return entry.fingerprint
@@ -396,6 +436,7 @@ class GraphStore:
                 and current.fingerprint == index.fingerprint
             ):
                 current.index = index
+                self._publish_locked(current)
         return entry
 
     def ensure_cluster_index(
@@ -427,6 +468,7 @@ class GraphStore:
                 current.cluster_index = cluster_index
                 current.index = cluster_index.edge
                 current.mu_cap = cap
+                self._publish_locked(current)
         return entry
 
     # ------------------------------------------------------------------
@@ -516,6 +558,9 @@ class GraphStore:
                     rows_refreshed = self._refresh_indexes_locked(
                         entry, affected
                     )
+                    # One epoch bump per batch: attached readers flip to
+                    # the post-update snapshot atomically (DESIGN.md §11).
+                    self._publish_locked(entry)
             return UpdateStats(
                 old_fingerprint=old_fingerprint,
                 new_fingerprint=entry.fingerprint,

@@ -169,6 +169,92 @@ class ClusteringIndex:
             core_eps, core_order, axis=1
         )
 
+    #: The derived arrays, in a fixed order: ``derived_arrays`` exports
+    #: them under these names and :meth:`from_derived` re-imports them.
+    DERIVED_LABELS: Tuple[str, ...] = (
+        "owners",
+        "order",
+        "sorted_sigmas",
+        "sorted_neighbors",
+        "core_eps",
+        "core_order",
+        "core_thresholds_sorted",
+    )
+
+    def derived_arrays(self) -> Dict[str, np.ndarray]:
+        """The derived structure as a name → array mapping.
+
+        These are deterministic functions of (σ, graph, μ-cap); together
+        with the :class:`EdgeSimilarityIndex` payload they are the whole
+        queryable state, which is what the service's zero-copy publisher
+        ships through shared memory so attaching processes skip the
+        O(m log m) :meth:`_derive` entirely.
+        """
+        return {
+            "owners": self._owners,
+            "order": self._order,
+            "sorted_sigmas": self._sorted_sigmas,
+            "sorted_neighbors": self._sorted_neighbors,
+            "core_eps": self._core_eps,
+            "core_order": self._core_order,
+            "core_thresholds_sorted": self._core_thresholds_sorted,
+        }
+
+    @classmethod
+    def from_derived(
+        cls,
+        edge: EdgeSimilarityIndex,
+        *,
+        mu_cap: int,
+        arrays: Dict[str, np.ndarray],
+    ) -> "ClusteringIndex":
+        """Rebuild an index around externally supplied derived arrays.
+
+        The zero-copy attach path: ``arrays`` typically holds read-only
+        views over shared-memory segments published by the single
+        writer, and no sorting or σ work happens here — only cheap shape
+        checks that catch a mismatched manifest before it can serve
+        wrong answers.  Queries on the result are byte-identical to the
+        source index: :meth:`query` is a pure function of these arrays.
+        """
+        if mu_cap < 1:
+            raise ConfigError("mu_cap must be >= 1")
+        missing = [
+            label for label in cls.DERIVED_LABELS if label not in arrays
+        ]
+        if missing:
+            raise ConfigError(
+                f"derived arrays missing {missing!r}"
+            )
+        index = cls.__new__(cls)
+        index.edge = edge
+        index.mu_cap = int(mu_cap)
+        index.counters = SimilarityCounters()
+        index.last_query = {}
+        m = edge.sigmas.shape[0]
+        n = edge.graph.num_vertices
+        index._owners = arrays["owners"]
+        index._order = arrays["order"]
+        index._sorted_sigmas = arrays["sorted_sigmas"]
+        index._sorted_neighbors = arrays["sorted_neighbors"]
+        index._core_eps = arrays["core_eps"]
+        index._core_order = arrays["core_order"]
+        index._core_thresholds_sorted = arrays["core_thresholds_sorted"]
+        index._self_count = 1 if edge.config.count_self else 0
+        for label in ("owners", "order", "sorted_sigmas", "sorted_neighbors"):
+            if arrays[label].shape != (m,):
+                raise ConfigError(
+                    f"derived array {label!r} has shape "
+                    f"{arrays[label].shape}, expected ({m},)"
+                )
+        for label in ("core_eps", "core_order", "core_thresholds_sorted"):
+            if arrays[label].shape != (index.mu_cap, n):
+                raise ConfigError(
+                    f"derived array {label!r} has shape "
+                    f"{arrays[label].shape}, expected ({index.mu_cap}, {n})"
+                )
+        return index
+
     # ------------------------------------------------------------------
     # core determination (binary search; no σ evaluations)
     # ------------------------------------------------------------------

@@ -20,7 +20,9 @@ that broke it.
 from __future__ import annotations
 
 import os
+import signal
 import threading
+import time
 from pathlib import Path
 
 import numpy as np
@@ -347,3 +349,114 @@ def test_lock_order_watch_flags_injected_abba_cycle():
         set_lock_order_watch(previous)
     with pytest.raises(LockOrderViolation, match="table-lock"):
         watch.assert_acyclic()
+
+
+@pytest.mark.parametrize("seed", _seeds())
+def test_fleet_survives_sigkilled_shard(seed):
+    """Battery F: SIGKILL one worker of a live fleet mid-service.
+
+    The invariants the sharded fleet guarantees by construction:
+
+    * the supervisor respawns the shard and ``/fleet/metrics`` witnesses
+      it (``worker_exits``/``worker_respawns`` counters, both shards
+      scraped again);
+    * the killed pid leaves **no** ``repro_*`` segment behind — workers
+      only ever attach, and attachments are untracked from their local
+      resource tracker precisely so a dying reader cannot reap the
+      writer's live segments;
+    * no stale reads: answers after the kill are byte-identical to the
+      answers before it, a mutation routed through any surviving (or
+      respawned) shard lands in a fresh epoch, and every new connection
+      observes that epoch.
+    """
+    if not shared_memory_available():
+        pytest.skip("POSIX shared memory unavailable")
+    from repro.result import Clustering
+    from repro.service.client import ServiceClient
+    from repro.service.fleet import ServiceSupervisor
+    from repro.service.server import ClusteringService
+
+    graph = gnm_random_graph(120, 420, seed=31)
+    mu, epsilon = 2, 0.5
+    reference = scan(graph, mu, epsilon, seed=0).canonical()
+
+    service = ClusteringService(workers=2, slice_iterations=2)
+    supervisor = ServiceSupervisor(
+        service,
+        processes=2,
+        worker_options={"workers": 2, "slice_iterations": 2},
+    )
+    try:
+        supervisor.start().wait_ready()
+        with ServiceClient(supervisor.url, timeout=60.0) as client:
+            client.load_graph("chaos", graph=graph, build_index=True)
+            before = client.cluster("chaos", mu, epsilon, wait=60.0)
+        got = Clustering(
+            labels=np.asarray(before["labels"], dtype=np.int64)
+        ).canonical()
+        np.testing.assert_array_equal(got.labels, reference.labels)
+
+        with supervisor._lock:
+            registrations = dict(supervisor._registrations)
+        victim = registrations[seed % len(registrations)]
+        os.kill(int(victim["pid"]), signal.SIGKILL)
+
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            with supervisor._lock:
+                if (
+                    supervisor._respawns >= 1
+                    and len(supervisor._registrations) == 2
+                ):
+                    break
+            time.sleep(0.05)
+        else:
+            pytest.fail("killed shard never respawned")
+
+        # The killed worker owned no segments (readers only attach).
+        shm_dir = Path("/dev/shm")
+        strays = (
+            sorted(
+                p.name
+                for p in shm_dir.glob(f"repro_{victim['pid']}_*")
+            )
+            if shm_dir.is_dir()
+            else []
+        )
+        assert strays == []
+
+        # Every fresh connection — whichever shard the kernel picks —
+        # answers the exact bytes served before the kill.
+        for _ in range(4):
+            with ServiceClient(supervisor.url, timeout=60.0) as probe:
+                after = probe.cluster("chaos", mu, epsilon, wait=60.0)
+                assert after["labels"] == before["labels"]
+
+        # A post-kill mutation commits a fresh epoch visible everywhere.
+        inserts = []
+        for u in range(graph.num_vertices):
+            row = set(
+                graph.indices[graph.indptr[u] : graph.indptr[u + 1]]
+            )
+            for v in range(u + 1, graph.num_vertices):
+                if v not in row:
+                    inserts.append([u, v, 1.0])
+                    break
+            if len(inserts) == 2:
+                break
+        with ServiceClient(supervisor.url, timeout=60.0) as writer:
+            update = writer.update_edges("chaos", insert=inserts)
+        for _ in range(3):
+            with ServiceClient(supervisor.url, timeout=60.0) as probe:
+                info = probe.graph_info("chaos")
+                assert info["fingerprint"] == update["fingerprint"]
+
+        merged = None
+        with ServiceClient(supervisor.url, timeout=60.0) as probe:
+            merged = probe.fleet_metrics()
+        assert merged["counters"]["worker_exits"] >= 1
+        assert merged["counters"]["worker_respawns"] >= 1
+        assert sorted(merged["fleet"]["scraped_shards"]) == [0, 1]
+    finally:
+        supervisor.close()
+    assert _stray_segments() == []

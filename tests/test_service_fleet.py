@@ -1,0 +1,413 @@
+"""Zero-copy shared-memory store + multi-process fleet (DESIGN.md §11).
+
+Three layers, bottom up:
+
+* :class:`~repro.service.shm.ManifestBlock` — the seqlock protocol in
+  isolation: commit parity, torn-write detection, overflow, read-only
+  enforcement, and the writer-died timeout;
+* :class:`~repro.service.shm.StorePublisher` /
+  :class:`~repro.service.shm.AttachedGraphStore` — an in-process
+  writer/reader pair over real segments: byte-identical arrays, epoch
+  bumps on mutation, unlink-after-commit hygiene, and the read-only
+  contract of the attached view;
+* the live fleet — :class:`~repro.service.fleet.ServiceSupervisor`
+  with real worker subprocesses behind one port, in both socket modes
+  (``SO_REUSEPORT`` and the pre-forked-accept fallback): responses
+  byte-identical to a single-process server for the same request
+  stream, including after ``update-edges`` routed through the writer;
+  shard-prefixed job ids answered from any connection; merged
+  ``/fleet/metrics``.
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import shared_memory
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph.generators.lfr import LFRParams, lfr_graph
+from repro.parallel.processes import (
+    SegmentRegistry,
+    _release_named,
+    shared_memory_available,
+    untrack_attachment,
+)
+from repro.service.client import ServiceClient
+from repro.service.fleet import ServiceSupervisor
+from repro.service.server import ClusteringServer, ClusteringService
+from repro.service.shm import (
+    AttachedGraphStore,
+    ManifestBlock,
+    StorePublisher,
+)
+from repro.service.store import GraphStore
+
+pytestmark = [
+    pytest.mark.timeout(180),
+    pytest.mark.skipif(
+        not shared_memory_available(),
+        reason="POSIX shared memory unavailable",
+    ),
+]
+
+_WAIT = 60.0
+_SETTINGS = ((2, 0.5), (3, 0.6), (4, 0.65))
+
+
+def _lfr(n=150, seed=23):
+    graph, _ = lfr_graph(
+        LFRParams(n=n, average_degree=8, max_degree=30, seed=seed)
+    )
+    return graph
+
+
+def _segments(pid=None):
+    shm_dir = Path("/dev/shm")
+    if not shm_dir.is_dir():
+        return []
+    pattern = f"repro_{pid}_*" if pid is not None else "repro_*"
+    return sorted(p.name for p in shm_dir.glob(pattern))
+
+
+# ----------------------------------------------------------------------
+# ManifestBlock: the seqlock protocol
+# ----------------------------------------------------------------------
+class TestManifestBlock:
+    def test_write_read_roundtrip_and_parity(self):
+        with SegmentRegistry() as registry:
+            shm = registry.create_block("manifest_test", 4096)
+            writer = ManifestBlock(shm, writer=True)
+            assert writer.generation() == 0
+            generation = writer.write({"graphs": {"a": 1}})
+            assert generation == 2  # first commit: 0 → 1 (pending) → 2
+            reader = ManifestBlock(shm, writer=False)
+            got_generation, payload = reader.read()
+            assert got_generation == 2
+            assert payload == {"graphs": {"a": 1}}
+            assert writer.write({"graphs": {}}) == 4  # always even
+            assert reader.read() == (4, {"graphs": {}})
+
+    def test_read_only_block_rejects_writes(self):
+        with SegmentRegistry() as registry:
+            shm = registry.create_block("manifest_ro", 1024)
+            ManifestBlock(shm, writer=True).write({"x": 1})
+            reader = ManifestBlock(shm, writer=False)
+            with pytest.raises(ConfigError, match="read-only"):
+                reader.write({"x": 2})
+
+    def test_oversized_payload_raises_before_touching_header(self):
+        with SegmentRegistry() as registry:
+            shm = registry.create_block("manifest_small", 64)
+            writer = ManifestBlock(shm, writer=True)
+            writer.write({"k": 1})
+            with pytest.raises(ConfigError, match="exceeds"):
+                writer.write({"k": "x" * 4096})
+            # The failed write must not have torn the committed payload.
+            assert ManifestBlock(shm, writer=False).read() == (2, {"k": 1})
+
+    def test_never_written_manifest_times_out(self):
+        with SegmentRegistry() as registry:
+            shm = registry.create_block("manifest_empty", 1024)
+            reader = ManifestBlock(shm, writer=False)
+            with pytest.raises(ConfigError, match="never written"):
+                reader.read()
+
+    def test_mid_write_generation_times_out_as_writer_death(self):
+        import struct
+
+        with SegmentRegistry() as registry:
+            shm = registry.create_block("manifest_torn", 1024)
+            # Simulate a writer that died mid-update: odd generation.
+            struct.Struct("<QQ").pack_into(shm.buf, 0, 3, 0)
+            reader = ManifestBlock(shm, writer=False)
+            with pytest.raises(ConfigError, match="mid-write"):
+                reader.read()
+
+
+# ----------------------------------------------------------------------
+# segment hygiene primitives
+# ----------------------------------------------------------------------
+class TestSegmentHygiene:
+    def test_release_named_owner_pid_guard(self):
+        """A forked child inheriting the registry dict must never unlink
+        the parent's live segments; only the owning pid releases."""
+        shm = shared_memory.SharedMemory(
+            name=f"repro_{os.getpid()}_guard_test", create=True, size=64
+        )
+        try:
+            owned = {"guard_test": shm}
+            _release_named(dict(owned), owner_pid=os.getpid() + 99_999)
+            # Wrong pid: the segment must still exist and be attachable.
+            probe = shared_memory.SharedMemory(name=shm.name)
+            untrack_attachment(probe)
+            probe.close()
+        finally:
+            _release_named({"guard_test": shm}, owner_pid=os.getpid())
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=shm.name)
+
+    def test_untrack_attachment_keeps_owner_segment_alive(self):
+        """Closing an untracked attachment must not unlink the segment
+        (the attacher's resource tracker would otherwise reap it)."""
+        with SegmentRegistry() as registry:
+            spec = registry.publish("untrack", np.arange(8, dtype=np.int64))
+            attached = shared_memory.SharedMemory(name=spec.shm_name)
+            untrack_attachment(attached)
+            attached.close()
+            # Still attachable through the registry after the close.
+            view = SegmentRegistry.attach(spec)
+            np.testing.assert_array_equal(
+                view, np.arange(8, dtype=np.int64)
+            )
+
+
+# ----------------------------------------------------------------------
+# publisher ↔ attached store (in-process writer/reader pair)
+# ----------------------------------------------------------------------
+class TestPublisherAttachment:
+    def test_roundtrip_epochs_and_unlink_after_commit(self):
+        graph = _lfr()
+        store = GraphStore()
+        with StorePublisher() as publisher:
+            store.attach_publisher(publisher)
+            entry = store.add(
+                "g", graph, build_index=True, build_cluster_index=True
+            )
+            attached = AttachedGraphStore(publisher.manifest_name)
+            try:
+                assert attached.names() == ["g"]
+                assert attached.epochs() == {"g": 1}
+                got = attached.get("g")
+                assert got.fingerprint == entry.fingerprint
+                np.testing.assert_array_equal(
+                    got.graph.indptr, graph.indptr
+                )
+                np.testing.assert_array_equal(
+                    got.graph.indices, graph.indices
+                )
+                np.testing.assert_array_equal(
+                    got.graph.weights, graph.weights
+                )
+                assert got.index is not None
+                np.testing.assert_array_equal(
+                    got.index.sigmas, entry.index.sigmas
+                )
+                assert got.cluster_index is not None
+
+                epoch1_segments = set(_segments(os.getpid()))
+                stats = store.update_edges(
+                    "g", insert=[[0, 1, 1.0], [2, 5, 1.0]]
+                )
+                assert stats is not None
+                assert attached.refresh() is True
+                assert attached.epochs() == {"g": 2}
+                fresh = attached.get("g")
+                assert fresh.fingerprint == store.get("g").fingerprint
+                np.testing.assert_array_equal(
+                    fresh.graph.indices, store.get("g").graph.indices
+                )
+                # Unlink-after-commit: every epoch-1 graph segment is
+                # gone; only the manifest survives from the old set.
+                survivors = epoch1_segments & set(_segments(os.getpid()))
+                assert all("e1" not in name for name in survivors - {
+                    publisher.manifest_name.lstrip("/")
+                } if "_g0" in name)
+
+                store.remove("g")
+                attached.refresh()
+                assert attached.names() == []
+            finally:
+                attached.close()
+        assert _segments(os.getpid()) == []
+
+    def test_attached_store_is_read_only(self):
+        graph = _lfr(n=60, seed=5)
+        store = GraphStore()
+        with StorePublisher() as publisher:
+            store.attach_publisher(publisher)
+            store.add("ro", graph, build_index=True)
+            attached = AttachedGraphStore(publisher.manifest_name)
+            try:
+                with pytest.raises(ConfigError, match="read-only"):
+                    attached.add("x", graph)
+                with pytest.raises(ConfigError, match="read-only"):
+                    attached.remove("ro")
+                with pytest.raises(ConfigError, match="read-only"):
+                    attached.update_edges("ro", insert=[[0, 1, 1.0]])
+                # ensure_* never build on a reader; they serve as-is.
+                assert attached.ensure_index("ro").index is not None
+                assert (
+                    attached.ensure_cluster_index("ro").cluster_index
+                    is None
+                )
+            finally:
+                attached.close()
+
+    def test_fill_cache_guard_rejects_stale_fingerprint(self):
+        graph = _lfr(n=60, seed=6)
+        store = GraphStore()
+        with StorePublisher() as publisher:
+            store.attach_publisher(publisher)
+            store.add("guard", graph)
+            attached = AttachedGraphStore(publisher.manifest_name)
+            try:
+                fingerprint = attached.get("guard").fingerprint
+
+                class _Cache:
+                    def __init__(self):
+                        self.puts = []
+
+                    def put(self, key, value):
+                        self.puts.append((key, value))
+
+                cache = _Cache()
+                assert attached.fill_cache_if_current(
+                    cache, "guard", fingerprint, "k", "v"
+                )
+                store.update_edges("guard", insert=[[0, 2, 1.0]])
+                assert not attached.fill_cache_if_current(
+                    cache, "guard", fingerprint, "k2", "v2"
+                )
+                assert cache.puts == [("k", "v")]
+            finally:
+                attached.close()
+
+
+# ----------------------------------------------------------------------
+# the live fleet (worker subprocesses behind one port)
+# ----------------------------------------------------------------------
+def _start_fleet(processes=2, **worker_options):
+    service = ClusteringService(workers=2, slice_iterations=2)
+    supervisor = ServiceSupervisor(
+        service,
+        processes=processes,
+        worker_options=dict(
+            {"workers": 2, "slice_iterations": 2}, **worker_options
+        ),
+    )
+    supervisor.start().wait_ready()
+    return supervisor
+
+
+def _query_stream(url, graph):
+    """Load + index + query; returns the comparable response bodies."""
+    bodies = []
+    client = ServiceClient(url, timeout=_WAIT)
+    info = client.load_graph("fleet", graph=graph, build_index=True)
+    bodies.append(
+        {"fingerprint": info["fingerprint"], "num_edges": info["num_edges"]}
+    )
+    for mu, epsilon in _SETTINGS:
+        body = client.cluster("fleet", mu, epsilon, wait=_WAIT)
+        bodies.append(
+            {
+                "labels": body["labels"],
+                "num_clusters": body["num_clusters"],
+                "state": body["state"],
+            }
+        )
+    update = client.update_edges("fleet", insert=[[0, 1, 1.0], [3, 7, 1.0]])
+    bodies.append(
+        {
+            "fingerprint": update["fingerprint"],
+            "cache_entries_invalidated": update["cache_entries_invalidated"],
+        }
+    )
+    mu, epsilon = _SETTINGS[0]
+    after = client.cluster("fleet", mu, epsilon, wait=_WAIT)
+    bodies.append(
+        {"labels": after["labels"], "num_clusters": after["num_clusters"]}
+    )
+    client.close()
+    return bodies
+
+
+def test_fleet_differential_byte_identity_with_single_process():
+    """Any shard answers the exact bytes a single-process server does —
+    including after ``update-edges`` routed through the writer."""
+    graph = _lfr()
+    with ClusteringServer(workers=2, slice_iterations=2) as single:
+        expected = _query_stream(single.url, graph)
+    supervisor = _start_fleet(processes=2)
+    try:
+        got = _query_stream(supervisor.url, graph)
+    finally:
+        supervisor.close()
+    assert got == expected
+    assert _segments(os.getpid()) == []
+
+
+def test_fleet_fallback_socket_mode(monkeypatch):
+    """The pre-forked-accept fallback serves the same answers."""
+    monkeypatch.setenv("REPRO_FLEET_NO_REUSEPORT", "1")
+    graph = _lfr(n=100, seed=9)
+    with ClusteringServer(workers=2, slice_iterations=2) as single:
+        expected = _query_stream(single.url, graph)
+    supervisor = _start_fleet(processes=2)
+    try:
+        assert supervisor.reuseport is False
+        got = _query_stream(supervisor.url, graph)
+    finally:
+        supervisor.close()
+    assert got == expected
+    assert _segments(os.getpid()) == []
+
+
+def test_fleet_job_routing_across_connections():
+    """Shard-prefixed job ids resolve from any connection: a client
+    whose keep-alive connection lands on shard B can still follow a job
+    created on shard A (proxied over the admin channel)."""
+    graph = _lfr(n=100, seed=11)
+    supervisor = _start_fleet(processes=2)
+    try:
+        seeder = ServiceClient(supervisor.url, timeout=_WAIT)
+        seeder.load_graph("fleet", graph=graph, build_index=True)
+        body = seeder.cluster("fleet", 2, 0.5, wait=_WAIT)
+        job_id = body["job_id"]
+        assert job_id.startswith("w")  # shard-prefixed
+        # Several fresh connections: SO_REUSEPORT may pin any shard.
+        for _ in range(4):
+            with ServiceClient(supervisor.url, timeout=_WAIT) as probe:
+                status = probe.status(job_id)
+                assert status["state"] == "done"
+                listed = [job["job_id"] for job in probe.jobs()]
+                assert job_id in listed
+        seeder.close()
+    finally:
+        supervisor.close()
+    assert _segments(os.getpid()) == []
+
+
+def test_fleet_metrics_merge_and_keepalive():
+    """`/fleet/metrics` sums counters across shards + writer, reports
+    per-shard gauges, and the client transport reuses its connection."""
+    graph = _lfr(n=100, seed=13)
+    supervisor = _start_fleet(processes=2)
+    try:
+        client = ServiceClient(supervisor.url, timeout=_WAIT)
+        client.load_graph("fleet", graph=graph, build_index=True)
+        for _ in range(3):
+            client.cluster("fleet", 2, 0.5, wait=_WAIT)
+        # Keep-alive: after several requests one persistent connection
+        # is still open (the transport never fell back to one-shot).
+        assert client._conn is not None
+        merged = client.fleet_metrics()
+        assert merged["fleet"]["processes"] == 2
+        assert sorted(merged["fleet"]["scraped_shards"]) == [0, 1]
+        assert merged["counters"]["workers_registered"] == 2
+        assert merged["counters"]["requests_total"] >= 4
+        roles = [
+            shard["gauges"]["process"]["role"]
+            for shard in merged["shards"]
+            if "process" in shard.get("gauges", {})
+        ]
+        assert roles.count("writer") == 1
+        assert roles.count("worker") == 2
+        client.close()
+    finally:
+        supervisor.close()
+    assert _segments(os.getpid()) == []

@@ -20,6 +20,7 @@ from repro.bench.experiments.fig13 import fig13
 from repro.bench.experiments.fig14 import fig14
 from repro.bench.experiments.index_queries import index_queries
 from repro.bench.experiments.kernels import kernels
+from repro.bench.experiments.local_queries import local_queries
 from repro.bench.experiments.service import service
 from repro.bench.experiments.speedup import speedup
 from repro.bench.experiments.tables import tab1, tab2
@@ -45,6 +46,7 @@ EXPERIMENTS: Dict[str, Callable[..., List[ExperimentResult]]] = {
     "kernels": kernels,
     "service": service,
     "index_queries": index_queries,
+    "local_queries": local_queries,
     "ablation_pruning": ablation_pruning,
     "ablation_sorting": ablation_sorting,
     "ablation_schedule": ablation_schedule,

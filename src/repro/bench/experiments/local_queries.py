@@ -1,0 +1,211 @@
+"""Seeded local-query cost vs whole-graph clustering (DESIGN.md §12).
+
+The ``repro.local`` claim: ``local_cluster(graph, seed, ε, μ)`` touches
+σ rows proportional to the **answer** (the seed's cluster plus its
+one-hop boundary), not to the graph — so interactive per-vertex queries
+stay cheap no matter how large |E| grows.  This experiment groups query
+seeds by the size of the cluster the reference assigns them, then runs
+each seed through the three σ tiers:
+
+* ``cluster-index`` — qualifying prefixes off the GS*-style index;
+  σ evaluations are **asserted zero**;
+* ``edge-index`` — σ lookups over stored values; also zero evaluations;
+* ``oracle`` — σ computed on demand over touched edges only.
+
+Each answer is asserted byte-identical to the seed's cluster in a
+whole-graph :func:`parallel_scan`, whose latency is the comparison
+line.  Writes ``BENCH_local_queries.json`` (to ``$REPRO_BENCH_DIR`` or
+the working directory) so CI archives the numbers per commit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.bench.harness import ExperimentResult
+from repro.core import parallel_scan
+from repro.graph.generators.lfr import LFRParams, lfr_graph
+from repro.local import local_cluster
+from repro.similarity.gsindex import ClusteringIndex
+
+__all__ = ["local_queries"]
+
+_EPSILON = 0.5
+_MU = 3
+_TIERS = ("cluster-index", "edge-index", "oracle")
+
+
+def _percentile(values: List[float], q: float) -> float:
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+def local_queries(
+    scale: str = "bench", quick: bool = False
+) -> List[ExperimentResult]:
+    """Touched edges + latency per σ tier, bucketed by cluster size."""
+    if quick:
+        params = LFRParams(n=400, average_degree=8, max_degree=30, seed=11)
+        seeds_per_bucket = 4
+    else:
+        params = LFRParams(
+            n=8_000, average_degree=12, max_degree=80, seed=11
+        )
+        seeds_per_bucket = 8
+    graph, _ = lfr_graph(params)
+
+    # Whole-graph comparison line (and the differential reference).
+    t0 = time.perf_counter()
+    reference = parallel_scan(graph, _MU, _EPSILON, seed=0)
+    global_ms = (time.perf_counter() - t0) * 1e3
+
+    started = time.perf_counter()
+    index = ClusteringIndex.build(graph)
+    build_seconds = time.perf_counter() - started
+
+    # Bucket query seeds by the size of the cluster they belong to —
+    # the independent variable the local-work claim is about.  The
+    # non-member bucket (hubs/outliers: empty answer) rides along.
+    labels = np.asarray(reference.labels)
+    sizes = {
+        int(cid): int((labels == cid).sum())
+        for cid in np.unique(labels[labels >= 0])
+    }
+    ordered = sorted(sizes, key=sizes.__getitem__)
+    buckets: Dict[str, List[int]] = {}
+    if ordered:
+        picks = {
+            "small": ordered[0],
+            "median": ordered[len(ordered) // 2],
+            "large": ordered[-1],
+        }
+        for tag, cid in picks.items():
+            members = np.flatnonzero(labels == cid)
+            step = max(1, len(members) // seeds_per_bucket)
+            buckets[f"{tag} ({sizes[cid]})"] = [
+                int(v) for v in members[::step][:seeds_per_bucket]
+            ]
+    non_members = np.flatnonzero(labels < 0)
+    if non_members.size:
+        step = max(1, len(non_members) // seeds_per_bucket)
+        buckets["non-member (0)"] = [
+            int(v) for v in non_members[::step][:seeds_per_bucket]
+        ]
+
+    tier_kwargs = {
+        "cluster-index": {"cluster_index": index},
+        "edge-index": {"edge_index": index.edge},
+        "oracle": {},
+    }
+
+    table = ExperimentResult(
+        exp_id="local_queries",
+        title=(
+            f"seeded local query cost (LFR n={graph.num_vertices:,}, "
+            f"m={graph.num_edges:,}; whole-graph parallel_scan "
+            f"{global_ms:.1f} ms; index built in {build_seconds:.2f}s)"
+        ),
+        headers=[
+            "cluster bucket",
+            "tier",
+            "touched edges (mean)",
+            "σ-evals (mean)",
+            "p50 ms",
+            "p99 ms",
+            "vs whole-graph",
+        ],
+    )
+    json_rows: List[Dict[str, object]] = []
+
+    for bucket, seeds in buckets.items():
+        for tier in _TIERS:
+            touched: List[int] = []
+            evals: List[int] = []
+            latencies: List[float] = []
+            for seed in seeds:
+                t0 = time.perf_counter()
+                result = local_cluster(
+                    graph, seed, _EPSILON, _MU, **tier_kwargs[tier]
+                )
+                latencies.append((time.perf_counter() - t0) * 1e3)
+                if result.stats.tier != tier:
+                    raise AssertionError(
+                        f"requested tier {tier!r} but "
+                        f"{result.stats.tier!r} answered"
+                    )
+                if tier != "oracle" and result.stats.sigma_evaluations:
+                    raise AssertionError(
+                        f"{tier} performed "
+                        f"{result.stats.sigma_evaluations} σ evaluations "
+                        f"at seed {seed}; the lookup-only contract is "
+                        "broken"
+                    )
+                want = np.flatnonzero(labels == labels[seed])
+                if labels[seed] < 0:
+                    want = want[:0]
+                if not np.array_equal(result.members, want):
+                    raise AssertionError(
+                        f"local answer at seed {seed} ({tier}) diverged "
+                        "from the whole-graph reference"
+                    )
+                touched.append(int(result.stats.touched_edges))
+                evals.append(int(result.stats.sigma_evaluations))
+            p50 = _percentile(latencies, 50)
+            p99 = _percentile(latencies, 99)
+            table.add_row(
+                bucket,
+                tier,
+                float(np.mean(touched)),
+                float(np.mean(evals)),
+                p50,
+                p99,
+                global_ms / p50 if p50 > 0 else float("inf"),
+            )
+            json_rows.append(
+                {
+                    "bucket": bucket,
+                    "tier": tier,
+                    "num_seeds": len(seeds),
+                    "touched_edges_mean": float(np.mean(touched)),
+                    "sigma_evaluations_mean": float(np.mean(evals)),
+                    "p50_ms": p50,
+                    "p99_ms": p99,
+                    "speedup_vs_global_p50": (
+                        global_ms / p50 if p50 > 0 else float("inf")
+                    ),
+                }
+            )
+
+    table.notes.append(
+        "every answer is asserted byte-identical to the seed's cluster "
+        "in the whole-graph parallel_scan; index tiers are asserted to "
+        "perform zero σ evaluations"
+    )
+    table.notes.append(
+        "touched edges grows with the cluster bucket, not with |E| — "
+        "the output-proportional contract"
+    )
+
+    payload = {
+        "quick": bool(quick),
+        "graph": {
+            "n": int(graph.num_vertices),
+            "m": int(graph.num_edges),
+        },
+        "epsilon": _EPSILON,
+        "mu": _MU,
+        "global_parallel_scan_ms": global_ms,
+        "index_build_seconds": build_seconds,
+        "rows": json_rows,
+    }
+    out_dir = os.environ.get("REPRO_BENCH_DIR", ".")
+    out_path = os.path.join(out_dir, "BENCH_local_queries.json")
+    with open(out_path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    table.notes.append(f"json written to {out_path}")
+    return [table]

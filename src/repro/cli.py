@@ -140,6 +140,10 @@ def main(argv=None) -> int:
         from repro.service.server import serve_main
 
         return serve_main(argv[1:])
+    if argv[:1] == ["local-cluster"]:
+        # Subcommand: seeded local clustering — the seed vertex's exact
+        # cluster at output-proportional cost (DESIGN.md §12).
+        return _local_cluster_main(argv[1:])
     args = _build_parser().parse_args(argv)
     started = time.perf_counter()
     graph, labels_map = load_edge_list(args.graph, weighted=args.weighted)
@@ -294,6 +298,127 @@ def _prepare_cluster_index(graph, args) -> ClusteringIndex | None:
     else:
         print(f"clustering index loaded from {path}", file=sys.stderr)
     return cluster_index
+
+
+def _build_local_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro local-cluster",
+        description="Seeded local structural clustering: the seed "
+        "vertex's exact cluster under scan(μ, ε) semantics, at "
+        "output-proportional cost.",
+    )
+    parser.add_argument("graph", help="edge-list file (u v [w] per line)")
+    parser.add_argument(
+        "--seed", type=int, required=True, help="query vertex id"
+    )
+    parser.add_argument("--mu", type=int, default=5, help="core threshold μ")
+    parser.add_argument(
+        "--epsilon", type=float, default=0.5, help="similarity threshold ε"
+    )
+    parser.add_argument(
+        "--weighted",
+        action="store_true",
+        help="read the third column as edge weight",
+    )
+    parser.add_argument(
+        "--order-seed",
+        type=int,
+        default=0,
+        help="reference visit-order shuffle seed (contested borders "
+        "follow the first cluster of this order)",
+    )
+    parser.add_argument(
+        "--similarity-index",
+        choices=["off", "build", "use"],
+        default="off",
+        help="edge-similarity σ tier (see the main command)",
+    )
+    parser.add_argument("--index-path", default=None)
+    parser.add_argument(
+        "--cluster-index",
+        choices=["off", "build", "use"],
+        default="off",
+        help="GS*-style σ tier: core checks and ε-neighborhoods by "
+        "binary search, zero σ evaluations per query",
+    )
+    parser.add_argument("--cluster-index-path", default=None)
+    parser.add_argument("--mu-cap", type=int, default=DEFAULT_MU_CAP)
+    parser.add_argument(
+        "--backend",
+        choices=["sequential"] + list(BACKEND_NAMES),
+        default="sequential",
+        help="backend for --similarity-index/--cluster-index build",
+    )
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument(
+        "--no-boundary",
+        action="store_true",
+        help="skip classifying the cluster's boundary vertices",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full result as JSON on stdout",
+    )
+    return parser
+
+
+def _local_cluster_main(argv) -> int:
+    """``repro local-cluster``: one seeded query from the command line."""
+    from repro.local import local_cluster
+
+    args = _build_local_parser().parse_args(argv)
+    started = time.perf_counter()
+    graph, _ = load_edge_list(args.graph, weighted=args.weighted)
+    print(
+        f"loaded {graph.num_vertices:,d} vertices, "
+        f"{graph.num_edges:,d} edges in "
+        f"{time.perf_counter() - started:.2f}s",
+        file=sys.stderr,
+    )
+    try:
+        index = _prepare_index(graph, args)
+        cluster_index = _prepare_cluster_index(graph, args)
+        started = time.perf_counter()
+        result = local_cluster(
+            graph,
+            args.seed,
+            args.epsilon,
+            args.mu,
+            cluster_index=cluster_index,
+            edge_index=index,
+            order_seed=args.order_seed,
+            classify_boundary=not args.no_boundary,
+        )
+    except ConfigError as exc:
+        print(f"local-cluster error: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - started
+    stats = result.stats
+    print(
+        f"seed {result.seed} is {result.seed_role.name.lower()}; "
+        f"cluster size {result.cluster_size} "
+        f"({result.core_members.shape[0]} cores, "
+        f"{result.border_members.shape[0]} borders), "
+        f"boundary {len(result.boundary)}",
+        # With --json, stdout carries only the machine payload.
+        file=sys.stderr if args.json else sys.stdout,
+    )
+    print(
+        f"answered by the {stats.tier} tier in {elapsed:.4f}s: "
+        f"{stats.touched_edges} touched edges, "
+        f"{stats.sigma_evaluations} σ evaluations, "
+        f"{stats.touched_vertices} touched vertices, "
+        f"{stats.components_expanded} components expanded",
+        file=sys.stderr,
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    elif result.cluster_size:
+        print("members:", " ".join(str(v) for v in result.members.tolist()))
+    return 0
 
 
 def _run_parallel(graph, args, *, index=None) -> Clustering:

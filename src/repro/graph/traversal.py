@@ -9,7 +9,7 @@ exactly "two-hop neighbors" (:func:`k_hop_neighbors`).
 from __future__ import annotations
 
 from collections import deque
-from typing import List
+from typing import Callable, Iterable, List
 
 import numpy as np
 
@@ -22,6 +22,7 @@ __all__ = [
     "connected_components",
     "largest_component",
     "k_hop_neighbors",
+    "frontier_expand",
 ]
 
 
@@ -88,6 +89,38 @@ def largest_component(graph: Graph) -> np.ndarray:
         return np.zeros(0, dtype=np.int64)
     counts = np.bincount(comp)
     return np.flatnonzero(comp == int(np.argmax(counts)))
+
+
+def frontier_expand(
+    sources: Iterable[int],
+    successors: Callable[[int], Iterable[int]],
+) -> List[int]:
+    """BFS visit order over an *implicit* adjacency.
+
+    The generic form of :func:`bfs_order`: expand a frontier from
+    ``sources``, calling ``successors(u)`` for the vertices reachable in
+    one step from ``u``.  Seeded local clustering (:mod:`repro.local`)
+    drives this with a σ-filtered successor function so the traversal
+    touches only qualifying edges; ``successors`` may carry side effects
+    (e.g. recording rejected neighbors as border candidates).
+    """
+    seen = set()
+    order: List[int] = []
+    queue: deque = deque()
+    for s in sources:
+        s = int(s)
+        if s not in seen:
+            seen.add(s)
+            queue.append(s)
+    while queue:
+        u = queue.popleft()
+        order.append(u)
+        for v in successors(u):
+            v = int(v)
+            if v not in seen:
+                seen.add(v)
+                queue.append(v)
+    return order
 
 
 def k_hop_neighbors(graph: Graph, source: int, k: int) -> np.ndarray:

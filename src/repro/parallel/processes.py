@@ -66,6 +66,7 @@ __all__ = [
     "untrack_attachment",
     "add_degradation_listener",
     "remove_degradation_listener",
+    "emit_degradation",
     "shared_memory_available",
     "SharedGraph",
     "ProcessBackend",
@@ -130,7 +131,14 @@ def remove_degradation_listener(
             _DEGRADATION_LISTENERS.remove(listener)
 
 
-def _emit_degradation(event: DegradationEvent) -> None:
+def emit_degradation(event: DegradationEvent) -> None:
+    """Deliver ``event`` to every registered listener.
+
+    Public so other subsystems that degrade between execution tiers
+    (e.g. :mod:`repro.local` falling from an index tier to the σ oracle)
+    flow through the same observer channel the service already bridges
+    into ``/metrics``.
+    """
     with _LISTENER_LOCK:
         listeners = list(_DEGRADATION_LISTENERS)
     for listener in listeners:
@@ -138,6 +146,10 @@ def _emit_degradation(event: DegradationEvent) -> None:
             listener(event)
         except Exception:  # repro: allow[swallow] - observers must not mask
             pass
+
+
+#: Backwards-compatible private alias (module-internal call sites).
+_emit_degradation = emit_degradation
 
 #: Labels of the arrays a :class:`SharedGraph` publishes.  ``sigma_out``
 #: is the only writable one: an all-edges σ buffer that

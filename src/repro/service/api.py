@@ -13,6 +13,7 @@ generated from it, so they cannot drift apart.
 | POST   | /graphs                   | load_graph     | host a graph (edges + similarity)     |
 | GET    | /graphs                   | list_graphs    | enumerate hosted graphs               |
 | GET    | /graphs/{name}            | graph_info     | one graph's fingerprint/size/index    |
+| GET    | /graphs/{name}/local-cluster | local_cluster | the seed vertex's exact cluster (§12) |
 | POST   | /graphs/{name}/index      | build_index    | build the GS*-style clustering index  |
 | POST   | /graphs/{name}/update-edges | update_edges | incremental inserts/deletes (DynamicSCAN) |
 | POST   | /cluster                  | cluster        | submit an anytime clustering job      |
@@ -102,6 +103,12 @@ ROUTES: Tuple[Route, ...] = (
     Route("POST", "/graphs", "load_graph", "host a graph"),
     Route("GET", "/graphs", "list_graphs", "enumerate hosted graphs"),
     Route("GET", "/graphs/{name}", "graph_info", "one graph's metadata"),
+    Route(
+        "GET",
+        "/graphs/{name}/local-cluster",
+        "local_cluster",
+        "seeded local clustering: the seed vertex's exact cluster",
+    ),
     Route(
         "POST",
         "/graphs/{name}/index",

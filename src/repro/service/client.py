@@ -34,7 +34,7 @@ import threading
 import time
 from http.client import BadStatusLine, HTTPConnection, HTTPException
 from typing import Dict, List, Optional, Sequence
-from urllib.parse import urlsplit
+from urllib.parse import urlencode, urlsplit
 
 from repro.errors import ConfigError, ReproError
 from repro.graph.csr import Graph
@@ -368,6 +368,37 @@ class ServiceClient:
         if seed is not None:
             payload["seed"] = int(seed)
         return self._request("POST", "/cluster", payload)
+
+    def local_cluster(
+        self,
+        name: str,
+        seed: int,
+        mu: int,
+        epsilon: float,
+        *,
+        order_seed: Optional[int] = None,
+        boundary: Optional[bool] = None,
+    ) -> Dict[str, object]:
+        """The seed vertex's exact cluster (seeded local clustering).
+
+        A GET, so the client's bounded idempotent-retry policy applies;
+        repeated queries for the same (seed, ε, μ) hit the server's
+        seed-aware result cache.
+        """
+        check_eps_mu(mu=mu, epsilon=epsilon)
+        params: Dict[str, object] = {
+            "seed": int(seed),
+            "mu": int(mu),
+            "epsilon": float(epsilon),
+        }
+        if order_seed is not None:
+            params["order_seed"] = int(order_seed)
+        if boundary is not None:
+            params["boundary"] = "true" if boundary else "false"
+        query = urlencode(params)
+        return self._request(
+            "GET", f"/graphs/{name}/local-cluster?{query}"
+        )
 
     def jobs(self) -> List[Dict[str, object]]:
         return list(self._request("GET", "/jobs")["jobs"])

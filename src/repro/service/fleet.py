@@ -50,7 +50,9 @@ import subprocess
 import sys
 import threading
 import time
-from typing import Dict, List, Optional
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.service.api import ServiceError, get_bool
@@ -68,6 +70,74 @@ _FORCE_FALLBACK_ENV = "REPRO_FLEET_NO_REUSEPORT"
 
 #: How long a spawning fleet waits for every worker to register.
 _READY_TIMEOUT_SECONDS = 60.0
+
+#: Thread cap for shard fan-out scrapes (``/jobs``, ``/fleet/metrics``).
+#: Bounded so an N=32 fleet costs one round-trip of wall-clock, not 32,
+#: without letting every handler thread spawn an unbounded pool.
+_FANOUT_MAX_WORKERS = 8
+
+#: Per-shard deadline for one fan-out request.  Doubles as the socket
+#: timeout of the scraping client and the cap on waiting for the
+#: future, so one hung shard delays the merged answer by at most this.
+_FANOUT_TIMEOUT_SECONDS = 5.0
+
+
+def _scrape_shards(
+    records: List[Dict[str, object]],
+    call: Callable[[ServiceClient], object],
+    *,
+    timeout: float = _FANOUT_TIMEOUT_SECONDS,
+) -> Tuple[
+    List[Tuple[Dict[str, object], object]],
+    List[Tuple[Dict[str, object], Exception]],
+]:
+    """Fan ``call`` out to every shard's admin endpoint concurrently.
+
+    Returns ``(results, failures)`` in ``records`` order, each pairing
+    the worker record with the response body (or the exception).  Each
+    shard gets its own one-shot :class:`ServiceClient` inside the
+    worker thread — nothing is shared across threads, and the caller
+    does all counter/event accounting on its own thread.
+    """
+    if not records:
+        return [], []
+
+    def scrape_one(record: Dict[str, object]) -> object:
+        with ServiceClient(
+            str(record["admin_url"]), timeout=timeout, max_retries=0
+        ) as shard:
+            return call(shard)
+
+    results: List[Tuple[Dict[str, object], object]] = []
+    failures: List[Tuple[Dict[str, object], Exception]] = []
+    # Witness for swallowed per-shard errors: every failure lands in
+    # the returned list; the caller turns them into counters/events.
+    record_failure = failures.append
+    pool = ThreadPoolExecutor(
+        max_workers=min(_FANOUT_MAX_WORKERS, len(records)),
+        thread_name_prefix="repro-fanout",
+    )
+    try:
+        futures = [
+            (record, pool.submit(scrape_one, record))
+            for record in records
+        ]
+        for record, future in futures:
+            try:
+                # Slack over the client timeout: the socket deadline is
+                # the real bound; this only catches a queued future
+                # behind slow peers.
+                results.append(
+                    (record, future.result(timeout=timeout * 2.0))
+                )
+            except FutureTimeoutError as exc:
+                future.cancel()
+                record_failure((record, exc))
+            except ServiceClientError as exc:
+                record_failure((record, exc))
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return results, failures
 
 
 def _reuseport_available() -> bool:
@@ -309,22 +379,23 @@ class ServiceSupervisor:
             workers = [
                 dict(record) for record in self._registrations.values()
             ]
+        workers.sort(key=lambda r: int(r["process_id"]))
+        results, failures = _scrape_shards(
+            workers, lambda shard: shard.metrics()
+        )
         scraped = []
-        for record in sorted(workers, key=lambda r: int(r["process_id"])):
-            try:
-                with ServiceClient(
-                    str(record["admin_url"]), timeout=5.0, max_retries=0
-                ) as shard:
-                    snapshots.append(shard.metrics())
-                scraped.append(record)
-            except ServiceClientError as exc:
-                # A shard mid-respawn answers nothing; report it absent
-                # rather than failing the whole scrape.
-                self.service.metrics.increment("metrics_scrape_failures")
-                self.service.metrics.record_event(
-                    "metrics_scrape_failed",
-                    {"process_id": record["process_id"], "error": str(exc)},
-                )
+        for record, snapshot in results:
+            snapshots.append(snapshot)
+            scraped.append(record)
+        for record, exc in failures:
+            # A shard mid-respawn (or hung past the per-shard deadline)
+            # answers nothing; report it absent rather than failing the
+            # whole scrape.
+            self.service.metrics.increment("metrics_scrape_failures")
+            self.service.metrics.record_event(
+                "metrics_scrape_failed",
+                {"process_id": record["process_id"], "error": str(exc)},
+            )
         merged = merge_metric_snapshots(snapshots)
         merged["fleet"] = {
             "processes": self.processes,
@@ -500,13 +571,33 @@ class WorkerService(ClusteringService):
                 str(exc), status=exc.status or 502,
                 retry_after=exc.retry_after,
             ) from None
+        # Local-query lines whose read set misses the update survive by
+        # re-keying to the new fingerprint — done before refresh() so
+        # the epoch listener's old-fingerprint sweep can't evict them.
+        migration = self.cache.migrate_local(
+            str(body["previous_fingerprint"]),
+            str(body["fingerprint"]),
+            list(body.get("affected_vertices") or ()),
+            renumbered=int(body.get("vertices_added") or 0) > 0,
+        )
         invalidated = self.cache.invalidate_fingerprint(
             str(body["previous_fingerprint"])
         )
         self.store.refresh()
         self.metrics.increment("edge_updates")
         self.metrics.increment("cache_invalidated", invalidated)
-        return dict(body, cache_entries_invalidated=invalidated)
+        self.metrics.increment(
+            "local_results_migrated", migration["moved"]
+        )
+        self.metrics.increment(
+            "local_results_evicted", migration["evicted"]
+        )
+        return dict(
+            body,
+            cache_entries_invalidated=invalidated,
+            local_results_migrated=migration["moved"],
+            local_results_evicted=migration["evicted"],
+        )
 
     def handle_shutdown(self, payload):
         # Stopping one shard of a fleet is not a meaningful client
@@ -514,6 +605,12 @@ class WorkerService(ClusteringService):
         body = self._forward("POST", "/shutdown", {})
         self.shutdown_event.set()
         return body
+
+    def _ensure_local_indexes(self, name, entry):
+        # The attached store is read-only; local queries serve with
+        # whatever σ tier the writer last published (degrading to the
+        # oracle tier when no index survived the last update).
+        return entry
 
     # ------------------------------------------------------------------
     # job routing (shard-prefixed ids; foreign ids proxy to the owner)
@@ -608,21 +705,21 @@ class WorkerService(ClusteringService):
         if get_bool(payload, "shard_only", False):
             return local
         jobs = list(local["jobs"])
-        for record in self.store.workers():
-            if int(record.get("process_id", -1)) == self.process_index:
-                continue
-            try:
-                with ServiceClient(
-                    str(record["admin_url"]), timeout=5.0, max_retries=0
-                ) as peer:
-                    remote = peer.request(
-                        "GET", "/jobs", {"shard_only": True}
-                    )
-                jobs.extend(remote["jobs"])
-            except ServiceClientError:
-                # A dying shard's jobs are gone with it; listing the
-                # survivors is the useful answer.
-                self.metrics.increment("job_list_scrape_failures")
+        peers = [
+            record
+            for record in self.store.workers()
+            if int(record.get("process_id", -1)) != self.process_index
+        ]
+        results, failures = _scrape_shards(
+            peers,
+            lambda peer: peer.request("GET", "/jobs", {"shard_only": True}),
+        )
+        for _, remote in results:
+            jobs.extend(remote["jobs"])
+        for _ in failures:
+            # A dying shard's jobs are gone with it; listing the
+            # survivors is the useful answer.
+            self.metrics.increment("job_list_scrape_failures")
         jobs.sort(key=lambda job: str(job.get("job_id", "")))
         return {"jobs": jobs}
 

@@ -58,11 +58,14 @@ from repro.service.api import (
 )
 from repro.service.jobs import JobRecord, JobScheduler, JobState
 from repro.service.metrics import ServiceMetrics, merge_metric_snapshots
+from repro.local import local_cluster
 from repro.service.store import (
+    CachedLocalResult,
     CachedResult,
     GraphStore,
     ResultCache,
     make_cache_key,
+    make_local_cache_key,
 )
 from repro.similarity.gsindex import DEFAULT_MU_CAP
 from repro.similarity.weighted import SimilarityConfig
@@ -300,11 +303,28 @@ class ClusteringService:
             delete=delete,
             add_vertices=add_vertices,
         )
+        # Local-query entries first: those whose read set is disjoint
+        # from the update survive (re-keyed to the new fingerprint);
+        # only results whose cluster was actually touched are evicted.
+        # The global invalidation then sweeps whatever remains under
+        # the old fingerprint.
+        migration = self.cache.migrate_local(
+            stats.old_fingerprint,
+            stats.new_fingerprint,
+            stats.affected_vertices,
+            renumbered=stats.vertices_added > 0,
+        )
         invalidated = self.cache.invalidate_fingerprint(
             stats.old_fingerprint
         )
         self.metrics.increment("edge_updates")
         self.metrics.increment("cache_invalidated", invalidated)
+        self.metrics.increment(
+            "local_results_migrated", migration["moved"]
+        )
+        self.metrics.increment(
+            "local_results_evicted", migration["evicted"]
+        )
         return {
             "graph": name,
             "fingerprint": stats.new_fingerprint,
@@ -315,7 +335,120 @@ class ClusteringService:
             "sigma_recomputations": stats.sigma_recomputations,
             "index_rows_refreshed": stats.index_rows_refreshed,
             "cache_entries_invalidated": invalidated,
+            "affected_vertices": [
+                int(v) for v in stats.affected_vertices
+            ],
+            "local_results_migrated": migration["moved"],
+            "local_results_evicted": migration["evicted"],
         }
+
+    # ------------------------------------------------------------------
+    # seeded local clustering
+    # ------------------------------------------------------------------
+    def _ensure_local_indexes(self, name: str, entry):
+        """Best available σ tier (mirrors ``_submit_cluster_job``).
+
+        Overridden in fleet workers, whose attached store is read-only:
+        they serve with whatever tier the writer last published.
+        """
+        if entry.auto_cluster_index and entry.cluster_index is None:
+            entry = self.store.ensure_cluster_index(name)
+        if (
+            entry.cluster_index is None
+            and entry.auto_index
+            and entry.index is None
+        ):
+            entry = self.store.ensure_index(name)
+        return entry
+
+    def handle_local_cluster(
+        self, payload: Dict[str, object], name: str
+    ) -> Dict[str, object]:
+        """The seed vertex's exact cluster, at output-proportional cost.
+
+        Synchronous (no job machinery): local queries are the latency-
+        sensitive per-user fast path, and their cost scales with the
+        answer, not the graph.  Responses are cached under the seed-
+        aware keyspace (:func:`make_local_cache_key`); the boundary is
+        always computed before caching so one cache line serves both
+        ``boundary`` settings.
+        """
+        seed = get_int(payload, "seed")
+        mu = get_int(payload, "mu")
+        epsilon = get_float(payload, "epsilon")
+        if epsilon is None:
+            epsilon = get_float(payload, "eps")
+        if seed is None or mu is None or epsilon is None:
+            raise ServiceError(
+                "fields 'seed', 'mu' and 'epsilon' (or 'eps') are "
+                "required"
+            )
+        check_eps_mu(mu=mu, epsilon=epsilon)
+        order_seed = get_int(payload, "order_seed", 0) or 0
+        include_boundary = get_bool(payload, "boundary", True)
+        entry = self.store.get(name)
+        key = make_local_cache_key(
+            entry.fingerprint, entry.similarity, mu, epsilon, seed,
+            order_seed,
+        )
+        self.metrics.increment("local_queries")
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.metrics.increment("local_cache_hits")
+            body = dict(cached.payload)
+            if not include_boundary:
+                body.pop("boundary", None)
+            body.update({"graph": name, "cached": True})
+            return body
+        self.metrics.increment("local_cache_misses")
+        entry = self._ensure_local_indexes(name, entry)
+        started = time.perf_counter()
+        result = local_cluster(
+            entry.graph,
+            seed,
+            epsilon,
+            mu,
+            cluster_index=entry.cluster_index,
+            edge_index=entry.index,
+            similarity_config=entry.similarity,
+            order_seed=order_seed,
+            classify_boundary=True,
+        )
+        elapsed = time.perf_counter() - started
+        stats = result.stats
+        # Per-request tier stats are the single accounting source here:
+        # the index tiers' shared SimilarityCounters are deliberately
+        # not re-read, so the short-circuit path cannot double-count.
+        tier_counter = "local_tier_" + stats.tier.replace("-", "_")
+        self.metrics.increment(tier_counter)
+        self.metrics.increment(
+            "local_sigma_evaluations", stats.sigma_evaluations
+        )
+        self.metrics.increment("local_touched_edges", stats.touched_edges)
+        if stats.degraded_from:
+            self.metrics.increment(
+                "local_tier_degradations", len(stats.degraded_from)
+            )
+        payload_body = result.to_dict()
+        payload_body["compute_seconds"] = elapsed
+        self.store.fill_cache_if_current(
+            self.cache,
+            name,
+            entry.fingerprint,
+            key,
+            CachedLocalResult(
+                payload=dict(payload_body),
+                touched=result.touched,
+                sigma_evaluations=int(stats.sigma_evaluations),
+                compute_seconds=elapsed,
+            ),
+        )
+        body = payload_body
+        if not include_boundary:
+            body = dict(payload_body)
+            body.pop("boundary", None)
+        body.update({"graph": name, "cached": False})
+        return body
 
     # ------------------------------------------------------------------
     # clustering endpoints

@@ -48,10 +48,12 @@ from repro.validation import check_eps_mu
 __all__ = [
     "CacheKey",
     "CachedResult",
+    "CachedLocalResult",
     "GraphEntry",
     "GraphStore",
     "ResultCache",
     "make_cache_key",
+    "make_local_cache_key",
     "similarity_signature",
 ]
 
@@ -84,12 +86,20 @@ def _collect_affected(
 
 @dataclass(frozen=True)
 class CacheKey:
-    """Full identity of a clustering query (cache-key semantics §8)."""
+    """Full identity of a clustering query (cache-key semantics §8).
+
+    Global clusterings leave ``seed``/``order_seed`` at their defaults;
+    a seeded local query adds the query vertex and the reference visit
+    order it replays, giving per-user results their own keyspace rows
+    in the same LRU.
+    """
 
     fingerprint: str
     similarity: Tuple[object, ...]
     mu: int
     epsilon: float
+    seed: Optional[int] = None
+    order_seed: int = 0
 
 
 def make_cache_key(
@@ -105,12 +115,50 @@ def make_cache_key(
     )
 
 
+def make_local_cache_key(
+    fingerprint: str,
+    config: SimilarityConfig,
+    mu: int,
+    epsilon: float,
+    seed: int,
+    order_seed: int = 0,
+) -> CacheKey:
+    """Cache key for one seeded local query (§12 keyspace)."""
+    check_eps_mu(mu=mu, epsilon=epsilon)
+    return CacheKey(
+        fingerprint=fingerprint,
+        similarity=similarity_signature(config),
+        mu=int(mu),
+        epsilon=float(epsilon),
+        seed=int(seed),
+        order_seed=int(order_seed),
+    )
+
+
 @dataclass
 class CachedResult:
     """A completed clustering plus the cost it took to produce."""
 
     labels: np.ndarray
     num_clusters: int
+    sigma_evaluations: int
+    compute_seconds: float
+    hits: int = 0
+
+
+@dataclass
+class CachedLocalResult:
+    """A completed seeded local query plus its read set.
+
+    ``touched`` is the set of vertices whose σ row or adjacency the
+    query inspected.  An edge update whose affected-vertex set is
+    disjoint from it cannot change the answer, so the entry survives
+    the update (re-keyed to the new fingerprint) instead of being
+    evicted — see :meth:`ResultCache.migrate_local`.
+    """
+
+    payload: Dict[str, object]
+    touched: frozenset
     sigma_evaluations: int
     compute_seconds: float
     hits: int = 0
@@ -161,6 +209,58 @@ class ResultCache:
                 del self._entries[key]
             self._invalidations += len(stale)
             return len(stale)
+
+    def migrate_local(
+        self,
+        old_fingerprint: str,
+        new_fingerprint: str,
+        affected: Sequence[int],
+        *,
+        renumbered: bool = False,
+    ) -> Dict[str, int]:
+        """Carry local-query entries across an edge update, exactly.
+
+        A cached :class:`CachedLocalResult` is a pure function of its
+        read set (the σ rows and adjacency it touched) plus the visit
+        permutation.  An update that is disjoint from the read set and
+        does not change the vertex count (``renumbered`` — a different
+        n means a different permutation) therefore cannot change the
+        answer: the entry is re-keyed to the post-update fingerprint.
+        Entries whose cluster was actually touched are evicted.  Global
+        entries for ``old_fingerprint`` are untouched — follow with
+        :meth:`invalidate_fingerprint`.
+        """
+        affected_set = set(int(v) for v in affected)
+        moved = evicted = 0
+        with self._lock:
+            local_keys = [
+                key
+                for key in self._entries
+                if key.fingerprint == old_fingerprint
+                and key.seed is not None
+            ]
+            for key in local_keys:
+                entry = self._entries.pop(key)
+                touched = getattr(entry, "touched", None)
+                if (
+                    renumbered
+                    or touched is None
+                    or not affected_set.isdisjoint(touched)
+                ):
+                    evicted += 1
+                    continue
+                new_key = CacheKey(
+                    fingerprint=new_fingerprint,
+                    similarity=key.similarity,
+                    mu=key.mu,
+                    epsilon=key.epsilon,
+                    seed=key.seed,
+                    order_seed=key.order_seed,
+                )
+                self._entries[new_key] = entry
+                moved += 1
+            self._invalidations += evicted
+        return {"moved": moved, "evicted": evicted}
 
     def keys(self) -> List[CacheKey]:
         with self._lock:
@@ -256,6 +356,11 @@ class UpdateStats:
     deleted: int
     sigma_recomputations: int
     index_rows_refreshed: int = 0
+    #: σ rows the batch could have changed (endpoints plus everything
+    #: adjacent to them, pre- and post-op).  Local-query cache entries
+    #: whose read set is disjoint from this survive the update
+    #: (:meth:`ResultCache.migrate_local`).
+    affected_vertices: Tuple[int, ...] = ()
 
 
 class GraphStore:
@@ -561,6 +666,7 @@ class GraphStore:
                     # One epoch bump per batch: attached readers flip to
                     # the post-update snapshot atomically (DESIGN.md §11).
                     self._publish_locked(entry)
+            n = entry.graph.num_vertices
             return UpdateStats(
                 old_fingerprint=old_fingerprint,
                 new_fingerprint=entry.fingerprint,
@@ -571,6 +677,9 @@ class GraphStore:
                     dynamic.sigma_recomputations - before_recomputations
                 ),
                 index_rows_refreshed=rows_refreshed,
+                affected_vertices=tuple(
+                    sorted(v for v in affected if 0 <= v < n)
+                ),
             )
 
     def _refresh_indexes_locked(

@@ -330,6 +330,10 @@ class ClusteringIndex:
         graph = self.edge.graph
         lo, hi = int(graph.indptr[v]), int(graph.indptr[v + 1])
         plen = self._prefix_length(lo, hi, epsilon)
+        # Same accounting contract as the oracle tiers: every range
+        # query is recorded (with zero σ evaluations) so Figure-7 style
+        # comparisons of neighborhood_queries are apples to apples.
+        self.counters.record_neighborhood_query(0.0, evaluations=0)
         return np.sort(self._sorted_neighbors[lo : lo + plen])
 
     # ------------------------------------------------------------------

@@ -146,7 +146,10 @@ def test_queries_never_evaluate_sigma(medium):
         assert idx.last_query["sigma_evaluations"] == 0
         assert idx.last_query["epsilon"] == pytest.approx(epsilon)
         assert idx.last_query["mu"] == mu
-    assert idx.counters.neighborhood_queries == 4
+    # Each query() and each eps_neighborhood() is one recorded range
+    # query (the latter so index-tier accounting round-trips the same
+    # way the oracle tiers' does), all with zero σ evaluations.
+    assert idx.counters.neighborhood_queries == 8
 
 
 def test_query_matches_scan_smoke(medium, index):

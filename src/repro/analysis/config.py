@@ -124,6 +124,11 @@ class AnalysisConfig:
     segment_factories: List[str] = field(
         default_factory=lambda: ["_create_named_segment"]
     )
+    #: Call names that return any other owned handle the caller must
+    #: close (R8) — file handles and the like (e.g. a WAL opener).
+    #: Audited with the same obligation machinery as segments; a
+    #: ``with`` statement over the factory discharges the obligation.
+    handle_factories: List[str] = field(default_factory=list)
 
     def matches(self, path: Path | str, entries: List[str]) -> bool:
         """Whether ``path`` falls under any of the module ``entries``."""

@@ -1,10 +1,11 @@
-"""Shared-memory lifecycle analysis (rule R8).
+"""Owned-resource lifecycle analysis (rule R8).
 
 Tracks every ``SharedMemory(create=True, …)`` allocation — plus the
-configured ``segment-factories`` helpers and any program function that
-directly returns one — through an abstract interpretation of the
-creating function's body.  An allocation is an *obligation*; the pass
-proves each obligation is discharged on every path:
+configured ``segment-factories`` and ``handle-factories`` helpers (file
+handles such as the WAL opener) and any program function that directly
+returns one — through an abstract interpretation of the creating
+function's body.  An allocation is an *obligation*; the pass proves
+each obligation is discharged on every path:
 
 * **released** — ``handle.close()`` or ``handle.unlink()`` is called on
   the binding (a release call counts even if it could itself raise);
@@ -67,8 +68,14 @@ class LeakFinding:
 def _creator_functions(
     program: Program, config: AnalysisConfig
 ) -> Set[str]:
-    """Names whose call yields a fresh segment the caller must manage."""
+    """Names whose call yields a fresh resource the caller must manage.
+
+    ``segment-factories`` and ``handle-factories`` seed the set; any
+    program function that directly returns a creator call joins it via
+    the fixpoint below.
+    """
     creators: Set[str] = set(config.segment_factories)
+    creators |= set(config.handle_factories)
     changed = True
     while changed:
         changed = False
@@ -284,18 +291,25 @@ class _LifecycleWalker:
             self._walk_block(stmt.orelse)
             return
         if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            managed: List[Obligation] = []
             for item in stmt.items:
                 if _is_creator_call(item.context_expr, self.creators):
                     if isinstance(item.optional_vars, ast.Name):
-                        self.obligations.append(
-                            Obligation(
-                                names={item.optional_vars.id},
-                                node=item.context_expr,
-                            )
+                        obligation = Obligation(
+                            names={item.optional_vars.id},
+                            node=item.context_expr,
                         )
+                        self.obligations.append(obligation)
+                        managed.append(obligation)
                 else:
                     self._note_escapes_expr(item.context_expr)
             self._walk_block(stmt.body)
+            # The context manager's __exit__ closes the resource on
+            # every path out of the block — normal and exception alike —
+            # so a with-managed creation is discharged by construction.
+            for obligation in managed:
+                obligation.released = True
+                obligation.exception_leak_line = None
             return
         if isinstance(
             stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
@@ -371,7 +385,7 @@ def analyze_lifecycles(
                         function=info,
                         node=obligation.node,
                         message=(
-                            f"shared-memory handle {name!r} created in "
+                            f"owned handle {name!r} created in "
                             f"{info.qualname!r} never reaches close/unlink "
                             "on the fall-through path"
                         ),
@@ -383,7 +397,7 @@ def analyze_lifecycles(
                         function=info,
                         node=obligation.node,
                         message=(
-                            f"shared-memory handle {name!r} created in "
+                            f"owned handle {name!r} created in "
                             f"{info.qualname!r} leaks if line "
                             f"{obligation.exception_leak_line} raises — no "
                             "enclosing try releases or transfers it on the "

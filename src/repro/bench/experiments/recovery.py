@@ -1,0 +1,257 @@
+"""Crash-recovery costs: WAL replay rate and cold-restart latency.
+
+The durability plane's claim (DESIGN.md §13): recovery is replay, so
+its cost is linear in the journal tail — and checkpoints exist exactly
+to bound that tail.  This experiment measures both halves:
+
+* **replay** — journal a stream of edge-update batches against a
+  durable :class:`~repro.service.store.GraphStore`, then time
+  :meth:`~repro.service.durability.DurabilityManager.recover` twice:
+  once over the full WAL (no checkpoint, the worst case) and once from
+  a checkpoint plus a short tail (the steady state).  Reported as
+  replayed mutations/s and edges/s.
+* **cold restart** — SIGKILL-style cost from the operator's seat: spawn
+  a real ``repro serve --data-dir … --recover`` subprocess over the
+  same journal and time from ``exec`` to the first completed clustering
+  answer over HTTP.
+
+Writes ``BENCH_recovery.json`` (to ``$REPRO_BENCH_DIR`` or the working
+directory) so CI archives the numbers per commit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.bench.harness import ExperimentResult
+from repro.graph.generators.random_graphs import gnm_random_graph
+from repro.service.client import ServiceClient
+from repro.service.durability import DurabilityManager
+from repro.service.store import GraphStore
+from repro.similarity.weighted import SimilarityConfig
+
+__all__ = ["recovery"]
+
+_GRAPH = "bench"
+
+
+def _planned_inserts(graph, count, per_batch, seed=0):
+    """``count`` batches of fresh, pairwise-distinct non-edges."""
+    rng = np.random.default_rng(seed)
+    n = graph.num_vertices
+    existing = set()
+    for u in range(n):
+        for v in graph.indices[graph.indptr[u]:graph.indptr[u + 1]]:
+            existing.add((min(u, int(v)), max(u, int(v))))
+    batches = []
+    while len(batches) < count:
+        batch = []
+        while len(batch) < per_batch:
+            u, v = int(rng.integers(n)), int(rng.integers(n))
+            key = (min(u, v), max(u, v))
+            if u == v or key in existing:
+                continue
+            existing.add(key)
+            batch.append([key[0], key[1], 1.0])
+        batches.append(batch)
+    return batches
+
+
+def _journal_stream(data_dir, graph, batches):
+    """Build a durable store and journal every batch; returns nothing —
+    the artifact is the WAL (and whatever checkpoints the cadence cut)."""
+    manager = DurabilityManager(data_dir, checkpoint_every=1_000_000_000)
+    store = manager.recover().store
+    store.attach_journal(manager)
+    store.add("g", graph, similarity=SimilarityConfig())
+    for batch in batches:
+        store.update_edges("g", insert=batch)
+    manager.close()
+    return store
+
+
+def _timed_recover(data_dir) -> Dict[str, object]:
+    manager = DurabilityManager(data_dir)
+    started = time.perf_counter()
+    state = manager.recover()
+    elapsed = time.perf_counter() - started
+    manager.close()
+    return {
+        "seconds": elapsed,
+        "replayed_records": int(state.replayed_records),
+        "replayed_mutations": int(state.replayed_mutations),
+        "checkpoint_seq": int(state.checkpoint_seq),
+        "fingerprint": state.store.get("g").fingerprint,
+    }
+
+
+def _spawn_serve(args):
+    """A real ``repro serve`` subprocess (console script not installed,
+    so go through ``repro.cli`` with the library on the path)."""
+    import repro
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [
+            os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__))),
+            env.get("PYTHONPATH", ""),
+        ]
+    )
+    code = (
+        "import sys; from repro.cli import main; "
+        "sys.exit(main(['serve'] + sys.argv[1:]))"
+    )
+    return subprocess.Popen(
+        [sys.executable, "-c", code, *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=env,
+    )
+
+
+def recovery(scale: str = "bench", quick: bool = False) -> List[ExperimentResult]:
+    """WAL replay throughput and cold-restart-to-first-answer latency."""
+    if quick:
+        graph = gnm_random_graph(400, 1_600, seed=11)
+        batch_count, per_batch, tail_count = 40, 5, 8
+    else:
+        graph = gnm_random_graph(4_000, 24_000, seed=11)
+        batch_count, per_batch, tail_count = 400, 10, 40
+    batches = _planned_inserts(graph, batch_count, per_batch)
+
+    table = ExperimentResult(
+        exp_id="recovery",
+        title=(
+            f"crash recovery (gnm n={graph.num_vertices:,}, "
+            f"m={graph.num_edges:,}, {batch_count} journaled batches of "
+            f"{per_batch} edges)"
+        ),
+        headers=[
+            "phase",
+            "records",
+            "edge ops",
+            "seconds",
+            "records/s",
+            "edge ops/s",
+        ],
+    )
+    payload: Dict[str, object] = {
+        "quick": bool(quick),
+        "graph": {
+            "n": int(graph.num_vertices),
+            "m": int(graph.num_edges),
+        },
+        "batches": batch_count,
+        "edges_per_batch": per_batch,
+    }
+
+    def add_replay_row(phase: str, timing: Dict[str, object]) -> None:
+        # ``replayed_mutations`` counts edge operations — the initial
+        # ``add_graph`` contributes its full edge list, each update
+        # batch its inserts.
+        records = int(timing["replayed_records"])
+        edge_ops = int(timing["replayed_mutations"])
+        seconds = float(timing["seconds"])
+        table.add_row(
+            phase, records, edge_ops, seconds,
+            records / seconds if seconds > 0 else 0.0,
+            edge_ops / seconds if seconds > 0 else 0.0,
+        )
+        payload[phase.replace("-", "_")] = {
+            **timing,
+            "records_per_second": (
+                records / seconds if seconds > 0 else 0.0
+            ),
+            "edges_per_second": edge_ops / seconds if seconds > 0 else 0.0,
+        }
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-recovery-") as root:
+        # ---- worst case: the whole history replays from the WAL ----
+        wal_dir = os.path.join(root, "wal-only")
+        live = _journal_stream(wal_dir, graph, batches)
+        timing = _timed_recover(wal_dir)
+        assert timing["fingerprint"] == live.get("g").fingerprint
+        del timing["fingerprint"]
+        add_replay_row("wal-replay", timing)
+
+        # ---- steady state: checkpoint plus a short journal tail ----
+        ckpt_dir = os.path.join(root, "checkpointed")
+        manager = DurabilityManager(ckpt_dir, checkpoint_every=1_000_000_000)
+        store = manager.recover().store
+        store.attach_journal(manager)
+        store.add("g", graph, similarity=SimilarityConfig())
+        for batch in batches[: batch_count - tail_count]:
+            store.update_edges("g", insert=batch)
+        entries, wal_seq = store.checkpoint_snapshot()
+        manager.checkpoint(
+            {"entries": entries, "wal_seq": wal_seq,
+             "job_blobs": (), "update_keys": ()}
+        )
+        for batch in batches[batch_count - tail_count:]:
+            store.update_edges("g", insert=batch)
+        manager.close()
+        timing = _timed_recover(ckpt_dir)
+        assert timing["fingerprint"] == store.get("g").fingerprint
+        del timing["fingerprint"]
+        add_replay_row("checkpoint-tail", timing)
+
+        # ---- operator view: exec → recovery → first HTTP answer ----
+        started = time.perf_counter()
+        proc = _spawn_serve(
+            ["--port", "0", "--workers", "1",
+             "--data-dir", wal_dir, "--recover"]
+        )
+        try:
+            line = proc.stdout.readline().strip()
+            if not line.startswith("serving on "):
+                raise RuntimeError(f"server failed to start: {line!r}")
+            ready = time.perf_counter() - started
+            client = ServiceClient(
+                line.removeprefix("serving on "), timeout=300.0
+            )
+            body = client.cluster("g", 2, 0.5, wait=300.0, labels=False)
+            if body.get("state") != "done":
+                raise RuntimeError(f"first answer never completed: {body}")
+            first_answer = time.perf_counter() - started
+            client.shutdown()
+            proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+            proc.stdout.close()
+        table.add_row(
+            "cold-restart", batch_count + 1,
+            graph.num_edges + batch_count * per_batch,
+            first_answer, 0.0, 0.0,
+        )
+        payload["cold_restart"] = {
+            "ready_seconds": ready,
+            "first_answer_seconds": first_answer,
+        }
+        table.notes.append(
+            f"cold restart: recovery + listen in {ready:.3f}s, first "
+            f"clustering answer at {first_answer:.3f}s after exec"
+        )
+
+    table.notes.append(
+        "wal-replay recovers the full history from the journal; "
+        "checkpoint-tail loads the newest checkpoint and replays "
+        f"only the last {tail_count} batches"
+    )
+    out_dir = os.environ.get("REPRO_BENCH_DIR", ".")
+    out_path = os.path.join(out_dir, "BENCH_recovery.json")
+    with open(out_path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    table.notes.append(f"json written to {out_path}")
+    return [table]

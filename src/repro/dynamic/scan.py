@@ -51,6 +51,13 @@ class DynamicSCAN:
     similarity:
         Similarity semantics (closed neighborhoods etc.), matching the
         batch oracle's defaults.
+    seed_sigmas:
+        Optional pre-computed σ cache, keyed by undirected edge (order
+        of endpoints is normalized).  When it covers the graph's exact
+        edge set, the O(m) σ sweep of a fresh build is skipped entirely
+        — the service seeds this from a current
+        :class:`~repro.similarity.index.EdgeSimilarityIndex` so the
+        update mirror starts warm after recovery or an index build.
 
     Examples
     --------
@@ -68,6 +75,7 @@ class DynamicSCAN:
         epsilon: float,
         *,
         similarity: SimilarityConfig | None = None,
+        seed_sigmas: Dict[Tuple[int, int], float] | None = None,
     ) -> None:
         if mu < 1:
             raise ConfigError("mu must be a positive integer")
@@ -84,8 +92,20 @@ class DynamicSCAN:
         self._dirty = True
         for u in range(graph.num_vertices):
             self._lengths[u] = self._length_of(u)
-        for u, v, _ in graph.edges():
-            self._sigma[self._key(u, v)] = self._compute_sigma(u, v)
+        if seed_sigmas is not None:
+            self._sigma = {
+                self._key(int(u), int(v)): float(sigma)
+                for (u, v), sigma in seed_sigmas.items()
+            }
+            expected = {self._key(u, v) for u, v, _ in graph.edges()}
+            if set(self._sigma) != expected:
+                raise ConfigError(
+                    "seed_sigmas must cover exactly the graph's current "
+                    "edge set"
+                )
+        else:
+            for u, v, _ in graph.edges():
+                self._sigma[self._key(u, v)] = self._compute_sigma(u, v)
 
     # ------------------------------------------------------------------
     # similarity over the adjacency representation

@@ -291,6 +291,11 @@ def _release_named(
         except (OSError, BufferError):  # pragma: no cover
             pass
         try:
+            # ``unlink`` unregisters with the resource tracker; an
+            # untracked segment was never in its books, so re-register
+            # first (a set-add no-op for tracked ones) to keep the
+            # tracker's ledger balanced.
+            resource_tracker.register(shm._name, "shared_memory")
             shm.unlink()
         # repro: allow[swallow] - already-unlinked is the idempotent case
         except (FileNotFoundError, OSError):
@@ -367,10 +372,18 @@ class SegmentRegistry:
     explicit bookkeeping.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, untracked: bool = False) -> None:
         self._owned: Dict[str, shared_memory.SharedMemory] = {}
         self._lock = threading.Lock()
         self._owner_pid = os.getpid()
+        # ``untracked`` opts owned segments out of this process's
+        # resource tracker.  A durable fleet writer wants exactly that:
+        # if it is SIGKILLed, its segments must *survive* so a promoted
+        # shard can adopt the manifest and serve through the failover —
+        # the tracker's "leak cleanup" would unlink the very state the
+        # WAL protects.  Normal exits still unlink everything through
+        # this registry (close/atexit/SIGTERM sweep).
+        self._untracked = bool(untracked)
         self._finalizer = weakref.finalize(
             self, _release_named, self._owned, self._owner_pid
         )
@@ -385,6 +398,8 @@ class SegmentRegistry:
         # Zero-length arrays are legal (edgeless graphs) but zero-byte
         # segments are not; round up to one byte.
         shm = _create_named_segment(label, max(arr.nbytes, 1))
+        if self._untracked:
+            untrack_attachment(shm)
         # Register *before* the copy: if the fill raises, close() still
         # unlinks the fresh segment instead of leaking it.
         with self._lock:
@@ -403,6 +418,8 @@ class SegmentRegistry:
         if self.closed:
             raise SimulationError("segment registry already closed")
         shm = _create_named_segment(label, max(int(size), 1))
+        if self._untracked:
+            untrack_attachment(shm)
         with self._lock:
             self._owned[shm.name] = shm
         return shm

@@ -25,6 +25,15 @@ The one exception is a *reused* connection dying before any response
 byte arrives (the server reaped it idle between requests); the request
 is re-sent once on a fresh connection, exactly the recovery every
 keep-alive HTTP library performs.
+
+A **circuit breaker** guards the transport: after
+``breaker_threshold`` consecutive transport failures (status 0 — the
+server never answered) the client fails fast for
+``breaker_cooldown`` seconds instead of burning a full connect
+timeout per call against a dead endpoint.  After the cooldown one
+trial request goes through (half-open); its success closes the
+breaker, its failure re-opens the window.  HTTP-level errors (4xx/5xx
+— the server *answered*) never trip it.
 """
 
 from __future__ import annotations
@@ -92,6 +101,8 @@ class ServiceClient:
         timeout: float = 30.0,
         max_retries: int = 2,
         retry_backoff: float = 0.2,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 5.0,
     ) -> None:
         if timeout <= 0:
             raise ConfigError("timeout must be positive")
@@ -99,6 +110,10 @@ class ServiceClient:
             raise ConfigError("max_retries must be >= 0")
         if retry_backoff < 0:
             raise ConfigError("retry_backoff must be >= 0")
+        if breaker_threshold < 0:
+            raise ConfigError("breaker_threshold must be >= 0 (0 disables)")
+        if breaker_cooldown <= 0:
+            raise ConfigError("breaker_cooldown must be positive")
         self.base_url = base_url.rstrip("/")
         split = urlsplit(self.base_url)
         if split.scheme != "http" or not split.hostname:
@@ -114,6 +129,11 @@ class ServiceClient:
         # a time (the lock), matching http.client's connection model.
         self._conn: Optional[HTTPConnection] = None
         self._conn_lock = threading.Lock()
+        self.breaker_threshold = int(breaker_threshold)
+        self.breaker_cooldown = float(breaker_cooldown)
+        self._breaker_lock = threading.Lock()
+        self._consecutive_failures = 0
+        self._breaker_open_until: Optional[float] = None
 
     def close(self) -> None:
         """Drop the persistent connection (idempotent)."""
@@ -155,19 +175,77 @@ class ServiceClient:
                 time.sleep(min(delay, 5.0))
         raise AssertionError("unreachable: loop returns or raises")
 
+    # ------------------------------------------------------------------
+    # circuit breaker
+    # ------------------------------------------------------------------
+    @property
+    def breaker_open(self) -> bool:
+        """Whether the breaker currently fails requests fast."""
+        with self._breaker_lock:
+            return (
+                self._breaker_open_until is not None
+                and time.monotonic() < self._breaker_open_until
+            )
+
+    def _breaker_admit(self) -> None:
+        """Fail fast while the breaker is open; admit one half-open trial."""
+        if self.breaker_threshold <= 0:
+            return
+        with self._breaker_lock:
+            if self._breaker_open_until is None:
+                return
+            now = time.monotonic()
+            remaining = self._breaker_open_until - now
+            if remaining > 0:
+                raise ServiceClientError(
+                    f"circuit breaker open for {self.base_url} after "
+                    f"{self._consecutive_failures} consecutive "
+                    f"connection failures; cooling down "
+                    f"{remaining:.2f}s",
+                    status=0,
+                    retry_after=remaining,
+                )
+            # Half-open: this request is the trial; concurrent callers
+            # keep failing fast until it reports back.
+            self._breaker_open_until = now + self.breaker_cooldown
+
+    def _breaker_record(self, *, transport_failure: bool) -> None:
+        if self.breaker_threshold <= 0:
+            return
+        with self._breaker_lock:
+            if transport_failure:
+                self._consecutive_failures += 1
+                if self._consecutive_failures >= self.breaker_threshold:
+                    self._breaker_open_until = (
+                        time.monotonic() + self.breaker_cooldown
+                    )
+            else:
+                self._consecutive_failures = 0
+                self._breaker_open_until = None
+
     def _request_once(
         self,
         method: str,
         path: str,
         payload: Optional[Dict[str, object]] = None,
     ) -> Dict[str, object]:
+        self._breaker_admit()
         data = (
             json.dumps(payload).encode("utf-8")
             if payload is not None
             else None
         )
-        with self._conn_lock:
-            status, body, retry_after = self._exchange(method, path, data)
+        try:
+            with self._conn_lock:
+                status, body, retry_after = self._exchange(
+                    method, path, data
+                )
+        except ServiceClientError as exc:
+            self._breaker_record(transport_failure=exc.status == 0)
+            raise
+        # The server answered; HTTP-level failures are its problem, not
+        # the transport's, so any response closes the breaker.
+        self._breaker_record(transport_failure=False)
         if status >= 400:
             raise ServiceClientError(
                 _error_detail(body)
@@ -314,15 +392,23 @@ class ServiceClient:
         insert: Sequence[Sequence[float]] = (),
         delete: Sequence[Sequence[int]] = (),
         add_vertices: int = 0,
+        idempotency_key: Optional[str] = None,
     ) -> Dict[str, object]:
+        """Apply an edge batch; ``idempotency_key`` makes retries safe.
+
+        The key is journaled with the batch on a durable server, so a
+        retry deduplicates even across a crash + recovery — the replay
+        answers with ``replayed: true`` instead of double-applying.
+        """
+        payload: Dict[str, object] = {
+            "insert": [list(edge) for edge in insert],
+            "delete": [list(edge) for edge in delete],
+            "add_vertices": int(add_vertices),
+        }
+        if idempotency_key is not None:
+            payload["idempotency_key"] = str(idempotency_key)
         return self._request(
-            "POST",
-            f"/graphs/{name}/update-edges",
-            {
-                "insert": [list(edge) for edge in insert],
-                "delete": [list(edge) for edge in delete],
-                "add_vertices": int(add_vertices),
-            },
+            "POST", f"/graphs/{name}/update-edges", payload
         )
 
     # ------------------------------------------------------------------

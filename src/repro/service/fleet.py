@@ -39,12 +39,29 @@ still serves (the registries carry an owner-pid guard as a second line
 of defense).  A fresh interpreter sidesteps the inherited-lock and
 inherited-finalizer classes of bugs entirely; only the fallback
 listening socket crosses the boundary, via ``pass_fds``.
+
+**Durable HA mode** (``--processes N --data-dir DIR``, DESIGN.md §13):
+the writer moves *out* of the supervisor into its own subprocess
+(:func:`writer_main`) that journals every mutation through a
+:class:`~repro.service.durability.DurabilityManager` before applying
+it.  The supervisor becomes a pure process manager: it spawns the
+writer, waits for its handshake file (manifest name + control URL),
+spawns workers against that manifest, and watches both.  When the
+writer dies dirty, the supervisor promotes the lowest registered shard
+via ``POST /fleet/promote``: the shard replays the WAL into a fresh
+writable store, adopts the *existing* manifest segment
+(:meth:`~repro.service.shm.StorePublisher.adopt`), republishes every
+entry at higher epochs, and starts accepting mutations itself — the
+surviving readers never detach, so in-flight queries keep answering
+throughout.  Workers re-resolve the control endpoint from the manifest
+(the promoted writer republishes it) the first time a forward fails.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import signal
 import socket
 import subprocess
 import sys
@@ -52,16 +69,28 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
+from multiprocessing import shared_memory
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError
-from repro.service.api import ServiceError, get_bool
+from repro.parallel.processes import untrack_attachment
+from repro.service.api import ServiceError, get_bool, get_int, get_str
 from repro.service.client import ServiceClient, ServiceClientError
-from repro.service.metrics import merge_metric_snapshots
+from repro.service.metrics import ServiceMetrics, merge_metric_snapshots
 from repro.service.server import ClusteringServer, ClusteringService
-from repro.service.shm import AttachedGraphStore, StorePublisher
+from repro.service.shm import (
+    AttachedGraphStore,
+    ManifestBlock,
+    StorePublisher,
+)
 
-__all__ = ["ServiceSupervisor", "WorkerService", "worker_main"]
+__all__ = [
+    "ServiceSupervisor",
+    "WorkerService",
+    "WriterFleet",
+    "worker_main",
+    "writer_main",
+]
 
 #: Environment knob forcing the pre-forked-accept fallback even where
 #: ``SO_REUSEPORT`` exists — lets tests exercise both socket strategies
@@ -168,25 +197,148 @@ def _bind_public_socket(host: str, port: int, *, listen: bool) -> socket.socket:
     return sock
 
 
+class WriterFleet:
+    """Registration table + merged metrics for an out-of-supervisor writer.
+
+    The non-durable fleet's writer lives inside the supervisor, which
+    plays this role itself.  In durable HA mode the writer is a
+    subprocess (:func:`writer_main`) — and after a failover, a promoted
+    shard — so ``/fleet/register`` and ``/fleet/metrics`` land on a
+    process with no :class:`ServiceSupervisor`.  This lighter object
+    needs only the publisher (to publish the worker table) and the
+    writer's metrics registry.
+    """
+
+    def __init__(
+        self,
+        publisher: StorePublisher,
+        *,
+        metrics,
+        registrations: Optional[Dict[int, Dict[str, object]]] = None,
+        self_index: Optional[int] = None,
+    ) -> None:
+        self.publisher = publisher
+        self.metrics = metrics
+        # A promoted shard inherits the dead writer's table so one new
+        # registration cannot clobber its surviving peers; its own
+        # record is skipped when scraping (it *is* this process).
+        self._registrations: Dict[int, Dict[str, object]] = dict(
+            registrations or {}
+        )
+        self._self_index = self_index
+        self._lock = threading.Lock()
+
+    def worker_table(self) -> List[Dict[str, object]]:
+        with self._lock:
+            return [
+                dict(self._registrations[index])
+                for index in sorted(self._registrations)
+            ]
+
+    def register_worker(
+        self, payload: Dict[str, object]
+    ) -> Dict[str, object]:
+        try:
+            index = int(payload["process_id"])  # type: ignore[arg-type]
+            pid = int(payload["pid"])  # type: ignore[arg-type]
+            admin_url = str(payload["admin_url"])
+        except (KeyError, TypeError, ValueError):
+            raise ServiceError(
+                "fleet registration needs integer 'process_id'/'pid' "
+                "and string 'admin_url'"
+            ) from None
+        record = {
+            "process_id": index,
+            "pid": pid,
+            "admin_url": admin_url,
+        }
+        with self._lock:
+            self._registrations[index] = record
+            self.publisher.set_workers(
+                [
+                    self._registrations[i]
+                    for i in sorted(self._registrations)
+                ]
+            )
+            registered = len(self._registrations)
+        self.metrics.increment("workers_registered")
+        self.metrics.record_event("worker_registered", record)
+        return {"status": "registered", "workers": registered}
+
+    def merged_metrics(self) -> Dict[str, object]:
+        snapshots = [self.metrics.snapshot()]
+        with self._lock:
+            workers = [
+                dict(record)
+                for index, record in self._registrations.items()
+                if index != self._self_index
+            ]
+        workers.sort(key=lambda r: int(r["process_id"]))
+        results, failures = _scrape_shards(
+            workers, lambda shard: shard.metrics()
+        )
+        scraped = []
+        for record, snapshot in results:
+            snapshots.append(snapshot)
+            scraped.append(record)
+        for record, exc in failures:
+            # A shard mid-respawn answers nothing; report it absent
+            # rather than failing the whole scrape.
+            self.metrics.increment("metrics_scrape_failures")
+            self.metrics.record_event(
+                "metrics_scrape_failed",
+                {"process_id": record["process_id"], "error": str(exc)},
+            )
+        merged = merge_metric_snapshots(snapshots)
+        merged["fleet"] = {
+            "scraped_shards": [r["process_id"] for r in scraped],
+            "generation": self.publisher.generation(),
+        }
+        return merged
+
+
 class ServiceSupervisor:
     """Writer + publisher + worker fleet behind one public port."""
 
     def __init__(
         self,
-        service: ClusteringService,
+        service: Optional[ClusteringService],
         *,
         host: str = "127.0.0.1",
         port: int = 0,
         processes: int = 2,
         worker_options: Optional[Dict[str, object]] = None,
         respawn: bool = True,
+        data_dir: Optional[str] = None,
+        recover: bool = False,
+        checkpoint_every: int = 64,
+        writer_graphs: Optional[List[List[object]]] = None,
     ) -> None:
         if processes < 1:
             raise ConfigError("processes must be >= 1")
+        if service is None and data_dir is None:
+            raise ConfigError(
+                "a supervisor needs a writer service, or a data_dir to "
+                "run the writer as a durable subprocess"
+            )
         self.service = service
+        self.data_dir = data_dir
+        self.recover = bool(recover)
+        self.checkpoint_every = int(checkpoint_every)
+        self._writer_graphs = [list(g) for g in (writer_graphs or [])]
         self.processes = int(processes)
         self.respawn = bool(respawn)
         self._worker_options = dict(worker_options or {})
+        # HA mode has no in-process service; the supervisor keeps its
+        # own registry for process-management telemetry.
+        self.metrics = (
+            service.metrics if service is not None else ServiceMetrics()
+        )
+        self.shutdown_event = (
+            service.shutdown_event
+            if service is not None
+            else threading.Event()
+        )
         self._lock = threading.Lock()
         self._procs: Dict[int, subprocess.Popen] = {}
         self._registrations: Dict[int, Dict[str, object]] = {}
@@ -194,15 +346,29 @@ class ServiceSupervisor:
         self._closing = threading.Event()
         self._watch: Optional[threading.Thread] = None
 
+        # Durable-writer state (all None/idle in non-HA mode).
+        self._writer_proc: Optional[subprocess.Popen] = None
+        self._writer_index: Optional[int] = None
+        self._writer_pid: Optional[int] = None
+        self._failovers = 0
+        self._manifest_shm = None
+        self._manifest_reader: Optional[ManifestBlock] = None
+        self._worker_table: List[Dict[str, object]] = []
+        self._worker_manifest: Optional[str] = None
+        self._worker_control: Optional[str] = None
+
         # Single-writer publication: every mutation of the writer's
-        # store now lands in shared memory as a fresh epoch.
-        self.publisher = StorePublisher(metrics=service.metrics)
+        # store lands in shared memory as a fresh epoch.  In HA mode
+        # the writer subprocess owns the publisher instead.
+        self.publisher: Optional[StorePublisher] = None
         self._listen_sock: Optional[socket.socket] = None
         self._probe_sock: Optional[socket.socket] = None
         self._control: Optional[ClusteringServer] = None
         try:
-            service.store.attach_publisher(self.publisher)
-            service.fleet = self
+            if service is not None:
+                self.publisher = StorePublisher(metrics=service.metrics)
+                service.store.attach_publisher(self.publisher)
+                service.fleet = self
             self.reuseport = _reuseport_available()
             if self.reuseport:
                 # Reserve the concrete port; workers bind their own
@@ -220,17 +386,27 @@ class ServiceSupervisor:
                 resolved = self._listen_sock.getsockname()
             self.host = resolved[0]
             self.port = int(resolved[1])
-            # The control channel: the writer service itself, on a
-            # loopback port workers forward mutations to.
-            self._control = ClusteringServer(
-                service, host="127.0.0.1", port=0
-            )
-            self._control.start()
+            if service is not None:
+                # The control channel: the writer service itself, on a
+                # loopback port workers forward mutations to.
+                self._control = ClusteringServer(
+                    service, host="127.0.0.1", port=0
+                )
+                self._control.start()
+                assert self.publisher is not None
+                self.publisher.set_control_url(self._control.url)
+                self._worker_manifest = self.publisher.manifest_name
+                self._worker_control = self._control.url
+            else:
+                self._spawn_writer()
         except BaseException:
             self._teardown()
             raise
-        service.metrics.register_gauge("process", self._process_gauge)
-        service.metrics.register_gauge("fleet", self._fleet_gauge)
+        if service is not None:
+            service.metrics.register_gauge(
+                "process", self._process_gauge
+            )
+        self.metrics.register_gauge("fleet", self._fleet_gauge)
 
     # ------------------------------------------------------------------
     @property
@@ -239,10 +415,11 @@ class ServiceSupervisor:
 
     @property
     def control_url(self) -> str:
-        assert self._control is not None
-        return self._control.url
+        assert self._worker_control is not None
+        return self._worker_control
 
     def _process_gauge(self) -> Dict[str, object]:
+        assert self.publisher is not None
         return {
             "role": "writer",
             "pid": os.getpid(),
@@ -260,7 +437,276 @@ class ServiceSupervisor:
                 "registered": len(self._registrations),
                 "respawns": self._respawns,
                 "reuseport": self.reuseport,
+                "failovers": self._failovers,
             }
+
+    # ------------------------------------------------------------------
+    # durable writer subprocess (HA mode)
+    # ------------------------------------------------------------------
+    def _spawn_writer(self) -> None:
+        """Start :func:`writer_main` and wait for its handshake file."""
+        assert self.data_dir is not None
+        handshake = os.path.join(self.data_dir, "writer.json")
+        if os.path.exists(handshake):
+            os.remove(handshake)
+        options = {
+            "data_dir": self.data_dir,
+            "recover": self.recover,
+            "checkpoint_every": self.checkpoint_every,
+            "handshake": handshake,
+            "service": self._worker_options,
+            "graphs": self._writer_graphs,
+        }
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-c",
+                "import sys; from repro.service.fleet import writer_main; "
+                "sys.exit(writer_main(sys.argv[1:]))",
+                json.dumps(options),
+            ],
+            stdin=subprocess.DEVNULL,
+        )
+        self._writer_proc = proc
+        deadline = time.monotonic() + _READY_TIMEOUT_SECONDS
+        while True:
+            if os.path.exists(handshake):
+                try:
+                    with open(handshake, "r", encoding="utf-8") as fh:
+                        info = json.load(fh)
+                    break
+                except ValueError as exc:
+                    # The rename is atomic, so this means a stale probe
+                    # raced the writer; witness it and keep waiting.
+                    self.metrics.record_event(
+                        "writer_handshake_retry", {"error": str(exc)}
+                    )
+            if proc.poll() is not None:
+                raise ConfigError(
+                    "durable writer exited with "
+                    f"{proc.returncode} before its handshake"
+                )
+            if time.monotonic() > deadline:
+                proc.terminate()
+                raise ConfigError(
+                    "durable writer never wrote its handshake"
+                )
+            time.sleep(0.05)
+        self._worker_manifest = str(info["manifest_name"])
+        self._worker_control = str(info["control_url"])
+        self._attach_manifest_reader()
+        # Any later writer spawn replaces a crashed one: it must replay
+        # the WAL, never refuse the (now non-empty) data directory.
+        self.recover = True
+
+    def _attach_manifest_reader(self) -> None:
+        """(Re-)attach the supervisor's read-only manifest view."""
+        if self._manifest_shm is not None:
+            try:
+                self._manifest_shm.close()
+            except (OSError, BufferError) as exc:
+                self.metrics.record_event(
+                    "manifest_reader_close_skipped", {"error": str(exc)}
+                )
+        assert self._worker_manifest is not None
+        self._manifest_shm = shared_memory.SharedMemory(
+            name=self._worker_manifest
+        )
+        untrack_attachment(self._manifest_shm)
+        self._manifest_reader = ManifestBlock(
+            self._manifest_shm, writer=False
+        )
+
+    def _poll_worker_table(self) -> None:
+        """Cache the manifest's fleet table (promotion candidates)."""
+        if self._manifest_reader is None:
+            return
+        try:
+            _, payload = self._manifest_reader.read()
+        except ConfigError as exc:
+            # Torn manifest right after a writer crash: keep the cached
+            # table — it names exactly the shards worth promoting.
+            self.metrics.record_event(
+                "supervisor_manifest_stalled", {"error": str(exc)}
+            )
+            return
+        self._worker_table = list(payload.get("workers", []))
+        control = payload.get("control")
+        if control:
+            self._worker_control = str(control)
+
+    def _check_writer(self) -> None:
+        """Detect writer death; promote a shard or respawn the writer.
+
+        Runs *before* the dead-worker respawn pass each tick so a
+        promoted shard's corpse is still in ``_procs`` when inspected —
+        the pid recorded at promotion time disambiguates it from a
+        plain worker respawned at the same index.
+        """
+        if self._closing.is_set():
+            return
+        if self._writer_proc is not None:
+            returncode = self._writer_proc.poll()
+            if returncode is None:
+                return
+            self._writer_proc = None
+            self.metrics.record_event(
+                "writer_exit", {"returncode": returncode}
+            )
+            if returncode == 0:
+                # Clean writer exit (drained via /shutdown): the fleet
+                # is done.
+                self.shutdown_event.set()
+                return
+            self.metrics.increment("writer_crashes")
+            self._promote_or_respawn()
+        elif self._writer_index is not None:
+            with self._lock:
+                proc = self._procs.get(self._writer_index)
+            if (
+                proc is not None
+                and proc.pid == self._writer_pid
+                and proc.poll() is None
+            ):
+                return
+            if (
+                proc is not None
+                and proc.pid == self._writer_pid
+                and proc.returncode == 0
+            ):
+                self._writer_index = None
+                self._writer_pid = None
+                self.shutdown_event.set()
+                return
+            failed, self._writer_index = self._writer_index, None
+            self._writer_pid = None
+            self.metrics.record_event(
+                "promoted_writer_exit", {"process_id": failed}
+            )
+            self._promote_or_respawn(exclude=failed)
+
+    def _promote_or_respawn(self, *, exclude: Optional[int] = None) -> None:
+        """Promote the lowest live registered shard; else respawn the
+        writer subprocess from the WAL."""
+        self._poll_worker_table()
+        table = sorted(
+            self._worker_table,
+            key=lambda rec: int(rec.get("process_id", 1 << 30)),
+        )
+        payload = {
+            "data_dir": self.data_dir,
+            "checkpoint_every": self.checkpoint_every,
+        }
+        for record in table:
+            index = int(record.get("process_id", -1))
+            if index == exclude:
+                continue
+            with self._lock:
+                proc = self._procs.get(index)
+            if (
+                proc is None
+                or proc.poll() is not None
+                or proc.pid != int(record.get("pid", -1))
+            ):
+                # Dead, or the registration predates a respawn of this
+                # index — the admin URL would reach the wrong process.
+                continue
+            try:
+                with ServiceClient(
+                    str(record["admin_url"]),
+                    timeout=30.0,
+                    max_retries=0,
+                ) as admin:
+                    body = admin.request(
+                        "POST", "/fleet/promote", payload
+                    )
+            except ServiceClientError as exc:
+                self.metrics.record_event(
+                    "promotion_failed",
+                    {"process_id": index, "error": str(exc)},
+                )
+                continue
+            self._writer_index = index
+            self._writer_pid = proc.pid
+            self._failovers += 1
+            control = body.get("control_url")
+            if control:
+                self._worker_control = str(control)
+            self.metrics.increment("writer_failovers")
+            self.metrics.record_event(
+                "writer_failover",
+                {"process_id": index, "control_url": control},
+            )
+            return
+        # No promotable shard survived: bring up a fresh writer
+        # subprocess from the WAL.  It creates a *new* manifest, so the
+        # dead fleet's segments are swept and the workers restart.
+        self._sweep_manifest()
+        try:
+            self._spawn_writer()
+        except ConfigError as exc:
+            self.metrics.record_event(
+                "writer_respawn_failed", {"error": str(exc)}
+            )
+            self.shutdown_event.set()
+            return
+        self.metrics.increment("writer_respawns")
+        self._restart_workers()
+
+    def _sweep_manifest(self) -> None:
+        """Unlink a dead writer's orphaned manifest + segments.
+
+        Durable-writer segments are deliberately untracked, so nothing
+        reclaims them automatically after a SIGKILL; the supervisor
+        adopts the stale manifest just long enough to retire everything
+        it names.  A missing manifest (clean writer exit already
+        unlinked it) is the no-op case.
+        """
+        name = self._worker_manifest
+        if name is None:
+            return
+        self._manifest_reader = None
+        if self._manifest_shm is not None:
+            try:
+                self._manifest_shm.close()
+            except (OSError, BufferError) as exc:
+                self.metrics.record_event(
+                    "manifest_reader_close_skipped", {"error": str(exc)}
+                )
+            self._manifest_shm = None
+        try:
+            leftover = StorePublisher.adopt(name, metrics=self.metrics)
+        except (FileNotFoundError, ConfigError, OSError) as exc:
+            self.metrics.record_event(
+                "manifest_sweep_skipped",
+                {"manifest": name, "error": str(exc)},
+            )
+            return
+        leftover.retire_foreign_segments()
+        leftover.close()
+        self.metrics.record_event("manifest_swept", {"manifest": name})
+
+    def _restart_workers(self) -> None:
+        """Replace every worker (the manifest they attached is gone)."""
+        with self._lock:
+            procs = dict(self._procs)
+            self._registrations = {}
+        for proc in procs.values():
+            if proc.poll() is None:
+                proc.terminate()
+        deadline = time.monotonic() + 5.0
+        for proc in procs.values():
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                self.metrics.increment("worker_kill_escalations")
+                proc.kill()
+                proc.wait(timeout=5.0)
+        with self._lock:
+            for index in procs:
+                self._respawns += 1
+                self._procs[index] = self._spawn(index)
 
     # ------------------------------------------------------------------
     # worker lifecycle
@@ -280,7 +726,7 @@ class ServiceSupervisor:
     def _spawn(self, index: int) -> subprocess.Popen:
         options: Dict[str, object] = {
             "process_index": index,
-            "manifest_name": self.publisher.manifest_name,
+            "manifest_name": self._worker_manifest,
             "control_url": self.control_url,
             "host": self.host,
             "port": self.port,
@@ -309,6 +755,11 @@ class ServiceSupervisor:
 
     def _watch_loop(self) -> None:
         while not self._closing.wait(0.2):
+            self._poll_worker_table()
+            # Writer health first: a dead promoted shard must be seen
+            # here, pid intact in _procs, before the respawn pass below
+            # replaces it with a plain worker at the same index.
+            self._check_writer()
             with self._lock:
                 dead = [
                     (index, proc)
@@ -316,8 +767,8 @@ class ServiceSupervisor:
                     if proc.poll() is not None
                 ]
                 for index, proc in dead:
-                    self.service.metrics.increment("worker_exits")
-                    self.service.metrics.record_event(
+                    self.metrics.increment("worker_exits")
+                    self.metrics.record_event(
                         "worker_exit",
                         {
                             "process_id": index,
@@ -326,9 +777,13 @@ class ServiceSupervisor:
                         },
                     )
                     self._registrations.pop(index, None)
-                    if self.respawn and not self._closing.is_set():
+                    if (
+                        self.respawn
+                        and not self._closing.is_set()
+                        and not self.shutdown_event.is_set()
+                    ):
                         self._respawns += 1
-                        self.service.metrics.increment("worker_respawns")
+                        self.metrics.increment("worker_respawns")
                         self._procs[index] = self._spawn(index)
                     else:
                         del self._procs[index]
@@ -336,12 +791,16 @@ class ServiceSupervisor:
                     self._publish_workers_locked()
 
     def _publish_workers_locked(self) -> None:
-        self.publisher.set_workers(
-            [
-                self._registrations[index]
-                for index in sorted(self._registrations)
-            ]
-        )
+        # In HA mode registrations land on the writer subprocess (its
+        # WriterFleet publishes the table); the supervisor has nothing
+        # to publish.
+        if self.publisher is not None:
+            self.publisher.set_workers(
+                [
+                    self._registrations[index]
+                    for index in sorted(self._registrations)
+                ]
+            )
 
     # ------------------------------------------------------------------
     # control-channel callbacks (via the writer's /fleet/* handlers)
@@ -367,14 +826,14 @@ class ServiceSupervisor:
             self._registrations[index] = record
             self._publish_workers_locked()
             registered = len(self._registrations)
-        self.service.metrics.increment("workers_registered")
-        self.service.metrics.record_event("worker_registered", record)
+        self.metrics.increment("workers_registered")
+        self.metrics.record_event("worker_registered", record)
         return {"status": "registered", "workers": registered}
 
     def merged_metrics(self) -> Dict[str, object]:
         """Fleet-wide ``/metrics``: summed counters, exactly merged
         histograms, per-shard gauges/events under ``shards``."""
-        snapshots = [self.service.metrics.snapshot()]
+        snapshots = [self.metrics.snapshot()]
         with self._lock:
             workers = [
                 dict(record) for record in self._registrations.values()
@@ -391,8 +850,8 @@ class ServiceSupervisor:
             # A shard mid-respawn (or hung past the per-shard deadline)
             # answers nothing; report it absent rather than failing the
             # whole scrape.
-            self.service.metrics.increment("metrics_scrape_failures")
-            self.service.metrics.record_event(
+            self.metrics.increment("metrics_scrape_failures")
+            self.metrics.record_event(
                 "metrics_scrape_failed",
                 {"process_id": record["process_id"], "error": str(exc)},
             )
@@ -408,17 +867,26 @@ class ServiceSupervisor:
     def wait_ready(
         self, timeout: float = _READY_TIMEOUT_SECONDS
     ) -> "ServiceSupervisor":
-        """Block until every worker registered (spawn-time barrier)."""
+        """Block until every worker registered (spawn-time barrier).
+
+        In HA mode the registrations live on the writer subprocess;
+        the supervisor observes them through the manifest's fleet
+        table instead of its own (empty) registration map.
+        """
         deadline = time.monotonic() + timeout
         while True:
-            with self._lock:
-                if len(self._registrations) >= self.processes:
-                    return self
-            if time.monotonic() > deadline:
+            if self.service is not None:
                 with self._lock:
-                    missing = self.processes - len(self._registrations)
+                    registered = len(self._registrations)
+            else:
+                self._poll_worker_table()
+                registered = len(self._worker_table)
+            if registered >= self.processes:
+                return self
+            if time.monotonic() > deadline:
                 raise ConfigError(
-                    f"fleet startup timed out: {missing} of "
+                    f"fleet startup timed out: "
+                    f"{self.processes - registered} of "
                     f"{self.processes} workers never registered"
                 )
             time.sleep(0.05)
@@ -451,9 +919,21 @@ class ServiceSupervisor:
             try:
                 proc.wait(timeout=remaining)
             except subprocess.TimeoutExpired:
-                self.service.metrics.increment("worker_kill_escalations")
+                self.metrics.increment("worker_kill_escalations")
                 proc.kill()
                 proc.wait(timeout=5.0)
+        writer, self._writer_proc = self._writer_proc, None
+        if writer is not None:
+            # Graceful stop: SIGTERM lets the writer take one final
+            # checkpoint before releasing the WAL.
+            if writer.poll() is None:
+                writer.terminate()
+            try:
+                writer.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                self.metrics.increment("writer_kill_escalations")
+                writer.kill()
+                writer.wait(timeout=5.0)
         if self._control is not None:
             self._control.close()
             self._control = None
@@ -462,7 +942,22 @@ class ServiceSupervisor:
                 sock.close()
         self._probe_sock = None
         self._listen_sock = None
-        self.publisher.close()
+        if self.service is None:
+            # HA teardown: whatever the (possibly killed) writer or a
+            # promoted shard left behind gets retired here — durable
+            # segments are untracked, so nobody else will.
+            self._sweep_manifest()
+        self._manifest_reader = None
+        if self._manifest_shm is not None:
+            try:
+                self._manifest_shm.close()
+            except (OSError, BufferError) as exc:
+                self.metrics.record_event(
+                    "manifest_reader_close_skipped", {"error": str(exc)}
+                )
+            self._manifest_shm = None
+        if self.publisher is not None:
+            self.publisher.close()
 
     def __enter__(self) -> "ServiceSupervisor":
         return self.start()
@@ -501,8 +996,17 @@ class WorkerService(ClusteringService):
         self._control = ServiceClient(
             control_url, timeout=self.request_timeout, max_retries=0
         )
+        self._control_lock = threading.Lock()
         self._peer_lock = threading.Lock()
         self._peers: Dict[str, ServiceClient] = {}
+        # Failover state: after /fleet/promote this shard *is* the
+        # writer — self.store swaps to the recovered writable store,
+        # while the original attachment stays open for concurrent
+        # readers mid-request.
+        self._attached: AttachedGraphStore = store
+        self._promoted = False
+        self._promote_lock = threading.Lock()
+        self.admin_url: Optional[str] = None
         # Epoch-moved entries evict their stale cache lines eagerly
         # (correctness never depends on it — cache keys embed the
         # fingerprint, which the new epoch changed).
@@ -511,12 +1015,20 @@ class WorkerService(ClusteringService):
         self.metrics.register_gauge("process", self._process_gauge)
 
     def _process_gauge(self) -> Dict[str, object]:
+        if self._promoted:
+            assert self.fleet is not None
+            return {
+                "role": "writer",
+                "process_id": self.process_index,
+                "pid": os.getpid(),
+                "generation": self.fleet.publisher.generation(),
+            }
         return {
             "role": "worker",
             "process_id": self.process_index,
             "pid": os.getpid(),
-            "generation": self.store.generation(),
-            "epochs": self.store.epochs(),
+            "generation": self._attached.generation(),
+            "epochs": self._attached.epochs(),
         }
 
     def close(self) -> None:
@@ -527,50 +1039,113 @@ class WorkerService(ClusteringService):
             self._peers = {}
         for peer in peers:
             peer.close()
-        self.store.close()
+        if self.durability is not None:
+            # Promoted shard: one final checkpoint caps the WAL before
+            # the fsynced handle closes.
+            self.durability.checkpoint(self.durability_snapshot())
+            self.durability.close()
+        if self._promoted and self.fleet is not None:
+            self.fleet.publisher.close()
+        self._attached.close()
 
     # ------------------------------------------------------------------
     # write forwarding (worker → writer over the control channel)
     # ------------------------------------------------------------------
-    def _forward(
+    def _reresolve_control(self) -> bool:
+        """Point the control client at the manifest's current writer.
+
+        After a failover the promoted shard republishes its own control
+        endpoint in the manifest; a worker whose forward just failed at
+        the transport level re-resolves from there.  Returns whether
+        the endpoint actually changed.
+        """
+        with self._control_lock:
+            fresh = self._attached.control_url()
+            if not fresh or fresh == self.control_url:
+                return False
+            stale, self.control_url = self.control_url, fresh
+            old_client = self._control
+            self._control = ServiceClient(
+                fresh, timeout=self.request_timeout, max_retries=0
+            )
+            old_client.close()
+        self.metrics.increment("control_reconnects")
+        self.metrics.record_event(
+            "control_reconnected", {"from": stale, "to": fresh}
+        )
+        return True
+
+    def _control_request(
         self, method: str, path: str, payload: Dict[str, object]
     ) -> Dict[str, object]:
         try:
-            body = self._control.request(method, path, payload)
+            return self._control.request(method, path, payload)
         except ServiceClientError as exc:
-            raise ServiceError(
-                str(exc), status=exc.status or 502,
-                retry_after=exc.retry_after,
-            ) from None
+            if exc.status != 0:
+                raise ServiceError(
+                    str(exc), status=exc.status or 502,
+                    retry_after=exc.retry_after,
+                ) from None
+            # Transport failure: the writer may have failed over.
+            if not self._reresolve_control():
+                raise ServiceError(
+                    f"fleet writer unreachable: {exc}",
+                    status=503, retry_after=1.0,
+                ) from None
+            try:
+                return self._control.request(method, path, payload)
+            except ServiceClientError as retry_exc:
+                raise ServiceError(
+                    str(retry_exc),
+                    status=retry_exc.status or 503,
+                    retry_after=retry_exc.retry_after or 1.0,
+                ) from None
+
+    def _forward(
+        self, method: str, path: str, payload: Dict[str, object]
+    ) -> Dict[str, object]:
+        body = self._control_request(method, path, payload)
         # The writer committed a new epoch before answering; observe it
         # now so this worker's next read serves the mutated graph.
-        self.store.refresh()
+        self._attached.refresh()
         return body
 
     def handle_load_graph(self, payload):
+        if self._promoted:
+            return ClusteringService.handle_load_graph(self, payload)
         body = self._forward("POST", "/graphs", payload)
         self.metrics.increment("graphs_loaded")
         return body
 
     def handle_build_index(self, payload, name):
+        if self._promoted:
+            return ClusteringService.handle_build_index(
+                self, payload, name
+            )
         body = self._forward("POST", f"/graphs/{name}/index", payload)
         self.metrics.increment("cluster_indexes_built")
         return body
 
     def handle_update_edges(self, payload, name):
+        if self._promoted:
+            return ClusteringService.handle_update_edges(
+                self, payload, name
+            )
         # Invalidate this shard's cache lines for the pre-update
         # fingerprint *before* refresh() (whose listener would otherwise
         # count them first) so the reported count matches what a
         # single-process server answers for the same request stream.
-        try:
-            body = self._control.request(
-                "POST", f"/graphs/{name}/update-edges", payload
-            )
-        except ServiceClientError as exc:
-            raise ServiceError(
-                str(exc), status=exc.status or 502,
-                retry_after=exc.retry_after,
-            ) from None
+        body = self._control_request(
+            "POST", f"/graphs/{name}/update-edges", payload
+        )
+        if body.get("replayed") or body.get("recovered"):
+            # Idempotent replay: the writer applied nothing (a retry of
+            # an acked batch, possibly across a crash — recovered
+            # markers carry no fingerprints at all), so there is no
+            # old→new epoch to migrate cache lines across.
+            self._attached.refresh()
+            self.metrics.increment("update_idempotent_replays")
+            return dict(body)
         # Local-query lines whose read set misses the update survive by
         # re-keying to the new fingerprint — done before refresh() so
         # the epoch listener's old-fingerprint sweep can't evict them.
@@ -583,7 +1158,7 @@ class WorkerService(ClusteringService):
         invalidated = self.cache.invalidate_fingerprint(
             str(body["previous_fingerprint"])
         )
-        self.store.refresh()
+        self._attached.refresh()
         self.metrics.increment("edge_updates")
         self.metrics.increment("cache_invalidated", invalidated)
         self.metrics.increment(
@@ -600,6 +1175,10 @@ class WorkerService(ClusteringService):
         )
 
     def handle_shutdown(self, payload):
+        if self._promoted:
+            # This shard is the writer: stopping it drains the fleet
+            # (the supervisor sees its clean exit and shuts down).
+            return ClusteringService.handle_shutdown(self, payload)
         # Stopping one shard of a fleet is not a meaningful client
         # operation; /shutdown stops the whole fleet via the writer.
         body = self._forward("POST", "/shutdown", {})
@@ -607,10 +1186,106 @@ class WorkerService(ClusteringService):
         return body
 
     def _ensure_local_indexes(self, name, entry):
+        if self._promoted:
+            # Writable store again: build σ tiers on demand like any
+            # single-process writer.
+            return ClusteringService._ensure_local_indexes(
+                self, name, entry
+            )
         # The attached store is read-only; local queries serve with
         # whatever σ tier the writer last published (degrading to the
         # oracle tier when no index survived the last update).
         return entry
+
+    # ------------------------------------------------------------------
+    # failover promotion (supervisor → this shard, DESIGN.md §13)
+    # ------------------------------------------------------------------
+    def handle_fleet_promote(self, payload):
+        """Take over as the fleet's writer after the writer died.
+
+        Replays the WAL (checkpoint + tail) into a fresh writable
+        store, adopts the existing manifest so surviving readers never
+        detach, republishes every recovered entry at strictly higher
+        epochs, then starts journaling and accepting mutations itself.
+        """
+        data_dir = get_str(payload, "data_dir")
+        checkpoint_every = get_int(payload, "checkpoint_every", 64)
+        with self._promote_lock:
+            if self._promoted:
+                return {
+                    "status": "already-writer",
+                    "process_id": self.process_index,
+                    "control_url": self.admin_url,
+                }
+            if self.admin_url is None:
+                raise ServiceError(
+                    "shard has no admin endpoint yet; cannot take "
+                    "writer traffic",
+                    status=503, retry_after=0.5,
+                )
+            from repro.service.durability import DurabilityManager
+
+            manager = DurabilityManager(
+                data_dir,
+                checkpoint_every=checkpoint_every,
+                metrics=self.metrics,
+            )
+            try:
+                state = manager.recover()
+                # The dead writer's registration table survives in the
+                # manifest; inherit it so peers keep proxying jobs.
+                peers = {
+                    int(rec["process_id"]): dict(rec)
+                    for rec in self._attached.workers()
+                }
+                publisher = StorePublisher.adopt(
+                    self._attached.manifest_name, metrics=self.metrics
+                )
+            except BaseException:
+                manager.close()
+                raise
+            store = state.store
+            store.metrics = self.metrics
+            self.store = store  # reads flip to the writable store
+            store.attach_publisher(publisher)  # republish every entry
+            publisher.set_control_url(str(self.admin_url))
+            publisher.retire_foreign_segments()
+            self.seed_update_keys(state.update_keys)
+            self.import_recovered_jobs(state.job_blobs)
+            store.attach_journal(manager)
+            self.durability = manager
+            self.fleet = WriterFleet(
+                publisher,
+                metrics=self.metrics,
+                registrations=peers,
+                self_index=self.process_index,
+            )
+            self._promoted = True
+        self.metrics.increment("writer_promotions")
+        self.metrics.record_event(
+            "writer_promoted",
+            {
+                "process_id": self.process_index,
+                "wal_seq": state.last_seq,
+                "replayed_records": state.replayed_records,
+                "graphs": len(store.names()),
+            },
+        )
+        return {
+            "status": "promoted",
+            "process_id": self.process_index,
+            "control_url": self.admin_url,
+            "graphs": len(store.names()),
+            "replayed_records": state.replayed_records,
+        }
+
+    def _worker_table(self) -> List[Dict[str, object]]:
+        """The fleet table: from the manifest as a reader, from the
+        local registration map once promoted (GraphStore has none)."""
+        if self._promoted:
+            assert self.fleet is not None
+            return self.fleet.worker_table()
+        return self._attached.workers()
 
     # ------------------------------------------------------------------
     # job routing (shard-prefixed ids; foreign ids proxy to the owner)
@@ -626,7 +1301,7 @@ class WorkerService(ClusteringService):
             owner = int(prefix[1:])
         except ValueError:
             return None
-        for record in self.store.workers():
+        for record in self._worker_table():
             if int(record.get("process_id", -1)) == owner:
                 admin_url = str(record["admin_url"])
                 with self._peer_lock:
@@ -707,7 +1382,7 @@ class WorkerService(ClusteringService):
         jobs = list(local["jobs"])
         peers = [
             record
-            for record in self.store.workers()
+            for record in self._worker_table()
             if int(record.get("process_id", -1)) != self.process_index
         ]
         results, failures = _scrape_shards(
@@ -724,6 +1399,8 @@ class WorkerService(ClusteringService):
         return {"jobs": jobs}
 
     def handle_fleet_metrics(self, payload):
+        if self._promoted:
+            return ClusteringService.handle_fleet_metrics(self, payload)
         return self._forward("GET", "/fleet/metrics", payload)
 
 
@@ -764,23 +1441,34 @@ def worker_main(argv: Optional[List[str]] = None) -> int:
     else:
         sock = socket.socket(fileno=int(options["listen_fd"]))
     public = ClusteringServer(service, sock=sock)
-    # The private admin endpoint: job proxying and metrics scrapes land
-    # here, addressed per-shard, never load-balanced.
+    # The private admin endpoint: job proxying, metrics scrapes, and
+    # failover promotion land here, addressed per-shard, never
+    # load-balanced.
     admin = ClusteringServer(service, host="127.0.0.1", port=0)
     public.start()
     admin.start()
-    with ServiceClient(
-        str(options["control_url"]), timeout=10.0, max_retries=2
-    ) as control:
-        control.request(
-            "POST",
-            "/fleet/register",
-            {
-                "process_id": index,
-                "pid": os.getpid(),
-                "admin_url": admin.url,
-            },
+    service.admin_url = admin.url
+    register = {
+        "process_id": index,
+        "pid": os.getpid(),
+        "admin_url": admin.url,
+    }
+    try:
+        with ServiceClient(
+            str(options["control_url"]), timeout=10.0, max_retries=2
+        ) as control:
+            control.request("POST", "/fleet/register", register)
+    except ServiceClientError as exc:
+        # The writer may have failed over while this worker was
+        # starting; the manifest names its successor.
+        service.metrics.record_event(
+            "register_reresolved", {"error": str(exc)}
         )
+        fresh = store.control_url()
+        if fresh is None or fresh == str(options["control_url"]):
+            raise
+        with ServiceClient(fresh, timeout=10.0, max_retries=2) as control:
+            control.request("POST", "/fleet/register", register)
     try:
         while not service.shutdown_event.wait(timeout=0.2):
             if os.getppid() == 1:
@@ -792,6 +1480,124 @@ def worker_main(argv: Optional[List[str]] = None) -> int:
     finally:
         admin.close()
         public.close()
+    return 0
+
+
+# ----------------------------------------------------------------------
+# durable writer process entry point (HA mode, DESIGN.md §13)
+# ----------------------------------------------------------------------
+def writer_main(argv: Optional[List[str]] = None) -> int:
+    """Run the fleet's durable writer until drained or terminated.
+
+    Recovers the store from ``data_dir`` (checkpoint + WAL tail),
+    publishes it over shared memory, exposes the writer service on a
+    loopback control port, and hands the supervisor a handshake file
+    naming the manifest and control endpoint.  SIGTERM triggers a final
+    checkpoint before exit — a SIGKILL instead is exactly what the WAL
+    protects against.
+    """
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if len(argv) != 1:
+        print(
+            "usage: writer_main(['<options json>'])",
+            file=sys.stderr,
+        )
+        return 2
+    options = json.loads(argv[0])
+    from repro.parallel.processes import install_signal_cleanup
+    from repro.service.durability import DurabilityManager
+
+    install_signal_cleanup()
+    service_options = dict(options.get("service") or {})
+    fault_plan = service_options.pop("fault_plan", None)
+    if fault_plan:
+        from repro.faults import FaultPlan, arm
+
+        with open(fault_plan, "r", encoding="utf-8") as handle:
+            arm(FaultPlan.from_json(handle.read()))
+    metrics = ServiceMetrics()
+    manager = DurabilityManager(
+        str(options["data_dir"]),
+        checkpoint_every=int(options.get("checkpoint_every", 64)),
+        metrics=metrics,
+    )
+    recovered = manager.recover()
+    if not options.get("recover") and recovered.last_seq > 0:
+        print(
+            "data dir holds existing state; the supervisor must pass "
+            "recover=True",
+            file=sys.stderr,
+        )
+        manager.close()
+        return 3
+    service = ClusteringService(
+        store=recovered.store, metrics=metrics, **service_options
+    )
+    service.seed_update_keys(recovered.update_keys)
+    service.import_recovered_jobs(recovered.job_blobs)
+    publisher = StorePublisher(metrics=metrics, durable=True)
+    service.store.attach_publisher(publisher)
+    service.store.attach_journal(manager)
+    service.durability = manager
+    control = ClusteringServer(service, host="127.0.0.1", port=0)
+    control.start()
+    publisher.set_control_url(control.url)
+    service.fleet = WriterFleet(publisher, metrics=metrics)
+    # Preload requested graphs the recovery didn't already restore;
+    # each add journals + publishes like any other mutation.
+    hosted = set(service.store.names())
+    for spec in options.get("graphs") or []:
+        name = str(spec[0])
+        if name in hosted:
+            metrics.record_event("preload_skipped", {"graph": name})
+            continue
+        service.handle_load_graph(
+            {
+                "name": name,
+                "path": str(spec[1]),
+                "weighted": bool(spec[2]),
+                "build_index": bool(spec[3]),
+                "build_cluster_index": bool(spec[4]),
+                **(
+                    {"mu_cap": int(spec[5])}
+                    if len(spec) > 5 and spec[5] is not None
+                    else {}
+                ),
+            }
+        )
+    # SIGTERM now means "drain": checkpoint, then exit 0.  (Installed
+    # after recovery so an early terminate still aborts hard.)
+    signal.signal(
+        signal.SIGTERM,
+        lambda signum, frame: service.shutdown_event.set(),
+    )
+    # Handshake last: the supervisor spawns workers only against a
+    # writer that is fully ready to take control traffic.
+    handshake = str(options["handshake"])
+    probe = handshake + ".tmp"
+    with open(probe, "w", encoding="utf-8") as fh:
+        json.dump(
+            {
+                "manifest_name": publisher.manifest_name,
+                "control_url": control.url,
+                "pid": os.getpid(),
+            },
+            fh,
+        )
+    os.replace(probe, handshake)
+    try:
+        while not service.shutdown_event.wait(timeout=0.2):
+            if os.getppid() == 1:
+                # The supervisor died without reaping us; stop rather
+                # than journal for a fleet nobody manages.
+                break
+    except KeyboardInterrupt:
+        metrics.increment("keyboard_interrupts")
+    finally:
+        control.close()
+        manager.checkpoint(service.durability_snapshot())
+        manager.close()
+        publisher.close()
     return 0
 
 

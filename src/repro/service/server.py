@@ -27,13 +27,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import socket
 import sys
 import threading
 import time
 from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.anyscan import AnySCAN
 from repro.core.config import AnyScanConfig
@@ -116,6 +117,7 @@ class ClusteringService:
         max_pending_jobs: Optional[int] = None,
         store: Optional[GraphStore] = None,
         job_id_prefix: str = "job",
+        metrics: Optional[ServiceMetrics] = None,
     ) -> None:
         if default_alpha < 1 or default_beta < 1:
             raise ConfigError("default block sizes must be >= 1")
@@ -131,7 +133,9 @@ class ClusteringService:
         self.max_pending_jobs = (
             None if max_pending_jobs is None else int(max_pending_jobs)
         )
-        self.metrics = ServiceMetrics()
+        # A caller-supplied registry lets recovery witness events land in
+        # the same snapshot the /metrics endpoint serves.
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
         # Fleet workers inject an AttachedGraphStore (zero-copy reader
         # over the writer's shared-memory segments); standalone servers
         # own a plain in-process store.
@@ -150,9 +154,20 @@ class ClusteringService:
         #: Set by :class:`repro.service.fleet.ServiceSupervisor` on the
         #: writer service; ``/fleet/*`` handlers consult it.
         self.fleet = None
+        #: Set by `serve_main --data-dir` (or a fleet writer): the
+        #: :class:`~repro.service.durability.DurabilityManager` whose
+        #: WAL the store journals to and whose checkpoint cadence
+        #: :meth:`_durability_note` drives.
+        self.durability = None
         self.shutdown_event = threading.Event()
         # Replayed submissions: (graph, key) → the job already scheduled.
         self._idempotency: "OrderedDict[Tuple[str, str], str]" = OrderedDict()
+        # Replayed mutations: (graph, key) → the update-edges response
+        # already applied.  Keys are journaled with the batch, so the
+        # table survives a crash (bodies degrade to replay markers).
+        self._update_idempotency: "OrderedDict[Tuple[str, str], Dict[str, object]]" = (
+            OrderedDict()
+        )
         self._idempotency_lock = threading.Lock()
         # Backend degradations (process pool → threads) land in the
         # metrics audit trail so operators see them without log scraping.
@@ -258,6 +273,7 @@ class ClusteringService:
             replace=get_bool(payload, "replace"),
         )
         self.metrics.increment("graphs_loaded")
+        self._durability_note()
         return entry.info()
 
     def handle_list_graphs(self, payload: Dict[str, object]) -> Dict[str, object]:
@@ -286,6 +302,7 @@ class ClusteringService:
         entry.auto_cluster_index = True
         self.store.republish(name)
         self.metrics.increment("cluster_indexes_built")
+        self._durability_note()
         return self.store.get(name).info()
 
     def handle_update_edges(
@@ -297,11 +314,53 @@ class ClusteringService:
             raise ServiceError("'insert' and 'delete' must be lists")
         add_vertices = get_int(payload, "add_vertices", 0)
         assert add_vertices is not None
+        idem_key = payload.get("idempotency_key")
+        if idem_key is not None and not isinstance(idem_key, str):
+            raise ServiceError("field 'idempotency_key' must be a string")
+        if idem_key:
+            map_key = (name, idem_key)
+            # Held across lookup + apply: two concurrent retries of the
+            # same batch must not both mutate, and the store journals
+            # the key inside this window, so a checkpoint snapshot can
+            # never capture the mutation without its dedupe entry.
+            with self._idempotency_lock:
+                replay = self._update_idempotency.get(map_key)
+                if replay is not None:
+                    self._update_idempotency.move_to_end(map_key)
+                    self.metrics.increment("update_idempotent_replays")
+                    return dict(replay, replayed=True)
+                body = self._apply_update_edges(
+                    name,
+                    insert,
+                    delete,
+                    add_vertices,
+                    idempotency_key=idem_key,
+                )
+                self._update_idempotency[map_key] = dict(body)
+                while len(self._update_idempotency) > _IDEMPOTENCY_LIMIT:
+                    self._update_idempotency.popitem(last=False)
+        else:
+            body = self._apply_update_edges(
+                name, insert, delete, add_vertices
+            )
+        self._durability_note()
+        return body
+
+    def _apply_update_edges(
+        self,
+        name: str,
+        insert: list,
+        delete: list,
+        add_vertices: int,
+        *,
+        idempotency_key: Optional[str] = None,
+    ) -> Dict[str, object]:
         stats = self.store.update_edges(
             name,
             insert=insert,
             delete=delete,
             add_vertices=add_vertices,
+            idempotency_key=idempotency_key,
         )
         # Local-query entries first: those whose read set is disjoint
         # from the update survive (re-keyed to the new fingerprint);
@@ -691,6 +750,89 @@ class ClusteringService:
         return self.scheduler.reprioritize(job_id, priority)
 
     # ------------------------------------------------------------------
+    # durability (WAL + checkpoints; see repro.service.durability)
+    # ------------------------------------------------------------------
+    def seed_update_keys(self, keys) -> None:
+        """Prime the update-edges dedupe table from recovered WAL keys.
+
+        Replay bodies after a restart are markers, not the original
+        responses — the durable contract is exactly-once application,
+        so a batch retried across the crash answers ``replayed`` /
+        ``recovered`` instead of double-applying.
+        """
+        with self._idempotency_lock:
+            for name, key in keys:
+                self._update_idempotency[(str(name), str(key))] = {
+                    "graph": str(name),
+                    "idempotency_key": str(key),
+                    "recovered": True,
+                }
+            while len(self._update_idempotency) > _IDEMPOTENCY_LIMIT:
+                self._update_idempotency.popitem(last=False)
+
+    def import_recovered_jobs(self, blobs) -> int:
+        """Revive checkpointed paused/pending jobs; returns the count."""
+        revived = 0
+        for blob in blobs:
+            try:
+                self.scheduler.import_job(blob)
+            except Exception as exc:  # pickle payloads fail arbitrarily
+                self.metrics.record_event(
+                    "recovery_job_import_failed",
+                    {"error": f"{type(exc).__name__}: {exc}"},
+                )
+                continue
+            revived += 1
+        if revived:
+            self.metrics.increment("jobs_recovered", revived)
+        return revived
+
+    def durability_snapshot(self) -> Dict[str, object]:
+        """One coherent checkpoint input: entries + keys + paused jobs.
+
+        Lock order matters: the idempotency lock is taken first (same
+        order as the keyed update path), then the store lock inside
+        ``checkpoint_snapshot`` — so every journaled mutation at or
+        below the returned ``wal_seq`` is reflected in the entries and
+        every key journaled with those mutations is in the table.
+        """
+        with self._idempotency_lock:
+            update_keys = list(self._update_idempotency.keys())
+            entries, wal_seq = self.store.checkpoint_snapshot()
+        job_blobs = []
+        for info in self.scheduler.list_jobs():
+            if info["state"] in (
+                JobState.PAUSED.value,
+                JobState.PENDING.value,
+            ):
+                try:
+                    job_blobs.append(
+                        self.scheduler.export_job(str(info["job_id"]))
+                    )
+                except Exception as exc:
+                    # The job raced into RUNNING (or its algorithm does
+                    # not pickle); the WAL still covers the mutations,
+                    # only this job's resumability is lost.
+                    self.metrics.record_event(
+                        "checkpoint_job_skipped",
+                        {
+                            "job_id": info["job_id"],
+                            "error": f"{type(exc).__name__}: {exc}",
+                        },
+                    )
+        return {
+            "wal_seq": wal_seq,
+            "entries": entries,
+            "job_blobs": job_blobs,
+            "update_keys": update_keys,
+        }
+
+    def _durability_note(self) -> None:
+        """Tick the checkpoint cadence after an applied mutation."""
+        if self.durability is not None:
+            self.durability.note_applied(self.durability_snapshot)
+
+    # ------------------------------------------------------------------
     # observability + shutdown
     # ------------------------------------------------------------------
     def handle_health(self, payload: Dict[str, object]) -> Dict[str, object]:
@@ -729,6 +871,16 @@ class ClusteringService:
         if self.fleet is not None:
             return self.fleet.merged_metrics()
         return merge_metric_snapshots([self.metrics.snapshot()])
+
+    def handle_fleet_promote(
+        self, payload: Dict[str, object]
+    ) -> Dict[str, object]:
+        """Writer failover target; only fleet workers can be promoted."""
+        raise ServiceError(
+            "this server is not a fleet worker; promotion addresses a "
+            "worker's admin endpoint after the writer died",
+            status=400,
+        )
 
 
 class _ServiceHTTPServer(ThreadingHTTPServer):
@@ -979,7 +1131,54 @@ def _build_parser() -> argparse.ArgumentParser:
         help="largest μ with a precomputed core order in the clustering "
         "index (larger μ stays exact via an O(n) pass)",
     )
+    parser.add_argument(
+        "--data-dir",
+        default=None,
+        metavar="PATH",
+        help="durable mode: journal every accepted mutation to a "
+        "write-ahead log under PATH and checkpoint periodically "
+        "(graphs, σ indexes, idempotency keys, paused jobs)",
+    )
+    parser.add_argument(
+        "--recover",
+        action="store_true",
+        help="restore the newest checkpoint under --data-dir and replay "
+        "the WAL tail before serving; without it a non-empty data "
+        "directory is refused rather than silently rebuilt",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=64,
+        help="checkpoint after this many applied mutations (durable "
+        "mode); the WAL is compacted back to the oldest retained "
+        "checkpoint after each one",
+    )
     return parser
+
+
+def _worker_options(args) -> Dict[str, object]:
+    return {
+        "workers": args.workers,
+        "slice_iterations": args.slice_iterations,
+        "cache_capacity": args.cache_capacity,
+        "default_alpha": args.alpha,
+        "default_beta": args.beta,
+        "request_timeout": args.request_timeout,
+        "max_pending_jobs": args.max_pending or None,
+        "fault_plan": args.fault_plan,
+    }
+
+
+def _parse_graph_specs(specs) -> Optional[List[Tuple[str, str]]]:
+    graphs: List[Tuple[str, str]] = []
+    for spec in specs or []:
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            print(f"--graph expects NAME=PATH, got {spec!r}", file=sys.stderr)
+            return None
+        graphs.append((name, path))
+    return graphs
 
 
 def serve_main(argv=None) -> int:
@@ -999,6 +1198,46 @@ def serve_main(argv=None) -> int:
             f"({len(plan.rules)} rules) from {args.fault_plan}",
             file=sys.stderr,
         )
+    graphs = _parse_graph_specs(args.graph)
+    if graphs is None:
+        return 2
+    if args.processes > 1 and args.data_dir:
+        # Durable fleet: the writer runs as its own subprocess so the
+        # supervisor can SIGKILL-survive it and promote a shard.
+        return _serve_fleet_durable(args, graphs)
+    durability = None
+    recovered = None
+    metrics = None
+    if args.data_dir:
+        from repro.service.durability import DurabilityManager
+
+        metrics = ServiceMetrics()
+        durability = DurabilityManager(
+            args.data_dir,
+            checkpoint_every=args.checkpoint_every,
+            metrics=metrics,
+        )
+        recovered = durability.recover()
+        if not args.recover and (
+            recovered.last_seq > 0 or len(recovered.store) > 0
+        ):
+            print(
+                f"data dir {args.data_dir!r} holds existing state "
+                f"(WAL seq {recovered.last_seq}, "
+                f"{len(recovered.store)} graphs); pass --recover to "
+                "restore it",
+                file=sys.stderr,
+            )
+            durability.close()
+            return 2
+        if args.recover:
+            print(
+                f"recovered {len(recovered.store)} graph(s) from "
+                f"checkpoint seq {recovered.checkpoint_seq} + "
+                f"{recovered.replayed_records} replayed WAL record(s); "
+                f"{len(recovered.job_blobs)} suspended job(s)",
+                file=sys.stderr,
+            )
     service = ClusteringService(
         workers=args.workers,
         slice_iterations=args.slice_iterations,
@@ -1007,12 +1246,29 @@ def serve_main(argv=None) -> int:
         default_beta=args.beta,
         request_timeout=args.request_timeout,
         max_pending_jobs=args.max_pending or None,
+        store=recovered.store if recovered is not None else None,
+        metrics=metrics,
     )
-    for spec in args.graph or []:
-        name, sep, path = spec.partition("=")
-        if not sep or not name or not path:
-            print(f"--graph expects NAME=PATH, got {spec!r}", file=sys.stderr)
-            return 2
+    if durability is not None and recovered is not None:
+        service.seed_update_keys(recovered.update_keys)
+        service.import_recovered_jobs(recovered.job_blobs)
+        service.store.attach_journal(durability)
+        service.durability = durability
+        # Graceful SIGTERM: drain and flush a final checkpoint instead
+        # of dying mid-request (install_signal_cleanup would re-raise).
+        signal.signal(
+            signal.SIGTERM,
+            lambda signum, frame: service.shutdown_event.set(),
+        )
+    hosted = set(service.store.names())
+    for name, path in graphs:
+        if name in hosted:
+            # Recovery already rebuilt it; re-adding would double-journal.
+            print(
+                f"skipping preload of {name!r}: already recovered",
+                file=sys.stderr,
+            )
+            continue
         from repro.graph.io import load_edge_list
 
         graph, _ = load_edge_list(path, weighted=args.weighted)
@@ -1036,16 +1292,7 @@ def serve_main(argv=None) -> int:
             host=args.host,
             port=args.port,
             processes=args.processes,
-            worker_options={
-                "workers": args.workers,
-                "slice_iterations": args.slice_iterations,
-                "cache_capacity": args.cache_capacity,
-                "default_alpha": args.alpha,
-                "default_beta": args.beta,
-                "request_timeout": args.request_timeout,
-                "max_pending_jobs": args.max_pending or None,
-                "fault_plan": args.fault_plan,
-            },
+            worker_options=_worker_options(args),
         )
         supervisor.start()
         # The probe socket never accepts; the port only answers once a
@@ -1057,10 +1304,7 @@ def serve_main(argv=None) -> int:
             flush=True,
         )
         try:
-            while not service.shutdown_event.wait(timeout=0.2):
-                pass
-        except KeyboardInterrupt:  # repro: allow[swallow] - ^C is the shutdown signal
-            print("interrupted; shutting down", file=sys.stderr)
+            _wait_for_shutdown(service.shutdown_event)
         finally:
             supervisor.close()
         return 0
@@ -1068,10 +1312,67 @@ def serve_main(argv=None) -> int:
     server.start()
     print(f"serving on {server.url}", flush=True)
     try:
-        while not service.shutdown_event.wait(timeout=0.2):
+        _wait_for_shutdown(service.shutdown_event)
+    finally:
+        server.close()
+        if durability is not None:
+            # The scheduler is drained; checkpoint whatever jobs stayed
+            # paused/pending so `--recover` can revive them.
+            durability.checkpoint(service.durability_snapshot())
+            durability.close()
+    return 0
+
+
+def _wait_for_shutdown(event) -> None:
+    """Block the serve loop until the shutdown event is set."""
+    try:
+        while not event.wait(timeout=0.2):
             pass
     except KeyboardInterrupt:  # repro: allow[swallow] - ^C is the shutdown signal
         print("interrupted; shutting down", file=sys.stderr)
+
+
+def _serve_fleet_durable(args, graphs) -> int:
+    """`repro serve --processes N --data-dir PATH`: HA fleet mode."""
+    from repro.service.fleet import ServiceSupervisor
+
+    supervisor = ServiceSupervisor(
+        None,
+        host=args.host,
+        port=args.port,
+        processes=args.processes,
+        worker_options=_worker_options(args),
+        data_dir=args.data_dir,
+        recover=args.recover,
+        checkpoint_every=args.checkpoint_every,
+        writer_graphs=[
+            [
+                name,
+                path,
+                bool(args.weighted),
+                bool(args.build_index),
+                bool(args.build_cluster_index),
+                args.mu_cap,
+            ]
+            for name, path in graphs
+        ],
+    )
+    supervisor.start()
+    supervisor.wait_ready()
+    print(
+        f"serving on {supervisor.url} "
+        f"({args.processes} processes, durable writer, "
+        f"control {supervisor.control_url})",
+        flush=True,
+    )
+    # SIGTERM drains the fleet: the writer checkpoints on its own
+    # SIGTERM (forwarded by close()) before the segments are retired.
+    signal.signal(
+        signal.SIGTERM,
+        lambda signum, frame: supervisor.shutdown_event.set(),
+    )
+    try:
+        _wait_for_shutdown(supervisor.shutdown_event)
     finally:
-        server.close()
+        supervisor.close()
     return 0

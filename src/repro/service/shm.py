@@ -192,10 +192,15 @@ class StorePublisher:
         *,
         manifest_bytes: int = DEFAULT_MANIFEST_BYTES,
         metrics=None,
+        durable: bool = False,
     ) -> None:
         if manifest_bytes < _HEADER.size + 2:
             raise ConfigError("manifest_bytes is too small to hold a header")
-        self._registry = SegmentRegistry()
+        # ``durable`` keeps the segments off the resource tracker so a
+        # SIGKILLed writer leaves them for a promoted shard to adopt
+        # (the WAL makes the state recoverable; the segments make the
+        # failover seamless for attached readers).
+        self._registry = SegmentRegistry(untracked=durable)
         self._manifest_shm = self._registry.create_block(
             "manifest", manifest_bytes
         )
@@ -206,8 +211,108 @@ class StorePublisher:
         self._epochs: Dict[str, int] = {}
         self._slugs: Dict[str, int] = {}
         self._workers: List[Dict[str, object]] = []
+        self._control_url: Optional[str] = None
+        self._epoch_floor = 0
+        self._adopted_manifest: Optional[str] = None
+        self._foreign_segments: List[str] = []
         self.metrics = metrics
         self._block.write(self._payload())
+
+    @classmethod
+    def adopt(cls, manifest_name: str, *, metrics=None) -> "StorePublisher":
+        """Become the writer of a dead writer's manifest (failover).
+
+        The promoted process attaches the *existing* manifest segment
+        so every reader's attachment point survives the failover, then
+        takes over the seqlock as the (again unique) writer:
+
+        * a torn commit — the old writer died mid-write, generation odd
+          — is repaired by advancing the counter to the next even value
+          and discarding the unreadable payload (the WAL replay rebuilds
+          every entry anyway);
+        * new epochs start above ``generation // 2 + 1``: each commit
+          moves the generation by 2, so no reader can hold any entry at
+          an epoch that high — equality on (name, epoch) can therefore
+          never confuse an old segment group with a new one;
+        * the previous writer's segments are remembered and retired via
+          :meth:`retire_foreign_segments` *after* the recovered store
+          republished, so mid-read attachments never dangle.
+        """
+        self = cls.__new__(cls)
+        # A promoted writer may itself be killed later; keep its epochs
+        # adoptable by the next shard, exactly like the original
+        # durable writer's.
+        self._registry = SegmentRegistry(untracked=True)
+        self._manifest_shm = shared_memory.SharedMemory(name=manifest_name)
+        # The manifest is adopted, not created: keep it away from this
+        # process's resource tracker (close() unlinks it explicitly).
+        untrack_attachment(self._manifest_shm)
+        generation, _ = _HEADER.unpack_from(self._manifest_shm.buf, 0)
+        self._block = ManifestBlock(self._manifest_shm, writer=True)
+        self._lock = threading.Lock()
+        self._graphs = {}
+        self._segment_names = {}
+        self._epochs = {}
+        self._slugs = {}
+        self._workers = []
+        self._control_url = None
+        self._epoch_floor = int(generation) // 2 + 1
+        self._adopted_manifest = manifest_name
+        self._foreign_segments = []
+        self.metrics = metrics
+        if generation % 2:
+            # Torn commit: the payload bytes cannot be trusted.  Repair
+            # the seqlock parity; the next write() publishes a fresh,
+            # consistent payload at a strictly newer even generation.
+            self._block._generation = int(generation) + 1
+            if metrics is not None:
+                metrics.record_event(
+                    "manifest_torn_repaired",
+                    {"generation": int(generation)},
+                )
+        else:
+            try:
+                _, payload = self._block.read()
+            except ConfigError as exc:
+                payload = {}
+                if metrics is not None:
+                    metrics.record_event(
+                        "manifest_adopt_unreadable", {"error": str(exc)}
+                    )
+            for name, record in (payload.get("graphs") or {}).items():
+                self._slugs[name] = len(self._slugs)
+                self._epochs[name] = int(record.get("epoch", 0))
+                for spec in (record.get("arrays") or {}).values():
+                    self._foreign_segments.append(str(spec[0]))
+            self._workers = list(payload.get("workers", []))
+        return self
+
+    def retire_foreign_segments(self) -> int:
+        """Unlink the dead writer's segments (call after republishing).
+
+        Readers mid-attach keep their mappings (POSIX unlink removes
+        the name, not the memory); new attachments can only land on the
+        epochs this publisher republished.
+        """
+        retired = 0
+        names, self._foreign_segments = self._foreign_segments, []
+        for name in names:
+            try:
+                # No untrack here: attaching registered the name with
+                # this process's tracker and unlink unregisters it —
+                # the ledger stays balanced.
+                segment = shared_memory.SharedMemory(name=name)
+                segment.close()
+                segment.unlink()
+            except (FileNotFoundError, OSError) as exc:
+                if self.metrics is not None:
+                    self.metrics.record_event(
+                        "foreign_segment_retire_skipped",
+                        {"segment": name, "error": str(exc)},
+                    )
+                continue
+            retired += 1
+        return retired
 
     # ------------------------------------------------------------------
     @property
@@ -219,7 +324,23 @@ class StorePublisher:
         return self._block.generation()
 
     def _payload(self) -> Dict[str, object]:
-        return {"graphs": self._graphs, "workers": self._workers}
+        payload: Dict[str, object] = {
+            "graphs": self._graphs,
+            "workers": self._workers,
+        }
+        if self._control_url is not None:
+            payload["control"] = self._control_url
+        return payload
+
+    def set_control_url(self, url: str) -> None:
+        """Publish the writer's control endpoint to attached readers.
+
+        Workers resolve it (and re-resolve after a failover republished
+        the manifest) instead of trusting their spawn-time option.
+        """
+        with self._lock:
+            self._control_url = str(url)
+            self._block.write(self._payload())
 
     # ------------------------------------------------------------------
     def publish_entry(self, entry: GraphEntry) -> int:
@@ -233,7 +354,7 @@ class StorePublisher:
             if self._registry.closed:
                 raise ConfigError("store publisher already closed")
             slug = self._slugs.setdefault(entry.name, len(self._slugs))
-            epoch = self._epochs.get(entry.name, 0) + 1
+            epoch = max(self._epochs.get(entry.name, 0), self._epoch_floor) + 1
             prefix = f"g{slug}e{epoch}"
             published: List[str] = []
             arrays: Dict[str, SharedArraySpec] = {}
@@ -309,6 +430,23 @@ class StorePublisher:
     def close(self) -> None:
         """Unlink every owned segment, manifest included (idempotent)."""
         self._registry.close()
+        if self._adopted_manifest is not None:
+            # The adopted manifest lives outside the registry; retire it
+            # by name so a drained failover fleet leaves /dev/shm clean.
+            name, self._adopted_manifest = self._adopted_manifest, None
+            try:
+                self._manifest_shm.close()
+                # Re-attach registers the name with the tracker and
+                # unlink unregisters it — balanced, so no untrack.
+                segment = shared_memory.SharedMemory(name=name)
+                segment.close()
+                segment.unlink()
+            except (FileNotFoundError, OSError, BufferError) as exc:
+                if self.metrics is not None:
+                    self.metrics.record_event(
+                        "adopted_manifest_unlink_skipped",
+                        {"segment": name, "error": str(exc)},
+                    )
 
     @property
     def closed(self) -> bool:
@@ -341,8 +479,14 @@ class AttachedGraphStore:
         self._block = ManifestBlock(self._manifest_shm, writer=False)
         self._lock = threading.Lock()
         self._generation = 0
+        #: Odd generation refresh() last gave up on — a writer died
+        #: mid-commit.  Remembered so the fast path skips the bounded
+        #: spin until a new writer moved the counter again.
+        self._stalled_generation = 0
         self._entries: Dict[str, GraphEntry] = {}
         self._workers: List[Dict[str, object]] = []
+        self._control: Optional[str] = None
+        self.manifest_name = str(manifest_name)
         self.metrics = metrics
         #: Called with the *old* fingerprint whenever a refresh replaces
         #: an entry (epoch moved); the worker service hooks its result
@@ -362,27 +506,75 @@ class AttachedGraphStore:
         manifest and swaps in re-attached entries under the store lock;
         losing an attach race against the writer's unlink just retries
         the read (the manifest has necessarily moved on).
+
+        A manifest stuck mid-commit (the writer died holding the
+        seqlock odd) degrades to **stale-but-consistent** serving: the
+        entries attached before the crash keep answering, the stalled
+        generation is remembered so later reads skip the bounded spin,
+        and the next even generation — committed by a promoted writer —
+        resynchronizes normally.
         """
-        if self._block.generation() == self._generation:
+        observed = self._block.generation()
+        if observed == self._generation or (
+            self._stalled_generation and observed == self._stalled_generation
+        ):
             return False
         with self._lock:
             while True:
-                generation, payload = self._block.read()
+                try:
+                    generation, payload = self._block.read()
+                except ConfigError as exc:
+                    if not self._entries:
+                        raise
+                    self._stalled_generation = self._block.generation()
+                    if self.metrics is not None:
+                        self.metrics.record_event(
+                            "manifest_read_stalled",
+                            {
+                                "generation": self._stalled_generation,
+                                "error": str(exc),
+                            },
+                        )
+                    return False
                 if generation == self._generation:
                     return False
                 try:
                     self._resync(payload)
-                except FileNotFoundError:
-                    # Lost the race: a record pointed at segments the
-                    # writer retired after our read.  The manifest has
-                    # a newer generation by construction — re-read it.
+                except FileNotFoundError as exc:
+                    if self._block.generation() != generation:
+                        # Lost a real race: the writer retired those
+                        # segments and committed a newer generation —
+                        # re-read and attach that one instead.
+                        if self.metrics is not None:
+                            self.metrics.record_event(
+                                "attach_race_retried",
+                                {"generation": generation},
+                            )
+                        continue
+                    # The generation is not advancing: the writer died
+                    # after committing this payload and its segments
+                    # are gone (e.g. swept by its resource tracker).
+                    # Spinning would hang forever — degrade to
+                    # stale-but-consistent until a promoted writer
+                    # republishes at a newer generation.
+                    if not self._entries:
+                        raise ConfigError(
+                            "manifest names shared segments that no "
+                            "longer exist and no writer is advancing "
+                            f"it: {exc}"
+                        ) from exc
+                    self._stalled_generation = generation
                     if self.metrics is not None:
                         self.metrics.record_event(
-                            "attach_race_retried",
-                            {"generation": generation},
+                            "manifest_read_stalled",
+                            {
+                                "generation": generation,
+                                "error": str(exc),
+                            },
                         )
-                    continue
+                    return False
                 self._generation = generation
+                self._stalled_generation = 0
                 return True
 
     def _resync(self, payload: Dict[str, object]) -> None:
@@ -402,6 +594,8 @@ class AttachedGraphStore:
                 dropped_fingerprints.append(entry.fingerprint)
         self._entries = fresh
         self._workers = list(payload.get("workers", []))
+        control = payload.get("control")
+        self._control = str(control) if control is not None else None
         for fingerprint in dropped_fingerprints:
             for listener in self.fingerprint_listeners:
                 listener(fingerprint)
@@ -487,6 +681,17 @@ class AttachedGraphStore:
         self.refresh()
         with self._lock:
             return [dict(worker) for worker in self._workers]
+
+    def control_url(self) -> Optional[str]:
+        """The current writer's control endpoint, per the manifest.
+
+        ``None`` until a writer published one; after a failover the
+        promoted writer's republish updates it, so workers re-resolve
+        instead of dialing the dead process forever.
+        """
+        self.refresh()
+        with self._lock:
+            return self._control
 
     def generation(self) -> int:
         return self._block.generation()

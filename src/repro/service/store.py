@@ -24,6 +24,7 @@ scheduler workers: every mutation happens under an internal lock.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -60,6 +61,11 @@ __all__ = [
 #: Config fields that change σ values (mirrors the index's semantic
 #: compatibility check); ``pruning`` never changes results, only work.
 _SEMANTIC_FIELDS = ("kind", "closed", "self_weight", "count_self")
+
+#: Journal records round-trip the *whole* config (``pruning`` included)
+#: so a recovered entry is indistinguishable from the original — must
+#: match ``repro.service.durability._SIMILARITY_FIELDS``.
+_JOURNAL_SIMILARITY_FIELDS = _SEMANTIC_FIELDS + ("pruning",)
 
 
 def similarity_signature(config: SimilarityConfig) -> Tuple[object, ...]:
@@ -380,6 +386,11 @@ class GraphStore:
         # when attached, every mutation republishes the affected entry so
         # attached reader processes revalidate by epoch, never serve stale.
         self._publisher = None
+        # Optional write-ahead journal (repro.service.durability.
+        # DurabilityManager): when attached, every mutation is logged —
+        # and fsynced — before it is applied, under the store lock, so
+        # WAL order equals apply order exactly.
+        self._journal = None
 
     # ------------------------------------------------------------------
     # shared-memory publication (single-writer side of DESIGN.md §11)
@@ -408,6 +419,88 @@ class GraphStore:
             entry = self._entries.get(name)
             if entry is not None:
                 self._publish_locked(entry)
+
+    # ------------------------------------------------------------------
+    # durability (write-ahead journal, DESIGN.md §13)
+    # ------------------------------------------------------------------
+    def attach_journal(self, journal) -> None:
+        """Log every future mutation to ``journal`` before applying it.
+
+        ``journal`` is duck-typed — ``log_mutation(record) -> int`` plus
+        a ``last_seq`` property; in practice a
+        :class:`~repro.service.durability.DurabilityManager`.  A journal
+        failure on a primary mutation (add/remove/update) aborts the
+        mutation before any state changes; derived-data events (index
+        builds) degrade to a witnessed skip instead, because an index is
+        a deterministic function of the graph and recovery can simply
+        not have it.
+        """
+        with self._lock:
+            self._journal = journal
+
+    def _journal_locked(self, record: Dict[str, object]) -> None:
+        if self._journal is not None:
+            self._journal.log_mutation(record)
+
+    def _journal_best_effort(self, record: Dict[str, object]) -> None:
+        try:
+            self._journal_locked(record)
+        except Exception as exc:
+            # Derived-data event only: losing it cannot change any
+            # recovered answer, so keep serving and witness the gap.
+            if self.metrics is not None:
+                self.metrics.record_event(
+                    "journal_record_skipped",
+                    {
+                        "op": record.get("op"),
+                        "error": f"{type(exc).__name__}: {exc}",
+                    },
+                )
+
+    @staticmethod
+    def _similarity_record(config: SimilarityConfig) -> Dict[str, object]:
+        return {
+            name: getattr(config, name)
+            for name in _JOURNAL_SIMILARITY_FIELDS
+        }
+
+    def checkpoint_snapshot(self) -> Tuple[List[GraphEntry], int]:
+        """A coherent ``(entries, wal_seq)`` pair for checkpointing.
+
+        Taken under the store lock: because journaled mutations append
+        *and* apply while holding it, every record up to the returned
+        sequence number is reflected in the copied entries and no later
+        one is.  The copies share the immutable CSR/index objects (the
+        update path replaces them, never mutates) and drop the mutable
+        :class:`~repro.dynamic.scan.DynamicSCAN` mirror.
+        """
+        with self._lock:
+            entries = [
+                dataclasses.replace(entry, dynamic=None)
+                for entry in self._entries.values()
+            ]
+            seq = (
+                self._journal.last_seq if self._journal is not None else 0
+            )
+        return entries, seq
+
+    def adopt_entry(
+        self, entry: GraphEntry, *, replace: bool = True
+    ) -> GraphEntry:
+        """Install a pre-built entry verbatim (recovery/promotion path).
+
+        No journaling (the entry's history is already in the log or a
+        checkpoint) and no index building; publishes to attached
+        readers when a publisher is present.
+        """
+        with self._lock:
+            if entry.name in self._entries and not replace:
+                raise ConfigError(
+                    f"graph {entry.name!r} is already loaded"
+                )
+            self._entries[entry.name] = entry
+            self._publish_locked(entry)
+        return entry
 
     # ------------------------------------------------------------------
     # registry
@@ -454,12 +547,32 @@ class GraphStore:
             auto_cluster_index=build_cluster_index,
             mu_cap=int(mu_cap),
         )
+        record = None
+        if self._journal is not None:
+            # The edge list (CSR order, u < v) rebuilds through
+            # GraphBuilder into bitwise-identical arrays, so replaying
+            # this record reproduces the exact fingerprint.
+            record = {
+                "op": "add_graph",
+                "name": name,
+                "n": int(graph.num_vertices),
+                "edges": [
+                    [int(u), int(v), float(w)] for u, v, w in graph.edges()
+                ],
+                "similarity": self._similarity_record(similarity),
+                "build_index": bool(build_index),
+                "build_cluster_index": bool(build_cluster_index),
+                "mu_cap": int(mu_cap),
+                "replace": bool(replace),
+            }
         with self._lock:
             if name in self._entries and not replace:
                 raise ConfigError(
                     f"graph {name!r} is already loaded; pass replace=true "
                     "to overwrite it"
                 )
+            if record is not None:
+                self._journal_locked(record)
             self._entries[name] = entry
             self._publish_locked(entry)
         return entry
@@ -474,11 +587,12 @@ class GraphStore:
     def remove(self, name: str) -> str:
         """Unload a graph; returns its fingerprint (for invalidation)."""
         with self._lock:
-            entry = self._entries.pop(name, None)
-            if entry is not None and self._publisher is not None:
+            if name not in self._entries:
+                raise ConfigError(f"unknown graph {name!r}")
+            self._journal_locked({"op": "remove_graph", "name": name})
+            entry = self._entries.pop(name)
+            if self._publisher is not None:
                 self._publisher.remove_entry(name)
-        if entry is None:
-            raise ConfigError(f"unknown graph {name!r}")
         return entry.fingerprint
 
     def names(self) -> List[str]:
@@ -540,6 +654,9 @@ class GraphStore:
                 current is entry
                 and current.fingerprint == index.fingerprint
             ):
+                self._journal_best_effort(
+                    {"op": "build_index", "name": name}
+                )
                 current.index = index
                 self._publish_locked(current)
         return entry
@@ -570,6 +687,13 @@ class GraphStore:
                 current is entry
                 and current.fingerprint == cluster_index.fingerprint
             ):
+                self._journal_best_effort(
+                    {
+                        "op": "build_cluster_index",
+                        "name": name,
+                        "mu_cap": cap,
+                    }
+                )
                 current.cluster_index = cluster_index
                 current.index = cluster_index.edge
                 current.mu_cap = cap
@@ -579,6 +703,54 @@ class GraphStore:
     # ------------------------------------------------------------------
     # dynamic updates (routed through DynamicSCAN)
     # ------------------------------------------------------------------
+    @staticmethod
+    def _wire_batch(
+        specs: Sequence[Sequence[float]],
+    ) -> List[List[float]]:
+        """JSON-ready copy of raw update specs, shape *not* validated.
+
+        Journaling precedes apply, and a malformed spec must fail at
+        its position in the batch — after the valid prefix applied —
+        identically live and on replay, so the record carries the
+        batch as given rather than a pre-validated normal form.
+        """
+        wire: List[List[float]] = []
+        for spec in specs:
+            row: List[float] = []
+            for value in spec:
+                number = float(value)
+                row.append(
+                    int(number) if number.is_integer() else number
+                )
+            wire.append(row)
+        return wire
+
+    def _sigma_seed_locked(self, entry: GraphEntry):
+        """σ seed for the entry's mirror, from its edge index.
+
+        When the index answers for the current fingerprint it already
+        holds σ for every edge, so the mirror can start from those rows
+        instead of recomputing all of them (ROADMAP item 4 leftover:
+        the seed also survives recovery and shared-memory epochs, since
+        checkpoints archive the index).  Keys are ``(min, max)`` pairs —
+        :meth:`~repro.similarity.index.EdgeSimilarityIndex.forward_edges`
+        iterates u < v, matching the mirror's key order.
+        """
+        index = entry.index
+        if index is None or index.fingerprint != entry.fingerprint:
+            return None
+        us, vs, sigmas = index.forward_edges()
+        seed = {
+            (int(u), int(v)): float(s)
+            for u, v, s in zip(us.tolist(), vs.tolist(), sigmas.tolist())
+        }
+        if self.metrics is not None:
+            self.metrics.record_event(
+                "mirror_sigma_seeded",
+                {"graph": entry.name, "rows": len(seed)},
+            )
+        return seed
+
     def update_edges(
         self,
         name: str,
@@ -586,6 +758,7 @@ class GraphStore:
         insert: Sequence[Sequence[float]] = (),
         delete: Sequence[Sequence[int]] = (),
         add_vertices: int = 0,
+        idempotency_key: Optional[str] = None,
     ) -> UpdateStats:
         """Apply an edge-update batch and refresh the CSR snapshot.
 
@@ -594,6 +767,12 @@ class GraphStore:
         cache is repaired incrementally rather than recomputed.  The σ
         index (if any) answers for the *old* graph and is dropped;
         ``auto_index`` entries rebuild it lazily on the next query.
+
+        With a journal attached the batch — including
+        ``idempotency_key``, which the store records but does not
+        enforce (the HTTP layer and WAL replay dedupe on it) — is
+        logged and fsynced before the first mutation, under the store
+        lock, so the WAL's order is exactly the apply order.
         """
         if add_vertices < 0:
             raise ConfigError("add_vertices must be non-negative")
@@ -601,6 +780,17 @@ class GraphStore:
             entry = self._entries.get(name)
             if entry is None:
                 raise ConfigError(f"unknown graph {name!r}")
+            if self._journal is not None:
+                self._journal_locked(
+                    {
+                        "op": "update_edges",
+                        "name": name,
+                        "insert": self._wire_batch(insert),
+                        "delete": self._wire_batch(delete),
+                        "add_vertices": int(add_vertices),
+                        "key": idempotency_key,
+                    }
+                )
             if entry.dynamic is None:
                 # μ/ε are irrelevant for updates (only for DynamicSCAN's
                 # own clustering reads); any valid pair works here.
@@ -609,6 +799,7 @@ class GraphStore:
                     mu=2,
                     epsilon=0.5,
                     similarity=entry.similarity,
+                    seed_sigmas=self._sigma_seed_locked(entry),
                 )
             dynamic = entry.dynamic
             before_recomputations = dynamic.sigma_recomputations

@@ -142,6 +142,51 @@ class TestR8SegmentLifecycle:
         ):
             assert clean not in messages
 
+    def test_handle_factory_leak_fires_and_with_discharges(self, tmp_path):
+        """`handle-factories` entries get the same R8 audit as segments:
+        an unclosed WAL-style handle leaks, a with-managed one does not."""
+        target = tmp_path / "wal_handles.py"
+        target.write_text(
+            textwrap.dedent(
+                """
+                def _open_wal(path):
+                    return open(path, "r+b", buffering=0)
+
+                def leaky_open(path, sink):
+                    handle = _open_wal(path)
+                    sink(handle.read())
+                    # falls through without close()
+
+                def clean_with(path, sink):
+                    with _open_wal(path) as handle:
+                        sink(handle.read())
+
+                def clean_close(path, sink):
+                    handle = _open_wal(path)
+                    try:
+                        sink(handle.read())
+                    finally:
+                        handle.close()
+                """
+            )
+        )
+        config = AnalysisConfig(handle_factories=["_open_wal"])
+        findings = [
+            f
+            for f in ProgramAnalyzer(config=config).analyze_paths([target])
+            if f.rule == "R8"
+        ]
+        assert findings, "unclosed handle from a handle-factory must fire"
+        messages = " ".join(f.message for f in findings)
+        assert "leaky_open" in messages
+        assert "clean_with" not in messages
+        assert "clean_close" not in messages
+        # Without the config entry the factory is not audited at all.
+        silent = ProgramAnalyzer(config=AnalysisConfig()).analyze_paths(
+            [target]
+        )
+        assert [f for f in silent if f.rule == "R8"] == []
+
     def test_view_of_handle_is_not_an_escape(self, tmp_path):
         target = tmp_path / "leak.py"
         target.write_text(

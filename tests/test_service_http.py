@@ -130,8 +130,12 @@ def test_near_miss_on_indexed_graph_runs_without_sigma_evaluations(client):
 
 
 def test_two_concurrent_jobs_interleave(client, server):
-    g1 = _lfr(400, seed=25)
-    g2 = _lfr(400, seed=26)
+    # Large enough that neither job can run to completion inside the
+    # submission gap (one HTTP round-trip, which can stretch to tens
+    # of milliseconds late in a long suite run) — the interleaving
+    # assertions below need the jobs' lifetimes to actually overlap.
+    g1 = _lfr(2000, seed=25)
+    g2 = _lfr(2000, seed=26)
     client.load_graph("conc-a", graph=g1)
     client.load_graph("conc-b", graph=g2)
     job_a = client.cluster("conc-a", 3, 0.6, alpha=16, beta=16)["job_id"]
